@@ -1,0 +1,101 @@
+// Command benchrun regenerates the paper's tables and figures against a
+// freshly built (or loaded) database. Each -exp value maps to one
+// experiment from DESIGN.md's E1-E13 index; "all" runs the full
+// evaluation in order.
+//
+// Usage:
+//
+//	benchrun -exp all -accesses 120000
+//	benchrun -exp fig9
+//	benchrun -exp bypass -machine-accesses 800000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"cachemind/internal/bench"
+	"cachemind/internal/db"
+	"cachemind/internal/experiments"
+	"cachemind/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchrun: ")
+
+	exp := flag.String("exp", "all", "experiment: table1,table2,fig4,fig5,fig7,fig8,fig9,bypass,mockingjay,prefetch,sethotness,beladyparrot,all")
+	accesses := flag.Int("accesses", 120000, "database accesses per trace")
+	machineAccesses := flag.Int("machine-accesses", 800000, "accesses for hierarchy (IPC) use cases")
+	seed := flag.Int64("seed", 42, "seed")
+	dbPath := flag.String("db", "", "load a store written by tracegen instead of building one")
+	sets := flag.Int("llc-sets", 256, "LLC sets for the database traces")
+	ways := flag.Int("llc-ways", 8, "LLC ways for the database traces")
+	flag.Parse()
+
+	lab := buildLab(*dbPath, *accesses, *seed, *sets, *ways)
+
+	runners := map[string]func(){
+		"table1":       func() { fmt.Println(experiments.Table1(lab)) },
+		"table2":       func() { fmt.Println(experiments.Table2(lab)) },
+		"fig4":         func() { fmt.Println(experiments.Figure4(lab)) },
+		"fig5":         func() { fmt.Println(experiments.Figure5(lab)) },
+		"fig7":         func() { fmt.Println(experiments.Figure7(experiments.Figure4(lab))) },
+		"fig8":         func() { fmt.Println(experiments.Figure8(lab)) },
+		"fig9":         func() { fmt.Println(experiments.Figure9(lab)) },
+		"bypass":       func() { fmt.Println(experiments.Bypass(lab, *machineAccesses)) },
+		"mockingjay":   func() { fmt.Println(experiments.Mockingjay(lab, *machineAccesses)) },
+		"prefetch":     func() { fmt.Println(experiments.Prefetch(lab, *machineAccesses/4)) },
+		"sethotness":   func() { fmt.Println(experiments.SetHotness(lab)) },
+		"beladyparrot": func() { fmt.Println(experiments.BeladyVsParrot(lab)) },
+		"policytable":  func() { fmt.Println(experiments.PolicyTable(lab, *accesses, nil)) },
+		"prefetchpol":  func() { fmt.Println(experiments.PrefetchInteraction(lab, *machineAccesses)) },
+		"shots":        func() { fmt.Println(experiments.ShotsStudy(lab, "gpt-4o-mini")) },
+		"sieveablate":  func() { fmt.Println(experiments.SieveSemanticAblation(lab)) },
+	}
+	order := []string{"table1", "table2", "fig4", "fig5", "fig7", "fig8", "fig9",
+		"bypass", "mockingjay", "prefetch", "sethotness", "beladyparrot",
+		"policytable", "prefetchpol", "shots", "sieveablate"}
+
+	names := strings.Split(*exp, ",")
+	if *exp == "all" {
+		names = order
+	}
+	for _, name := range names {
+		run, ok := runners[strings.TrimSpace(name)]
+		if !ok {
+			log.Fatalf("unknown experiment %q (have %v)", name, order)
+		}
+		run()
+	}
+}
+
+func buildLab(dbPath string, accesses int, seed int64, sets, ways int) *experiments.Lab {
+	llc := sim.Config{Name: "LLC", Sets: sets, Ways: ways, Latency: 26, MSHRs: 64}
+	if dbPath == "" {
+		lab, err := experiments.NewLab(experiments.LabConfig{
+			AccessesPerTrace: accesses, Seed: seed, LLC: llc,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return lab
+	}
+	f, err := os.Open(dbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	store, err := db.Load(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	suite, err := bench.Generate(store, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &experiments.Lab{Store: store, Suite: suite, Seed: seed, LLC: llc}
+}

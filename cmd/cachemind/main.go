@@ -1,0 +1,121 @@
+// Command cachemind is the conversational front-end: a REPL that
+// retrieves trace-grounded evidence for each natural-language question
+// and generates an answer, with conversation memory across turns — the
+// paper's §6.3 chat sessions, runnable locally.
+//
+// Usage:
+//
+//	cachemind                          # build a default database, chat on stdin
+//	cachemind -db cachemind.db         # reuse a tracegen store
+//	cachemind -retriever sieve -show-context
+//	echo "List all unique PCs in mcf under LRU." | cachemind
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"cachemind/internal/db"
+	"cachemind/internal/generator"
+	"cachemind/internal/llm"
+	"cachemind/internal/memory"
+	"cachemind/internal/nlu"
+	"cachemind/internal/retriever"
+	"cachemind/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cachemind: ")
+
+	dbPath := flag.String("db", "", "store written by tracegen (empty: build in-memory)")
+	accesses := flag.Int("accesses", 60000, "accesses per trace when building in-memory")
+	seed := flag.Int64("seed", 42, "seed for the in-memory build")
+	retrName := flag.String("retriever", "ranger", "retriever: ranger, sieve, or llamaindex")
+	modelID := flag.String("model", "gpt-4o", "generator backend profile")
+	showContext := flag.Bool("show-context", false, "print the retrieved context before each answer")
+	flag.Parse()
+
+	store := openStore(*dbPath, *accesses, *seed)
+	profile, ok := llm.ByID(*modelID)
+	if !ok {
+		log.Fatalf("unknown model %q", *modelID)
+	}
+
+	var retr retriever.Retriever
+	switch *retrName {
+	case "ranger":
+		retr = retriever.NewRanger(store)
+	case "sieve":
+		retr = retriever.NewSieve(store)
+	case "llamaindex":
+		retr = retriever.NewEmbeddingRetriever(store, 40)
+	default:
+		log.Fatalf("unknown retriever %q", *retrName)
+	}
+
+	gen := generator.New(profile)
+	gen.Memory = memory.New(6)
+
+	fmt.Printf("CacheMind chat — model %s, retriever %s. Workloads: %s. Policies: %s.\n",
+		profile.DisplayName, retr.Name(),
+		strings.Join(store.Workloads(), ", "), strings.Join(store.Policies(), ", "))
+	fmt.Println("Ask trace-grounded questions; Ctrl-D to exit.")
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			break
+		}
+		q := strings.TrimSpace(sc.Text())
+		if q == "" {
+			continue
+		}
+		ctx := retr.Retrieve(q)
+		if *showContext {
+			fmt.Printf("--- retrieved context (quality %s, %s) ---\n%s\n---\n",
+				ctx.Quality, ctx.Elapsed.Round(1000), ctx.Text)
+		}
+		category := ctx.Parsed.Intent.String()
+		var text string
+		switch ctx.Parsed.Intent {
+		case nlu.IntentConcept, nlu.IntentPolicyAnalysis, nlu.IntentSemanticAnalysis, nlu.IntentCodeGen:
+			text = gen.AnalysisAnswer(q, category, q, ctx).Text
+		default:
+			text = gen.Answer(q, category, q, ctx).Text
+		}
+		fmt.Println(text)
+	}
+	fmt.Println()
+}
+
+func openStore(path string, accesses int, seed int64) *db.Store {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		store, err := db.Load(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return store
+	}
+	log.Printf("building in-memory database (%d accesses/trace)...", accesses)
+	store, err := db.Build(db.BuildConfig{
+		AccessesPerTrace: accesses,
+		Seed:             seed,
+		LLC:              sim.Config{Name: "LLC", Sets: 256, Ways: 8, Latency: 26, MSHRs: 64},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return store
+}

@@ -1,0 +1,107 @@
+// Command simulate runs one workload through either an LLC-only trace
+// replay (reporting hit/miss/eviction statistics and per-PC digests) or
+// the full Table 2 hierarchy (reporting IPC) under a chosen replacement
+// policy.
+//
+// Usage:
+//
+//	simulate -workload mcf -policy lru -n 200000
+//	simulate -workload milc -policy mockingjay -n 500000 -machine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cachemind/internal/policy"
+	"cachemind/internal/replay"
+	"cachemind/internal/sim"
+	"cachemind/internal/stats"
+	"cachemind/internal/trace"
+	"cachemind/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simulate: ")
+
+	workloadName := flag.String("workload", "mcf", "workload to replay")
+	policyName := flag.String("policy", "lru", "LLC replacement policy")
+	n := flag.Int("n", 200000, "accesses to simulate")
+	seed := flag.Int64("seed", 42, "trace seed")
+	machine := flag.Bool("machine", false, "run the full hierarchy with the timing model")
+	flag.Parse()
+
+	w, ok := workload.ByName(*workloadName)
+	if !ok {
+		log.Fatalf("unknown workload %q (have %v)", *workloadName, workload.Names())
+	}
+	cfg := sim.DefaultMachineConfig()
+	accs := w.Generate(*n, *seed)
+
+	opts := policy.Options{
+		Seed:   *seed,
+		Oracle: trace.NextUseOracle(accs),
+		Train:  w.Generate(*n/2, *seed+1),
+	}
+	llcPolicy, err := policy.New(*policyName, cfg.LLC, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *machine {
+		m := sim.NewMachine(cfg,
+			policy.MustNew("lru", cfg.L1D, policy.Options{}),
+			policy.MustNew("lru", cfg.L2, policy.Options{}),
+			llcPolicy)
+		res := m.Run(accs)
+		fmt.Printf("workload=%s policy=%s accesses=%d\n", w.Name(), *policyName, res.Accesses)
+		fmt.Printf("instructions=%d cycles=%d IPC=%.4f\n", res.Instructions, res.Cycles, res.IPC())
+		fmt.Printf("hit rates: L1D %.2f%%  L2 %.2f%%  LLC %.2f%%\n",
+			100*res.L1DHitRate, 100*res.L2HitRate, 100*res.LLCHitRate)
+		return
+	}
+
+	res := replay.Run(accs, cfg.LLC, llcPolicy, replay.Options{})
+	s := res.Summary
+	fmt.Printf("workload=%s policy=%s\n", w.Name(), *policyName)
+	fmt.Printf("accesses=%d hits=%d misses=%d (miss rate %s)\n",
+		s.Accesses, s.Hits, s.Misses, stats.Ratio(s.Misses, s.Accesses))
+	fmt.Printf("miss taxonomy: cold=%d capacity=%d conflict=%d\n",
+		s.ColdMisses, s.CapacityMisses, s.ConflictMisses)
+	fmt.Printf("evictions=%d wrong=%d (%s)\n",
+		s.Evictions, s.WrongEvictions, stats.Ratio(s.WrongEvictions, s.Evictions))
+	fmt.Printf("recency/miss correlation: %.2f\n\n", s.RecencyMissCorr)
+
+	// Per-PC digest, as the Cache Statistical Expert reports it.
+	byPC := map[uint64][2]int{} // accesses, misses
+	for _, r := range res.Records {
+		c := byPC[r.PC]
+		c[0]++
+		if !r.Hit {
+			c[1]++
+		}
+		byPC[r.PC] = c
+	}
+	syms := w.Symbols()
+	fmt.Printf("%-10s %-36s %9s %9s %9s\n", "PC", "function", "accesses", "misses", "miss%")
+	for _, pc := range sortedKeys(byPC) {
+		c := byPC[pc]
+		fmt.Printf("0x%-8x %-36s %9d %9d %8.2f%%\n",
+			pc, syms.NameAt(pc), c[0], c[1], stats.Pct(c[1], c[0]))
+	}
+}
+
+func sortedKeys(m map[uint64][2]int) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

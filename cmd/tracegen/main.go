@@ -1,0 +1,73 @@
+// Command tracegen builds CacheMind's external database — eviction-
+// annotated traces for every (workload, policy) pair — and optionally
+// persists it for cmd/cachemind and cmd/benchrun to reuse.
+//
+// Usage:
+//
+//	tracegen -accesses 120000 -seed 42 -out cachemind.db
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"cachemind/internal/db"
+	"cachemind/internal/sim"
+	"cachemind/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	accesses := flag.Int("accesses", 120000, "accesses per (workload, policy) trace")
+	seed := flag.Int64("seed", 42, "generation seed")
+	out := flag.String("out", "", "output path for the gob-encoded store (empty: report only)")
+	workloads := flag.String("workloads", "astar,lbm,mcf", "comma-separated workloads")
+	policies := flag.String("policies", "belady,lru,mlp,parrot", "comma-separated policies")
+	sets := flag.Int("llc-sets", 2048, "LLC sets")
+	ways := flag.Int("llc-ways", 16, "LLC ways")
+	flag.Parse()
+
+	var ws []*workload.Workload
+	for _, name := range strings.Split(*workloads, ",") {
+		w, ok := workload.ByName(strings.TrimSpace(name))
+		if !ok {
+			log.Fatalf("unknown workload %q (have %v)", name, workload.Names())
+		}
+		ws = append(ws, w)
+	}
+
+	cfg := db.BuildConfig{
+		Workloads:        ws,
+		Policies:         strings.Split(*policies, ","),
+		AccessesPerTrace: *accesses,
+		Seed:             *seed,
+		LLC:              sim.Config{Name: "LLC", Sets: *sets, Ways: *ways, Latency: 26, MSHRs: 64},
+	}
+	store, err := db.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, key := range store.Keys() {
+		f, _ := store.FrameByKey(key)
+		fmt.Printf("%-28s %7d records  %s\n", key, f.Len(), f.Metadata)
+	}
+
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer file.Close()
+		if err := store.Save(file); err != nil {
+			log.Fatal(err)
+		}
+		info, _ := file.Stat()
+		fmt.Printf("wrote %s (%d bytes)\n", *out, info.Size())
+	}
+}

@@ -1,0 +1,22 @@
+// Package cachemind is a from-scratch Go reproduction of "CacheMind:
+// From Miss Rates to Why — Natural-Language, Trace-Grounded Reasoning
+// for Cache Replacement" (ASPLOS 2026): a conversational,
+// retrieval-augmented system that answers natural-language questions
+// about cache replacement behaviour, grounded in eviction-annotated
+// simulator traces.
+//
+// The repository contains the entire stack the paper describes or
+// depends on: a trace-driven cache simulator with the paper's Table 2
+// hierarchy, thirteen replacement policies (heuristic, oracle and
+// learned), synthetic SPEC-like workloads, the external trace database,
+// the Sieve and Ranger retrievers plus an embedding-RAG baseline,
+// deterministic behavioural profiles for the five generator backends,
+// the 100-question CacheMindBench suite, and a harness regenerating
+// every table and figure in the paper's evaluation. See README.md for a
+// tour, DESIGN.md for the system inventory and substitution notes, and
+// EXPERIMENTS.md for paper-vs-measured results.
+//
+// The top-level benchmarks (bench_test.go) regenerate each experiment:
+//
+//	go test -bench=. -benchmem
+package cachemind

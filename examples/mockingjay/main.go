@@ -1,0 +1,32 @@
+// Mockingjay example (paper §6.3, Figure 10): group milc PCs by the
+// variance of their reuse distances, train Mockingjay's reuse-distance
+// predictor only on the stable ones, and measure the resulting speedup.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cachemind/internal/experiments"
+	"cachemind/internal/insights"
+	"cachemind/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The Figure 10 session steps, computed directly: mean and
+	// dispersion of reuse distance per PC, grouped by stability.
+	train := workload.MILC.Generate(300000, 242)
+	fmt.Println("Reuse-distance variability per PC (milc):")
+	fmt.Printf("%-10s %12s %12s %8s %8s\n", "PC", "mean", "std", "QCD", "samples")
+	for _, v := range insights.ReuseVariance(train) {
+		fmt.Printf("0x%-8x %12.1f %12.1f %8.3f %8d\n", v.PC, v.Mean, v.Std, v.QCD, v.Samples)
+	}
+	stable := insights.StablePCs(train, 0.3, 100)
+	fmt.Printf("\nStable PCs (QCD <= 0.3): %#x\n\n", stable)
+
+	log.Println("replaying milc under Mockingjay with and without stable-PC training...")
+	lab := experiments.MustNewLab(experiments.LabConfig{AccessesPerTrace: 30000, Seed: 42})
+	fmt.Println(experiments.Mockingjay(lab, 800000))
+}

@@ -1,0 +1,43 @@
+// Set-hotness example (paper §6.3, Figure 13): a chat session lists the
+// cache sets touched by astar, computes per-set hit statistics under
+// Belady and LRU, identifies hot and cold sets, and compares hot-set
+// identity across policies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cachemind/internal/experiments"
+	"cachemind/internal/generator"
+	"cachemind/internal/llm"
+	"cachemind/internal/memory"
+	"cachemind/internal/retriever"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.Println("building lab...")
+	lab := experiments.MustNewLab(experiments.LabConfig{AccessesPerTrace: 40000, Seed: 42})
+
+	profile, _ := llm.ByID("gpt-4o")
+	gen := generator.New(profile)
+	gen.Memory = memory.New(6)
+	ranger := retriever.NewRanger(lab.Store)
+
+	session := []string{
+		"For astar workload and Belady replacement policy, could you list unique cache sets in ascending order?",
+		"For astar under belady, identify 5 hot and 5 cold sets by hit rate.",
+		"For astar workload and LRU replacement policy, identify 5 hot and 5 cold sets by hit rate.",
+	}
+	for i, q := range session {
+		ctx := ranger.Retrieve(q)
+		ans := gen.Answer(fmt.Sprintf("sethot-%d", i), ctx.Parsed.Intent.String(), q, ctx)
+		fmt.Printf("User: %s\nAssistant: %s\n\n", q, ans.Text)
+	}
+
+	// The programmatic analysis with the cross-policy overlap check.
+	fmt.Println(experiments.SetHotness(lab))
+	fmt.Println("Insight: hot sets arise from intrinsic workload locality, so their identity overlaps across")
+	fmt.Println("policies, while Belady amplifies hit concentration by avoiding premature evictions.")
+}

@@ -1,0 +1,238 @@
+// Package bench implements CacheMindBench (paper §4): a verified suite
+// of 100 trace-grounded questions in two tiers — 75 Trace-Grounded (TG)
+// questions scored by exact match against the database, and 25
+// Architectural Reasoning and Analysis (ARA) questions scored on a 0-5
+// rubric. Every question's ground truth is computed directly from the
+// store, independent of the retrieval pipeline under evaluation.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Tier distinguishes the two scoring regimes.
+type Tier int
+
+const (
+	// TierTG is exact-match scored (0/1).
+	TierTG Tier = iota
+	// TierARA is rubric scored (0-5).
+	TierARA
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	if t == TierTG {
+		return "Trace-Grounded"
+	}
+	return "Architectural Reasoning and Analysis"
+}
+
+// Category is one of the eleven benchmark categories of Table 1.
+type Category int
+
+const (
+	CatHitMiss Category = iota
+	CatMissRate
+	CatPolicyComparison
+	CatCount
+	CatArithmetic
+	CatTrick
+	CatConcept
+	CatCodeGen
+	CatPolicyAnalysis
+	CatWorkloadAnalysis
+	CatSemanticAnalysis
+)
+
+// Categories lists all categories in Table 1 order.
+func Categories() []Category {
+	return []Category{
+		CatHitMiss, CatMissRate, CatPolicyComparison, CatCount,
+		CatArithmetic, CatTrick, CatConcept, CatCodeGen,
+		CatPolicyAnalysis, CatWorkloadAnalysis, CatSemanticAnalysis,
+	}
+}
+
+var categoryMeta = map[Category]struct {
+	name  string
+	label string
+	tier  Tier
+	count int
+}{
+	CatHitMiss:          {"hit_miss", "Cache Hit/Miss", TierTG, 30},
+	CatMissRate:         {"miss_rate", "Miss Rate", TierTG, 10},
+	CatPolicyComparison: {"policy_comparison", "Policy Comparison", TierTG, 15},
+	CatCount:            {"count", "Count", TierTG, 5},
+	CatArithmetic:       {"arithmetic", "Arithmetic", TierTG, 10},
+	CatTrick:            {"trick_question", "Trick Question", TierTG, 5},
+	CatConcept:          {"concept", "Microarchitecture Concepts", TierARA, 5},
+	CatCodeGen:          {"code_generation", "Code Generation", TierARA, 5},
+	CatPolicyAnalysis:   {"policy_analysis", "Replacement Policy", TierARA, 5},
+	CatWorkloadAnalysis: {"workload_analysis", "Workload Analysis", TierARA, 5},
+	CatSemanticAnalysis: {"semantic_analysis", "Semantic Analysis", TierARA, 5},
+}
+
+// String returns the category's snake_case key (matching
+// llm.Profile.CompetencePct keys).
+func (c Category) String() string { return categoryMeta[c].name }
+
+// Label returns the display name used in Table 1.
+func (c Category) Label() string { return categoryMeta[c].label }
+
+// Tier returns the category's scoring tier.
+func (c Category) Tier() Tier { return categoryMeta[c].tier }
+
+// PlannedCount returns the Table 1 question count for the category.
+func (c Category) PlannedCount() int { return categoryMeta[c].count }
+
+// Question is one verified benchmark item.
+type Question struct {
+	ID       string
+	Category Category
+	Text     string
+
+	// Exact-match ground truth (TG tier). WantVerdict holds the
+	// canonical answer ("Cache Hit", "TRICK", a policy name, or a
+	// number rendered by the generator conventions); for numeric
+	// answers WantValue/HasValue carry the number and RelTol the
+	// accepted relative error.
+	WantVerdict string
+	WantValue   float64
+	HasValue    bool
+	RelTol      float64
+
+	// Workload/Policy record which trace grounds the question (empty
+	// for concept questions).
+	Workload string
+	Policy   string
+}
+
+// Tier returns the question's scoring tier.
+func (q Question) Tier() Tier { return q.Category.Tier() }
+
+// Suite is a generated benchmark.
+type Suite struct {
+	Questions []Question
+}
+
+// ByCategory returns the questions in one category.
+func (s *Suite) ByCategory(c Category) []Question {
+	var out []Question
+	for _, q := range s.Questions {
+		if q.Category == c {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// TG returns the trace-grounded tier.
+func (s *Suite) TG() []Question { return s.byTier(TierTG) }
+
+// ARA returns the analysis tier.
+func (s *Suite) ARA() []Question { return s.byTier(TierARA) }
+
+func (s *Suite) byTier(t Tier) []Question {
+	var out []Question
+	for _, q := range s.Questions {
+		if q.Tier() == t {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// GradeExact scores a TG answer: 1 for a match, 0 otherwise. Numeric
+// answers match within the question's relative tolerance; verdicts
+// match case-insensitively.
+func GradeExact(q Question, verdict string, value float64, hasValue bool) bool {
+	if q.HasValue {
+		if !hasValue {
+			// Fall back to parsing the verdict string.
+			v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(verdict), "%"), 64)
+			if err != nil {
+				return false
+			}
+			value = v
+		}
+		tol := q.RelTol
+		if tol == 0 {
+			tol = 0.005
+		}
+		denom := math.Abs(q.WantValue)
+		if denom < 1 {
+			denom = 1
+		}
+		return math.Abs(value-q.WantValue)/denom <= tol
+	}
+	return strings.EqualFold(strings.TrimSpace(verdict), q.WantVerdict)
+}
+
+// RubricScore grades an ARA answer 0-5 (paper §4.2: correctness, use of
+// evidence, clarity). One point per element: (1) a substantive
+// conclusion, (2) quantitative evidence, (3) a mechanism linking policy
+// to outcome, (4) code/PC linkage, (5) comparative or structural
+// framing.
+func RubricScore(answerText string) int {
+	t := strings.ToLower(answerText)
+	score := 0
+	if len(strings.TrimSpace(t)) > 40 && strings.Contains(t, "conclusion") ||
+		len(strings.TrimSpace(t)) > 120 {
+		score++
+	}
+	if containsNumber(t) {
+		score++
+	}
+	if containsAny(t, "reuse", "recency", "scan", "evict", "locality", "working set", "re-reference") &&
+		containsAny(t, "mechanism", "because", "interact", "preserv", "order") {
+		score++
+	}
+	if containsAny(t, "code linkage", "function", "loop", "0x4", "assembly", "source") {
+		score++
+	}
+	if containsAny(t, "comparison", " vs ", "compared", "whereas", "while the other") {
+		score++
+	}
+	return score
+}
+
+func containsNumber(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= '0' && s[i] <= '9' {
+			// Exclude hex PCs (counted as code linkage, not evidence):
+			// require a digit not preceded by "0x" within 4 bytes.
+			if i >= 2 && s[i-1] == 'x' && s[i-2] == '0' {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func containsAny(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if strings.Contains(s, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// shuffledIndices returns a deterministic permutation of [0, n).
+func shuffledIndices(n int, rng *rand.Rand) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	return idx
+}
+
+// qid builds a stable question identifier.
+func qid(c Category, i int) string { return fmt.Sprintf("%s-%02d", c, i) }

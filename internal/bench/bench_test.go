@@ -1,0 +1,353 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"cachemind/internal/generator"
+	"cachemind/internal/llm"
+	"cachemind/internal/queryir"
+	"cachemind/internal/retriever"
+	"cachemind/internal/testfix"
+)
+
+func suite(t *testing.T) *Suite {
+	t.Helper()
+	s, err := Generate(testfix.Store(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSuiteComposition(t *testing.T) {
+	s := suite(t)
+	if len(s.Questions) != 100 {
+		t.Fatalf("suite has %d questions, want 100", len(s.Questions))
+	}
+	for _, c := range Categories() {
+		if got := len(s.ByCategory(c)); got != c.PlannedCount() {
+			t.Errorf("%s: %d questions, want %d", c.Label(), got, c.PlannedCount())
+		}
+	}
+	if len(s.TG()) != 75 || len(s.ARA()) != 25 {
+		t.Errorf("tiers = %d TG / %d ARA", len(s.TG()), len(s.ARA()))
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	a := MustGenerate(testfix.Store(), 7)
+	b := MustGenerate(testfix.Store(), 7)
+	for i := range a.Questions {
+		if a.Questions[i] != b.Questions[i] {
+			t.Fatalf("question %d differs between identical seeds", i)
+		}
+	}
+	c := MustGenerate(testfix.Store(), 8)
+	same := 0
+	for i := range a.Questions {
+		if a.Questions[i].Text == c.Questions[i].Text {
+			same++
+		}
+	}
+	if same == len(a.Questions) {
+		t.Error("different seeds should vary sampled questions")
+	}
+}
+
+func TestQuestionIDsUnique(t *testing.T) {
+	s := suite(t)
+	seen := map[string]bool{}
+	for _, q := range s.Questions {
+		if seen[q.ID] {
+			t.Errorf("duplicate ID %s", q.ID)
+		}
+		seen[q.ID] = true
+	}
+}
+
+// Every TG ground truth must verify against the store — the suite's
+// defining property.
+func TestGroundTruthsVerified(t *testing.T) {
+	s := suite(t)
+	store := testfix.Store()
+	for _, q := range s.ByCategory(CatHitMiss) {
+		f, ok := store.Frame(q.Workload, q.Policy)
+		if !ok {
+			t.Fatalf("%s: bad frame", q.ID)
+		}
+		// Re-extract the PC/addr from the question and verify.
+		var pc, addr uint64
+		if n, err := fscanHex(q.Text, &pc, &addr); n != 2 || err != nil {
+			t.Fatalf("%s: cannot parse symbols from %q", q.ID, q.Text)
+		}
+		verdict, ok := firstOutcome(f, pc, addr)
+		if !ok || verdict != q.WantVerdict {
+			t.Errorf("%s: ground truth %q does not verify (got %q)", q.ID, q.WantVerdict, verdict)
+		}
+	}
+	for _, q := range s.ByCategory(CatCount) {
+		f, _ := store.Frame(q.Workload, q.Policy)
+		var pc uint64
+		fscanHex(q.Text, &pc)
+		if int(q.WantValue) != len(f.RowsForPC(pc)) {
+			t.Errorf("%s: count ground truth %v does not verify", q.ID, q.WantValue)
+		}
+	}
+}
+
+// fscanHex extracts up to len(dst) hex literals from text.
+func fscanHex(text string, dst ...*uint64) (int, error) {
+	n := 0
+	for i := 0; i+2 < len(text) && n < len(dst); i++ {
+		if text[i] == '0' && text[i+1] == 'x' {
+			v := uint64(0)
+			j := i + 2
+			for ; j < len(text); j++ {
+				c := text[j]
+				switch {
+				case c >= '0' && c <= '9':
+					v = v*16 + uint64(c-'0')
+				case c >= 'a' && c <= 'f':
+					v = v*16 + uint64(c-'a'+10)
+				default:
+					goto done
+				}
+			}
+		done:
+			*dst[n] = v
+			n++
+			i = j
+		}
+	}
+	return n, nil
+}
+
+func TestTrickQuestionsHaveInvalidPremise(t *testing.T) {
+	s := suite(t)
+	store := testfix.Store()
+	for _, q := range s.ByCategory(CatTrick) {
+		var pc uint64
+		fscanHex(q.Text, &pc)
+		f, ok := store.Frame(q.Workload, q.Policy)
+		if !ok {
+			t.Fatalf("%s: missing frame", q.ID)
+		}
+		if f.HasPC(pc) {
+			t.Errorf("%s: premise is actually valid (PC %#x in %s)", q.ID, pc, q.Workload)
+		}
+		if q.WantVerdict != "TRICK" {
+			t.Errorf("%s: verdict %q", q.ID, q.WantVerdict)
+		}
+	}
+}
+
+func TestPolicyComparisonGroundTruth(t *testing.T) {
+	s := suite(t)
+	store := testfix.Store()
+	strict := 0
+	for _, q := range s.ByCategory(CatPolicyComparison) {
+		var pc uint64
+		fscanHex(q.Text, &pc)
+		best, bestRate, second := "", 200.0, 200.0
+		for _, polName := range store.Policies() {
+			f, _ := store.Frame(q.Workload, polName)
+			st, ok := f.StatsForPC(pc)
+			if !ok {
+				t.Fatalf("%s: PC missing under %s", q.ID, polName)
+			}
+			if st.MissRatePct < bestRate {
+				second = bestRate
+				best, bestRate = polName, st.MissRatePct
+			} else if st.MissRatePct < second {
+				second = st.MissRatePct
+			}
+		}
+		if best != q.WantVerdict {
+			t.Errorf("%s: ground truth %q, recomputed %q", q.ID, q.WantVerdict, best)
+		}
+		if bestRate < second {
+			strict++
+		}
+	}
+	if strict == 0 {
+		t.Error("no policy-comparison question has a strict winner; store has no capacity pressure")
+	}
+}
+
+func TestGradeExact(t *testing.T) {
+	verdictQ := Question{WantVerdict: "Cache Hit"}
+	if !GradeExact(verdictQ, "cache hit", 0, false) {
+		t.Error("case-insensitive verdict should match")
+	}
+	if GradeExact(verdictQ, "Cache Miss", 0, false) {
+		t.Error("wrong verdict should not match")
+	}
+	numQ := Question{WantValue: 50, HasValue: true, RelTol: 0.01}
+	if !GradeExact(numQ, "", 50.3, true) {
+		t.Error("within-tolerance value should match")
+	}
+	if GradeExact(numQ, "", 51, true) {
+		t.Error("out-of-tolerance value should not match")
+	}
+	if !GradeExact(numQ, "49.8%", 0, false) {
+		t.Error("verdict-string number should parse and match")
+	}
+	countQ := Question{WantValue: 100, HasValue: true, RelTol: 0}
+	if GradeExact(countQ, "", 100.51, true) {
+		t.Error("exact count must not tolerate drift")
+	}
+	if !GradeExact(countQ, "", 100, true) {
+		t.Error("exact count should match")
+	}
+}
+
+func TestRubricScore(t *testing.T) {
+	full := "Conclusion: the policies diverge because reuse ordering differs.\n" +
+		"Evidence: 83.91, 12.2, 44\n" +
+		"Mechanism: recency eviction interacts with reuse distances because scans push lines out.\n" +
+		"Code linkage: the behaviour maps to primal_bea_mpp.\n" +
+		"Comparison: lru at 80.1% vs belady at 60.2%"
+	if got := RubricScore(full); got != 5 {
+		t.Errorf("full answer scored %d, want 5", got)
+	}
+	if got := RubricScore("no idea"); got > 1 {
+		t.Errorf("vacuous answer scored %d", got)
+	}
+	if got := RubricScore(""); got != 0 {
+		t.Errorf("empty answer scored %d", got)
+	}
+}
+
+func strongPipeline() Pipeline {
+	comp := map[string]float64{}
+	for _, c := range Categories() {
+		comp[c.String()] = 100
+	}
+	return Pipeline{
+		TGRetriever:  retriever.NewRanger(testfix.Store()),
+		ARARetriever: retriever.NewSieve(testfix.Store()),
+		Profile: &llm.Profile{ID: "oracle", DisplayName: "oracle",
+			CompetencePct: comp, MediumFactor: 1, LowFactor: 1, Seed: 1},
+	}
+}
+
+// With a perfect generator, accuracy measures the retrieval pipeline:
+// hit/miss, miss-rate, count and arithmetic should be near-perfect with
+// Ranger; trick questions should all be rejected.
+func TestEvaluateWithOracleGenerator(t *testing.T) {
+	s := suite(t)
+	rep := Evaluate(s, strongPipeline())
+	if len(rep.Results) != 100 {
+		t.Fatalf("results = %d", len(rep.Results))
+	}
+	checks := []struct {
+		cat Category
+		min float64
+	}{
+		{CatHitMiss, 95},
+		{CatMissRate, 95},
+		{CatCount, 95},
+		{CatArithmetic, 95},
+		{CatTrick, 95},
+		{CatPolicyComparison, 80},
+	}
+	for _, c := range checks {
+		if got := rep.PerCat[c.cat].Pct(); got < c.min {
+			t.Errorf("%s with oracle generator = %.1f%%, want >= %.0f%%", c.cat.Label(), got, c.min)
+		}
+	}
+	if rep.TGAccuracyPct() < 90 {
+		t.Errorf("oracle TG accuracy = %.1f%%", rep.TGAccuracyPct())
+	}
+	if rep.ARAPct() < 60 {
+		t.Errorf("oracle ARA = %.1f%%", rep.ARAPct())
+	}
+}
+
+// A hopeless generator grounds nothing: TG accuracy must collapse even
+// though retrieval is perfect — the generator matters.
+func TestEvaluateWithHopelessGenerator(t *testing.T) {
+	s := suite(t)
+	p := strongPipeline()
+	for k := range p.Profile.CompetencePct {
+		p.Profile.CompetencePct[k] = 0
+	}
+	p.Profile.ID = "hopeless"
+	rep := Evaluate(s, p)
+	if got := rep.TGAccuracyPct(); got > 20 {
+		t.Errorf("hopeless TG accuracy = %.1f%%, expected collapse", got)
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	s := suite(t)
+	p, _ := llm.ByID("gpt-4o")
+	pipe := Pipeline{
+		TGRetriever:  retriever.NewRanger(testfix.Store()),
+		ARARetriever: retriever.NewSieve(testfix.Store()),
+		Profile:      p,
+	}
+	a := Evaluate(s, pipe)
+	b := Evaluate(s, pipe)
+	if a.WeightedTotalPct() != b.WeightedTotalPct() {
+		t.Error("evaluation not deterministic")
+	}
+	for i := range a.Results {
+		if a.Results[i].Correct != b.Results[i].Correct || a.Results[i].Rubric != b.Results[i].Rubric {
+			t.Fatalf("result %d differs", i)
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	s := suite(t)
+	rep := Evaluate(s, strongPipeline())
+	out := rep.String()
+	for _, want := range []string{"Cache Hit/Miss", "Weighted total", "TG tier", "ARA tier"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	hist := rep.ScoreHistogram()
+	total := 0
+	for _, n := range hist {
+		total += n
+	}
+	if total != 25 {
+		t.Errorf("histogram covers %d ARA questions, want 25", total)
+	}
+}
+
+func TestQuestionResultPoints(t *testing.T) {
+	tg := QuestionResult{Question: Question{Category: CatHitMiss}, Correct: true}
+	if tg.Points() != 1 {
+		t.Error("correct TG = 1 point")
+	}
+	ara := QuestionResult{Question: Question{Category: CatConcept}, Rubric: 3}
+	if ara.Points() != 0.6 {
+		t.Errorf("ARA 3/5 = %v points", ara.Points())
+	}
+}
+
+// The generator conventions and the bench ground-truth conventions must
+// agree on hit/miss phrasing end to end.
+func TestHitMissEndToEndAgreement(t *testing.T) {
+	s := suite(t)
+	gen := generator.New(strongPipeline().Profile)
+	r := retriever.NewRanger(testfix.Store())
+	wrong := 0
+	for _, q := range s.ByCategory(CatHitMiss) {
+		ctx := r.Retrieve(q.Text)
+		ans := gen.Answer(q.ID, q.Category.String(), q.Text, ctx)
+		if !GradeExact(q, ans.Verdict, ans.Value, ans.HasValue) {
+			wrong++
+			t.Logf("%s: want %q got %q", q.ID, q.WantVerdict, ans.Verdict)
+		}
+	}
+	if wrong > 1 {
+		t.Errorf("%d/30 hit-miss disagreements with oracle generator", wrong)
+	}
+}
+
+var _ = queryir.PCRef // keep import for debugging helpers

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cachemind/internal/generator"
+	"cachemind/internal/llm"
+	"cachemind/internal/retriever"
+)
+
+// QuestionResult is one graded question.
+type QuestionResult struct {
+	Question Question
+	// Quality is the retrieval context quality the generator saw.
+	Quality llm.Quality
+	// Correct is the exact-match outcome for TG questions.
+	Correct bool
+	// Rubric is the 0-5 score for ARA questions.
+	Rubric int
+	// Answer is the generated response (for inspection).
+	Answer generator.Answer
+}
+
+// Points returns the result's contribution on a 0-1 scale: 0/1 for TG,
+// score/5 for ARA.
+func (r QuestionResult) Points() float64 {
+	if r.Question.Tier() == TierTG {
+		if r.Correct {
+			return 1
+		}
+		return 0
+	}
+	return float64(r.Rubric) / 5
+}
+
+// CategoryScore aggregates one category.
+type CategoryScore struct {
+	Category Category
+	Total    int
+	// Correct counts exact matches (TG) or rubric points earned (ARA).
+	Correct   int
+	RubricMax int // 5*Total for ARA, 0 for TG
+}
+
+// Pct returns the category's accuracy percentage.
+func (c CategoryScore) Pct() float64 {
+	if c.Category.Tier() == TierARA {
+		if c.RubricMax == 0 {
+			return 0
+		}
+		return 100 * float64(c.Correct) / float64(c.RubricMax)
+	}
+	if c.Total == 0 {
+		return 0
+	}
+	return 100 * float64(c.Correct) / float64(c.Total)
+}
+
+// Report is one full benchmark evaluation.
+type Report struct {
+	Model     string
+	Retriever string
+	Results   []QuestionResult
+	PerCat    map[Category]*CategoryScore
+}
+
+// TGAccuracyPct returns exact-match accuracy over the TG tier.
+func (r *Report) TGAccuracyPct() float64 {
+	correct, total := 0, 0
+	for _, res := range r.Results {
+		if res.Question.Tier() != TierTG {
+			continue
+		}
+		total++
+		if res.Correct {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(correct) / float64(total)
+}
+
+// ARAPct returns the rubric percentage over the ARA tier.
+func (r *Report) ARAPct() float64 {
+	points, max := 0, 0
+	for _, res := range r.Results {
+		if res.Question.Tier() != TierARA {
+			continue
+		}
+		points += res.Rubric
+		max += 5
+	}
+	if max == 0 {
+		return 0
+	}
+	return 100 * float64(points) / float64(max)
+}
+
+// WeightedTotalPct returns the paper's weighted total: every question
+// contributes equally (TG 0/1, ARA score/5).
+func (r *Report) WeightedTotalPct() float64 {
+	var sum float64
+	for _, res := range r.Results {
+		sum += res.Points()
+	}
+	if len(r.Results) == 0 {
+		return 0
+	}
+	return 100 * sum / float64(len(r.Results))
+}
+
+// ScoreHistogram returns the ARA score distribution (index = score 0-5)
+// — the paper's Figure 7 panels.
+func (r *Report) ScoreHistogram() [6]int {
+	var h [6]int
+	for _, res := range r.Results {
+		if res.Question.Tier() == TierARA {
+			h[res.Rubric]++
+		}
+	}
+	return h
+}
+
+// Pipeline couples a retriever with a generator profile for evaluation.
+type Pipeline struct {
+	// TGRetriever answers the trace-grounded tier; ARARetriever the
+	// analysis tier. CacheMind's default configuration pairs Ranger
+	// with TG (precise program execution) and Sieve with ARA (rich
+	// narrative bundles) — the pairing under which the paper's abstract
+	// reports 89.33% TG / 84.80% ARA.
+	TGRetriever  retriever.Retriever
+	ARARetriever retriever.Retriever
+	Profile      *llm.Profile
+	// Shots are in-context examples passed to the generator (the
+	// one/few-shot prompting ablation).
+	Shots []llm.Example
+}
+
+// Evaluate runs the suite through the pipeline and grades every
+// question.
+func Evaluate(suite *Suite, p Pipeline) *Report {
+	rep := &Report{
+		Model:     p.Profile.ID,
+		Retriever: p.TGRetriever.Name(),
+		PerCat:    map[Category]*CategoryScore{},
+	}
+	for _, c := range Categories() {
+		rep.PerCat[c] = &CategoryScore{Category: c}
+	}
+	gen := generator.New(p.Profile)
+	gen.Shots = p.Shots
+
+	for _, q := range suite.Questions {
+		var res QuestionResult
+		res.Question = q
+		if q.Tier() == TierTG {
+			ctx := p.TGRetriever.Retrieve(q.Text)
+			ans := gen.Answer(q.ID, q.Category.String(), q.Text, ctx)
+			res.Quality = ctx.Quality
+			res.Answer = ans
+			res.Correct = GradeExact(q, ans.Verdict, ans.Value, ans.HasValue)
+			cs := rep.PerCat[q.Category]
+			cs.Total++
+			if res.Correct {
+				cs.Correct++
+			}
+		} else {
+			ctx := p.ARARetriever.Retrieve(q.Text)
+			ans := gen.AnalysisAnswer(q.ID, q.Category.String(), q.Text, ctx)
+			res.Quality = ctx.Quality
+			res.Answer = ans
+			res.Rubric = RubricScore(ans.Text)
+			cs := rep.PerCat[q.Category]
+			cs.Total++
+			cs.Correct += res.Rubric
+			cs.RubricMax += 5
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
+}
+
+// String renders the report as a per-category table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "model=%s retriever=%s\n", r.Model, r.Retriever)
+	cats := Categories()
+	sort.SliceStable(cats, func(i, j int) bool { return i < j })
+	for _, c := range cats {
+		cs := r.PerCat[c]
+		fmt.Fprintf(&b, "  %-28s %6.1f%%  (n=%d)\n", c.Label(), cs.Pct(), cs.Total)
+	}
+	fmt.Fprintf(&b, "  %-28s %6.1f%%\n", "TG tier", r.TGAccuracyPct())
+	fmt.Fprintf(&b, "  %-28s %6.1f%%\n", "ARA tier", r.ARAPct())
+	fmt.Fprintf(&b, "  %-28s %6.1f%%\n", "Weighted total", r.WeightedTotalPct())
+	return b.String()
+}

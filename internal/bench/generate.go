@@ -1,0 +1,419 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cachemind/internal/db"
+	"cachemind/internal/queryir"
+)
+
+// Generate builds the 100-question suite from a store, deterministically
+// from seed. Ground truths are computed directly against the frames (the
+// "single source of truth" requirement of §4); generation never touches
+// the retrieval pipeline.
+func Generate(store *db.Store, seed int64) (*Suite, error) {
+	g := &suiteGen{store: store, rng: rand.New(rand.NewSource(seed))}
+	var qs []Question
+	for _, build := range []func() ([]Question, error){
+		g.hitMiss, g.missRate, g.policyComparison, g.count, g.arithmetic,
+		g.trick, g.concept, g.codeGen, g.policyAnalysis, g.workloadAnalysis,
+		g.semanticAnalysis,
+	} {
+		batch, err := build()
+		if err != nil {
+			return nil, err
+		}
+		qs = append(qs, batch...)
+	}
+	return &Suite{Questions: qs}, nil
+}
+
+// MustGenerate panics on generation failure (static configurations).
+func MustGenerate(store *db.Store, seed int64) *Suite {
+	s, err := Generate(store, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type suiteGen struct {
+	store *db.Store
+	rng   *rand.Rand
+}
+
+// frameCycle yields (workload, policy) pairs round-robin over the store.
+func (g *suiteGen) frameCycle(n int) [][2]string {
+	ws, ps := g.store.Workloads(), g.store.Policies()
+	out := make([][2]string, 0, n)
+	for i := 0; len(out) < n; i++ {
+		out = append(out, [2]string{ws[i%len(ws)], ps[(i/len(ws))%len(ps)]})
+	}
+	return out
+}
+
+// firstOutcome returns the outcome of the first access matching (pc,
+// addr) — the event both the bench ground truth and the retrieval
+// pipeline's row ordering agree on.
+func firstOutcome(f *db.Frame, pc, addr uint64) (string, bool) {
+	rows := f.RowsForPCAddr(pc, addr)
+	if len(rows) == 0 {
+		return "", false
+	}
+	if f.Record(int(rows[0])).Hit {
+		return "Cache Hit", true
+	}
+	return "Cache Miss", true
+}
+
+func (g *suiteGen) hitMiss() ([]Question, error) {
+	const n = 30
+	out := make([]Question, 0, n)
+	for i, wp := range g.frameCycle(n) {
+		f, ok := g.store.Frame(wp[0], wp[1])
+		if !ok {
+			return nil, fmt.Errorf("bench: missing frame %v", wp)
+		}
+		rec := f.Record(g.rng.Intn(f.Len()))
+		verdict, _ := firstOutcome(f, rec.PC, rec.Addr)
+		out = append(out, Question{
+			ID:       qid(CatHitMiss, i),
+			Category: CatHitMiss,
+			Text: fmt.Sprintf("Does the memory access with PC %s and address 0x%x result in a cache hit or cache miss for the %s workload and %s replacement policy?",
+				queryir.PCRef(rec.PC), rec.Addr, wp[0], wp[1]),
+			WantVerdict: verdict,
+			Workload:    wp[0],
+			Policy:      wp[1],
+		})
+	}
+	return out, nil
+}
+
+// samplePC picks a PC from a frame with at least minAccesses samples.
+func (g *suiteGen) samplePC(f *db.Frame, minAccesses int) uint64 {
+	pcs := f.PCs()
+	for tries := 0; tries < 64; tries++ {
+		pc := pcs[g.rng.Intn(len(pcs))]
+		if len(f.RowsForPC(pc)) >= minAccesses {
+			return pc
+		}
+	}
+	return pcs[0]
+}
+
+func (g *suiteGen) missRate() ([]Question, error) {
+	const n = 10
+	out := make([]Question, 0, n)
+	for i, wp := range g.frameCycle(n) {
+		f, _ := g.store.Frame(wp[0], wp[1])
+		pc := g.samplePC(f, 50)
+		st, _ := f.StatsForPC(pc)
+		out = append(out, Question{
+			ID:       qid(CatMissRate, i),
+			Category: CatMissRate,
+			Text: fmt.Sprintf("What is the miss rate for PC %s in the %s workload with the %s replacement policy?",
+				queryir.PCRef(pc), wp[0], wp[1]),
+			WantVerdict: fmt.Sprintf("%.2f%%", st.MissRatePct),
+			WantValue:   st.MissRatePct,
+			HasValue:    true,
+			RelTol:      0.005,
+			Workload:    wp[0],
+			Policy:      wp[1],
+		})
+	}
+	return out, nil
+}
+
+func (g *suiteGen) policyComparison() ([]Question, error) {
+	const n = 15
+	ws := g.store.Workloads()
+	policies := g.store.Policies()
+
+	// Enumerate every (workload, PC) candidate once, preferring PCs
+	// with a strict per-PC winner; fall back to deterministic-tiebreak
+	// winners (alphabetically first among tied minima — the same
+	// tiebreak the answer pipeline applies) when strict winners run
+	// out.
+	type cand struct {
+		w      string
+		pc     uint64
+		winner string
+		strict bool
+	}
+	var strictCands, tieCands []cand
+	for _, w := range ws {
+		f0, _ := g.store.Frame(w, policies[0])
+		for _, pc := range f0.PCs() {
+			winner, bestRate, secondRate := "", 200.0, 200.0
+			complete := true
+			for _, p := range policies { // sorted order = tiebreak order
+				f, _ := g.store.Frame(w, p)
+				st, ok := f.StatsForPC(pc)
+				if !ok {
+					complete = false
+					break
+				}
+				if st.MissRatePct < bestRate {
+					secondRate = bestRate
+					winner, bestRate = p, st.MissRatePct
+				} else if st.MissRatePct < secondRate {
+					secondRate = st.MissRatePct
+				}
+			}
+			if !complete {
+				continue
+			}
+			c := cand{w: w, pc: pc, winner: winner, strict: bestRate < secondRate}
+			if c.strict {
+				strictCands = append(strictCands, c)
+			} else {
+				tieCands = append(tieCands, c)
+			}
+		}
+	}
+	pool := append(strictCands, tieCands...)
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("bench: no policy-comparison candidates in store")
+	}
+	// Shuffle within the strict prefix to vary questions across seeds
+	// while keeping strict winners preferred.
+	if len(strictCands) > 1 {
+		perm := shuffledIndices(len(strictCands), g.rng)
+		shuffled := make([]cand, len(strictCands))
+		for i, j := range perm {
+			shuffled[i] = strictCands[j]
+		}
+		copy(pool, shuffled)
+	}
+	out := make([]Question, 0, n)
+	for i := 0; len(out) < n; i++ {
+		c := pool[i%len(pool)]
+		out = append(out, Question{
+			ID:       qid(CatPolicyComparison, len(out)),
+			Category: CatPolicyComparison,
+			Text: fmt.Sprintf("Which policy has the lowest miss rate for PC %s in %s?",
+				queryir.PCRef(c.pc), c.w),
+			WantVerdict: c.winner,
+			Workload:    c.w,
+		})
+	}
+	return out, nil
+}
+
+func (g *suiteGen) count() ([]Question, error) {
+	const n = 5
+	out := make([]Question, 0, n)
+	for i, wp := range g.frameCycle(n) {
+		f, _ := g.store.Frame(wp[0], wp[1])
+		pc := g.samplePC(f, 10)
+		cnt := len(f.RowsForPC(pc))
+		out = append(out, Question{
+			ID:       qid(CatCount, i),
+			Category: CatCount,
+			Text: fmt.Sprintf("How many times did PC %s appear in %s under %s?",
+				queryir.PCRef(pc), wp[0], wp[1]),
+			WantVerdict: fmt.Sprintf("%d", cnt),
+			WantValue:   float64(cnt),
+			HasValue:    true,
+			RelTol:      0, // counting is exact
+			Workload:    wp[0],
+			Policy:      wp[1],
+		})
+	}
+	return out, nil
+}
+
+func (g *suiteGen) arithmetic() ([]Question, error) {
+	const n = 10
+	out := make([]Question, 0, n)
+	for i, wp := range g.frameCycle(n) {
+		f, _ := g.store.Frame(wp[0], wp[1])
+		pc := g.samplePC(f, 50)
+		field := db.ColAccessReuse
+		fieldText := "accessed reuse distance"
+		if i%2 == 1 {
+			field = db.ColEvictedReuse
+			fieldText = "evicted reuse distance"
+		}
+		res, err := queryir.Execute(g.store, queryir.Query{
+			Workload: wp[0], Policy: wp[1], PC: &pc,
+			Agg: queryir.AggMean, Field: field,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: arithmetic ground truth: %w", err)
+		}
+		out = append(out, Question{
+			ID:       qid(CatArithmetic, i),
+			Category: CatArithmetic,
+			Text: fmt.Sprintf("What is the average %s of PC %s for the %s workload with %s?",
+				fieldText, queryir.PCRef(pc), wp[0], wp[1]),
+			WantVerdict: fmt.Sprintf("%.2f", res.Scalar),
+			WantValue:   res.Scalar,
+			HasValue:    true,
+			RelTol:      0.01,
+			Workload:    wp[0],
+			Policy:      wp[1],
+		})
+	}
+	return out, nil
+}
+
+func (g *suiteGen) trick() ([]Question, error) {
+	const n = 5
+	ws := g.store.Workloads()
+	policies := g.store.Policies()
+	out := make([]Question, 0, n)
+	for i := 0; len(out) < n; i++ {
+		// A PC exclusive to one workload, asked about another.
+		src := ws[i%len(ws)]
+		dst := ws[(i+1)%len(ws)]
+		fSrc, _ := g.store.Frame(src, policies[0])
+		pcs := fSrc.PCs()
+		pc := pcs[g.rng.Intn(len(pcs))]
+		if owners := g.store.WorkloadsWithPC(pc); len(owners) != 1 {
+			continue // shared PC: not a valid trick premise
+		}
+		rec := fSrc.Record(int(fSrc.RowsForPC(pc)[g.rng.Intn(len(fSrc.RowsForPC(pc)))]))
+		out = append(out, Question{
+			ID:       qid(CatTrick, len(out)),
+			Category: CatTrick,
+			Text: fmt.Sprintf("Does PC %s in %s access address 0x%x under %s? Answer hit or miss.",
+				queryir.PCRef(pc), dst, rec.Addr, policies[(i+1)%len(policies)]),
+			WantVerdict: "TRICK",
+			Workload:    dst,
+			Policy:      policies[(i+1)%len(policies)],
+		})
+	}
+	return out, nil
+}
+
+func (g *suiteGen) concept() ([]Question, error) {
+	texts := []string{
+		"How does increasing cache size affect miss rate? Compare increasing the number of sets vs the number of ways.",
+		"Given a 2 MB LLC with 2048 sets and 64-byte lines, how is a memory address decomposed into offset, index bits and tag bits?",
+		"Why do scanning access patterns defeat LRU replacement, and what property must a policy have to resist them?",
+		"What is the difference between a capacity miss and a conflict miss, and how does associativity affect each?",
+		"Why is Belady's optimal replacement not implementable in hardware, and what do practical policies approximate instead?",
+	}
+	return g.fixedARA(CatConcept, texts), nil
+}
+
+func (g *suiteGen) codeGen() ([]Question, error) {
+	out := make([]Question, 0, 5)
+	for i, wp := range g.frameCycle(5) {
+		f, _ := g.store.Frame(wp[0], wp[1])
+		rec := f.Record(g.rng.Intn(f.Len()))
+		out = append(out, Question{
+			ID:       qid(CatCodeGen, i),
+			Category: CatCodeGen,
+			Text: fmt.Sprintf("Write code to compute the number of cache hits for PC %s and address 0x%x in %s under %s.",
+				queryir.PCRef(rec.PC), rec.Addr, wp[0], wp[1]),
+			Workload: wp[0],
+			Policy:   wp[1],
+		})
+	}
+	return out, nil
+}
+
+func (g *suiteGen) policyAnalysis() ([]Question, error) {
+	// PCs where Belady strictly beats LRU per PC — "why does Belady
+	// outperform LRU on PC X?" has a real answer.
+	out := make([]Question, 0, 5)
+	ws := g.store.Workloads()
+	for _, w := range ws {
+		bel, _ := g.store.Frame(w, "belady")
+		lru, _ := g.store.Frame(w, "lru")
+		if bel == nil || lru == nil {
+			continue
+		}
+		for _, pc := range bel.PCs() {
+			if len(out) == 5 {
+				break
+			}
+			bst, _ := bel.StatsForPC(pc)
+			lst, ok := lru.StatsForPC(pc)
+			if ok && bst.HitRatePct > lst.HitRatePct+5 {
+				out = append(out, Question{
+					ID:       qid(CatPolicyAnalysis, len(out)),
+					Category: CatPolicyAnalysis,
+					Text: fmt.Sprintf("Why does Belady outperform LRU on PC %s in %s?",
+						queryir.PCRef(pc), w),
+					Workload: w,
+				})
+			}
+		}
+	}
+	for len(out) < 5 {
+		// Fallback: whole-workload phrasing.
+		w := ws[len(out)%len(ws)]
+		out = append(out, Question{
+			ID:       qid(CatPolicyAnalysis, len(out)),
+			Category: CatPolicyAnalysis,
+			Text:     fmt.Sprintf("Why does Belady outperform LRU on the %s workload?", w),
+			Workload: w,
+		})
+	}
+	return out, nil
+}
+
+func (g *suiteGen) workloadAnalysis() ([]Question, error) {
+	policies := g.store.Policies()
+	texts := make([]Question, 0, 5)
+	for i := 0; i < 5; i++ {
+		p := policies[i%len(policies)]
+		texts = append(texts, Question{
+			ID:       qid(CatWorkloadAnalysis, i),
+			Category: CatWorkloadAnalysis,
+			Text: fmt.Sprintf("Which workload has the highest cache miss rate under %s, and what access-pattern property explains it?",
+				p),
+			Policy: p,
+		})
+	}
+	return texts, nil
+}
+
+func (g *suiteGen) semanticAnalysis() ([]Question, error) {
+	// PCs with notably high or low hit rates whose behaviour ties to
+	// their code context.
+	out := make([]Question, 0, 5)
+	for _, wp := range g.frameCycle(12) {
+		if len(out) == 5 {
+			break
+		}
+		f, _ := g.store.Frame(wp[0], wp[1])
+		for _, st := range f.AllPCStats() {
+			if st.Accesses < 100 {
+				continue
+			}
+			if st.HitRatePct > 80 {
+				out = append(out, Question{
+					ID:       qid(CatSemanticAnalysis, len(out)),
+					Category: CatSemanticAnalysis,
+					Text: fmt.Sprintf("Why does PC %s have a high hit rate in %s under %s? Examine the assembly context and analyze.",
+						queryir.PCRef(st.PC), wp[0], wp[1]),
+					Workload: wp[0],
+					Policy:   wp[1],
+				})
+				break
+			}
+		}
+	}
+	for len(out) < 5 {
+		out = append(out, Question{
+			ID:       qid(CatSemanticAnalysis, len(out)),
+			Category: CatSemanticAnalysis,
+			Text:     "Why does the dominant streaming PC in lbm have a near-zero hit rate? Examine the assembly context and analyze.",
+			Workload: "lbm",
+		})
+	}
+	return out, nil
+}
+
+func (g *suiteGen) fixedARA(c Category, texts []string) []Question {
+	out := make([]Question, len(texts))
+	for i, t := range texts {
+		out[i] = Question{ID: qid(c, i), Category: c, Text: t}
+	}
+	return out
+}

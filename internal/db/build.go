@@ -1,0 +1,103 @@
+package db
+
+import (
+	"fmt"
+
+	"cachemind/internal/policy"
+	"cachemind/internal/replay"
+	"cachemind/internal/sim"
+	"cachemind/internal/trace"
+	"cachemind/internal/workload"
+)
+
+// BuildConfig parameterizes database construction. Every policy replays
+// the *same* access stream per workload (same seed), so cross-policy
+// questions compare identical traffic — the property the paper's
+// policy-comparison tier depends on.
+type BuildConfig struct {
+	// Workloads to trace; defaults to the paper's trio (astar, lbm, mcf).
+	Workloads []*workload.Workload
+	// Policies to replay; defaults to the paper's four (belady, lru,
+	// mlp, parrot).
+	Policies []string
+	// AccessesPerTrace is the stream length per (workload, policy);
+	// defaults to 120000.
+	AccessesPerTrace int
+	// Seed drives workload generation and learned-policy training.
+	Seed int64
+	// LLC geometry; defaults to Table 2 (2048 sets, 16 ways).
+	LLC sim.Config
+	// SnapshotEvery samples heavyweight record fields (default 64).
+	SnapshotEvery int
+}
+
+func (c BuildConfig) withDefaults() BuildConfig {
+	if len(c.Workloads) == 0 {
+		c.Workloads = workload.Core()
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = policy.Core()
+	}
+	if c.AccessesPerTrace <= 0 {
+		c.AccessesPerTrace = 120000
+	}
+	if c.LLC.Sets == 0 {
+		c.LLC = sim.DefaultMachineConfig().LLC
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 64
+	}
+	return c
+}
+
+// Build generates traces, replays them under every policy and assembles
+// the store. Deterministic for a fixed config.
+func Build(cfg BuildConfig) (*Store, error) {
+	cfg = cfg.withDefaults()
+	store := NewStore()
+	for _, w := range cfg.Workloads {
+		accs := w.Generate(cfg.AccessesPerTrace, cfg.Seed)
+		// Learned policies train on a disjoint stream of the same
+		// workload (different seed), never on the evaluation trace.
+		train := w.Generate(cfg.AccessesPerTrace/2, cfg.Seed+1)
+		oracle := trace.NextUseOracle(accs)
+		for _, polName := range cfg.Policies {
+			pol, err := policy.New(polName, cfg.LLC, policy.Options{
+				Seed:   cfg.Seed,
+				Oracle: oracle,
+				Train:  train,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("db: building %s/%s: %w", w.Name(), polName, err)
+			}
+			res := replay.Run(accs, cfg.LLC, pol, replay.Options{SnapshotEvery: cfg.SnapshotEvery})
+			store.Put(frameFromReplay(w, polName, res))
+		}
+	}
+	return store, nil
+}
+
+// MustBuild is Build for static configurations; it panics on error.
+func MustBuild(cfg BuildConfig) *Store {
+	s, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func frameFromReplay(w *workload.Workload, polName string, res replay.Result) *Frame {
+	sum := FrameSummary{
+		Accesses:        res.Summary.Accesses,
+		Hits:            res.Summary.Hits,
+		Misses:          res.Summary.Misses,
+		Evictions:       res.Summary.Evictions,
+		ColdMisses:      res.Summary.ColdMisses,
+		CapacityMisses:  res.Summary.CapacityMisses,
+		ConflictMisses:  res.Summary.ConflictMisses,
+		WrongEvictions:  res.Summary.WrongEvictions,
+		RecencyMissCorr: res.Summary.RecencyMissCorr,
+	}
+	desc := fmt.Sprintf("Workload: %s Replacement policy: %s", w.Description(), policy.Describe(polName))
+	return NewFrame(w.Name(), polName, res.Records, w.Symbols(), sum, desc)
+}

@@ -1,0 +1,315 @@
+package db
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"cachemind/internal/trace"
+)
+
+// testStore builds one small shared store for the whole package's tests.
+var (
+	storeOnce sync.Once
+	shared    *Store
+)
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	storeOnce.Do(func() {
+		shared = MustBuild(BuildConfig{AccessesPerTrace: 25000, Seed: 42})
+	})
+	return shared
+}
+
+func TestBuildCoversAllKeys(t *testing.T) {
+	s := testStore(t)
+	keys := s.Keys()
+	if len(keys) != 12 { // 3 workloads x 4 policies
+		t.Fatalf("keys = %d (%v), want 12", len(keys), keys)
+	}
+	for _, w := range []string{"astar", "lbm", "mcf"} {
+		for _, p := range []string{"belady", "lru", "mlp", "parrot"} {
+			f, ok := s.Frame(w, p)
+			if !ok {
+				t.Fatalf("missing frame %s/%s", w, p)
+			}
+			if f.Len() != 25000 {
+				t.Errorf("%s: %d records, want 25000", f.Key(), f.Len())
+			}
+			if f.Key() != w+"_evictions_"+p {
+				t.Errorf("key format = %q", f.Key())
+			}
+		}
+	}
+}
+
+func TestStoreLookups(t *testing.T) {
+	s := testStore(t)
+	if _, ok := s.Frame("mcf", "lru"); !ok {
+		t.Error("Frame lookup failed")
+	}
+	if _, ok := s.FrameByKey("mcf_evictions_lru"); !ok {
+		t.Error("FrameByKey lookup failed")
+	}
+	if _, ok := s.Frame("bogus", "lru"); ok {
+		t.Error("bogus workload resolved")
+	}
+	if got := s.Workloads(); len(got) != 3 || got[0] != "astar" {
+		t.Errorf("Workloads = %v", got)
+	}
+	if got := s.Policies(); len(got) != 4 || got[0] != "belady" {
+		t.Errorf("Policies = %v", got)
+	}
+	if got := s.FramesForWorkload("lbm"); len(got) != 4 {
+		t.Errorf("FramesForWorkload(lbm) = %d frames", len(got))
+	}
+}
+
+func TestMetadataFormat(t *testing.T) {
+	s := testStore(t)
+	f, _ := s.Frame("mcf", "lru")
+	md := f.Metadata
+	for _, want := range []string{
+		"Cache Performance Summary:", "total accesses", "total misses",
+		"miss rate", "capacity misses", "conflict misses", "total evictions",
+		"wrong evictions where evicted line has lower reuse distance",
+		"correlation between accessed address recency and cache misses",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("metadata missing %q:\n%s", want, md)
+		}
+	}
+	if f.Description == "" {
+		t.Error("empty description")
+	}
+}
+
+func TestCrossPolicySameTraffic(t *testing.T) {
+	s := testStore(t)
+	lru, _ := s.Frame("astar", "lru")
+	bel, _ := s.Frame("astar", "belady")
+	if lru.Len() != bel.Len() {
+		t.Fatal("frames differ in length")
+	}
+	for i := 0; i < lru.Len(); i += 997 {
+		a, b := lru.Record(i), bel.Record(i)
+		if a.PC != b.PC || a.Addr != b.Addr {
+			t.Fatalf("record %d traffic differs across policies", i)
+		}
+	}
+	// Belady must not lose to LRU.
+	if bel.Summary.Hits < lru.Summary.Hits {
+		t.Error("Belady hits below LRU")
+	}
+}
+
+func TestIndexesConsistent(t *testing.T) {
+	s := testStore(t)
+	f, _ := s.Frame("lbm", "lru")
+	total := 0
+	for _, pc := range f.PCs() {
+		rows := f.RowsForPC(pc)
+		total += len(rows)
+		for _, i := range rows {
+			if f.Record(int(i)).PC != pc {
+				t.Fatalf("PC index broken at row %d", i)
+			}
+		}
+	}
+	if total != f.Len() {
+		t.Errorf("PC index covers %d of %d records", total, f.Len())
+	}
+	// PC+addr index refines the PC index.
+	pc := f.PCs()[0]
+	addr := f.Record(int(f.RowsForPC(pc)[0])).Addr
+	for _, i := range f.RowsForPCAddr(pc, addr) {
+		r := f.Record(int(i))
+		if r.PC != pc || r.Addr != addr {
+			t.Fatal("PC+addr index broken")
+		}
+	}
+	// Set index partitions records too.
+	total = 0
+	for _, set := range f.Sets() {
+		total += len(f.RowsForSet(set))
+	}
+	if total != f.Len() {
+		t.Errorf("set index covers %d of %d records", total, f.Len())
+	}
+}
+
+func TestHasPCAndTrickPremise(t *testing.T) {
+	s := testStore(t)
+	mcf, _ := s.Frame("mcf", "lru")
+	lbm, _ := s.Frame("lbm", "lru")
+	if !mcf.HasPC(0x4037aa) {
+		t.Error("mcf should contain its arc-scan PC")
+	}
+	if lbm.HasPC(0x4037aa) {
+		t.Error("lbm must not contain mcf's PC (trick-question premise)")
+	}
+	ws := s.WorkloadsWithPC(0x4037aa)
+	if len(ws) != 1 || ws[0] != "mcf" {
+		t.Errorf("WorkloadsWithPC = %v, want [mcf]", ws)
+	}
+}
+
+func TestValueColumns(t *testing.T) {
+	s := testStore(t)
+	f, _ := s.Frame("astar", "lru")
+	for _, col := range Columns() {
+		if _, err := f.Value(col, 0); err != nil {
+			t.Errorf("Value(%s) failed: %v", col, err)
+		}
+	}
+	if _, err := f.Value("nonexistent", 0); err == nil {
+		t.Error("unknown column should error")
+	}
+	// Spot-check typed values.
+	v, _ := f.Value(ColEvict, 0)
+	if v != "Cache Miss" && v != "Cache Hit" {
+		t.Errorf("evict value = %v", v)
+	}
+	v, _ = f.Value(ColFunctionName, 0)
+	if v == "<unknown>" || v == "" {
+		t.Errorf("function name unresolved: %v", v)
+	}
+	v, _ = f.Value(ColAssembly, 0)
+	if !strings.Contains(v.(string), ":") {
+		t.Errorf("assembly looks wrong: %v", v)
+	}
+}
+
+func TestNumericValueSentinels(t *testing.T) {
+	s := testStore(t)
+	f, _ := s.Frame("mcf", "lru")
+	// Find a record with NoReuse and confirm ok=false.
+	foundDead, foundLive := false, false
+	for i := 0; i < f.Len(); i++ {
+		r := f.Record(i)
+		if r.AccessedReuseDist == trace.NoReuse && !foundDead {
+			if _, ok := f.NumericValue(ColAccessReuse, i); ok {
+				t.Error("NoReuse should not be numeric")
+			}
+			foundDead = true
+		}
+		if r.AccessedReuseDist > 0 && !foundLive {
+			v, ok := f.NumericValue(ColAccessReuse, i)
+			if !ok || v != float64(r.AccessedReuseDist) {
+				t.Error("numeric reuse wrong")
+			}
+			foundLive = true
+		}
+		if foundDead && foundLive {
+			break
+		}
+	}
+	if !foundDead || !foundLive {
+		t.Error("test data lacked both dead and live accesses")
+	}
+}
+
+func TestPCStats(t *testing.T) {
+	s := testStore(t)
+	f, _ := s.Frame("mcf", "lru")
+	st, ok := f.StatsForPC(0x4037ba) // hot basket PC
+	if !ok {
+		t.Fatal("basket PC missing")
+	}
+	if st.Accesses == 0 || st.Hits+st.Misses != st.Accesses {
+		t.Errorf("inconsistent stats: %+v", st)
+	}
+	if st.MissRatePct+st.HitRatePct < 99.9 || st.MissRatePct+st.HitRatePct > 100.1 {
+		t.Errorf("rates do not sum to 100: %+v", st)
+	}
+	if st.FunctionName != "primal_bea_mpp" {
+		t.Errorf("function name = %q", st.FunctionName)
+	}
+	// The streaming arc PC must have a far higher miss rate than the
+	// basket PC.
+	scan, _ := f.StatsForPC(0x4037aa)
+	if scan.MissRatePct <= st.MissRatePct {
+		t.Errorf("scan PC miss rate (%.1f) should exceed basket's (%.1f)",
+			scan.MissRatePct, st.MissRatePct)
+	}
+	if _, ok := f.StatsForPC(0xdeadbeef); ok {
+		t.Error("stats for absent PC should fail")
+	}
+}
+
+func TestAllPCStatsSortedAndComplete(t *testing.T) {
+	s := testStore(t)
+	f, _ := s.Frame("lbm", "belady")
+	all := f.AllPCStats()
+	if len(all) != len(f.PCs()) {
+		t.Fatalf("AllPCStats = %d entries, want %d", len(all), len(f.PCs()))
+	}
+	total := 0
+	for i, st := range all {
+		if i > 0 && all[i-1].PC >= st.PC {
+			t.Error("AllPCStats not sorted")
+		}
+		total += st.Accesses
+	}
+	if total != f.Len() {
+		t.Errorf("per-PC accesses sum to %d, want %d", total, f.Len())
+	}
+}
+
+func TestSetStats(t *testing.T) {
+	s := testStore(t)
+	f, _ := s.Frame("astar", "belady")
+	sets := f.Sets()
+	if len(sets) == 0 {
+		t.Fatal("no sets")
+	}
+	st, ok := f.StatsForSet(sets[0])
+	if !ok || st.Accesses == 0 {
+		t.Fatalf("set stats = %+v, %v", st, ok)
+	}
+	all := f.AllSetStats()
+	total := 0
+	for _, st := range all {
+		total += st.Accesses
+	}
+	if total != f.Len() {
+		t.Errorf("per-set accesses sum to %d, want %d", total, f.Len())
+	}
+	if _, ok := f.StatsForSet(99999); ok {
+		t.Error("stats for untouched set should fail")
+	}
+}
+
+func TestSchemaDoc(t *testing.T) {
+	s := testStore(t)
+	doc := s.SchemaDoc()
+	for _, want := range []string{"loaded_data", "astar", "belady", ColPC, ColEvictionScores} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("schema doc missing %q", want)
+		}
+	}
+}
+
+// Property: miss-rate percentages recomputed from raw records always
+// match the statistical expert.
+func TestPCStatsMatchRawProperty(t *testing.T) {
+	s := testStore(t)
+	f, _ := s.Frame("astar", "lru")
+	pcs := f.PCs()
+	prop := func(idx uint8) bool {
+		pc := pcs[int(idx)%len(pcs)]
+		st, _ := f.StatsForPC(pc)
+		misses := 0
+		for _, i := range f.RowsForPC(pc) {
+			if !f.Record(int(i)).Hit {
+				misses++
+			}
+		}
+		return st.Misses == misses
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

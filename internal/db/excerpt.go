@@ -1,0 +1,66 @@
+package db
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderExcerpt renders one record as the trace excerpt of the paper's
+// Figure 2: the access tuple (with the set id in binary), the resident
+// cache lines, the recent access history, the policy's per-line
+// eviction scores, and the disassembly context of the PC. Records
+// carrying snapshots (every SnapshotEvery-th record) render fully;
+// others render the always-present fields.
+func (f *Frame) RenderExcerpt(i int) string {
+	r := f.records[i]
+	var b strings.Builder
+
+	b.WriteString("Cache Access Trace\n")
+	fmt.Fprintf(&b, "  PC: 0x%x\n", r.PC)
+	fmt.Fprintf(&b, "  Address: 0x%x\n", r.Addr)
+	fmt.Fprintf(&b, "  Set ID: 0b%b\n", r.Set)
+	fmt.Fprintf(&b, "  Evict: %v\n", r.EvictedAddr != 0)
+
+	if len(r.ResidentLines) > 0 {
+		b.WriteString("Cache Lines\n")
+		for _, l := range r.ResidentLines {
+			fmt.Fprintf(&b, "  {\"0x%x\", \"0x%x\"}\n", l.Addr, l.PC)
+		}
+	}
+	if len(r.RecentHistory) > 0 {
+		b.WriteString("Access History\n")
+		for _, l := range r.RecentHistory {
+			fmt.Fprintf(&b, "  {\"0x%x\", \"0x%x\"}\n", l.Addr, l.PC)
+		}
+	}
+	if len(r.EvictionScores) > 0 {
+		b.WriteString("Cache Line Scores\n  ")
+		parts := make([]string, 0, len(r.EvictionScores))
+		for w, s := range r.EvictionScores {
+			addr := uint64(0)
+			if w < len(r.ResidentLines) {
+				addr = r.ResidentLines[w].Addr
+			}
+			parts = append(parts, fmt.Sprintf("{%d, %.0f}", addr, s))
+		}
+		b.WriteString(strings.Join(parts, ", ") + "\n")
+	}
+
+	fmt.Fprintf(&b, "Assembly (%s)\n", f.syms.NameAt(r.PC))
+	for _, line := range strings.Split(f.syms.Assembly(r.PC), "\n") {
+		b.WriteString("  " + line + "\n")
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// FirstSnapshotRow returns the index of the first record at or after
+// `from` that carries resident-line snapshots, or -1 when none exists —
+// a convenience for excerpt rendering.
+func (f *Frame) FirstSnapshotRow(from int) int {
+	for i := from; i < len(f.records); i++ {
+		if len(f.records[i].ResidentLines) > 0 {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,64 @@
+package db
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderExcerptFullSnapshot(t *testing.T) {
+	s := testStore(t)
+	f, _ := s.Frame("astar", "lru")
+	i := f.FirstSnapshotRow(5000)
+	if i < 0 {
+		t.Fatal("no snapshot rows")
+	}
+	out := f.RenderExcerpt(i)
+	for _, want := range []string{
+		"Cache Access Trace", "PC: 0x", "Address: 0x", "Set ID: 0b",
+		"Cache Lines", "Assembly (",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("excerpt missing %q:\n%s", want, out)
+		}
+	}
+	// The set id must render in binary (only 0/1 digits after 0b).
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "Set ID: 0b"); ok {
+			for _, c := range rest {
+				if c != '0' && c != '1' {
+					t.Errorf("set id not binary: %q", line)
+				}
+			}
+		}
+	}
+}
+
+func TestRenderExcerptPlainRow(t *testing.T) {
+	s := testStore(t)
+	f, _ := s.Frame("mcf", "lru")
+	// Row 1 carries no snapshot (SnapshotEvery > 1).
+	out := f.RenderExcerpt(1)
+	if strings.Contains(out, "Cache Lines") {
+		t.Error("plain rows should not render resident lines")
+	}
+	if !strings.Contains(out, "Assembly (") {
+		t.Error("assembly context always renders")
+	}
+}
+
+func TestFirstSnapshotRow(t *testing.T) {
+	s := testStore(t)
+	f, _ := s.Frame("lbm", "lru")
+	// Row 0 is sampled but its set is still empty (cold cache), so the
+	// first *non-empty* snapshot appears at a later sampled row.
+	got := f.FirstSnapshotRow(0)
+	if got < 0 {
+		t.Fatal("no snapshot rows at all")
+	}
+	if got%64 != 0 {
+		t.Errorf("first snapshot row %d is not on the sampling grid", got)
+	}
+	if got := f.FirstSnapshotRow(f.Len()); got != -1 {
+		t.Errorf("past-the-end snapshot = %d, want -1", got)
+	}
+}

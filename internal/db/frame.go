@@ -1,0 +1,269 @@
+// Package db implements CacheMind's external database (paper §4.3): a
+// store of eviction-annotated trace frames keyed
+// "<workload>_evictions_<policy>", each holding per-access records with
+// the paper's 20-column schema, a whole-trace metadata string in the
+// paper's exact format, and a human-readable description. Frames carry
+// symbolic indexes (per PC, per PC+address, per set) that the Sieve
+// retriever's filtering stages and the Ranger query executor use.
+package db
+
+import (
+	"fmt"
+	"sort"
+
+	"cachemind/internal/stats"
+	"cachemind/internal/symbols"
+	"cachemind/internal/trace"
+)
+
+// Column names of the frame schema, mirroring the paper's DataFrame
+// columns.
+const (
+	ColPC              = "program_counter"
+	ColAddr            = "memory_address"
+	ColSet             = "cache_set_id"
+	ColEvict           = "evict" // "Cache Hit" / "Cache Miss"
+	ColMissType        = "miss_type"
+	ColEvictedAddr     = "evicted_address"
+	ColRecency         = "accessed_address_recency"
+	ColAccessReuse     = "accessed_address_reuse_distance"
+	ColEvictedReuse    = "evicted_address_reuse_distance"
+	ColFunctionName    = "function_name"
+	ColFunctionCode    = "function_code"
+	ColAssembly        = "assembly_code"
+	ColResidentLines   = "current_cache_lines"
+	ColRecentHistory   = "recent_access_history"
+	ColEvictionScores  = "cache_line_eviction_scores"
+	ColResidentAddrs   = "current_cache_line_addresses"
+	ColEvictedReuseNum = "evicted_address_reuse_distance_numeric"
+	ColAccessReuseNum  = "accessed_address_reuse_distance_numeric"
+	ColRecencyNum      = "accessed_address_recency_numeric"
+	ColIsMiss          = "is_miss"
+)
+
+// Columns lists every column in schema order.
+func Columns() []string {
+	return []string{
+		ColPC, ColAddr, ColSet, ColEvict, ColMissType, ColEvictedAddr,
+		ColRecency, ColAccessReuse, ColEvictedReuse, ColFunctionName,
+		ColFunctionCode, ColAssembly, ColResidentLines, ColRecentHistory,
+		ColEvictionScores, ColResidentAddrs, ColEvictedReuseNum,
+		ColAccessReuseNum, ColRecencyNum, ColIsMiss,
+	}
+}
+
+// Frame is one (workload, policy) eviction-annotated trace plus indexes.
+type Frame struct {
+	Workload string
+	Policy   string
+
+	records []trace.Record
+	syms    *symbols.Table
+
+	// Metadata is the whole-trace summary string in the paper's format.
+	Metadata string
+	// Description summarizes the workload and policy in prose.
+	Description string
+
+	// Summary holds the structured totals behind Metadata.
+	Summary FrameSummary
+
+	byPC     map[uint64][]int32
+	byPCAddr map[pcAddr][]int32
+	bySet    map[int][]int32
+	pcs      []uint64 // distinct PCs, sorted
+	sets     []int    // distinct sets, sorted
+}
+
+type pcAddr struct {
+	pc   uint64
+	addr uint64
+}
+
+// FrameSummary mirrors replay.Summary without importing it (db consumes
+// plain values so the build pipeline owns the dependency direction).
+type FrameSummary struct {
+	Accesses        int
+	Hits            int
+	Misses          int
+	Evictions       int
+	ColdMisses      int
+	CapacityMisses  int
+	ConflictMisses  int
+	WrongEvictions  int
+	RecencyMissCorr float64
+}
+
+// Key returns the store key "<workload>_evictions_<policy>".
+func (f *Frame) Key() string { return Key(f.Workload, f.Policy) }
+
+// Key builds a store key from workload and policy names.
+func Key(workload, policy string) string {
+	return workload + "_evictions_" + policy
+}
+
+// NewFrame indexes records into a frame. The caller supplies the symbol
+// table so PC-level metadata columns resolve.
+func NewFrame(workloadName, policyName string, records []trace.Record, syms *symbols.Table, sum FrameSummary, description string) *Frame {
+	f := &Frame{
+		Workload:    workloadName,
+		Policy:      policyName,
+		records:     records,
+		syms:        syms,
+		Summary:     sum,
+		Description: description,
+		byPC:        map[uint64][]int32{},
+		byPCAddr:    map[pcAddr][]int32{},
+		bySet:       map[int][]int32{},
+	}
+	for i, r := range records {
+		f.byPC[r.PC] = append(f.byPC[r.PC], int32(i))
+		f.byPCAddr[pcAddr{r.PC, r.Addr}] = append(f.byPCAddr[pcAddr{r.PC, r.Addr}], int32(i))
+		f.bySet[r.Set] = append(f.bySet[r.Set], int32(i))
+	}
+	for pc := range f.byPC {
+		f.pcs = append(f.pcs, pc)
+	}
+	sort.Slice(f.pcs, func(i, j int) bool { return f.pcs[i] < f.pcs[j] })
+	for s := range f.bySet {
+		f.sets = append(f.sets, s)
+	}
+	sort.Ints(f.sets)
+	f.Metadata = formatMetadata(sum)
+	return f
+}
+
+// formatMetadata renders the paper's metadata string format.
+func formatMetadata(s FrameSummary) string {
+	return fmt.Sprintf(
+		"Cache Performance Summary: %d total accesses, %d total misses, %s miss rate, "+
+			"%s capacity misses, %s conflict misses, %d total evictions, "+
+			"%d (%s) wrong evictions where evicted line has lower reuse distance. "+
+			"The correlation between accessed address recency and cache misses is %.2f.",
+		s.Accesses, s.Misses, stats.Ratio(s.Misses, s.Accesses),
+		stats.Ratio(s.CapacityMisses, s.Misses), stats.Ratio(s.ConflictMisses, s.Misses),
+		s.Evictions, s.WrongEvictions, stats.Ratio(s.WrongEvictions, s.Evictions),
+		s.RecencyMissCorr)
+}
+
+// Len returns the number of records.
+func (f *Frame) Len() int { return len(f.records) }
+
+// Record returns record i.
+func (f *Frame) Record(i int) trace.Record { return f.records[i] }
+
+// PCs returns all distinct PCs in ascending order.
+func (f *Frame) PCs() []uint64 { return append([]uint64(nil), f.pcs...) }
+
+// Sets returns all distinct cache sets touched, ascending.
+func (f *Frame) Sets() []int { return append([]int(nil), f.sets...) }
+
+// RowsForPC returns the record indices for pc (shared slice; do not
+// modify).
+func (f *Frame) RowsForPC(pc uint64) []int32 { return f.byPC[pc] }
+
+// RowsForPCAddr returns record indices matching both pc and the
+// line-aligned address.
+func (f *Frame) RowsForPCAddr(pc, addr uint64) []int32 {
+	return f.byPCAddr[pcAddr{pc, addr &^ uint64(trace.LineSize-1)}]
+}
+
+// RowsForSet returns record indices for one cache set.
+func (f *Frame) RowsForSet(set int) []int32 { return f.bySet[set] }
+
+// HasPC reports whether pc appears anywhere in the frame.
+func (f *Frame) HasPC(pc uint64) bool { return len(f.byPC[pc]) > 0 }
+
+// Symbols returns the workload's symbol table.
+func (f *Frame) Symbols() *symbols.Table { return f.syms }
+
+// Value returns the value of the named column at row i, typed per the
+// schema: uint64 for PCs/addresses, int for sets, string for labels,
+// int64 for numeric distances, float64 slices for scores, bool-as-int
+// for is_miss. Unknown columns return an error.
+func (f *Frame) Value(col string, i int) (any, error) {
+	r := f.records[i]
+	switch col {
+	case ColPC:
+		return r.PC, nil
+	case ColAddr:
+		return r.Addr, nil
+	case ColSet:
+		return r.Set, nil
+	case ColEvict:
+		if r.Hit {
+			return "Cache Hit", nil
+		}
+		return "Cache Miss", nil
+	case ColMissType:
+		return r.MissType.String(), nil
+	case ColEvictedAddr:
+		return r.EvictedAddr, nil
+	case ColRecency:
+		return trace.RecencyLabel(r.Recency), nil
+	case ColAccessReuse, ColAccessReuseNum:
+		return r.AccessedReuseDist, nil
+	case ColEvictedReuse, ColEvictedReuseNum:
+		return r.EvictedReuseDist, nil
+	case ColRecencyNum:
+		return r.Recency, nil
+	case ColFunctionName:
+		return f.syms.NameAt(r.PC), nil
+	case ColFunctionCode:
+		return f.syms.SourceAt(r.PC), nil
+	case ColAssembly:
+		return f.syms.Assembly(r.PC), nil
+	case ColResidentLines:
+		return r.ResidentLines, nil
+	case ColRecentHistory:
+		return r.RecentHistory, nil
+	case ColEvictionScores:
+		return r.EvictionScores, nil
+	case ColResidentAddrs:
+		addrs := make([]uint64, len(r.ResidentLines))
+		for j, l := range r.ResidentLines {
+			addrs[j] = l.Addr
+		}
+		return addrs, nil
+	case ColIsMiss:
+		if r.Hit {
+			return 0, nil
+		}
+		return 1, nil
+	default:
+		return nil, fmt.Errorf("db: unknown column %q", col)
+	}
+}
+
+// NumericValue returns the named column at row i as a float64, for
+// aggregation. Only numeric columns qualify; NoReuse sentinel values
+// report ok=false so aggregations can skip them.
+func (f *Frame) NumericValue(col string, i int) (v float64, ok bool) {
+	r := f.records[i]
+	switch col {
+	case ColAccessReuse, ColAccessReuseNum:
+		if r.AccessedReuseDist == trace.NoReuse {
+			return 0, false
+		}
+		return float64(r.AccessedReuseDist), true
+	case ColEvictedReuse, ColEvictedReuseNum:
+		if r.EvictedReuseDist == trace.NoReuse {
+			return 0, false
+		}
+		return float64(r.EvictedReuseDist), true
+	case ColRecency, ColRecencyNum:
+		if r.Recency < 0 {
+			return 0, false
+		}
+		return float64(r.Recency), true
+	case ColIsMiss:
+		if r.Hit {
+			return 0, true
+		}
+		return 1, true
+	case ColSet:
+		return float64(r.Set), true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,110 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Store is the external database: frames keyed
+// "<workload>_evictions_<policy>" (the paper's loaded_data dictionary).
+type Store struct {
+	frames map[string]*Frame
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store { return &Store{frames: map[string]*Frame{}} }
+
+// Put inserts or replaces a frame under its canonical key.
+func (s *Store) Put(f *Frame) { s.frames[f.Key()] = f }
+
+// Frame looks a frame up by workload and policy name.
+func (s *Store) Frame(workloadName, policyName string) (*Frame, bool) {
+	f, ok := s.frames[Key(workloadName, policyName)]
+	return f, ok
+}
+
+// FrameByKey looks a frame up by its store key.
+func (s *Store) FrameByKey(key string) (*Frame, bool) {
+	f, ok := s.frames[key]
+	return f, ok
+}
+
+// Keys returns all frame keys, sorted — the retrievers' search space.
+func (s *Store) Keys() []string {
+	out := make([]string, 0, len(s.frames))
+	for k := range s.frames {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Workloads returns the distinct workload names covered, sorted.
+func (s *Store) Workloads() []string { return s.distinct(func(f *Frame) string { return f.Workload }) }
+
+// Policies returns the distinct policy names covered, sorted.
+func (s *Store) Policies() []string { return s.distinct(func(f *Frame) string { return f.Policy }) }
+
+func (s *Store) distinct(get func(*Frame) string) []string {
+	seen := map[string]bool{}
+	for _, f := range s.frames {
+		seen[get(f)] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FramesForWorkload returns every policy's frame for one workload,
+// ordered by policy name.
+func (s *Store) FramesForWorkload(workloadName string) []*Frame {
+	var out []*Frame
+	for _, k := range s.Keys() {
+		if f := s.frames[k]; f.Workload == workloadName {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// WorkloadsWithPC returns the workloads in which pc appears under any
+// policy — the premise check behind trick questions.
+func (s *Store) WorkloadsWithPC(pc uint64) []string {
+	seen := map[string]bool{}
+	for _, f := range s.frames {
+		if f.HasPC(pc) {
+			seen[f.Workload] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for w := range seen {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SchemaDoc renders the database schema description embedded in Ranger's
+// system prompt (paper Figure 3).
+func (s *Store) SchemaDoc() string {
+	var b strings.Builder
+	b.WriteString("Data Structure Overview\n")
+	b.WriteString("loaded_data: a dictionary with keys like " + exampleKey(s) + ".\n")
+	b.WriteString("Values: \"data_frame\" (per-access records), \"metadata\" (string), \"description\" (string).\n")
+	fmt.Fprintf(&b, "Workloads: %s.\n", strings.Join(s.Workloads(), ", "))
+	fmt.Fprintf(&b, "Policies: %s.\n", strings.Join(s.Policies(), ", "))
+	b.WriteString("Dataframe columns: " + strings.Join(Columns(), ", ") + ".\n")
+	return b.String()
+}
+
+func exampleKey(s *Store) string {
+	keys := s.Keys()
+	if len(keys) == 0 {
+		return "lbm_evictions_lru"
+	}
+	return keys[0]
+}

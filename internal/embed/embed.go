@@ -1,0 +1,157 @@
+// Package embed provides deterministic text embeddings and a small
+// vector store. The paper's Sieve retriever uses a sentence embedder to
+// match workload/policy mentions against database keys, and its
+// LlamaIndex baseline retrieves trace chunks by embedding cosine
+// similarity; both are served by this package's character-n-gram hashing
+// embedder — an offline stand-in with the property the paper's failure
+// analysis hinges on: records differing only in a few hex digits embed
+// almost identically, so cosine retrieval cannot tell them apart.
+package embed
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// Dim is the embedding dimensionality.
+const Dim = 128
+
+// Vector is one L2-normalized embedding.
+type Vector [Dim]float32
+
+// fnv1a64 hashes a byte window.
+func fnv1a64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Embed maps text to a vector by hashing character trigrams (plus whole
+// words) into Dim buckets with signed counts, then L2-normalizing.
+// Embedding is case-insensitive and deterministic.
+func Embed(text string) Vector {
+	var v Vector
+	t := strings.ToLower(text)
+	add := func(tok string, weight float32) {
+		h := fnv1a64(tok)
+		idx := int(h % Dim)
+		sign := float32(1)
+		if h>>63 == 1 {
+			sign = -1
+		}
+		v[idx] += sign * weight
+	}
+	// Character trigrams capture sub-word shape.
+	for i := 0; i+3 <= len(t); i++ {
+		add(t[i:i+3], 1)
+	}
+	// Whole words get extra weight so names dominate.
+	for _, w := range strings.FieldsFunc(t, func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '_')
+	}) {
+		if w != "" {
+			add("w:"+w, 2)
+		}
+	}
+	return normalize(v)
+}
+
+func normalize(v Vector) Vector {
+	var ss float64
+	for _, x := range v {
+		ss += float64(x) * float64(x)
+	}
+	if ss == 0 {
+		return v
+	}
+	inv := float32(1 / math.Sqrt(ss))
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+// Cosine returns the cosine similarity of two vectors. Both inputs are
+// expected normalized (as Embed returns), so this is a dot product.
+func Cosine(a, b Vector) float64 {
+	var dot float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+	}
+	return dot
+}
+
+// Match is one retrieval hit from an Index.
+type Match struct {
+	ID    string
+	Score float64
+}
+
+// Index is an exact top-k cosine index over embedded documents.
+type Index struct {
+	ids  []string
+	vecs []Vector
+	text map[string]string
+}
+
+// NewIndex creates an empty index.
+func NewIndex() *Index { return &Index{text: map[string]string{}} }
+
+// Add embeds and stores a document under id. Adding an existing id
+// replaces its text but keeps one entry.
+func (ix *Index) Add(id, text string) {
+	if _, exists := ix.text[id]; !exists {
+		ix.ids = append(ix.ids, id)
+		ix.vecs = append(ix.vecs, Embed(text))
+	} else {
+		for i, known := range ix.ids {
+			if known == id {
+				ix.vecs[i] = Embed(text)
+				break
+			}
+		}
+	}
+	ix.text[id] = text
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int { return len(ix.ids) }
+
+// Text returns the stored document for id.
+func (ix *Index) Text(id string) (string, bool) {
+	t, ok := ix.text[id]
+	return t, ok
+}
+
+// TopK returns the k most similar documents to the query, by descending
+// cosine score with ties broken by id for determinism.
+func (ix *Index) TopK(query string, k int) []Match {
+	q := Embed(query)
+	matches := make([]Match, len(ix.ids))
+	for i, id := range ix.ids {
+		matches[i] = Match{ID: id, Score: Cosine(q, ix.vecs[i])}
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Score != matches[j].Score {
+			return matches[i].Score > matches[j].Score
+		}
+		return matches[i].ID < matches[j].ID
+	})
+	if k > len(matches) {
+		k = len(matches)
+	}
+	return matches[:k]
+}
+
+// Best returns the single best match, or ok=false for an empty index.
+func (ix *Index) Best(query string) (Match, bool) {
+	top := ix.TopK(query, 1)
+	if len(top) == 0 {
+		return Match{}, false
+	}
+	return top[0], true
+}

@@ -1,0 +1,151 @@
+package embed
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmbedDeterministicAndNormalized(t *testing.T) {
+	a := Embed("What is the miss rate for PC 0x4037ba?")
+	b := Embed("What is the miss rate for PC 0x4037ba?")
+	if a != b {
+		t.Error("embedding not deterministic")
+	}
+	var ss float64
+	for _, x := range a {
+		ss += float64(x) * float64(x)
+	}
+	if math.Abs(ss-1) > 1e-5 {
+		t.Errorf("embedding not normalized: |v|^2 = %v", ss)
+	}
+}
+
+func TestEmbedCaseInsensitive(t *testing.T) {
+	if Embed("PARROT policy") != Embed("parrot POLICY") {
+		t.Error("embedding should be case-insensitive")
+	}
+}
+
+func TestCosineSelfSimilarity(t *testing.T) {
+	v := Embed("lbm workload under LRU")
+	if got := Cosine(v, v); math.Abs(got-1) > 1e-5 {
+		t.Errorf("self-cosine = %v", got)
+	}
+}
+
+func TestRelatedTextMoreSimilar(t *testing.T) {
+	q := Embed("miss rate for the mcf workload with PARROT")
+	related := Embed("mcf workload PARROT replacement policy miss statistics")
+	unrelated := Embed("lattice Boltzmann fluid dynamics boundary rows")
+	if Cosine(q, related) <= Cosine(q, unrelated) {
+		t.Error("related text should score higher than unrelated")
+	}
+}
+
+// The failure mode the paper's Figure 9 analysis documents: two trace
+// rows differing only in hex digits embed nearly identically, so cosine
+// similarity cannot discriminate them.
+func TestHexRecordsNearIndistinguishable(t *testing.T) {
+	a := Embed("program_counter=0x409538 memory_address=0x2bfd401b693 evict=Cache Miss")
+	b := Embed("program_counter=0x4090c3 memory_address=0x2bfd401caf2 evict=Cache Miss")
+	if sim := Cosine(a, b); sim < 0.7 {
+		t.Errorf("near-duplicate records similarity = %.3f, expected high (embedding blindness)", sim)
+	}
+}
+
+func TestIndexTopK(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("astar", "astar path finding grid search workload")
+	ix.Add("lbm", "lbm lattice boltzmann fluid workload")
+	ix.Add("mcf", "mcf network simplex vehicle scheduling workload")
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	top := ix.TopK("fluid dynamics lattice boltzmann", 2)
+	if len(top) != 2 {
+		t.Fatalf("TopK returned %d", len(top))
+	}
+	if top[0].ID != "lbm" {
+		t.Errorf("best match = %s, want lbm", top[0].ID)
+	}
+	if top[0].Score < top[1].Score {
+		t.Error("TopK not sorted by score")
+	}
+	best, ok := ix.Best("network simplex scheduling")
+	if !ok || best.ID != "mcf" {
+		t.Errorf("Best = %+v", best)
+	}
+}
+
+func TestIndexReplace(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("k", "first text about astar")
+	ix.Add("k", "now about lattice boltzmann fluid")
+	if ix.Len() != 1 {
+		t.Fatalf("replace grew index: %d", ix.Len())
+	}
+	txt, ok := ix.Text("k")
+	if !ok || txt != "now about lattice boltzmann fluid" {
+		t.Errorf("Text = %q, %v", txt, ok)
+	}
+	best, _ := ix.Best("fluid boltzmann")
+	if best.ID != "k" || best.Score < 0.3 {
+		t.Errorf("replaced doc should match new text: %+v", best)
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := NewIndex()
+	if got := ix.TopK("anything", 5); len(got) != 0 {
+		t.Error("empty index TopK should be empty")
+	}
+	if _, ok := ix.Best("anything"); ok {
+		t.Error("empty index Best should fail")
+	}
+	if _, ok := ix.Text("missing"); ok {
+		t.Error("missing Text should fail")
+	}
+}
+
+func TestTopKClamp(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("a", "alpha")
+	if got := ix.TopK("alpha", 10); len(got) != 1 {
+		t.Errorf("TopK should clamp to index size, got %d", len(got))
+	}
+}
+
+// Property: cosine similarity of embeddings is bounded and symmetric.
+func TestCosineBoundedProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		va, vb := Embed(a), Embed(b)
+		s1, s2 := Cosine(va, vb), Cosine(vb, va)
+		return math.Abs(s1-s2) < 1e-9 && s1 >= -1.0001 && s1 <= 1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TopK ordering is deterministic across repeated queries.
+func TestTopKDeterministicProperty(t *testing.T) {
+	ix := NewIndex()
+	for i := 0; i < 50; i++ {
+		ix.Add(fmt.Sprintf("doc%02d", i), fmt.Sprintf("document number %d about caches", i))
+	}
+	f := func(q string) bool {
+		a := ix.TopK(q, 5)
+		b := ix.TopK(q, 5)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (the E1-E13 index in DESIGN.md): the CacheMindBench
+// accuracy figures (4, 5, 7, 8), the retriever comparison (Figure 9),
+// the benchmark and simulator configuration tables (1, 2), and the §6.3
+// actionable-insight use cases (bypass, Mockingjay stable-PC training,
+// software prefetching, set hotness, Belady-vs-PARROT per-PC analysis).
+// cmd/benchrun and the top-level benchmarks are thin wrappers over this
+// package.
+package experiments
+
+import (
+	"cachemind/internal/bench"
+	"cachemind/internal/db"
+	"cachemind/internal/llm"
+	"cachemind/internal/retriever"
+	"cachemind/internal/sim"
+)
+
+// Lab bundles the artifacts every experiment grounds against: the
+// external database and the benchmark suite generated from it.
+type Lab struct {
+	Store *db.Store
+	Suite *bench.Suite
+	// Seed drives every stochastic element downstream (machine
+	// experiments, suite generation).
+	Seed int64
+	// LLC is the geometry used for the database traces.
+	LLC sim.Config
+}
+
+// LabConfig parameterizes lab construction.
+type LabConfig struct {
+	// AccessesPerTrace is the database trace length (default 120000).
+	AccessesPerTrace int
+	// Seed defaults to 42.
+	Seed int64
+	// LLC defaults to a 256x8 geometry that produces capacity pressure
+	// at moderate trace lengths; pass the Table 2 LLC explicitly for
+	// full-scale runs.
+	LLC sim.Config
+}
+
+// NewLab builds the database and benchmark suite.
+func NewLab(cfg LabConfig) (*Lab, error) {
+	if cfg.AccessesPerTrace <= 0 {
+		cfg.AccessesPerTrace = 120000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	if cfg.LLC.Sets == 0 {
+		cfg.LLC = sim.Config{Name: "LLC", Sets: 256, Ways: 8, Latency: 26, MSHRs: 64}
+	}
+	store, err := db.Build(db.BuildConfig{
+		AccessesPerTrace: cfg.AccessesPerTrace,
+		Seed:             cfg.Seed,
+		LLC:              cfg.LLC,
+	})
+	if err != nil {
+		return nil, err
+	}
+	suite, err := bench.Generate(store, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{Store: store, Suite: suite, Seed: cfg.Seed, LLC: cfg.LLC}, nil
+}
+
+// MustNewLab panics on error.
+func MustNewLab(cfg LabConfig) *Lab {
+	l, err := NewLab(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// DefaultPipeline returns CacheMind's default retrieval configuration
+// for a backend: Ranger answers the trace-grounded tier, Sieve's richer
+// narrative bundles ground the analysis tier (the pairing behind the
+// paper's headline 89.33% TG / 84.80% ARA numbers).
+func (l *Lab) DefaultPipeline(p *llm.Profile) bench.Pipeline {
+	return bench.Pipeline{
+		TGRetriever:  retriever.NewRanger(l.Store),
+		ARARetriever: retriever.NewSieve(l.Store),
+		Profile:      p,
+	}
+}
+
+// OracleProfile returns a generator profile with perfect competence —
+// used to isolate retrieval quality (Figure 8) from generator
+// behaviour.
+func OracleProfile() *llm.Profile {
+	comp := map[string]float64{}
+	for _, c := range bench.Categories() {
+		comp[c.String()] = 100
+	}
+	return &llm.Profile{
+		ID: "oracle", DisplayName: "oracle generator",
+		CompetencePct: comp, MediumFactor: 1, LowFactor: 1, Seed: 9,
+	}
+}

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cachemind/internal/bench"
+	"cachemind/internal/llm"
+	"cachemind/internal/policy"
+	"cachemind/internal/queryir"
+	"cachemind/internal/replay"
+	"cachemind/internal/retriever"
+	"cachemind/internal/sim"
+	"cachemind/internal/trace"
+	"cachemind/internal/workload"
+)
+
+// PolicyTableResult is the extended cross-policy comparison: LLC replay
+// hit rates for every registered policy on every workload — the
+// design-space sweep the paper's related-work section frames (heuristic
+// vs oracle vs learned families).
+type PolicyTableResult struct {
+	Workloads []string
+	Policies  []string
+	// HitRatePct[workload][policy]
+	HitRatePct map[string]map[string]float64
+}
+
+// PolicyTable replays every workload under every policy at the lab's
+// database geometry.
+func PolicyTable(lab *Lab, accesses int, policies []string) PolicyTableResult {
+	if len(policies) == 0 {
+		policies = policy.Names()
+	}
+	res := PolicyTableResult{Policies: policies, HitRatePct: map[string]map[string]float64{}}
+	for _, wName := range []string{"astar", "lbm", "mcf", "milc"} {
+		w, _ := workload.ByName(wName)
+		res.Workloads = append(res.Workloads, wName)
+		accs := w.Generate(accesses, lab.Seed+500)
+		train := w.Generate(accesses/2, lab.Seed+501)
+		oracle := trace.NextUseOracle(accs)
+		row := map[string]float64{}
+		for _, pName := range policies {
+			p, err := policy.New(pName, lab.LLC, policy.Options{
+				Seed: lab.Seed, Oracle: oracle, Train: train,
+			})
+			if err != nil {
+				continue
+			}
+			r := replay.Run(accs, lab.LLC, p, replay.Options{SnapshotEvery: 1 << 30})
+			row[pName] = 100 * r.Summary.HitRate()
+		}
+		res.HitRatePct[wName] = row
+	}
+	return res
+}
+
+// String renders the policy x workload hit-rate matrix.
+func (r PolicyTableResult) String() string {
+	var b strings.Builder
+	b.WriteString("Extension: LLC hit rate (%) per workload x policy\n")
+	fmt.Fprintf(&b, "%-12s", "Policy")
+	for _, w := range r.Workloads {
+		fmt.Fprintf(&b, " %8s", w)
+	}
+	b.WriteString("\n")
+	for _, p := range r.Policies {
+		fmt.Fprintf(&b, "%-12s", p)
+		for _, w := range r.Workloads {
+			fmt.Fprintf(&b, " %8.2f", r.HitRatePct[w][p])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// PrefetchInteractionResult is the policy-prefetcher interaction
+// ablation: IPC and LLC hit rate per (prefetcher, policy) pair on a
+// strided workload — the cross-effect the paper cites as beyond manual
+// reasoning.
+type PrefetchInteractionResult struct {
+	Workload    string
+	Prefetchers []string
+	Policies    []string
+	// IPC[prefetcher][policy] and HitRate[prefetcher][policy].
+	IPC     map[string]map[string]float64
+	HitRate map[string]map[string]float64
+}
+
+// PrefetchInteraction sweeps prefetchers against LLC policies on milc.
+func PrefetchInteraction(lab *Lab, accesses int) PrefetchInteractionResult {
+	cfg := sim.DefaultMachineConfig()
+	policies := []string{"lru", "ship", "mockingjay"}
+	prefetchers := []string{"none", "nextline", "stride"}
+	res := PrefetchInteractionResult{
+		Workload: "milc", Prefetchers: prefetchers, Policies: policies,
+		IPC: map[string]map[string]float64{}, HitRate: map[string]map[string]float64{},
+	}
+	for _, pf := range prefetchers {
+		res.IPC[pf] = map[string]float64{}
+		res.HitRate[pf] = map[string]float64{}
+		for _, pol := range policies {
+			m := sim.NewMachine(cfg,
+				policy.MustNew("lru", cfg.L1D, policy.Options{}),
+				policy.MustNew("lru", cfg.L2, policy.Options{}),
+				policy.MustNew(pol, cfg.LLC, policy.Options{Seed: lab.Seed}))
+			switch pf {
+			case "nextline":
+				m.AttachPrefetcher(&sim.NextLinePrefetcher{Degree: 2})
+			case "stride":
+				m.AttachPrefetcher(sim.NewStridePrefetcher(4))
+			}
+			r := m.Run(workload.MILC.Generate(accesses, lab.Seed+600))
+			res.IPC[pf][pol] = r.IPC()
+			res.HitRate[pf][pol] = 100 * m.LLC.HitRate()
+		}
+	}
+	return res
+}
+
+// String renders the interaction matrix.
+func (r PrefetchInteractionResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: prefetcher x replacement-policy interaction on %s (IPC, LLC hit %%)\n", r.Workload)
+	fmt.Fprintf(&b, "%-10s", "")
+	for _, p := range r.Policies {
+		fmt.Fprintf(&b, " %20s", p)
+	}
+	b.WriteString("\n")
+	for _, pf := range r.Prefetchers {
+		fmt.Fprintf(&b, "%-10s", pf)
+		for _, p := range r.Policies {
+			fmt.Fprintf(&b, "    %7.4f (%6.2f%%)", r.IPC[pf][p], r.HitRate[pf][p])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ShotsStudyResult is the one/few-shot prompting ablation (paper §6.1):
+// weighted totals and trick-question accuracy at zero, one and three
+// in-context examples.
+type ShotsStudyResult struct {
+	Model string
+	// Per shot count (0, 1, 3).
+	Shots    []int
+	Total    map[int]float64
+	TrickPct map[int]float64
+	LowPct   map[int]float64 // accuracy on Low-quality-context questions
+}
+
+// MakeShots builds k in-context examples from real store events, in the
+// format of the paper's Figure 6 one-shot prompt.
+func MakeShots(lab *Lab, k int) []llm.Example {
+	var shots []llm.Example
+	frame, _ := lab.Store.Frame("lbm", "lru")
+	for i := 0; i < k && i < frame.Len(); i++ {
+		rec := frame.Record((i + 1) * frame.Len() / (k + 1))
+		outcome := "Cache Miss"
+		if rec.Hit {
+			outcome = "Cache Hit"
+		}
+		shots = append(shots, llm.Example{
+			Context: fmt.Sprintf("For policy LRU on workload lbm at PC %s and address 0x%x: Cache result: %s",
+				queryir.PCRef(rec.PC), rec.Addr, outcome),
+			Question: fmt.Sprintf("Does the memory access with PC %s and address 0x%x result in a cache hit or cache miss for the lbm workload and LRU replacement policy?",
+				queryir.PCRef(rec.PC), rec.Addr),
+			Answer: outcome,
+		})
+	}
+	return shots
+}
+
+// ShotsStudy evaluates the suite at 0/1/3 shots with one backend.
+func ShotsStudy(lab *Lab, modelID string) ShotsStudyResult {
+	profile, ok := llm.ByID(modelID)
+	if !ok {
+		panic("experiments: unknown model " + modelID)
+	}
+	res := ShotsStudyResult{
+		Model: modelID, Shots: []int{0, 1, 3},
+		Total: map[int]float64{}, TrickPct: map[int]float64{}, LowPct: map[int]float64{},
+	}
+	for _, k := range res.Shots {
+		pipe := lab.DefaultPipeline(profile)
+		pipe.Shots = MakeShots(lab, k)
+		rep := bench.Evaluate(lab.Suite, pipe)
+		res.Total[k] = rep.WeightedTotalPct()
+		res.TrickPct[k] = rep.PerCat[bench.CatTrick].Pct()
+		lowCorrect, lowN := 0.0, 0
+		for _, qr := range rep.Results {
+			if qr.Quality == llm.QualityLow {
+				lowN++
+				lowCorrect += qr.Points()
+			}
+		}
+		if lowN > 0 {
+			res.LowPct[k] = 100 * lowCorrect / float64(lowN)
+		}
+	}
+	return res
+}
+
+// String renders the shots ablation.
+func (r ShotsStudyResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: one/few-shot prompting ablation (%s)\n", r.Model)
+	fmt.Fprintf(&b, "%-8s %14s %14s %18s\n", "Shots", "Weighted total", "Trick accuracy", "Low-context score")
+	for _, k := range r.Shots {
+		fmt.Fprintf(&b, "%-8d %13.1f%% %13.1f%% %17.1f%%\n", k, r.Total[k], r.TrickPct[k], r.LowPct[k])
+	}
+	return b.String()
+}
+
+// SieveSemanticAblationResult measures Sieve with and without its
+// semantic (embedding) workload-resolution stage — the design-choice
+// ablation DESIGN.md calls out for the Sieve pipeline.
+type SieveSemanticAblationResult struct {
+	// ResolvedWith / ResolvedWithout count probe questions whose
+	// workload was resolved by the full pipeline vs token matching
+	// alone.
+	ResolvedWith    int
+	ResolvedWithout int
+	Total           int
+}
+
+// SieveSemanticAblation probes workload resolution on paraphrased
+// questions that avoid the literal workload token.
+func SieveSemanticAblation(lab *Lab) SieveSemanticAblationResult {
+	paraphrases := []string{
+		"In the lattice Boltzmann fluid dynamics benchmark under LRU, what is the miss rate for PC 0x401dc9?",
+		"For the network simplex vehicle scheduling benchmark with PARROT, what is the miss rate for PC 0x4037ba?",
+		"On the grid path-finding benchmark under Belady, what is the miss rate for PC 0x409270?",
+		"In the fluid solver trace under MLP, what is the miss rate for PC 0x401e31?",
+	}
+	s := retriever.NewSieve(lab.Store)
+	res := SieveSemanticAblationResult{Total: len(paraphrases)}
+	for _, q := range paraphrases {
+		ctx := s.Retrieve(q)
+		if len(ctx.Executed) > 0 && ctx.Err == nil {
+			res.ResolvedWith++
+		}
+		// Without the semantic stage, only literal token matches
+		// resolve; none of these mention a workload name.
+		if len(ctx.Parsed.Entities.Workloads) > 0 {
+			res.ResolvedWithout++
+		}
+	}
+	return res
+}
+
+// String renders the ablation.
+func (r SieveSemanticAblationResult) String() string {
+	return fmt.Sprintf("Extension: Sieve semantic-stage ablation — workload resolved on %d/%d paraphrased queries with the embedding stage, %d/%d with token matching alone\n",
+		r.ResolvedWith, r.Total, r.ResolvedWithout, r.Total)
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPolicyTableShape(t *testing.T) {
+	r := PolicyTable(testLab(t), 30000, []string{"lru", "belady", "ship", "hawkeye", "srrip"})
+	if len(r.Workloads) != 4 {
+		t.Fatalf("workloads = %v", r.Workloads)
+	}
+	for _, w := range r.Workloads {
+		row := r.HitRatePct[w]
+		if len(row) != 5 {
+			t.Fatalf("%s: %d policies", w, len(row))
+		}
+		for p, hr := range row {
+			if hr < 0 || hr > 100 {
+				t.Errorf("%s/%s hit rate %v out of range", w, p, hr)
+			}
+			// Belady dominates every practical policy.
+			if p != "belady" && hr > row["belady"]+1e-9 {
+				t.Errorf("%s: %s (%.2f) beats Belady (%.2f)", w, p, hr, row["belady"])
+			}
+		}
+	}
+	out := r.String()
+	if !strings.Contains(out, "belady") || !strings.Contains(out, "astar") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestPrefetchInteraction(t *testing.T) {
+	r := PrefetchInteraction(testLab(t), 120000)
+	if len(r.Prefetchers) != 3 || len(r.Policies) != 3 {
+		t.Fatalf("matrix shape wrong: %v x %v", r.Prefetchers, r.Policies)
+	}
+	// The stride prefetcher must help at least one policy on milc's
+	// regular strides.
+	helped := false
+	for _, pol := range r.Policies {
+		if r.IPC["stride"][pol] > r.IPC["none"][pol] {
+			helped = true
+		}
+		if r.IPC["none"][pol] <= 0 {
+			t.Errorf("baseline IPC for %s is zero", pol)
+		}
+	}
+	if !helped {
+		t.Error("stride prefetching helped no policy on a strided workload")
+	}
+	if !strings.Contains(r.String(), "stride") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestShotsStudy(t *testing.T) {
+	r := ShotsStudy(testLab(t), "gpt-4o-mini")
+	if len(r.Shots) != 3 {
+		t.Fatalf("shots = %v", r.Shots)
+	}
+	// Paper finding 1: overall totals move little (within a few points).
+	if diff := r.Total[3] - r.Total[0]; diff > 10 || diff < -10 {
+		t.Errorf("few-shot moved total by %.1f pp; paper reports no significant change", diff)
+	}
+	// Paper finding 2: examples help trick-question rejection.
+	if r.TrickPct[3] < r.TrickPct[0] {
+		t.Errorf("few-shot trick accuracy (%.1f) below zero-shot (%.1f)", r.TrickPct[3], r.TrickPct[0])
+	}
+	if !strings.Contains(r.String(), "Trick accuracy") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestMakeShotsFormat(t *testing.T) {
+	shots := MakeShots(testLab(t), 3)
+	if len(shots) != 3 {
+		t.Fatalf("shots = %d", len(shots))
+	}
+	for _, s := range shots {
+		if !strings.Contains(s.Context, "Cache result:") {
+			t.Errorf("shot context malformed: %q", s.Context)
+		}
+		if s.Answer != "Cache Hit" && s.Answer != "Cache Miss" {
+			t.Errorf("shot answer = %q", s.Answer)
+		}
+		if !strings.Contains(s.Question, "0x") {
+			t.Errorf("shot question lacks symbols: %q", s.Question)
+		}
+	}
+}
+
+func TestSieveSemanticAblation(t *testing.T) {
+	r := SieveSemanticAblation(testLab(t))
+	if r.Total != 4 {
+		t.Fatalf("total = %d", r.Total)
+	}
+	if r.ResolvedWith <= r.ResolvedWithout {
+		t.Errorf("semantic stage should resolve more paraphrases (with=%d, without=%d)",
+			r.ResolvedWith, r.ResolvedWithout)
+	}
+	if r.ResolvedWithout != 0 {
+		t.Errorf("paraphrases avoid workload tokens; token matching resolved %d", r.ResolvedWithout)
+	}
+	if !strings.Contains(r.String(), "semantic") {
+		t.Error("rendering broken")
+	}
+}

@@ -1,0 +1,386 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cachemind/internal/bench"
+	"cachemind/internal/generator"
+	"cachemind/internal/llm"
+	"cachemind/internal/queryir"
+	"cachemind/internal/retriever"
+)
+
+// Figure4Result holds per-backend, per-category accuracy (paper Fig. 4).
+type Figure4Result struct {
+	Reports []*bench.Report
+}
+
+// Figure4 evaluates CacheMindBench under every catalogued backend with
+// the default retrieval configuration.
+func Figure4(lab *Lab) *Figure4Result {
+	res := &Figure4Result{}
+	for _, p := range llm.Catalogue() {
+		res.Reports = append(res.Reports, bench.Evaluate(lab.Suite, lab.DefaultPipeline(p)))
+	}
+	return res
+}
+
+// String renders the category x backend accuracy matrix.
+func (r *Figure4Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: accuracy of CacheMind with different LLM backends across CacheMindBench categories\n")
+	fmt.Fprintf(&b, "%-28s", "Category")
+	for _, rep := range r.Reports {
+		fmt.Fprintf(&b, " %14s", rep.Model)
+	}
+	b.WriteString("\n")
+	for _, c := range bench.Categories() {
+		fmt.Fprintf(&b, "%-28s", c.Label())
+		for _, rep := range r.Reports {
+			fmt.Fprintf(&b, " %13.1f%%", rep.PerCat[c].Pct())
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-28s", "Weighted total")
+	for _, rep := range r.Reports {
+		fmt.Fprintf(&b, " %13.1f%%", rep.WeightedTotalPct())
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Figure5Result buckets reasoning accuracy by retrieval-context quality
+// (paper Fig. 5).
+type Figure5Result struct {
+	// Acc[model][quality] is the mean points percentage in that bucket;
+	// N[model][quality] the sample count.
+	Models []string
+	Acc    map[string][3]float64
+	N      map[string][3]int
+}
+
+// Figure5 spreads questions across retrieval qualities by running every
+// question under all three retrievers (LlamaIndex-style embedding,
+// Sieve, Ranger) and grading the generated answers per quality bucket —
+// quality gating is mechanistic: a backend only sees what was
+// retrieved.
+func Figure5(lab *Lab) *Figure5Result {
+	retrievers := []retriever.Retriever{
+		retriever.NewEmbeddingRetriever(lab.Store, 40),
+		retriever.NewSieve(lab.Store),
+		retriever.NewRanger(lab.Store),
+	}
+	res := &Figure5Result{Acc: map[string][3]float64{}, N: map[string][3]int{}}
+	for _, p := range llm.Catalogue() {
+		res.Models = append(res.Models, p.ID)
+		gen := generator.New(p)
+		var pts [3]float64
+		var n [3]int
+		for _, q := range lab.Suite.Questions {
+			for _, r := range retrievers {
+				ctx := r.Retrieve(q.Text)
+				qi := int(ctx.Quality)
+				if q.Tier() == bench.TierTG {
+					ans := gen.Answer(q.ID+"/"+r.Name(), q.Category.String(), q.Text, ctx)
+					if bench.GradeExact(q, ans.Verdict, ans.Value, ans.HasValue) {
+						pts[qi]++
+					}
+				} else {
+					ans := gen.AnalysisAnswer(q.ID+"/"+r.Name(), q.Category.String(), q.Text, ctx)
+					pts[qi] += float64(bench.RubricScore(ans.Text)) / 5
+				}
+				n[qi]++
+			}
+		}
+		var acc [3]float64
+		for i := range acc {
+			if n[i] > 0 {
+				acc[i] = 100 * pts[i] / float64(n[i])
+			}
+		}
+		res.Acc[p.ID] = acc
+		res.N[p.ID] = n
+	}
+	return res
+}
+
+// String renders the quality-gradient table.
+func (r *Figure5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: reasoning accuracy vs retrieval-context quality\n")
+	fmt.Fprintf(&b, "%-16s %10s %10s %10s\n", "Backend", "Low", "Medium", "High")
+	for _, m := range r.Models {
+		acc, n := r.Acc[m], r.N[m]
+		fmt.Fprintf(&b, "%-16s %9.1f%% %9.1f%% %9.1f%%   (n=%d/%d/%d)\n",
+			m, acc[0], acc[1], acc[2], n[0], n[1], n[2])
+	}
+	return b.String()
+}
+
+// Figure7Result holds per-backend ARA score distributions (paper
+// Fig. 7).
+type Figure7Result struct {
+	Models []string
+	Hist   map[string][6]int
+}
+
+// Figure7 derives score histograms from the Figure 4 evaluations.
+func Figure7(f4 *Figure4Result) *Figure7Result {
+	res := &Figure7Result{Hist: map[string][6]int{}}
+	for _, rep := range f4.Reports {
+		res.Models = append(res.Models, rep.Model)
+		res.Hist[rep.Model] = rep.ScoreHistogram()
+	}
+	return res
+}
+
+// String renders the histograms.
+func (r *Figure7Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: distribution of reasoning scores (0-5) by backend, 25 ARA questions\n")
+	fmt.Fprintf(&b, "%-16s", "Backend")
+	for s := 0; s <= 5; s++ {
+		fmt.Fprintf(&b, " %5d", s)
+	}
+	b.WriteString("\n")
+	for _, m := range r.Models {
+		h := r.Hist[m]
+		fmt.Fprintf(&b, "%-16s", m)
+		for s := 0; s <= 5; s++ {
+			fmt.Fprintf(&b, " %5d", h[s])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Figure8Result compares Sieve and Ranger per TG category with the
+// oracle generator isolating retrieval (paper Fig. 8).
+type Figure8Result struct {
+	Sieve  *bench.Report
+	Ranger *bench.Report
+}
+
+// Figure8 runs the TG tier under both retrievers.
+func Figure8(lab *Lab) *Figure8Result {
+	oracle := OracleProfile()
+	mk := func(r retriever.Retriever) *bench.Report {
+		return bench.Evaluate(lab.Suite, bench.Pipeline{
+			TGRetriever: r, ARARetriever: r, Profile: oracle,
+		})
+	}
+	return &Figure8Result{
+		Sieve:  mk(retriever.NewSieve(lab.Store)),
+		Ranger: mk(retriever.NewRanger(lab.Store)),
+	}
+}
+
+// TGCategories returns the trace-grounded categories in Table 1 order.
+func tgCategories() []bench.Category {
+	var out []bench.Category
+	for _, c := range bench.Categories() {
+		if c.Tier() == bench.TierTG {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders the per-category comparison.
+func (r *Figure8Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 8: CacheMind-Sieve vs CacheMind-Ranger across trace-grounded categories (oracle generator)\n")
+	fmt.Fprintf(&b, "%-24s %10s %10s\n", "Category", "Sieve", "Ranger")
+	for _, c := range tgCategories() {
+		fmt.Fprintf(&b, "%-24s %9.1f%% %9.1f%%\n",
+			c.Label(), r.Sieve.PerCat[c].Pct(), r.Ranger.PerCat[c].Pct())
+	}
+	fmt.Fprintf(&b, "%-24s %9.1f%% %9.1f%%\n", "TG total",
+		r.Sieve.TGAccuracyPct(), r.Ranger.TGAccuracyPct())
+	return b.String()
+}
+
+// Probe is one Figure 9 evaluation query with a context-correctness
+// check.
+type Probe struct {
+	Text     string
+	Category string
+	// Check inspects the retrieved context text for the ground-truth
+	// evidence.
+	Check func(text string) bool
+}
+
+// ProbeOutcome is one (retriever, probe) result.
+type ProbeOutcome struct {
+	Probe   string
+	Correct bool
+	Elapsed time.Duration
+}
+
+// Figure9Result compares retrieval accuracy and latency across
+// retrievers over ten probe queries (paper Fig. 9).
+type Figure9Result struct {
+	Retrievers []string
+	Correct    map[string]int
+	AvgTime    map[string]time.Duration
+	Outcomes   map[string][]ProbeOutcome
+	Total      int
+}
+
+// Figure9 builds ten probes spanning five trace-grounded categories and
+// checks each retriever's context for the ground truth.
+func Figure9(lab *Lab) *Figure9Result {
+	probes := buildProbes(lab)
+	rs := []retriever.Retriever{
+		retriever.NewEmbeddingRetriever(lab.Store, 40),
+		retriever.NewSieve(lab.Store),
+		retriever.NewRanger(lab.Store),
+	}
+	res := &Figure9Result{
+		Correct: map[string]int{}, AvgTime: map[string]time.Duration{},
+		Outcomes: map[string][]ProbeOutcome{}, Total: len(probes),
+	}
+	for _, r := range rs {
+		res.Retrievers = append(res.Retrievers, r.Name())
+		var total time.Duration
+		for _, p := range probes {
+			ctx := r.Retrieve(p.Text)
+			ok := p.Check(ctx.Text)
+			if ok {
+				res.Correct[r.Name()]++
+			}
+			total += ctx.Elapsed
+			res.Outcomes[r.Name()] = append(res.Outcomes[r.Name()], ProbeOutcome{
+				Probe: p.Text, Correct: ok, Elapsed: ctx.Elapsed,
+			})
+		}
+		res.AvgTime[r.Name()] = total / time.Duration(len(probes))
+	}
+	return res
+}
+
+// buildProbes constructs the ten probes: two hit/miss, two miss-rate,
+// two policy-comparison, one plainly-phrased count, two
+// standard-deviation arithmetic probes (outside Sieve's fixed digest),
+// and one count probe phrased outside the compiler's vocabulary (the
+// query formulation even Ranger misses).
+func buildProbes(lab *Lab) []Probe {
+	var probes []Probe
+	contains := func(subs ...string) func(string) bool {
+		return func(text string) bool {
+			for _, s := range subs {
+				if !strings.Contains(text, s) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+
+	// Hit/miss probes.
+	for i, wp := range [][2]string{{"astar", "lru"}, {"lbm", "parrot"}} {
+		f, _ := lab.Store.Frame(wp[0], wp[1])
+		rec := f.Record((i + 1) * f.Len() / 3)
+		verdict := "Cache Miss"
+		if hit := f.Record(int(f.RowsForPCAddr(rec.PC, rec.Addr)[0])).Hit; hit {
+			verdict = "Cache Hit"
+		}
+		probes = append(probes, Probe{
+			Text: fmt.Sprintf("When PC %s and address 0x%x is accessed on the %s workload with %s policy, does the cache hit or miss?",
+				queryir.PCRef(rec.PC), rec.Addr, wp[0], wp[1]),
+			Category: "hit_miss",
+			Check:    contains(queryir.PCRef(rec.PC), fmt.Sprintf("0x%x", rec.Addr), verdict),
+		})
+	}
+	// Miss-rate probes.
+	for _, wp := range [][2]string{{"mcf", "parrot"}, {"lbm", "lru"}} {
+		f, _ := lab.Store.Frame(wp[0], wp[1])
+		pc := f.PCs()[1]
+		st, _ := f.StatsForPC(pc)
+		probes = append(probes, Probe{
+			Text: fmt.Sprintf("What is the miss rate for PC %s on the %s workload with %s replacement policy?",
+				queryir.PCRef(pc), wp[0], wp[1]),
+			Category: "miss_rate",
+			Check:    contains(queryir.PCRef(pc), fmt.Sprintf("%.2f%%", st.MissRatePct)),
+		})
+	}
+	// Policy-comparison probes: context must cover every policy's rate
+	// for the PC.
+	for i, w := range []string{"astar", "mcf"} {
+		f, _ := lab.Store.Frame(w, "lru")
+		pc := f.PCs()[(i+2)%len(f.PCs())]
+		checks := []string{queryir.PCRef(pc)}
+		for _, p := range lab.Store.Policies() {
+			checks = append(checks, p)
+		}
+		probes = append(probes, Probe{
+			Text: fmt.Sprintf("Which policy has the lowest miss rate for PC %s in %s?",
+				queryir.PCRef(pc), w),
+			Category: "policy_comparison",
+			Check:    contains(checks...),
+		})
+	}
+	// Count probe (plain phrasing).
+	{
+		f, _ := lab.Store.Frame("astar", "lru")
+		pc := f.PCs()[0]
+		probes = append(probes, Probe{
+			Text: fmt.Sprintf("How many times did PC %s appear in astar under LRU?",
+				queryir.PCRef(pc)),
+			Category: "count",
+			Check:    contains(fmt.Sprintf("count for PC %s = %d", queryir.PCRef(pc), len(f.RowsForPC(pc)))),
+		})
+	}
+	// Arithmetic probes: standard deviation is outside Sieve's fixed
+	// statistical digest. The check requires the "std" statistic to be
+	// named alongside its value, so a coincidental substring (e.g.
+	// "0.00" inside "100.00%") cannot count as correct context.
+	for _, wp := range [][2]string{{"lbm", "mlp"}, {"mcf", "belady"}} {
+		f, _ := lab.Store.Frame(wp[0], wp[1])
+		pc := f.PCs()[2%len(f.PCs())]
+		res, err := queryir.Execute(lab.Store, queryir.Query{
+			Workload: wp[0], Policy: wp[1], PC: &pc,
+			Agg: queryir.AggStd, Field: "accessed_address_reuse_distance",
+		})
+		want := "std"
+		if err == nil {
+			want = fmt.Sprintf("std accessed_address_reuse_distance for PC %s = %.2f",
+				queryir.PCRef(pc), res.Scalar)
+		}
+		probes = append(probes, Probe{
+			Text: fmt.Sprintf("Compute the standard deviation of the reuse distance for PC %s in %s under %s.",
+				queryir.PCRef(pc), wp[0], wp[1]),
+			Category: "arithmetic",
+			Check:    contains(queryir.PCRef(pc), want),
+		})
+	}
+	// Count probe phrased outside the compiler's vocabulary.
+	{
+		f, _ := lab.Store.Frame("mcf", "lru")
+		pc := f.PCs()[3%len(f.PCs())]
+		probes = append(probes, Probe{
+			Text: fmt.Sprintf("Give me the tally of appearances of PC %s in mcf under LRU.",
+				queryir.PCRef(pc)),
+			Category: "count",
+			Check:    contains(fmt.Sprintf("count for PC %s = %d", queryir.PCRef(pc), len(f.RowsForPC(pc)))),
+		})
+	}
+	return probes
+}
+
+// String renders the comparison in the layout of the paper's Figure 9
+// bottom row.
+func (r *Figure9Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: retrieval comparison over 10 probe queries\n")
+	fmt.Fprintf(&b, "%-14s %22s %18s\n", "Retriever", "Correct context", "Avg retrieval time")
+	for _, name := range r.Retrievers {
+		fmt.Fprintf(&b, "%-14s %15d/%d (%2.0f%%) %18s\n",
+			name, r.Correct[name], r.Total,
+			100*float64(r.Correct[name])/float64(r.Total),
+			r.AvgTime[name].Round(time.Microsecond))
+	}
+	return b.String()
+}

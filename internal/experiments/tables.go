@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cachemind/internal/bench"
+	"cachemind/internal/policy"
+	"cachemind/internal/sim"
+	"cachemind/internal/trace"
+	"cachemind/internal/workload"
+)
+
+// Table1Result summarizes the benchmark suite composition (paper
+// Table 1).
+type Table1Result struct {
+	Suite *bench.Suite
+}
+
+// Table1 wraps the generated suite for reporting.
+func Table1(lab *Lab) Table1Result { return Table1Result{Suite: lab.Suite} }
+
+// String renders the category table with a representative question per
+// category.
+func (r Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 1: CacheMindBench categories\n")
+	fmt.Fprintf(&b, "%-30s %-6s %5s  %s\n", "Category", "Tier", "Count", "Representative example")
+	for _, c := range bench.Categories() {
+		qs := r.Suite.ByCategory(c)
+		example := ""
+		if len(qs) > 0 {
+			example = qs[0].Text
+			if len(example) > 90 {
+				example = example[:90] + "..."
+			}
+		}
+		tier := "TG"
+		if c.Tier() == bench.TierARA {
+			tier = "ARA"
+		}
+		fmt.Fprintf(&b, "%-30s %-6s %5d  %s\n", c.Label(), tier, len(qs), example)
+	}
+	fmt.Fprintf(&b, "Total: %d questions (%d TG exact-match, %d ARA rubric-graded)\n",
+		len(r.Suite.Questions), len(r.Suite.TG()), len(r.Suite.ARA()))
+	return b.String()
+}
+
+// Table2Result reports the simulator configuration and a sanity run
+// confirming the hierarchy behaves (paper Table 2).
+type Table2Result struct {
+	Config sim.MachineConfig
+	Sanity sim.TimingResult
+}
+
+// Table2 renders the Table 2 configuration and replays a short astar
+// stream through it.
+func Table2(lab *Lab) Table2Result {
+	cfg := sim.DefaultMachineConfig()
+	m := sim.NewMachine(cfg,
+		policy.MustNew("lru", cfg.L1D, policy.Options{}),
+		policy.MustNew("lru", cfg.L2, policy.Options{}),
+		policy.MustNew("lru", cfg.LLC, policy.Options{}))
+	res := m.Run(workload.Astar.Generate(50000, lab.Seed))
+	return Table2Result{Config: cfg, Sanity: res}
+}
+
+// String renders the configuration table.
+func (r Table2Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 2: processor and memory configuration\n")
+	b.WriteString(r.Config.String())
+	fmt.Fprintf(&b, "\nLine size: %d B\n", trace.LineSize)
+	fmt.Fprintf(&b, "Sanity run (astar, 50k accesses): IPC %.3f, L1D %.1f%% / L2 %.1f%% / LLC %.1f%% hit rates\n",
+		r.Sanity.IPC(), 100*r.Sanity.L1DHitRate, 100*r.Sanity.L2HitRate, 100*r.Sanity.LLCHitRate)
+	return b.String()
+}

@@ -1,0 +1,278 @@
+// Package generator implements CacheMind's response-generation module
+// (paper §3.2.4): it grounds answers in retrieved context, assembles
+// prompts (with optional one-shot/few-shot examples and conversation
+// memory), and applies the generator backend's behavioural profile —
+// successful draws emit the grounded answer, failed draws emit realistic
+// perturbations (flipped verdicts, skewed values, accepted false
+// premises, evidence-poor analysis), reproducing the paper's per-model
+// error structure on top of real retrieval.
+package generator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cachemind/internal/llm"
+	"cachemind/internal/memory"
+	"cachemind/internal/nlu"
+	"cachemind/internal/queryir"
+	"cachemind/internal/retriever"
+)
+
+// Answer is one generated response.
+type Answer struct {
+	// Text is the full human-readable response.
+	Text string
+	// Verdict is the canonical short answer used for exact-match
+	// grading: "Cache Hit", "Cache Miss", "TRICK", a policy or workload
+	// name, or a formatted number.
+	Verdict string
+	// Value carries the numeric answer when HasValue.
+	Value    float64
+	HasValue bool
+	// Grounded reports whether the answer was derived from retrieval
+	// evidence (false means the model answered without support).
+	Grounded bool
+}
+
+// Generator couples a behavioural profile with prompt assembly.
+type Generator struct {
+	Profile *llm.Profile
+	// Memory, when non-nil, contributes conversation context.
+	Memory *memory.Conversation
+	// Shots are in-context examples (one-shot/few-shot prompting).
+	Shots []llm.Example
+}
+
+// New creates a generator for the given backend profile.
+func New(p *llm.Profile) *Generator { return &Generator{Profile: p} }
+
+// BuildPrompt assembles the generator prompt for inspection and the
+// chat front-end.
+func (g *Generator) BuildPrompt(question string, ctx retriever.Context) llm.Prompt {
+	p := llm.Prompt{
+		System:   "You are a cache-replacement analysis assistant. Ground every answer in the provided trace context.",
+		Examples: g.Shots,
+		Context:  ctx.Text,
+		Question: question,
+	}
+	if g.Memory != nil {
+		if mem := g.Memory.ContextBlock(question); mem != "" {
+			p.Context = mem + "\n\n" + p.Context
+		}
+	}
+	return p
+}
+
+// Answer generates the response for a question of the given category.
+// qid must be stable per question (it seeds the success draw).
+func (g *Generator) Answer(qid, category, question string, ctx retriever.Context) Answer {
+	grounded, ok := deriveGrounded(question, ctx)
+	success := g.Profile.SucceedsShots(category, qid, ctx.Quality, len(g.Shots))
+
+	var ans Answer
+	switch {
+	case ok && success:
+		ans = grounded
+		ans.Grounded = true
+	case ok: // evidence available but the model fumbles it
+		ans = g.perturb(qid, grounded, ctx)
+		ans.Grounded = false
+	default: // no usable evidence: answer is a confabulation
+		ans = g.confabulate(qid, ctx)
+		ans.Grounded = false
+	}
+	if g.Memory != nil {
+		g.Memory.Add(question, ans.Text)
+	}
+	return ans
+}
+
+// deriveGrounded computes the evidence-supported answer from the
+// retrieval context, per intent. ok is false when the context cannot
+// support an answer.
+func deriveGrounded(question string, ctx retriever.Context) (Answer, bool) {
+	// A detected premise violation dominates every intent: the correct
+	// behaviour is rejection.
+	if v := ctx.PremiseViolation(); v != nil {
+		return Answer{
+			Text:    fmt.Sprintf("TRICK: the question's premise is invalid — %v.", v),
+			Verdict: "TRICK",
+		}, true
+	}
+
+	switch ctx.Parsed.Intent {
+	case nlu.IntentHitMiss:
+		for _, ex := range ctx.Executed {
+			if ex.Err != nil || ex.Result.Kind != queryir.KindRows || len(ex.Result.Rows) == 0 {
+				continue
+			}
+			rec := ex.Result.Frame.Record(ex.Result.Rows[0])
+			verdict := "Cache Miss"
+			if rec.Hit {
+				verdict = "Cache Hit"
+			}
+			txt := fmt.Sprintf("%s. PC %s accessing address 0x%x in %s under %s %s.",
+				verdict, queryir.PCRef(rec.PC), rec.Addr, ex.Query.Workload, ex.Query.Policy,
+				map[bool]string{true: "hits in the cache", false: "misses"}[rec.Hit])
+			if rec.EvictedAddr != 0 {
+				txt += fmt.Sprintf(" The miss evicted 0x%x, needed again in %d accesses.",
+					rec.EvictedAddr, rec.EvictedReuseDist)
+			}
+			return Answer{Text: txt, Verdict: verdict}, true
+		}
+		return Answer{}, false
+
+	case nlu.IntentMissRate, nlu.IntentArithmetic, nlu.IntentCount:
+		for _, ex := range ctx.Executed {
+			if ex.Err != nil || ex.Result.Kind != queryir.KindScalar {
+				continue
+			}
+			v := ex.Result.Scalar
+			var txt, verdict string
+			switch ex.Query.Agg {
+			case queryir.AggMissRate, queryir.AggHitRate:
+				kind := "miss rate"
+				if ex.Query.Agg == queryir.AggHitRate {
+					kind = "hit rate"
+				}
+				subject := describeSubject(ex.Query)
+				txt = fmt.Sprintf("The %s%s is %.2f%%.", kind, subject, v)
+				verdict = fmt.Sprintf("%.2f%%", v)
+			case queryir.AggCount:
+				txt = fmt.Sprintf("It appears %d times%s.", int(v), describeSubject(ex.Query))
+				verdict = fmt.Sprintf("%d", int(v))
+			default:
+				txt = fmt.Sprintf("The %s of %s%s is %.2f.", ex.Query.Agg, ex.Query.Field, describeSubject(ex.Query), v)
+				verdict = fmt.Sprintf("%.2f", v)
+			}
+			return Answer{Text: txt, Verdict: verdict, Value: v, HasValue: true}, true
+		}
+		return Answer{}, false
+
+	case nlu.IntentPolicyCompare:
+		best, ok := argbestPolicy(ctx, strings.Contains(strings.ToLower(question), "hit"))
+		if !ok {
+			return Answer{}, false
+		}
+		lines := []string{fmt.Sprintf("%s performs best here.", best)}
+		for _, ex := range ctx.Executed {
+			if ex.Err == nil && ex.Result.Kind == queryir.KindScalar {
+				lines = append(lines, fmt.Sprintf("  %s: %.2f%%", ex.Query.Policy, ex.Result.Scalar))
+			}
+		}
+		return Answer{Text: strings.Join(lines, "\n"), Verdict: best}, true
+
+	case nlu.IntentWorkloadAnalysis:
+		type wl struct {
+			name string
+			rate float64
+		}
+		var rates []wl
+		for _, ex := range ctx.Executed {
+			if ex.Err == nil && ex.Result.Kind == queryir.KindScalar {
+				rates = append(rates, wl{ex.Query.Workload, ex.Result.Scalar})
+			}
+		}
+		if len(rates) == 0 {
+			return Answer{}, false
+		}
+		sort.Slice(rates, func(i, j int) bool {
+			if rates[i].rate != rates[j].rate {
+				return rates[i].rate > rates[j].rate
+			}
+			return rates[i].name < rates[j].name
+		})
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s has the highest miss rate (%.2f%%).", rates[0].name, rates[0].rate)
+		for _, r := range rates {
+			fmt.Fprintf(&b, "\n  %s: %.2f%% miss rate", r.name, r.rate)
+		}
+		return Answer{Text: b.String(), Verdict: rates[0].name, Value: rates[0].rate, HasValue: true}, true
+
+	case nlu.IntentListPCs, nlu.IntentListSets:
+		for _, ex := range ctx.Executed {
+			if ex.Err == nil && ex.Result.Kind == queryir.KindKeys {
+				labels := make([]string, 0, len(ex.Result.Keys))
+				for _, k := range ex.Result.Keys {
+					if ctx.Parsed.Intent == nlu.IntentListPCs {
+						labels = append(labels, queryir.PCRef(k))
+					} else {
+						labels = append(labels, fmt.Sprintf("%d", k))
+					}
+				}
+				return Answer{
+					Text:    strings.Join(labels, ", "),
+					Verdict: fmt.Sprintf("%d", len(labels)),
+					Value:   float64(len(labels)), HasValue: true,
+				}, true
+			}
+		}
+		return Answer{}, false
+
+	case nlu.IntentTopMissPC, nlu.IntentPerPCStat, nlu.IntentSetStats, nlu.IntentBypass:
+		for _, ex := range ctx.Executed {
+			if ex.Err == nil && ex.Result.Kind == queryir.KindGroups && len(ex.Result.Groups) > 0 {
+				var b strings.Builder
+				top := ex.Result.Groups[0]
+				label := queryir.PCRef(top.Key)
+				if ex.Query.GroupBy == "set" {
+					label = fmt.Sprintf("set %d", top.Key)
+				}
+				fmt.Fprintf(&b, "Top: %s with %s %.2f.", label, ex.Query.Agg, top.Value)
+				for i, gRow := range ex.Result.Groups {
+					if i >= 10 {
+						break
+					}
+					key := queryir.PCRef(gRow.Key)
+					if ex.Query.GroupBy == "set" {
+						key = fmt.Sprintf("set %d", gRow.Key)
+					}
+					fmt.Fprintf(&b, "\n  %s: %.2f (n=%d)", key, gRow.Value, gRow.Count)
+				}
+				return Answer{Text: b.String(), Verdict: label, Value: top.Value, HasValue: true}, true
+			}
+		}
+		return Answer{}, false
+
+	case nlu.IntentConcept, nlu.IntentCodeGen, nlu.IntentPolicyAnalysis, nlu.IntentSemanticAnalysis:
+		// Analysis-tier answers are synthesized by the analysis
+		// renderer; grounding just requires usable context.
+		if ctx.Quality == llm.QualityLow {
+			return Answer{}, false
+		}
+		return Answer{Text: ctx.Text, Verdict: "analysis"}, true
+	}
+	return Answer{}, false
+}
+
+func describeSubject(q queryir.Query) string {
+	parts := ""
+	if q.PC != nil {
+		parts += " for PC " + queryir.PCRef(*q.PC)
+	}
+	parts += fmt.Sprintf(" in %s under %s", q.Workload, q.Policy)
+	return parts
+}
+
+func argbestPolicy(ctx retriever.Context, higherBetter bool) (string, bool) {
+	best, bestVal, found := "", 0.0, false
+	for _, ex := range ctx.Executed {
+		if ex.Err != nil || ex.Result.Kind != queryir.KindScalar {
+			continue
+		}
+		v := ex.Result.Scalar
+		if ex.Query.Agg == queryir.AggMissRate && higherBetter {
+			v = 100 - v // compare on hit rate
+		}
+		better := v < bestVal
+		if higherBetter || ex.Query.Agg == queryir.AggHitRate {
+			better = v > bestVal
+		}
+		if !found || better {
+			best, bestVal, found = ex.Query.Policy, v, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,249 @@
+package generator
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cachemind/internal/llm"
+	"cachemind/internal/memory"
+	"cachemind/internal/queryir"
+	"cachemind/internal/retriever"
+	"cachemind/internal/testfix"
+)
+
+// perfect is a profile that always succeeds: isolates the grounding
+// logic from the behavioural noise.
+func perfect() *llm.Profile {
+	comp := map[string]float64{}
+	for _, c := range []string{"hit_miss", "miss_rate", "policy_comparison", "count",
+		"arithmetic", "trick_question", "concept", "code_generation",
+		"policy_analysis", "workload_analysis", "semantic_analysis",
+		// Chat-session intents used by the §6.3 transcripts.
+		"list_pcs", "list_sets", "top_miss_pc", "set_stats",
+		"per_pc_stat", "bypass_candidates"} {
+		comp[c] = 100
+	}
+	return &llm.Profile{ID: "perfect", DisplayName: "perfect", CompetencePct: comp,
+		MediumFactor: 1, LowFactor: 1, Seed: 7}
+}
+
+// hopeless always fails.
+func hopeless() *llm.Profile {
+	p := perfect()
+	p.ID = "hopeless"
+	for k := range p.CompetencePct {
+		p.CompetencePct[k] = 0
+	}
+	return p
+}
+
+func ranger() *retriever.Ranger { return retriever.NewRanger(testfix.Store()) }
+
+func hitMissQuestion(t *testing.T) (string, string) {
+	t.Helper()
+	f, _ := testfix.Store().Frame("lbm", "lru")
+	r := f.Record(f.Len() / 3)
+	q := fmt.Sprintf("Does the memory access with PC %s and address 0x%x result in a cache hit or cache miss for the lbm workload and LRU replacement policy?",
+		queryir.PCRef(r.PC), r.Addr)
+	want := "Cache Miss"
+	if r.Hit {
+		want = "Cache Hit"
+	}
+	return q, want
+}
+
+func TestGroundedHitMiss(t *testing.T) {
+	g := New(perfect())
+	q, want := hitMissQuestion(t)
+	ctx := ranger().Retrieve(q)
+	ans := g.Answer("q1", "hit_miss", q, ctx)
+	if ans.Verdict != want {
+		t.Errorf("verdict = %q, want %q", ans.Verdict, want)
+	}
+	if !ans.Grounded {
+		t.Error("perfect profile with good retrieval must be grounded")
+	}
+	if !strings.Contains(ans.Text, want) {
+		t.Errorf("text missing verdict: %q", ans.Text)
+	}
+}
+
+func TestFailedDrawFlipsVerdict(t *testing.T) {
+	g := New(hopeless())
+	q, want := hitMissQuestion(t)
+	ctx := ranger().Retrieve(q)
+	ans := g.Answer("q1", "hit_miss", q, ctx)
+	if ans.Verdict == want {
+		t.Error("hopeless profile should flip the verdict")
+	}
+	if ans.Grounded {
+		t.Error("perturbed answer must not claim grounding")
+	}
+}
+
+func TestTrickRejection(t *testing.T) {
+	q := "Does PC 0x4037aa in lbm access address 0x1b73be82e3f under PARROT? Answer hit or miss."
+	ctx := ranger().Retrieve(q)
+	ans := New(perfect()).Answer("q2", "trick_question", q, ctx)
+	if ans.Verdict != "TRICK" {
+		t.Errorf("verdict = %q, want TRICK", ans.Verdict)
+	}
+	if !strings.Contains(ans.Text, "premise") {
+		t.Errorf("rejection should explain the premise failure: %q", ans.Text)
+	}
+	// A failing model accepts the premise (hallucination).
+	bad := New(hopeless()).Answer("q2", "trick_question", q, ctx)
+	if bad.Verdict == "TRICK" {
+		t.Error("hopeless profile should hallucinate past the premise")
+	}
+}
+
+func TestMissRateValue(t *testing.T) {
+	f, _ := testfix.Store().Frame("mcf", "parrot")
+	st, _ := f.StatsForPC(0x4037ba)
+	q := "What is the miss rate for PC 0x4037ba on the mcf workload with PARROT replacement policy?"
+	ctx := ranger().Retrieve(q)
+	ans := New(perfect()).Answer("q3", "miss_rate", q, ctx)
+	if !ans.HasValue {
+		t.Fatal("expected numeric answer")
+	}
+	if diff := ans.Value - st.MissRatePct; diff > 0.01 || diff < -0.01 {
+		t.Errorf("value = %v, want %v", ans.Value, st.MissRatePct)
+	}
+	// Failed draw skews the value.
+	bad := New(hopeless()).Answer("q3", "miss_rate", q, ctx)
+	if bad.Value == ans.Value {
+		t.Error("perturbed value should differ")
+	}
+}
+
+func TestCountGrounded(t *testing.T) {
+	f, _ := testfix.Store().Frame("astar", "lru")
+	want := len(f.RowsForPC(0x405832))
+	q := "How many times did PC 0x405832 appear in astar under LRU?"
+	ctx := ranger().Retrieve(q)
+	ans := New(perfect()).Answer("q4", "count", q, ctx)
+	if int(ans.Value) != want {
+		t.Errorf("count = %v, want %d", ans.Value, want)
+	}
+}
+
+func TestPolicyComparison(t *testing.T) {
+	q := "Which policy has the lowest miss rate for PC 0x409270 in astar?"
+	ctx := ranger().Retrieve(q)
+	ans := New(perfect()).Answer("q5", "policy_comparison", q, ctx)
+	// Compute expected winner directly.
+	bestPolicy, bestRate := "", 200.0
+	for _, polName := range testfix.Store().Policies() {
+		f, _ := testfix.Store().Frame("astar", polName)
+		st, ok := f.StatsForPC(0x409270)
+		if ok && st.MissRatePct < bestRate {
+			bestPolicy, bestRate = polName, st.MissRatePct
+		}
+	}
+	if ans.Verdict != bestPolicy {
+		t.Errorf("verdict = %q, want %q", ans.Verdict, bestPolicy)
+	}
+	// Perturbed answer picks a different policy.
+	bad := New(hopeless()).Answer("q5", "policy_comparison", q, ctx)
+	if bad.Verdict == bestPolicy {
+		t.Error("perturbed comparison should pick another policy")
+	}
+}
+
+func TestWorkloadAnalysisVerdict(t *testing.T) {
+	q := "Which workload has the highest cache miss rate under MLP?"
+	ctx := ranger().Retrieve(q)
+	ans := New(perfect()).Answer("q6", "workload_analysis", q, ctx)
+	wantName, wantRate := "", -1.0
+	for _, w := range testfix.Store().Workloads() {
+		f, _ := testfix.Store().Frame(w, "mlp")
+		rate := 100 * float64(f.Summary.Misses) / float64(f.Summary.Accesses)
+		if rate > wantRate {
+			wantName, wantRate = w, rate
+		}
+	}
+	if ans.Verdict != wantName {
+		t.Errorf("verdict = %q, want %q", ans.Verdict, wantName)
+	}
+}
+
+func TestConfabulationWithoutEvidence(t *testing.T) {
+	// Question that fails retrieval: no workload.
+	q := "What is the miss rate for PC 0x4037ba?"
+	ctx := ranger().Retrieve(q)
+	ans := New(perfect()).Answer("q7", "miss_rate", q, ctx)
+	if ans.Grounded {
+		t.Error("answer without evidence must not be grounded")
+	}
+	if !strings.Contains(ans.Text, "No supporting trace evidence") {
+		t.Errorf("confabulation should be marked: %q", ans.Text)
+	}
+}
+
+func TestAnalysisAnswerRichness(t *testing.T) {
+	q := "Why does Belady outperform LRU on PC 0x409270 in astar?"
+	ctx := ranger().Retrieve(q)
+	full := New(perfect()).AnalysisAnswer("q8", "policy_analysis", q, ctx)
+	thin := New(hopeless()).AnalysisAnswer("q8", "policy_analysis", q, ctx)
+	for _, want := range []string{"Conclusion:", "Evidence:", "Mechanism:", "Code linkage:", "Comparison:"} {
+		if !strings.Contains(full.Text, want) {
+			t.Errorf("full analysis missing %q:\n%s", want, full.Text)
+		}
+	}
+	fullElems := strings.Count(full.Text, "\n") + 1
+	thinElems := strings.Count(thin.Text, "\n") + 1
+	if thinElems >= fullElems {
+		t.Errorf("thin analysis (%d elements) should have fewer than full (%d)", thinElems, fullElems)
+	}
+}
+
+func TestAnswerDeterministic(t *testing.T) {
+	q, _ := hitMissQuestion(t)
+	ctx := ranger().Retrieve(q)
+	p, _ := llm.ByID("gpt-4o")
+	a := New(p).Answer("stable-id", "hit_miss", q, ctx)
+	b := New(p).Answer("stable-id", "hit_miss", q, ctx)
+	if a.Text != b.Text || a.Verdict != b.Verdict {
+		t.Error("generation not deterministic")
+	}
+}
+
+func TestMemoryIntegration(t *testing.T) {
+	g := New(perfect())
+	g.Memory = memory.New(4)
+	q, _ := hitMissQuestion(t)
+	ctx := ranger().Retrieve(q)
+	g.Answer("q9", "hit_miss", q, ctx)
+	if g.Memory.Len() != 1 {
+		t.Error("answer should be recorded in memory")
+	}
+	prompt := g.BuildPrompt("follow-up question", ctx)
+	if !strings.Contains(prompt.Render(), "User:") {
+		t.Error("prompt should include memory context")
+	}
+}
+
+func TestBuildPromptShots(t *testing.T) {
+	g := New(perfect())
+	g.Shots = []llm.Example{{Context: "c", Question: "q", Answer: "a"}}
+	q, _ := hitMissQuestion(t)
+	p := g.BuildPrompt(q, ranger().Retrieve(q))
+	if len(p.Examples) != 1 {
+		t.Error("shots not attached")
+	}
+	if !strings.Contains(p.Render(), "Example 1:") {
+		t.Error("rendered prompt missing example")
+	}
+}
+
+func TestSieveContextAlsoGrounds(t *testing.T) {
+	s := retriever.NewSieve(testfix.Store())
+	q, want := hitMissQuestion(t)
+	ctx := s.Retrieve(q)
+	ans := New(perfect()).Answer("q10", "hit_miss", q, ctx)
+	if ans.Verdict != want {
+		t.Errorf("sieve-grounded verdict = %q, want %q", ans.Verdict, want)
+	}
+}

@@ -1,0 +1,257 @@
+package generator
+
+import (
+	"fmt"
+	"strings"
+
+	"cachemind/internal/nlu"
+	"cachemind/internal/queryir"
+	"cachemind/internal/retriever"
+)
+
+// perturb turns a grounded answer into a realistic wrong one. The
+// perturbation is deterministic per (profile, question): verdicts flip,
+// premise rejections get confabulated away, values skew by a plausible
+// factor, rankings swap, analyses lose their evidence.
+func (g *Generator) perturb(qid string, grounded Answer, ctx retriever.Context) Answer {
+	r := g.Profile.Draw(qid + "/perturb")
+
+	switch grounded.Verdict {
+	case "Cache Hit":
+		return Answer{Text: "Cache Miss. The access misses in the cache.", Verdict: "Cache Miss"}
+	case "Cache Miss":
+		return Answer{Text: "Cache Hit. The access hits in the cache.", Verdict: "Cache Hit"}
+	case "TRICK":
+		// Hallucination under adversarial phrasing: the model accepts
+		// the false premise and invents an outcome.
+		verdict := "Cache Miss"
+		if r > 0.5 {
+			verdict = "Cache Hit"
+		}
+		return Answer{
+			Text:    fmt.Sprintf("%s. The access resolves normally in the trace.", verdict),
+			Verdict: verdict,
+		}
+	}
+
+	if grounded.HasValue {
+		// Skew the value: off-by-a-chunk errors (wrong filter, partial
+		// iteration) rather than noise.
+		factors := []float64{0.5, 0.77, 1.3, 2.1}
+		f := factors[int(r*4)%4]
+		v := grounded.Value * f
+		return Answer{
+			Text:     fmt.Sprintf("%s (recomputed: %.2f)", skewText(grounded.Text, v), v),
+			Verdict:  fmt.Sprintf("%.2f", v),
+			Value:    v,
+			HasValue: true,
+		}
+	}
+
+	if grounded.Verdict == "analysis" {
+		// Degraded analysis: keep only a thin slice of the evidence.
+		return Answer{Text: renderAnalysis("", ctx, 2), Verdict: "analysis"}
+	}
+
+	// Categorical answers (policy or workload names): pick a different
+	// category member.
+	alternatives := alternativeNames(grounded.Verdict, ctx)
+	if len(alternatives) > 0 {
+		alt := alternatives[int(r*float64(len(alternatives)))%len(alternatives)]
+		return Answer{
+			Text:    fmt.Sprintf("%s appears to perform best here.", alt),
+			Verdict: alt,
+		}
+	}
+	return Answer{Text: "The evidence is inconclusive.", Verdict: "unknown"}
+}
+
+func skewText(orig string, v float64) string {
+	if i := strings.IndexByte(orig, '.'); i > 0 && i < 40 {
+		return orig[:i]
+	}
+	return "Estimated value"
+}
+
+func alternativeNames(current string, ctx retriever.Context) []string {
+	seen := map[string]bool{current: true}
+	var out []string
+	for _, ex := range ctx.Executed {
+		for _, cand := range []string{ex.Query.Policy, ex.Query.Workload} {
+			if cand != "" && cand != nlu.AllPolicies && !seen[cand] {
+				seen[cand] = true
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+// confabulate answers without evidence — the behaviour of a generator
+// whose retrieval failed. Deterministic per question.
+func (g *Generator) confabulate(qid string, ctx retriever.Context) Answer {
+	r := g.Profile.Draw(qid + "/confab")
+	switch ctx.Parsed.Intent {
+	case nlu.IntentHitMiss:
+		v := "Cache Miss"
+		if r > 0.6 {
+			v = "Cache Hit"
+		}
+		return Answer{Text: v + ". (No supporting trace evidence was retrieved.)", Verdict: v}
+	case nlu.IntentMissRate, nlu.IntentArithmetic, nlu.IntentCount:
+		v := 5 + r*90
+		return Answer{
+			Text:     fmt.Sprintf("Approximately %.2f. (No supporting trace evidence was retrieved.)", v),
+			Verdict:  fmt.Sprintf("%.2f", v),
+			Value:    v,
+			HasValue: true,
+		}
+	default:
+		return Answer{
+			Text:    "Based on general knowledge the behaviour likely follows typical recency patterns, but no trace evidence was retrieved.",
+			Verdict: "unknown",
+		}
+	}
+}
+
+// AnalysisAnswer renders an analysis-tier response with controlled
+// evidence richness. Success produces the full five-element answer
+// (conclusion, quantitative evidence, mechanism, code linkage,
+// comparative framing); failure keeps only `level` of those elements —
+// the degradation the ARA rubric measures.
+func (g *Generator) AnalysisAnswer(qid, category, question string, ctx retriever.Context) Answer {
+	level := 5
+	if !g.Profile.Succeeds(category, qid, ctx.Quality) {
+		level = g.Profile.ReasoningScore(category, qid, ctx.Quality)
+		if level > 3 {
+			level = 3
+		}
+	}
+	text := renderAnalysis(question, ctx, level)
+	ans := Answer{Text: text, Verdict: "analysis", Grounded: level >= 4}
+	if g.Memory != nil {
+		g.Memory.Add(question, ans.Text)
+	}
+	return ans
+}
+
+// renderAnalysis builds the analysis text with `level` of the five
+// evidence elements (0 = vacuous, 5 = complete).
+func renderAnalysis(question string, ctx retriever.Context, level int) string {
+	var parts []string
+
+	// Element 1: a conclusion tied to the question.
+	if level >= 1 {
+		parts = append(parts, "Conclusion: "+conclusionFor(ctx))
+	}
+	// Element 2: quantitative evidence from the retrieved context —
+	// for code-generation questions, the evidence is the retrieval
+	// program itself plus its executed result.
+	if level >= 2 {
+		if ctx.Parsed.Intent == nlu.IntentCodeGen && len(ctx.Executed) > 0 {
+			ex := ctx.Executed[0]
+			prog := queryir.RenderProgram(ex.Query)
+			evidence := "Program:\n" + prog
+			if ex.Err == nil && ex.Result.Kind == queryir.KindScalar {
+				evidence += fmt.Sprintf("\nExecuted result: %.0f", ex.Result.Scalar)
+			}
+			parts = append(parts, evidence)
+		} else if nums := firstNumbers(ctx.Text, 3); nums != "" {
+			parts = append(parts, "Evidence: "+nums)
+		} else {
+			parts = append(parts, "Evidence: retrieved trace statistics attached.")
+		}
+	}
+	// Element 3: the mechanism linking policy to outcome.
+	if level >= 3 {
+		parts = append(parts, "Mechanism: recency-driven eviction interacts with the observed reuse distances; "+
+			"lines whose reuse distance exceeds the eviction horizon are lost under recency policies while "+
+			"reuse-aware ordering preserves them.")
+	}
+	// Element 4: code / PC linkage.
+	if level >= 4 {
+		if fn := functionMention(ctx.Text); fn != "" {
+			parts = append(parts, "Code linkage: the behaviour maps to "+fn+".")
+		} else {
+			parts = append(parts, "Code linkage: the dominant PCs map to the workload's inner loops.")
+		}
+	}
+	// Element 5: comparative framing across policies or workloads.
+	if level >= 5 {
+		parts = append(parts, "Comparison: "+comparativeFraming(ctx))
+	}
+	if len(parts) == 0 {
+		return "The behaviour is hard to characterize without more context."
+	}
+	return strings.Join(parts, "\n")
+}
+
+func conclusionFor(ctx retriever.Context) string {
+	switch ctx.Parsed.Intent {
+	case nlu.IntentPolicyAnalysis:
+		return "the policies diverge on this PC because their eviction orderings rank its reuse pattern differently."
+	case nlu.IntentSemanticAnalysis:
+		return "the PC's cache behaviour follows directly from its loop structure and access stride."
+	case nlu.IntentWorkloadAnalysis:
+		return "the workloads separate by how much of their traffic is streaming versus reused."
+	case nlu.IntentCodeGen:
+		return "the retrieval program filters the frame by the requested symbols and aggregates the outcome column."
+	default:
+		return "the observed rates follow from the interaction of working-set size and cache capacity."
+	}
+}
+
+// firstNumbers extracts up to n numeric snippets from the context text.
+func firstNumbers(text string, n int) string {
+	var out []string
+	fields := strings.Fields(text)
+	for _, f := range fields {
+		trimmed := strings.Trim(f, ".,;:()%")
+		if trimmed == "" {
+			continue
+		}
+		numeric := true
+		dots := 0
+		for _, c := range trimmed {
+			if c == '.' {
+				dots++
+				continue
+			}
+			if c < '0' || c > '9' {
+				numeric = false
+				break
+			}
+		}
+		if numeric && dots <= 1 && len(trimmed) >= 2 {
+			out = append(out, f)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return strings.Join(out, ", ")
+}
+
+func functionMention(text string) string {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "Source function: ") {
+			return strings.TrimPrefix(line, "Source function: ")
+		}
+	}
+	return ""
+}
+
+func comparativeFraming(ctx retriever.Context) string {
+	var names []string
+	seen := map[string]bool{}
+	for _, ex := range ctx.Executed {
+		if ex.Err == nil && ex.Result.Kind == queryir.KindScalar && !seen[ex.Query.Policy] {
+			seen[ex.Query.Policy] = true
+			names = append(names, fmt.Sprintf("%s at %.2f%%", ex.Query.Policy, ex.Result.Scalar))
+		}
+	}
+	if len(names) >= 2 {
+		return strings.Join(names, " vs ")
+	}
+	return "against the other policies the gap tracks each policy's scan resistance."
+}

@@ -1,0 +1,139 @@
+package generator
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cachemind/internal/llm"
+	"cachemind/internal/memory"
+	"cachemind/internal/nlu"
+	"cachemind/internal/retriever"
+	"cachemind/internal/testfix"
+)
+
+// Integration: the paper's Figure 12 session — list PCs, find the top
+// miss PC, get its miss rate — run as a real multi-turn conversation
+// with memory.
+func TestDominantMissPCSession(t *testing.T) {
+	g := New(perfect())
+	g.Memory = memory.New(6)
+	r := retriever.NewRanger(testfix.Store())
+
+	ask := func(id, q string) Answer {
+		ctx := r.Retrieve(q)
+		return g.Answer(id, ctx.Parsed.Intent.String(), q, ctx)
+	}
+
+	a1 := ask("s1", "List all unique PCs in the mcf trace under LRU.")
+	if !strings.Contains(a1.Text, "0x4037aa") {
+		t.Fatalf("PC listing missing arc-scan PC: %q", a1.Text)
+	}
+
+	a2 := ask("s2", "From the unique PCs, identify the PC causing the most cache misses in mcf under LRU.")
+	f, _ := testfix.Store().Frame("mcf", "lru")
+	wantPC, wantMisses := uint64(0), 0
+	for _, st := range f.AllPCStats() {
+		if st.Misses > wantMisses {
+			wantPC, wantMisses = st.PC, st.Misses
+		}
+	}
+	if !strings.Contains(a2.Verdict, fmt.Sprintf("0x%x", wantPC)) {
+		t.Fatalf("top-miss verdict = %q, want %#x", a2.Verdict, wantPC)
+	}
+
+	a3 := ask("s3", fmt.Sprintf("What is the miss rate of PC 0x%x in mcf under LRU?", wantPC))
+	st, _ := f.StatsForPC(wantPC)
+	if !a3.HasValue || a3.Value-st.MissRatePct > 0.01 || st.MissRatePct-a3.Value > 0.01 {
+		t.Fatalf("miss rate answer %v, want %.2f", a3.Value, st.MissRatePct)
+	}
+
+	// Memory accumulated the session.
+	if g.Memory.Len() != 3 {
+		t.Errorf("memory recorded %d turns", g.Memory.Len())
+	}
+	block := g.Memory.ContextBlock("follow-up")
+	if !strings.Contains(block, "User:") {
+		t.Errorf("memory context block malformed: %q", block)
+	}
+}
+
+// Integration: the Figure 13 set-hotness session.
+func TestSetHotnessSession(t *testing.T) {
+	g := New(perfect())
+	g.Memory = memory.New(6)
+	r := retriever.NewRanger(testfix.Store())
+
+	ctx := r.Retrieve("For astar workload and Belady replacement policy, could you list unique cache sets in ascending order?")
+	if ctx.Parsed.Intent != nlu.IntentListSets {
+		t.Fatalf("intent = %v", ctx.Parsed.Intent)
+	}
+	a := g.Answer("h1", ctx.Parsed.Intent.String(), ctx.Question, ctx)
+	if !a.HasValue || a.Value == 0 {
+		t.Fatalf("set listing empty: %+v", a)
+	}
+
+	ctx = r.Retrieve("For astar under belady, identify 5 hot and 5 cold sets by hit rate.")
+	a = g.Answer("h2", ctx.Parsed.Intent.String(), ctx.Question, ctx)
+	if !strings.Contains(a.Text, "set ") {
+		t.Fatalf("hotness answer lacks sets: %q", a.Text)
+	}
+}
+
+// Code-generation answers embed the rendered retrieval program and its
+// executed result.
+func TestCodeGenAnswerEmbedsProgram(t *testing.T) {
+	f, _ := testfix.Store().Frame("mcf", "lru")
+	rec := f.Record(100)
+	q := fmt.Sprintf("Write code to compute the number of cache hits for PC 0x%x and address 0x%x in mcf under LRU.",
+		rec.PC, rec.Addr)
+	r := retriever.NewRanger(testfix.Store())
+	ctx := r.Retrieve(q)
+	ans := New(perfect()).AnalysisAnswer("cg1", "code_generation", q, ctx)
+	for _, want := range []string{"loaded_data[", "result =", "Executed result:"} {
+		if !strings.Contains(ans.Text, want) {
+			t.Errorf("codegen answer missing %q:\n%s", want, ans.Text)
+		}
+	}
+}
+
+// One-shot prompting must improve trick-question rejection for a weak
+// backend while leaving strong categories alone — the §6.1 finding.
+func TestShotsEffectOnTrick(t *testing.T) {
+	p, _ := llm.ByID("o3") // weak trick baseline (20%)
+	base := p.SuccessProbShots("trick_question", llm.QualityHigh, 0)
+	one := p.SuccessProbShots("trick_question", llm.QualityHigh, 1)
+	three := p.SuccessProbShots("trick_question", llm.QualityHigh, 3)
+	if !(base < one && one < three) {
+		t.Errorf("trick prob should rise with shots: %v %v %v", base, one, three)
+	}
+	// Low-quality contexts get worse (the model adopts the example's
+	// context as its own).
+	lowBase := p.SuccessProbShots("hit_miss", llm.QualityLow, 0)
+	lowThree := p.SuccessProbShots("hit_miss", llm.QualityLow, 3)
+	if lowThree >= lowBase {
+		t.Errorf("low-quality prob should fall with shots: %v -> %v", lowBase, lowThree)
+	}
+	// High-quality non-trick categories are untouched.
+	if p.SuccessProbShots("hit_miss", llm.QualityHigh, 3) != p.SuccessProb("hit_miss", llm.QualityHigh) {
+		t.Error("shots should not change high-quality non-trick competence")
+	}
+}
+
+// Median arithmetic flows end to end through parse, execution and
+// generation.
+func TestMedianEndToEnd(t *testing.T) {
+	q := "What is the median reuse distance for PC 0x4037ba in mcf under LRU?"
+	r := retriever.NewRanger(testfix.Store())
+	ctx := r.Retrieve(q)
+	if ctx.Quality != llm.QualityHigh {
+		t.Fatalf("quality = %v, err = %v", ctx.Quality, ctx.Err)
+	}
+	ans := New(perfect()).Answer("med1", "arithmetic", q, ctx)
+	if !ans.HasValue {
+		t.Fatalf("no numeric answer: %+v", ans)
+	}
+	if !strings.Contains(ctx.Text, "median") {
+		t.Errorf("context missing median aggregation:\n%s", ctx.Text)
+	}
+}

@@ -1,0 +1,197 @@
+// Package insights implements the §6.3 actionable-insight analyses
+// CacheMind's chat sessions derive: bypass-candidate identification,
+// stable-PC selection for Mockingjay's reuse-distance predictor,
+// dominant-miss-PC recovery for software prefetching, and cache-set
+// hotness classification. Each analysis is the programmatic form of the
+// corresponding paper transcript (Figures 10-13).
+package insights
+
+import (
+	"sort"
+
+	"cachemind/internal/db"
+	"cachemind/internal/stats"
+	"cachemind/internal/trace"
+)
+
+// BypassCandidate is a PC whose accesses pollute the cache: near-zero
+// hit rate with reuse distances beyond the eviction horizon.
+type BypassCandidate struct {
+	PC           uint64
+	HitRatePct   float64
+	MeanReuse    float64
+	Accesses     int
+	FunctionName string
+}
+
+// BypassCandidates ranks PCs for insertion bypass from a frame
+// (conventionally the workload's Belady frame, where even the optimal
+// policy cannot keep the lines): PCs with hit rate below maxHitRatePct
+// and mean reuse distance above minReuse, ordered by traffic volume so
+// bypassing the top-k removes the most pollution.
+func BypassCandidates(f *db.Frame, maxHitRatePct, minReuse float64, k int) []BypassCandidate {
+	var out []BypassCandidate
+	for _, st := range f.AllPCStats() {
+		if st.Accesses < 50 {
+			continue // too little traffic to matter
+		}
+		meanReuse := st.MeanAccessReuse
+		if st.DeadAccessPct > 50 {
+			// Mostly dead-on-arrival traffic is an ideal bypass target
+			// regardless of the mean over its few reused accesses.
+			meanReuse = minReuse + 1
+		}
+		if st.HitRatePct <= maxHitRatePct && meanReuse > minReuse {
+			out = append(out, BypassCandidate{
+				PC:           st.PC,
+				HitRatePct:   st.HitRatePct,
+				MeanReuse:    st.MeanAccessReuse,
+				Accesses:     st.Accesses,
+				FunctionName: st.FunctionName,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Accesses != out[j].Accesses {
+			return out[i].Accesses > out[j].Accesses
+		}
+		return out[i].PC < out[j].PC
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// PCVariance summarizes one PC's reuse-distance predictability.
+type PCVariance struct {
+	PC      uint64
+	Mean    float64
+	Std     float64
+	Samples int
+	// CV2 is the squared coefficient of variation (variance/mean^2).
+	CV2 float64
+	// QCD is the quartile coefficient of dispersion,
+	// (Q3-Q1)/(Q3+Q1) — the robust stability measure the Mockingjay
+	// use case groups PCs by. Unlike CV it is insensitive to the rare
+	// wrap-around outliers strided PCs exhibit, which is what separates
+	// genuinely noisy PCs (irregular scatter) from regular ones.
+	QCD float64
+}
+
+// ReuseVariance computes per-PC reuse-distance variability from a raw
+// access stream — the paper's "compute mean and std of ETR per PC"
+// session steps. Results are sorted by ascending QCD (most stable
+// first).
+func ReuseVariance(accs []trace.Access) []PCVariance {
+	reuse, _ := trace.AnnotateReuse(accs)
+	byPC := map[uint64][]float64{}
+	for i, a := range accs {
+		if reuse[i] != trace.NoReuse {
+			byPC[a.PC] = append(byPC[a.PC], float64(reuse[i]))
+		}
+	}
+	out := make([]PCVariance, 0, len(byPC))
+	for pc, xs := range byPC {
+		mean := stats.Mean(xs)
+		std := stats.StdDev(xs)
+		cv2 := 0.0
+		if mean > 0 {
+			cv2 = (std * std) / (mean * mean)
+		}
+		q1, q3 := stats.Percentile(xs, 25), stats.Percentile(xs, 75)
+		qcd := 0.0
+		if q1+q3 > 0 {
+			qcd = (q3 - q1) / (q3 + q1)
+		}
+		out = append(out, PCVariance{PC: pc, Mean: mean, Std: std, Samples: len(xs), CV2: cv2, QCD: qcd})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].QCD != out[j].QCD {
+			return out[i].QCD < out[j].QCD
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}
+
+// StablePCs returns the PCs whose reuse distances are predictable
+// enough to train a reuse-distance predictor on: quartile dispersion at
+// most maxQCD with at least minSamples observations.
+func StablePCs(accs []trace.Access, maxQCD float64, minSamples int) []uint64 {
+	var out []uint64
+	for _, v := range ReuseVariance(accs) {
+		if v.QCD <= maxQCD && v.Samples >= minSamples {
+			out = append(out, v.PC)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DominantMissPC returns the PC responsible for the most misses in a
+// frame, with its miss rate — the software-prefetch use case's target.
+func DominantMissPC(f *db.Frame) (pc uint64, misses int, missRatePct float64) {
+	for _, st := range f.AllPCStats() {
+		if st.Misses > misses || (st.Misses == misses && st.PC < pc) {
+			pc, misses, missRatePct = st.PC, st.Misses, st.MissRatePct
+		}
+	}
+	return pc, misses, missRatePct
+}
+
+// SetClass holds the hot/cold set classification of one frame.
+type SetClass struct {
+	// Hot and Cold are the k highest- and lowest-hit-rate sets (among
+	// sets with enough traffic), descending/ascending respectively.
+	Hot  []db.SetStats
+	Cold []db.SetStats
+}
+
+// SetHotness classifies sets by hit rate, ignoring sets with fewer than
+// minAccesses accesses (rarely-touched sets have meaningless rates).
+func SetHotness(f *db.Frame, k, minAccesses int) SetClass {
+	var eligible []db.SetStats
+	for _, st := range f.AllSetStats() {
+		if st.Accesses >= minAccesses {
+			eligible = append(eligible, st)
+		}
+	}
+	sort.Slice(eligible, func(i, j int) bool {
+		if eligible[i].HitRatePct != eligible[j].HitRatePct {
+			return eligible[i].HitRatePct > eligible[j].HitRatePct
+		}
+		return eligible[i].Set < eligible[j].Set
+	})
+	var sc SetClass
+	if k > len(eligible) {
+		k = len(eligible)
+	}
+	sc.Hot = append(sc.Hot, eligible[:k]...)
+	cold := append([]db.SetStats(nil), eligible[len(eligible)-k:]...)
+	// Cold ascending by hit rate.
+	sort.Slice(cold, func(i, j int) bool {
+		if cold[i].HitRatePct != cold[j].HitRatePct {
+			return cold[i].HitRatePct < cold[j].HitRatePct
+		}
+		return cold[i].Set < cold[j].Set
+	})
+	sc.Cold = cold
+	return sc
+}
+
+// HotSetOverlap counts how many of a's hot sets also appear among b's —
+// the paper's "hot set identity likely overlaps" cross-policy check.
+func HotSetOverlap(a, b SetClass) int {
+	inB := map[int]bool{}
+	for _, st := range b.Hot {
+		inB[st.Set] = true
+	}
+	n := 0
+	for _, st := range a.Hot {
+		if inB[st.Set] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,247 @@
+package llm
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogueShape(t *testing.T) {
+	cat := Catalogue()
+	if len(cat) != 5 {
+		t.Fatalf("catalogue = %d backends, want 5", len(cat))
+	}
+	ids := map[string]bool{}
+	for _, p := range cat {
+		if ids[p.ID] {
+			t.Errorf("duplicate profile id %s", p.ID)
+		}
+		ids[p.ID] = true
+		if len(p.CompetencePct) != 11 {
+			t.Errorf("%s covers %d categories, want 11", p.ID, len(p.CompetencePct))
+		}
+		if p.MediumFactor <= 0 || p.MediumFactor > 1 || p.LowFactor <= 0 || p.LowFactor >= p.MediumFactor {
+			t.Errorf("%s quality factors implausible: med=%v low=%v", p.ID, p.MediumFactor, p.LowFactor)
+		}
+	}
+	if _, ok := ByID("gpt-4o"); !ok {
+		t.Error("ByID(gpt-4o) failed")
+	}
+	if _, ok := ByID("gpt-5"); ok {
+		t.Error("unknown backend resolved")
+	}
+}
+
+// Figure 4 calibration: count is hopeless for every backend, and GPT-4o
+// leads the reasoning-heavy categories.
+func TestCalibrationMatchesPaperOrdering(t *testing.T) {
+	for _, p := range Catalogue() {
+		if p.CompetencePct["count"] != 0 {
+			t.Errorf("%s count competence = %v, paper reports 0 for all", p.ID, p.CompetencePct["count"])
+		}
+	}
+	g4o, _ := ByID("gpt-4o")
+	g35, _ := ByID("gpt-3.5-turbo")
+	ft, _ := ByID("ft-4o-mini")
+	mini, _ := ByID("gpt-4o-mini")
+	if g4o.CompetencePct["trick_question"] <= g35.CompetencePct["trick_question"] {
+		t.Error("GPT-4o must dominate GPT-3.5 on trick questions")
+	}
+	// The paper's fine-tuning finding: hallucination amplification.
+	if ft.CompetencePct["trick_question"] >= mini.CompetencePct["trick_question"] {
+		t.Error("finetuned 4o-mini must regress on trick questions vs its base")
+	}
+	if ft.CompetencePct["semantic_analysis"] >= mini.CompetencePct["semantic_analysis"] {
+		t.Error("finetuned 4o-mini must regress on semantic analysis vs its base")
+	}
+}
+
+func TestSuccessProbQualityGradient(t *testing.T) {
+	p, _ := ByID("gpt-4o")
+	hi := p.SuccessProb("hit_miss", QualityHigh)
+	med := p.SuccessProb("hit_miss", QualityMedium)
+	lo := p.SuccessProb("hit_miss", QualityLow)
+	if !(hi > med && med > lo) {
+		t.Errorf("quality gradient broken: %v / %v / %v", hi, med, lo)
+	}
+	if hi > 1 || lo < 0 {
+		t.Error("probabilities out of range")
+	}
+	// Unknown category falls back to 50%.
+	if got := p.SuccessProb("nonexistent", QualityHigh); got != 0.5 {
+		t.Errorf("unknown category prob = %v", got)
+	}
+}
+
+func TestDrawDeterministicAndUniformish(t *testing.T) {
+	p, _ := ByID("o3")
+	if p.Draw("q1") != p.Draw("q1") {
+		t.Error("draw not deterministic")
+	}
+	if p.Draw("q1") == p.Draw("q2") {
+		t.Error("distinct questions should draw differently")
+	}
+	// Crude uniformity: mean of many draws near 0.5.
+	var sum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sum += p.Draw(strings.Repeat("x", i%7) + string(rune('a'+i%26)) + string(rune('0'+i%10)) + itoa(i))
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.05 {
+		t.Errorf("draw mean = %v, want ~0.5", mean)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestProfilesDisagree(t *testing.T) {
+	a, _ := ByID("gpt-4o")
+	b, _ := ByID("gpt-3.5-turbo")
+	if a.Draw("same-question") == b.Draw("same-question") {
+		t.Error("different profiles must draw independently")
+	}
+}
+
+func TestSucceedsAggregatesToCompetence(t *testing.T) {
+	p, _ := ByID("gpt-4o")
+	const n = 4000
+	wins := 0
+	for i := 0; i < n; i++ {
+		if p.Succeeds("policy_analysis", "q"+itoa(i), QualityHigh) {
+			wins++
+		}
+	}
+	got := 100 * float64(wins) / n
+	want := p.CompetencePct["policy_analysis"]
+	if math.Abs(got-want) > 4 {
+		t.Errorf("empirical success %.1f%%, calibrated %.1f%%", got, want)
+	}
+}
+
+func TestReasoningScoreRange(t *testing.T) {
+	for _, p := range Catalogue() {
+		for i := 0; i < 500; i++ {
+			s := p.ReasoningScore("semantic_analysis", "q"+itoa(i), QualityMedium)
+			if s < 0 || s > 5 {
+				t.Fatalf("%s score %d out of range", p.ID, s)
+			}
+		}
+	}
+}
+
+// o3's low MediumFactor should make its score distribution more bimodal
+// (more 0s and 5s combined) than GPT-4o's at medium quality.
+func TestO3Bimodality(t *testing.T) {
+	o3, _ := ByID("o3")
+	g4o, _ := ByID("gpt-4o")
+	extremes := func(p *Profile) int {
+		n := 0
+		for i := 0; i < 1000; i++ {
+			s := p.ReasoningScore("policy_analysis", "q"+itoa(i), QualityMedium)
+			if s == 0 || s == 5 {
+				n++
+			}
+		}
+		return n
+	}
+	if extremes(o3) <= extremes(g4o) {
+		t.Error("o3 should be more bimodal than GPT-4o at medium retrieval quality")
+	}
+}
+
+func TestSuccessProbShots(t *testing.T) {
+	p, _ := ByID("gpt-3.5-turbo") // trick competence 0
+	// Trick bonus per shot, capped at 0.95.
+	if got := p.SuccessProbShots("trick_question", QualityHigh, 1); got != 0.20 {
+		t.Errorf("one-shot trick prob = %v, want 0.20", got)
+	}
+	if got := p.SuccessProbShots("trick_question", QualityHigh, 10); got != 0.95 {
+		t.Errorf("capped trick prob = %v, want 0.95", got)
+	}
+	// Low-quality penalty, floored at 0.
+	lowBase := p.SuccessProb("miss_rate", QualityLow)
+	if got := p.SuccessProbShots("miss_rate", QualityLow, 1); got >= lowBase {
+		t.Errorf("low-quality shot penalty missing: %v >= %v", got, lowBase)
+	}
+	if got := p.SuccessProbShots("miss_rate", QualityLow, 100); got != 0 {
+		t.Errorf("penalty should floor at 0, got %v", got)
+	}
+	// Zero shots is the plain probability.
+	if p.SuccessProbShots("hit_miss", QualityHigh, 0) != p.SuccessProb("hit_miss", QualityHigh) {
+		t.Error("zero shots must not adjust")
+	}
+	// SucceedsShots stays consistent with the adjusted probability.
+	wins := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if p.SucceedsShots("trick_question", "q"+itoa(i), QualityHigh, 3) {
+			wins++
+		}
+	}
+	want := p.SuccessProbShots("trick_question", QualityHigh, 3)
+	if got := float64(wins) / n; got < want-0.05 || got > want+0.05 {
+		t.Errorf("empirical shots success %.3f, want ~%.3f", got, want)
+	}
+}
+
+func TestQualityString(t *testing.T) {
+	if QualityLow.String() != "Low" || QualityMedium.String() != "Medium" || QualityHigh.String() != "High" {
+		t.Error("quality names wrong")
+	}
+}
+
+func TestPromptRender(t *testing.T) {
+	p := Prompt{
+		System:   "Be grounded.",
+		Examples: []Example{{Context: "ctx0", Question: "q0", Answer: "a0"}},
+		Context:  "retrieved evidence",
+		Question: "does it hit?",
+	}
+	s := p.Render()
+	for _, want := range []string{"SYSTEM: Be grounded.", "Example 1:", "ctx0", "retrieved evidence", "does it hit?"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+	// Order: system, example, context, question.
+	if strings.Index(s, "SYSTEM") > strings.Index(s, "Example 1") ||
+		strings.Index(s, "Example 1") > strings.Index(s, "retrieved evidence") {
+		t.Error("prompt section order wrong")
+	}
+}
+
+func TestCategoryNamesSorted(t *testing.T) {
+	p, _ := ByID("gpt-4o")
+	names := p.CategoryNames()
+	if len(names) != 11 {
+		t.Fatalf("names = %d", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Error("names not sorted")
+		}
+	}
+}
+
+// Property: Draw is always in [0, 1).
+func TestDrawRangeProperty(t *testing.T) {
+	p, _ := ByID("gpt-4o-mini")
+	f := func(q string) bool {
+		d := p.Draw(q)
+		return d >= 0 && d < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+// Package memory implements the conversation-memory layer the paper
+// augments its generator with: a sliding buffer of recent turns,
+// compact summaries of evicted turns, and a vector store over past
+// findings that re-surfaces relevant slices when similar questions
+// recur — enabling the multi-turn analysis sessions of §6.3.
+package memory
+
+import (
+	"fmt"
+	"strings"
+
+	"cachemind/internal/embed"
+)
+
+// Turn is one question/answer exchange.
+type Turn struct {
+	Question string
+	Answer   string
+}
+
+// Conversation is the generator's memory.
+type Conversation struct {
+	bufferCap int
+	buffer    []Turn
+	summaries []string
+	vector    *embed.Index
+	turnCount int
+}
+
+// New creates a conversation memory holding bufferCap recent turns
+// verbatim (minimum 1).
+func New(bufferCap int) *Conversation {
+	if bufferCap < 1 {
+		bufferCap = 1
+	}
+	return &Conversation{bufferCap: bufferCap, vector: embed.NewIndex()}
+}
+
+// Add records a completed turn. When the sliding buffer overflows, the
+// oldest turn is compacted into a summary and remains reachable through
+// the vector store.
+func (c *Conversation) Add(question, answer string) {
+	c.turnCount++
+	id := fmt.Sprintf("turn-%04d", c.turnCount)
+	c.vector.Add(id, question+" "+answer)
+	c.buffer = append(c.buffer, Turn{Question: question, Answer: answer})
+	if len(c.buffer) > c.bufferCap {
+		old := c.buffer[0]
+		c.buffer = c.buffer[1:]
+		c.summaries = append(c.summaries, summarize(old))
+	}
+}
+
+// summarize compacts a turn into one line: the question plus the
+// answer's leading clause.
+func summarize(t Turn) string {
+	ans := t.Answer
+	if i := strings.IndexAny(ans, ".\n"); i > 0 {
+		ans = ans[:i]
+	}
+	if len(ans) > 120 {
+		ans = ans[:120] + "..."
+	}
+	return "Q: " + firstLine(t.Question) + " -> " + ans
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// Len returns the number of turns recorded overall.
+func (c *Conversation) Len() int { return c.turnCount }
+
+// Recent returns the buffered turns, oldest first.
+func (c *Conversation) Recent() []Turn { return append([]Turn(nil), c.buffer...) }
+
+// Summaries returns the compacted older turns, oldest first.
+func (c *Conversation) Summaries() []string { return append([]string(nil), c.summaries...) }
+
+// Recall returns up to k past turns relevant to the question, found by
+// vector similarity — the re-retrieval path for "as computed earlier"
+// follow-ups.
+func (c *Conversation) Recall(question string, k int) []string {
+	matches := c.vector.TopK(question, k)
+	out := make([]string, 0, len(matches))
+	for _, m := range matches {
+		if txt, ok := c.vector.Text(m.ID); ok {
+			out = append(out, txt)
+		}
+	}
+	return out
+}
+
+// ContextBlock renders the memory contribution to a prompt: summaries
+// of older turns, then recent turns verbatim, then vector recalls
+// relevant to the upcoming question.
+func (c *Conversation) ContextBlock(question string) string {
+	var b strings.Builder
+	if len(c.summaries) > 0 {
+		b.WriteString("Earlier findings:\n")
+		start := 0
+		if len(c.summaries) > 5 {
+			start = len(c.summaries) - 5
+		}
+		for _, s := range c.summaries[start:] {
+			b.WriteString("  " + s + "\n")
+		}
+	}
+	for _, t := range c.buffer {
+		fmt.Fprintf(&b, "User: %s\nAssistant: %s\n", firstLine(t.Question), firstLine(t.Answer))
+	}
+	if c.turnCount > c.bufferCap {
+		if recalls := c.Recall(question, 2); len(recalls) > 0 {
+			b.WriteString("Recalled relevant turns:\n")
+			for _, r := range recalls {
+				b.WriteString("  " + firstLine(r) + "\n")
+			}
+		}
+	}
+	return strings.TrimSpace(b.String())
+}

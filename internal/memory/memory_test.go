@@ -1,0 +1,105 @@
+package memory
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSlidingBuffer(t *testing.T) {
+	c := New(3)
+	for i := 1; i <= 5; i++ {
+		c.Add(fmt.Sprintf("question %d", i), fmt.Sprintf("answer %d.", i))
+	}
+	if c.Len() != 5 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	recent := c.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("buffer holds %d, want 3", len(recent))
+	}
+	if recent[0].Question != "question 3" || recent[2].Question != "question 5" {
+		t.Errorf("buffer contents: %+v", recent)
+	}
+	sums := c.Summaries()
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d, want 2", len(sums))
+	}
+	if !strings.Contains(sums[0], "question 1") {
+		t.Errorf("summary 0 = %q", sums[0])
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	c := New(0)
+	c.Add("a", "b")
+	c.Add("c", "d")
+	if len(c.Recent()) != 1 {
+		t.Error("capacity should clamp to 1")
+	}
+}
+
+func TestSummarizeTruncates(t *testing.T) {
+	long := strings.Repeat("w ", 200)
+	s := summarize(Turn{Question: "q", Answer: long})
+	if len(s) > 200 {
+		t.Errorf("summary too long: %d bytes", len(s))
+	}
+	s = summarize(Turn{Question: "q", Answer: "first sentence. second sentence."})
+	if strings.Contains(s, "second") {
+		t.Errorf("summary should keep only the first clause: %q", s)
+	}
+}
+
+func TestRecallFindsRelevantTurn(t *testing.T) {
+	c := New(2)
+	c.Add("List all unique PCs in the trace", "0x400444, 0x400512, 0x400701")
+	c.Add("What is the weather", "irrelevant")
+	c.Add("Compute mean ETR per PC", "PC 0x400512 has mean ETR 912")
+	c.Add("Another filler turn", "filler")
+	got := c.Recall("which PC had the highest mean ETR?", 1)
+	if len(got) != 1 || !strings.Contains(got[0], "ETR") {
+		t.Errorf("Recall = %v", got)
+	}
+}
+
+func TestContextBlockStructure(t *testing.T) {
+	c := New(2)
+	for i := 1; i <= 4; i++ {
+		c.Add(fmt.Sprintf("q%d about reuse distance", i), fmt.Sprintf("a%d.", i))
+	}
+	block := c.ContextBlock("follow-up about reuse distance")
+	if !strings.Contains(block, "Earlier findings:") {
+		t.Errorf("missing summaries section:\n%s", block)
+	}
+	if !strings.Contains(block, "User: q3") || !strings.Contains(block, "User: q4") {
+		t.Errorf("missing recent turns:\n%s", block)
+	}
+	if !strings.Contains(block, "Recalled relevant turns:") {
+		t.Errorf("missing recalls:\n%s", block)
+	}
+}
+
+func TestContextBlockEmpty(t *testing.T) {
+	c := New(4)
+	if got := c.ContextBlock("anything"); got != "" {
+		t.Errorf("fresh memory block = %q", got)
+	}
+}
+
+func TestContextBlockCapsSummaries(t *testing.T) {
+	c := New(1)
+	for i := 0; i < 20; i++ {
+		c.Add(fmt.Sprintf("q%d", i), "a.")
+	}
+	block := c.ContextBlock("q")
+	lines := 0
+	for _, l := range strings.Split(block, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(l), "Q: ") {
+			lines++
+		}
+	}
+	if lines > 5 {
+		t.Errorf("context block includes %d summaries, want <= 5", lines)
+	}
+}

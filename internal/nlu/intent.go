@@ -1,0 +1,138 @@
+package nlu
+
+import "strings"
+
+// Intent is the question category the parser routes on. The values
+// mirror CacheMindBench's eleven categories plus list/top-k analysis
+// intents used by the §6.3 chat use cases.
+type Intent int
+
+const (
+	IntentUnknown Intent = iota
+	// Trace-grounded tier.
+	IntentHitMiss       // "does PC X and address Y hit or miss?"
+	IntentMissRate      // "what is the miss rate for PC X?"
+	IntentPolicyCompare // "which policy has the lowest miss rate for ...?"
+	IntentCount         // "how many times did PC X appear?"
+	IntentArithmetic    // "average evicted reuse distance of PC X"
+	// Analysis tier.
+	IntentConcept          // microarchitecture concept question
+	IntentCodeGen          // "write code to ..."
+	IntentPolicyAnalysis   // "why does Belady outperform LRU on PC X?"
+	IntentWorkloadAnalysis // "which workload has the highest miss rate?"
+	IntentSemanticAnalysis // "why does PC X have a high hit rate? examine the assembly"
+	// Chat-session analysis intents (§6.3 transcripts).
+	IntentListPCs   // "list all unique PCs"
+	IntentListSets  // "list unique cache sets"
+	IntentTopMissPC // "which PC causes the most misses?"
+	IntentSetStats  // "find hits and hit rate per set" / hot-cold sets
+	IntentPerPCStat // "compute mean/std of <field> per PC"
+	IntentBypass    // "identify PCs suitable for bypassing"
+)
+
+var intentNames = map[Intent]string{
+	IntentUnknown: "unknown", IntentHitMiss: "hit_miss", IntentMissRate: "miss_rate",
+	IntentPolicyCompare: "policy_comparison", IntentCount: "count",
+	IntentArithmetic: "arithmetic", IntentConcept: "concept",
+	IntentCodeGen: "code_generation", IntentPolicyAnalysis: "policy_analysis",
+	IntentWorkloadAnalysis: "workload_analysis", IntentSemanticAnalysis: "semantic_analysis",
+	IntentListPCs: "list_pcs", IntentListSets: "list_sets",
+	IntentTopMissPC: "top_miss_pc", IntentSetStats: "set_stats",
+	IntentPerPCStat: "per_pc_stat", IntentBypass: "bypass_candidates",
+}
+
+// String returns the intent's snake_case name.
+func (i Intent) String() string {
+	if n, ok := intentNames[i]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+func containsAny(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if strings.Contains(s, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// Classify assigns an intent to the question. Rules are ordered from
+// most to least specific; entity context disambiguates (e.g. an
+// arithmetic keyword with a field mention beats a bare miss-rate
+// question).
+func Classify(q string, e Entities) Intent {
+	s := strings.ToLower(q)
+
+	switch {
+	case containsAny(s, "write code", "write a code", "generate code", "write python", "code to compute", "write a function"):
+		return IntentCodeGen
+
+	case containsAny(s, "bypass"):
+		return IntentBypass
+
+	case containsAny(s, "hot set", "cold set", "hot and cold", "hotness"),
+		containsAny(s, "hit rate") && containsAny(s, "per set", "each set", "cache sets accessed", "of the sets"),
+		containsAny(s, "hits") && containsAny(s, "cache sets accessed"):
+		return IntentSetStats
+
+	case containsAny(s, "list", "enumerate") && containsAny(s, "sets"):
+		return IntentListSets
+
+	case containsAny(s, "list", "enumerate") && containsAny(s, "pcs", "program counters", "unique pc"):
+		return IntentListPCs
+
+	case containsAny(s, "most cache misses", "most misses", "most evictions", "causing the most", "causes the most", "responsible for the majority"):
+		return IntentTopMissPC
+
+	case containsAny(s, "per pc", "per-pc", "for each pc", "group pcs", "each unique pc", "by pc"):
+		return IntentPerPCStat
+
+	case containsAny(s, "cache size", "associativity", "#sets", "#ways",
+		"number of sets", "number of ways", "offset", "index bits", "tag bits",
+		"inclusive", "write-back", "write back") &&
+		len(e.PCs) == 0 && len(e.Addrs) == 0:
+		return IntentConcept
+
+	case containsAny(s, "average", "mean", "standard deviation", "variance", "sum of", "total reuse", "median") &&
+		containsAny(s, "reuse", "recency", "distance"):
+		return IntentArithmetic
+
+	case containsAny(s, "how many", "count", "number of times", "how often"):
+		return IntentCount
+
+	case containsAny(s, "which policy", "which replacement", "compare polic", "across polic", "lowest miss rate", "highest hit rate", "best policy", "rank the polic"),
+		len(e.Policies) >= 2 && containsAny(s, "which", "compare", "lowest", "highest", "better", "rank"):
+		return IntentPolicyCompare
+
+	case containsAny(s, "why") && (len(e.Policies) >= 2 || containsAny(s, "outperform", "perform worse", "perform better", "underperform")):
+		return IntentPolicyAnalysis
+
+	case containsAny(s, "which workload", "across workload", "compare workload", "workload has the"):
+		return IntentWorkloadAnalysis
+
+	case containsAny(s, "assembly", "source code", "function", "loop", "semantics", "program behavior", "program behaviour", "code context") &&
+		containsAny(s, "why", "explain", "analyze", "analyse", "examine", "insight"):
+		return IntentSemanticAnalysis
+
+	case containsAny(s, "hit or", "hit or miss", "result in a cache hit", "result in a hit", "does the cache hit", "cache hit or cache miss"),
+		// A bare "does PC X access address Y?" is a per-access premise
+		// lookup too — the paper's trick questions use this phrasing.
+		len(e.PCs) > 0 && len(e.Addrs) > 0 && containsAny(s, "hit", "miss", "access"):
+		return IntentHitMiss
+
+	case containsAny(s, "miss rate", "hit rate", "missrate", "hitrate"):
+		if len(e.PCs) == 0 && len(e.Workloads) != 1 && containsAny(s, "workload") {
+			return IntentWorkloadAnalysis
+		}
+		return IntentMissRate
+
+	case containsAny(s, "why", "explain", "insight", "derive", "reason about"):
+		return IntentPolicyAnalysis
+
+	case containsAny(s, "cache size", "associativity", "#sets", "#ways", "number of sets", "number of ways", "offset", "index", "tag", "inclusive", "write-back", "write back", "prefetch", "how does", "what is a", "what is the difference"):
+		return IntentConcept
+	}
+	return IntentUnknown
+}

@@ -1,0 +1,294 @@
+package nlu
+
+import (
+	"testing"
+
+	"cachemind/internal/db"
+	"cachemind/internal/queryir"
+)
+
+func vocab() Vocabulary {
+	return Vocabulary{
+		Workloads: []string{"astar", "lbm", "mcf"},
+		Policies:  []string{"belady", "lru", "mlp", "parrot"},
+	}
+}
+
+func TestExtractHexEntities(t *testing.T) {
+	e := Extract("Does the access with PC 0x401e31 and address 0x35e798a637f hit in lbm under PARROT?", vocab())
+	if len(e.PCs) != 1 || e.PCs[0] != 0x401e31 {
+		t.Errorf("PCs = %#x", e.PCs)
+	}
+	if len(e.Addrs) != 1 || e.Addrs[0] != 0x35e798a637f {
+		t.Errorf("Addrs = %#x", e.Addrs)
+	}
+	if len(e.Workloads) != 1 || e.Workloads[0] != "lbm" {
+		t.Errorf("Workloads = %v", e.Workloads)
+	}
+	if len(e.Policies) != 1 || e.Policies[0] != "parrot" {
+		t.Errorf("Policies = %v", e.Policies)
+	}
+}
+
+func TestExtractDeduplicatesHex(t *testing.T) {
+	e := Extract("PC 0x4037ba vs PC 0x4037ba again", vocab())
+	if len(e.PCs) != 1 {
+		t.Errorf("PCs = %#x, want deduplicated", e.PCs)
+	}
+}
+
+func TestExtractSets(t *testing.T) {
+	e := Extract("Compare set 332 and set 1424 hit rates", vocab())
+	if len(e.Sets) != 2 || e.Sets[0] != 332 || e.Sets[1] != 1424 {
+		t.Errorf("Sets = %v", e.Sets)
+	}
+}
+
+func TestExtractPolicyAliases(t *testing.T) {
+	cases := []struct {
+		q    string
+		want string
+	}{
+		{"under Belady's optimal policy", "belady"},
+		{"with the least recently used policy", "lru"},
+		{"using the multi-layer perceptron", "mlp"},
+		{"compare against OPT", "belady"},
+	}
+	for _, c := range cases {
+		e := Extract(c.q, vocab())
+		if len(e.Policies) != 1 || e.Policies[0] != c.want {
+			t.Errorf("Extract(%q).Policies = %v, want [%s]", c.q, e.Policies, c.want)
+		}
+	}
+}
+
+func TestExtractPolicyOrderPreserved(t *testing.T) {
+	e := Extract("Why does PARROT perform worse than Belady on lbm?", vocab())
+	if len(e.Policies) != 2 || e.Policies[0] != "parrot" || e.Policies[1] != "belady" {
+		t.Errorf("Policies = %v, want [parrot belady]", e.Policies)
+	}
+}
+
+func TestExtractNoFalsePolicyHits(t *testing.T) {
+	// "optimally" must not match the alias "optimal"; "lrux" not "lru".
+	e := Extract("the cache performs optimally under lrux settings", vocab())
+	if len(e.Policies) != 0 {
+		t.Errorf("Policies = %v, want none", e.Policies)
+	}
+}
+
+func TestExtractUnknownAliasNotInVocab(t *testing.T) {
+	// mockingjay is a known alias but absent from this store's policies.
+	e := Extract("under the mockingjay policy", vocab())
+	if len(e.Policies) != 0 {
+		t.Errorf("Policies = %v, want none (not in vocabulary)", e.Policies)
+	}
+}
+
+func TestClassifyRepresentativeQuestions(t *testing.T) {
+	cases := []struct {
+		q    string
+		want Intent
+	}{
+		{"Does PC 0x401dc9 and address 0x47ea85d37f result in a cache hit in lbm under PARROT?", IntentHitMiss},
+		{"Does PC 0x4037aa in lbm access address 0x1b73be82e3f?", IntentHitMiss},
+		{"What is the miss rate for PC 0x4037ba in mcf with PARROT?", IntentMissRate},
+		{"Which policy has the lowest miss rate for PC 0x409270 in astar?", IntentPolicyCompare},
+		{"How many times did PC 0x405832 appear in astar under LRU?", IntentCount},
+		{"What is the average evicted reuse distance of PC 0x40170a for the lbm workload with MLP?", IntentArithmetic},
+		{"How does increasing cache size affect miss rate? Compare increasing #sets vs #ways.", IntentConcept},
+		{"Write code to compute hits for PC 0x4037ba and address 0xa3a0df3d9d in mcf under LRU.", IntentCodeGen},
+		{"Why does Belady outperform LRU on PC 0x409270 in astar?", IntentPolicyAnalysis},
+		{"Which workload has the highest cache miss rate under MLP?", IntentWorkloadAnalysis},
+		{"Why does PC 0x4037ba have a high hit rate? Examine the assembly context and analyze.", IntentSemanticAnalysis},
+		{"List all unique PCs in the mcf trace.", IntentListPCs},
+		{"For astar workload and Belady replacement policy, could you list unique cache sets in ascending order?", IntentListSets},
+		{"From the unique PCs, identify the PC causing the most cache misses.", IntentTopMissPC},
+		{"Identify 5 hot and 5 cold sets by hit rate.", IntentSetStats},
+		{"Compute standard deviation of reuse distance per PC.", IntentPerPCStat},
+		{"Identify PCs suitable for bypassing to improve IPC.", IntentBypass},
+	}
+	for _, c := range cases {
+		e := Extract(c.q, vocab())
+		if got := Classify(c.q, e); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestIntentString(t *testing.T) {
+	if IntentHitMiss.String() != "hit_miss" || Intent(99).String() != "unknown" {
+		t.Error("intent names wrong")
+	}
+}
+
+func TestParseHitMiss(t *testing.T) {
+	p, err := Parse("Does the access with PC 0x401dc9 and address 0x47ea85d37f result in a cache hit or miss for the lbm workload and PARROT replacement policy?", vocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Queries) != 1 {
+		t.Fatalf("queries = %d", len(p.Queries))
+	}
+	q := p.Queries[0]
+	if q.Workload != "lbm" || q.Policy != "parrot" {
+		t.Errorf("trace = %s/%s", q.Workload, q.Policy)
+	}
+	if q.PC == nil || *q.PC != 0x401dc9 || q.Addr == nil || *q.Addr != 0x47ea85d37f {
+		t.Error("filters missing")
+	}
+	if q.Agg != queryir.AggRows {
+		t.Errorf("agg = %v", q.Agg)
+	}
+}
+
+func TestParseHitMissNeedsAddress(t *testing.T) {
+	if _, err := Parse("Does PC 0x401dc9 hit or miss in lbm under LRU?", vocab()); err == nil {
+		t.Error("hit/miss without address should fail to parse")
+	}
+}
+
+func TestParseNeedsWorkload(t *testing.T) {
+	if _, err := Parse("What is the miss rate for PC 0x4037ba under LRU?", vocab()); err == nil {
+		t.Error("grounded intent without workload should fail")
+	}
+}
+
+func TestParseMissRateDefaultsPolicyExpansion(t *testing.T) {
+	p, err := Parse("What is the miss rate for PC 0x4037ba in mcf?", vocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Queries[0].Policy != AllPolicies {
+		t.Errorf("policy = %q, want expansion sentinel", p.Queries[0].Policy)
+	}
+}
+
+func TestParseArithmetic(t *testing.T) {
+	p, err := Parse("What is the average evicted reuse distance of PC 0x40170a for the lbm workload with MLP?", vocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.Queries[0]
+	if q.Agg != queryir.AggMean || q.Field != db.ColEvictedReuse {
+		t.Errorf("agg/field = %v/%s", q.Agg, q.Field)
+	}
+}
+
+func TestParseArithmeticStd(t *testing.T) {
+	p, err := Parse("Compute the standard deviation of the reuse distance for PC 0x4184b0 in mcf under LRU", vocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Queries[0].Agg != queryir.AggStd || p.Queries[0].Field != db.ColAccessReuse {
+		t.Errorf("parsed %v/%s", p.Queries[0].Agg, p.Queries[0].Field)
+	}
+}
+
+func TestParsePolicyCompareExpands(t *testing.T) {
+	p, err := Parse("Which policy has the lowest miss rate for PC 0x409270 in astar?", vocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Queries[0].Policy != AllPolicies || p.Queries[0].Agg != queryir.AggMissRate {
+		t.Errorf("query = %+v", p.Queries[0])
+	}
+}
+
+func TestParseCount(t *testing.T) {
+	p, err := Parse("How many times did PC 0x405832 appear in astar under LRU?", vocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Queries[0].Agg != queryir.AggCount || p.Queries[0].Policy != "lru" {
+		t.Errorf("query = %+v", p.Queries[0])
+	}
+}
+
+func TestParseListsAndTopK(t *testing.T) {
+	p, err := Parse("List all unique PCs in the mcf trace under LRU.", vocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Queries[0].Agg != queryir.AggDistinct || p.Queries[0].GroupBy != "pc" {
+		t.Errorf("list query = %+v", p.Queries[0])
+	}
+	p, err = Parse("From the unique PCs in mcf under LRU, identify the PC causing the most cache misses.", vocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Queries[0].GroupBy != "pc" || !p.Queries[0].SortDesc {
+		t.Errorf("top query = %+v", p.Queries[0])
+	}
+}
+
+func TestParseSetHotnessLimit(t *testing.T) {
+	p, err := Parse("For astar and Belady, identify 5 hot and 5 cold sets by hit rate.", vocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.Queries[0]
+	if q.GroupBy != "set" || q.Agg != queryir.AggHitRate {
+		t.Errorf("set query = %+v", q)
+	}
+}
+
+func TestParseBypassTwoQueries(t *testing.T) {
+	p, err := Parse("For mcf under belady, identify PCs suitable for bypassing to improve IPC.", vocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Queries) != 2 {
+		t.Fatalf("bypass should produce 2 queries, got %d", len(p.Queries))
+	}
+}
+
+func TestParsePolicyAnalysisPerPolicy(t *testing.T) {
+	p, err := Parse("Why does Belady outperform LRU on PC 0x409270 in astar?", vocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Queries) != 2 {
+		t.Fatalf("expected one query per mentioned policy, got %d", len(p.Queries))
+	}
+	if p.Queries[0].Policy == p.Queries[1].Policy {
+		t.Error("queries should target different policies")
+	}
+}
+
+func TestParseConceptNoQueries(t *testing.T) {
+	p, err := Parse("How does increasing cache size affect miss rate? Compare increasing #sets vs #ways.", vocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Queries) != 0 {
+		t.Errorf("concept questions need no retrieval, got %d queries", len(p.Queries))
+	}
+}
+
+func TestParseUnknownFails(t *testing.T) {
+	if _, err := Parse("tell me something nice", vocab()); err == nil {
+		t.Error("unintelligible input should fail")
+	}
+}
+
+func TestSemanticWorkloadFallback(t *testing.T) {
+	desc := map[string]string{
+		"astar": "path finding grid search",
+		"lbm":   "lattice boltzmann fluid dynamics",
+		"mcf":   "network simplex vehicle scheduling",
+	}
+	w, score := SemanticWorkload("questions about the fluid dynamics benchmark", vocab(), desc)
+	if w != "lbm" {
+		t.Errorf("semantic workload = %s (score %.2f), want lbm", w, score)
+	}
+}
+
+func TestLimitFrom(t *testing.T) {
+	if got := limitFrom(Entities{Numbers: []float64{5}}, 10); got != 5 {
+		t.Errorf("limit = %d", got)
+	}
+	if got := limitFrom(Entities{Numbers: []float64{3.5, 10000}}, 10); got != 10 {
+		t.Errorf("limit = %d, want default", got)
+	}
+}

@@ -1,0 +1,246 @@
+package nlu
+
+import (
+	"fmt"
+	"strings"
+
+	"cachemind/internal/db"
+	"cachemind/internal/queryir"
+)
+
+// AllPolicies is the sentinel meaning "expand this query across every
+// policy in the store" (policy-comparison questions).
+const AllPolicies = "*"
+
+// AllWorkloads is the analogous sentinel for workload comparisons.
+const AllWorkloads = "*"
+
+// Parsed is the semantic parse of one question: its intent, extracted
+// entities, and the executable queries that retrieve its evidence.
+type Parsed struct {
+	Intent   Intent
+	Entities Entities
+	Queries  []queryir.Query
+}
+
+// Parse compiles a question into retrieval queries. A nil error means
+// the queries are executable as-is (possibly after policy/workload
+// expansion by the retriever). Errors describe what the parser could
+// not resolve — Ranger's honest failure mode on under-specified input.
+func Parse(q string, vocab Vocabulary) (Parsed, error) {
+	e := Extract(q, vocab)
+	intent := Classify(q, e)
+	p := Parsed{Intent: intent, Entities: e}
+
+	workloadName, err := onlyWorkload(e, intent)
+	if err != nil {
+		return p, err
+	}
+	policyName := onlyPolicy(e, intent)
+
+	base := queryir.Query{Workload: workloadName, Policy: policyName}
+	if len(e.PCs) > 0 {
+		base.PC = &e.PCs[0]
+	}
+	if len(e.Addrs) > 0 {
+		base.Addr = &e.Addrs[0]
+	}
+
+	switch intent {
+	case IntentHitMiss:
+		if base.PC == nil || base.Addr == nil {
+			return p, fmt.Errorf("nlu: hit/miss lookup needs both a PC and an address")
+		}
+		base.Agg = queryir.AggRows
+		base.Limit = 4
+		p.Queries = []queryir.Query{base}
+
+	case IntentMissRate:
+		if strings.Contains(strings.ToLower(q), "hit rate") {
+			base.Agg = queryir.AggHitRate
+		} else {
+			base.Agg = queryir.AggMissRate
+		}
+		p.Queries = []queryir.Query{base}
+
+	case IntentCount:
+		base.Agg = queryir.AggCount
+		p.Queries = []queryir.Query{base}
+
+	case IntentArithmetic:
+		field, agg, ferr := arithmeticSpec(q)
+		if ferr != nil {
+			return p, ferr
+		}
+		base.Agg = agg
+		base.Field = field
+		p.Queries = []queryir.Query{base}
+
+	case IntentPolicyCompare:
+		cmp := base
+		cmp.Policy = AllPolicies
+		if strings.Contains(strings.ToLower(q), "hit") && !strings.Contains(strings.ToLower(q), "miss") {
+			cmp.Agg = queryir.AggHitRate
+		} else {
+			cmp.Agg = queryir.AggMissRate
+		}
+		p.Queries = []queryir.Query{cmp}
+
+	case IntentWorkloadAnalysis:
+		cmp := base
+		cmp.Workload = AllWorkloads
+		cmp.PC = nil
+		cmp.Addr = nil
+		cmp.Agg = queryir.AggMissRate
+		p.Queries = []queryir.Query{cmp}
+
+	case IntentListPCs:
+		base.Agg = queryir.AggDistinct
+		base.GroupBy = "pc"
+		p.Queries = []queryir.Query{base}
+
+	case IntentListSets:
+		base.Agg = queryir.AggDistinct
+		base.GroupBy = "set"
+		p.Queries = []queryir.Query{base}
+
+	case IntentTopMissPC:
+		base.Agg = queryir.AggMissCount
+		base.GroupBy = "pc"
+		base.SortDesc = true
+		base.Limit = limitFrom(e, 10)
+		p.Queries = []queryir.Query{base}
+
+	case IntentSetStats:
+		base.Agg = queryir.AggHitRate
+		base.GroupBy = "set"
+		base.SortDesc = true
+		p.Queries = []queryir.Query{base}
+
+	case IntentPerPCStat:
+		field, agg, ferr := arithmeticSpec(q)
+		if ferr != nil {
+			// Per-PC listings default to miss counts.
+			field, agg = "", queryir.AggMissCount
+		}
+		base.Agg = agg
+		base.Field = field
+		base.GroupBy = "pc"
+		base.SortDesc = true
+		p.Queries = []queryir.Query{base}
+
+	case IntentBypass:
+		// Bypass candidates need reuse and hit-rate structure per PC:
+		// two grouped queries the analysis layer joins.
+		reuse := base
+		reuse.Agg = queryir.AggMean
+		reuse.Field = db.ColAccessReuse
+		reuse.GroupBy = "pc"
+		reuse.SortDesc = true
+		hits := base
+		hits.Agg = queryir.AggHitRate
+		hits.GroupBy = "pc"
+		p.Queries = []queryir.Query{reuse, hits}
+
+	case IntentPolicyAnalysis, IntentSemanticAnalysis:
+		// Analysis intents retrieve the PC's slice (or the frame
+		// digest) as evidence; synthesis happens in the generator.
+		base.Agg = queryir.AggMissRate
+		if base.PC == nil {
+			base.GroupBy = "pc"
+			base.SortDesc = true
+			base.Limit = 10
+		}
+		if intent == IntentPolicyAnalysis && len(e.Policies) >= 2 {
+			for _, pol := range e.Policies {
+				qq := base
+				qq.Policy = pol
+				p.Queries = append(p.Queries, qq)
+			}
+		} else {
+			p.Queries = []queryir.Query{base}
+		}
+
+	case IntentConcept:
+		// Retrieval-light: no trace queries needed.
+		p.Queries = nil
+
+	case IntentCodeGen:
+		// The query itself is the artifact to generate; retrieve the
+		// target slice so generated code can be checked against it.
+		if base.PC != nil {
+			base.Agg = queryir.AggHitCount
+			p.Queries = []queryir.Query{base}
+		}
+
+	default:
+		return p, fmt.Errorf("nlu: could not understand the question (no matching intent)")
+	}
+	return p, nil
+}
+
+// onlyWorkload picks the question's workload, failing when a
+// trace-grounded intent has no workload to ground against.
+func onlyWorkload(e Entities, intent Intent) (string, error) {
+	if len(e.Workloads) > 0 {
+		return e.Workloads[0], nil
+	}
+	switch intent {
+	case IntentConcept, IntentWorkloadAnalysis:
+		return AllWorkloads, nil
+	}
+	return "", fmt.Errorf("nlu: no workload mentioned and the intent needs one")
+}
+
+// onlyPolicy picks the policy, defaulting comparison-style intents to
+// the expansion sentinel and grounded lookups to LRU when unstated is
+// unacceptable — the parser instead signals expansion and lets the
+// retriever decide.
+func onlyPolicy(e Entities, intent Intent) string {
+	if len(e.Policies) > 0 {
+		return e.Policies[0]
+	}
+	return AllPolicies
+}
+
+// arithmeticSpec maps arithmetic phrasing to (field, aggregation).
+func arithmeticSpec(q string) (string, queryir.AggKind, error) {
+	s := strings.ToLower(q)
+	var field string
+	switch {
+	case strings.Contains(s, "evicted reuse") || strings.Contains(s, "evicted-reuse") ||
+		(strings.Contains(s, "evict") && strings.Contains(s, "reuse")):
+		field = db.ColEvictedReuse
+	case strings.Contains(s, "reuse distance") || strings.Contains(s, "reuse"):
+		field = db.ColAccessReuse
+	case strings.Contains(s, "recency"):
+		field = db.ColRecencyNum
+	default:
+		return "", 0, fmt.Errorf("nlu: arithmetic question with no recognizable field")
+	}
+	switch {
+	case containsAny(s, "standard deviation", "std dev", "stddev", "variance"):
+		return field, queryir.AggStd, nil
+	case containsAny(s, "sum of", "total"):
+		return field, queryir.AggSum, nil
+	case containsAny(s, "minimum", "smallest", "min "):
+		return field, queryir.AggMin, nil
+	case containsAny(s, "maximum", "largest", "max "):
+		return field, queryir.AggMax, nil
+	case containsAny(s, "median"):
+		return field, queryir.AggMedian, nil
+	default: // average / mean
+		return field, queryir.AggMean, nil
+	}
+}
+
+// limitFrom uses a small number mentioned in the question as a result
+// limit ("identify 5 hot sets"), else the default.
+func limitFrom(e Entities, def int) int {
+	for _, n := range e.Numbers {
+		if n >= 1 && n <= 100 && n == float64(int(n)) {
+			return int(n)
+		}
+	}
+	return def
+}

@@ -1,0 +1,76 @@
+package policy
+
+import (
+	"errors"
+
+	"cachemind/internal/sim"
+)
+
+func init() {
+	registerPolicy("belady", func(cfg sim.Config, opts Options) (sim.ReplacementPolicy, error) {
+		if len(opts.Oracle) == 0 {
+			return nil, errors.New("policy: belady requires Options.Oracle (trace.NextUseOracle over the replayed stream)")
+		}
+		return NewBelady(cfg, opts.Oracle), nil
+	})
+}
+
+// Belady implements Belady's MIN: evict the line whose next use lies
+// farthest in the future. It consumes a next-use oracle precomputed over
+// the exact access stream being replayed; AccessInfo.Time must be the
+// 0-based index into that stream.
+type Belady struct {
+	oracle  []int
+	nextUse [][]int // [set][way]: stream index of the line's next use
+	horizon int     // len(oracle): "never used again"
+}
+
+// NewBelady builds the oracle policy. oracle[i] must be the index of the
+// next access to the same line after access i (len(oracle) when none),
+// as produced by trace.NextUseOracle.
+func NewBelady(cfg sim.Config, oracle []int) *Belady {
+	b := &Belady{oracle: oracle, nextUse: make([][]int, cfg.Sets), horizon: len(oracle)}
+	for s := range b.nextUse {
+		b.nextUse[s] = make([]int, cfg.Ways)
+	}
+	return b
+}
+
+func (*Belady) Name() string { return "belady" }
+
+func (b *Belady) lookupNext(t uint64) int {
+	if int(t) < len(b.oracle) {
+		return b.oracle[t]
+	}
+	return b.horizon
+}
+
+// Victim picks the resident line with the farthest next use.
+func (b *Belady) Victim(info sim.AccessInfo, lines []sim.Line) int {
+	row := b.nextUse[info.Set]
+	victim, farthest := 0, row[0]
+	for w := 1; w < len(lines); w++ {
+		if row[w] > farthest {
+			victim, farthest = w, row[w]
+		}
+	}
+	return victim
+}
+
+func (b *Belady) OnHit(info sim.AccessInfo, way int, _ []sim.Line) {
+	b.nextUse[info.Set][way] = b.lookupNext(info.Time)
+}
+
+func (b *Belady) OnFill(info sim.AccessInfo, way int, _ []sim.Line) {
+	b.nextUse[info.Set][way] = b.lookupNext(info.Time)
+}
+
+// LineScores exposes each line's distance to next use as its eviction
+// score; never-reused lines score at the horizon.
+func (b *Belady) LineScores(set int, lines []sim.Line) []float64 {
+	scores := make([]float64, len(lines))
+	for w := range lines {
+		scores[w] = float64(b.nextUse[set][w])
+	}
+	return scores
+}

@@ -1,0 +1,230 @@
+package policy
+
+import (
+	"cachemind/internal/sim"
+)
+
+func init() {
+	registerPolicy("hawkeye", func(cfg sim.Config, _ Options) (sim.ReplacementPolicy, error) {
+		return NewHawkeye(cfg), nil
+	})
+}
+
+// Hawkeye implements Jain & Lin's Hawkeye (ISCA'16): OPTgen simulates
+// Belady's decisions on sampled sets using occupancy vectors over a
+// sliding usage window; those reconstructed OPT decisions train a
+// PC-indexed predictor that classifies each load as cache-friendly or
+// cache-averse. Friendly lines are protected RRIP-style; averse lines
+// are inserted at distant re-reference and evicted first. When a
+// friendly line must nevertheless be evicted, the PC that inserted it
+// is detrained.
+type Hawkeye struct {
+	rrpv [][]uint8
+	meta [][]hawkLineMeta
+
+	// occ holds OPTgen state for sampled sets.
+	occ map[int]*optgen
+
+	// predictor is the PC-indexed 3-bit saturating counter table;
+	// values >= hawkFriendly predict cache-friendly.
+	predictor []uint8
+
+	ways int
+}
+
+type hawkLineMeta struct {
+	pcSig    uint16
+	friendly bool
+	valid    bool
+}
+
+// optgen reconstructs Belady's decisions for one sampled set. For each
+// access it tracks, over a window of the last hawkWindow accesses to
+// the set, how many cache lines are "in use" at every time step; a
+// reuse fits (OPT would have hit) iff every step in the reuse interval
+// has spare occupancy.
+type optgen struct {
+	occupancy []uint8           // ring buffer of per-step occupancy
+	lastSeen  map[uint64]uint64 // line -> set-local time of last access
+	lastPC    map[uint64]uint16 // line -> inserting PC signature
+	time      uint64
+	capacity  uint8
+}
+
+const (
+	hawkTableSize  = 8192
+	hawkWindow     = 8 * 16 // occupancy-vector history per sampled set
+	hawkFriendly   = 4      // counter threshold for "cache-friendly"
+	hawkCtrMax     = 7
+	hawkSampleMask = 15 // every 16th set is sampled
+)
+
+// NewHawkeye builds the policy for the given geometry.
+func NewHawkeye(cfg sim.Config) *Hawkeye {
+	h := &Hawkeye{
+		rrpv:      make([][]uint8, cfg.Sets),
+		meta:      make([][]hawkLineMeta, cfg.Sets),
+		occ:       map[int]*optgen{},
+		predictor: make([]uint8, hawkTableSize),
+		ways:      cfg.Ways,
+	}
+	for s := range h.rrpv {
+		row := make([]uint8, cfg.Ways)
+		for w := range row {
+			row[w] = rripMax
+		}
+		h.rrpv[s] = row
+		h.meta[s] = make([]hawkLineMeta, cfg.Ways)
+	}
+	for i := range h.predictor {
+		h.predictor[i] = hawkFriendly // optimistic start
+	}
+	return h
+}
+
+func (*Hawkeye) Name() string { return "hawkeye" }
+
+func hawkSignature(pc uint64) uint16 {
+	return uint16((pc ^ pc>>11 ^ pc>>23) % hawkTableSize)
+}
+
+func (h *Hawkeye) friendly(pc uint64) bool {
+	return h.predictor[hawkSignature(pc)] >= hawkFriendly
+}
+
+func (h *Hawkeye) train(sig uint16, up bool) {
+	if up {
+		if h.predictor[sig] < hawkCtrMax {
+			h.predictor[sig]++
+		}
+	} else if h.predictor[sig] > 0 {
+		h.predictor[sig]--
+	}
+}
+
+// optgenFor lazily creates OPTgen state for a sampled set.
+func (h *Hawkeye) optgenFor(set int) *optgen {
+	g, ok := h.occ[set]
+	if !ok {
+		g = &optgen{
+			occupancy: make([]uint8, hawkWindow),
+			lastSeen:  map[uint64]uint64{},
+			lastPC:    map[uint64]uint16{},
+			capacity:  uint8(h.ways),
+		}
+		h.occ[set] = g
+	}
+	return g
+}
+
+// observe feeds one access to OPTgen and trains the predictor with the
+// reconstructed OPT decision.
+func (g *optgen) observe(h *Hawkeye, lineAddr uint64, sig uint16) {
+	now := g.time
+	g.time++
+	// Age out the slot we are about to reuse in the ring.
+	g.occupancy[now%hawkWindow] = 0
+
+	if last, ok := g.lastSeen[lineAddr]; ok && now-last < hawkWindow {
+		// Check whether OPT would have kept the line across [last, now).
+		fits := true
+		for t := last; t < now; t++ {
+			if g.occupancy[t%hawkWindow] >= g.capacity {
+				fits = false
+				break
+			}
+		}
+		if fits {
+			for t := last; t < now; t++ {
+				g.occupancy[t%hawkWindow]++
+			}
+		}
+		// Train the PC that inserted the line: OPT hit -> friendly.
+		if prevSig, ok := g.lastPC[lineAddr]; ok {
+			h.train(prevSig, fits)
+		}
+	}
+	g.lastSeen[lineAddr] = now
+	g.lastPC[lineAddr] = sig
+	// Bound the maps: drop entries older than the window opportunistically.
+	if len(g.lastSeen) > 4*hawkWindow {
+		for addr, t := range g.lastSeen {
+			if now-t >= hawkWindow {
+				delete(g.lastSeen, addr)
+				delete(g.lastPC, addr)
+			}
+		}
+	}
+}
+
+// Victim prefers cache-averse lines (RRPV 3); among friendly lines it
+// evicts the oldest and detrains its inserting PC.
+func (h *Hawkeye) Victim(info sim.AccessInfo, lines []sim.Line) int {
+	row := h.rrpv[info.Set]
+	for w := range row {
+		if row[w] == rripMax {
+			return w
+		}
+	}
+	// No averse candidate: evict the LRU friendly line and detrain its
+	// PC — Belady would not have kept everything.
+	victim, oldest := 0, lines[0].LastTouch
+	for w := 1; w < len(lines); w++ {
+		if lines[w].LastTouch < oldest {
+			victim, oldest = w, lines[w].LastTouch
+		}
+	}
+	if m := h.meta[info.Set][victim]; m.valid {
+		h.train(m.pcSig, false)
+	}
+	return victim
+}
+
+func (h *Hawkeye) OnHit(info sim.AccessInfo, way int, _ []sim.Line) {
+	if info.Set&hawkSampleMask == 0 {
+		h.optgenFor(info.Set).observe(h, info.LineAddr, hawkSignature(info.PC))
+	}
+	if h.friendly(info.PC) {
+		h.rrpv[info.Set][way] = 0
+	} else {
+		h.rrpv[info.Set][way] = rripMax
+	}
+	h.meta[info.Set][way] = hawkLineMeta{pcSig: hawkSignature(info.PC), friendly: h.friendly(info.PC), valid: true}
+}
+
+func (h *Hawkeye) OnFill(info sim.AccessInfo, way int, _ []sim.Line) {
+	if info.Set&hawkSampleMask == 0 {
+		h.optgenFor(info.Set).observe(h, info.LineAddr, hawkSignature(info.PC))
+	}
+	sig := hawkSignature(info.PC)
+	friendly := h.friendly(info.PC)
+	if friendly {
+		h.rrpv[info.Set][way] = 0
+	} else {
+		h.rrpv[info.Set][way] = rripMax
+	}
+	h.meta[info.Set][way] = hawkLineMeta{pcSig: sig, friendly: friendly, valid: true}
+}
+
+// LineScores exposes RRPVs.
+func (h *Hawkeye) LineScores(set int, lines []sim.Line) []float64 {
+	scores := make([]float64, len(lines))
+	for w := range lines {
+		scores[w] = float64(h.rrpv[set][w])
+	}
+	return scores
+}
+
+// PredictorSnapshot reports the fraction of trained PC signatures
+// currently classified friendly — used by tests and ablations.
+func (h *Hawkeye) PredictorSnapshot() (friendly, total int) {
+	for _, c := range h.predictor {
+		if c != hawkFriendly { // touched (trained away from init) or saturated
+			total++
+			if c > hawkFriendly {
+				friendly++
+			}
+		}
+	}
+	return friendly, total
+}

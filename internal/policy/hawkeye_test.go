@@ -1,0 +1,109 @@
+package policy
+
+import (
+	"testing"
+
+	"cachemind/internal/sim"
+	"cachemind/internal/trace"
+	"cachemind/internal/workload"
+)
+
+func TestHawkeyeRegistered(t *testing.T) {
+	p, err := New("hawkeye", llcCfg(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "hawkeye" {
+		t.Errorf("name = %q", p.Name())
+	}
+}
+
+func TestHawkeyeRunsAllWorkloads(t *testing.T) {
+	for _, w := range []*workload.Workload{workload.Astar, workload.LBM, workload.MCF, workload.MILC} {
+		c := replay(t, "hawkeye", llcCfg(), w.Generate(20000, 4), Options{})
+		if c.Hits == 0 {
+			t.Errorf("%s: hawkeye got zero hits", w.Name())
+		}
+		if c.Hits+c.Misses != c.Accesses {
+			t.Errorf("%s: accounting broken", w.Name())
+		}
+	}
+}
+
+func TestHawkeyeBoundedByBelady(t *testing.T) {
+	accs := workload.Astar.Generate(30000, 6)
+	hawkeye := replay(t, "hawkeye", llcCfg(), accs, Options{})
+	belady := replay(t, "belady", llcCfg(), accs, Options{Oracle: trace.NextUseOracle(accs)})
+	if hawkeye.Hits > belady.Hits {
+		t.Errorf("hawkeye hits (%d) exceed Belady's (%d)", hawkeye.Hits, belady.Hits)
+	}
+}
+
+// On the hot+scan mix Hawkeye's predictor must learn the scan PC is
+// cache-averse and the hot PC friendly, beating LRU decisively.
+func TestHawkeyeScanResistance(t *testing.T) {
+	var accs []trace.Access
+	scanBase := uint64(1 << 30)
+	scanPos := uint64(0)
+	for iter := 0; iter < 60; iter++ {
+		for h := uint64(0); h < 64; h++ {
+			for rep := 0; rep < 2; rep++ { // touched twice: in-window reuse
+				accs = append(accs, trace.Access{PC: 0x1000, Addr: h * trace.LineSize})
+			}
+		}
+		for s := uint64(0); s < 2048; s++ {
+			accs = append(accs, trace.Access{PC: 0x2000, Addr: scanBase + scanPos*trace.LineSize})
+			scanPos++
+		}
+	}
+	lruC := replay(t, "lru", llcCfg(), accs, Options{})
+	hawkC := replay(t, "hawkeye", llcCfg(), accs, Options{})
+	if hawkC.Hits <= lruC.Hits {
+		t.Errorf("hawkeye hits (%d) should exceed LRU hits (%d) on hot+scan mix", hawkC.Hits, lruC.Hits)
+	}
+}
+
+// The predictor must learn divergent classes for a reused PC and a
+// streaming PC.
+func TestHawkeyePredictorLearnsClasses(t *testing.T) {
+	cfg := sim.Config{Name: "t", Sets: 16, Ways: 4, Latency: 1}
+	h := NewHawkeye(cfg)
+	c := sim.NewCache(cfg, h)
+	tm := uint64(0)
+	// Sampled set 0: hot line reused many times by hotPC; stream by
+	// streamPC never reuses.
+	hotPC, streamPC := uint64(0x1111), uint64(0x2222)
+	stream := uint64(1 << 20)
+	for i := 0; i < 400; i++ {
+		tm++
+		c.Access(sim.AccessInfo{Time: tm, PC: hotPC, LineAddr: 0})
+		tm++
+		c.Access(sim.AccessInfo{Time: tm, PC: streamPC, LineAddr: stream})
+		stream += 16 * trace.LineSize // stays in set 0
+	}
+	if !h.friendly(hotPC) {
+		t.Error("hot PC should be classified cache-friendly")
+	}
+	if h.friendly(streamPC) {
+		t.Error("streaming PC should be classified cache-averse")
+	}
+	fr, total := h.PredictorSnapshot()
+	if total == 0 {
+		t.Error("predictor learned nothing")
+	}
+	if fr > total {
+		t.Error("snapshot accounting broken")
+	}
+}
+
+func TestHawkeyeScores(t *testing.T) {
+	accs := workload.LBM.Generate(10000, 2)
+	p := MustNew("hawkeye", llcCfg(), Options{})
+	c := sim.NewCache(llcCfg(), p)
+	for i, a := range accs {
+		c.Access(sim.AccessInfo{Time: uint64(i), PC: a.PC, LineAddr: a.LineAddr()})
+	}
+	if got := c.Scores(0); len(got) != llcCfg().Ways {
+		t.Errorf("scores = %d entries", len(got))
+	}
+}

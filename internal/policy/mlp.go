@@ -1,0 +1,197 @@
+package policy
+
+import (
+	"math"
+	"math/rand"
+
+	"cachemind/internal/sim"
+)
+
+func init() {
+	registerPolicy("mlp", func(cfg sim.Config, opts Options) (sim.ReplacementPolicy, error) {
+		return NewMLP(cfg, opts.Seed), nil
+	})
+}
+
+// MLP is an online-trained multi-layer perceptron replacement policy,
+// standing in for the paper's "MLP-based replacement policy" integrated
+// into the PARROT/OpenAI-Gym framework. A small network predicts each
+// resident line's remaining-reuse class from PC and recency features;
+// the line predicted dead longest is evicted. The network trains itself
+// from observed outcomes: a hit reveals the line's true reuse distance,
+// an eviction trains the stored features toward "far reuse".
+type MLP struct {
+	net  *mlpNet
+	meta [][]mlpLineMeta
+	// pcHistory keeps a light exponential average of each PC's observed
+	// log reuse distance, fed back as a feature.
+	pcHistory map[uint64]float64
+}
+
+type mlpLineMeta struct {
+	feat    [mlpInputs]float64
+	capTime uint64
+	tracked bool
+}
+
+const (
+	mlpInputs  = 5
+	mlpHidden  = 8
+	mlpLR      = 0.05
+	mlpFarTime = 1 << 22 // "never reused" training target distance
+)
+
+// mlpNet is a 5-8-1 network with tanh hidden units and a sigmoid output
+// estimating normalized log reuse distance.
+type mlpNet struct {
+	w1 [mlpHidden][mlpInputs]float64
+	b1 [mlpHidden]float64
+	w2 [mlpHidden]float64
+	b2 float64
+}
+
+func newMLPNet(seed int64) *mlpNet {
+	rng := rand.New(rand.NewSource(seed))
+	n := &mlpNet{}
+	for h := 0; h < mlpHidden; h++ {
+		for i := 0; i < mlpInputs; i++ {
+			n.w1[h][i] = rng.NormFloat64() * 0.3
+		}
+		n.b1[h] = rng.NormFloat64() * 0.1
+		n.w2[h] = rng.NormFloat64() * 0.3
+	}
+	return n
+}
+
+func (n *mlpNet) forward(x [mlpInputs]float64) (out float64, hidden [mlpHidden]float64) {
+	var sum float64
+	for h := 0; h < mlpHidden; h++ {
+		z := n.b1[h]
+		for i := 0; i < mlpInputs; i++ {
+			z += n.w1[h][i] * x[i]
+		}
+		hidden[h] = math.Tanh(z)
+		sum += n.w2[h] * hidden[h]
+	}
+	return 1 / (1 + math.Exp(-(sum + n.b2))), hidden
+}
+
+// train performs one SGD step toward target in [0, 1].
+func (n *mlpNet) train(x [mlpInputs]float64, target float64) {
+	out, hidden := n.forward(x)
+	// dL/dz_out for squared loss through the sigmoid.
+	grad := (out - target) * out * (1 - out)
+	for h := 0; h < mlpHidden; h++ {
+		gh := grad * n.w2[h] * (1 - hidden[h]*hidden[h])
+		n.w2[h] -= mlpLR * grad * hidden[h]
+		for i := 0; i < mlpInputs; i++ {
+			n.w1[h][i] -= mlpLR * gh * x[i]
+		}
+		n.b1[h] -= mlpLR * gh
+	}
+	n.b2 -= mlpLR * grad
+}
+
+// NewMLP builds the online MLP policy with seeded weight initialization.
+func NewMLP(cfg sim.Config, seed int64) *MLP {
+	m := &MLP{
+		net:       newMLPNet(seed),
+		meta:      make([][]mlpLineMeta, cfg.Sets),
+		pcHistory: map[uint64]float64{},
+	}
+	for s := range m.meta {
+		m.meta[s] = make([]mlpLineMeta, cfg.Ways)
+	}
+	return m
+}
+
+func (*MLP) Name() string { return "mlp" }
+
+func normLog(x float64) float64 { return math.Min(math.Log2(x+1)/24, 1) }
+
+func (m *MLP) features(now uint64, line sim.Line) [mlpInputs]float64 {
+	hist, ok := m.pcHistory[line.PC]
+	if !ok {
+		hist = 0.5
+	}
+	return [mlpInputs]float64{
+		1,
+		normLog(float64(now - line.LastTouch)),
+		normLog(float64(now - line.FillTime)),
+		hist,
+		boolFeat(line.Dirty),
+	}
+}
+
+func boolFeat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Victim evicts the line with the highest predicted remaining reuse
+// distance.
+func (m *MLP) Victim(info sim.AccessInfo, lines []sim.Line) int {
+	victim, worst := 0, -1.0
+	for w, line := range lines {
+		pred, _ := m.net.forward(m.features(info.Time, line))
+		if pred > worst {
+			victim, worst = w, pred
+		}
+	}
+	return victim
+}
+
+// OnHit reveals the line's true reuse distance: train the features
+// captured at its previous touch toward the observed distance.
+func (m *MLP) OnHit(info sim.AccessInfo, way int, lines []sim.Line) {
+	meta := &m.meta[info.Set][way]
+	if meta.tracked {
+		observed := float64(info.Time - meta.capTime)
+		m.net.train(meta.feat, normLog(observed))
+		m.updatePCHistory(info.PC, normLog(observed))
+	}
+	m.capture(info, way, lines)
+}
+
+// OnFill trains the displaced line's stored features toward "far reuse"
+// (it died), then captures features for the incoming line.
+func (m *MLP) OnFill(info sim.AccessInfo, way int, lines []sim.Line) {
+	meta := &m.meta[info.Set][way]
+	if meta.tracked {
+		m.net.train(meta.feat, normLog(mlpFarTime))
+	}
+	m.capture(info, way, lines)
+}
+
+func (m *MLP) capture(info sim.AccessInfo, way int, lines []sim.Line) {
+	m.meta[info.Set][way] = mlpLineMeta{
+		feat:    m.features(info.Time, lines[way]),
+		capTime: info.Time,
+		tracked: true,
+	}
+}
+
+func (m *MLP) updatePCHistory(pc uint64, obs float64) {
+	if cur, ok := m.pcHistory[pc]; ok {
+		m.pcHistory[pc] = cur + (obs-cur)/8
+	} else {
+		m.pcHistory[pc] = obs
+	}
+}
+
+// LineScores exposes predicted remaining reuse per line.
+func (m *MLP) LineScores(set int, lines []sim.Line) []float64 {
+	var now uint64
+	for _, l := range lines {
+		if l.LastTouch > now {
+			now = l.LastTouch
+		}
+	}
+	scores := make([]float64, len(lines))
+	for w, line := range lines {
+		scores[w], _ = m.net.forward(m.features(now, line))
+	}
+	return scores
+}

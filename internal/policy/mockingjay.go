@@ -1,0 +1,208 @@
+package policy
+
+import (
+	"math"
+
+	"cachemind/internal/sim"
+)
+
+func init() {
+	registerPolicy("mockingjay", func(cfg sim.Config, opts Options) (sim.ReplacementPolicy, error) {
+		return NewMockingjay(cfg, opts.TrainFilter), nil
+	})
+}
+
+// Mockingjay implements the core of Shah et al.'s Mockingjay (HPCA'22):
+// a PC-indexed reuse-distance predictor (RDP) trained on sampled sets,
+// with per-line estimated-time-of-reuse (ETR) ordering. The line whose
+// estimated reuse is farthest away — or most overdue — is evicted, and
+// lines predicted to reuse beyond any resident line's horizon bypass the
+// cache, tracking Belady's ordering online.
+//
+// TrainFilter, when non-nil, restricts RDP training to the PCs it
+// accepts. The §6.3 use case trains only on "stable" PCs (low
+// ETR variance identified by CacheMind) to denoise the predictor.
+type Mockingjay struct {
+	// rdp is a direct-mapped predictor table indexed by a PC hash.
+	// Like the hardware SRAM it models, it is small enough that
+	// distinct PCs alias: a noisy PC sharing an entry with a stable one
+	// corrupts its estimate — the interference the stable-PC training
+	// filter removes.
+	rdp [mjRDPSize]rdpEntry
+	// trained records which PCs have contributed samples (for
+	// introspection; the table itself is the prediction source).
+	trained     map[uint64]int
+	predicted   [][]float64 // [set][way]: absolute predicted reuse time
+	sampler     map[uint64]samplerEntry
+	samplerCap  int
+	trainFilter func(pc uint64) bool
+	// defaultRD is the fallback prediction for untrained entries,
+	// tracking the global mean observed reuse distance.
+	defaultRD float64
+	defaultN  float64
+}
+
+type rdpEntry struct {
+	estimate float64
+	samples  int
+}
+
+type samplerEntry struct {
+	pc   uint64
+	time uint64
+}
+
+const (
+	mjSampleEvery  = 16      // every 16th set feeds the sampler
+	mjInfiniteRD   = 1 << 21 // "no reuse observed" training value
+	mjBypassMargin = 4.0     // incoming RD must exceed margin*worst resident
+	mjSamplerCap   = 4096
+	mjTDRate       = 8 // temporal-difference smoothing divisor
+	mjMinRDSamples = 2 // predictions need at least this many samples
+	// mjRDPSize is the predictor table's entry count, scaled to the
+	// synthetic workloads' PC population so the table faces the same
+	// aliasing pressure a real (thousands-of-PCs vs thousands-of-
+	// entries) deployment does.
+	mjRDPSize = 8
+)
+
+// rdpIndex hashes a PC into the predictor table.
+func rdpIndex(pc uint64) int { return int((pc >> 4) % mjRDPSize) }
+
+// NewMockingjay builds the policy. trainFilter may be nil to train on
+// every PC.
+func NewMockingjay(cfg sim.Config, trainFilter func(pc uint64) bool) *Mockingjay {
+	m := &Mockingjay{
+		trained:     map[uint64]int{},
+		predicted:   make([][]float64, cfg.Sets),
+		sampler:     map[uint64]samplerEntry{},
+		samplerCap:  mjSamplerCap,
+		trainFilter: trainFilter,
+		defaultRD:   1 << 14,
+		defaultN:    1,
+	}
+	for s := range m.predicted {
+		m.predicted[s] = make([]float64, cfg.Ways)
+	}
+	return m
+}
+
+func (*Mockingjay) Name() string { return "mockingjay" }
+
+// predictRD returns the predicted reuse distance for pc and whether the
+// prediction comes from a trained table entry. Untrained PCs fall back
+// to the global mean, which is never confident enough to justify
+// bypassing.
+func (m *Mockingjay) predictRD(pc uint64) (rd float64, trained bool) {
+	if e := m.rdp[rdpIndex(pc)]; e.samples >= mjMinRDSamples {
+		return e.estimate, true
+	}
+	return m.defaultRD / m.defaultN, false
+}
+
+// observe trains the RDP with one observed reuse distance.
+func (m *Mockingjay) observe(pc uint64, rd float64) {
+	m.defaultRD += rd
+	m.defaultN++
+	if m.trainFilter != nil && !m.trainFilter(pc) {
+		return
+	}
+	e := &m.rdp[rdpIndex(pc)]
+	if e.samples == 0 {
+		e.estimate = rd
+	} else {
+		e.estimate += (rd - e.estimate) / mjTDRate
+	}
+	e.samples++
+	m.trained[pc]++
+}
+
+// sample feeds the set sampler, producing observed reuse distances.
+func (m *Mockingjay) sample(info sim.AccessInfo) {
+	if info.Set%mjSampleEvery != 0 {
+		return
+	}
+	if prev, ok := m.sampler[info.LineAddr]; ok {
+		m.observe(prev.pc, float64(info.Time-prev.time))
+	} else if len(m.sampler) >= m.samplerCap {
+		// Evict the stalest sampler entry, training it as "no reuse".
+		var oldestAddr uint64
+		var oldest samplerEntry
+		first := true
+		for addr, e := range m.sampler {
+			if first || e.time < oldest.time {
+				oldestAddr, oldest, first = addr, e, false
+			}
+		}
+		m.observe(oldest.pc, mjInfiniteRD)
+		delete(m.sampler, oldestAddr)
+	}
+	m.sampler[info.LineAddr] = samplerEntry{pc: info.PC, time: info.Time}
+}
+
+// etrScore is the absolute estimated-time-to-reuse distance: lines far
+// from reuse in either direction (future, or overdue past) score high.
+func etrScore(predicted float64, now uint64) float64 {
+	return math.Abs(predicted - float64(now))
+}
+
+// Victim evicts the max-|ETR| line, or bypasses when the incoming line's
+// predicted reuse is far beyond every resident line's.
+func (m *Mockingjay) Victim(info sim.AccessInfo, lines []sim.Line) int {
+	row := m.predicted[info.Set]
+	victim, worst := 0, -1.0
+	for w := range lines {
+		if s := etrScore(row[w], info.Time); s > worst {
+			victim, worst = w, s
+		}
+	}
+	if in, trained := m.predictRD(info.PC); trained && in > mjBypassMargin*worst && in >= mjInfiniteRD/2 {
+		return sim.BypassWay
+	}
+	return victim
+}
+
+func (m *Mockingjay) OnHit(info sim.AccessInfo, way int, _ []sim.Line) {
+	m.sample(info)
+	// Only confident predictions reschedule a resident line; an
+	// untrained PC touching a line (e.g. the store half of a
+	// load/store pair) must not overwrite a trained estimate with the
+	// global default.
+	if rd, trained := m.predictRD(info.PC); trained {
+		m.predicted[info.Set][way] = float64(info.Time) + rd
+	}
+}
+
+func (m *Mockingjay) OnFill(info sim.AccessInfo, way int, _ []sim.Line) {
+	m.sample(info)
+	rd, _ := m.predictRD(info.PC)
+	m.predicted[info.Set][way] = float64(info.Time) + rd
+}
+
+// LineScores exposes |ETR| eviction scores.
+func (m *Mockingjay) LineScores(set int, lines []sim.Line) []float64 {
+	var now uint64
+	for _, l := range lines {
+		if l.LastTouch > now {
+			now = l.LastTouch
+		}
+	}
+	scores := make([]float64, len(lines))
+	for w := range lines {
+		scores[w] = etrScore(m.predicted[set][w], now)
+	}
+	return scores
+}
+
+// RDPSnapshot returns the reuse-distance estimate each trained PC's
+// table entry currently holds (aliased PCs share estimates), used by
+// the Mockingjay use-case analysis and tests.
+func (m *Mockingjay) RDPSnapshot() map[uint64]float64 {
+	out := make(map[uint64]float64, len(m.trained))
+	for pc := range m.trained {
+		if e := m.rdp[rdpIndex(pc)]; e.samples >= mjMinRDSamples {
+			out[pc] = e.estimate
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+// Package policy implements the replacement policies CacheMind's
+// database and experiments cover: the heuristic family (LRU, Random,
+// PLRU, DIP, SRRIP, BRRIP, DRRIP, SHiP), the offline oracle (Belady's
+// MIN), and the learned family (PARROT imitation learning, an online MLP
+// reuse predictor, and Mockingjay's ETR-based policy with a PC-indexed
+// reuse-distance predictor).
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"cachemind/internal/sim"
+	"cachemind/internal/trace"
+)
+
+// Options carries the policy-specific inputs New may need.
+type Options struct {
+	// Seed drives every stochastic choice (Random policy, learned-policy
+	// weight initialization); identical seeds give identical policies.
+	Seed int64
+	// Oracle is the next-use index table (trace.NextUseOracle) over the
+	// exact access stream that will be replayed. Required for Belady.
+	Oracle []int
+	// Train is the training access stream for learned policies (PARROT).
+	Train []trace.Access
+	// TrainFilter, when non-nil, limits Mockingjay's reuse-distance
+	// predictor training to PCs it accepts — the §6.3 stable-PC use case.
+	TrainFilter func(pc uint64) bool
+}
+
+type constructor func(cfg sim.Config, opts Options) (sim.ReplacementPolicy, error)
+
+var constructors = map[string]constructor{}
+
+func registerPolicy(name string, c constructor) {
+	if _, dup := constructors[name]; dup {
+		panic("policy: duplicate registration of " + name)
+	}
+	constructors[name] = c
+}
+
+// New builds the named policy for a cache with the given geometry.
+func New(name string, cfg sim.Config, opts Options) (sim.ReplacementPolicy, error) {
+	c, ok := constructors[name]
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (have %v)", name, Names())
+	}
+	return c(cfg, opts)
+}
+
+// Names returns all registered policy names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(constructors))
+	for n := range constructors {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Core returns the four policies the paper's external database covers,
+// in its canonical order.
+func Core() []string { return []string{"belady", "lru", "mlp", "parrot"} }
+
+// Describe returns the human-readable policy description stored in the
+// external database.
+func Describe(name string) string {
+	switch name {
+	case "lru":
+		return "Least Recently Used: evicts the line untouched for the longest time. Strong on temporal locality, thrashes on scans longer than the cache."
+	case "random":
+		return "Random replacement: evicts a uniformly random line. Baseline with no locality awareness."
+	case "plru":
+		return "Tree pseudo-LRU: approximates LRU with one tree of bits per set; cheaper state, near-LRU behaviour."
+	case "dip":
+		return "Dynamic Insertion Policy (Qureshi et al.): set-duels LRU-insertion against bimodal LRU-position insertion to resist thrashing."
+	case "srrip":
+		return "Static RRIP (Jaleel et al.): 2-bit re-reference interval prediction; inserts at long re-reference to resist scans."
+	case "brrip":
+		return "Bimodal RRIP: inserts at distant re-reference most of the time; the thrash-resistant half of DRRIP."
+	case "drrip":
+		return "Dynamic RRIP: set-duels SRRIP against BRRIP with a policy-selector counter, adapting across phases."
+	case "ship":
+		return "SHiP (Wu et al.): signature-based hit prediction; PC signatures index a counter table that biases RRIP insertion for reused vs. dead-on-arrival code."
+	case "hawkeye":
+		return "Hawkeye (Jain & Lin): reconstructs Belady's decisions on sampled sets with OPTgen occupancy vectors and trains a PC-indexed classifier separating cache-friendly from cache-averse loads."
+	case "belady":
+		return "Belady's optimal (MIN): offline oracle evicting the line whose next use is farthest in the future. Upper bound on hit rate; not implementable in hardware."
+	case "parrot":
+		return "PARROT (Liu et al.): imitation-learned policy trained offline to mimic Belady's eviction decisions from PC and recency features."
+	case "mlp":
+		return "MLP reuse predictor: a small online-trained multi-layer perceptron predicting each line's remaining reuse distance; evicts the line predicted dead longest."
+	case "mockingjay":
+		return "Mockingjay (Shah et al.): PC-indexed reuse-distance predictor with estimated-time-of-reuse ordering, closely tracking Belady's ordering online."
+	default:
+		return "Unknown replacement policy."
+	}
+}
+
+// MustNew is New for static configurations known to be valid; it panics
+// on error.
+func MustNew(name string, cfg sim.Config, opts Options) sim.ReplacementPolicy {
+	p, err := New(name, cfg, opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

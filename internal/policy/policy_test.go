@@ -1,0 +1,387 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cachemind/internal/sim"
+	"cachemind/internal/trace"
+	"cachemind/internal/workload"
+)
+
+func tinyCfg() sim.Config {
+	return sim.Config{Name: "test", Sets: 16, Ways: 4, Latency: 1}
+}
+
+func llcCfg() sim.Config {
+	return sim.Config{Name: "LLC", Sets: 256, Ways: 8, Latency: 26}
+}
+
+// replay runs accs through a cache with the given policy and returns the
+// cache for inspection.
+func replay(t *testing.T, name string, cfg sim.Config, accs []trace.Access, opts Options) *sim.Cache {
+	t.Helper()
+	if name == "belady" && opts.Oracle == nil {
+		opts.Oracle = trace.NextUseOracle(accs)
+	}
+	p, err := New(name, cfg, opts)
+	if err != nil {
+		t.Fatalf("New(%s): %v", name, err)
+	}
+	c := sim.NewCache(cfg, p)
+	for i, a := range accs {
+		c.Access(sim.AccessInfo{Time: uint64(i), PC: a.PC, LineAddr: a.LineAddr(), Write: a.Write})
+	}
+	return c
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"belady", "brrip", "dip", "drrip", "hawkeye", "lru",
+		"mlp", "mockingjay", "parrot", "plru", "random", "ship", "srrip"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, n := range want {
+		if Describe(n) == "Unknown replacement policy." {
+			t.Errorf("no description for %q", n)
+		}
+	}
+	if Describe("bogus") != "Unknown replacement policy." {
+		t.Error("unknown policy should have fallback description")
+	}
+}
+
+func TestCorePolicies(t *testing.T) {
+	core := Core()
+	if len(core) != 4 || core[0] != "belady" || core[3] != "parrot" {
+		t.Errorf("Core() = %v", core)
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("bogus", tinyCfg(), Options{}); err == nil {
+		t.Error("expected error for unknown policy")
+	}
+}
+
+func TestBeladyRequiresOracle(t *testing.T) {
+	if _, err := New("belady", tinyCfg(), Options{}); err == nil {
+		t.Error("belady without oracle should fail")
+	}
+}
+
+func TestParrotRequiresTrain(t *testing.T) {
+	if _, err := New("parrot", tinyCfg(), Options{}); err == nil {
+		t.Error("parrot without training trace should fail")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on error")
+		}
+	}()
+	MustNew("bogus", tinyCfg(), Options{})
+}
+
+// lruTrace builds a strict-LRU probe: fill ways, touch all but one, then
+// insert a conflicting line; the untouched line must be the victim.
+func TestLRUVictimIsOldest(t *testing.T) {
+	cfg := sim.Config{Name: "t", Sets: 1, Ways: 4, Latency: 1}
+	line := func(i int) uint64 { return uint64(i) * trace.LineSize }
+	accs := []trace.Access{
+		{PC: 1, Addr: line(0)}, {PC: 1, Addr: line(1)},
+		{PC: 1, Addr: line(2)}, {PC: 1, Addr: line(3)},
+		// Touch 0, 2, 3 again: line(1) is now LRU.
+		{PC: 1, Addr: line(0)}, {PC: 1, Addr: line(2)}, {PC: 1, Addr: line(3)},
+		{PC: 1, Addr: line(4)}, // evicts line(1)
+		{PC: 1, Addr: line(1)}, // must miss
+		{PC: 1, Addr: line(0)}, // line(0) touched at t=4... still resident?
+	}
+	c := replay(t, "lru", cfg, accs, Options{})
+	// Accesses 0-3 miss (cold), 4-6 hit, 7 misses+evicts line1,
+	// 8 misses (line1 gone) + evicts oldest, 9: line0 was evicted by 8
+	// (oldest touch t=4 vs line2 t=5, line3 t=6, line4 t=7) -> miss.
+	if c.Hits != 3 {
+		t.Errorf("hits = %d, want 3", c.Hits)
+	}
+}
+
+func TestRandomDeterministicWithSeed(t *testing.T) {
+	accs := workload.MCF.Generate(4000, 1)
+	a := replay(t, "random", llcCfg(), accs, Options{Seed: 7})
+	b := replay(t, "random", llcCfg(), accs, Options{Seed: 7})
+	if a.Hits != b.Hits {
+		t.Errorf("same seed produced different hit counts: %d vs %d", a.Hits, b.Hits)
+	}
+}
+
+// Belady must dominate every practical policy on total hit rate.
+func TestBeladyIsUpperBound(t *testing.T) {
+	for _, w := range []*workload.Workload{workload.Astar, workload.LBM, workload.MCF} {
+		accs := w.Generate(30000, 3)
+		oracle := trace.NextUseOracle(accs)
+		belady := replay(t, "belady", llcCfg(), accs, Options{Oracle: oracle})
+		for _, name := range []string{"lru", "random", "srrip", "drrip", "ship", "plru", "dip"} {
+			other := replay(t, name, llcCfg(), accs, Options{Seed: 11})
+			if other.Hits > belady.Hits {
+				t.Errorf("%s: %s hits (%d) exceed Belady's (%d)", w.Name(), name, other.Hits, belady.Hits)
+			}
+		}
+	}
+}
+
+// On a cyclic scan one line longer than the cache, LRU gets zero hits
+// after the cold pass while Belady keeps most of the working set.
+func TestScanResistanceContrast(t *testing.T) {
+	cfg := sim.Config{Name: "t", Sets: 1, Ways: 4, Latency: 1}
+	var accs []trace.Access
+	for rep := 0; rep < 50; rep++ {
+		for i := 0; i < 5; i++ { // 5 lines cycling through a 4-way set
+			accs = append(accs, trace.Access{PC: 9, Addr: uint64(i) * trace.LineSize})
+		}
+	}
+	lruC := replay(t, "lru", cfg, accs, Options{})
+	beladyC := replay(t, "belady", cfg, accs, Options{})
+	if lruC.Hits != 0 {
+		t.Errorf("LRU on cyclic thrash should get 0 hits, got %d", lruC.Hits)
+	}
+	// Belady: first 5 cold misses, then keeps 3 of 4 hot: hit rate 3/5.
+	if beladyC.Hits < uint64(len(accs)/2) {
+		t.Errorf("Belady hits = %d of %d, want > half", beladyC.Hits, len(accs))
+	}
+}
+
+// SHiP's defining mechanism: a PC whose lines die without reuse trains
+// its signature counter to zero and is inserted at distant re-reference
+// (immediate victim); a PC whose lines are reused keeps long
+// re-reference insertion.
+func TestSHiPSignatureTraining(t *testing.T) {
+	cfg := sim.Config{Name: "t", Sets: 4, Ways: 2, Latency: 1}
+	s := newSHiP(cfg)
+	c := sim.NewCache(cfg, s)
+	deadPC, hotPC := uint64(0x2000), uint64(0x1000)
+	tm := uint64(0)
+	next := func(pc, addr uint64) sim.Event {
+		tm++
+		return c.Access(sim.AccessInfo{Time: tm, PC: pc, LineAddr: addr})
+	}
+	// Stream dead-PC lines through set 0 until the signature trains down.
+	for i := uint64(0); i < 64; i++ {
+		next(deadPC, i*4*trace.LineSize) // all map to set 0
+	}
+	if got := s.shct[shipSignature(deadPC)]; got != 0 {
+		t.Errorf("dead PC signature counter = %d, want 0", got)
+	}
+	// A trained-dead PC must now be inserted at distant re-reference.
+	ev := next(deadPC, 999*4*trace.LineSize)
+	if ev.Hit {
+		t.Fatal("expected miss")
+	}
+	if got := s.rrpv[0][ev.Way]; got != rripDistant {
+		t.Errorf("dead PC inserted at rrpv %d, want %d", got, rripDistant)
+	}
+	// Reused PC: insert then hit repeatedly; signature must rise and
+	// insertion must stay at long re-reference.
+	hotAddr := uint64(1 * trace.LineSize) // set 1
+	next(hotPC, hotAddr)
+	for i := 0; i < 4; i++ {
+		// Re-insert fresh lines so multiple distinct lines reuse.
+		a := hotAddr + uint64(i+1)*4*trace.LineSize
+		next(hotPC, a)
+		next(hotPC, a) // immediate reuse trains the signature up
+	}
+	if got := s.shct[shipSignature(hotPC)]; got == 0 {
+		t.Error("reused PC signature should not be zero")
+	}
+	ev = next(hotPC, 777*4*trace.LineSize+hotAddr)
+	if s.rrpv[1][ev.Way] != rripLong {
+		t.Errorf("reused PC inserted at rrpv %d, want %d", s.rrpv[1][ev.Way], rripLong)
+	}
+}
+
+// SRRIP promotes on hit and ages collectively: after a hit the line must
+// be the last chosen victim in its set.
+func TestSRRIPHitPromotion(t *testing.T) {
+	cfg := sim.Config{Name: "t", Sets: 1, Ways: 4, Latency: 1}
+	r := newRRIP(cfg, rripStatic)
+	c := sim.NewCache(cfg, r)
+	tm := uint64(0)
+	next := func(addr uint64) sim.Event {
+		tm++
+		return c.Access(sim.AccessInfo{Time: tm, PC: 1, LineAddr: addr})
+	}
+	for i := uint64(0); i < 4; i++ {
+		next(i * trace.LineSize)
+	}
+	next(0) // promote line 0 to rrpv 0
+	// Insert conflicting lines: line 0 must survive the next three
+	// evictions (others age out first).
+	for i := uint64(10); i < 13; i++ {
+		ev := next(i * trace.LineSize)
+		if ev.Evicted.Valid && ev.Evicted.Addr == 0 {
+			t.Fatalf("promoted line evicted too early (insert %d)", i)
+		}
+	}
+	if !c.Lookup(0) {
+		t.Error("promoted line should still be resident")
+	}
+}
+
+// Every policy must complete a mixed replay without panicking and hit at
+// least the trivially-hot subset.
+func TestAllPoliciesRunEveryWorkload(t *testing.T) {
+	train := workload.MCF.Generate(8000, 99)
+	for _, name := range Names() {
+		accs := workload.Astar.Generate(10000, 5)
+		c := replay(t, name, llcCfg(), accs, Options{
+			Seed:   3,
+			Oracle: trace.NextUseOracle(accs),
+			Train:  train,
+		})
+		if c.Accesses != uint64(len(accs)) {
+			t.Errorf("%s: accesses = %d, want %d", name, c.Accesses, len(accs))
+		}
+		if c.Hits == 0 {
+			t.Errorf("%s: zero hits on astar (hot open list should hit)", name)
+		}
+		if c.Hits+c.Misses != c.Accesses {
+			t.Errorf("%s: hits+misses != accesses", name)
+		}
+	}
+}
+
+func TestParrotApproximatesBelady(t *testing.T) {
+	train := workload.LBM.Generate(40000, 21)
+	accs := workload.LBM.Generate(40000, 22)
+	oracle := trace.NextUseOracle(accs)
+	belady := replay(t, "belady", llcCfg(), accs, Options{Oracle: oracle})
+	parrot := replay(t, "parrot", llcCfg(), accs, Options{Train: train})
+	lruC := replay(t, "lru", llcCfg(), accs, Options{})
+	if parrot.Hits <= lruC.Hits {
+		t.Errorf("PARROT hits (%d) should beat LRU (%d) on lbm", parrot.Hits, lruC.Hits)
+	}
+	if parrot.Hits > belady.Hits {
+		t.Errorf("PARROT hits (%d) must not beat Belady (%d) in aggregate", parrot.Hits, belady.Hits)
+	}
+}
+
+func TestParrotDeterministicTraining(t *testing.T) {
+	train := workload.MCF.Generate(10000, 4)
+	a := TrainParrot(llcCfg(), train)
+	b := TrainParrot(llcCfg(), train)
+	if a.weights != b.weights {
+		t.Errorf("training not deterministic: %v vs %v", a.weights, b.weights)
+	}
+}
+
+func TestMLPDeterministicWithSeed(t *testing.T) {
+	accs := workload.LBM.Generate(15000, 6)
+	a := replay(t, "mlp", llcCfg(), accs, Options{Seed: 5})
+	b := replay(t, "mlp", llcCfg(), accs, Options{Seed: 5})
+	if a.Hits != b.Hits {
+		t.Errorf("MLP not deterministic: %d vs %d hits", a.Hits, b.Hits)
+	}
+}
+
+func TestMockingjayRDPLearnsStablePCs(t *testing.T) {
+	cfg := llcCfg()
+	p := NewMockingjay(cfg, nil)
+	c := sim.NewCache(cfg, p)
+	accs := workload.MILC.Generate(120000, 8)
+	for i, a := range accs {
+		c.Access(sim.AccessInfo{Time: uint64(i), PC: a.PC, LineAddr: a.LineAddr(), Write: a.Write})
+	}
+	snap := p.RDPSnapshot()
+	if len(snap) == 0 {
+		t.Fatal("RDP learned nothing")
+	}
+}
+
+func TestMockingjayTrainFilter(t *testing.T) {
+	cfg := llcCfg()
+	allowed := uint64(0x4184b0)
+	p := NewMockingjay(cfg, func(pc uint64) bool { return pc == allowed })
+	c := sim.NewCache(cfg, p)
+	for i, a := range workload.MILC.Generate(80000, 8) {
+		c.Access(sim.AccessInfo{Time: uint64(i), PC: a.PC, LineAddr: a.LineAddr(), Write: a.Write})
+	}
+	for pc := range p.RDPSnapshot() {
+		if pc != allowed {
+			t.Errorf("RDP trained on filtered-out PC %#x", pc)
+		}
+	}
+}
+
+// Property: Victim always returns a legal way (or bypass) for every
+// policy, under arbitrary line states.
+func TestVictimLegalProperty(t *testing.T) {
+	cfg := tinyCfg()
+	train := workload.MCF.Generate(3000, 2)
+	pols := make([]sim.ReplacementPolicy, 0, len(Names()))
+	oracle := make([]int, 100000)
+	for i := range oracle {
+		oracle[i] = i + 1
+	}
+	for _, n := range Names() {
+		p, err := New(n, cfg, Options{Seed: 1, Oracle: oracle, Train: train})
+		if err != nil {
+			t.Fatalf("New(%s): %v", n, err)
+		}
+		pols = append(pols, p)
+	}
+	f := func(tm uint16, pcSeed uint8) bool {
+		lines := make([]sim.Line, cfg.Ways)
+		for w := range lines {
+			lines[w] = sim.Line{
+				Valid: true, Addr: uint64(w) * trace.LineSize,
+				PC:        uint64(pcSeed) + uint64(w),
+				FillTime:  uint64(tm) / 2,
+				LastTouch: uint64(tm),
+			}
+		}
+		info := sim.AccessInfo{Time: uint64(tm) + 1, PC: uint64(pcSeed), LineAddr: 512 * trace.LineSize, Set: int(tm) % cfg.Sets}
+		for _, p := range pols {
+			v := p.Victim(info, lines)
+			if v != sim.BypassWay && (v < 0 || v >= cfg.Ways) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Scorer policies must return one score per way.
+func TestScorerShapes(t *testing.T) {
+	accs := workload.Astar.Generate(5000, 1)
+	train := workload.Astar.Generate(5000, 2)
+	for _, name := range []string{"lru", "srrip", "ship", "belady", "parrot", "mlp", "mockingjay"} {
+		cfg := llcCfg()
+		p, err := New(name, cfg, Options{Seed: 1, Oracle: trace.NextUseOracle(accs), Train: train})
+		if err != nil {
+			t.Fatalf("New(%s): %v", name, err)
+		}
+		c := sim.NewCache(cfg, p)
+		for i, a := range accs {
+			c.Access(sim.AccessInfo{Time: uint64(i), PC: a.PC, LineAddr: a.LineAddr()})
+		}
+		scores := c.Scores(0)
+		if scores == nil {
+			t.Errorf("%s: expected scores", name)
+			continue
+		}
+		if len(scores) != cfg.Ways {
+			t.Errorf("%s: %d scores for %d ways", name, len(scores), cfg.Ways)
+		}
+	}
+}

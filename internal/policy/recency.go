@@ -1,0 +1,176 @@
+package policy
+
+import (
+	"math/rand"
+
+	"cachemind/internal/sim"
+)
+
+func init() {
+	registerPolicy("lru", func(cfg sim.Config, _ Options) (sim.ReplacementPolicy, error) {
+		return &lru{}, nil
+	})
+	registerPolicy("random", func(cfg sim.Config, opts Options) (sim.ReplacementPolicy, error) {
+		return &random{rng: rand.New(rand.NewSource(opts.Seed))}, nil
+	})
+	registerPolicy("plru", func(cfg sim.Config, _ Options) (sim.ReplacementPolicy, error) {
+		return newPLRU(cfg), nil
+	})
+	registerPolicy("dip", func(cfg sim.Config, _ Options) (sim.ReplacementPolicy, error) {
+		return newDIP(cfg), nil
+	})
+}
+
+// lru evicts the least-recently-touched line, reading the LastTouch
+// stamps the cache maintains. It needs no state of its own.
+type lru struct{}
+
+func (*lru) Name() string { return "lru" }
+
+func (*lru) Victim(_ sim.AccessInfo, lines []sim.Line) int {
+	victim, oldest := 0, lines[0].LastTouch
+	for w := 1; w < len(lines); w++ {
+		if lines[w].LastTouch < oldest {
+			victim, oldest = w, lines[w].LastTouch
+		}
+	}
+	return victim
+}
+
+func (*lru) OnHit(sim.AccessInfo, int, []sim.Line)  {}
+func (*lru) OnFill(sim.AccessInfo, int, []sim.Line) {}
+
+// LineScores exposes recency ages so the database can record eviction
+// scores: older lines score higher.
+func (*lru) LineScores(_ int, lines []sim.Line) []float64 {
+	var newest uint64
+	for _, l := range lines {
+		if l.LastTouch > newest {
+			newest = l.LastTouch
+		}
+	}
+	scores := make([]float64, len(lines))
+	for w, l := range lines {
+		scores[w] = float64(newest - l.LastTouch)
+	}
+	return scores
+}
+
+// random evicts a uniformly random way.
+type random struct {
+	rng *rand.Rand
+}
+
+func (*random) Name() string { return "random" }
+
+func (r *random) Victim(_ sim.AccessInfo, lines []sim.Line) int {
+	return r.rng.Intn(len(lines))
+}
+
+func (*random) OnHit(sim.AccessInfo, int, []sim.Line)  {}
+func (*random) OnFill(sim.AccessInfo, int, []sim.Line) {}
+
+// plru is tree pseudo-LRU: one bit tree per set steers victim selection
+// toward the least-recently-used subtree. Ways must be a power of two;
+// other geometries fall back to bit-cleared approximation over the
+// nearest larger tree.
+type plru struct {
+	ways int
+	tree [][]bool // [set][node]; node 0 is the root
+}
+
+func newPLRU(cfg sim.Config) *plru {
+	p := &plru{ways: cfg.Ways, tree: make([][]bool, cfg.Sets)}
+	for s := range p.tree {
+		p.tree[s] = make([]bool, cfg.Ways) // nodes 1..ways-1 used; index 0 spare
+	}
+	return p
+}
+
+func (*plru) Name() string { return "plru" }
+
+func (p *plru) Victim(info sim.AccessInfo, lines []sim.Line) int {
+	t := p.tree[info.Set]
+	node := 1
+	for node < p.ways {
+		if t[node] {
+			node = 2*node + 1
+		} else {
+			node = 2 * node
+		}
+	}
+	w := node - p.ways
+	if w >= len(lines) {
+		w = len(lines) - 1
+	}
+	return w
+}
+
+// touch flips the tree bits along way's path to point away from it.
+func (p *plru) touch(set, way int) {
+	t := p.tree[set]
+	node := way + p.ways
+	for node > 1 {
+		parent := node / 2
+		t[parent] = node%2 == 0 // visited left child -> steer right next
+		node = parent
+	}
+}
+
+func (p *plru) OnHit(info sim.AccessInfo, way int, _ []sim.Line)  { p.touch(info.Set, way) }
+func (p *plru) OnFill(info sim.AccessInfo, way int, _ []sim.Line) { p.touch(info.Set, way) }
+
+// dip implements the Dynamic Insertion Policy: an LRU cache whose
+// insertion position is chosen by set-dueling between traditional
+// MRU insertion and LRU-position (LIP/BIP) insertion.
+type dip struct {
+	lru
+	sets  int
+	psel  int // saturating selector; >= 0 favours MRU insertion
+	bimod uint64
+}
+
+const (
+	dipPselMax     = 512
+	dipLeaderEvery = 32 // set%32==0: MRU leaders; set%32==1: BIP leaders
+	dipBimodEvery  = 32 // BIP promotes to MRU once per this many fills
+)
+
+func newDIP(cfg sim.Config) *dip { return &dip{sets: cfg.Sets} }
+
+func (*dip) Name() string { return "dip" }
+
+func (d *dip) OnFill(info sim.AccessInfo, way int, lines []sim.Line) {
+	mruInsert := false
+	switch {
+	case info.Set%dipLeaderEvery == 0: // MRU leader
+		mruInsert = true
+		if d.psel > -dipPselMax {
+			d.psel-- // a miss in this leader votes against MRU
+		}
+	case info.Set%dipLeaderEvery == 1: // BIP leader
+		if d.psel < dipPselMax {
+			d.psel++
+		}
+	default:
+		mruInsert = d.psel >= 0
+	}
+	if !mruInsert {
+		d.bimod++
+		if d.bimod%dipBimodEvery != 0 {
+			// LRU-position insertion: make the new line the immediate
+			// next victim unless it is touched again.
+			oldest := lines[way].LastTouch
+			for w := range lines {
+				if w != way && lines[w].LastTouch < oldest {
+					oldest = lines[w].LastTouch
+				}
+			}
+			if oldest > 0 {
+				lines[way].LastTouch = oldest - 1
+			} else {
+				lines[way].LastTouch = 0
+			}
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package policy
+
+import (
+	"cachemind/internal/sim"
+)
+
+func init() {
+	registerPolicy("srrip", func(cfg sim.Config, _ Options) (sim.ReplacementPolicy, error) {
+		return newRRIP(cfg, rripStatic), nil
+	})
+	registerPolicy("brrip", func(cfg sim.Config, _ Options) (sim.ReplacementPolicy, error) {
+		return newRRIP(cfg, rripBimodal), nil
+	})
+	registerPolicy("drrip", func(cfg sim.Config, _ Options) (sim.ReplacementPolicy, error) {
+		return newRRIP(cfg, rripDynamic), nil
+	})
+	registerPolicy("ship", func(cfg sim.Config, _ Options) (sim.ReplacementPolicy, error) {
+		return newSHiP(cfg), nil
+	})
+}
+
+const (
+	rripMax     = 3 // 2-bit re-reference prediction values
+	rripLong    = 2 // "long re-reference" insertion
+	rripDistant = 3 // "distant re-reference" insertion
+
+	brripEpsilonEvery = 32  // BRRIP inserts long once per this many fills
+	drripLeaderEvery  = 32  // leader-set spacing for set dueling
+	drripPselMax      = 512 // saturating policy selector bound
+)
+
+type rripMode int
+
+const (
+	rripStatic rripMode = iota
+	rripBimodal
+	rripDynamic
+)
+
+// rrip implements SRRIP/BRRIP/DRRIP over 2-bit re-reference prediction
+// values, with hit-priority promotion.
+type rrip struct {
+	mode  rripMode
+	rrpv  [][]uint8
+	fills uint64 // bimodal fill counter (deterministic epsilon)
+	psel  int    // DRRIP selector; >= 0 favours SRRIP
+}
+
+func newRRIP(cfg sim.Config, mode rripMode) *rrip {
+	r := &rrip{mode: mode, rrpv: make([][]uint8, cfg.Sets)}
+	for s := range r.rrpv {
+		row := make([]uint8, cfg.Ways)
+		for w := range row {
+			row[w] = rripMax
+		}
+		r.rrpv[s] = row
+	}
+	return r
+}
+
+func (r *rrip) Name() string {
+	switch r.mode {
+	case rripStatic:
+		return "srrip"
+	case rripBimodal:
+		return "brrip"
+	default:
+		return "drrip"
+	}
+}
+
+func (r *rrip) Victim(info sim.AccessInfo, lines []sim.Line) int {
+	row := r.rrpv[info.Set]
+	for {
+		for w := range row {
+			if row[w] == rripMax {
+				return w
+			}
+		}
+		for w := range row {
+			row[w]++
+		}
+	}
+}
+
+func (r *rrip) OnHit(info sim.AccessInfo, way int, _ []sim.Line) {
+	r.rrpv[info.Set][way] = 0
+}
+
+func (r *rrip) OnFill(info sim.AccessInfo, way int, _ []sim.Line) {
+	r.rrpv[info.Set][way] = r.insertionRRPV(info.Set)
+	r.fills++
+}
+
+// insertionRRPV picks the insertion prediction per mode, updating the
+// DRRIP duel when the fill lands in a leader set.
+func (r *rrip) insertionRRPV(set int) uint8 {
+	bimodal := func() uint8 {
+		if r.fills%brripEpsilonEvery == 0 {
+			return rripLong
+		}
+		return rripDistant
+	}
+	switch r.mode {
+	case rripStatic:
+		return rripLong
+	case rripBimodal:
+		return bimodal()
+	default: // dynamic
+		switch {
+		case set%drripLeaderEvery == 0: // SRRIP leader: misses vote against SRRIP
+			if r.psel > -drripPselMax {
+				r.psel--
+			}
+			return rripLong
+		case set%drripLeaderEvery == 1: // BRRIP leader
+			if r.psel < drripPselMax {
+				r.psel++
+			}
+			return bimodal()
+		case r.psel >= 0:
+			return rripLong
+		default:
+			return bimodal()
+		}
+	}
+}
+
+// LineScores exposes RRPVs as eviction scores.
+func (r *rrip) LineScores(set int, lines []sim.Line) []float64 {
+	scores := make([]float64, len(lines))
+	for w := range lines {
+		scores[w] = float64(r.rrpv[set][w])
+	}
+	return scores
+}
+
+// ship implements SHiP-PC: SRRIP insertion biased by a signature history
+// counter table indexed by a hash of the inserting PC. Lines that die
+// without reuse train their signature down; reused lines train it up.
+type ship struct {
+	rrpv    [][]uint8
+	meta    [][]shipLineMeta
+	shct    []uint8 // 2-bit saturating counters
+	shctCap uint8
+}
+
+type shipLineMeta struct {
+	sig     uint16
+	reused  bool
+	tracked bool
+}
+
+const shipTableSize = 16384
+
+func newSHiP(cfg sim.Config) *ship {
+	s := &ship{
+		rrpv:    make([][]uint8, cfg.Sets),
+		meta:    make([][]shipLineMeta, cfg.Sets),
+		shct:    make([]uint8, shipTableSize),
+		shctCap: 3,
+	}
+	for i := range s.rrpv {
+		row := make([]uint8, cfg.Ways)
+		for w := range row {
+			row[w] = rripMax
+		}
+		s.rrpv[i] = row
+		s.meta[i] = make([]shipLineMeta, cfg.Ways)
+	}
+	// Start counters weakly reused so cold start behaves like SRRIP.
+	for i := range s.shct {
+		s.shct[i] = 1
+	}
+	return s
+}
+
+func (*ship) Name() string { return "ship" }
+
+func shipSignature(pc uint64) uint16 {
+	return uint16((pc ^ pc>>13 ^ pc>>26) % shipTableSize)
+}
+
+func (s *ship) Victim(info sim.AccessInfo, lines []sim.Line) int {
+	row := s.rrpv[info.Set]
+	for {
+		for w := range row {
+			if row[w] == rripMax {
+				return w
+			}
+		}
+		for w := range row {
+			row[w]++
+		}
+	}
+}
+
+func (s *ship) OnHit(info sim.AccessInfo, way int, _ []sim.Line) {
+	s.rrpv[info.Set][way] = 0
+	m := &s.meta[info.Set][way]
+	if m.tracked && !m.reused {
+		m.reused = true
+		if s.shct[m.sig] < s.shctCap {
+			s.shct[m.sig]++
+		}
+	}
+}
+
+func (s *ship) OnFill(info sim.AccessInfo, way int, _ []sim.Line) {
+	// Train down the signature of the line being displaced if it died
+	// without reuse.
+	old := s.meta[info.Set][way]
+	if old.tracked && !old.reused && s.shct[old.sig] > 0 {
+		s.shct[old.sig]--
+	}
+	sig := shipSignature(info.PC)
+	s.meta[info.Set][way] = shipLineMeta{sig: sig, tracked: true}
+	if s.shct[sig] == 0 {
+		s.rrpv[info.Set][way] = rripDistant // predicted dead on arrival
+	} else {
+		s.rrpv[info.Set][way] = rripLong
+	}
+}
+
+// LineScores exposes RRPVs as eviction scores.
+func (s *ship) LineScores(set int, lines []sim.Line) []float64 {
+	scores := make([]float64, len(lines))
+	for w := range lines {
+		scores[w] = float64(s.rrpv[set][w])
+	}
+	return scores
+}

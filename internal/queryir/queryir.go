@@ -1,0 +1,371 @@
+// Package queryir defines the typed retrieval-query representation and
+// its executor. The paper's Ranger retriever has GPT-4o emit Python that
+// slices the trace database; offline, CacheMind's semantic parser
+// (internal/nlu) compiles natural language into these declarative query
+// values instead, and this package executes them against the store — the
+// same "generate a retrieval program, run it, return grounded strings"
+// loop with a verifiable, sandboxed program representation.
+package queryir
+
+import (
+	"fmt"
+	"sort"
+
+	"cachemind/internal/db"
+	"cachemind/internal/stats"
+	"cachemind/internal/trace"
+)
+
+// AggKind enumerates the aggregations a query can request.
+type AggKind int
+
+const (
+	// AggRows returns matching rows without aggregation.
+	AggRows AggKind = iota
+	AggCount
+	AggHitCount
+	AggMissCount
+	AggHitRate  // percent
+	AggMissRate // percent
+	AggMean     // over Field
+	AggStd      // over Field
+	AggSum      // over Field
+	AggMin      // over Field
+	AggMax      // over Field
+	AggMedian   // over Field
+	// AggDistinct lists distinct values of GroupBy ("pc" or "set").
+	AggDistinct
+)
+
+var aggNames = map[AggKind]string{
+	AggRows: "rows", AggCount: "count", AggHitCount: "hit_count",
+	AggMissCount: "miss_count", AggHitRate: "hit_rate", AggMissRate: "miss_rate",
+	AggMean: "mean", AggStd: "std", AggSum: "sum", AggMin: "min", AggMax: "max",
+	AggMedian:   "median",
+	AggDistinct: "distinct",
+}
+
+// String returns the aggregation's name.
+func (a AggKind) String() string {
+	if n, ok := aggNames[a]; ok {
+		return n
+	}
+	return fmt.Sprintf("AggKind(%d)", int(a))
+}
+
+// needsField reports whether the aggregation reads a numeric column.
+func (a AggKind) needsField() bool {
+	switch a {
+	case AggMean, AggStd, AggSum, AggMin, AggMax, AggMedian:
+		return true
+	}
+	return false
+}
+
+// Query is one declarative retrieval request against a single
+// (workload, policy) frame.
+type Query struct {
+	Workload string
+	Policy   string
+
+	// Optional symbolic filters.
+	PC   *uint64
+	Addr *uint64 // line-aligned automatically
+	Set  *int
+	Hit  *bool // filter to hits (true) or misses (false)
+
+	// Agg selects the aggregation; Field names the numeric column for
+	// mean/std/sum/min/max.
+	Agg   AggKind
+	Field string
+
+	// GroupBy ("pc" or "set") computes the aggregation per group, or
+	// enumerates distinct keys for AggDistinct.
+	GroupBy string
+
+	// SortDesc orders grouped output by value descending (default is
+	// key ascending); Limit truncates grouped or row output (0 = all).
+	SortDesc bool
+	Limit    int
+}
+
+// ResultKind discriminates Result payloads.
+type ResultKind int
+
+const (
+	KindScalar ResultKind = iota
+	KindRows
+	KindGroups
+	KindKeys
+)
+
+// GroupRow is one group's aggregated value.
+type GroupRow struct {
+	Key   uint64 // PC or set index
+	Value float64
+	Count int
+}
+
+// Result is an executed query's payload.
+type Result struct {
+	Kind       ResultKind
+	Scalar     float64
+	MatchCount int
+	// Rows holds matched record indices into the frame (capped by
+	// Query.Limit when set).
+	Rows []int
+	// Groups holds per-group aggregates for GroupBy queries.
+	Groups []GroupRow
+	// Keys holds distinct PCs or set indices for AggDistinct.
+	Keys []uint64
+	// Frame is the frame the query ran against.
+	Frame *db.Frame
+}
+
+// PCRef formats a key as the hex string used in answers.
+func PCRef(pc uint64) string { return fmt.Sprintf("0x%x", pc) }
+
+// Execute runs q against the store. Errors carry enough context for the
+// generator to reject false premises (unknown workload/policy, PC absent
+// from the selected trace).
+func Execute(store *db.Store, q Query) (Result, error) {
+	frame, ok := store.Frame(q.Workload, q.Policy)
+	if !ok {
+		return Result{}, fmt.Errorf("queryir: no trace for workload %q under policy %q", q.Workload, q.Policy)
+	}
+	if q.Agg.needsField() && q.Field == "" {
+		return Result{}, fmt.Errorf("queryir: aggregation %v requires a field", q.Agg)
+	}
+	if q.PC != nil && !frame.HasPC(*q.PC) {
+		return Result{}, &PCNotFoundError{PC: *q.PC, Workload: q.Workload, Policy: q.Policy, Store: store}
+	}
+
+	rows := candidateRows(frame, q)
+	matched := make([]int, 0, len(rows))
+	for _, i := range rows {
+		if matches(frame, q, i) {
+			matched = append(matched, i)
+		}
+	}
+	if q.Addr != nil && len(matched) == 0 {
+		return Result{}, &AddrNotFoundError{PC: q.PC, Addr: *q.Addr, Workload: q.Workload, Policy: q.Policy}
+	}
+
+	res := Result{MatchCount: len(matched), Frame: frame}
+	if q.GroupBy != "" {
+		return executeGrouped(frame, q, matched, res)
+	}
+	return executeFlat(frame, q, matched, res)
+}
+
+// PCNotFoundError signals a false premise: the PC is absent from the
+// requested trace. It records which workloads do contain the PC so the
+// generator can explain the rejection.
+type PCNotFoundError struct {
+	PC       uint64
+	Workload string
+	Policy   string
+	Store    *db.Store
+}
+
+func (e *PCNotFoundError) Error() string {
+	where := e.Store.WorkloadsWithPC(e.PC)
+	if len(where) == 0 {
+		return fmt.Sprintf("PC %s does not appear in any trace", PCRef(e.PC))
+	}
+	return fmt.Sprintf("PC %s does not appear in workload %s (it appears in %v)", PCRef(e.PC), e.Workload, where)
+}
+
+// AddrNotFoundError signals that the requested (PC, address) pair never
+// occurs in the trace.
+type AddrNotFoundError struct {
+	PC       *uint64
+	Addr     uint64
+	Workload string
+	Policy   string
+}
+
+func (e *AddrNotFoundError) Error() string {
+	if e.PC != nil {
+		return fmt.Sprintf("PC %s never accesses address 0x%x in workload %s under %s",
+			PCRef(*e.PC), e.Addr, e.Workload, e.Policy)
+	}
+	return fmt.Sprintf("address 0x%x is never accessed in workload %s under %s", e.Addr, e.Workload, e.Policy)
+}
+
+// candidateRows picks the narrowest index for the query's filters.
+func candidateRows(f *db.Frame, q Query) []int {
+	toInts := func(xs []int32) []int {
+		out := make([]int, len(xs))
+		for i, x := range xs {
+			out[i] = int(x)
+		}
+		return out
+	}
+	switch {
+	case q.PC != nil && q.Addr != nil:
+		return toInts(f.RowsForPCAddr(*q.PC, *q.Addr))
+	case q.PC != nil:
+		return toInts(f.RowsForPC(*q.PC))
+	case q.Set != nil:
+		return toInts(f.RowsForSet(*q.Set))
+	default:
+		out := make([]int, f.Len())
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+}
+
+func matches(f *db.Frame, q Query, i int) bool {
+	r := f.Record(i)
+	if q.PC != nil && r.PC != *q.PC {
+		return false
+	}
+	if q.Addr != nil && r.Addr != *q.Addr&^uint64(trace.LineSize-1) {
+		return false
+	}
+	if q.Set != nil && r.Set != *q.Set {
+		return false
+	}
+	if q.Hit != nil && r.Hit != *q.Hit {
+		return false
+	}
+	return true
+}
+
+func executeFlat(f *db.Frame, q Query, matched []int, res Result) (Result, error) {
+	switch q.Agg {
+	case AggRows:
+		res.Kind = KindRows
+		res.Rows = matched
+		if q.Limit > 0 && len(res.Rows) > q.Limit {
+			res.Rows = res.Rows[:q.Limit]
+		}
+		return res, nil
+	case AggCount:
+		res.Kind = KindScalar
+		res.Scalar = float64(len(matched))
+		return res, nil
+	case AggHitCount, AggMissCount, AggHitRate, AggMissRate:
+		hits := 0
+		for _, i := range matched {
+			if f.Record(i).Hit {
+				hits++
+			}
+		}
+		res.Kind = KindScalar
+		switch q.Agg {
+		case AggHitCount:
+			res.Scalar = float64(hits)
+		case AggMissCount:
+			res.Scalar = float64(len(matched) - hits)
+		case AggHitRate:
+			res.Scalar = stats.Pct(hits, len(matched))
+		default:
+			res.Scalar = stats.Pct(len(matched)-hits, len(matched))
+		}
+		return res, nil
+	case AggMean, AggStd, AggSum, AggMin, AggMax, AggMedian:
+		vals := numericColumn(f, q.Field, matched)
+		res.Kind = KindScalar
+		switch q.Agg {
+		case AggMean:
+			res.Scalar = stats.Mean(vals)
+		case AggStd:
+			res.Scalar = stats.StdDev(vals)
+		case AggSum:
+			for _, v := range vals {
+				res.Scalar += v
+			}
+		case AggMin:
+			res.Scalar, _ = stats.MinMax(vals)
+		case AggMedian:
+			res.Scalar = stats.Median(vals)
+		default:
+			_, res.Scalar = stats.MinMax(vals)
+		}
+		return res, nil
+	case AggDistinct:
+		return Result{}, fmt.Errorf("queryir: distinct requires GroupBy (\"pc\" or \"set\")")
+	default:
+		return Result{}, fmt.Errorf("queryir: unsupported aggregation %v", q.Agg)
+	}
+}
+
+func executeGrouped(f *db.Frame, q Query, matched []int, res Result) (Result, error) {
+	key := func(i int) uint64 {
+		r := f.Record(i)
+		if q.GroupBy == "set" {
+			return uint64(r.Set)
+		}
+		return r.PC
+	}
+	if q.GroupBy != "pc" && q.GroupBy != "set" {
+		return Result{}, fmt.Errorf("queryir: unknown GroupBy %q", q.GroupBy)
+	}
+
+	if q.Agg == AggDistinct {
+		seen := map[uint64]bool{}
+		for _, i := range matched {
+			seen[key(i)] = true
+		}
+		keys := make([]uint64, 0, len(seen))
+		for k := range seen {
+			keys = append(keys, k)
+		}
+		sortUint64s(keys)
+		if q.Limit > 0 && len(keys) > q.Limit {
+			keys = keys[:q.Limit]
+		}
+		res.Kind = KindKeys
+		res.Keys = keys
+		return res, nil
+	}
+
+	groups := map[uint64][]int{}
+	for _, i := range matched {
+		groups[key(i)] = append(groups[key(i)], i)
+	}
+	out := make([]GroupRow, 0, len(groups))
+	for k, rows := range groups {
+		sub := q
+		sub.GroupBy = ""
+		r, err := executeFlat(f, sub, rows, Result{MatchCount: len(rows), Frame: f})
+		if err != nil {
+			return Result{}, err
+		}
+		out = append(out, GroupRow{Key: k, Value: r.Scalar, Count: len(rows)})
+	}
+	sortGroups(out, q.SortDesc)
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	res.Kind = KindGroups
+	res.Groups = out
+	return res, nil
+}
+
+func numericColumn(f *db.Frame, field string, rows []int) []float64 {
+	vals := make([]float64, 0, len(rows))
+	for _, i := range rows {
+		if v, ok := f.NumericValue(field, i); ok {
+			vals = append(vals, v)
+		}
+	}
+	return vals
+}
+
+func sortUint64s(xs []uint64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+func sortGroups(gs []GroupRow, byValueDesc bool) {
+	sort.Slice(gs, func(i, j int) bool {
+		if byValueDesc && gs[i].Value != gs[j].Value {
+			return gs[i].Value > gs[j].Value
+		}
+		return gs[i].Key < gs[j].Key
+	})
+}

@@ -1,0 +1,252 @@
+package queryir
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"cachemind/internal/db"
+	"cachemind/internal/testfix"
+)
+
+func u64(v uint64) *uint64 { return &v }
+func boolp(v bool) *bool   { return &v }
+func intp(v int) *int      { return &v }
+
+func exec(t *testing.T, q Query) Result {
+	t.Helper()
+	res, err := Execute(testfix.Store(), q)
+	if err != nil {
+		t.Fatalf("Execute(%+v): %v", q, err)
+	}
+	return res
+}
+
+func TestUnknownTraceErrors(t *testing.T) {
+	_, err := Execute(testfix.Store(), Query{Workload: "spec2017", Policy: "lru", Agg: AggCount})
+	if err == nil {
+		t.Error("unknown workload should error")
+	}
+	_, err = Execute(testfix.Store(), Query{Workload: "mcf", Policy: "optimal", Agg: AggCount})
+	if err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+func TestCountMatchesFrameLen(t *testing.T) {
+	res := exec(t, Query{Workload: "mcf", Policy: "lru", Agg: AggCount})
+	f, _ := testfix.Store().Frame("mcf", "lru")
+	if int(res.Scalar) != f.Len() {
+		t.Errorf("count = %v, want %d", res.Scalar, f.Len())
+	}
+}
+
+func TestPerPCCountAndRates(t *testing.T) {
+	pc := uint64(0x4037ba)
+	count := exec(t, Query{Workload: "mcf", Policy: "lru", PC: u64(pc), Agg: AggCount})
+	hits := exec(t, Query{Workload: "mcf", Policy: "lru", PC: u64(pc), Agg: AggHitCount})
+	misses := exec(t, Query{Workload: "mcf", Policy: "lru", PC: u64(pc), Agg: AggMissCount})
+	if hits.Scalar+misses.Scalar != count.Scalar {
+		t.Errorf("hits(%v)+misses(%v) != count(%v)", hits.Scalar, misses.Scalar, count.Scalar)
+	}
+	hr := exec(t, Query{Workload: "mcf", Policy: "lru", PC: u64(pc), Agg: AggHitRate})
+	mr := exec(t, Query{Workload: "mcf", Policy: "lru", PC: u64(pc), Agg: AggMissRate})
+	if hr.Scalar+mr.Scalar < 99.9 || hr.Scalar+mr.Scalar > 100.1 {
+		t.Errorf("hit%%(%v)+miss%%(%v) != 100", hr.Scalar, mr.Scalar)
+	}
+	// Cross-check against the statistical expert.
+	f, _ := testfix.Store().Frame("mcf", "lru")
+	st, _ := f.StatsForPC(pc)
+	if mr.Scalar != st.MissRatePct {
+		t.Errorf("query miss rate %v != expert %v", mr.Scalar, st.MissRatePct)
+	}
+}
+
+func TestPCNotFoundIsTypedError(t *testing.T) {
+	_, err := Execute(testfix.Store(), Query{
+		Workload: "lbm", Policy: "lru", PC: u64(0x4037aa), Agg: AggCount,
+	})
+	var nf *PCNotFoundError
+	if !errors.As(err, &nf) {
+		t.Fatalf("want PCNotFoundError, got %v", err)
+	}
+	if nf.PC != 0x4037aa || nf.Workload != "lbm" {
+		t.Errorf("error fields: %+v", nf)
+	}
+	msg := nf.Error()
+	if msg == "" || !containsAll(msg, "0x4037aa", "lbm", "mcf") {
+		t.Errorf("error should name the workloads that do contain the PC: %q", msg)
+	}
+}
+
+func TestAddrNotFound(t *testing.T) {
+	_, err := Execute(testfix.Store(), Query{
+		Workload: "mcf", Policy: "lru", PC: u64(0x4037aa), Addr: u64(0xdead0000), Agg: AggRows,
+	})
+	var nf *AddrNotFoundError
+	if !errors.As(err, &nf) {
+		t.Fatalf("want AddrNotFoundError, got %v", err)
+	}
+}
+
+func TestHitMissLookupRows(t *testing.T) {
+	f, _ := testfix.Store().Frame("lbm", "parrot")
+	r := f.Record(1000)
+	res := exec(t, Query{
+		Workload: "lbm", Policy: "parrot", PC: u64(r.PC), Addr: u64(r.Addr), Agg: AggRows, Limit: 5,
+	})
+	if res.Kind != KindRows || len(res.Rows) == 0 {
+		t.Fatalf("rows result: %+v", res)
+	}
+	if len(res.Rows) > 5 {
+		t.Error("limit not applied")
+	}
+	got := f.Record(res.Rows[0])
+	if got.PC != r.PC || got.Addr != r.Addr {
+		t.Error("row filter wrong")
+	}
+}
+
+func TestHitFilter(t *testing.T) {
+	all := exec(t, Query{Workload: "astar", Policy: "lru", Agg: AggCount})
+	hits := exec(t, Query{Workload: "astar", Policy: "lru", Hit: boolp(true), Agg: AggCount})
+	misses := exec(t, Query{Workload: "astar", Policy: "lru", Hit: boolp(false), Agg: AggCount})
+	if hits.Scalar+misses.Scalar != all.Scalar {
+		t.Error("hit filter does not partition")
+	}
+}
+
+func TestMeanEvictedReuse(t *testing.T) {
+	res := exec(t, Query{
+		Workload: "lbm", Policy: "mlp", PC: u64(0x40170a),
+		Agg: AggMean, Field: db.ColEvictedReuse,
+	})
+	if res.Kind != KindScalar {
+		t.Fatal("expected scalar")
+	}
+	// Arithmetic sanity: mean of min..max.
+	mn := exec(t, Query{Workload: "lbm", Policy: "mlp", PC: u64(0x40170a), Agg: AggMin, Field: db.ColEvictedReuse})
+	mx := exec(t, Query{Workload: "lbm", Policy: "mlp", PC: u64(0x40170a), Agg: AggMax, Field: db.ColEvictedReuse})
+	if res.Scalar < mn.Scalar || res.Scalar > mx.Scalar {
+		t.Errorf("mean %v outside [min %v, max %v]", res.Scalar, mn.Scalar, mx.Scalar)
+	}
+}
+
+func TestAggFieldRequired(t *testing.T) {
+	_, err := Execute(testfix.Store(), Query{Workload: "mcf", Policy: "lru", Agg: AggMean})
+	if err == nil {
+		t.Error("mean without field should error")
+	}
+}
+
+func TestGroupByPCMissRate(t *testing.T) {
+	res := exec(t, Query{
+		Workload: "mcf", Policy: "belady", Agg: AggMissRate, GroupBy: "pc", SortDesc: true,
+	})
+	if res.Kind != KindGroups || len(res.Groups) == 0 {
+		t.Fatalf("groups: %+v", res)
+	}
+	for i := 1; i < len(res.Groups); i++ {
+		if res.Groups[i-1].Value < res.Groups[i].Value {
+			t.Error("groups not sorted descending by value")
+		}
+	}
+	f, _ := testfix.Store().Frame("mcf", "belady")
+	if len(res.Groups) != len(f.PCs()) {
+		t.Errorf("groups = %d, PCs = %d", len(res.Groups), len(f.PCs()))
+	}
+}
+
+func TestGroupBySetHitRateWithLimit(t *testing.T) {
+	res := exec(t, Query{
+		Workload: "astar", Policy: "belady", Agg: AggHitRate, GroupBy: "set",
+		SortDesc: true, Limit: 5,
+	})
+	if len(res.Groups) != 5 {
+		t.Fatalf("limit not applied: %d groups", len(res.Groups))
+	}
+}
+
+func TestDistinctKeys(t *testing.T) {
+	res := exec(t, Query{Workload: "mcf", Policy: "lru", Agg: AggDistinct, GroupBy: "pc"})
+	if res.Kind != KindKeys || len(res.Keys) == 0 {
+		t.Fatalf("keys: %+v", res)
+	}
+	for i := 1; i < len(res.Keys); i++ {
+		if res.Keys[i-1] >= res.Keys[i] {
+			t.Error("keys not ascending")
+		}
+	}
+	f, _ := testfix.Store().Frame("mcf", "lru")
+	if len(res.Keys) != len(f.PCs()) {
+		t.Errorf("distinct PCs = %d, want %d", len(res.Keys), len(f.PCs()))
+	}
+	// Distinct without GroupBy is an error.
+	if _, err := Execute(testfix.Store(), Query{Workload: "mcf", Policy: "lru", Agg: AggDistinct}); err == nil {
+		t.Error("distinct without GroupBy should error")
+	}
+}
+
+func TestBadGroupBy(t *testing.T) {
+	_, err := Execute(testfix.Store(), Query{Workload: "mcf", Policy: "lru", Agg: AggCount, GroupBy: "function"})
+	if err == nil {
+		t.Error("unknown GroupBy should error")
+	}
+}
+
+func TestSetFilter(t *testing.T) {
+	f, _ := testfix.Store().Frame("astar", "lru")
+	set := f.Sets()[0]
+	res := exec(t, Query{Workload: "astar", Policy: "lru", Set: intp(set), Agg: AggCount})
+	if int(res.Scalar) != len(f.RowsForSet(set)) {
+		t.Errorf("set filter count = %v, want %d", res.Scalar, len(f.RowsForSet(set)))
+	}
+}
+
+func TestAggKindString(t *testing.T) {
+	if AggMissRate.String() != "miss_rate" || AggKind(99).String() == "" {
+		t.Error("AggKind names wrong")
+	}
+}
+
+// Property: per-group counts always sum to the ungrouped count.
+func TestGroupPartitionProperty(t *testing.T) {
+	f := func(pcGroup bool) bool {
+		groupBy := "set"
+		if pcGroup {
+			groupBy = "pc"
+		}
+		all, err := Execute(testfix.Store(), Query{Workload: "lbm", Policy: "lru", Agg: AggCount})
+		if err != nil {
+			return false
+		}
+		grouped, err := Execute(testfix.Store(), Query{Workload: "lbm", Policy: "lru", Agg: AggCount, GroupBy: groupBy})
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, g := range grouped.Groups {
+			sum += g.Count
+		}
+		return sum == int(all.Scalar)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4}); err != nil {
+		t.Error(err)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,90 @@
+package queryir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderProgram renders a query as the Python-style retrieval program
+// Ranger's system prompt (paper Figure 3) asks the retrieval LLM to
+// produce. The rendered program is what CacheMind returns for
+// code-generation questions, and documents precisely what the executor
+// ran for every grounded answer.
+func RenderProgram(q Query) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "df = loaded_data[%q][\"data_frame\"]\n", q.Workload+"_evictions_"+q.Policy)
+
+	var filters []string
+	if q.PC != nil {
+		filters = append(filters, fmt.Sprintf("(df[\"program_counter\"] == 0x%x)", *q.PC))
+	}
+	if q.Addr != nil {
+		filters = append(filters, fmt.Sprintf("(df[\"memory_address\"] == 0x%x)", *q.Addr))
+	}
+	if q.Set != nil {
+		filters = append(filters, fmt.Sprintf("(df[\"cache_set_id\"] == %d)", *q.Set))
+	}
+	if q.Hit != nil {
+		want := "Cache Miss"
+		if *q.Hit {
+			want = "Cache Hit"
+		}
+		filters = append(filters, fmt.Sprintf("(df[\"evict\"] == %q)", want))
+	}
+	if len(filters) > 0 {
+		fmt.Fprintf(&b, "rows = df[%s]\n", strings.Join(filters, " & "))
+	} else {
+		b.WriteString("rows = df\n")
+	}
+
+	group := ""
+	if q.GroupBy == "pc" {
+		group = ".groupby(\"program_counter\")"
+	} else if q.GroupBy == "set" {
+		group = ".groupby(\"cache_set_id\")"
+	}
+
+	switch q.Agg {
+	case AggRows:
+		b.WriteString("result = rows.head(" + fmt.Sprint(nonZero(q.Limit, 5)) + ").to_string()\n")
+	case AggCount:
+		fmt.Fprintf(&b, "result = str(len(rows%s))\n", group)
+	case AggHitCount:
+		fmt.Fprintf(&b, "result = str((rows[\"evict\"] == \"Cache Hit\")%s.sum())\n", group)
+	case AggMissCount:
+		fmt.Fprintf(&b, "result = str((rows[\"evict\"] == \"Cache Miss\")%s.sum())\n", group)
+	case AggHitRate:
+		fmt.Fprintf(&b, "result = f\"{100 * (rows['evict'] == 'Cache Hit')%s.mean():.2f}%%\"\n", group)
+	case AggMissRate:
+		fmt.Fprintf(&b, "result = f\"{100 * rows['is_miss']%s.mean():.2f}%%\"\n", group)
+	case AggMean:
+		fmt.Fprintf(&b, "result = f\"{rows[%q]%s.mean():.2f}\"\n", q.Field, group)
+	case AggStd:
+		fmt.Fprintf(&b, "result = f\"{rows[%q]%s.std():.2f}\"\n", q.Field, group)
+	case AggSum:
+		fmt.Fprintf(&b, "result = f\"{rows[%q]%s.sum():.2f}\"\n", q.Field, group)
+	case AggMin:
+		fmt.Fprintf(&b, "result = f\"{rows[%q]%s.min():.2f}\"\n", q.Field, group)
+	case AggMax:
+		fmt.Fprintf(&b, "result = f\"{rows[%q]%s.max():.2f}\"\n", q.Field, group)
+	case AggMedian:
+		fmt.Fprintf(&b, "result = f\"{rows[%q]%s.median():.2f}\"\n", q.Field, group)
+	case AggDistinct:
+		col := "program_counter"
+		if q.GroupBy == "set" {
+			col = "cache_set_id"
+		}
+		fmt.Fprintf(&b, "result = str(sorted(rows[%q].unique()))\n", col)
+	}
+	if q.SortDesc && q.GroupBy != "" && q.Agg != AggDistinct {
+		b.WriteString("# grouped output sorted descending by value\n")
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func nonZero(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}

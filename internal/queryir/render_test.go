@@ -1,0 +1,73 @@
+package queryir
+
+import (
+	"strings"
+	"testing"
+
+	"cachemind/internal/db"
+)
+
+func TestRenderProgramFilters(t *testing.T) {
+	pc, addr := uint64(0x4037ba), uint64(0xa3a0df3d80)
+	q := Query{Workload: "mcf", Policy: "lru", PC: &pc, Addr: &addr, Agg: AggHitCount}
+	prog := RenderProgram(q)
+	for _, want := range []string{
+		`loaded_data["mcf_evictions_lru"]`,
+		`df["program_counter"] == 0x4037ba`,
+		`df["memory_address"] == 0xa3a0df3d80`,
+		`== "Cache Hit"`,
+		"result =",
+	} {
+		if !strings.Contains(prog, want) {
+			t.Errorf("program missing %q:\n%s", want, prog)
+		}
+	}
+}
+
+func TestRenderProgramAggregations(t *testing.T) {
+	pc := uint64(0x40170a)
+	cases := []struct {
+		q    Query
+		want string
+	}{
+		{Query{Workload: "lbm", Policy: "mlp", PC: &pc, Agg: AggMean, Field: db.ColEvictedReuse},
+			`.mean()`},
+		{Query{Workload: "lbm", Policy: "mlp", PC: &pc, Agg: AggStd, Field: db.ColAccessReuse},
+			`.std()`},
+		{Query{Workload: "lbm", Policy: "mlp", Agg: AggMissRate},
+			`rows['is_miss']`},
+		{Query{Workload: "lbm", Policy: "mlp", Agg: AggCount},
+			`len(rows`},
+		{Query{Workload: "lbm", Policy: "mlp", Agg: AggDistinct, GroupBy: "pc"},
+			`unique()`},
+		{Query{Workload: "lbm", Policy: "mlp", Agg: AggMissCount, GroupBy: "set"},
+			`.groupby("cache_set_id")`},
+		{Query{Workload: "lbm", Policy: "mlp", Agg: AggRows, Limit: 3},
+			`head(3)`},
+	}
+	for _, c := range cases {
+		if prog := RenderProgram(c.q); !strings.Contains(prog, c.want) {
+			t.Errorf("program for %v missing %q:\n%s", c.q.Agg, c.want, prog)
+		}
+	}
+}
+
+func TestRenderProgramHitFilterAndSet(t *testing.T) {
+	set := 332
+	hit := true
+	q := Query{Workload: "astar", Policy: "belady", Set: &set, Hit: &hit, Agg: AggCount}
+	prog := RenderProgram(q)
+	if !strings.Contains(prog, `df["cache_set_id"] == 332`) {
+		t.Errorf("missing set filter:\n%s", prog)
+	}
+	if !strings.Contains(prog, `df["evict"] == "Cache Hit"`) {
+		t.Errorf("missing hit filter:\n%s", prog)
+	}
+}
+
+func TestRenderProgramNoFilters(t *testing.T) {
+	prog := RenderProgram(Query{Workload: "mcf", Policy: "lru", Agg: AggMissRate})
+	if !strings.Contains(prog, "rows = df\n") {
+		t.Errorf("unfiltered query should use the whole frame:\n%s", prog)
+	}
+}

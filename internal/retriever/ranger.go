@@ -1,0 +1,213 @@
+package retriever
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cachemind/internal/db"
+	"cachemind/internal/embed"
+	"cachemind/internal/llm"
+	"cachemind/internal/nlu"
+	"cachemind/internal/queryir"
+)
+
+// Ranger is the LLM-based retriever (paper §3.3): it translates the
+// natural-language question into an executable retrieval program and
+// runs it against the external database. The paper uses GPT-4o emitting
+// Python under the Figure 3 system prompt; offline, the semantic parser
+// in internal/nlu compiles questions into typed queryir programs — the
+// same generate-execute-return loop with the same failure mode (a
+// question the compiler cannot express yields degraded context) and the
+// same strength (arbitrary aggregations, counting, grouping, top-k).
+type Ranger struct {
+	store *db.Store
+	vocab nlu.Vocabulary
+}
+
+// NewRanger builds a Ranger over the store.
+func NewRanger(store *db.Store) *Ranger {
+	return &Ranger{store: store, vocab: VocabFromStore(store)}
+}
+
+// Name implements Retriever.
+func (r *Ranger) Name() string { return "ranger" }
+
+// SystemPrompt renders Ranger's retrieval-LLM instructions (the paper's
+// Figure 3): objective, database schema, task flow and output rules.
+func (r *Ranger) SystemPrompt() string {
+	var b strings.Builder
+	b.WriteString("You are a code-writing assistant for analyzing cache memory trace data. ")
+	b.WriteString("Your task is to generate a retrieval program that extracts string-formatted answers from the trace database.\n\n")
+	b.WriteString(r.store.SchemaDoc())
+	b.WriteString("\nTask Instructions\n")
+	b.WriteString("- First check matching workload/policy; then check PC/address; finally fall back to metadata.\n")
+	b.WriteString("- Return a single result string with hit/miss, reuse/recency, relevant metadata summary, and assembly context.\n")
+	b.WriteString("- If nothing is found, return a clear message.\n")
+	b.WriteString("\nOutput Rules\n- Must produce a single result string. No markdown, explanations, or comments.\n")
+	return b.String()
+}
+
+// Retrieve implements Retriever.
+func (r *Ranger) Retrieve(question string) Context {
+	start := time.Now()
+	ctx := Context{Question: question, Retriever: r.Name()}
+
+	parsed, err := nlu.Parse(question, r.vocab)
+	ctx.Parsed = parsed
+	if err != nil {
+		// Compilation failed: fall back to metadata evidence, graded by
+		// how much of the question still resolved.
+		ctx.Err = fmt.Errorf("ranger: query compilation failed: %w", err)
+		ctx.Text, ctx.Quality = r.fallback(parsed)
+		ctx.Elapsed = time.Since(start)
+		return ctx
+	}
+
+	if parsed.Intent == nlu.IntentConcept {
+		ctx.Quality = llm.QualityHigh
+		ctx.Text = "General microarchitecture question. Cache geometry from the active configuration:\n" +
+			r.geometryDoc()
+		ctx.Elapsed = time.Since(start)
+		return ctx
+	}
+
+	queries := expandQueries(r.store, parsed.Queries)
+	var bundle strings.Builder
+	okCount, premise := 0, 0
+	for _, q := range queries {
+		res, qerr := queryir.Execute(r.store, q)
+		ex := ExecutedQuery{Query: q, Result: res, Err: qerr}
+		ctx.Executed = append(ctx.Executed, ex)
+		bundle.WriteString(renderResult(ex) + "\n")
+		if qerr == nil {
+			okCount++
+		} else if isPremiseErr(qerr) {
+			premise++
+		}
+	}
+
+	// Attach code metadata for PC-focused questions.
+	if len(parsed.Entities.PCs) > 0 && len(parsed.Entities.Workloads) > 0 {
+		if f, ok := r.store.Frame(parsed.Entities.Workloads[0], r.store.Policies()[0]); ok {
+			syms := f.Symbols()
+			if fn, ok := syms.FunctionAt(parsed.Entities.PCs[0]); ok {
+				fmt.Fprintf(&bundle, "Source function: %s\nAssembly:\n%s\n",
+					fn.Name, syms.Assembly(parsed.Entities.PCs[0]))
+			}
+		}
+	}
+
+	switch {
+	case okCount == len(queries) && len(queries) > 0:
+		ctx.Quality = llm.QualityHigh
+	case premise > 0:
+		// Premise violations are decisive evidence (trick questions).
+		ctx.Quality = llm.QualityHigh
+	case okCount > 0:
+		ctx.Quality = llm.QualityMedium
+	default:
+		ctx.Quality = llm.QualityLow
+		ctx.Err = fmt.Errorf("ranger: no query executed successfully")
+	}
+	ctx.Text = strings.TrimSpace(bundle.String())
+	ctx.Elapsed = time.Since(start)
+	return ctx
+}
+
+func isPremiseErr(err error) bool {
+	var pcErr *queryir.PCNotFoundError
+	var addrErr *queryir.AddrNotFoundError
+	return asErr(err, &pcErr) || asErr(err, &addrErr)
+}
+
+// fallback assembles what evidence it can when compilation failed.
+func (r *Ranger) fallback(parsed nlu.Parsed) (string, llm.Quality) {
+	var b strings.Builder
+	quality := llm.QualityLow
+	if len(parsed.Entities.Workloads) > 0 {
+		w := parsed.Entities.Workloads[0]
+		for _, f := range r.store.FramesForWorkload(w) {
+			fmt.Fprintf(&b, "[workload %s, policy %s] %s\n", f.Workload, f.Policy, f.Metadata)
+		}
+		if b.Len() > 0 {
+			quality = llm.QualityMedium
+		}
+	}
+	if b.Len() == 0 {
+		b.WriteString("Could not compile the question into a retrieval program; no evidence available.")
+	}
+	return strings.TrimSpace(b.String()), quality
+}
+
+// geometryDoc summarizes the simulated cache geometry for concept
+// questions (line size, sets, ways per level come from Table 2).
+func (r *Ranger) geometryDoc() string {
+	return "Line size 64 B. L1D: 64 sets x 8 ways (32 KB). L2: 1024 sets x 8 ways (512 KB). " +
+		"LLC: 2048 sets x 16 ways (2 MB). Address decomposition: offset = log2(64) = 6 bits, " +
+		"index = log2(sets) bits, tag = remaining high bits."
+}
+
+// EmbeddingRetriever is the conventional-RAG baseline standing in for
+// LlamaIndex (paper §6.2): trace rows are chunked into text documents,
+// embedded, and retrieved by cosine similarity. Its documented failure
+// mode — records differing only in hex digits embed almost identically —
+// makes precise trace-grounded retrieval nearly impossible, which is the
+// paper's Figure 9 result.
+type EmbeddingRetriever struct {
+	store *db.Store
+	index *embed.Index
+}
+
+// NewEmbeddingRetriever chunks every frame (sampling rows to keep the
+// index tractable, as LlamaIndex chunks documents) and builds the cosine
+// index.
+func NewEmbeddingRetriever(store *db.Store, sampleEvery int) *EmbeddingRetriever {
+	if sampleEvery <= 0 {
+		sampleEvery = 40
+	}
+	r := &EmbeddingRetriever{store: store, index: embed.NewIndex()}
+	for _, key := range store.Keys() {
+		f, _ := store.FrameByKey(key)
+		r.index.Add(key+"/summary", fmt.Sprintf("TRACE_ID: %s doc_type: trace_summary DESCRIPTION: %s %s",
+			key, f.Description, f.Metadata))
+		for i := 0; i < f.Len(); i += sampleEvery {
+			rec := f.Record(i)
+			outcome := "Cache Miss"
+			if rec.Hit {
+				outcome = "Cache Hit"
+			}
+			doc := fmt.Sprintf("TRACE_ID: %s program_counter=0x%x, memory_address=0x%x, evict=%s, cache_set_id=%d",
+				key, rec.PC, rec.Addr, outcome, rec.Set)
+			r.index.Add(fmt.Sprintf("%s/row%d", key, i), doc)
+		}
+	}
+	return r
+}
+
+// Name implements Retriever.
+func (r *EmbeddingRetriever) Name() string { return "llamaindex" }
+
+// Retrieve implements Retriever: top-3 cosine matches become the
+// context, with no symbolic verification at all.
+func (r *EmbeddingRetriever) Retrieve(question string) Context {
+	start := time.Now()
+	ctx := Context{Question: question, Retriever: r.Name()}
+	matches := r.index.TopK(question, 3)
+	var b strings.Builder
+	for _, m := range matches {
+		text, _ := r.index.Text(m.ID)
+		fmt.Fprintf(&b, "%.16f\n%s\n---\n", m.Score, text)
+	}
+	ctx.Text = strings.TrimSpace(b.String())
+	// Embedding retrieval performs no symbolic verification: its top-k
+	// context is unverified and — on hex-dense trace records — almost
+	// always the wrong rows, so it grades Low (the Figure 5 Low-quality
+	// bucket and the Figure 9 failure case).
+	ctx.Quality = llm.QualityLow
+	if len(matches) == 0 {
+		ctx.Err = fmt.Errorf("llamaindex: empty index")
+	}
+	ctx.Elapsed = time.Since(start)
+	return ctx
+}

@@ -1,0 +1,220 @@
+// Package retriever implements CacheMind's retrieval layer: Sieve
+// (symbolic-semantic filtering, paper §3.2), Ranger (query generation
+// and execution, paper §3.3), and the embedding-RAG baseline standing in
+// for LlamaIndex (paper §6.2). All three produce a Context bundle the
+// generator grounds its answer in, tagged with a quality grade that
+// drives the paper's Figure 5 analysis.
+package retriever
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cachemind/internal/db"
+	"cachemind/internal/llm"
+	"cachemind/internal/nlu"
+	"cachemind/internal/queryir"
+)
+
+// ExecutedQuery pairs a compiled query with its result or error.
+type ExecutedQuery struct {
+	Query  queryir.Query
+	Result queryir.Result
+	Err    error
+}
+
+// Context is one retrieval outcome.
+type Context struct {
+	Question string
+	// Retriever is the producing retriever's name.
+	Retriever string
+	// Quality grades the evidence (drives Figure 5).
+	Quality llm.Quality
+	// Text is the assembled evidence bundle shown to the generator.
+	Text string
+	// Parsed carries the NLU output (zero value for the embedding
+	// baseline, which does no parsing).
+	Parsed nlu.Parsed
+	// Executed holds every query run and its outcome.
+	Executed []ExecutedQuery
+	// Err is a retrieval-level failure (nothing usable found).
+	Err error
+	// Elapsed is the wall-clock retrieval time (Figure 9's latency
+	// comparison).
+	Elapsed time.Duration
+}
+
+// PremiseViolation returns the typed premise failure (PC absent from
+// workload, address never accessed) when retrieval detected one — the
+// evidence a trick question must be rejected on.
+func (c *Context) PremiseViolation() error {
+	for _, ex := range c.Executed {
+		if ex.Err == nil {
+			continue
+		}
+		var pcErr *queryir.PCNotFoundError
+		var addrErr *queryir.AddrNotFoundError
+		if asErr(ex.Err, &pcErr) {
+			return pcErr
+		}
+		if asErr(ex.Err, &addrErr) {
+			return addrErr
+		}
+	}
+	return nil
+}
+
+// asErr is a tiny errors.As wrapper avoiding repeated imports at call
+// sites.
+func asErr[T error](err error, target *T) bool {
+	for err != nil {
+		if t, ok := err.(T); ok {
+			*target = t
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// Retriever is the common retrieval interface.
+type Retriever interface {
+	// Name identifies the retriever ("sieve", "ranger", "llamaindex").
+	Name() string
+	// Retrieve assembles grounded context for the question.
+	Retrieve(question string) Context
+}
+
+// VocabFromStore derives the NLU vocabulary from a store's contents.
+func VocabFromStore(s *db.Store) nlu.Vocabulary {
+	return nlu.Vocabulary{Workloads: s.Workloads(), Policies: s.Policies()}
+}
+
+// expandQueries resolves the nlu sentinels into concrete per-policy /
+// per-workload query fan-outs.
+func expandQueries(s *db.Store, qs []queryir.Query) []queryir.Query {
+	var out []queryir.Query
+	for _, q := range qs {
+		policies := []string{q.Policy}
+		if q.Policy == nlu.AllPolicies {
+			policies = s.Policies()
+		}
+		workloads := []string{q.Workload}
+		if q.Workload == nlu.AllWorkloads {
+			workloads = s.Workloads()
+		}
+		for _, w := range workloads {
+			for _, p := range policies {
+				qq := q
+				qq.Workload = w
+				qq.Policy = p
+				out = append(out, qq)
+			}
+		}
+	}
+	return out
+}
+
+// renderResult formats one executed query as evidence text in the style
+// of the paper's Figure 9 Ranger context.
+func renderResult(ex ExecutedQuery) string {
+	q := ex.Query
+	where := fmt.Sprintf("workload %s, policy %s", q.Workload, q.Policy)
+	if ex.Err != nil {
+		return fmt.Sprintf("[%s] retrieval check: %v", where, ex.Err)
+	}
+	r := ex.Result
+	var b strings.Builder
+	switch r.Kind {
+	case queryir.KindScalar:
+		fmt.Fprintf(&b, "[%s] %s", where, describeScalar(q, r))
+	case queryir.KindRows:
+		fmt.Fprintf(&b, "[%s] %d matching accesses", where, r.MatchCount)
+		for i, idx := range r.Rows {
+			if i >= 3 {
+				break
+			}
+			rec := r.Frame.Record(idx)
+			outcome := "Cache Miss"
+			if rec.Hit {
+				outcome = "Cache Hit"
+			}
+			fmt.Fprintf(&b, "\n  PC %s addr 0x%x -> %s", queryir.PCRef(rec.PC), rec.Addr, outcome)
+			if rec.EvictedAddr != 0 {
+				if rec.EvictedReuseDist >= 0 {
+					fmt.Fprintf(&b, "; evicted 0x%x (needed again in %d accesses)",
+						rec.EvictedAddr, rec.EvictedReuseDist)
+				} else {
+					fmt.Fprintf(&b, "; evicted 0x%x (never needed again)", rec.EvictedAddr)
+				}
+			}
+			if rec.AccessedReuseDist >= 0 {
+				fmt.Fprintf(&b, "; inserted line needed again in %d accesses", rec.AccessedReuseDist)
+			}
+		}
+	case queryir.KindGroups:
+		fmt.Fprintf(&b, "[%s] %s by %s:", where, q.Agg, q.GroupBy)
+		for i, g := range r.Groups {
+			if i >= 12 {
+				fmt.Fprintf(&b, "\n  ... (%d more groups)", len(r.Groups)-i)
+				break
+			}
+			fmt.Fprintf(&b, "\n  %s: %.2f (n=%d)", groupKeyLabel(q.GroupBy, g.Key), g.Value, g.Count)
+		}
+	case queryir.KindKeys:
+		fmt.Fprintf(&b, "[%s] distinct %s (%d):", where, q.GroupBy, len(r.Keys))
+		for i, k := range r.Keys {
+			if i >= 24 {
+				fmt.Fprintf(&b, " ... (%d more)", len(r.Keys)-i)
+				break
+			}
+			b.WriteString(" " + groupKeyLabel(q.GroupBy, k))
+		}
+	}
+	return b.String()
+}
+
+func groupKeyLabel(groupBy string, key uint64) string {
+	if groupBy == "set" {
+		return fmt.Sprintf("set %d", key)
+	}
+	return queryir.PCRef(key)
+}
+
+func describeScalar(q queryir.Query, r queryir.Result) string {
+	target := ""
+	if q.PC != nil {
+		target = " for PC " + queryir.PCRef(*q.PC)
+	}
+	switch q.Agg {
+	case queryir.AggCount:
+		return fmt.Sprintf("count%s = %.0f", target, r.Scalar)
+	case queryir.AggHitCount:
+		return fmt.Sprintf("hit count%s = %.0f", target, r.Scalar)
+	case queryir.AggMissCount:
+		return fmt.Sprintf("miss count%s = %.0f", target, r.Scalar)
+	case queryir.AggHitRate:
+		return fmt.Sprintf("hit rate%s = %.2f%%", target, r.Scalar)
+	case queryir.AggMissRate:
+		return fmt.Sprintf("miss rate%s = %.2f%%", target, r.Scalar)
+	case queryir.AggMean:
+		return fmt.Sprintf("mean %s%s = %.2f", q.Field, target, r.Scalar)
+	case queryir.AggStd:
+		return fmt.Sprintf("std %s%s = %.2f", q.Field, target, r.Scalar)
+	case queryir.AggSum:
+		return fmt.Sprintf("sum %s%s = %.2f", q.Field, target, r.Scalar)
+	case queryir.AggMin:
+		return fmt.Sprintf("min %s%s = %.2f", q.Field, target, r.Scalar)
+	case queryir.AggMax:
+		return fmt.Sprintf("max %s%s = %.2f", q.Field, target, r.Scalar)
+	case queryir.AggMedian:
+		return fmt.Sprintf("median %s%s = %.2f", q.Field, target, r.Scalar)
+	default:
+		return fmt.Sprintf("value%s = %.2f", target, r.Scalar)
+	}
+}

@@ -1,0 +1,262 @@
+package retriever
+
+import (
+	"strings"
+	"testing"
+
+	"cachemind/internal/llm"
+	"cachemind/internal/nlu"
+	"cachemind/internal/queryir"
+	"cachemind/internal/testfix"
+)
+
+// probe builds a question with a known in-trace (PC, addr) pair.
+func probe(t *testing.T, workload, policyName string) (question string, pc, addr uint64, hit bool) {
+	t.Helper()
+	f, ok := testfix.Store().Frame(workload, policyName)
+	if !ok {
+		t.Fatalf("missing frame %s/%s", workload, policyName)
+	}
+	r := f.Record(f.Len() / 2)
+	q := "Does the memory access with PC " + queryir.PCRef(r.PC) +
+		" and address " + queryir.PCRef(r.Addr) + " result in a cache hit or cache miss for the " +
+		workload + " workload and " + strings.ToUpper(policyName) + " replacement policy?"
+	return q, r.PC, r.Addr, r.Hit
+}
+
+func TestSieveHitMissHighQuality(t *testing.T) {
+	s := NewSieve(testfix.Store())
+	q, pc, addr, _ := probe(t, "lbm", "parrot")
+	ctx := s.Retrieve(q)
+	if ctx.Err != nil {
+		t.Fatalf("retrieval failed: %v", ctx.Err)
+	}
+	if ctx.Quality != llm.QualityHigh {
+		t.Errorf("quality = %v, want High", ctx.Quality)
+	}
+	if !strings.Contains(ctx.Text, queryir.PCRef(pc)) || !strings.Contains(ctx.Text, queryir.PCRef(addr)) {
+		t.Errorf("context missing probe symbols:\n%s", ctx.Text)
+	}
+	if len(ctx.Executed) == 0 {
+		t.Error("no executed queries recorded")
+	}
+	if ctx.Elapsed <= 0 {
+		t.Error("elapsed time not recorded")
+	}
+}
+
+func TestSievePCStatsIncludeSemantics(t *testing.T) {
+	s := NewSieve(testfix.Store())
+	ctx := s.Retrieve("What is the miss rate for PC 0x4037ba on the mcf workload with PARROT replacement policy?")
+	if ctx.Quality != llm.QualityHigh {
+		t.Errorf("quality = %v", ctx.Quality)
+	}
+	for _, want := range []string{"miss rate", "primal_bea_mpp", "Assembly"} {
+		if !strings.Contains(ctx.Text, want) {
+			t.Errorf("context missing %q:\n%s", want, ctx.Text)
+		}
+	}
+}
+
+func TestSieveFailsOnNoWorkload(t *testing.T) {
+	s := NewSieve(testfix.Store())
+	ctx := s.Retrieve("What is the miss rate for PC 0x4037ba?")
+	if ctx.Err == nil && ctx.Quality == llm.QualityHigh {
+		t.Error("workload-free query should not yield high-quality context")
+	}
+}
+
+func TestSieveSemanticWorkloadFallback(t *testing.T) {
+	s := NewSieve(testfix.Store())
+	// No workload token, but the description should resolve lbm.
+	ctx := s.Retrieve("In the lattice Boltzmann fluid dynamics benchmark under LRU, what is the miss rate for PC 0x401dc9?")
+	found := false
+	for _, ex := range ctx.Executed {
+		if ex.Query.Workload == "lbm" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("semantic fallback did not reach lbm; executed: %+v", ctx.Executed)
+	}
+}
+
+func TestSieveUnsupportedIntentDegrades(t *testing.T) {
+	s := NewSieve(testfix.Store())
+	// Counting is outside Sieve's fixed templates.
+	ctx := s.Retrieve("How many times did PC 0x405832 appear in astar under LRU?")
+	if ctx.Quality == llm.QualityHigh {
+		t.Errorf("count question should not be high quality for sieve, got %v", ctx.Quality)
+	}
+	// Open-ended listing is too.
+	ctx = s.Retrieve("List all unique PCs in the mcf trace under LRU.")
+	if ctx.Quality == llm.QualityHigh {
+		t.Errorf("listing should not be high quality for sieve, got %v", ctx.Quality)
+	}
+}
+
+func TestSieveTrickPremiseEvidence(t *testing.T) {
+	s := NewSieve(testfix.Store())
+	ctx := s.Retrieve("Does PC 0x4037aa in lbm access address 0x1b73be82e3f under PARROT?")
+	if v := ctx.PremiseViolation(); v == nil {
+		t.Fatalf("expected premise violation evidence; text:\n%s", ctx.Text)
+	}
+	if !strings.Contains(ctx.Text, "mcf") {
+		t.Errorf("premise evidence should name the PC's real workload:\n%s", ctx.Text)
+	}
+}
+
+func TestRangerHitMiss(t *testing.T) {
+	r := NewRanger(testfix.Store())
+	q, _, _, hit := probe(t, "astar", "lru")
+	ctx := r.Retrieve(q)
+	if ctx.Err != nil {
+		t.Fatalf("ranger failed: %v", ctx.Err)
+	}
+	if ctx.Quality != llm.QualityHigh {
+		t.Errorf("quality = %v", ctx.Quality)
+	}
+	want := "Cache Miss"
+	if hit {
+		want = "Cache Hit"
+	}
+	if !strings.Contains(ctx.Text, want) {
+		t.Errorf("context should state %q:\n%s", want, ctx.Text)
+	}
+}
+
+func TestRangerCountWorks(t *testing.T) {
+	r := NewRanger(testfix.Store())
+	ctx := r.Retrieve("How many times did PC 0x405832 appear in astar under LRU?")
+	if ctx.Quality != llm.QualityHigh {
+		t.Fatalf("quality = %v, err = %v", ctx.Quality, ctx.Err)
+	}
+	f, _ := testfix.Store().Frame("astar", "lru")
+	wantCount := len(f.RowsForPC(0x405832))
+	found := false
+	for _, ex := range ctx.Executed {
+		if ex.Err == nil && ex.Query.Agg == queryir.AggCount && int(ex.Result.Scalar) == wantCount {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ranger did not compute the exact count %d", wantCount)
+	}
+}
+
+func TestRangerArithmetic(t *testing.T) {
+	r := NewRanger(testfix.Store())
+	ctx := r.Retrieve("What is the average evicted reuse distance of PC 0x40170a for the lbm workload with MLP?")
+	if ctx.Quality != llm.QualityHigh {
+		t.Fatalf("quality = %v, err = %v", ctx.Quality, ctx.Err)
+	}
+	if !strings.Contains(ctx.Text, "mean evicted_address_reuse_distance") {
+		t.Errorf("context missing arithmetic result:\n%s", ctx.Text)
+	}
+}
+
+func TestRangerPolicyCompareExpands(t *testing.T) {
+	r := NewRanger(testfix.Store())
+	ctx := r.Retrieve("Which policy has the lowest miss rate for PC 0x409270 in astar?")
+	if len(ctx.Executed) != 4 {
+		t.Fatalf("expected 4 per-policy queries, got %d", len(ctx.Executed))
+	}
+	policies := map[string]bool{}
+	for _, ex := range ctx.Executed {
+		policies[ex.Query.Policy] = true
+	}
+	if len(policies) != 4 {
+		t.Errorf("policies covered: %v", policies)
+	}
+}
+
+func TestRangerTrickPremise(t *testing.T) {
+	r := NewRanger(testfix.Store())
+	ctx := r.Retrieve("Does PC 0x4037aa in lbm access address 0x1b73be82e3f under PARROT? Answer hit or miss.")
+	if v := ctx.PremiseViolation(); v == nil {
+		t.Fatalf("expected premise violation; text:\n%s", ctx.Text)
+	}
+	if ctx.Quality != llm.QualityHigh {
+		t.Errorf("premise rejection evidence is decisive; quality = %v", ctx.Quality)
+	}
+}
+
+func TestRangerFallbackOnUnparseable(t *testing.T) {
+	r := NewRanger(testfix.Store())
+	ctx := r.Retrieve("Reflect on the philosophical nature of mcf cache misses in the abstract.")
+	if ctx.Err == nil && ctx.Quality == llm.QualityHigh {
+		t.Error("unparseable question should degrade")
+	}
+	// Fallback still surfaces workload metadata when a workload is named.
+	if !strings.Contains(ctx.Text, "Cache Performance Summary") && ctx.Err != nil {
+		t.Logf("fallback text: %s", ctx.Text)
+	}
+}
+
+func TestRangerSystemPromptRendersSchema(t *testing.T) {
+	r := NewRanger(testfix.Store())
+	sp := r.SystemPrompt()
+	for _, want := range []string{"loaded_data", "program_counter", "Output Rules", "Task Instructions"} {
+		if !strings.Contains(sp, want) {
+			t.Errorf("system prompt missing %q", want)
+		}
+	}
+}
+
+func TestEmbeddingRetrieverImprecision(t *testing.T) {
+	er := NewEmbeddingRetriever(testfix.Store(), 50)
+	q, pc, addr, _ := probe(t, "astar", "lru")
+	ctx := er.Retrieve(q)
+	if ctx.Quality == llm.QualityHigh {
+		t.Error("embedding retrieval can never verify high quality")
+	}
+	if ctx.Text == "" {
+		t.Fatal("empty context")
+	}
+	// The defining failure: the exact row is almost never retrieved.
+	exact := strings.Contains(ctx.Text, queryir.PCRef(pc)) && strings.Contains(ctx.Text, queryir.PCRef(addr))
+	if exact {
+		t.Logf("embedding retriever got lucky for %s/%s (acceptable, rare)", queryir.PCRef(pc), queryir.PCRef(addr))
+	}
+	if len(strings.Split(ctx.Text, "---")) < 3 {
+		t.Errorf("expected top-3 chunks:\n%s", ctx.Text)
+	}
+}
+
+func TestVocabFromStore(t *testing.T) {
+	v := VocabFromStore(testfix.Store())
+	if len(v.Workloads) != 3 || len(v.Policies) != 4 {
+		t.Errorf("vocab = %+v", v)
+	}
+}
+
+func TestExpandQueries(t *testing.T) {
+	qs := expandQueries(testfix.Store(), []queryir.Query{
+		{Workload: "mcf", Policy: nlu.AllPolicies, Agg: queryir.AggMissRate},
+	})
+	if len(qs) != 4 {
+		t.Fatalf("expanded to %d", len(qs))
+	}
+	qs = expandQueries(testfix.Store(), []queryir.Query{
+		{Workload: nlu.AllWorkloads, Policy: nlu.AllPolicies, Agg: queryir.AggMissRate},
+	})
+	if len(qs) != 12 {
+		t.Fatalf("full expansion = %d", len(qs))
+	}
+}
+
+// Retrieval must be deterministic: identical questions yield identical
+// context text.
+func TestRetrievalDeterministic(t *testing.T) {
+	for _, r := range []Retriever{
+		NewSieve(testfix.Store()),
+		NewRanger(testfix.Store()),
+		NewEmbeddingRetriever(testfix.Store(), 80),
+	} {
+		q, _, _, _ := probe(t, "lbm", "lru")
+		a, b := r.Retrieve(q), r.Retrieve(q)
+		if a.Text != b.Text || a.Quality != b.Quality {
+			t.Errorf("%s retrieval not deterministic", r.Name())
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package retriever
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cachemind/internal/db"
+	"cachemind/internal/llm"
+	"cachemind/internal/nlu"
+	"cachemind/internal/queryir"
+)
+
+// Sieve is the filter-based retriever (paper §3.2): a fixed multi-stage
+// pipeline — (1) embedding-assisted workload/policy selection, (2)
+// symbolic PC/address filtering, (3) the Cache Statistical Expert's
+// per-PC digests, (4) context assembly with code metadata. Sieve is
+// precise on the structured templates it anticipates (hit/miss lookups,
+// per-PC miss rates, cross-policy rate comparisons) and degrades on
+// open-ended or arithmetic queries it has no template for — the
+// limitation the paper's Figure 8 quantifies and Ranger removes.
+type Sieve struct {
+	store *db.Store
+	vocab nlu.Vocabulary
+}
+
+// NewSieve builds a Sieve over the store.
+func NewSieve(store *db.Store) *Sieve {
+	return &Sieve{store: store, vocab: VocabFromStore(store)}
+}
+
+// Name implements Retriever.
+func (s *Sieve) Name() string { return "sieve" }
+
+// sieveTemplates is the set of intents Sieve's fixed pipeline supports.
+// Anything else falls through to a metadata-only bundle.
+func sieveSupports(intent nlu.Intent) bool {
+	switch intent {
+	case nlu.IntentHitMiss, nlu.IntentMissRate, nlu.IntentPolicyCompare,
+		nlu.IntentPolicyAnalysis, nlu.IntentSemanticAnalysis,
+		nlu.IntentWorkloadAnalysis, nlu.IntentConcept, nlu.IntentCodeGen:
+		return true
+	}
+	return false
+}
+
+// Retrieve implements Retriever.
+func (s *Sieve) Retrieve(question string) Context {
+	start := time.Now()
+	ctx := Context{Question: question, Retriever: s.Name()}
+
+	// Stage 1: trace-level filtering — extract workload and policy.
+	e := nlu.Extract(question, s.vocab)
+	intent := nlu.Classify(question, e)
+	ctx.Parsed = nlu.Parsed{Intent: intent, Entities: e}
+
+	workloadName := ""
+	if len(e.Workloads) > 0 {
+		workloadName = e.Workloads[0]
+	} else {
+		// Semantic fallback: rank workload descriptions by embedding
+		// similarity, accepting only confident matches.
+		descs := map[string]string{}
+		for _, w := range s.vocab.Workloads {
+			if f, ok := s.store.Frame(w, s.store.Policies()[0]); ok {
+				descs[w] = f.Description
+			}
+		}
+		if w, score := nlu.SemanticWorkload(question, s.vocab, descs); score > 0.18 {
+			workloadName = w
+		}
+	}
+	if workloadName == "" && intent != nlu.IntentConcept {
+		ctx.Err = fmt.Errorf("sieve: could not identify a workload in the query")
+		ctx.Quality = llm.QualityLow
+		ctx.Text = "No matching trace found for the query."
+		ctx.Elapsed = time.Since(start)
+		return ctx
+	}
+
+	policies := e.Policies
+	if len(policies) == 0 {
+		policies = s.store.Policies()
+	}
+	if intent == nlu.IntentHitMiss || intent == nlu.IntentMissRate {
+		// Structured lookups target the first mentioned policy only;
+		// without one Sieve cannot know which frame to slice, so it
+		// reports every policy's slice (still High quality if the
+		// symbols resolve).
+		if len(e.Policies) > 0 {
+			policies = e.Policies[:1]
+		}
+	}
+
+	if intent == nlu.IntentConcept {
+		ctx.Quality = llm.QualityMedium
+		ctx.Text = "General microarchitecture question; no trace slice required.\n" + s.store.SchemaDoc()
+		ctx.Elapsed = time.Since(start)
+		return ctx
+	}
+
+	var bundle strings.Builder
+	supported := sieveSupports(intent)
+	quality := llm.QualityLow
+	workloads := []string{workloadName}
+	if intent == nlu.IntentWorkloadAnalysis {
+		workloads = s.store.Workloads()
+	}
+
+	for _, w := range workloads {
+		for _, polName := range policies {
+			frame, ok := s.store.Frame(w, polName)
+			if !ok {
+				continue
+			}
+			// Stage 2: symbolic PC/address filters.
+			switch {
+			case len(e.PCs) > 0 && len(e.Addrs) > 0:
+				ex := s.execute(queryir.Query{
+					Workload: w, Policy: polName,
+					PC: &e.PCs[0], Addr: &e.Addrs[0],
+					Agg: queryir.AggRows, Limit: 3,
+				})
+				ctx.Executed = append(ctx.Executed, ex)
+				bundle.WriteString(renderResult(ex) + "\n")
+				if ex.Err == nil && supported {
+					quality = llm.QualityHigh
+				} else if ex.Err != nil {
+					// A premise violation is itself high-quality
+					// evidence for rejecting the question.
+					quality = maxQuality(quality, llm.QualityHigh)
+				}
+			case len(e.PCs) > 0:
+				// Stage 3: statistical expert digest for the PC.
+				if st, ok := frame.StatsForPC(e.PCs[0]); ok {
+					bundle.WriteString(renderPCStats(w, polName, st))
+					ctx.Executed = append(ctx.Executed, s.execute(queryir.Query{
+						Workload: w, Policy: polName, PC: &e.PCs[0], Agg: queryir.AggMissRate,
+					}))
+					if supported {
+						quality = maxQuality(quality, llm.QualityHigh)
+					} else {
+						// The digest covers basic means only; arbitrary
+						// aggregations (std, sum, grouping) are beyond
+						// the template.
+						quality = maxQuality(quality, llm.QualityMedium)
+					}
+				} else {
+					ex := s.execute(queryir.Query{
+						Workload: w, Policy: polName, PC: &e.PCs[0], Agg: queryir.AggCount,
+					})
+					ctx.Executed = append(ctx.Executed, ex)
+					bundle.WriteString(renderResult(ex) + "\n")
+					quality = maxQuality(quality, llm.QualityHigh) // premise evidence
+				}
+			default:
+				// No symbols: whole-trace metadata is the best Sieve
+				// can do.
+				bundle.WriteString(fmt.Sprintf("[workload %s, policy %s] %s\n", w, polName, frame.Metadata))
+				if supported && (intent == nlu.IntentWorkloadAnalysis || intent == nlu.IntentPolicyAnalysis) {
+					quality = maxQuality(quality, llm.QualityHigh)
+				} else {
+					quality = maxQuality(quality, llm.QualityMedium)
+				}
+			}
+		}
+	}
+
+	// Stage 4: attach code metadata for the first PC.
+	if len(e.PCs) > 0 {
+		if f, ok := s.store.Frame(workloadName, s.store.Policies()[0]); ok {
+			syms := f.Symbols()
+			if fn, ok := syms.FunctionAt(e.PCs[0]); ok {
+				fmt.Fprintf(&bundle, "Source function: %s\n%s\nAssembly:\n%s\n",
+					fn.Name, fn.Source, syms.Assembly(e.PCs[0]))
+			}
+		}
+	}
+
+	if !supported && quality > llm.QualityMedium {
+		quality = llm.QualityMedium
+	}
+	ctx.Quality = quality
+	ctx.Text = strings.TrimSpace(bundle.String())
+	if ctx.Text == "" {
+		ctx.Err = fmt.Errorf("sieve: no evidence assembled")
+		ctx.Quality = llm.QualityLow
+		ctx.Text = "No matching trace entries found."
+	}
+	ctx.Elapsed = time.Since(start)
+	return ctx
+}
+
+func (s *Sieve) execute(q queryir.Query) ExecutedQuery {
+	res, err := queryir.Execute(s.store, q)
+	return ExecutedQuery{Query: q, Result: res, Err: err}
+}
+
+func maxQuality(a, b llm.Quality) llm.Quality {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// renderPCStats renders the Cache Statistical Expert digest with
+// exactly the fields the paper's §3.2.3 expert computes — miss rate,
+// access and eviction reuse distances, and the bad-eviction percentage.
+// Sieve deliberately exposes no raw counts or higher moments; arbitrary
+// aggregations are Ranger's territory.
+func renderPCStats(workloadName, policyName string, st db.PCStats) string {
+	return fmt.Sprintf("[workload %s, policy %s] PC %s (%s): "+
+		"miss rate %.2f%%, mean access reuse distance %.2f, mean evicted reuse distance %.2f, "+
+		"bad evictions %.2f%%\n",
+		workloadName, policyName, queryir.PCRef(st.PC), st.FunctionName,
+		st.MissRatePct, st.MeanAccessReuse, st.MeanEvictedReuse, st.BadEvictionPct)
+}

@@ -1,0 +1,272 @@
+// Package sim implements the trace-driven cache simulator CacheMind's
+// database and use-case experiments are built on: set-associative caches
+// with pluggable replacement policies, a three-level hierarchy with a
+// simple out-of-order timing model (Table 2 of the paper), bypass hooks,
+// and an event stream for eviction-annotated trace capture.
+package sim
+
+import (
+	"fmt"
+
+	"cachemind/internal/trace"
+)
+
+// Line is one cache line's bookkeeping state.
+type Line struct {
+	Valid bool
+	// Addr is the line-aligned address resident in this way.
+	Addr uint64
+	// PC is the program counter that inserted or last touched the line.
+	PC    uint64
+	Dirty bool
+	// FillTime and LastTouch are global access sequence numbers.
+	FillTime  uint64
+	LastTouch uint64
+}
+
+// AccessInfo carries the context a replacement policy sees on every
+// cache access.
+type AccessInfo struct {
+	// Time is the global demand-access sequence number.
+	Time uint64
+	PC   uint64
+	// LineAddr is the line-aligned address being accessed.
+	LineAddr uint64
+	Set      int
+	Write    bool
+	Prefetch bool
+}
+
+// ReplacementPolicy decides victims and observes hits and fills for one
+// cache instance. Implementations live in internal/policy.
+type ReplacementPolicy interface {
+	// Name returns the policy's database key ("lru", "belady", ...).
+	Name() string
+	// Victim returns the way to evict from the set described by info.
+	// All ways are valid when Victim is called. Returning BypassWay
+	// requests that the incoming line not be cached at all.
+	Victim(info AccessInfo, lines []Line) int
+	// OnHit notifies the policy that info hit in way.
+	OnHit(info AccessInfo, way int, lines []Line)
+	// OnFill notifies the policy that the incoming line was placed in
+	// way (after any eviction).
+	OnFill(info AccessInfo, way int, lines []Line)
+}
+
+// BypassWay is the sentinel a policy's Victim may return to request
+// insertion bypass.
+const BypassWay = -1
+
+// Scorer is optionally implemented by policies that expose per-line
+// eviction scores; the database stores them in the
+// cache_line_eviction_scores column.
+type Scorer interface {
+	// LineScores returns one score per way for the given set; higher
+	// means closer to eviction.
+	LineScores(set int, lines []Line) []float64
+}
+
+// Config describes one cache's geometry and timing.
+type Config struct {
+	Name    string
+	Sets    int
+	Ways    int
+	Latency int // hit latency, cycles
+	MSHRs   int // modelled for configuration reporting only
+}
+
+// Lines returns the cache's capacity in lines.
+func (c Config) Lines() int { return c.Sets * c.Ways }
+
+// Bytes returns the cache's capacity in bytes.
+func (c Config) Bytes() int { return c.Lines() * trace.LineSize }
+
+// Event describes the outcome of one cache access, the unit the trace
+// recorder consumes.
+type Event struct {
+	Info AccessInfo
+	Hit  bool
+	// Way is the way hit or filled; BypassWay when bypassed.
+	Way int
+	// Evicted is the line displaced by this access; Evicted.Valid is
+	// false when no eviction occurred.
+	Evicted Line
+	// Bypassed is true when the line was not inserted (policy decision
+	// or external bypass filter).
+	Bypassed bool
+}
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	cfg    Config
+	sets   [][]Line
+	policy ReplacementPolicy
+
+	// Bypass, when non-nil, is consulted on every demand miss; returning
+	// true skips insertion. The §6.3 bypass use case installs the
+	// CacheMind-identified PC filter here.
+	Bypass func(pc, lineAddr uint64) bool
+
+	// OnEvent, when non-nil, receives every access outcome.
+	OnEvent func(Event)
+
+	// Statistics.
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Bypasses  uint64
+	// Writebacks counts dirty lines displaced (write-back traffic to
+	// the next level).
+	Writebacks uint64
+}
+
+// NewCache builds a cache with the given geometry and policy. Sets must
+// be a power of two.
+func NewCache(cfg Config, p ReplacementPolicy) *Cache {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		panic(fmt.Sprintf("sim: %s sets must be a positive power of two, got %d", cfg.Name, cfg.Sets))
+	}
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("sim: %s needs at least one way", cfg.Name))
+	}
+	sets := make([][]Line, cfg.Sets)
+	backing := make([]Line, cfg.Sets*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Cache{cfg: cfg, sets: sets, policy: p}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Policy returns the cache's replacement policy.
+func (c *Cache) Policy() ReplacementPolicy { return c.policy }
+
+// SetIndex returns the set index for a line-aligned address.
+func (c *Cache) SetIndex(lineAddr uint64) int {
+	return int((lineAddr / trace.LineSize) % uint64(c.cfg.Sets))
+}
+
+// Set returns the lines of set s (shared slice; callers must not modify).
+func (c *Cache) Set(s int) []Line { return c.sets[s] }
+
+// Lookup reports whether lineAddr is resident without touching state.
+func (c *Cache) Lookup(lineAddr uint64) bool {
+	set := c.sets[c.SetIndex(lineAddr)]
+	for i := range set {
+		if set[i].Valid && set[i].Addr == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs one access and returns the event describing it.
+func (c *Cache) Access(info AccessInfo) Event {
+	info.LineAddr &^= uint64(trace.LineSize - 1)
+	info.Set = c.SetIndex(info.LineAddr)
+	set := c.sets[info.Set]
+	c.Accesses++
+
+	ev := Event{Info: info, Way: BypassWay}
+	for w := range set {
+		if set[w].Valid && set[w].Addr == info.LineAddr {
+			c.Hits++
+			set[w].LastTouch = info.Time
+			set[w].PC = info.PC
+			if info.Write {
+				set[w].Dirty = true
+			}
+			c.policy.OnHit(info, w, set)
+			ev.Hit = true
+			ev.Way = w
+			c.emit(ev)
+			return ev
+		}
+	}
+
+	c.Misses++
+
+	// External bypass filter (demand accesses only).
+	if c.Bypass != nil && !info.Prefetch && c.Bypass(info.PC, info.LineAddr) {
+		c.Bypasses++
+		ev.Bypassed = true
+		c.emit(ev)
+		return ev
+	}
+
+	// Fill an invalid way if one exists.
+	for w := range set {
+		if !set[w].Valid {
+			c.fill(info, w, set)
+			ev.Way = w
+			c.emit(ev)
+			return ev
+		}
+	}
+
+	victim := c.policy.Victim(info, set)
+	if victim == BypassWay {
+		c.Bypasses++
+		ev.Bypassed = true
+		c.emit(ev)
+		return ev
+	}
+	if victim < 0 || victim >= len(set) {
+		panic(fmt.Sprintf("sim: policy %s returned invalid victim way %d", c.policy.Name(), victim))
+	}
+	ev.Evicted = set[victim]
+	c.Evictions++
+	if set[victim].Dirty {
+		c.Writebacks++
+	}
+	c.fill(info, victim, set)
+	ev.Way = victim
+	c.emit(ev)
+	return ev
+}
+
+func (c *Cache) fill(info AccessInfo, way int, set []Line) {
+	set[way] = Line{
+		Valid:     true,
+		Addr:      info.LineAddr,
+		PC:        info.PC,
+		Dirty:     info.Write,
+		FillTime:  info.Time,
+		LastTouch: info.Time,
+	}
+	c.policy.OnFill(info, way, set)
+}
+
+func (c *Cache) emit(ev Event) {
+	if c.OnEvent != nil {
+		c.OnEvent(ev)
+	}
+}
+
+// Scores returns the policy's per-line eviction scores for set s, or nil
+// when the policy does not expose scores.
+func (c *Cache) Scores(s int) []float64 {
+	if sc, ok := c.policy.(Scorer); ok {
+		return sc.LineScores(s, c.sets[s])
+	}
+	return nil
+}
+
+// HitRate returns hits/accesses, or 0 before any access.
+func (c *Cache) HitRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Accesses)
+}
+
+// MissRate returns misses/accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cachemind/internal/trace"
+)
+
+// testLRU is a minimal LRU policy for exercising the cache machinery
+// without importing internal/policy (which imports this package).
+type testLRU struct{}
+
+func (testLRU) Name() string { return "testlru" }
+func (testLRU) Victim(_ AccessInfo, lines []Line) int {
+	v, oldest := 0, lines[0].LastTouch
+	for w := 1; w < len(lines); w++ {
+		if lines[w].LastTouch < oldest {
+			v, oldest = w, lines[w].LastTouch
+		}
+	}
+	return v
+}
+func (testLRU) OnHit(AccessInfo, int, []Line)  {}
+func (testLRU) OnFill(AccessInfo, int, []Line) {}
+
+// bypassAll always requests bypass from the policy side.
+type bypassAll struct{ testLRU }
+
+func (bypassAll) Victim(AccessInfo, []Line) int { return BypassWay }
+
+func newTestCache(sets, ways int) *Cache {
+	return NewCache(Config{Name: "t", Sets: sets, Ways: ways, Latency: 1}, testLRU{})
+}
+
+func TestConfigDerived(t *testing.T) {
+	cfg := Config{Name: "LLC", Sets: 2048, Ways: 16}
+	if cfg.Lines() != 32768 {
+		t.Errorf("Lines = %d", cfg.Lines())
+	}
+	if cfg.Bytes() != 2*1024*1024 {
+		t.Errorf("Bytes = %d", cfg.Bytes())
+	}
+}
+
+func TestNewCacheValidation(t *testing.T) {
+	for _, bad := range []Config{
+		{Name: "x", Sets: 3, Ways: 4},
+		{Name: "x", Sets: 0, Ways: 4},
+		{Name: "x", Sets: 8, Ways: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", bad)
+				}
+			}()
+			NewCache(bad, testLRU{})
+		}()
+	}
+}
+
+func TestHitMissAccounting(t *testing.T) {
+	c := newTestCache(4, 2)
+	a1 := c.Access(AccessInfo{Time: 1, PC: 1, LineAddr: 0})
+	if a1.Hit {
+		t.Error("cold access should miss")
+	}
+	a2 := c.Access(AccessInfo{Time: 2, PC: 1, LineAddr: 0})
+	if !a2.Hit {
+		t.Error("second access should hit")
+	}
+	if c.Accesses != 2 || c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("counters = %d/%d/%d", c.Accesses, c.Hits, c.Misses)
+	}
+	if c.HitRate() != 0.5 || c.MissRate() != 0.5 {
+		t.Errorf("rates = %v/%v", c.HitRate(), c.MissRate())
+	}
+}
+
+func TestRatesBeforeAccess(t *testing.T) {
+	c := newTestCache(2, 2)
+	if c.HitRate() != 0 || c.MissRate() != 0 {
+		t.Error("rates before any access should be 0")
+	}
+}
+
+func TestSetIndexing(t *testing.T) {
+	c := newTestCache(8, 2)
+	if c.SetIndex(0) != 0 {
+		t.Error("line 0 -> set 0")
+	}
+	if c.SetIndex(9*trace.LineSize) != 1 {
+		t.Errorf("line 9 -> set %d, want 1", c.SetIndex(9*trace.LineSize))
+	}
+	// Unaligned addresses are aligned internally by Access.
+	ev := c.Access(AccessInfo{Time: 1, PC: 1, LineAddr: 9*trace.LineSize + 17})
+	if ev.Info.LineAddr != 9*trace.LineSize {
+		t.Errorf("Access did not align: %#x", ev.Info.LineAddr)
+	}
+	if ev.Info.Set != 1 {
+		t.Errorf("event set = %d, want 1", ev.Info.Set)
+	}
+}
+
+func TestEvictionEvent(t *testing.T) {
+	c := newTestCache(1, 2)
+	c.Access(AccessInfo{Time: 1, PC: 0xA, LineAddr: 0 * trace.LineSize})
+	c.Access(AccessInfo{Time: 2, PC: 0xB, LineAddr: 1 * trace.LineSize})
+	ev := c.Access(AccessInfo{Time: 3, PC: 0xC, LineAddr: 2 * trace.LineSize})
+	if !ev.Evicted.Valid {
+		t.Fatal("expected an eviction")
+	}
+	if ev.Evicted.Addr != 0 || ev.Evicted.PC != 0xA {
+		t.Errorf("evicted wrong line: %+v", ev.Evicted)
+	}
+	if c.Evictions != 1 {
+		t.Errorf("evictions = %d", c.Evictions)
+	}
+}
+
+func TestExternalBypassFilter(t *testing.T) {
+	c := newTestCache(1, 2)
+	c.Bypass = func(pc, _ uint64) bool { return pc == 0xBAD }
+	ev := c.Access(AccessInfo{Time: 1, PC: 0xBAD, LineAddr: 0})
+	if !ev.Bypassed || ev.Hit {
+		t.Error("filtered PC should bypass")
+	}
+	if c.Lookup(0) {
+		t.Error("bypassed line must not be resident")
+	}
+	if c.Bypasses != 1 {
+		t.Errorf("bypasses = %d", c.Bypasses)
+	}
+	// A hit is never bypassed even for a filtered PC.
+	c.Access(AccessInfo{Time: 2, PC: 0x0C, LineAddr: trace.LineSize})
+	ev = c.Access(AccessInfo{Time: 3, PC: 0xBAD, LineAddr: trace.LineSize})
+	if !ev.Hit {
+		t.Error("resident line should hit regardless of filter")
+	}
+}
+
+func TestPolicyBypass(t *testing.T) {
+	c := NewCache(Config{Name: "t", Sets: 1, Ways: 2, Latency: 1}, bypassAll{})
+	c.Access(AccessInfo{Time: 1, PC: 1, LineAddr: 0})
+	c.Access(AccessInfo{Time: 2, PC: 1, LineAddr: trace.LineSize})
+	// Set is full; policy refuses to evict.
+	ev := c.Access(AccessInfo{Time: 3, PC: 1, LineAddr: 2 * trace.LineSize})
+	if !ev.Bypassed {
+		t.Error("policy bypass should be honoured")
+	}
+	if c.Evictions != 0 {
+		t.Error("bypass must not evict")
+	}
+}
+
+func TestOnEventStream(t *testing.T) {
+	c := newTestCache(2, 2)
+	var events []Event
+	c.OnEvent = func(ev Event) { events = append(events, ev) }
+	c.Access(AccessInfo{Time: 1, PC: 1, LineAddr: 0})
+	c.Access(AccessInfo{Time: 2, PC: 1, LineAddr: 0})
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Hit || !events[1].Hit {
+		t.Error("event hit flags wrong")
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	c := newTestCache(2, 2)
+	c.Access(AccessInfo{Time: 1, PC: 1, LineAddr: 0, Write: true})
+	if !c.Set(0)[0].Dirty {
+		t.Error("write fill should be dirty")
+	}
+	c.Access(AccessInfo{Time: 2, PC: 1, LineAddr: trace.LineSize * 2}) // set 0, read fill
+	if c.Set(0)[1].Dirty {
+		t.Error("read fill should be clean")
+	}
+	c.Access(AccessInfo{Time: 3, PC: 1, LineAddr: trace.LineSize * 2, Write: true})
+	if !c.Set(0)[1].Dirty {
+		t.Error("write hit should set dirty")
+	}
+}
+
+// Property: the cache never holds the same line twice and never exceeds
+// its capacity; hits+misses == accesses.
+func TestCacheInvariantsProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := newTestCache(4, 2)
+		for i, op := range ops {
+			c.Access(AccessInfo{Time: uint64(i), PC: 1, LineAddr: uint64(op%32) * trace.LineSize})
+		}
+		if c.Hits+c.Misses != c.Accesses {
+			return false
+		}
+		seen := map[uint64]bool{}
+		for s := 0; s < 4; s++ {
+			for _, l := range c.Set(s) {
+				if !l.Valid {
+					continue
+				}
+				if seen[l.Addr] {
+					return false // duplicate resident line
+				}
+				seen[l.Addr] = true
+				if c.SetIndex(l.Addr) != s {
+					return false // line in wrong set
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an access immediately after a non-bypassed access to the
+// same line always hits.
+func TestImmediateReuseHitsProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := newTestCache(8, 4)
+		tm := uint64(0)
+		for _, a := range addrs {
+			line := uint64(a) * trace.LineSize
+			tm++
+			ev := c.Access(AccessInfo{Time: tm, PC: 1, LineAddr: line})
+			if ev.Bypassed {
+				continue
+			}
+			tm++
+			if !c.Access(AccessInfo{Time: tm, PC: 1, LineAddr: line}).Hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"cachemind/internal/trace"
+)
+
+func newTestMachine() *Machine {
+	cfg := DefaultMachineConfig()
+	// Shrink the hierarchy so tests exercise misses quickly.
+	cfg.L1D = Config{Name: "L1D", Sets: 8, Ways: 2, Latency: 4, MSHRs: 16}
+	cfg.L2 = Config{Name: "L2", Sets: 32, Ways: 4, Latency: 12, MSHRs: 32}
+	cfg.LLC = Config{Name: "LLC", Sets: 64, Ways: 8, Latency: 26, MSHRs: 64}
+	return NewMachine(cfg, testLRU{}, testLRU{}, testLRU{})
+}
+
+func TestDefaultMachineConfigMatchesTable2(t *testing.T) {
+	cfg := DefaultMachineConfig()
+	if cfg.L1D.Bytes() != 32*1024 {
+		t.Errorf("L1D = %d bytes", cfg.L1D.Bytes())
+	}
+	if cfg.L2.Bytes() != 512*1024 {
+		t.Errorf("L2 = %d bytes", cfg.L2.Bytes())
+	}
+	if cfg.LLC.Bytes() != 2*1024*1024 || cfg.LLC.Sets != 2048 || cfg.LLC.Ways != 16 {
+		t.Errorf("LLC = %+v", cfg.LLC)
+	}
+	if cfg.RetireWidth != 4 || cfg.ROBEntries != 352 {
+		t.Error("core config wrong")
+	}
+	s := cfg.String()
+	for _, want := range []string{"352-entry ROB", "L1D", "2048 sets", "bimodal"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("config string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunCountsInstructions(t *testing.T) {
+	m := newTestMachine()
+	accs := []trace.Access{
+		{PC: 1, Addr: 0, InstrGap: 3},
+		{PC: 1, Addr: 0, InstrGap: 5},
+	}
+	res := m.Run(accs)
+	if res.Instructions != 10 { // (1+3) + (1+5)
+		t.Errorf("instructions = %d, want 10", res.Instructions)
+	}
+	if res.Accesses != 2 {
+		t.Errorf("accesses = %d", res.Accesses)
+	}
+	if res.IPC() <= 0 {
+		t.Error("IPC must be positive")
+	}
+}
+
+func TestCacheResidentIPCNearPeak(t *testing.T) {
+	m := newTestMachine()
+	// One hot line, re-accessed: everything L1-hits after warmup.
+	accs := make([]trace.Access, 20000)
+	for i := range accs {
+		accs[i] = trace.Access{PC: 1, Addr: 0, InstrGap: 3}
+	}
+	res := m.Run(accs)
+	// Base CPI 0.25 -> IPC 4; L1 hits are pipelined (no stalls).
+	if got := res.IPC(); got < 3.9 {
+		t.Errorf("cache-resident IPC = %.2f, want near 4", got)
+	}
+	if res.L1DHitRate < 0.99 {
+		t.Errorf("L1D hit rate = %.3f", res.L1DHitRate)
+	}
+}
+
+func TestDependentMissesStallMore(t *testing.T) {
+	// Two identical streaming miss sequences, one dependent.
+	mkAccs := func(dep bool) []trace.Access {
+		accs := make([]trace.Access, 5000)
+		for i := range accs {
+			accs[i] = trace.Access{PC: 1, Addr: uint64(i) * 997 * trace.LineSize, Dependent: dep, InstrGap: 2}
+		}
+		return accs
+	}
+	indep := newTestMachine().Run(mkAccs(false))
+	dep := newTestMachine().Run(mkAccs(true))
+	if dep.IPC() >= indep.IPC() {
+		t.Errorf("dependent IPC (%.4f) should be below independent IPC (%.4f)", dep.IPC(), indep.IPC())
+	}
+}
+
+func TestWritesDoNotStall(t *testing.T) {
+	mkAccs := func(write bool) []trace.Access {
+		accs := make([]trace.Access, 5000)
+		for i := range accs {
+			accs[i] = trace.Access{PC: 1, Addr: uint64(i) * 997 * trace.LineSize, Write: write, InstrGap: 2}
+		}
+		return accs
+	}
+	reads := newTestMachine().Run(mkAccs(false))
+	writes := newTestMachine().Run(mkAccs(true))
+	if writes.IPC() <= reads.IPC() {
+		t.Errorf("write-only IPC (%.4f) should exceed read-miss IPC (%.4f)", writes.IPC(), reads.IPC())
+	}
+}
+
+func TestPrefetchFillsLLCWithoutStall(t *testing.T) {
+	m := newTestMachine()
+	line := uint64(12345) * trace.LineSize
+	res := m.Run([]trace.Access{{PC: 1, Addr: line, Prefetch: true}})
+	if res.Accesses != 0 {
+		t.Error("prefetch must not count as demand access")
+	}
+	if res.Instructions != 1 {
+		t.Errorf("prefetch instruction count = %d", res.Instructions)
+	}
+	if !m.LLC.Lookup(line &^ uint64(trace.LineSize-1)) {
+		t.Error("prefetch should fill the LLC")
+	}
+	if m.L1D.Lookup(line) {
+		t.Error("non-binding prefetch must not fill L1")
+	}
+}
+
+func TestPrefetchTurnsDependentMissesIntoLLCHits(t *testing.T) {
+	// Interleave prefetches one step ahead of a dependent chase.
+	var plain, pf []trace.Access
+	for i := 0; i < 4000; i++ {
+		line := uint64(i) * 1009 * trace.LineSize
+		plain = append(plain, trace.Access{PC: 1, Addr: line, Dependent: true, InstrGap: 2})
+	}
+	for i := 0; i < 4000; i++ {
+		line := uint64(i) * 1009 * trace.LineSize
+		next := uint64(i+8) * 1009 * trace.LineSize
+		pf = append(pf,
+			trace.Access{PC: 1, Addr: next, Prefetch: true},
+			trace.Access{PC: 1, Addr: line, Dependent: true, InstrGap: 2},
+		)
+	}
+	base := newTestMachine().Run(plain)
+	fixed := newTestMachine().Run(pf)
+	if fixed.IPC() <= base.IPC()*1.5 {
+		t.Errorf("prefetch IPC (%.4f) should be well above baseline (%.4f)", fixed.IPC(), base.IPC())
+	}
+}
+
+func TestHierarchyInclusionOfLatencies(t *testing.T) {
+	m := newTestMachine()
+	line := uint64(777) * trace.LineSize
+	// Cold: full walk to DRAM.
+	info := AccessInfo{Time: 1, PC: 1, LineAddr: line}
+	lat := m.access(info)
+	want := 4 + 12 + 26 + 150
+	if lat != want {
+		t.Errorf("cold latency = %d, want %d", lat, want)
+	}
+	// Now resident everywhere: L1 hit.
+	info.Time = 2
+	if lat := m.access(info); lat != 4 {
+		t.Errorf("hot latency = %d, want 4", lat)
+	}
+}

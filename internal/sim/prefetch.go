@@ -1,0 +1,98 @@
+package sim
+
+import "cachemind/internal/trace"
+
+// Prefetcher observes the LLC demand stream and proposes line addresses
+// to prefetch — the substrate for the paper's policy-prefetcher
+// interaction discussion (§1, PACIPV reference) and the prefetcher
+// ablation benchmarks.
+type Prefetcher interface {
+	// Name identifies the prefetcher.
+	Name() string
+	// OnAccess observes one demand access and returns line-aligned
+	// addresses to prefetch (possibly none).
+	OnAccess(info AccessInfo, hit bool) []uint64
+}
+
+// NextLinePrefetcher prefetches the next sequential line on every
+// demand miss.
+type NextLinePrefetcher struct {
+	// Degree is how many sequential lines to prefetch per miss
+	// (default 1).
+	Degree int
+}
+
+// Name implements Prefetcher.
+func (*NextLinePrefetcher) Name() string { return "nextline" }
+
+// OnAccess implements Prefetcher.
+func (p *NextLinePrefetcher) OnAccess(info AccessInfo, hit bool) []uint64 {
+	if hit {
+		return nil
+	}
+	degree := p.Degree
+	if degree <= 0 {
+		degree = 1
+	}
+	out := make([]uint64, degree)
+	for i := range out {
+		out[i] = info.LineAddr + uint64(i+1)*trace.LineSize
+	}
+	return out
+}
+
+// StridePrefetcher is a PC-indexed stride prefetcher: per PC it tracks
+// the last address and last stride; two consecutive equal strides make
+// the entry confident and trigger prefetches ahead along the stride.
+type StridePrefetcher struct {
+	// Degree is how many strides ahead to prefetch (default 2).
+	Degree int
+	table  map[uint64]*strideEntry
+}
+
+type strideEntry struct {
+	lastAddr  uint64
+	stride    int64
+	confident bool
+}
+
+// NewStridePrefetcher creates a stride prefetcher.
+func NewStridePrefetcher(degree int) *StridePrefetcher {
+	if degree <= 0 {
+		degree = 2
+	}
+	return &StridePrefetcher{Degree: degree, table: map[uint64]*strideEntry{}}
+}
+
+// Name implements Prefetcher.
+func (*StridePrefetcher) Name() string { return "stride" }
+
+// OnAccess implements Prefetcher.
+func (p *StridePrefetcher) OnAccess(info AccessInfo, hit bool) []uint64 {
+	e, ok := p.table[info.PC]
+	if !ok {
+		p.table[info.PC] = &strideEntry{lastAddr: info.LineAddr}
+		return nil
+	}
+	stride := int64(info.LineAddr) - int64(e.lastAddr)
+	e.confident = stride != 0 && stride == e.stride
+	e.stride = stride
+	e.lastAddr = info.LineAddr
+	if !e.confident {
+		return nil
+	}
+	out := make([]uint64, 0, p.Degree)
+	next := int64(info.LineAddr)
+	for i := 0; i < p.Degree; i++ {
+		next += stride
+		if next <= 0 {
+			break
+		}
+		out = append(out, uint64(next))
+	}
+	return out
+}
+
+// AttachPrefetcher installs a prefetcher on the machine's LLC demand
+// stream. Prefetched lines fill the LLC without stalling the core.
+func (m *Machine) AttachPrefetcher(p Prefetcher) { m.prefetcher = p }

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+
+	"cachemind/internal/trace"
+)
+
+func TestNextLinePrefetcher(t *testing.T) {
+	p := &NextLinePrefetcher{}
+	info := AccessInfo{PC: 1, LineAddr: 10 * trace.LineSize}
+	if got := p.OnAccess(info, true); got != nil {
+		t.Error("hits should not prefetch")
+	}
+	got := p.OnAccess(info, false)
+	if len(got) != 1 || got[0] != 11*trace.LineSize {
+		t.Errorf("prefetch = %#x", got)
+	}
+	p.Degree = 3
+	got = p.OnAccess(info, false)
+	if len(got) != 3 || got[2] != 13*trace.LineSize {
+		t.Errorf("degree-3 prefetch = %#x", got)
+	}
+	if p.Name() != "nextline" {
+		t.Error("name wrong")
+	}
+}
+
+func TestStridePrefetcherLearnsStride(t *testing.T) {
+	p := NewStridePrefetcher(2)
+	pc := uint64(0x400)
+	// Accesses at a fixed stride of 4 lines.
+	var got []uint64
+	for i := 0; i < 4; i++ {
+		got = p.OnAccess(AccessInfo{PC: pc, LineAddr: uint64(i*4) * trace.LineSize}, false)
+	}
+	// After three same-stride deltas, the entry is confident.
+	if len(got) != 2 {
+		t.Fatalf("confident stride should prefetch 2, got %v", got)
+	}
+	want := uint64(3*4+4) * trace.LineSize
+	if got[0] != want {
+		t.Errorf("prefetch[0] = %#x, want %#x", got[0], want)
+	}
+	// A stride break loses confidence.
+	got = p.OnAccess(AccessInfo{PC: pc, LineAddr: 1000 * trace.LineSize}, false)
+	if got != nil {
+		t.Errorf("stride break should not prefetch, got %v", got)
+	}
+	if p.Name() != "stride" {
+		t.Error("name wrong")
+	}
+}
+
+func TestStridePrefetcherPerPC(t *testing.T) {
+	p := NewStridePrefetcher(1)
+	// Interleaved PCs with different strides must not confuse entries.
+	for i := 0; i < 4; i++ {
+		p.OnAccess(AccessInfo{PC: 1, LineAddr: uint64(i*2) * trace.LineSize}, false)
+		p.OnAccess(AccessInfo{PC: 2, LineAddr: uint64(i*8) * trace.LineSize}, false)
+	}
+	got1 := p.OnAccess(AccessInfo{PC: 1, LineAddr: 8 * trace.LineSize}, false)
+	if len(got1) != 1 || got1[0] != 10*trace.LineSize {
+		t.Errorf("PC1 prefetch = %#x", got1)
+	}
+}
+
+func TestMachinePrefetcherImprovesStreaming(t *testing.T) {
+	mkAccs := func() []trace.Access {
+		accs := make([]trace.Access, 20000)
+		for i := range accs {
+			accs[i] = trace.Access{PC: 7, Addr: uint64(i) * trace.LineSize, InstrGap: 3}
+		}
+		return accs
+	}
+	plain := newTestMachine()
+	base := plain.Run(mkAccs())
+
+	pf := newTestMachine()
+	pf.AttachPrefetcher(NewStridePrefetcher(4))
+	fixed := pf.Run(mkAccs())
+
+	if pf.PrefetchIssued == 0 {
+		t.Fatal("stride prefetcher issued nothing on a pure stream")
+	}
+	if fixed.LLCHitRate <= base.LLCHitRate {
+		t.Errorf("prefetching should raise LLC hit rate: %.3f vs %.3f", fixed.LLCHitRate, base.LLCHitRate)
+	}
+	if fixed.IPC() <= base.IPC() {
+		t.Errorf("prefetching should raise IPC: %.4f vs %.4f", fixed.IPC(), base.IPC())
+	}
+}
+
+func TestMachinePrefetcherNeutralOnResident(t *testing.T) {
+	m := newTestMachine()
+	m.AttachPrefetcher(&NextLinePrefetcher{})
+	accs := make([]trace.Access, 5000)
+	for i := range accs {
+		accs[i] = trace.Access{PC: 7, Addr: 0, InstrGap: 3} // single hot line
+	}
+	m.Run(accs)
+	if m.PrefetchIssued > 2 {
+		t.Errorf("resident workload should trigger almost no prefetches, got %d", m.PrefetchIssued)
+	}
+}

@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"testing"
+
+	"cachemind/internal/trace"
+)
+
+func TestWritebackCounting(t *testing.T) {
+	c := newTestCache(1, 2)
+	// Fill two dirty lines, then displace both with reads.
+	c.Access(AccessInfo{Time: 1, PC: 1, LineAddr: 0, Write: true})
+	c.Access(AccessInfo{Time: 2, PC: 1, LineAddr: trace.LineSize, Write: true})
+	c.Access(AccessInfo{Time: 3, PC: 1, LineAddr: 2 * trace.LineSize})
+	c.Access(AccessInfo{Time: 4, PC: 1, LineAddr: 3 * trace.LineSize})
+	if c.Writebacks != 2 {
+		t.Errorf("writebacks = %d, want 2", c.Writebacks)
+	}
+	// Displacing the two clean lines adds no writebacks.
+	c.Access(AccessInfo{Time: 5, PC: 1, LineAddr: 4 * trace.LineSize})
+	c.Access(AccessInfo{Time: 6, PC: 1, LineAddr: 5 * trace.LineSize})
+	if c.Writebacks != 2 {
+		t.Errorf("clean evictions must not count: %d", c.Writebacks)
+	}
+}
+
+func TestWritebackOnlyWhenDirty(t *testing.T) {
+	c := newTestCache(1, 2)
+	// Read-fill then write-hit makes the line dirty.
+	c.Access(AccessInfo{Time: 1, PC: 1, LineAddr: 0})
+	c.Access(AccessInfo{Time: 2, PC: 1, LineAddr: 0, Write: true})
+	c.Access(AccessInfo{Time: 3, PC: 1, LineAddr: trace.LineSize})
+	// Evict the dirty line.
+	c.Access(AccessInfo{Time: 4, PC: 1, LineAddr: 2 * trace.LineSize})
+	c.Access(AccessInfo{Time: 5, PC: 1, LineAddr: 3 * trace.LineSize})
+	if c.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Writebacks)
+	}
+}

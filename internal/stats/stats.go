@@ -1,0 +1,228 @@
+// Package stats provides the small statistical toolkit used throughout
+// CacheMind: means, variances, correlations, percentiles, histograms and
+// counters. Every analysis surfaced to the generator LLM (per-PC miss
+// rates, reuse-distance moments, recency/miss correlations, hot-set
+// rankings) bottoms out in this package.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Correlation returns the Pearson correlation coefficient between xs and
+// ys. It returns 0 when the slices differ in length, are shorter than two
+// elements, or either series has zero variance.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It returns 0 for an empty
+// slice. The input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// MinMax returns the minimum and maximum of xs, or (0, 0) for an empty
+// slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Histogram is a fixed-bin histogram over a closed interval.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	// Under and Over count samples falling outside [Lo, Hi].
+	Under, Over int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins spanning
+// [lo, hi]. It panics if bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram interval must be non-empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x > h.Hi:
+		h.Over++
+	default:
+		width := (h.Hi - h.Lo) / float64(len(h.Counts))
+		idx := int((x - h.Lo) / width)
+		if idx == len(h.Counts) { // x == Hi lands in the last bin
+			idx--
+		}
+		h.Counts[idx]++
+	}
+}
+
+// Total returns the number of in-range samples recorded.
+func (h *Histogram) Total() int {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Bin returns the half-open interval [lo, hi) covered by bin i.
+func (h *Histogram) Bin(i int) (lo, hi float64) {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + float64(i)*width, h.Lo + float64(i+1)*width
+}
+
+// Counter tallies occurrences of comparable keys and can report them in
+// deterministic rank order.
+type Counter[K comparable] struct {
+	counts map[K]int
+	less   func(a, b K) bool
+}
+
+// NewCounter creates a Counter whose ties (equal counts) are broken by
+// less over the keys, keeping output deterministic.
+func NewCounter[K comparable](less func(a, b K) bool) *Counter[K] {
+	return &Counter[K]{counts: make(map[K]int), less: less}
+}
+
+// Add increments the tally for k by n.
+func (c *Counter[K]) Add(k K, n int) { c.counts[k] += n }
+
+// Count returns the tally for k.
+func (c *Counter[K]) Count(k K) int { return c.counts[k] }
+
+// Len returns the number of distinct keys.
+func (c *Counter[K]) Len() int { return len(c.counts) }
+
+// KV is one key/count pair from a Counter.
+type KV[K comparable] struct {
+	Key   K
+	Count int
+}
+
+// Top returns up to n key/count pairs ordered by descending count, with
+// ties broken by the Counter's less function.
+func (c *Counter[K]) Top(n int) []KV[K] {
+	all := make([]KV[K], 0, len(c.counts))
+	for k, v := range c.counts {
+		all = append(all, KV[K]{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return c.less(all[i].Key, all[j].Key)
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+// Ratio formats num/den as a percentage string with two decimals, the
+// format used in trace metadata summaries ("94.91%"). A zero denominator
+// yields "0.00%".
+func Ratio(num, den int) string {
+	if den == 0 {
+		return "0.00%"
+	}
+	return fmt.Sprintf("%.2f%%", 100*float64(num)/float64(den))
+}
+
+// Pct returns num/den*100 as a float, or 0 when den == 0.
+func Pct(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}

@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEq(got, c.want) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("single sample variance should be 0")
+	}
+	if Variance(nil) != 0 {
+		t.Error("empty variance should be 0")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ysPos := []float64{2, 4, 6, 8, 10}
+	ysNeg := []float64{10, 8, 6, 4, 2}
+	if got := Correlation(xs, ysPos); !almostEq(got, 1) {
+		t.Errorf("positive correlation = %v, want 1", got)
+	}
+	if got := Correlation(xs, ysNeg); !almostEq(got, -1) {
+		t.Errorf("negative correlation = %v, want -1", got)
+	}
+	if got := Correlation(xs, []float64{3, 3, 3, 3, 3}); got != 0 {
+		t.Errorf("zero-variance correlation = %v, want 0", got)
+	}
+	if got := Correlation(xs, ysPos[:3]); got != 0 {
+		t.Errorf("length-mismatch correlation = %v, want 0", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+		{-5, 15},
+		{105, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	// Percentile must not mutate its input.
+	in := []float64{3, 1, 2}
+	Percentile(in, 50)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestMedianInterpolates(t *testing.T) {
+	if got := Median([]float64{1, 2, 3, 4}); !almostEq(got, 2.5) {
+		t.Errorf("Median = %v, want 2.5", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = (%v, %v), want (-1, 7)", min, max)
+	}
+	min, max = MinMax(nil)
+	if min != 0 || max != 0 {
+		t.Errorf("empty MinMax = (%v, %v), want (0, 0)", min, max)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.9, 10, -1, 11} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 1 {
+		t.Errorf("Under/Over = %d/%d, want 1/1", h.Under, h.Over)
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d, want 6", h.Total())
+	}
+	// 0 and 1.9 in bin 0; 2 in bin 1; 5 in bin 2; 9.9 and 10 in bin 4.
+	want := []int{2, 1, 1, 0, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	lo, hi := h.Bin(1)
+	if !almostEq(lo, 2) || !almostEq(hi, 4) {
+		t.Errorf("Bin(1) = [%v, %v), want [2, 4)", lo, hi)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(5, 5, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCounterTopOrderingAndTies(t *testing.T) {
+	c := NewCounter[string](func(a, b string) bool { return a < b })
+	c.Add("b", 3)
+	c.Add("a", 3)
+	c.Add("z", 10)
+	c.Add("m", 1)
+	top := c.Top(3)
+	if len(top) != 3 {
+		t.Fatalf("Top(3) returned %d entries", len(top))
+	}
+	if top[0].Key != "z" || top[1].Key != "a" || top[2].Key != "b" {
+		t.Errorf("Top order = %v, want z, a, b", top)
+	}
+	if c.Count("m") != 1 || c.Count("missing") != 0 {
+		t.Error("Count lookups wrong")
+	}
+	if got := c.Top(99); len(got) != 4 {
+		t.Errorf("Top(99) = %d entries, want 4", len(got))
+	}
+	if c.Len() != 4 {
+		t.Errorf("Len = %d, want 4", c.Len())
+	}
+}
+
+func TestRatioAndPct(t *testing.T) {
+	if got := Ratio(9491, 10000); got != "94.91%" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "0.00%" {
+		t.Errorf("zero-den Ratio = %q", got)
+	}
+	if got := Pct(1, 4); !almostEq(got, 25) {
+		t.Errorf("Pct = %v", got)
+	}
+	if Pct(1, 0) != 0 {
+		t.Error("zero-den Pct should be 0")
+	}
+}
+
+// Property: mean is bounded by min and max.
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		min, max := MinMax(clean)
+		m := Mean(clean)
+		return m >= min-1e-6 && m <= max+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: correlation is symmetric and within [-1, 1].
+func TestCorrelationProperty(t *testing.T) {
+	f := func(pairs [][2]float64) bool {
+		var xs, ys []float64
+		for _, p := range pairs {
+			if math.IsNaN(p[0]) || math.IsNaN(p[1]) ||
+				math.IsInf(p[0], 0) || math.IsInf(p[1], 0) ||
+				math.Abs(p[0]) > 1e9 || math.Abs(p[1]) > 1e9 {
+				continue
+			}
+			xs = append(xs, p[0])
+			ys = append(ys, p[1])
+		}
+		r1 := Correlation(xs, ys)
+		r2 := Correlation(ys, xs)
+		return math.Abs(r1-r2) < 1e-9 && r1 >= -1.0000001 && r1 <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram conserves samples.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		h := NewHistogram(0, 100, 10)
+		n := 0
+		for _, x := range raw {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Add(x)
+			n++
+		}
+		return h.Total()+h.Under+h.Over == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package symbols
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func table() *Table {
+	return NewTable([]Function{
+		{Name: "mainSimpleSort", Source: "while (a[i] < pivot) i++;", LowPC: 0x405800, HighPC: 0x405900},
+		{Name: "primal_bea_mpp", Source: "arc = arcs[next];", LowPC: 0x403700, HighPC: 0x403800},
+	})
+}
+
+func TestFunctionAt(t *testing.T) {
+	tb := table()
+	fn, ok := tb.FunctionAt(0x405832)
+	if !ok || fn.Name != "mainSimpleSort" {
+		t.Fatalf("FunctionAt(0x405832) = %v, %v", fn, ok)
+	}
+	fn, ok = tb.FunctionAt(0x403700)
+	if !ok || fn.Name != "primal_bea_mpp" {
+		t.Fatalf("FunctionAt at LowPC failed: %v, %v", fn, ok)
+	}
+	if _, ok := tb.FunctionAt(0x403800); ok {
+		t.Error("HighPC should be exclusive")
+	}
+	if _, ok := tb.FunctionAt(0x100); ok {
+		t.Error("uncovered PC should not resolve")
+	}
+}
+
+func TestNameAndSourceAt(t *testing.T) {
+	tb := table()
+	if got := tb.NameAt(0x4037ba); got != "primal_bea_mpp" {
+		t.Errorf("NameAt = %q", got)
+	}
+	if got := tb.NameAt(0x1); got != "<unknown>" {
+		t.Errorf("unknown NameAt = %q", got)
+	}
+	if got := tb.SourceAt(0x405810); !strings.Contains(got, "pivot") {
+		t.Errorf("SourceAt = %q", got)
+	}
+	if got := tb.SourceAt(0x1); got != "" {
+		t.Errorf("unknown SourceAt = %q", got)
+	}
+}
+
+func TestAssemblyFormat(t *testing.T) {
+	tb := table()
+	asm := tb.Assembly(0x405832)
+	if asm == "" {
+		t.Fatal("empty assembly")
+	}
+	lines := strings.Split(asm, "\n")
+	if len(lines) < 3 {
+		t.Fatalf("expected a window of lines, got %d: %q", len(lines), asm)
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, ":") {
+			t.Errorf("line missing address separator: %q", l)
+		}
+	}
+	// Deterministic across calls.
+	if tb.Assembly(0x405832) != asm {
+		t.Error("Assembly not deterministic")
+	}
+}
+
+func TestAssemblyUnknownPC(t *testing.T) {
+	tb := table()
+	if got := tb.Assembly(0x42); !strings.Contains(got, "<unknown>") {
+		t.Errorf("Assembly for unknown PC = %q", got)
+	}
+}
+
+func TestAssemblyClipsToFunctionBounds(t *testing.T) {
+	tb := table()
+	// PC at the very start: the window must not include addresses below
+	// LowPC.
+	asm := tb.Assembly(0x405800)
+	for _, l := range strings.Split(asm, "\n") {
+		i := strings.IndexByte(l, ':')
+		if i < 0 {
+			t.Fatalf("unparseable line %q", l)
+		}
+		addr, err := strconv.ParseUint(l[:i], 16, 64)
+		if err != nil {
+			t.Fatalf("unparseable address in %q: %v", l, err)
+		}
+		if addr < 0x405800 {
+			t.Errorf("window leaked below LowPC: %q", l)
+		}
+	}
+}
+
+func TestOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on overlapping ranges")
+		}
+	}()
+	NewTable([]Function{
+		{Name: "a", LowPC: 0x100, HighPC: 0x200},
+		{Name: "b", LowPC: 0x1f0, HighPC: 0x300},
+	})
+}
+
+func TestFunctionsSortedCopy(t *testing.T) {
+	tb := table()
+	fns := tb.Functions()
+	if len(fns) != 2 || fns[0].LowPC > fns[1].LowPC {
+		t.Fatalf("Functions() not sorted: %v", fns)
+	}
+	fns[0].Name = "mutated"
+	if tb.NameAt(0x4037ba) == "mutated" {
+		t.Error("Functions() must return a copy")
+	}
+}
+
+// Property: every PC inside a registered range resolves to that range's
+// function.
+func TestFunctionAtProperty(t *testing.T) {
+	tb := table()
+	f := func(off uint16) bool {
+		pc := 0x405800 + uint64(off)%0x100
+		fn, ok := tb.FunctionAt(pc)
+		return ok && fn.Name == "mainSimpleSort"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,45 @@
+// Package testfix provides shared, lazily-built test fixtures: a small
+// deterministic database store reused by the query, retrieval, bench and
+// experiment test suites so every suite grounds against identical data
+// without rebuilding it per test.
+package testfix
+
+import (
+	"sync"
+
+	"cachemind/internal/db"
+	"cachemind/internal/sim"
+)
+
+var (
+	once  sync.Once
+	store *db.Store
+)
+
+// StoreAccesses is the per-trace length of the shared fixture store.
+const StoreAccesses = 25000
+
+// StoreSeed is the generation seed of the shared fixture store.
+const StoreSeed = 42
+
+// LLC is the scaled-down cache geometry of the fixture store: 2048
+// lines (256 sets x 8 ways) so that StoreAccesses accesses produce real
+// capacity pressure — with the full Table 2 LLC a short trace never
+// fills the cache and every policy degenerates to cold misses.
+func LLC() sim.Config {
+	return sim.Config{Name: "LLC", Sets: 256, Ways: 8, Latency: 26, MSHRs: 64}
+}
+
+// Store returns the shared small store (3 workloads x 4 policies,
+// StoreAccesses accesses each, seed StoreSeed), building it on first
+// use.
+func Store() *db.Store {
+	once.Do(func() {
+		store = db.MustBuild(db.BuildConfig{
+			AccessesPerTrace: StoreAccesses,
+			Seed:             StoreSeed,
+			LLC:              LLC(),
+		})
+	})
+	return store
+}

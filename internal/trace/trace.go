@@ -1,0 +1,170 @@
+// Package trace defines the memory-access and eviction-annotated record
+// types flowing between the workload generators, the cache simulator and
+// the external database. It also provides reuse-distance and recency
+// annotation, the ground-truth signals CacheMind's analyses are built on.
+package trace
+
+import "fmt"
+
+// LineSize is the cache line size in bytes used across the whole
+// hierarchy (Table 2 of the paper).
+const LineSize = 64
+
+// Access is one memory reference emitted by a workload generator.
+type Access struct {
+	// PC is the program counter of the load/store instruction.
+	PC uint64
+	// Addr is the byte address referenced.
+	Addr uint64
+	// Write marks stores.
+	Write bool
+	// Dependent marks loads on a serial dependence chain (pointer
+	// chasing); the timing model cannot overlap their miss latency.
+	Dependent bool
+	// Prefetch marks software prefetches: they fill caches but do not
+	// stall the core and do not count as demand accesses.
+	Prefetch bool
+	// InstrGap is the number of non-memory instructions retired since
+	// the previous access; the timing model charges them at base CPI.
+	InstrGap int
+}
+
+// LineAddr returns the cache-line-aligned address of a.
+func (a Access) LineAddr() uint64 { return a.Addr &^ uint64(LineSize-1) }
+
+// MissType is the taxonomy recorded per miss.
+type MissType int
+
+// Miss taxonomy values. Cold marks first-ever references to a line,
+// Capacity marks misses that a fully-associative cache of the same size
+// would also take (approximated by reuse distance exceeding the cache's
+// line capacity), and Conflict marks the rest.
+const (
+	NotMiss MissType = iota
+	ColdMiss
+	CapacityMiss
+	ConflictMiss
+)
+
+// String returns the human-readable name used in database columns.
+func (m MissType) String() string {
+	switch m {
+	case NotMiss:
+		return ""
+	case ColdMiss:
+		return "Cold"
+	case CapacityMiss:
+		return "Capacity"
+	case ConflictMiss:
+		return "Conflict"
+	default:
+		return fmt.Sprintf("MissType(%d)", int(m))
+	}
+}
+
+// NoReuse is the reuse-distance sentinel for lines never referenced
+// again in the trace.
+const NoReuse = int64(-1)
+
+// Record is one eviction-annotated LLC access: the row schema of the
+// external database (paper §4.3). Numeric reuse distances use NoReuse
+// when the line is never used again.
+type Record struct {
+	Seq         uint64 // position in the access stream
+	PC          uint64
+	Addr        uint64 // line-aligned
+	Set         int
+	Hit         bool
+	MissType    MissType
+	EvictedAddr uint64 // 0 when no eviction occurred
+	// AccessedReuseDist is the forward reuse distance of the accessed
+	// line (accesses until its next use).
+	AccessedReuseDist int64
+	// EvictedReuseDist is the forward reuse distance of the evicted
+	// line at eviction time.
+	EvictedReuseDist int64
+	// Recency is the number of intervening accesses since the accessed
+	// address was last referenced (-1 for first touch).
+	Recency int64
+	// WrongEviction marks evictions where the victim's next use was
+	// sooner than the inserted line's next use (a Belady-suboptimal
+	// choice).
+	WrongEviction bool
+	// ResidentLines snapshots (PC, addr) pairs resident in the set at
+	// access time.
+	ResidentLines []LineRef
+	// RecentHistory holds the most recent (PC, addr) tuples preceding
+	// this access.
+	RecentHistory []LineRef
+	// EvictionScores are the per-line scores the policy used to pick a
+	// victim, parallel to ResidentLines. Nil when the policy exposes
+	// no scores.
+	EvictionScores []float64
+}
+
+// LineRef is a (PC, address) pair identifying a resident or historical
+// line.
+type LineRef struct {
+	PC   uint64
+	Addr uint64
+}
+
+// RecencyLabel maps a numeric recency to the textual descriptor stored
+// in the database's accessed_address_recency column.
+func RecencyLabel(recency int64) string {
+	switch {
+	case recency < 0:
+		return "first touch"
+	case recency < 64:
+		return "very recent"
+	case recency < 1024:
+		return "recent"
+	case recency < 16384:
+		return "distant"
+	default:
+		return "very distant"
+	}
+}
+
+// AnnotateReuse fills in forward reuse distances and recencies for a
+// stream of accesses, returning parallel slices: reuse[i] is the number
+// of accesses after i until the same line is referenced again (NoReuse
+// if never), and recency[i] is the number of accesses since the line was
+// last referenced (-1 for first touch).
+func AnnotateReuse(accs []Access) (reuse, recency []int64) {
+	reuse = make([]int64, len(accs))
+	recency = make([]int64, len(accs))
+	last := make(map[uint64]int, len(accs)/4)
+	for i := range reuse {
+		reuse[i] = NoReuse
+	}
+	for i, a := range accs {
+		line := a.LineAddr()
+		if j, ok := last[line]; ok {
+			reuse[j] = int64(i - j)
+			recency[i] = int64(i - j)
+		} else {
+			recency[i] = -1
+		}
+		last[line] = i
+	}
+	return reuse, recency
+}
+
+// NextUseOracle precomputes, for each access index, the index of the
+// next access to the same cache line, or len(accs) when there is none.
+// Belady's policy consumes this.
+func NextUseOracle(accs []Access) []int {
+	next := make([]int, len(accs))
+	seen := make(map[uint64]int, len(accs)/4)
+	for i := len(accs) - 1; i >= 0; i-- {
+		line := accs[i].LineAddr()
+		if j, ok := seen[line]; ok {
+			next[i] = j
+		} else {
+			next[i] = len(accs)
+		}
+		seen[line] = i
+	}
+	return next
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLineAddr(t *testing.T) {
+	cases := []struct {
+		addr, want uint64
+	}{
+		{0, 0},
+		{63, 0},
+		{64, 64},
+		{65, 64},
+		{0x2a9e6a48d9d, 0x2a9e6a48d80},
+	}
+	for _, c := range cases {
+		if got := (Access{Addr: c.addr}).LineAddr(); got != c.want {
+			t.Errorf("LineAddr(%#x) = %#x, want %#x", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestMissTypeString(t *testing.T) {
+	if ColdMiss.String() != "Cold" || CapacityMiss.String() != "Capacity" ||
+		ConflictMiss.String() != "Conflict" || NotMiss.String() != "" {
+		t.Error("MissType names wrong")
+	}
+	if MissType(42).String() != "MissType(42)" {
+		t.Error("unknown MissType formatting wrong")
+	}
+}
+
+func TestRecencyLabel(t *testing.T) {
+	cases := []struct {
+		r    int64
+		want string
+	}{
+		{-1, "first touch"},
+		{0, "very recent"},
+		{63, "very recent"},
+		{64, "recent"},
+		{1023, "recent"},
+		{1024, "distant"},
+		{16383, "distant"},
+		{16384, "very distant"},
+	}
+	for _, c := range cases {
+		if got := RecencyLabel(c.r); got != c.want {
+			t.Errorf("RecencyLabel(%d) = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func acc(addrs ...uint64) []Access {
+	out := make([]Access, len(addrs))
+	for i, a := range addrs {
+		out[i] = Access{PC: 0x400000, Addr: a * LineSize}
+	}
+	return out
+}
+
+func TestAnnotateReuse(t *testing.T) {
+	// Lines: A B A C B A
+	accs := acc(1, 2, 1, 3, 2, 1)
+	reuse, recency := AnnotateReuse(accs)
+	wantReuse := []int64{2, 3, 3, NoReuse, NoReuse, NoReuse}
+	wantRec := []int64{-1, -1, 2, -1, 3, 3}
+	for i := range accs {
+		if reuse[i] != wantReuse[i] {
+			t.Errorf("reuse[%d] = %d, want %d", i, reuse[i], wantReuse[i])
+		}
+		if recency[i] != wantRec[i] {
+			t.Errorf("recency[%d] = %d, want %d", i, recency[i], wantRec[i])
+		}
+	}
+}
+
+func TestAnnotateReuseSubLineAliasing(t *testing.T) {
+	// Two addresses in the same 64-byte line must count as reuse.
+	accs := []Access{{Addr: 0x1000}, {Addr: 0x1008}}
+	reuse, recency := AnnotateReuse(accs)
+	if reuse[0] != 1 {
+		t.Errorf("same-line reuse = %d, want 1", reuse[0])
+	}
+	if recency[1] != 1 {
+		t.Errorf("same-line recency = %d, want 1", recency[1])
+	}
+}
+
+func TestNextUseOracle(t *testing.T) {
+	accs := acc(1, 2, 1, 3, 2, 1)
+	next := NextUseOracle(accs)
+	want := []int{2, 4, 5, 6, 6, 6}
+	for i := range want {
+		if next[i] != want[i] {
+			t.Errorf("next[%d] = %d, want %d", i, next[i], want[i])
+		}
+	}
+}
+
+func TestNextUseOracleEmpty(t *testing.T) {
+	if got := NextUseOracle(nil); len(got) != 0 {
+		t.Errorf("empty oracle length = %d", len(got))
+	}
+	r, rec := AnnotateReuse(nil)
+	if len(r) != 0 || len(rec) != 0 {
+		t.Error("empty annotation should be empty")
+	}
+}
+
+// Property: reuse and recency are mutually consistent — if access j has
+// recency d, then access j-d has reuse d on the same line.
+func TestReuseRecencyConsistencyProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		accs := make([]Access, int(n)+2)
+		for i := range accs {
+			accs[i] = Access{Addr: uint64(rng.Intn(8)) * LineSize}
+		}
+		reuse, recency := AnnotateReuse(accs)
+		for j, d := range recency {
+			if d < 0 {
+				continue
+			}
+			i := j - int(d)
+			if i < 0 || reuse[i] != d {
+				return false
+			}
+			if accs[i].LineAddr() != accs[j].LineAddr() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NextUseOracle agrees with AnnotateReuse's forward distance.
+func TestOracleMatchesReuseProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		accs := make([]Access, int(n)+2)
+		for i := range accs {
+			accs[i] = Access{Addr: uint64(rng.Intn(6)) * LineSize}
+		}
+		reuse, _ := AnnotateReuse(accs)
+		next := NextUseOracle(accs)
+		for i := range accs {
+			if reuse[i] == NoReuse {
+				if next[i] != len(accs) {
+					return false
+				}
+			} else if next[i]-i != int(reuse[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

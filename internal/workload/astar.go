@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"math/rand"
+
+	"cachemind/internal/symbols"
+	"cachemind/internal/trace"
+)
+
+// astar program counters. 0x409270/0x4090c3/0x409538 sit in the paper's
+// _ZN7way2obj11createwayarERP6pointtRi example function; 0x405832 is the
+// paper's count-question and Figure-2 PC (mainSimpleSort).
+const (
+	astarPCWayArr    = 0x409270 // way2obj::createwayar: way-array cell load
+	astarPCWayArr2   = 0x4090c3 // way2obj::createwayar: neighbour cell load
+	astarPCWayStore  = 0x409538 // way2obj::createwayar: way-array store
+	astarPCBound     = 0x408f68 // wayobj::makebound2: bound list (hot)
+	astarPCBound2    = 0x408fa4 // wayobj::makebound2: bound list append
+	astarPCSort      = 0x405832 // mainSimpleSort: open-list maintenance (hot)
+	astarPCMapLoad   = 0x408f10 // regmngobj::getregfillnum: cold map scan
+	astarAddrBase    = 0x2bfd0000000
+	astarMapLines    = 72_000 // full map, in cache lines (~4.5 MB)
+	astarRegionLines = 7_000  // active search region: strong reuse
+	astarBoundLines  = 640    // bound lists: hot
+	astarOpenLines   = 220    // open-list array: very hot
+	astarRegionIters = 2_600  // expansions before the region drifts
+)
+
+// Astar models SPEC 2006 473.astar: grid path-finding. The search
+// expands nodes inside an active region with strong spatial reuse, keeps
+// very hot open-list and bound-list structures, and periodically drifts
+// to a new region of the much larger map (cold misses). Mixed locality
+// gives it a mid-range LLC miss rate, between lbm's scans and a cache-
+// resident kernel.
+var Astar = register(&Workload{
+	name: "astar",
+	desc: "473.astar (SPEC CPU 2006): 2-D grid path-finding library. " +
+		"Memory behaviour: node expansions with strong regional reuse in " +
+		"the active search window, very hot open-list and bound-list " +
+		"arrays, and periodic drift to fresh map regions producing " +
+		"bursts of cold misses. Moderate LLC miss rate with clearly " +
+		"separable hot and cold PCs.",
+	syms: symbols.NewTable([]symbols.Function{
+		{
+			Name:   "_ZN7way2obj11createwayarERP6pointtRi",
+			Source: "for (t = 0; t < pointnum; t++) {\n    p = wayar[t].p;\n    if (waymap[p.y*mapsizex + p.x].num == fillnum)\n        wayar[waynum++].p = p;\n}",
+			LowPC:  0x409040, HighPC: 0x409580,
+		},
+		{
+			Name:   "_ZN6wayobj10makebound2EP6pointiRi",
+			Source: "for (i = 0; i < boundnum; i++) {\n    p = boundar[i];\n    addtobound(p.x+1, p.y); addtobound(p.x-1, p.y);\n}",
+			LowPC:  0x408f40, HighPC: 0x409040,
+		},
+		{
+			Name:   "mainSimpleSort",
+			Source: "while (mainGtU(ptr[j-h]+d, v+d, block))\n    { ptr[j] = ptr[j-h]; j -= h; }",
+			LowPC:  0x405800, HighPC: 0x405900,
+		},
+		{
+			Name:   "_ZN9regmngobj13getregfillnumEv",
+			Source: "for (i = 0; i < regnum; i++)\n    if (regar[i].fillnum == fillnum) return i;",
+			LowPC:  0x408ea0, HighPC: 0x408f40,
+		},
+	}),
+	gen: genAstar,
+})
+
+func genAstar(n int, seed int64) []trace.Access {
+	rng := rand.New(rand.NewSource(seed))
+	accs := make([]trace.Access, 0, n)
+	mapBase := uint64(astarAddrBase)
+	boundBase := mapBase + uint64(astarMapLines+4096)*trace.LineSize
+	openBase := boundBase + uint64(astarBoundLines+256)*trace.LineSize
+
+	regionStart := 0
+	for len(accs) < n {
+		// Expand nodes within the active region.
+		for it := 0; it < astarRegionIters && len(accs) < n; it++ {
+			// Regional locality: offsets cluster near a wandering centre.
+			centre := rng.Intn(astarRegionLines)
+			for k := 0; k < 4 && len(accs) < n; k++ {
+				off := centre + rng.Intn(9) - 4
+				if off < 0 {
+					off += astarRegionLines
+				}
+				cell := uint64((regionStart + off%astarRegionLines) % astarMapLines)
+				accs = append(accs, trace.Access{
+					PC: astarPCWayArr, Addr: mapBase + cell*trace.LineSize, InstrGap: 6,
+				})
+				// Neighbour row probe.
+				ncell := uint64((regionStart + (off+96)%astarRegionLines) % astarMapLines)
+				accs = append(accs, trace.Access{
+					PC: astarPCWayArr2, Addr: mapBase + ncell*trace.LineSize, InstrGap: 4,
+				})
+			}
+			// Way-array store back to the expanded cell.
+			if len(accs) < n {
+				cell := uint64((regionStart + centre) % astarMapLines)
+				accs = append(accs, trace.Access{
+					PC: astarPCWayStore, Addr: mapBase + cell*trace.LineSize + 16,
+					Write: true, InstrGap: 3,
+				})
+			}
+			// Hot bound-list traffic.
+			if len(accs) < n {
+				b := uint64(rng.Intn(astarBoundLines))
+				accs = append(accs, trace.Access{
+					PC: astarPCBound, Addr: boundBase + b*trace.LineSize, InstrGap: 4,
+				})
+			}
+			if it%3 == 0 && len(accs) < n {
+				b := uint64(rng.Intn(astarBoundLines))
+				accs = append(accs, trace.Access{
+					PC: astarPCBound2, Addr: boundBase + b*trace.LineSize + 8,
+					Write: true, InstrGap: 2,
+				})
+			}
+			// Very hot open-list maintenance.
+			if it%2 == 0 && len(accs) < n {
+				o := uint64(rng.Intn(astarOpenLines))
+				accs = append(accs, trace.Access{
+					PC: astarPCSort, Addr: openBase + o*trace.LineSize, InstrGap: 5,
+				})
+			}
+		}
+		// Region drift: jump to a fresh part of the map and scan its
+		// fill numbers (cold burst).
+		regionStart = rng.Intn(astarMapLines)
+		for i := 0; i < 900 && len(accs) < n; i++ {
+			cell := uint64((regionStart + i) % astarMapLines)
+			accs = append(accs, trace.Access{
+				PC: astarPCMapLoad, Addr: mapBase + cell*trace.LineSize, InstrGap: 3,
+			})
+		}
+	}
+	return accs[:n]
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"math/rand"
+
+	"cachemind/internal/symbols"
+	"cachemind/internal/trace"
+)
+
+// lbm program counters. 0x401dc9 and 0x401e31 mirror the paper's lbm
+// examples; 0x40170a is the paper's arithmetic-question PC.
+const (
+	lbmPCSrcLoad  = 0x401d9b // LBM_performStreamCollide: src cell load (scan)
+	lbmPCSrcLoad2 = 0x401dc9 // LBM_performStreamCollide: neighbour distribution load
+	lbmPCDstStore = 0x401e31 // LBM_performStreamCollide: dst cell store (scan)
+	lbmPCObstacle = 0x40170a // LBM_handleInOutFlow: obstacle bitmap (reused)
+	lbmPCBoundary = 0x401744 // LBM_handleInOutFlow: boundary row (hot)
+	lbmPCMassCalc = 0x4015c0 // LBM_showGridStatistics: periodic reduction
+	lbmAddrBase   = 0x47e80000000
+	lbmGridLines  = 26_000 // one lattice grid, in cache lines (~1.6 MB)
+	lbmObstLines  = 160    // obstacle bitmap: short-cycle reuse inside each sweep
+	lbmBoundLines = 120    // in/out-flow boundary rows: very hot
+)
+
+// LBM models SPEC 2006 470.lbm: a lattice-Boltzmann fluid solver. Each
+// timestep streams the whole source grid, writes the whole destination
+// grid, and re-reads a smaller obstacle bitmap and a very hot boundary
+// region. Two grids together slightly exceed LLC capacity, so LRU
+// thrashes on the scans while reuse-aware policies can preserve the
+// obstacle/boundary working set — the scan-vs-reuse interleaving the
+// paper's lbm analysis highlights.
+var LBM = register(&Workload{
+	name: "lbm",
+	desc: "470.lbm (SPEC CPU 2006): lattice-Boltzmann method fluid " +
+		"dynamics. Memory behaviour: per-timestep streaming sweeps over " +
+		"two lattice grids (reuse distance equal to the sweep length, " +
+		"just past LLC capacity) interleaved with strongly reused " +
+		"obstacle-bitmap and boundary-row accesses. The interleaving of " +
+		"streaming and high-reuse PCs defeats pure-recency replacement.",
+	syms: symbols.NewTable([]symbols.Function{
+		{
+			Name:   "LBM_performStreamCollide",
+			Source: "for (cell = 0; cell < nCells; cell++) {\n    rho = SRC_C(cell) + SRC_N(cell) + SRC_S(cell) + ...;\n    DST_C(cell) = omega * rho;\n}",
+			LowPC:  0x401d60, HighPC: 0x401e80,
+		},
+		{
+			Name:   "LBM_handleInOutFlow",
+			Source: "if (OBSTACLE(grid, x, y, z)) continue;\nGRID_ENTRY(grid, x, y, 0) = inflow[x + y*SIZE_X];",
+			LowPC:  0x401700, HighPC: 0x401790,
+		},
+		{
+			Name:   "LBM_showGridStatistics",
+			Source: "for (cell = 0; cell < nCells; cell += 64)\n    mass += LOCAL(grid, cell);",
+			LowPC:  0x4015a0, HighPC: 0x401600,
+		},
+	}),
+	gen: genLBM,
+})
+
+func genLBM(n int, seed int64) []trace.Access {
+	rng := rand.New(rand.NewSource(seed))
+	accs := make([]trace.Access, 0, n)
+	srcBase := uint64(lbmAddrBase)
+	dstBase := srcBase + uint64(lbmGridLines+4096)*trace.LineSize
+	obstBase := dstBase + uint64(lbmGridLines+4096)*trace.LineSize
+	boundBase := obstBase + uint64(lbmObstLines+256)*trace.LineSize
+
+	for len(accs) < n {
+		// One timestep: stream-collide sweep.
+		for cell := 0; cell < lbmGridLines && len(accs) < n; cell++ {
+			srcLine := srcBase + uint64(cell)*trace.LineSize
+			accs = append(accs, trace.Access{PC: lbmPCSrcLoad, Addr: srcLine, InstrGap: 9})
+			// Neighbour distribution load: next row, still streaming.
+			neigh := srcBase + uint64((cell+160)%lbmGridLines)*trace.LineSize
+			accs = append(accs, trace.Access{PC: lbmPCSrcLoad2, Addr: neigh, InstrGap: 6})
+			if len(accs) < n {
+				dstLine := dstBase + uint64(cell)*trace.LineSize
+				accs = append(accs, trace.Access{PC: lbmPCDstStore, Addr: dstLine, Write: true, InstrGap: 7})
+			}
+			// Obstacle bitmap: one line covers many cells, so it is
+			// re-read with short distance within a sweep and re-swept
+			// every timestep.
+			if cell%16 == 0 && len(accs) < n {
+				ob := obstBase + uint64(cell/16%lbmObstLines)*trace.LineSize
+				accs = append(accs, trace.Access{PC: lbmPCObstacle, Addr: ob, InstrGap: 3})
+			}
+			// Boundary rows: very hot, touched pseudo-randomly.
+			if cell%48 == 0 && len(accs) < n {
+				b := boundBase + uint64(rng.Intn(lbmBoundLines))*trace.LineSize
+				accs = append(accs, trace.Access{PC: lbmPCBoundary, Addr: b, Write: cell%96 == 0, InstrGap: 4})
+			}
+		}
+		// Periodic statistics pass: sparse sample of the grid.
+		if rng.Intn(3) == 0 {
+			for cell := 0; cell < lbmGridLines && len(accs) < n; cell += 64 {
+				accs = append(accs, trace.Access{
+					PC: lbmPCMassCalc, Addr: srcBase + uint64(cell)*trace.LineSize, InstrGap: 4,
+				})
+			}
+		}
+		// Grids swap roles between timesteps.
+		srcBase, dstBase = dstBase, srcBase
+	}
+	return accs[:n]
+}

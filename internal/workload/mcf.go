@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"math/rand"
+
+	"cachemind/internal/symbols"
+	"cachemind/internal/trace"
+)
+
+// mcf program counters. The arc-scan PC 0x4037aa and the basket PC
+// 0x4037ba mirror the paper's running examples; 0x4037aa appears only in
+// mcf, which CacheMindBench's trick questions rely on.
+const (
+	mcfPCArcScan   = 0x4037aa // primal_bea_mpp: streaming arc sweep (scan)
+	mcfPCArcCost   = 0x4037b0 // primal_bea_mpp: arc->cost load
+	mcfPCBasket    = 0x4037ba // primal_bea_mpp: hot basket array (high reuse)
+	mcfPCTreeWalk  = 0x402ea8 // refresh_potential: pointer-chased tree walk
+	mcfPCNodePot   = 0x402eb4 // refresh_potential: node->potential store
+	mcfPCInitScan  = 0x401380 // price_out_impl: streaming init read
+	mcfPCInitWrite = 0x40138f // price_out_impl: streaming init write
+	mcfPCDualCheck = 0x401d20 // dual_feasible: periodic full check
+	mcfAddrBase    = 0x35e70000000
+	mcfArcLines    = 110_000 // arcs region, in cache lines (~13.8 MB at 2 lines/arc)
+	mcfNodeLines   = 12_000  // spanning-tree nodes: a hot-at-LLC-scale region
+	mcfBasketLines = 96      // hot basket, fits easily in cache
+	mcfScanWindow  = 9_000   // arcs scanned per pricing round
+	mcfChaseLen    = 1_200   // tree-walk chain length per round
+	// mcfChaseStride is coprime to mcfNodeLines, so the tree walk is a
+	// full-cycle permutation: every node is revisited exactly every
+	// mcfNodeLines chase steps (~10 pricing rounds), a reuse distance
+	// the LLC can serve once the streaming arc traffic is bypassed.
+	mcfChaseStride = 7_919
+)
+
+// MCF models SPEC 2006 429.mcf: network-simplex minimum-cost flow. Its
+// LLC stream is dominated by long streaming sweeps over the arc array
+// (near-zero reuse inside a round, huge reuse distance across rounds)
+// interleaved with serially-dependent pointer chases over the node tree
+// and a small, very hot basket array.
+var MCF = register(&Workload{
+	name: "mcf",
+	desc: "429.mcf (SPEC CPU 2006): single-depot vehicle scheduling via " +
+		"network simplex. Memory behaviour: streaming sweeps over a large " +
+		"arc array with reuse distances far beyond LLC capacity, " +
+		"serially-dependent pointer chasing over the spanning-tree nodes, " +
+		"and a small hot basket array with near-perfect temporal reuse. " +
+		"Dominantly memory-bound with a very high LLC miss rate.",
+	syms: symbols.NewTable([]symbols.Function{
+		{
+			Name:   "primal_bea_mpp",
+			Source: "for (arc = arcs + off; arc < stop; arc += nr_group) {\n    red_cost = arc->cost - arc->tail->potential + arc->head->potential;\n    if (bea_is_dual_infeasible(arc, red_cost))\n        basket[++basket_size]->a = arc;\n}",
+			LowPC:  0x403700, HighPC: 0x403800,
+		},
+		{
+			Name:   "refresh_potential",
+			Source: "while (node != root) {\n    node->potential = node->basic_arc->cost + node->pred->potential;\n    node = node->child ? node->child : node->sibling;\n}",
+			LowPC:  0x402e80, HighPC: 0x402f40,
+		},
+		{
+			Name:   "price_out_impl",
+			Source: "for (i = 0; i < new_arcs; i++) {\n    arcnew[i].cost = bigM;\n    arcnew[i].ident = FIXED;\n}",
+			LowPC:  0x401340, HighPC: 0x4013d0,
+		},
+		{
+			Name:   "dual_feasible",
+			Source: "for (arc = net->arcs; arc != stop_arcs; arc++)\n    if (arc->ident != FIXED) check_cost(arc);",
+			LowPC:  0x401d00, HighPC: 0x401d60,
+		},
+	}),
+	gen: genMCF,
+})
+
+func genMCF(n int, seed int64) []trace.Access {
+	rng := rand.New(rand.NewSource(seed))
+	accs := make([]trace.Access, 0, n)
+	arcBase := uint64(mcfAddrBase)
+	nodeBase := arcBase + uint64(2*mcfArcLines+4096)*trace.LineSize
+	basketBase := nodeBase + uint64(mcfNodeLines+4096)*trace.LineSize
+
+	scanPos := 0
+	treePos := rng.Intn(mcfNodeLines)
+	for len(accs) < n {
+		// One pricing round: stream a window of arcs. Each arc struct
+		// spans two cache lines, so the header load and the cost load
+		// stream through distinct lines.
+		for i := 0; i < mcfScanWindow && len(accs) < n; i++ {
+			arc := uint64((scanPos + i) % mcfArcLines)
+			accs = append(accs,
+				trace.Access{PC: mcfPCArcScan, Addr: arcBase + arc*2*trace.LineSize, InstrGap: 4},
+				trace.Access{PC: mcfPCArcCost, Addr: arcBase + (arc*2+1)*trace.LineSize + 16, InstrGap: 2},
+			)
+			// Hot basket insertion on ~1/6 of arcs.
+			if rng.Intn(6) == 0 && len(accs) < n {
+				b := uint64(rng.Intn(mcfBasketLines))
+				accs = append(accs, trace.Access{
+					PC: mcfPCBasket, Addr: basketBase + b*trace.LineSize,
+					Write: true, InstrGap: 3,
+				})
+			}
+		}
+		scanPos = (scanPos + mcfScanWindow) % mcfArcLines
+
+		// Refresh potentials: dependent pointer chase over the tree.
+		for i := 0; i < mcfChaseLen && len(accs) < n; i++ {
+			// Child/sibling links follow a fixed stride permutation.
+			treePos = (treePos + mcfChaseStride) % mcfNodeLines
+			line := nodeBase + uint64(treePos)*trace.LineSize
+			accs = append(accs,
+				trace.Access{PC: mcfPCTreeWalk, Addr: line, Dependent: true, InstrGap: 3},
+			)
+			if i%2 == 0 && len(accs) < n {
+				accs = append(accs,
+					trace.Access{PC: mcfPCNodePot, Addr: line + 8, Write: true, InstrGap: 1},
+				)
+			}
+		}
+
+		// Occasional arc-region growth: streaming init writes.
+		if rng.Intn(4) == 0 {
+			start := rng.Intn(mcfArcLines - 256)
+			for i := 0; i < 256 && len(accs) < n; i++ {
+				line := arcBase + uint64(start+i)*2*trace.LineSize
+				accs = append(accs,
+					trace.Access{PC: mcfPCInitScan, Addr: line, InstrGap: 2},
+					trace.Access{PC: mcfPCInitWrite, Addr: line + 32, Write: true, InstrGap: 2},
+				)
+			}
+		}
+
+		// Periodic feasibility check touches a sparse arc sample.
+		if rng.Intn(8) == 0 {
+			for i := 0; i < 64 && len(accs) < n; i++ {
+				arc := uint64(rng.Intn(mcfArcLines))
+				accs = append(accs, trace.Access{
+					PC: mcfPCDualCheck, Addr: arcBase + arc*2*trace.LineSize, InstrGap: 5,
+				})
+			}
+		}
+	}
+	return accs[:n]
+}

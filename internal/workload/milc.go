@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"math/rand"
+
+	"cachemind/internal/symbols"
+	"cachemind/internal/trace"
+)
+
+// milc program counters, matching the PC families in the paper's
+// Mockingjay chat transcript (0x4184b0..., 0x41393x, 0x417f58).
+const (
+	milcPCSu3Load   = 0x4184b0 // mult_su3_na: link matrix load (strided, stable)
+	milcPCSu3Load2  = 0x4184c0 // mult_su3_na: second operand load (stable)
+	milcPCSu3Store  = 0x418502 // mult_su3_na: result store (stable)
+	milcPCGather    = 0x413930 // dslash: neighbour gather, +mu direction
+	milcPCGather2   = 0x41391c // dslash: neighbour gather, -mu direction
+	milcPCScatter   = 0x413948 // dslash: irregular boundary scatter (noisy)
+	milcPCMomUpdate = 0x417f58 // update_h: momentum update sweep
+	milcAddrBase    = 0x51a20000000
+	milcLatLines    = 36_000 // lattice field storage, slightly past LLC capacity
+	milcMomLines    = 11_000 // momentum field
+	milcEvenOdd     = 2      // even/odd checkerboard sublattices
+)
+
+// MILC models SPEC 2006 433.milc: lattice QCD with SU(3) matrix algebra
+// over a 4-D lattice. Sweeps are strided and highly regular — most PCs
+// have very predictable reuse distances (low variance), which is exactly
+// why the paper's Mockingjay use case trains its reuse-distance
+// predictor on milc's stable PCs — while the boundary scatter PC has
+// noisy, high-variance reuse.
+var MILC = register(&Workload{
+	name: "milc",
+	desc: "433.milc (SPEC CPU 2006): lattice QCD simulation with SU(3) " +
+		"matrix-matrix products over a 4-D even/odd checkerboard " +
+		"lattice. Memory behaviour: regular strided sweeps with highly " +
+		"predictable per-PC reuse distances, plus an irregular boundary " +
+		"scatter PC with high reuse-distance variance. Working set " +
+		"moderately exceeds LLC capacity.",
+	syms: symbols.NewTable([]symbols.Function{
+		{
+			Name:   "mult_su3_na",
+			Source: "for (i = 0; i < 3; i++) for (j = 0; j < 3; j++) {\n    CMULJ_(a->e[i][0], b->e[j][0], x);\n    c->e[i][j] = x;\n}",
+			LowPC:  0x418480, HighPC: 0x418540,
+		},
+		{
+			Name:   "dslash_w_site",
+			Source: "FORSOMEPARITY(i, s, parity) {\n    mult_adj_su3_mat_vec(&(s->link[dir]), &(s->tmp), &(s->dst));\n}",
+			LowPC:  0x4138e0, HighPC: 0x413980,
+		},
+		{
+			Name:   "update_h",
+			Source: "FORALLSITES(i, s) {\n    scalar_mult_add_su3_matrix(&(s->mom[dir]), &force, eps, &(s->mom[dir]));\n}",
+			LowPC:  0x417f20, HighPC: 0x417f80,
+		},
+	}),
+	gen: genMILC,
+})
+
+func genMILC(n int, seed int64) []trace.Access {
+	rng := rand.New(rand.NewSource(seed))
+	accs := make([]trace.Access, 0, n)
+	latBase := uint64(milcAddrBase)
+	momBase := latBase + uint64(milcLatLines+4096)*trace.LineSize
+
+	parity := 0
+	for len(accs) < n {
+		// One dslash sweep over one checkerboard parity: regular stride-2.
+		for site := parity; site < milcLatLines && len(accs) < n; site += milcEvenOdd {
+			line := latBase + uint64(site)*trace.LineSize
+			accs = append(accs,
+				trace.Access{PC: milcPCSu3Load, Addr: line, InstrGap: 11},
+				trace.Access{PC: milcPCSu3Load2, Addr: line + 24, InstrGap: 8},
+			)
+			if len(accs) < n {
+				accs = append(accs, trace.Access{
+					PC: milcPCSu3Store, Addr: line + 48, Write: true, InstrGap: 6,
+				})
+			}
+			// Neighbour gathers at fixed lattice strides: predictable.
+			if len(accs) < n {
+				up := latBase + uint64((site+32)%milcLatLines)*trace.LineSize
+				accs = append(accs, trace.Access{PC: milcPCGather, Addr: up, InstrGap: 5})
+			}
+			if len(accs) < n {
+				down := latBase + uint64((site+milcLatLines-32)%milcLatLines)*trace.LineSize
+				accs = append(accs, trace.Access{PC: milcPCGather2, Addr: down, InstrGap: 5})
+			}
+			// Irregular boundary scatter: noisy reuse (high variance).
+			if site%24 == 0 && len(accs) < n {
+				tgt := latBase + uint64(rng.Intn(milcLatLines))*trace.LineSize
+				accs = append(accs, trace.Access{
+					PC: milcPCScatter, Addr: tgt, Write: true, InstrGap: 4,
+				})
+			}
+		}
+		parity = 1 - parity
+
+		// Momentum update: dense regular sweep of the smaller field.
+		if parity == 0 {
+			for m := 0; m < milcMomLines && len(accs) < n; m++ {
+				accs = append(accs, trace.Access{
+					PC: milcPCMomUpdate, Addr: momBase + uint64(m)*trace.LineSize,
+					Write: m%2 == 1, InstrGap: 7,
+				})
+			}
+		}
+	}
+	return accs[:n]
+}

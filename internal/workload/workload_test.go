@@ -1,0 +1,320 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cachemind/internal/trace"
+)
+
+func allWorkloads() []*Workload {
+	return []*Workload{Astar, LBM, MCF, MILC, PointerChase, PointerChasePrefetch}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{"astar", "lbm", "mcf", "milc", "pointerchase", "pointerchase_prefetch"} {
+		w, ok := ByName(name)
+		if !ok {
+			t.Fatalf("workload %q not registered", name)
+		}
+		if w.Name() != name {
+			t.Errorf("Name() = %q, want %q", w.Name(), name)
+		}
+		if w.Description() == "" {
+			t.Errorf("%s has empty description", name)
+		}
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("unknown workload resolved")
+	}
+	names := Names()
+	if len(names) != 6 {
+		t.Errorf("Names() returned %d entries: %v", len(names), names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+func TestCoreTrio(t *testing.T) {
+	core := Core()
+	if len(core) != 3 || core[0] != Astar || core[1] != LBM || core[2] != MCF {
+		t.Errorf("Core() = %v", core)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, w := range allWorkloads() {
+		a := w.Generate(5000, 42)
+		b := w.Generate(5000, 42)
+		if len(a) != 5000 || len(b) != 5000 {
+			t.Fatalf("%s: wrong length %d/%d", w.Name(), len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: access %d differs between identical seeds", w.Name(), i)
+			}
+		}
+		c := w.Generate(5000, 43)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: different seeds produced identical traces", w.Name())
+		}
+	}
+}
+
+func TestGenerateExactLength(t *testing.T) {
+	for _, w := range allWorkloads() {
+		for _, n := range []int{0, 1, 7, 1000} {
+			if got := len(w.Generate(n, 1)); got != n {
+				t.Errorf("%s: Generate(%d) returned %d accesses", w.Name(), n, got)
+			}
+		}
+	}
+}
+
+func TestGenerateNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative n")
+		}
+	}()
+	MCF.Generate(-1, 1)
+}
+
+func TestEveryPCHasSymbols(t *testing.T) {
+	for _, w := range allWorkloads() {
+		syms := w.Symbols()
+		seen := map[uint64]bool{}
+		for _, a := range w.Generate(30000, 7) {
+			if seen[a.PC] {
+				continue
+			}
+			seen[a.PC] = true
+			if _, ok := syms.FunctionAt(a.PC); !ok {
+				t.Errorf("%s: PC %#x has no symbol", w.Name(), a.PC)
+			}
+		}
+		if len(seen) < 4 {
+			t.Errorf("%s: only %d distinct PCs; workloads should exercise several", w.Name(), len(seen))
+		}
+	}
+}
+
+// The paper's trick questions require PC 0x4037aa to exist only in mcf.
+func TestTrickQuestionPCExclusivity(t *testing.T) {
+	for _, w := range allWorkloads() {
+		found := false
+		for _, a := range w.Generate(30000, 7) {
+			if a.PC == 0x4037aa {
+				found = true
+				break
+			}
+		}
+		if w.Name() == "mcf" && !found {
+			t.Error("mcf never emits its arc-scan PC 0x4037aa")
+		}
+		if w.Name() != "mcf" && found {
+			t.Errorf("%s emits mcf's exclusive PC 0x4037aa", w.Name())
+		}
+	}
+}
+
+// Address spaces must be disjoint across workloads so database slices
+// can never alias.
+func TestDisjointAddressSpaces(t *testing.T) {
+	owner := map[uint64]string{}
+	for _, w := range allWorkloads() {
+		for _, a := range w.Generate(20000, 3) {
+			region := a.Addr >> 36 // coarse region key
+			if prev, ok := owner[region]; ok && prev != w.Name() &&
+				!(prev == "pointerchase" && w.Name() == "pointerchase_prefetch") {
+				t.Fatalf("address region %#x shared by %s and %s", region, prev, w.Name())
+			}
+			owner[region] = w.Name()
+		}
+	}
+}
+
+// mcf's arc scan must have huge reuse distances (streaming) while its
+// basket PC must have short ones (hot) — the contrast the paper's bypass
+// use case exploits.
+func TestMCFScanVsBasketReuse(t *testing.T) {
+	accs := MCF.Generate(120000, 11)
+	reuse, _ := trace.AnnotateReuse(accs)
+	var scanSum, scanN, basketSum, basketN float64
+	for i, a := range accs {
+		if reuse[i] == trace.NoReuse {
+			continue
+		}
+		switch a.PC {
+		case mcfPCArcScan:
+			scanSum += float64(reuse[i])
+			scanN++
+		case mcfPCBasket:
+			basketSum += float64(reuse[i])
+			basketN++
+		}
+	}
+	if scanN == 0 || basketN == 0 {
+		t.Fatal("missing PCs in mcf trace")
+	}
+	scanAvg, basketAvg := scanSum/scanN, basketSum/basketN
+	if scanAvg < 20*basketAvg {
+		t.Errorf("arc-scan reuse (%.0f) should dwarf basket reuse (%.0f)", scanAvg, basketAvg)
+	}
+}
+
+// lbm interleaves streaming PCs with reused obstacle accesses.
+func TestLBMScanReuseInterleaving(t *testing.T) {
+	accs := LBM.Generate(150000, 11)
+	reuse, _ := trace.AnnotateReuse(accs)
+	var dstSum, dstN, obSum, obN float64
+	for i, a := range accs {
+		if reuse[i] == trace.NoReuse {
+			continue
+		}
+		switch a.PC {
+		case lbmPCDstStore:
+			dstSum += float64(reuse[i])
+			dstN++
+		case lbmPCObstacle:
+			obSum += float64(reuse[i])
+			obN++
+		}
+	}
+	if dstN == 0 || obN == 0 {
+		t.Fatal("missing PCs in lbm trace")
+	}
+	if dstSum/dstN < 2*(obSum/obN) {
+		t.Errorf("dst-store reuse (%.0f) should exceed obstacle reuse (%.0f)", dstSum/dstN, obSum/obN)
+	}
+}
+
+// The pointer-chase microbenchmark must have one dominant dependent-load
+// PC, and its prefetch variant must emit prefetches to addresses that the
+// demand stream later touches.
+func TestPointerChaseStructure(t *testing.T) {
+	accs := PointerChase.Generate(50000, 5)
+	counts := map[uint64]int{}
+	for _, a := range accs {
+		counts[a.PC]++
+		if a.PC == chasePCLoad && !a.Dependent {
+			t.Fatal("chase load not marked dependent")
+		}
+		if a.Prefetch {
+			t.Fatal("plain variant must not prefetch")
+		}
+	}
+	if counts[chasePCLoad] < len(accs)/2 {
+		t.Errorf("dominant PC only %d of %d accesses", counts[chasePCLoad], len(accs))
+	}
+
+	pf := PointerChasePrefetch.Generate(50000, 5)
+	demand := map[uint64]bool{}
+	for _, a := range pf {
+		if !a.Prefetch && a.PC == chasePCLoad {
+			demand[a.LineAddr()] = true
+		}
+	}
+	covered, total := 0, 0
+	for i, a := range pf {
+		if !a.Prefetch {
+			continue
+		}
+		total++
+		// The prefetched line must be demanded within the next window.
+		for j := i + 1; j < len(pf) && j < i+chasePrefetchDist*8; j++ {
+			if !pf[j].Prefetch && pf[j].LineAddr() == a.LineAddr() {
+				covered++
+				break
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("prefetch variant emitted no prefetches")
+	}
+	if float64(covered) < 0.9*float64(total) {
+		t.Errorf("only %d/%d prefetches are timely", covered, total)
+	}
+}
+
+// milc's strided PCs must have low reuse-distance variance relative to
+// its scatter PC — the property the Mockingjay use case depends on.
+func TestMILCStablePCVariance(t *testing.T) {
+	accs := MILC.Generate(200000, 9)
+	reuse, _ := trace.AnnotateReuse(accs)
+	byPC := map[uint64][]float64{}
+	for i, a := range accs {
+		if reuse[i] != trace.NoReuse {
+			byPC[a.PC] = append(byPC[a.PC], float64(reuse[i]))
+		}
+	}
+	cv := func(xs []float64) float64 {
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		if mean == 0 {
+			return 0
+		}
+		return (ss / float64(len(xs))) / (mean * mean) // squared CV
+	}
+	stable, noisy := byPC[milcPCSu3Load], byPC[milcPCScatter]
+	if len(stable) < 100 || len(noisy) < 100 {
+		t.Fatal("not enough samples per PC")
+	}
+	if cv(stable) >= cv(noisy) {
+		t.Errorf("strided PC variance (%.3f) should be below scatter PC variance (%.3f)",
+			cv(stable), cv(noisy))
+	}
+}
+
+// Property: generated accesses always stay within the workload's address
+// region and carry sane flags.
+func TestAccessSanityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		for _, w := range allWorkloads() {
+			for _, a := range w.Generate(2000, seed) {
+				if a.PC == 0 || a.Addr == 0 {
+					return false
+				}
+				if a.InstrGap < 0 {
+					return false
+				}
+				if a.Prefetch && w.Name() != "pointerchase_prefetch" {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustByName(t *testing.T) {
+	if mustByName("mcf") != MCF {
+		t.Error("mustByName returned wrong workload")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown name")
+		}
+	}()
+	mustByName("bogus")
+}
