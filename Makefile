@@ -1,0 +1,34 @@
+# CacheMind build/CI entry points. CI (.github/workflows/ci.yml) runs
+# exactly these targets, so a green `make ci` locally means a green PR.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass over every benchmark: the reproduction record plus the
+# serial/parallel build and evaluate pairs.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# fmt fails (listing the offending files) when anything is not
+# gofmt-clean, matching the CI check.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build fmt vet race bench

@@ -34,9 +34,10 @@ func main() {
 	dbPath := flag.String("db", "", "load a store written by tracegen instead of building one")
 	sets := flag.Int("llc-sets", 256, "LLC sets for the database traces")
 	ways := flag.Int("llc-ways", 8, "LLC ways for the database traces")
+	par := flag.Int("parallel", 0, "worker bound per fan-out level for the build and experiments (0: all CPUs, 1: serial)")
 	flag.Parse()
 
-	lab := buildLab(*dbPath, *accesses, *seed, *sets, *ways)
+	lab := buildLab(*dbPath, *accesses, *seed, *sets, *ways, *par)
 
 	runners := map[string]func(){
 		"table1":       func() { fmt.Println(experiments.Table1(lab)) },
@@ -73,11 +74,11 @@ func main() {
 	}
 }
 
-func buildLab(dbPath string, accesses int, seed int64, sets, ways int) *experiments.Lab {
+func buildLab(dbPath string, accesses int, seed int64, sets, ways, par int) *experiments.Lab {
 	llc := sim.Config{Name: "LLC", Sets: sets, Ways: ways, Latency: 26, MSHRs: 64}
 	if dbPath == "" {
 		lab, err := experiments.NewLab(experiments.LabConfig{
-			AccessesPerTrace: accesses, Seed: seed, LLC: llc,
+			AccessesPerTrace: accesses, Seed: seed, LLC: llc, Parallelism: par,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -97,5 +98,5 @@ func buildLab(dbPath string, accesses int, seed int64, sets, ways int) *experime
 	if err != nil {
 		log.Fatal(err)
 	}
-	return &experiments.Lab{Store: store, Suite: suite, Seed: seed, LLC: llc}
+	return &experiments.Lab{Store: store, Suite: suite, Seed: seed, LLC: llc, Parallelism: par}
 }

@@ -38,9 +38,10 @@ func main() {
 	retrName := flag.String("retriever", "ranger", "retriever: ranger, sieve, or llamaindex")
 	modelID := flag.String("model", "gpt-4o", "generator backend profile")
 	showContext := flag.Bool("show-context", false, "print the retrieved context before each answer")
+	par := flag.Int("parallel", 0, "worker bound for the in-memory build (0: all CPUs, 1: serial)")
 	flag.Parse()
 
-	store := openStore(*dbPath, *accesses, *seed)
+	store := openStore(*dbPath, *accesses, *seed, *par)
 	profile, ok := llm.ByID(*modelID)
 	if !ok {
 		log.Fatalf("unknown model %q", *modelID)
@@ -95,7 +96,7 @@ func main() {
 	fmt.Println()
 }
 
-func openStore(path string, accesses int, seed int64) *db.Store {
+func openStore(path string, accesses int, seed int64, par int) *db.Store {
 	if path != "" {
 		f, err := os.Open(path)
 		if err != nil {
@@ -113,6 +114,7 @@ func openStore(path string, accesses int, seed int64) *db.Store {
 		AccessesPerTrace: accesses,
 		Seed:             seed,
 		LLC:              sim.Config{Name: "LLC", Sets: 256, Ways: 8, Latency: 26, MSHRs: 64},
+		Parallelism:      par,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,11 +1,14 @@
 // Command simulate runs one workload through either an LLC-only trace
 // replay (reporting hit/miss/eviction statistics and per-PC digests) or
-// the full Table 2 hierarchy (reporting IPC) under a chosen replacement
-// policy.
+// the full Table 2 hierarchy (reporting IPC) under one or more
+// replacement policies. Multiple comma-separated policies replay the
+// same trace concurrently (bounded by -parallel) and report in the
+// order given.
 //
 // Usage:
 //
 //	simulate -workload mcf -policy lru -n 200000
+//	simulate -workload lbm -policy lru,mlp,belady -n 200000
 //	simulate -workload milc -policy mockingjay -n 500000 -machine
 package main
 
@@ -13,7 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
+	"cachemind/internal/parallel"
 	"cachemind/internal/policy"
 	"cachemind/internal/replay"
 	"cachemind/internal/sim"
@@ -27,52 +32,92 @@ func main() {
 	log.SetPrefix("simulate: ")
 
 	workloadName := flag.String("workload", "mcf", "workload to replay")
-	policyName := flag.String("policy", "lru", "LLC replacement policy")
+	policyNames := flag.String("policy", "lru", "comma-separated LLC replacement policies")
 	n := flag.Int("n", 200000, "accesses to simulate")
 	seed := flag.Int64("seed", 42, "trace seed")
 	machine := flag.Bool("machine", false, "run the full hierarchy with the timing model")
+	par := flag.Int("parallel", 0, "worker bound across policies (0: all CPUs, 1: serial)")
 	flag.Parse()
 
 	w, ok := workload.ByName(*workloadName)
 	if !ok {
 		log.Fatalf("unknown workload %q (have %v)", *workloadName, workload.Names())
 	}
-	cfg := sim.DefaultMachineConfig()
-	accs := w.Generate(*n, *seed)
+	var policies []string
+	for _, p := range strings.Split(*policyNames, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			policies = append(policies, p)
+		}
+	}
+	if len(policies) == 0 {
+		log.Fatal("no policy given")
+	}
+	// Validate every name up front, before trace generation and before
+	// any sibling policy's replay has burned cycles on a doomed run.
+	known := map[string]bool{}
+	for _, name := range policy.Names() {
+		known[name] = true
+	}
+	for _, p := range policies {
+		if !known[p] {
+			log.Fatalf("unknown policy %q (have %v)", p, policy.Names())
+		}
+	}
 
+	cfg := sim.DefaultMachineConfig()
+	// The trace, oracle and training stream are generated once and
+	// shared read-only by every policy's replay.
+	accs := w.Generate(*n, *seed)
 	opts := policy.Options{
 		Seed:   *seed,
 		Oracle: trace.NextUseOracle(accs),
 		Train:  w.Generate(*n/2, *seed+1),
 	}
-	llcPolicy, err := policy.New(*policyName, cfg.LLC, opts)
+
+	outputs, err := parallel.Map(len(policies), *par, func(i int) (string, error) {
+		llcPolicy, err := policy.New(policies[i], cfg.LLC, opts)
+		if err != nil {
+			return "", err
+		}
+		if *machine {
+			return runMachine(w, policies[i], cfg, llcPolicy, accs), nil
+		}
+		return runReplay(w, policies[i], cfg, llcPolicy, accs), nil
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	if *machine {
-		m := sim.NewMachine(cfg,
-			policy.MustNew("lru", cfg.L1D, policy.Options{}),
-			policy.MustNew("lru", cfg.L2, policy.Options{}),
-			llcPolicy)
-		res := m.Run(accs)
-		fmt.Printf("workload=%s policy=%s accesses=%d\n", w.Name(), *policyName, res.Accesses)
-		fmt.Printf("instructions=%d cycles=%d IPC=%.4f\n", res.Instructions, res.Cycles, res.IPC())
-		fmt.Printf("hit rates: L1D %.2f%%  L2 %.2f%%  LLC %.2f%%\n",
-			100*res.L1DHitRate, 100*res.L2HitRate, 100*res.LLCHitRate)
-		return
+	for _, out := range outputs {
+		fmt.Print(out)
 	}
+}
 
+func runMachine(w *workload.Workload, policyName string, cfg sim.MachineConfig, llcPolicy sim.ReplacementPolicy, accs []trace.Access) string {
+	m := sim.NewMachine(cfg,
+		policy.MustNew("lru", cfg.L1D, policy.Options{}),
+		policy.MustNew("lru", cfg.L2, policy.Options{}),
+		llcPolicy)
+	res := m.Run(accs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload=%s policy=%s accesses=%d\n", w.Name(), policyName, res.Accesses)
+	fmt.Fprintf(&b, "instructions=%d cycles=%d IPC=%.4f\n", res.Instructions, res.Cycles, res.IPC())
+	fmt.Fprintf(&b, "hit rates: L1D %.2f%%  L2 %.2f%%  LLC %.2f%%\n",
+		100*res.L1DHitRate, 100*res.L2HitRate, 100*res.LLCHitRate)
+	return b.String()
+}
+
+func runReplay(w *workload.Workload, policyName string, cfg sim.MachineConfig, llcPolicy sim.ReplacementPolicy, accs []trace.Access) string {
 	res := replay.Run(accs, cfg.LLC, llcPolicy, replay.Options{})
 	s := res.Summary
-	fmt.Printf("workload=%s policy=%s\n", w.Name(), *policyName)
-	fmt.Printf("accesses=%d hits=%d misses=%d (miss rate %s)\n",
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload=%s policy=%s\n", w.Name(), policyName)
+	fmt.Fprintf(&b, "accesses=%d hits=%d misses=%d (miss rate %s)\n",
 		s.Accesses, s.Hits, s.Misses, stats.Ratio(s.Misses, s.Accesses))
-	fmt.Printf("miss taxonomy: cold=%d capacity=%d conflict=%d\n",
+	fmt.Fprintf(&b, "miss taxonomy: cold=%d capacity=%d conflict=%d\n",
 		s.ColdMisses, s.CapacityMisses, s.ConflictMisses)
-	fmt.Printf("evictions=%d wrong=%d (%s)\n",
+	fmt.Fprintf(&b, "evictions=%d wrong=%d (%s)\n",
 		s.Evictions, s.WrongEvictions, stats.Ratio(s.WrongEvictions, s.Evictions))
-	fmt.Printf("recency/miss correlation: %.2f\n\n", s.RecencyMissCorr)
+	fmt.Fprintf(&b, "recency/miss correlation: %.2f\n\n", s.RecencyMissCorr)
 
 	// Per-PC digest, as the Cache Statistical Expert reports it.
 	byPC := map[uint64][2]int{} // accesses, misses
@@ -85,12 +130,13 @@ func main() {
 		byPC[r.PC] = c
 	}
 	syms := w.Symbols()
-	fmt.Printf("%-10s %-36s %9s %9s %9s\n", "PC", "function", "accesses", "misses", "miss%")
+	fmt.Fprintf(&b, "%-10s %-36s %9s %9s %9s\n", "PC", "function", "accesses", "misses", "miss%")
 	for _, pc := range sortedKeys(byPC) {
 		c := byPC[pc]
-		fmt.Printf("0x%-8x %-36s %9d %9d %8.2f%%\n",
+		fmt.Fprintf(&b, "0x%-8x %-36s %9d %9d %8.2f%%\n",
 			pc, syms.NameAt(pc), c[0], c[1], stats.Pct(c[1], c[0]))
 	}
+	return b.String()
 }
 
 func sortedKeys(m map[uint64][2]int) []uint64 {

@@ -30,6 +30,7 @@ func main() {
 	policies := flag.String("policies", "belady,lru,mlp,parrot", "comma-separated policies")
 	sets := flag.Int("llc-sets", 2048, "LLC sets")
 	ways := flag.Int("llc-ways", 16, "LLC ways")
+	par := flag.Int("parallel", 0, "worker bound per fan-out level for the build (0: all CPUs, 1: serial)")
 	flag.Parse()
 
 	var ws []*workload.Workload
@@ -47,6 +48,7 @@ func main() {
 		AccessesPerTrace: *accesses,
 		Seed:             *seed,
 		LLC:              sim.Config{Name: "LLC", Sets: *sets, Ways: *ways, Latency: 26, MSHRs: 64},
+		Parallelism:      *par,
 	}
 	store, err := db.Build(cfg)
 	if err != nil {

@@ -1,0 +1,3 @@
+module cachemind
+
+go 1.24

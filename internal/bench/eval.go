@@ -7,6 +7,7 @@ import (
 
 	"cachemind/internal/generator"
 	"cachemind/internal/llm"
+	"cachemind/internal/parallel"
 	"cachemind/internal/retriever"
 )
 
@@ -138,10 +139,18 @@ type Pipeline struct {
 	// Shots are in-context examples passed to the generator (the
 	// one/few-shot prompting ablation).
 	Shots []llm.Example
+	// Parallelism bounds how many questions are scored concurrently.
+	// <= 0 selects runtime.NumCPU(); 1 reproduces the serial
+	// evaluation. Reports are identical at every setting: success draws
+	// are derived per question ID, not from a shared RNG stream, and
+	// results are collected in suite order.
+	Parallelism int
 }
 
 // Evaluate runs the suite through the pipeline and grades every
-// question.
+// question. Questions are scored concurrently (see
+// Pipeline.Parallelism) and aggregated in suite order, so the report is
+// byte-identical to a serial run.
 func Evaluate(suite *Suite, p Pipeline) *Report {
 	rep := &Report{
 		Model:     p.Profile.ID,
@@ -154,28 +163,37 @@ func Evaluate(suite *Suite, p Pipeline) *Report {
 	gen := generator.New(p.Profile)
 	gen.Shots = p.Shots
 
-	for _, q := range suite.Questions {
-		var res QuestionResult
-		res.Question = q
+	// Scoring one question touches only read-only state: the store
+	// behind the retrievers, the profile's hash-derived draws, and the
+	// question itself. Grading the TG/ARA outcome happens inside the
+	// worker; the category tallies below stay serial.
+	results, _ := parallel.Map(len(suite.Questions), p.Parallelism, func(i int) (QuestionResult, error) {
+		q := suite.Questions[i]
+		res := QuestionResult{Question: q}
 		if q.Tier() == TierTG {
 			ctx := p.TGRetriever.Retrieve(q.Text)
 			ans := gen.Answer(q.ID, q.Category.String(), q.Text, ctx)
 			res.Quality = ctx.Quality
 			res.Answer = ans
 			res.Correct = GradeExact(q, ans.Verdict, ans.Value, ans.HasValue)
-			cs := rep.PerCat[q.Category]
-			cs.Total++
-			if res.Correct {
-				cs.Correct++
-			}
 		} else {
 			ctx := p.ARARetriever.Retrieve(q.Text)
 			ans := gen.AnalysisAnswer(q.ID, q.Category.String(), q.Text, ctx)
 			res.Quality = ctx.Quality
 			res.Answer = ans
 			res.Rubric = RubricScore(ans.Text)
-			cs := rep.PerCat[q.Category]
-			cs.Total++
+		}
+		return res, nil
+	})
+
+	for _, res := range results {
+		cs := rep.PerCat[res.Question.Category]
+		cs.Total++
+		if res.Question.Tier() == TierTG {
+			if res.Correct {
+				cs.Correct++
+			}
+		} else {
 			cs.Correct += res.Rubric
 			cs.RubricMax += 5
 		}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"cachemind/internal/llm"
+	"cachemind/internal/retriever"
+	"cachemind/internal/testfix"
+)
+
+// evalPipeline builds the default (Ranger TG / Sieve ARA) pipeline over
+// the shared fixture store at the given parallelism.
+func evalPipeline(profile *llm.Profile, par int) Pipeline {
+	store := testfix.Store()
+	return Pipeline{
+		TGRetriever:  retriever.NewRanger(store),
+		ARARetriever: retriever.NewSieve(store),
+		Profile:      profile,
+		Parallelism:  par,
+	}
+}
+
+// TestEvaluateParallelDeterminism asserts the tentpole requirement on
+// the evaluation path: a Parallelism=8 run produces a report identical
+// to the serial Parallelism=1 run — same per-question results in the
+// same order, same category tallies, same rendered report.
+func TestEvaluateParallelDeterminism(t *testing.T) {
+	s := suite(t)
+	for _, profile := range llm.Catalogue() {
+		serial := Evaluate(s, evalPipeline(profile, 1))
+		par := Evaluate(s, evalPipeline(profile, 8))
+
+		if len(serial.Results) != len(par.Results) {
+			t.Fatalf("%s: %d vs %d results", profile.ID, len(serial.Results), len(par.Results))
+		}
+		for i := range serial.Results {
+			if !reflect.DeepEqual(serial.Results[i], par.Results[i]) {
+				t.Fatalf("%s: result %d (%s) differs\nserial  %+v\nparallel %+v",
+					profile.ID, i, serial.Results[i].Question.ID,
+					serial.Results[i], par.Results[i])
+			}
+		}
+		for _, c := range Categories() {
+			if *serial.PerCat[c] != *par.PerCat[c] {
+				t.Errorf("%s: category %s differs: serial %+v parallel %+v",
+					profile.ID, c, *serial.PerCat[c], *par.PerCat[c])
+			}
+		}
+		if ss, ps := serial.String(), par.String(); ss != ps {
+			t.Errorf("%s: rendered reports differ\n--- serial ---\n%s\n--- parallel ---\n%s",
+				profile.ID, ss, ps)
+		}
+		if serial.WeightedTotalPct() != par.WeightedTotalPct() {
+			t.Errorf("%s: weighted totals differ: %.4f vs %.4f",
+				profile.ID, serial.WeightedTotalPct(), par.WeightedTotalPct())
+		}
+	}
+}
+
+// TestEvaluateParallelismVariants pins the default (0 → NumCPU) and
+// oversubscribed settings to the serial report.
+func TestEvaluateParallelismVariants(t *testing.T) {
+	s := suite(t)
+	profile, _ := llm.ByID("gpt-4o")
+	want := Evaluate(s, evalPipeline(profile, 1)).String()
+	for _, par := range []int{0, 3, 256} {
+		if got := Evaluate(s, evalPipeline(profile, par)).String(); got != want {
+			t.Errorf("Parallelism=%d report differs from serial:\n%s", par, got)
+		}
+	}
+}

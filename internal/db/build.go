@@ -3,6 +3,7 @@ package db
 import (
 	"fmt"
 
+	"cachemind/internal/parallel"
 	"cachemind/internal/policy"
 	"cachemind/internal/replay"
 	"cachemind/internal/sim"
@@ -29,6 +30,12 @@ type BuildConfig struct {
 	LLC sim.Config
 	// SnapshotEvery samples heavyweight record fields (default 64).
 	SnapshotEvery int
+	// Parallelism bounds how many (workload, policy) replays run
+	// concurrently. <= 0 selects runtime.NumCPU(); 1 reproduces the
+	// serial build exactly. The resulting store is identical at every
+	// setting: traces and oracles are generated once per workload and
+	// shared read-only, and frames land in deterministic order.
+	Parallelism int
 }
 
 func (c BuildConfig) withDefaults() BuildConfig {
@@ -51,17 +58,26 @@ func (c BuildConfig) withDefaults() BuildConfig {
 }
 
 // Build generates traces, replays them under every policy and assembles
-// the store. Deterministic for a fixed config.
+// the store. Deterministic for a fixed config, at every Parallelism.
 func Build(cfg BuildConfig) (*Store, error) {
 	cfg = cfg.withDefaults()
-	store := NewStore()
-	for _, w := range cfg.Workloads {
+
+	// Workloads fan out, and within each workload the policy replays
+	// fan out (both bounded by Parallelism — the knob is per fan-out
+	// level). Each workload's trace, training stream and next-use
+	// oracle are generated once and shared read-only by its policy
+	// replays, then released when the workload's frames are done — so
+	// Parallelism=1 keeps the old serial loop's one-workload-resident
+	// memory profile. Frames land in input order at every setting.
+	frameGroups, err := parallel.Map(len(cfg.Workloads), cfg.Parallelism, func(wi int) ([]*Frame, error) {
+		w := cfg.Workloads[wi]
 		accs := w.Generate(cfg.AccessesPerTrace, cfg.Seed)
 		// Learned policies train on a disjoint stream of the same
 		// workload (different seed), never on the evaluation trace.
 		train := w.Generate(cfg.AccessesPerTrace/2, cfg.Seed+1)
 		oracle := trace.NextUseOracle(accs)
-		for _, polName := range cfg.Policies {
+		return parallel.Map(len(cfg.Policies), cfg.Parallelism, func(pi int) (*Frame, error) {
+			polName := cfg.Policies[pi]
 			pol, err := policy.New(polName, cfg.LLC, policy.Options{
 				Seed:   cfg.Seed,
 				Oracle: oracle,
@@ -71,7 +87,17 @@ func Build(cfg BuildConfig) (*Store, error) {
 				return nil, fmt.Errorf("db: building %s/%s: %w", w.Name(), polName, err)
 			}
 			res := replay.Run(accs, cfg.LLC, pol, replay.Options{SnapshotEvery: cfg.SnapshotEvery})
-			store.Put(frameFromReplay(w, polName, res))
+			return frameFromReplay(w, polName, res), nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	store := NewStore()
+	for _, group := range frameGroups {
+		for _, f := range group {
+			store.Put(f)
 		}
 	}
 	return store, nil

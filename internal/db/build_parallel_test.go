@@ -1,0 +1,113 @@
+package db
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"cachemind/internal/sim"
+)
+
+// parallelTestConfig is a small-but-real build: every workload, every
+// default policy, enough accesses for capacity pressure.
+func parallelTestConfig(par int) BuildConfig {
+	return BuildConfig{
+		AccessesPerTrace: 8000,
+		Seed:             42,
+		LLC:              sim.Config{Name: "LLC", Sets: 64, Ways: 8, Latency: 26, MSHRs: 64},
+		Parallelism:      par,
+	}
+}
+
+// TestBuildParallelDeterminism is the tentpole's hard requirement: a
+// Parallelism=8 build must produce a store byte-identical to the
+// Parallelism=1 (serial) build — same keys, same summaries, same
+// records, same serialized form.
+func TestBuildParallelDeterminism(t *testing.T) {
+	serial, err := Build(parallelTestConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Build(parallelTestConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sk, pk := serial.Keys(), par.Keys()
+	if !reflect.DeepEqual(sk, pk) {
+		t.Fatalf("key sets differ:\nserial %v\nparallel %v", sk, pk)
+	}
+	for _, key := range sk {
+		sf, _ := serial.FrameByKey(key)
+		pf, _ := par.FrameByKey(key)
+		if sf.Summary != pf.Summary {
+			t.Errorf("%s: summaries differ\nserial %+v\nparallel %+v", key, sf.Summary, pf.Summary)
+		}
+		if sf.Metadata != pf.Metadata {
+			t.Errorf("%s: metadata differs\nserial %q\nparallel %q", key, sf.Metadata, pf.Metadata)
+		}
+		if sf.Description != pf.Description {
+			t.Errorf("%s: descriptions differ", key)
+		}
+		if sf.Len() != pf.Len() {
+			t.Fatalf("%s: %d vs %d records", key, sf.Len(), pf.Len())
+		}
+		for i := 0; i < sf.Len(); i++ {
+			if !reflect.DeepEqual(sf.Record(i), pf.Record(i)) {
+				t.Fatalf("%s: record %d differs\nserial %+v\nparallel %+v",
+					key, i, sf.Record(i), pf.Record(i))
+			}
+		}
+	}
+
+	// The serialized stores must be byte-identical, so persisted
+	// artifacts never depend on the build's parallelism.
+	var sb, pb bytes.Buffer
+	if err := serial.Save(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Save(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+		t.Fatalf("serialized stores differ: %d vs %d bytes", sb.Len(), pb.Len())
+	}
+}
+
+// TestBuildParallelismVariants checks the knob's edge settings (default
+// NumCPU via 0, odd worker counts, more workers than jobs) all agree.
+func TestBuildParallelismVariants(t *testing.T) {
+	base, err := Build(parallelTestConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := base.Save(&want); err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{0, 3, 64} {
+		s, err := Build(parallelTestConfig(par))
+		if err != nil {
+			t.Fatalf("Parallelism=%d: %v", par, err)
+		}
+		var got bytes.Buffer
+		if err := s.Save(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Errorf("Parallelism=%d: store differs from serial build", par)
+		}
+	}
+}
+
+// TestBuildParallelError ensures error propagation survives the fan-out:
+// an unknown policy must fail the build deterministically.
+func TestBuildParallelError(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		cfg := parallelTestConfig(par)
+		cfg.Policies = []string{"lru", "no-such-policy"}
+		if _, err := Build(cfg); err == nil {
+			t.Errorf("Parallelism=%d: expected error for unknown policy", par)
+		}
+	}
+}

@@ -26,6 +26,15 @@ type Lab struct {
 	Seed int64
 	// LLC is the geometry used for the database traces.
 	LLC sim.Config
+	// Parallelism is the worker bound the figure harnesses and the
+	// pipelines built from this lab inherit, applied per fan-out level
+	// (a figure fanning out across backends whose evaluations fan out
+	// across questions can run up to bound^2 goroutines; actual CPU use
+	// stays capped by GOMAXPROCS). <= 0 selects runtime.NumCPU(); 1
+	// reproduces serial runs. Every experiment's *output* is identical
+	// at any setting; wall-clock columns (Figure 9's retrieval latency)
+	// are measured under whatever contention the setting creates.
+	Parallelism int
 }
 
 // LabConfig parameterizes lab construction.
@@ -38,6 +47,10 @@ type LabConfig struct {
 	// at moderate trace lengths; pass the Table 2 LLC explicitly for
 	// full-scale runs.
 	LLC sim.Config
+	// Parallelism bounds concurrency for the database build and for
+	// every experiment run from the lab (<= 0: runtime.NumCPU(), 1:
+	// serial).
+	Parallelism int
 }
 
 // NewLab builds the database and benchmark suite.
@@ -55,6 +68,7 @@ func NewLab(cfg LabConfig) (*Lab, error) {
 		AccessesPerTrace: cfg.AccessesPerTrace,
 		Seed:             cfg.Seed,
 		LLC:              cfg.LLC,
+		Parallelism:      cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -63,7 +77,10 @@ func NewLab(cfg LabConfig) (*Lab, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Lab{Store: store, Suite: suite, Seed: cfg.Seed, LLC: cfg.LLC}, nil
+	return &Lab{
+		Store: store, Suite: suite, Seed: cfg.Seed, LLC: cfg.LLC,
+		Parallelism: cfg.Parallelism,
+	}, nil
 }
 
 // MustNewLab panics on error.
@@ -84,6 +101,7 @@ func (l *Lab) DefaultPipeline(p *llm.Profile) bench.Pipeline {
 		TGRetriever:  retriever.NewRanger(l.Store),
 		ARARetriever: retriever.NewSieve(l.Store),
 		Profile:      p,
+		Parallelism:  l.Parallelism,
 	}
 }
 

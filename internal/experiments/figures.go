@@ -8,6 +8,7 @@ import (
 	"cachemind/internal/bench"
 	"cachemind/internal/generator"
 	"cachemind/internal/llm"
+	"cachemind/internal/parallel"
 	"cachemind/internal/queryir"
 	"cachemind/internal/retriever"
 )
@@ -18,13 +19,14 @@ type Figure4Result struct {
 }
 
 // Figure4 evaluates CacheMindBench under every catalogued backend with
-// the default retrieval configuration.
+// the default retrieval configuration. Backends run concurrently (each
+// on its own retriever pair) and reports land in catalogue order.
 func Figure4(lab *Lab) *Figure4Result {
-	res := &Figure4Result{}
-	for _, p := range llm.Catalogue() {
-		res.Reports = append(res.Reports, bench.Evaluate(lab.Suite, lab.DefaultPipeline(p)))
-	}
-	return res
+	profiles := llm.Catalogue()
+	reports, _ := parallel.Map(len(profiles), lab.Parallelism, func(i int) (*bench.Report, error) {
+		return bench.Evaluate(lab.Suite, lab.DefaultPipeline(profiles[i])), nil
+	})
+	return &Figure4Result{Reports: reports}
 }
 
 // String renders the category x backend accuracy matrix.
@@ -67,17 +69,24 @@ type Figure5Result struct {
 // quality gating is mechanistic: a backend only sees what was
 // retrieved.
 func Figure5(lab *Lab) *Figure5Result {
+	// The retrievers are stateless over the store, so one set is shared
+	// read-only by every backend's concurrent sweep (the embedding index
+	// in particular is built once, not per backend).
 	retrievers := []retriever.Retriever{
 		retriever.NewEmbeddingRetriever(lab.Store, 40),
 		retriever.NewSieve(lab.Store),
 		retriever.NewRanger(lab.Store),
 	}
-	res := &Figure5Result{Acc: map[string][3]float64{}, N: map[string][3]int{}}
-	for _, p := range llm.Catalogue() {
-		res.Models = append(res.Models, p.ID)
+	type bucketed struct {
+		acc [3]float64
+		n   [3]int
+	}
+	profiles := llm.Catalogue()
+	outs, _ := parallel.Map(len(profiles), lab.Parallelism, func(pi int) (bucketed, error) {
+		p := profiles[pi]
 		gen := generator.New(p)
 		var pts [3]float64
-		var n [3]int
+		var out bucketed
 		for _, q := range lab.Suite.Questions {
 			for _, r := range retrievers {
 				ctx := r.Retrieve(q.Text)
@@ -91,17 +100,21 @@ func Figure5(lab *Lab) *Figure5Result {
 					ans := gen.AnalysisAnswer(q.ID+"/"+r.Name(), q.Category.String(), q.Text, ctx)
 					pts[qi] += float64(bench.RubricScore(ans.Text)) / 5
 				}
-				n[qi]++
+				out.n[qi]++
 			}
 		}
-		var acc [3]float64
-		for i := range acc {
-			if n[i] > 0 {
-				acc[i] = 100 * pts[i] / float64(n[i])
+		for i := range out.acc {
+			if out.n[i] > 0 {
+				out.acc[i] = 100 * pts[i] / float64(out.n[i])
 			}
 		}
-		res.Acc[p.ID] = acc
-		res.N[p.ID] = n
+		return out, nil
+	})
+	res := &Figure5Result{Acc: map[string][3]float64{}, N: map[string][3]int{}}
+	for i, p := range profiles {
+		res.Models = append(res.Models, p.ID)
+		res.Acc[p.ID] = outs[i].acc
+		res.N[p.ID] = outs[i].n
 	}
 	return res
 }
@@ -163,18 +176,17 @@ type Figure8Result struct {
 	Ranger *bench.Report
 }
 
-// Figure8 runs the TG tier under both retrievers.
+// Figure8 runs the TG tier under both retrievers, concurrently.
 func Figure8(lab *Lab) *Figure8Result {
 	oracle := OracleProfile()
-	mk := func(r retriever.Retriever) *bench.Report {
+	rs := []retriever.Retriever{retriever.NewSieve(lab.Store), retriever.NewRanger(lab.Store)}
+	reports, _ := parallel.Map(len(rs), lab.Parallelism, func(i int) (*bench.Report, error) {
 		return bench.Evaluate(lab.Suite, bench.Pipeline{
-			TGRetriever: r, ARARetriever: r, Profile: oracle,
-		})
-	}
-	return &Figure8Result{
-		Sieve:  mk(retriever.NewSieve(lab.Store)),
-		Ranger: mk(retriever.NewRanger(lab.Store)),
-	}
+			TGRetriever: rs[i], ARARetriever: rs[i], Profile: oracle,
+			Parallelism: lab.Parallelism,
+		}), nil
+	})
+	return &Figure8Result{Sieve: reports[0], Ranger: reports[1]}
 }
 
 // TGCategories returns the trace-grounded categories in Table 1 order.
@@ -230,7 +242,12 @@ type Figure9Result struct {
 }
 
 // Figure9 builds ten probes spanning five trace-grounded categories and
-// checks each retriever's context for the ground truth.
+// checks each retriever's context for the ground truth. Unlike the
+// accuracy harnesses (Figures 4/5/8), this sweep is deliberately kept
+// serial at every Parallelism: the figure's point is the per-retrieval
+// latency column, and wall-clock samples taken while the other
+// retrievers compete for the CPU would measure contention, not
+// retrieval cost.
 func Figure9(lab *Lab) *Figure9Result {
 	probes := buildProbes(lab)
 	rs := []retriever.Retriever{

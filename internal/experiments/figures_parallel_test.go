@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"testing"
+
+	"cachemind/internal/bench"
+	"cachemind/internal/testfix"
+)
+
+// labAt clones the shared test lab at a specific parallelism so the
+// same store and suite back both sides of each comparison.
+func labAt(t *testing.T, par int) *Lab {
+	t.Helper()
+	base := testLab(t)
+	return &Lab{
+		Store: base.Store, Suite: base.Suite, Seed: base.Seed,
+		LLC: base.LLC, Parallelism: par,
+	}
+}
+
+// TestFiguresParallelDeterminism asserts that every parallelized figure
+// harness renders byte-identically when fanned out across backends and
+// retrievers versus the fully serial run. Figure 9's latency column is
+// wall-clock and excluded; its accuracy column is compared instead.
+func TestFiguresParallelDeterminism(t *testing.T) {
+	serial, par := labAt(t, 1), labAt(t, 8)
+
+	if s, p := Figure4(serial).String(), Figure4(par).String(); s != p {
+		t.Errorf("Figure4 differs\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+	if s, p := Figure5(serial).String(), Figure5(par).String(); s != p {
+		t.Errorf("Figure5 differs\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+	if s, p := Figure7(Figure4(serial)).String(), Figure7(Figure4(par)).String(); s != p {
+		t.Errorf("Figure7 differs\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+	if s, p := Figure8(serial).String(), Figure8(par).String(); s != p {
+		t.Errorf("Figure8 differs\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+
+	f9s, f9p := Figure9(serial), Figure9(par)
+	if len(f9s.Retrievers) != len(f9p.Retrievers) {
+		t.Fatalf("Figure9 retriever counts differ: %d vs %d", len(f9s.Retrievers), len(f9p.Retrievers))
+	}
+	for i, name := range f9s.Retrievers {
+		if f9p.Retrievers[i] != name {
+			t.Errorf("Figure9 retriever order differs at %d: %s vs %s", i, name, f9p.Retrievers[i])
+		}
+		if f9s.Correct[name] != f9p.Correct[name] {
+			t.Errorf("Figure9 %s: correct %d vs %d", name, f9s.Correct[name], f9p.Correct[name])
+		}
+		for j := range f9s.Outcomes[name] {
+			so, po := f9s.Outcomes[name][j], f9p.Outcomes[name][j]
+			if so.Probe != po.Probe || so.Correct != po.Correct {
+				t.Errorf("Figure9 %s probe %d differs: %+v vs %+v", name, j, so, po)
+			}
+		}
+	}
+}
+
+// TestDefaultPipelineInheritsParallelism pins the knob plumbing: the
+// lab's parallelism must reach the pipelines the figures evaluate with.
+func TestDefaultPipelineInheritsParallelism(t *testing.T) {
+	l := labAt(t, 7)
+	p := l.DefaultPipeline(OracleProfile())
+	if p.Parallelism != 7 {
+		t.Errorf("pipeline parallelism = %d, want 7", p.Parallelism)
+	}
+	rep := bench.Evaluate(l.Suite, p)
+	if len(rep.Results) != len(l.Suite.Questions) {
+		t.Errorf("results = %d, want %d", len(rep.Results), len(l.Suite.Questions))
+	}
+}
+
+// TestNewLabParallelismPlumbing checks NewLab threads the knob into the
+// built lab (and thus the database build it performed).
+func TestNewLabParallelismPlumbing(t *testing.T) {
+	l := MustNewLab(LabConfig{AccessesPerTrace: 6000, Parallelism: 4, LLC: testfix.LLC()})
+	if l.Parallelism != 4 {
+		t.Errorf("lab parallelism = %d, want 4", l.Parallelism)
+	}
+	if len(l.Store.Keys()) != 12 {
+		t.Errorf("store keys = %d, want 12", len(l.Store.Keys()))
+	}
+}

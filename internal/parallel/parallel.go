@@ -1,0 +1,134 @@
+// Package parallel is the repo's worker-pool substrate: bounded
+// fan-out over an index space with ordered result collection and
+// deterministic error propagation, stdlib-only. The database builder,
+// the benchmark evaluator and the experiment harnesses all thread
+// their Parallelism knobs through this package, so every hot path
+// shares one concurrency discipline: results land in input order and a
+// run at Workers(1) is byte-identical to the serial loop it replaced.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a parallelism knob: values <= 0 select
+// runtime.NumCPU() (the "as fast as the hardware allows" default), 1
+// reproduces serial behaviour, anything else is used as-is.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers
+// goroutines (normalized by Workers). It waits for all scheduled calls
+// to finish before returning. When one or more calls fail, the error
+// of the lowest index is returned, so the reported failure does not
+// depend on goroutine scheduling; indices not yet claimed when a
+// failure lands are skipped (indices are claimed in ascending order,
+// so the lowest failing index always runs and wins). A panicking fn is
+// re-panicked in the caller's goroutine after the pool drains, with
+// the worker's stack in the message.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path: no goroutines, identical to the classic loop.
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64 // next index to claim
+		failed   atomic.Bool  // set on first error/panic: stop claiming
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstIdx = n // lowest failed index seen so far
+		firstErr error
+		panicked string
+	)
+	record := func(i int, err error) {
+		failed.Store(true)
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				err, pv := run(fn, i)
+				if pv != "" {
+					failed.Store(true)
+					mu.Lock()
+					if panicked == "" {
+						panicked = pv
+					}
+					mu.Unlock()
+					return
+				}
+				if err != nil {
+					record(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != "" {
+		panic("parallel: worker panicked: " + panicked)
+	}
+	return firstErr
+}
+
+// run invokes fn(i), converting a panic into a returned message (with
+// the worker's stack, which would otherwise be lost) so the pool can
+// drain before re-panicking.
+func run(fn func(int) error, i int) (err error, panicked string) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = fmt.Sprintf("%v\n\nworker stack:\n%s", r, debug.Stack())
+		}
+	}()
+	return fn(i), ""
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines
+// and returns the results in index order, regardless of completion
+// order. On error the first (lowest-index) error is returned with a
+// nil slice.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,192 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Errorf("Workers(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(-3); got != runtime.NumCPU() {
+		t.Errorf("Workers(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	for _, n := range []int{1, 2, 7, 64} {
+		if got := Workers(n); got != n {
+			t.Errorf("Workers(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	const n = 200
+	for _, workers := range []int{1, 2, 8, 33} {
+		got, err := Map(n, workers, func(i int) (int, error) {
+			if i%7 == 0 {
+				time.Sleep(time.Microsecond) // encourage out-of-order completion
+			}
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), n)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	const n = 500
+	var visits [n]atomic.Int32
+	if err := ForEach(n, 16, func(i int) error {
+		visits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range visits {
+		if c := visits[i].Load(); c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 4
+	var cur, max atomic.Int32
+	var mu sync.Mutex
+	err := ForEach(64, workers, func(i int) error {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > max.Load() {
+			max.Store(c)
+		}
+		mu.Unlock()
+		time.Sleep(100 * time.Microsecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := max.Load(); m > workers {
+		t.Errorf("observed %d concurrent calls, want <= %d", m, workers)
+	}
+}
+
+func TestErrorPropagationIsDeterministic(t *testing.T) {
+	errLow := errors.New("low")
+	for _, workers := range []int{1, 2, 8} {
+		var calls atomic.Int32
+		err := ForEach(100, workers, func(i int) error {
+			calls.Add(1)
+			switch i {
+			case 13:
+				return errLow
+			case 71:
+				return fmt.Errorf("high-index failure")
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Errorf("workers=%d: err = %v, want lowest-index error %v", workers, err, errLow)
+		}
+	}
+	if _, err := Map(10, 4, func(i int) (int, error) {
+		return 0, fmt.Errorf("fail %d", i)
+	}); err == nil || err.Error() != "fail 0" {
+		t.Errorf("Map error = %v, want fail 0", err)
+	}
+}
+
+func TestEarlyExitSkipsUnclaimedWork(t *testing.T) {
+	const n = 100000
+	var calls atomic.Int32
+	err := ForEach(n, 4, func(i int) error {
+		calls.Add(1)
+		if i == 0 {
+			return errors.New("immediate failure")
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// Index 0 is the first claim and fails instantly; the pool must
+	// stop claiming soon after rather than draining all 100k indices.
+	if c := calls.Load(); c >= n/10 {
+		t.Errorf("%d of %d indices ran after an immediate failure", c, n)
+	}
+}
+
+func TestZeroAndNegativeN(t *testing.T) {
+	called := false
+	if err := ForEach(0, 8, func(int) error { called = true; return nil }); err != nil || called {
+		t.Errorf("ForEach(0): err=%v called=%v", err, called)
+	}
+	if err := ForEach(-5, 8, func(int) error { called = true; return nil }); err != nil || called {
+		t.Errorf("ForEach(-5): err=%v called=%v", err, called)
+	}
+	out, err := Map(0, 8, func(int) (string, error) { return "x", nil })
+	if err != nil || len(out) != 0 {
+		t.Errorf("Map(0): out=%v err=%v", out, err)
+	}
+}
+
+func TestPanicSurfacesInCaller(t *testing.T) {
+	for _, workers := range []int{2, 8} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("workers=%d: expected panic to propagate", workers)
+					return
+				}
+				if !strings.Contains(fmt.Sprint(r), "boom") {
+					t.Errorf("workers=%d: panic = %v, want to contain boom", workers, r)
+				}
+			}()
+			_ = ForEach(32, workers, func(i int) error {
+				if i == 5 {
+					panic("boom")
+				}
+				return nil
+			})
+		}()
+	}
+}
+
+func TestSerialMatchesParallel(t *testing.T) {
+	work := func(i int) (uint64, error) {
+		h := uint64(i) * 0x9e3779b97f4a7c15
+		h ^= h >> 29
+		return h, nil
+	}
+	serial, err := Map(300, 1, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(300, 8, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("result %d: serial %d != parallel %d", i, serial[i], par[i])
+		}
+	}
+}
