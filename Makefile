@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet ci
+.PHONY: all build test race bench fuzz fmt vet ci
 
 all: build
 
@@ -31,4 +31,11 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: build fmt vet race bench
+# Short coverage-guided fuzz of the semantic parser (the surface
+# cachemindd exposes to untrusted HTTP input). FUZZTIME is overridable
+# for longer local campaigns.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/nlu
+
+ci: build fmt vet race bench fuzz

@@ -1,6 +1,7 @@
 package cachemind_test
 
-// One benchmark per paper table/figure (DESIGN.md E1-E13). Each bench
+// One benchmark per paper table/figure (the E1-E13 experiment index).
+// Each bench
 // regenerates its artifact end to end — database, retrieval, generation
 // and grading where applicable — reports the headline numbers as bench
 // metrics, and logs the rendered table once so `go test -bench` output
@@ -13,6 +14,7 @@ import (
 
 	"cachemind/internal/bench"
 	"cachemind/internal/db"
+	"cachemind/internal/engine"
 	"cachemind/internal/experiments"
 	"cachemind/internal/llm"
 	"cachemind/internal/sim"
@@ -175,8 +177,8 @@ func BenchmarkBeladyVsParrotPerPC(b *testing.B) {
 	b.ReportMetric(float64(wins), "parrot-per-pc-wins")
 }
 
-// Extension benchmarks: the design-choice ablations DESIGN.md calls
-// out beyond the paper's figures.
+// Extension benchmarks: design-choice ablations beyond the paper's
+// figures.
 
 func BenchmarkAblationPolicyTable(b *testing.B) {
 	l := lab(b)
@@ -241,6 +243,51 @@ func BenchmarkEvaluateSuiteParallel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bench.Evaluate(l.Suite, pipe)
+	}
+}
+
+// engineBenchQuestion is a representative trace-grounded ask for the
+// engine benchmarks: it exercises parse, query execution and grounded
+// synthesis.
+const engineBenchQuestion = "What is the miss rate in mcf under lru?"
+
+// BenchmarkEngineAskCold measures the full uncached ask-path
+// (retrieve→classify→generate) by disabling the answer cache.
+func BenchmarkEngineAskCold(b *testing.B) {
+	l := lab(b)
+	e, err := engine.New(engine.Config{Store: l.Store, CacheSize: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Ask("bench", engineBenchQuestion); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineAskCached asks the same question against a primed
+// answer cache; the Cold/Cached ratio is the answer-cache speedup the
+// perf trajectory records.
+func BenchmarkEngineAskCached(b *testing.B) {
+	l := lab(b)
+	e, err := engine.New(engine.Config{Store: l.Store})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Ask("bench", engineBenchQuestion); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Ask("bench", engineBenchQuestion); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := e.Stats(); st.CacheHits == 0 {
+		b.Fatal("cached benchmark never hit the cache")
 	}
 }
 

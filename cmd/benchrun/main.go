@@ -1,6 +1,6 @@
 // Command benchrun regenerates the paper's tables and figures against a
 // freshly built (or loaded) database. Each -exp value maps to one
-// experiment from DESIGN.md's E1-E13 index; "all" runs the full
+// experiment from the E1-E13 experiment index; "all" runs the full
 // evaluation in order.
 //
 // Usage:

@@ -1,7 +1,9 @@
 // Command cachemind is the conversational front-end: a REPL that
 // retrieves trace-grounded evidence for each natural-language question
 // and generates an answer, with conversation memory across turns — the
-// paper's §6.3 chat sessions, runnable locally.
+// paper's §6.3 chat sessions, runnable locally. It is a thin wrapper
+// over internal/engine, the same ask-path cmd/cachemindd serves over
+// HTTP.
 //
 // Usage:
 //
@@ -15,17 +17,12 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
 
-	"cachemind/internal/db"
-	"cachemind/internal/generator"
-	"cachemind/internal/llm"
-	"cachemind/internal/memory"
-	"cachemind/internal/nlu"
-	"cachemind/internal/retriever"
-	"cachemind/internal/sim"
+	"cachemind/internal/engine"
 )
 
 func main() {
@@ -41,36 +38,38 @@ func main() {
 	par := flag.Int("parallel", 0, "worker bound for the in-memory build (0: all CPUs, 1: serial)")
 	flag.Parse()
 
-	store := openStore(*dbPath, *accesses, *seed, *par)
-	profile, ok := llm.ByID(*modelID)
-	if !ok {
-		log.Fatalf("unknown model %q", *modelID)
+	if *dbPath == "" {
+		log.Printf("building in-memory database (%d accesses/trace)...", *accesses)
 	}
-
-	var retr retriever.Retriever
-	switch *retrName {
-	case "ranger":
-		retr = retriever.NewRanger(store)
-	case "sieve":
-		retr = retriever.NewSieve(store)
-	case "llamaindex":
-		retr = retriever.NewEmbeddingRetriever(store, 40)
-	default:
-		log.Fatalf("unknown retriever %q", *retrName)
+	store, err := engine.OpenStore(*dbPath, *accesses, *seed, *par)
+	if err != nil {
+		log.Fatal(err)
 	}
+	eng, err := engine.New(engine.Config{
+		Store:     store,
+		Retriever: *retrName,
+		Model:     *modelID,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	runREPL(eng, *showContext, os.Stdin, os.Stdout)
+}
 
-	gen := generator.New(profile)
-	gen.Memory = memory.New(6)
-
-	fmt.Printf("CacheMind chat — model %s, retriever %s. Workloads: %s. Policies: %s.\n",
-		profile.DisplayName, retr.Name(),
+// runREPL drives one interactive chat session over the engine, reading
+// questions from in until EOF. Factored out of main so the smoke test
+// can pipe stdin through it.
+func runREPL(eng *engine.Engine, showContext bool, in io.Reader, out io.Writer) {
+	store := eng.Store()
+	fmt.Fprintf(out, "CacheMind chat — model %s, retriever %s. Workloads: %s. Policies: %s.\n",
+		eng.Profile().DisplayName, eng.RetrieverName(),
 		strings.Join(store.Workloads(), ", "), strings.Join(store.Policies(), ", "))
-	fmt.Println("Ask trace-grounded questions; Ctrl-D to exit.")
+	fmt.Fprintln(out, "Ask trace-grounded questions; Ctrl-D to exit.")
 
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	for {
-		fmt.Print("> ")
+		fmt.Fprint(out, "> ")
 		if !sc.Scan() {
 			break
 		}
@@ -78,46 +77,16 @@ func main() {
 		if q == "" {
 			continue
 		}
-		ctx := retr.Retrieve(q)
-		if *showContext {
-			fmt.Printf("--- retrieved context (quality %s, %s) ---\n%s\n---\n",
-				ctx.Quality, ctx.Elapsed.Round(1000), ctx.Text)
-		}
-		category := ctx.Parsed.Intent.String()
-		var text string
-		switch ctx.Parsed.Intent {
-		case nlu.IntentConcept, nlu.IntentPolicyAnalysis, nlu.IntentSemanticAnalysis, nlu.IntentCodeGen:
-			text = gen.AnalysisAnswer(q, category, q, ctx).Text
-		default:
-			text = gen.Answer(q, category, q, ctx).Text
-		}
-		fmt.Println(text)
-	}
-	fmt.Println()
-}
-
-func openStore(path string, accesses int, seed int64, par int) *db.Store {
-	if path != "" {
-		f, err := os.Open(path)
+		ans, err := eng.Ask("repl", q)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(out, "error: %v\n", err)
+			continue
 		}
-		defer f.Close()
-		store, err := db.Load(f)
-		if err != nil {
-			log.Fatal(err)
+		if showContext {
+			fmt.Fprintf(out, "--- retrieved context (quality %s, %s) ---\n%s\n---\n",
+				ans.Quality, ans.RetrievalElapsed.Round(1000), ans.Context)
 		}
-		return store
+		fmt.Fprintln(out, ans.Text)
 	}
-	log.Printf("building in-memory database (%d accesses/trace)...", accesses)
-	store, err := db.Build(db.BuildConfig{
-		AccessesPerTrace: accesses,
-		Seed:             seed,
-		LLC:              sim.Config{Name: "LLC", Sets: 256, Ways: 8, Latency: 26, MSHRs: 64},
-		Parallelism:      par,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	return store
+	fmt.Fprintln(out)
 }

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cachemind/internal/db/dbtest"
+	"cachemind/internal/engine"
+)
+
+func newTestEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	eng, err := engine.New(engine.Config{Store: dbtest.Store(t, dbtest.Config{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestREPLSmoke drives the REPL loop through piped stdin, the way
+// `echo "..." | cachemind` runs it, and checks the transcript shape:
+// banner, prompts, and the engine's answer verbatim.
+func TestREPLSmoke(t *testing.T) {
+	eng := newTestEngine(t)
+	q := "List all unique PCs in mcf under LRU."
+	want, err := eng.Ask("ref", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	in := strings.NewReader(q + "\n" + "\n" + "What is the miss rate in mcf under belady?\n")
+	runREPL(eng, false, in, &out)
+	got := out.String()
+
+	if !strings.HasPrefix(got, "CacheMind chat — model CacheMind+GPT-4o, retriever ranger.") {
+		t.Fatalf("banner missing or wrong:\n%s", got)
+	}
+	if !strings.Contains(got, "Workloads: mcf. Policies: belady, lru.") {
+		t.Fatalf("banner store summary wrong:\n%s", got)
+	}
+	if !strings.Contains(got, "Ask trace-grounded questions; Ctrl-D to exit.\n") {
+		t.Fatalf("instructions line missing:\n%s", got)
+	}
+	if !strings.Contains(got, want.Text+"\n") {
+		t.Fatalf("answer text missing from transcript.\ntranscript:\n%s\nwant:\n%s", got, want.Text)
+	}
+	// Three reads (one blank, skipped without output) plus the EOF
+	// prompt: four "> " markers.
+	if n := strings.Count(got, "> "); n != 4 {
+		t.Fatalf("prompt count = %d, want 4:\n%s", n, got)
+	}
+	if !strings.HasSuffix(got, "> \n") {
+		t.Fatalf("missing final newline after the EOF prompt:\n%q", got[len(got)-20:])
+	}
+}
+
+// TestREPLShowContext checks the -show-context frame around answers.
+func TestREPLShowContext(t *testing.T) {
+	eng := newTestEngine(t)
+	var out bytes.Buffer
+	runREPL(eng, true, strings.NewReader("What is the miss rate in mcf under lru?\n"), &out)
+	got := out.String()
+	if !strings.Contains(got, "--- retrieved context (quality ") {
+		t.Fatalf("context header missing:\n%s", got)
+	}
+	if !strings.Contains(got, "\n---\n") {
+		t.Fatalf("context footer missing:\n%s", got)
+	}
+}
+
+// TestREPLSharedEnginePath asserts the REPL records its turns in the
+// engine's "repl" session — the CLI and daemon share one ask-path.
+func TestREPLSharedEnginePath(t *testing.T) {
+	eng := newTestEngine(t)
+	var out bytes.Buffer
+	q := "Which policy has the lowest miss rate in mcf?"
+	runREPL(eng, false, strings.NewReader(q+"\n"), &out)
+	turns, ok := eng.SessionTurns("repl")
+	if !ok || len(turns) != 1 || turns[0].Question != q {
+		t.Fatalf("repl session log = %+v, ok=%v", turns, ok)
+	}
+}

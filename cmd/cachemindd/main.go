@@ -1,0 +1,108 @@
+// Command cachemindd serves the CacheMind ask-path over HTTP: the same
+// retrieve→classify→generate pipeline as the cmd/cachemind REPL
+// (both run on internal/engine), with per-session conversation memory,
+// a bounded answer cache, concurrent request handling under a worker
+// bound, and graceful shutdown.
+//
+// Endpoints:
+//
+//	POST /v1/ask              {"session":"s1","question":"..."} → answer JSON
+//	GET  /v1/sessions/{id}    conversation log of one session
+//	GET  /healthz             liveness ("ok" once the store is built)
+//	GET  /metrics             plain-text counters
+//
+// Usage:
+//
+//	cachemindd                         # build a default database, listen on :8080
+//	cachemindd -db cachemind.db -addr 127.0.0.1:9000
+//	cachemindd -retriever sieve -model gpt-4o-mini -workers 4
+//
+//	curl -s localhost:8080/v1/ask -d '{"session":"s1","question":"List all unique PCs in mcf under LRU."}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cachemind/internal/engine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cachemindd: ")
+
+	dbPath := flag.String("db", "", "store written by tracegen (empty: build in-memory)")
+	accesses := flag.Int("accesses", 60000, "accesses per trace when building in-memory")
+	seed := flag.Int64("seed", 42, "seed for the in-memory build")
+	retrName := flag.String("retriever", "ranger", "retriever: ranger, sieve, or llamaindex")
+	modelID := flag.String("model", "gpt-4o", "generator backend profile")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent asks (0: all CPUs)")
+	cacheSize := flag.Int("cache", 0, "answer-cache entries (0: default 256, negative: disable)")
+	memTurns := flag.Int("memory", 0, "verbatim conversation turns kept per session (0: default 6)")
+	maxSessions := flag.Int("max-sessions", 0, "live sessions retained, LRU-evicted beyond (0: default 1024, negative: unlimited)")
+	maxTurns := flag.Int("max-turns", 0, "turns retained per session (0: default 256, negative: unlimited)")
+	par := flag.Int("parallel", 0, "worker bound for the in-memory build (0: all CPUs, 1: serial)")
+	flag.Parse()
+
+	if *dbPath == "" {
+		log.Printf("building in-memory database (%d accesses/trace)...", *accesses)
+	}
+	store, err := engine.OpenStore(*dbPath, *accesses, *seed, *par)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := engine.New(engine.Config{
+		Store:           store,
+		Retriever:       *retrName,
+		Model:           *modelID,
+		MemoryTurns:     *memTurns,
+		CacheSize:       *cacheSize,
+		MaxSessions:     *maxSessions,
+		MaxSessionTurns: *maxTurns,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newServer(eng, *workers).handler(),
+		// Slow-client guards: asks complete in milliseconds, so
+		// connections idling through these windows are not serving
+		// traffic.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s (model %s, retriever %s)", *addr, eng.Profile().DisplayName, eng.RetrieverName())
+		done <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	// Restore default signal handling so a second SIGINT during the
+	// drain kills the daemon immediately.
+	stop()
+	log.Printf("shutting down...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatal(err)
+	}
+}

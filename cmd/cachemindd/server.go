@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"cachemind/internal/engine"
+)
+
+// server wires the engine to the HTTP API. Handler state is only the
+// engine (already concurrency-safe), a worker-bound semaphore, and
+// monotonic counters, so one server serves all connections.
+type server struct {
+	eng *engine.Engine
+	// sem bounds how many asks run concurrently; extra requests queue
+	// on the channel (the daemon's -workers knob).
+	sem chan struct{}
+
+	started      time.Time
+	httpRequests atomic.Uint64
+	httpErrors   atomic.Uint64
+}
+
+// newServer builds a server over the engine with at most workers
+// concurrent asks (<= 0 selects runtime.NumCPU()).
+func newServer(eng *engine.Engine, workers int) *server {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &server{
+		eng:     eng,
+		sem:     make(chan struct{}, workers),
+		started: time.Now(),
+	}
+}
+
+// handler returns the daemon's route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ask", s.count(s.handleAsk))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.count(s.handleSession))
+	mux.HandleFunc("GET /healthz", s.count(s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.count(s.handleMetrics))
+	return mux
+}
+
+// count wraps a handler with the request counter.
+func (s *server) count(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.httpRequests.Add(1)
+		h(w, r)
+	}
+}
+
+// askRequest is the POST /v1/ask body.
+type askRequest struct {
+	// Session names the conversation; it is created on first use.
+	// Empty selects the shared anonymous session.
+	Session  string `json:"session"`
+	Question string `json:"question"`
+}
+
+// askResponse is the POST /v1/ask reply.
+type askResponse struct {
+	Session     string  `json:"session"`
+	Question    string  `json:"question"`
+	Answer      string  `json:"answer"`
+	Verdict     string  `json:"verdict"`
+	Category    string  `json:"category"`
+	Quality     string  `json:"quality"`
+	Grounded    bool    `json:"grounded"`
+	Cached      bool    `json:"cached"`
+	RetrievalMS float64 `json:"retrieval_ms"`
+}
+
+// maxAskBodyBytes bounds the request body, and maxQuestionBytes the
+// question itself — accepted questions are retained (answer cache,
+// session logs, conversation memory), so byte caps keep the
+// session/cache count bounds meaningful as memory ceilings.
+const (
+	maxAskBodyBytes  = 1 << 20 // 1 MiB
+	maxQuestionBytes = 8 << 10 // 8 KiB
+)
+
+func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	var req askRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxAskBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("malformed request body: %v", err))
+		return
+	}
+	if strings.TrimSpace(req.Question) == "" {
+		s.fail(w, http.StatusBadRequest, "question must not be empty")
+		return
+	}
+	if len(req.Question) > maxQuestionBytes {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("question exceeds %d bytes", maxQuestionBytes))
+		return
+	}
+
+	// Acquire a worker slot (or give up when the client hangs up while
+	// queued).
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-r.Context().Done():
+		s.fail(w, http.StatusServiceUnavailable, "request canceled while queued")
+		return
+	}
+
+	ans, err := s.eng.Ask(req.Session, req.Question)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, askResponse{
+		Session:     req.Session,
+		Question:    strings.TrimSpace(req.Question),
+		Answer:      ans.Text,
+		Verdict:     ans.Verdict,
+		Category:    ans.Category,
+		Quality:     ans.Quality,
+		Grounded:    ans.Grounded,
+		Cached:      ans.Cached,
+		RetrievalMS: float64(ans.RetrievalElapsed.Microseconds()) / 1000,
+	})
+}
+
+// sessionResponse is the GET /v1/sessions/{id} reply.
+type sessionResponse struct {
+	Session string        `json:"session"`
+	Turns   []engine.Turn `json:"turns"`
+	// Memory is the session's conversation-memory view: summaries of
+	// turns past the verbatim buffer, then recent turns (pass ?q= for
+	// similarity recalls against an upcoming question).
+	Memory string `json:"memory"`
+}
+
+func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	turns, mem, ok := s.eng.SessionView(id, r.URL.Query().Get("q"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Sprintf("unknown session %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionResponse{Session: id, Turns: turns, Memory: mem})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// The daemon only starts listening after the store is built, so
+	// reachable means ready.
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "cachemind_questions_total %d\n", st.Questions)
+	fmt.Fprintf(w, "cachemind_answer_cache_hits_total %d\n", st.CacheHits)
+	fmt.Fprintf(w, "cachemind_answer_cache_misses_total %d\n", st.CacheMisses)
+	fmt.Fprintf(w, "cachemind_answer_cache_entries %d\n", st.CacheEntries)
+	fmt.Fprintf(w, "cachemind_sessions_active %d\n", st.Sessions)
+	fmt.Fprintf(w, "cachemind_sessions_evicted_total %d\n", st.SessionsEvicted)
+	fmt.Fprintf(w, "cachemind_http_requests_total %d\n", s.httpRequests.Load())
+	fmt.Fprintf(w, "cachemind_http_errors_total %d\n", s.httpErrors.Load())
+	fmt.Fprintf(w, "cachemind_workers %d\n", cap(s.sem))
+	fmt.Fprintf(w, "cachemind_uptime_seconds %d\n", int(time.Since(s.started).Seconds()))
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *server) fail(w http.ResponseWriter, status int, msg string) {
+	s.httpErrors.Add(1)
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

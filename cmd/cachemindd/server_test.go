@@ -1,0 +1,241 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"cachemind/internal/db"
+	"cachemind/internal/db/dbtest"
+	"cachemind/internal/engine"
+)
+
+func testStore(t testing.TB) *db.Store {
+	return dbtest.Store(t, dbtest.Config{})
+}
+
+// newTestServer boots the full HTTP stack over a fresh engine.
+func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	eng, err := engine.New(engine.Config{Store: testStore(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(eng, 4).handler())
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+func postAsk(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/ask", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+const askQuestion = "List all unique PCs in mcf under LRU."
+
+func TestAskValidAndCached(t *testing.T) {
+	ts, eng := newTestServer(t)
+	body := fmt.Sprintf(`{"session":"s1","question":%q}`, askQuestion)
+
+	resp, data := postAsk(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, data)
+	}
+	var first askResponse
+	if err := json.Unmarshal(data, &first); err != nil {
+		t.Fatalf("bad JSON %s: %v", data, err)
+	}
+	if first.Answer == "" || first.Cached || first.Session != "s1" || first.Category == "" {
+		t.Fatalf("unexpected first response: %+v", first)
+	}
+
+	resp, data = postAsk(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status = %d", resp.StatusCode)
+	}
+	var second askResponse
+	if err := json.Unmarshal(data, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatalf("repeated question not served from cache: %+v", second)
+	}
+	if second.Answer != first.Answer || second.Verdict != first.Verdict {
+		t.Fatalf("cached answer diverges: %q vs %q", second.Answer, first.Answer)
+	}
+	// The cache counters prove the retriever was skipped on the repeat.
+	if st := eng.Stats(); st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("cache counters = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestAskRejectsBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for name, body := range map[string]string{
+		"malformed JSON":     `{"session":"s1","question":`,
+		"empty question":     `{"session":"s1","question":"  "}`,
+		"unknown field":      `{"session":"s1","question":"x","model":"gpt-4o"}`,
+		"oversized question": fmt.Sprintf(`{"session":"s1","question":%q}`, strings.Repeat("a", maxQuestionBytes+1)),
+		"oversized body":     fmt.Sprintf(`{"session":"s1","question":%q}`, strings.Repeat("a", maxAskBodyBytes)),
+	} {
+		resp, data := postAsk(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (body %s)", name, resp.StatusCode, data)
+			continue
+		}
+		var e errorResponse
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error envelope missing: %s", name, data)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/ask")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/ask status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSessionEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	resp, err := http.Get(ts.URL + "/v1/sessions/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session status = %d, want 404", resp.StatusCode)
+	}
+
+	postAsk(t, ts, fmt.Sprintf(`{"session":"alice","question":%q}`, askQuestion))
+	postAsk(t, ts, `{"session":"bob","question":"What is the miss rate in mcf under belady?"}`)
+
+	resp, err = http.Get(ts.URL + "/v1/sessions/alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session status = %d", resp.StatusCode)
+	}
+	var sess sessionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Session != "alice" || len(sess.Turns) != 1 || sess.Turns[0].Question != askQuestion {
+		t.Fatalf("alice's log wrong (leak across sessions?): %+v", sess)
+	}
+	if !strings.Contains(sess.Memory, askQuestion) {
+		t.Fatalf("conversation-memory view missing the asked question: %q", sess.Memory)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(data)) != "ok" {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, data)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	ts, _ := newTestServer(t)
+	postAsk(t, ts, fmt.Sprintf(`{"session":"m","question":%q}`, askQuestion))
+	postAsk(t, ts, fmt.Sprintf(`{"session":"m","question":%q}`, askQuestion))
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"cachemind_questions_total 2",
+		"cachemind_answer_cache_hits_total 1",
+		"cachemind_answer_cache_misses_total 1",
+		"cachemind_sessions_active 1",
+		"cachemind_http_requests_total",
+		"cachemind_workers 4",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics missing %q:\n%s", want, data)
+		}
+	}
+}
+
+// TestConcurrentAsks serves parallel POSTs (run under -race in CI) and
+// checks every response agrees with the serial answer.
+func TestConcurrentAsks(t *testing.T) {
+	ts, eng := newTestServer(t)
+	ref, err := engine.New(engine.Config{Store: testStore(t), CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Ask("ref", askQuestion)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"session":"client-%d","question":%q}`, c, askQuestion)
+			resp, err := http.Post(ts.URL+"/v1/ask", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var ar askResponse
+			if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("client %d: status %d", c, resp.StatusCode)
+				return
+			}
+			if ar.Answer != want.Text {
+				errs <- fmt.Errorf("client %d: answer diverges from serial reference", c)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Sessions != clients || st.CacheHits+st.CacheMisses != clients {
+		t.Fatalf("stats after concurrent asks = %+v", st)
+	}
+}

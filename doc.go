@@ -13,8 +13,8 @@
 // deterministic behavioural profiles for the five generator backends,
 // the 100-question CacheMindBench suite, and a harness regenerating
 // every table and figure in the paper's evaluation. See README.md for a
-// tour, DESIGN.md for the system inventory and substitution notes, and
-// EXPERIMENTS.md for paper-vs-measured results.
+// package tour, the substitution notes, the concurrency contracts, and
+// the serving daemon's API.
 //
 // The top-level benchmarks (bench_test.go) regenerate each experiment:
 //

@@ -1,0 +1,77 @@
+// Package dbtest builds small trace stores for tests, cached per
+// configuration so every test package hammering the ask-path shares one
+// build instead of copy-pasting its own sync.Once scaffolding.
+package dbtest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cachemind/internal/db"
+	"cachemind/internal/sim"
+	"cachemind/internal/workload"
+)
+
+// Config selects the store shape. The zero value is the smallest useful
+// database: mcf under lru and belady, 3000 accesses, a 64x4 LLC.
+type Config struct {
+	// Workloads by name (default: mcf).
+	Workloads []string
+	// Policies by name (default: lru, belady).
+	Policies []string
+	// Accesses per trace (default: 3000).
+	Accesses int
+	// Seed (default: 42).
+	Seed int64
+}
+
+var (
+	mu     sync.Mutex
+	stores = map[string]*db.Store{}
+)
+
+// Store builds (or returns the cached) store for the configuration.
+// Identical configurations share one build across the test binary.
+func Store(tb testing.TB, cfg Config) *db.Store {
+	tb.Helper()
+	if len(cfg.Workloads) == 0 {
+		cfg.Workloads = []string{"mcf"}
+	}
+	if len(cfg.Policies) == 0 {
+		cfg.Policies = []string{"lru", "belady"}
+	}
+	if cfg.Accesses == 0 {
+		cfg.Accesses = 3000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	key := fmt.Sprintf("%v|%v|%d|%d", cfg.Workloads, cfg.Policies, cfg.Accesses, cfg.Seed)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if s, ok := stores[key]; ok {
+		return s
+	}
+	ws := make([]*workload.Workload, len(cfg.Workloads))
+	for i, name := range cfg.Workloads {
+		w, ok := workload.ByName(name)
+		if !ok {
+			tb.Fatalf("dbtest: unknown workload %q", name)
+		}
+		ws[i] = w
+	}
+	s, err := db.Build(db.BuildConfig{
+		Workloads:        ws,
+		Policies:         cfg.Policies,
+		AccessesPerTrace: cfg.Accesses,
+		Seed:             cfg.Seed,
+		LLC:              sim.Config{Name: "LLC", Sets: 64, Ways: 4, Latency: 26, MSHRs: 64},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	stores[key] = s
+	return s
+}

@@ -8,6 +8,12 @@ import (
 
 // Store is the external database: frames keyed
 // "<workload>_evictions_<policy>" (the paper's loaded_data dictionary).
+//
+// Concurrency contract: a Store is immutable once built — Build/Load
+// finish all Puts before returning, and Frames carry no lazily
+// materialized state — so concurrent reads (everything except Put) are
+// safe without locking. Do not Put concurrently with readers; the
+// retrievers and internal/engine depend on the read-only guarantee.
 type Store struct {
 	frames map[string]*Frame
 }

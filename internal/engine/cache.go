@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// answerCache is a bounded LRU over finished answers. Keys are the full
+// (retriever, model, question) triple rendered by cacheKey, so an engine
+// swap of retriever or backend can never serve a stale entry even if a
+// cache were shared. All methods are safe for concurrent use.
+type answerCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	key string
+	ans Answer
+}
+
+// newAnswerCache creates a cache bounded to capacity entries
+// (minimum 1).
+func newAnswerCache(capacity int) *answerCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &answerCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: map[string]*list.Element{},
+	}
+}
+
+// get returns the cached answer for key and bumps it to most recently
+// used; every call counts as a hit or a miss.
+func (c *answerCache) get(key string) (Answer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return Answer{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).ans, true
+}
+
+// put stores the answer under key, evicting the least recently used
+// entry when over capacity.
+func (c *answerCache) put(key string, ans Answer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).ans = ans
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, ans: ans})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// counters returns (hits, misses, live entries).
+func (c *answerCache) counters() (hits, misses uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

@@ -1,0 +1,53 @@
+package engine
+
+import "testing"
+
+func TestAnswerCacheLRU(t *testing.T) {
+	c := newAnswerCache(2)
+	c.put("a", Answer{Text: "A"})
+	c.put("b", Answer{Text: "B"})
+
+	if ans, ok := c.get("a"); !ok || ans.Text != "A" {
+		t.Fatalf("get a = %+v, %v", ans, ok)
+	}
+	// "b" is now least recently used; inserting "c" evicts it.
+	c.put("c", Answer{Text: "C"})
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction at capacity 2")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a (recently used) was evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing after insert")
+	}
+
+	hits, misses, entries := c.counters()
+	if hits != 3 || misses != 1 || entries != 2 {
+		t.Fatalf("counters = %d hits / %d misses / %d entries, want 3/1/2", hits, misses, entries)
+	}
+}
+
+func TestAnswerCacheUpdateExisting(t *testing.T) {
+	c := newAnswerCache(2)
+	c.put("a", Answer{Text: "old"})
+	c.put("a", Answer{Text: "new"})
+	if ans, ok := c.get("a"); !ok || ans.Text != "new" {
+		t.Fatalf("get a = %+v, %v; want updated entry", ans, ok)
+	}
+	if _, _, entries := c.counters(); entries != 1 {
+		t.Fatalf("entries = %d, want 1 (no duplicate on update)", entries)
+	}
+}
+
+func TestAnswerCacheMinimumCapacity(t *testing.T) {
+	c := newAnswerCache(0) // clamps to 1
+	c.put("a", Answer{Text: "A"})
+	c.put("b", Answer{Text: "B"})
+	if _, _, entries := c.counters(); entries != 1 {
+		t.Fatalf("entries = %d, want 1", entries)
+	}
+	if _, ok := c.get("b"); !ok {
+		t.Fatal("latest entry missing at capacity 1")
+	}
+}

@@ -1,0 +1,472 @@
+// Package engine is CacheMind's reusable ask-path: the
+// retrieve→classify→generate pipeline the §6.3 chat loop runs, extracted
+// from the REPL into an Engine that is safe for concurrent callers. The
+// CLI (cmd/cachemind) and the HTTP daemon (cmd/cachemindd) are both thin
+// front-ends over Engine.Ask, so they share one code path — and every
+// later scaling layer (sharded stores, batched retrieval, multi-backend
+// fan-out) plugs in underneath this API.
+//
+// Concurrency contracts (enforced here, documented at the providers):
+//
+//   - db.Store and its Frames are immutable once built, so concurrent
+//     reads — which is all retrieval does — are safe.
+//   - retriever.Retrieve is read-only over the store and carries no
+//     mutable retriever state; one retriever instance serves all
+//     goroutines.
+//   - generator.Generator is only concurrency-safe with a nil Memory and
+//     fixed Shots; the engine keeps one memory-less generator shared by
+//     all sessions, which also makes every answer a pure function of
+//     (retriever, model, question).
+//   - memory.Conversation is not thread-safe; the engine owns one per
+//     session behind a per-session mutex.
+//
+// The purity of the generate step is what makes the answer cache sound:
+// a cached answer is byte-identical to the one a fresh retrieval would
+// produce.
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cachemind/internal/db"
+	"cachemind/internal/generator"
+	"cachemind/internal/llm"
+	"cachemind/internal/memory"
+	"cachemind/internal/nlu"
+	"cachemind/internal/retriever"
+)
+
+// DefaultCacheSize bounds the answer LRU when Config.CacheSize is zero.
+const DefaultCacheSize = 256
+
+// DefaultMemoryTurns is the per-session conversation buffer depth when
+// Config.MemoryTurns is zero — the REPL's historical setting.
+const DefaultMemoryTurns = 6
+
+// DefaultMaxSessions bounds live sessions when Config.MaxSessions is
+// zero.
+const DefaultMaxSessions = 1024
+
+// DefaultMaxSessionTurns bounds each session's retained history when
+// Config.MaxSessionTurns is zero.
+const DefaultMaxSessionTurns = 256
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Store is the trace database (required). The engine treats it as
+	// immutable; do not Put frames into it after construction.
+	Store *db.Store
+	// Retriever selects the retrieval layer: "ranger" (default),
+	// "sieve", or "llamaindex".
+	Retriever string
+	// Model is the generator backend profile ID (default "gpt-4o").
+	Model string
+	// MemoryTurns is the verbatim conversation-buffer depth per session
+	// (default DefaultMemoryTurns).
+	MemoryTurns int
+	// MaxSessions bounds how many sessions the engine retains; when
+	// exceeded, the session least recently asked a question is evicted
+	// wholesale. 0 selects DefaultMaxSessions, negative is unlimited.
+	// Untrusted callers (the daemon) mint session names freely, so this
+	// is the daemon's memory ceiling.
+	MaxSessions int
+	// MaxSessionTurns bounds each session's retained history: when a
+	// session's log reaches twice this bound it is compacted to the
+	// most recent MaxSessionTurns turns and its conversation memory is
+	// rebuilt from the survivors (older turns fall out of recall). 0
+	// selects DefaultMaxSessionTurns, negative is unlimited.
+	MaxSessionTurns int
+	// CacheSize bounds the answer LRU: 0 selects DefaultCacheSize,
+	// negative disables caching entirely.
+	CacheSize int
+	// CustomRetriever, when non-nil, overrides Retriever with a caller
+	// -supplied implementation (tests, future multi-backend fan-out).
+	// It must be safe for concurrent Retrieve calls.
+	CustomRetriever retriever.Retriever
+}
+
+// Answer is one completed ask: the generated response plus the
+// provenance the front-ends render (-show-context, the JSON API).
+type Answer struct {
+	// Text is the full response shown to the user.
+	Text string
+	// Verdict is the canonical short answer (generator.Answer.Verdict).
+	Verdict string
+	// Category is the classified intent name ("miss_rate", ...).
+	Category string
+	// Quality grades the retrieved evidence ("Low"/"Medium"/"High").
+	Quality string
+	// Grounded reports whether the answer was derived from evidence.
+	Grounded bool
+	// Cached reports whether this answer was served from the LRU
+	// without invoking the retriever.
+	Cached bool
+	// Context is the retrieved evidence bundle (from the original
+	// retrieval when Cached).
+	Context string
+	// RetrievalElapsed is the wall-clock retrieval time of the original
+	// (uncached) retrieval.
+	RetrievalElapsed time.Duration
+}
+
+// Turn is one question/answer exchange within a session. The JSON tags
+// are the daemon's GET /v1/sessions/{id} wire format.
+type Turn struct {
+	Question string `json:"question"`
+	Answer   string `json:"answer"`
+}
+
+// session is one conversation: its memory plus the turn log served by
+// GET /v1/sessions/{id}.
+type session struct {
+	id string
+
+	mu    sync.Mutex
+	conv  *memory.Conversation
+	turns []Turn
+}
+
+// Engine executes the ask-path. Safe for concurrent use.
+type Engine struct {
+	store   *db.Store
+	retr    retriever.Retriever
+	profile *llm.Profile
+	// gen is shared across goroutines: with nil Memory and no Shots it
+	// is read-only (see the package comment).
+	gen         *generator.Generator
+	memoryTurns int
+	maxSessions int          // <= 0: unlimited
+	maxTurns    int          // <= 0: unlimited
+	cache       *answerCache // nil when caching is disabled
+
+	// mu guards the session table and its recency list (front = most
+	// recently asked). Per-session state has its own lock.
+	mu        sync.Mutex
+	sessions  map[string]*list.Element // of *session
+	byRecency *list.List
+
+	// flightMu guards inflight: single-flight coalescing of concurrent
+	// cache misses for the same key, so N simultaneous first-asks run
+	// one retrieval, not N.
+	flightMu sync.Mutex
+	inflight map[string]*inflightCall
+
+	questions       atomic.Uint64
+	sessionsEvicted atomic.Uint64
+}
+
+// New validates the configuration and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("engine: Config.Store is required")
+	}
+	modelID := cfg.Model
+	if modelID == "" {
+		modelID = "gpt-4o"
+	}
+	profile, ok := llm.ByID(modelID)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown model %q", modelID)
+	}
+
+	retr := cfg.CustomRetriever
+	if retr == nil {
+		name := cfg.Retriever
+		if name == "" {
+			name = "ranger"
+		}
+		switch name {
+		case "ranger":
+			retr = retriever.NewRanger(cfg.Store)
+		case "sieve":
+			retr = retriever.NewSieve(cfg.Store)
+		case "llamaindex":
+			retr = retriever.NewEmbeddingRetriever(cfg.Store, 40)
+		default:
+			return nil, fmt.Errorf("engine: unknown retriever %q", name)
+		}
+	}
+
+	memoryTurns := cfg.MemoryTurns
+	if memoryTurns == 0 {
+		memoryTurns = DefaultMemoryTurns
+	}
+	maxSessions := cfg.MaxSessions
+	if maxSessions == 0 {
+		maxSessions = DefaultMaxSessions
+	}
+	maxTurns := cfg.MaxSessionTurns
+	if maxTurns == 0 {
+		maxTurns = DefaultMaxSessionTurns
+	}
+	var cache *answerCache
+	if cfg.CacheSize >= 0 {
+		size := cfg.CacheSize
+		if size == 0 {
+			size = DefaultCacheSize
+		}
+		cache = newAnswerCache(size)
+	}
+	return &Engine{
+		store:       cfg.Store,
+		retr:        retr,
+		profile:     profile,
+		gen:         generator.New(profile),
+		memoryTurns: memoryTurns,
+		maxSessions: maxSessions,
+		maxTurns:    maxTurns,
+		cache:       cache,
+		sessions:    map[string]*list.Element{},
+		byRecency:   list.New(),
+		inflight:    map[string]*inflightCall{},
+	}, nil
+}
+
+// inflightCall is one in-progress uncached answer; followers wait on
+// done and share ans.
+type inflightCall struct {
+	done chan struct{}
+	ans  Answer
+}
+
+// cacheKey renders the (retriever, model, question) cache triple.
+func cacheKey(retrieverName, modelID, question string) string {
+	return retrieverName + "\x00" + modelID + "\x00" + question
+}
+
+// Ask answers the question within the named session, creating the
+// session on first use. A repeated question (same retriever, model and
+// text) is served from the answer cache without invoking the retriever;
+// either way the exchange is recorded in the session's conversation
+// memory. Safe for concurrent callers, including within one session.
+func (e *Engine) Ask(sessionID, question string) (Answer, error) {
+	question = strings.TrimSpace(question)
+	if question == "" {
+		return Answer{}, fmt.Errorf("engine: empty question")
+	}
+	e.questions.Add(1)
+
+	key := cacheKey(e.retr.Name(), e.profile.ID, question)
+	if e.cache != nil {
+		if ans, ok := e.cache.get(key); ok {
+			ans.Cached = true
+			e.record(sessionID, question, ans.Text)
+			return ans, nil
+		}
+		// Coalesce concurrent misses for the same key: one leader runs
+		// the pipeline, followers wait and share its answer (sound
+		// because answers are pure functions of the key).
+		e.flightMu.Lock()
+		if c, ok := e.inflight[key]; ok {
+			e.flightMu.Unlock()
+			<-c.done
+			ans := c.ans
+			ans.Cached = true // served without invoking the retriever
+			e.record(sessionID, question, ans.Text)
+			return ans, nil
+		}
+		c := &inflightCall{done: make(chan struct{})}
+		e.inflight[key] = c
+		e.flightMu.Unlock()
+
+		ans := e.answer(question)
+		// Publish to the cache before retiring the flight so late
+		// arrivals always find one or the other.
+		e.cache.put(key, ans)
+		c.ans = ans
+		e.flightMu.Lock()
+		delete(e.inflight, key)
+		e.flightMu.Unlock()
+		close(c.done)
+		e.record(sessionID, question, ans.Text)
+		return ans, nil
+	}
+
+	// Caching disabled: every ask runs the full pipeline.
+	ans := e.answer(question)
+	e.record(sessionID, question, ans.Text)
+	return ans, nil
+}
+
+// answer runs the uncached retrieve→classify→generate pipeline. It is
+// a pure function of the question (for a fixed store, retriever and
+// profile) — the property the cache and the REPL-parity tests rely on.
+func (e *Engine) answer(question string) Answer {
+	ctx := e.retr.Retrieve(question)
+	category := ctx.Parsed.Intent.String()
+
+	// The analysis tier renders through the rubric-structured path; all
+	// other intents go through grounded answer synthesis — exactly the
+	// REPL's historical routing.
+	var gen generator.Answer
+	switch ctx.Parsed.Intent {
+	case nlu.IntentConcept, nlu.IntentPolicyAnalysis, nlu.IntentSemanticAnalysis, nlu.IntentCodeGen:
+		gen = e.gen.AnalysisAnswer(question, category, question, ctx)
+	default:
+		gen = e.gen.Answer(question, category, question, ctx)
+	}
+	return Answer{
+		Text:             gen.Text,
+		Verdict:          gen.Verdict,
+		Category:         category,
+		Quality:          ctx.Quality.String(),
+		Grounded:         gen.Grounded,
+		Context:          ctx.Text,
+		RetrievalElapsed: ctx.Elapsed,
+	}
+}
+
+// record appends the exchange to the session log and conversation
+// memory, compacting the log at the retention bound.
+func (e *Engine) record(sessionID, question, answer string) {
+	s := e.session(sessionID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conv.Add(question, answer)
+	s.turns = append(s.turns, Turn{Question: question, Answer: answer})
+	// Compact at twice the bound so the rebuild cost amortizes to O(1)
+	// per ask: keep the most recent maxTurns turns and regrow the
+	// conversation memory (and its vector index) from the survivors.
+	if e.maxTurns > 0 && len(s.turns) >= 2*e.maxTurns {
+		s.turns = append([]Turn(nil), s.turns[len(s.turns)-e.maxTurns:]...)
+		s.conv = memory.New(e.memoryTurns)
+		for _, t := range s.turns {
+			s.conv.Add(t.Question, t.Answer)
+		}
+	}
+}
+
+// session returns the named session, creating it on first use and
+// marking it most recently used. When the session bound is exceeded,
+// the least recently asked session is evicted wholesale.
+func (e *Engine) session(id string) *session {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if el, ok := e.sessions[id]; ok {
+		e.byRecency.MoveToFront(el)
+		return el.Value.(*session)
+	}
+	s := &session{id: id, conv: memory.New(e.memoryTurns)}
+	e.sessions[id] = e.byRecency.PushFront(s)
+	for e.maxSessions > 0 && e.byRecency.Len() > e.maxSessions {
+		oldest := e.byRecency.Back()
+		e.byRecency.Remove(oldest)
+		delete(e.sessions, oldest.Value.(*session).id)
+		e.sessionsEvicted.Add(1)
+	}
+	return s
+}
+
+// lookup returns the live session without touching recency (reads do
+// not keep a session alive).
+func (e *Engine) lookup(id string) (*session, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	el, ok := e.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*session), true
+}
+
+// SessionTurns returns the session's retained exchange log, oldest
+// first (bounded by Config.MaxSessionTurns); ok is false when the
+// session does not exist (never asked, or evicted).
+func (e *Engine) SessionTurns(id string) (turns []Turn, ok bool) {
+	s, ok := e.lookup(id)
+	if !ok {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Turn(nil), s.turns...), true
+}
+
+// SessionView returns the session's turn log and conversation-memory
+// view as one consistent snapshot (both read under the session lock) —
+// the source of GET /v1/sessions/{id}. ok is false when the session
+// does not exist.
+func (e *Engine) SessionView(id, question string) (turns []Turn, mem string, ok bool) {
+	s, ok := e.lookup(id)
+	if !ok {
+		return nil, "", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Turn(nil), s.turns...), s.conv.ContextBlock(question), true
+}
+
+// SessionMemory renders the session's conversation-memory view —
+// summaries of turns evicted from the verbatim buffer, the buffered
+// recent turns, and (given a non-empty upcoming question) similarity
+// recalls — the inspectable state behind GET /v1/sessions/{id}.
+// Answers themselves are pure functions of the question (see the
+// package comment), so this memory never feeds back into generation.
+func (e *Engine) SessionMemory(id, question string) (string, bool) {
+	s, ok := e.lookup(id)
+	if !ok {
+		return "", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conv.ContextBlock(question), true
+}
+
+// SessionIDs lists every live session, sorted.
+func (e *Engine) SessionIDs() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.sessions))
+	for id := range e.sessions {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats is a point-in-time snapshot of the engine's counters — the
+// daemon's /metrics source.
+type Stats struct {
+	// Questions counts every Ask that passed validation.
+	Questions uint64
+	// CacheHits/CacheMisses count answer-cache lookups (both zero when
+	// caching is disabled).
+	CacheHits   uint64
+	CacheMisses uint64
+	// CacheEntries is the number of live cached answers.
+	CacheEntries int
+	// Sessions is the number of live sessions.
+	Sessions int
+	// SessionsEvicted counts sessions dropped by the MaxSessions bound.
+	SessionsEvicted uint64
+}
+
+// Stats returns the current counters.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Questions:       e.questions.Load(),
+		SessionsEvicted: e.sessionsEvicted.Load(),
+	}
+	if e.cache != nil {
+		st.CacheHits, st.CacheMisses, st.CacheEntries = e.cache.counters()
+	}
+	e.mu.Lock()
+	st.Sessions = len(e.sessions)
+	e.mu.Unlock()
+	return st
+}
+
+// Store returns the underlying database (treat as read-only).
+func (e *Engine) Store() *db.Store { return e.store }
+
+// RetrieverName returns the active retriever's name.
+func (e *Engine) RetrieverName() string { return e.retr.Name() }
+
+// Profile returns the generator backend profile (treat as read-only).
+func (e *Engine) Profile() *llm.Profile { return e.profile }

@@ -1,0 +1,420 @@
+package engine_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"cachemind/internal/db"
+	"cachemind/internal/db/dbtest"
+	"cachemind/internal/engine"
+	"cachemind/internal/retriever"
+)
+
+// testStore is a small shared database: two workloads, two policies,
+// short traces — enough for every intent to resolve while keeping the
+// -race hammer fast.
+func testStore(t testing.TB) *db.Store {
+	return dbtest.Store(t, dbtest.Config{Workloads: []string{"mcf", "lbm"}, Accesses: 4000})
+}
+
+// questions covers every routing tier: grounded lookups, comparisons,
+// analysis-tier synthesis, and a trick premise.
+var questions = []string{
+	"List all unique PCs in mcf under LRU.",
+	"What is the miss rate in lbm under belady?",
+	"Which policy has the lowest miss rate in mcf?",
+	"Which workload has the highest miss rate?",
+	"Why does belady outperform lru in mcf?",
+	"What is the average reuse distance in mcf under lru?",
+	"How many times does PC 0xdead00 appear in lbm under lru?",
+}
+
+func newEngine(t testing.TB, cfg engine.Config) *engine.Engine {
+	t.Helper()
+	cfg.Store = testStore(t)
+	e, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := engine.New(engine.Config{}); err == nil {
+		t.Fatal("nil store accepted")
+	}
+	if _, err := engine.New(engine.Config{Store: testStore(t), Model: "gpt-9"}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if _, err := engine.New(engine.Config{Store: testStore(t), Retriever: "grep"}); err == nil {
+		t.Fatal("unknown retriever accepted")
+	}
+	e := newEngine(t, engine.Config{})
+	if _, err := e.Ask("s", "   "); err == nil {
+		t.Fatal("empty question accepted")
+	}
+}
+
+// TestCachedAnswerByteIdentical is the cache-determinism contract: the
+// cached answer is byte-identical to the uncached one — both within one
+// engine (second ask) and against a cache-disabled engine.
+func TestCachedAnswerByteIdentical(t *testing.T) {
+	cached := newEngine(t, engine.Config{})
+	uncached := newEngine(t, engine.Config{CacheSize: -1})
+	for _, q := range questions {
+		first, err := cached.Ask("s", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Cached {
+			t.Fatalf("first ask of %q reported cached", q)
+		}
+		second, err := cached.Ask("s", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !second.Cached {
+			t.Fatalf("second ask of %q not served from cache", q)
+		}
+		ref, err := uncached.Ask("s", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Cached {
+			t.Fatalf("cache-disabled engine reported a cached answer for %q", q)
+		}
+		if second.Text != first.Text || first.Text != ref.Text {
+			t.Fatalf("answers diverge for %q:\nfirst:  %q\nsecond: %q\nref:    %q",
+				q, first.Text, second.Text, ref.Text)
+		}
+		if second.Verdict != ref.Verdict || second.Category != ref.Category ||
+			second.Quality != ref.Quality || second.Context != ref.Context {
+			t.Fatalf("cached metadata diverges for %q: %+v vs %+v", q, second, ref)
+		}
+	}
+	st := cached.Stats()
+	want := uint64(len(questions))
+	if st.CacheHits != want || st.CacheMisses != want {
+		t.Fatalf("cache counters = %d hits / %d misses, want %d / %d",
+			st.CacheHits, st.CacheMisses, want, want)
+	}
+	if ust := uncached.Stats(); ust.CacheHits != 0 || ust.CacheMisses != 0 {
+		t.Fatalf("disabled cache counted lookups: %+v", ust)
+	}
+}
+
+// countingRetriever proves the retriever is bypassed on cache hits.
+type countingRetriever struct {
+	inner retriever.Retriever
+	mu    sync.Mutex
+	n     int
+}
+
+func (c *countingRetriever) Name() string { return c.inner.Name() }
+
+func (c *countingRetriever) Retrieve(q string) retriever.Context {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.inner.Retrieve(q)
+}
+
+func (c *countingRetriever) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func TestRepeatedQuestionSkipsRetriever(t *testing.T) {
+	cr := &countingRetriever{inner: retriever.NewRanger(testStore(t))}
+	e := newEngine(t, engine.Config{CustomRetriever: cr})
+	const repeats = 5
+	q := questions[0]
+	for i := 0; i < repeats; i++ {
+		if _, err := e.Ask(fmt.Sprintf("s%d", i), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cr.count(); got != 1 {
+		t.Fatalf("retriever invoked %d times for a repeated question, want 1", got)
+	}
+	st := e.Stats()
+	if st.CacheHits != repeats-1 || st.CacheMisses != 1 {
+		t.Fatalf("cache counters = %d hits / %d misses, want %d / 1", st.CacheHits, st.CacheMisses, repeats-1)
+	}
+}
+
+// gatedRetriever blocks every Retrieve until release is closed, so the
+// test can pile up concurrent misses for one question.
+type gatedRetriever struct {
+	inner   retriever.Retriever
+	release chan struct{}
+	mu      sync.Mutex
+	n       int
+}
+
+func (g *gatedRetriever) Name() string { return g.inner.Name() }
+
+func (g *gatedRetriever) Retrieve(q string) retriever.Context {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	<-g.release
+	return g.inner.Retrieve(q)
+}
+
+// TestConcurrentColdAsksCoalesce: simultaneous first-asks of one
+// question run a single retrieval (single-flight), not one per caller.
+func TestConcurrentColdAsksCoalesce(t *testing.T) {
+	gr := &gatedRetriever{inner: retriever.NewRanger(testStore(t)), release: make(chan struct{})}
+	e := newEngine(t, engine.Config{CustomRetriever: gr})
+
+	const callers = 8
+	var wg sync.WaitGroup
+	texts := make([]string, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			a, err := e.Ask("s", questions[0])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			texts[c] = a.Text
+		}(c)
+	}
+	// Let every caller reach the miss path while the leader's
+	// retrieval is blocked, then release it.
+	for {
+		gr.mu.Lock()
+		started := gr.n
+		gr.mu.Unlock()
+		if started >= 1 {
+			break
+		}
+	}
+	close(gr.release)
+	wg.Wait()
+
+	gr.mu.Lock()
+	retrievals := gr.n
+	gr.mu.Unlock()
+	if retrievals != 1 {
+		t.Fatalf("%d concurrent cold asks ran %d retrievals, want 1", callers, retrievals)
+	}
+	for c := 1; c < callers; c++ {
+		if texts[c] != texts[0] {
+			t.Fatalf("coalesced answers diverge: %q vs %q", texts[c], texts[0])
+		}
+	}
+}
+
+// TestSessionMemoryIsolation asserts turns recorded in one session
+// never appear in another, and that the full log round-trips.
+func TestSessionMemoryIsolation(t *testing.T) {
+	e := newEngine(t, engine.Config{})
+	if _, err := e.Ask("alice", questions[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ask("bob", questions[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ask("alice", questions[2]); err != nil {
+		t.Fatal(err)
+	}
+
+	alice, ok := e.SessionTurns("alice")
+	if !ok || len(alice) != 2 {
+		t.Fatalf("alice turns = %v, ok=%v; want 2 turns", alice, ok)
+	}
+	if alice[0].Question != questions[0] || alice[1].Question != questions[2] {
+		t.Fatalf("alice's log holds wrong questions: %+v", alice)
+	}
+	bob, ok := e.SessionTurns("bob")
+	if !ok || len(bob) != 1 || bob[0].Question != questions[1] {
+		t.Fatalf("bob turns = %+v, ok=%v; want exactly %q", bob, ok, questions[1])
+	}
+	if _, ok := e.SessionTurns("carol"); ok {
+		t.Fatal("unknown session reported ok")
+	}
+	if got := e.SessionIDs(); len(got) != 2 || got[0] != "alice" || got[1] != "bob" {
+		t.Fatalf("SessionIDs = %v", got)
+	}
+}
+
+// TestConcurrentAskDeterminism hammers Ask from many goroutines (run
+// under -race in CI): every concurrent answer must be byte-identical to
+// the serial reference, and every session log must contain exactly its
+// own goroutine's questions in order.
+func TestConcurrentAskDeterminism(t *testing.T) {
+	// Serial reference, no cache.
+	ref := map[string]string{}
+	refEngine := newEngine(t, engine.Config{CacheSize: -1})
+	for _, q := range questions {
+		a, err := refEngine.Ask("ref", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[q] = a.Text
+	}
+
+	e := newEngine(t, engine.Config{})
+	const goroutines = 16
+	const rounds = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			session := fmt.Sprintf("session-%d", g)
+			for r := 0; r < rounds; r++ {
+				q := questions[(g+r)%len(questions)]
+				a, err := e.Ask(session, q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if a.Text != ref[q] {
+					errs <- fmt.Errorf("goroutine %d round %d: answer for %q diverges from serial reference", g, r, q)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Per-session logs hold exactly the goroutine's own asks, in order.
+	for g := 0; g < goroutines; g++ {
+		session := fmt.Sprintf("session-%d", g)
+		turns, ok := e.SessionTurns(session)
+		if !ok || len(turns) != rounds {
+			t.Fatalf("%s: %d turns, ok=%v; want %d", session, len(turns), ok, rounds)
+		}
+		for r, turn := range turns {
+			want := questions[(g+r)%len(questions)]
+			if turn.Question != want {
+				t.Fatalf("%s turn %d: question %q leaked in, want %q", session, r, turn.Question, want)
+			}
+			if turn.Answer != ref[turn.Question] {
+				t.Fatalf("%s turn %d: recorded answer diverges from reference", session, r)
+			}
+		}
+	}
+
+	st := e.Stats()
+	if st.Questions != goroutines*rounds {
+		t.Fatalf("questions counter = %d, want %d", st.Questions, goroutines*rounds)
+	}
+	if st.CacheHits+st.CacheMisses != goroutines*rounds {
+		t.Fatalf("cache lookups = %d, want %d", st.CacheHits+st.CacheMisses, goroutines*rounds)
+	}
+	if st.Sessions != goroutines {
+		t.Fatalf("sessions = %d, want %d", st.Sessions, goroutines)
+	}
+}
+
+// TestSessionEviction: beyond MaxSessions, the least recently asked
+// session is dropped wholesale.
+func TestSessionEviction(t *testing.T) {
+	e := newEngine(t, engine.Config{MaxSessions: 2})
+	for _, id := range []string{"s1", "s2", "s3"} {
+		if _, err := e.Ask(id, questions[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := e.SessionTurns("s1"); ok {
+		t.Fatal("s1 survived past the MaxSessions bound")
+	}
+	if got := e.SessionIDs(); len(got) != 2 || got[0] != "s2" || got[1] != "s3" {
+		t.Fatalf("SessionIDs = %v, want [s2 s3]", got)
+	}
+	// Asking in s2 bumps its recency, so s4 evicts s3 instead.
+	if _, err := e.Ask("s2", questions[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ask("s4", questions[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.SessionTurns("s3"); ok {
+		t.Fatal("s3 survived although s2 was more recently used")
+	}
+	if st := e.Stats(); st.SessionsEvicted != 2 || st.Sessions != 2 {
+		t.Fatalf("stats = %+v, want 2 evicted / 2 live", st)
+	}
+}
+
+// TestSessionTurnCompaction: the per-session log is compacted to the
+// most recent MaxSessionTurns turns.
+func TestSessionTurnCompaction(t *testing.T) {
+	e := newEngine(t, engine.Config{MaxSessionTurns: 3})
+	for i := 0; i < 10; i++ {
+		if _, err := e.Ask("s", questions[i%len(questions)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	turns, ok := e.SessionTurns("s")
+	if !ok {
+		t.Fatal("session missing")
+	}
+	// Compaction triggers at 2*3 turns, keeping 3; ten asks leave 3+4.
+	if len(turns) >= 6 {
+		t.Fatalf("turn log not compacted: %d turns retained", len(turns))
+	}
+	// The retained tail must be the most recent asks, in order.
+	for i, turn := range turns {
+		want := questions[(10-len(turns)+i)%len(questions)]
+		if turn.Question != want {
+			t.Fatalf("turn %d after compaction = %q, want %q", i, turn.Question, want)
+		}
+	}
+}
+
+// TestSessionMemoryView: the conversation-memory block reflects the
+// session's turns.
+func TestSessionMemoryView(t *testing.T) {
+	e := newEngine(t, engine.Config{})
+	if _, ok := e.SessionMemory("ghost", ""); ok {
+		t.Fatal("unknown session reported memory")
+	}
+	if _, err := e.Ask("s", questions[0]); err != nil {
+		t.Fatal(err)
+	}
+	mem, ok := e.SessionMemory("s", "")
+	if !ok || !strings.Contains(mem, questions[0]) {
+		t.Fatalf("memory view = %q, ok=%v; want it to mention the asked question", mem, ok)
+	}
+	// Past the verbatim buffer, older turns appear as summaries.
+	e2 := newEngine(t, engine.Config{MemoryTurns: 1})
+	for i := 0; i < 3; i++ {
+		if _, err := e2.Ask("s", questions[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mem, _ = e2.SessionMemory("s", "")
+	if !strings.Contains(mem, "Earlier findings:") {
+		t.Fatalf("memory view lacks summaries past the buffer:\n%s", mem)
+	}
+}
+
+// TestEngineCacheEviction: with a 1-entry cache, alternating questions
+// never hit.
+func TestEngineCacheEviction(t *testing.T) {
+	e := newEngine(t, engine.Config{CacheSize: 1})
+	for i := 0; i < 3; i++ {
+		if _, err := e.Ask("s", questions[i%2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.CacheHits != 0 || st.CacheMisses != 3 || st.CacheEntries != 1 {
+		t.Fatalf("stats = %+v, want 0 hits / 3 misses / 1 entry", st)
+	}
+}

@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"os"
+
+	"cachemind/internal/db"
+	"cachemind/internal/sim"
+)
+
+// DefaultLLC is the store geometry the front-ends build when no
+// pre-built database is supplied: capacity pressure at moderate trace
+// lengths, so policies diverge without Table 2-scale traces.
+func DefaultLLC() sim.Config {
+	return sim.Config{Name: "LLC", Sets: 256, Ways: 8, Latency: 26, MSHRs: 64}
+}
+
+// OpenStore loads a tracegen store from path, or — when path is empty —
+// builds the default in-memory database. Shared by cmd/cachemind and
+// cmd/cachemindd so the REPL and the daemon can never diverge on how
+// their stores come to exist.
+func OpenStore(path string, accesses int, seed int64, parallelism int) (*db.Store, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return db.Load(f)
+	}
+	return db.Build(db.BuildConfig{
+		AccessesPerTrace: accesses,
+		Seed:             seed,
+		LLC:              DefaultLLC(),
+		Parallelism:      parallelism,
+	})
+}

@@ -1,5 +1,5 @@
 // Package experiments regenerates every table and figure in the paper's
-// evaluation (the E1-E13 index in DESIGN.md): the CacheMindBench
+// evaluation (the E1-E13 experiment index): the CacheMindBench
 // accuracy figures (4, 5, 7, 8), the retriever comparison (Figure 9),
 // the benchmark and simulator configuration tables (1, 2), and the §6.3
 // actionable-insight use cases (bypass, Mockingjay stable-PC training,

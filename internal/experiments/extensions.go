@@ -214,7 +214,7 @@ func (r ShotsStudyResult) String() string {
 
 // SieveSemanticAblationResult measures Sieve with and without its
 // semantic (embedding) workload-resolution stage — the design-choice
-// ablation DESIGN.md calls out for the Sieve pipeline.
+// ablation called out for the Sieve pipeline.
 type SieveSemanticAblationResult struct {
 	// ResolvedWith / ResolvedWithout count probe questions whose
 	// workload was resolved by the full pipeline vs token matching

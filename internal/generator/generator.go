@@ -37,6 +37,13 @@ type Answer struct {
 }
 
 // Generator couples a behavioural profile with prompt assembly.
+//
+// Concurrency contract: a Generator with a nil Memory and fixed Shots
+// is read-only — answers are pure functions of (profile, question,
+// context) — and therefore safe for concurrent use; internal/engine
+// shares one such instance across all sessions. Setting Memory makes
+// Answer/AnalysisAnswer mutate conversation state, so that generator
+// must be confined to one goroutine or guarded externally.
 type Generator struct {
 	Profile *llm.Profile
 	// Memory, when non-nil, contributes conversation context.

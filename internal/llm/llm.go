@@ -7,7 +7,7 @@
 // retrieval-context quality (Figure 5), with seeded pseudo-random
 // success draws per question. The retrieval layer feeding these profiles
 // is fully real; only the generator's fallibility is modelled. See
-// DESIGN.md §1 and §4 for the calibrated-vs-emergent accounting.
+// README.md for the calibrated-vs-emergent accounting.
 package llm
 
 import (

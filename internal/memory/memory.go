@@ -19,6 +19,11 @@ type Turn struct {
 }
 
 // Conversation is the generator's memory.
+//
+// Concurrency contract: not safe for concurrent use — Add mutates the
+// buffer, summaries and vector store. Callers serving concurrent
+// traffic must guard each Conversation with a lock; internal/engine
+// keeps one Conversation per session behind a per-session mutex.
 type Conversation struct {
 	bufferCap int
 	buffer    []Turn

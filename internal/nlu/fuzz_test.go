@@ -1,0 +1,88 @@
+package nlu_test
+
+// FuzzParse lives in the external test package: the seed corpus comes
+// from the bench suite, and bench transitively imports nlu (via the
+// retriever pipeline), so an in-package fuzz target would be an import
+// cycle.
+
+import (
+	"testing"
+
+	"cachemind/internal/bench"
+	"cachemind/internal/db"
+	"cachemind/internal/db/dbtest"
+	"cachemind/internal/nlu"
+	"cachemind/internal/queryir"
+)
+
+// fuzzSetup builds (or reuses) the tiny store the parser and query
+// executor run against. Shared by the seed corpus and every fuzz
+// worker.
+func fuzzSetup(tb testing.TB) (*db.Store, nlu.Vocabulary) {
+	store := dbtest.Store(tb, dbtest.Config{Accesses: 2000})
+	return store, nlu.Vocabulary{Workloads: store.Workloads(), Policies: store.Policies()}
+}
+
+// FuzzParse hammers the semantic parser with untrusted input — it now
+// sits behind cachemindd's POST /v1/ask, so arbitrary bytes reach it.
+// Seeds are the full bench suite (every category and phrasing the
+// system is specified to handle) plus adversarial shapes. Invariants:
+// no panic, deterministic output, and a nil error really means the
+// compiled queries execute against the store without panicking.
+func FuzzParse(f *testing.F) {
+	store, _ := fuzzSetup(f)
+	suite, err := bench.Generate(store, 42)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, q := range suite.Questions {
+		f.Add(q.Text)
+	}
+	f.Add("")
+	f.Add("   ")
+	f.Add("0x")
+	f.Add("0xffffffffffffffffffffffffffff in mcf")
+	f.Add("What is the miss rate for PC 0x400100 in mcf under lru?")
+	f.Add("set 999999999999999999999 in mcf")
+	f.Add("why does 🤖 miss in mcf? examine 0xDEADBEEF")
+	f.Add("sum of reuse distance total min max median std dev in mcf")
+
+	f.Fuzz(func(t *testing.T, question string) {
+		store, vocab := fuzzSetup(t)
+
+		p1, err1 := nlu.Parse(question, vocab)
+		p2, err2 := nlu.Parse(question, vocab)
+		if (err1 == nil) != (err2 == nil) || len(p1.Queries) != len(p2.Queries) || p1.Intent != p2.Intent {
+			t.Fatalf("Parse is nondeterministic on %q: (%v, %d queries) vs (%v, %d queries)",
+				question, err1, len(p1.Queries), err2, len(p2.Queries))
+		}
+		if err1 != nil {
+			return
+		}
+		// A nil error promises the queries are executable as-is (after
+		// sentinel expansion). Execute them; only typed query errors
+		// (premise violations, unknown frames) are acceptable.
+		executed := 0
+		for _, q := range p1.Queries {
+			for _, wl := range expand(q.Workload, store.Workloads()) {
+				for _, pol := range expand(q.Policy, store.Policies()) {
+					if executed >= 8 {
+						return
+					}
+					qq := q
+					qq.Workload = wl
+					qq.Policy = pol
+					_, _ = queryir.Execute(store, qq) // must not panic
+					executed++
+				}
+			}
+		}
+	})
+}
+
+func expand(name string, all []string) []string {
+	if name == nlu.AllWorkloads || name == nlu.AllPolicies {
+		return all
+	}
+	return []string{name}
+}

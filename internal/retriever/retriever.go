@@ -83,10 +83,20 @@ func asErr[T error](err error, target *T) bool {
 }
 
 // Retriever is the common retrieval interface.
+//
+// Concurrency contract: Retrieve must be safe for concurrent callers.
+// All three implementations in this package satisfy it by carrying no
+// mutable state — retrieval is read-only over the store (immutable once
+// built, see db.Store) and any per-call scratch (embedding indexes for
+// semantic fallback, context assembly) is call-local. Implementations
+// added later (remote backends, shared caches) must uphold the same
+// contract; internal/engine relies on it to serve concurrent asks
+// through one retriever instance.
 type Retriever interface {
 	// Name identifies the retriever ("sieve", "ranger", "llamaindex").
 	Name() string
-	// Retrieve assembles grounded context for the question.
+	// Retrieve assembles grounded context for the question. Safe for
+	// concurrent use.
 	Retrieve(question string) Context
 }
 
