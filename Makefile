@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz fmt vet ci
+.PHONY: all build test race bench fuzz fmt vet loadgen ci
 
 all: build
 
@@ -38,4 +38,14 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/nlu
 
-ci: build fmt vet race bench fuzz
+# The CI perf gate: a short fixed-seed closed-loop load against an
+# in-process engine. Writes BENCH_loadgen.json (throughput, p50/p95/p99
+# latency, cache hit rate); -strict fails the target on any request
+# error or zero throughput. Knobs overridable for longer local runs.
+LOADGEN_N ?= 2000
+LOADGEN_C ?= 8
+loadgen:
+	$(GO) run ./cmd/loadgen -n $(LOADGEN_N) -c $(LOADGEN_C) -seed 42 -repeat 0.5 \
+		-accesses 4000 -strict -out BENCH_loadgen.json
+
+ci: build fmt vet race bench fuzz loadgen

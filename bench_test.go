@@ -9,7 +9,9 @@ package cachemind_test
 // artifacts at configurable scale.
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"cachemind/internal/bench"
@@ -288,6 +290,51 @@ func BenchmarkEngineAskCached(b *testing.B) {
 	b.StopTimer()
 	if st := e.Stats(); st.CacheHits == 0 {
 		b.Fatal("cached benchmark never hit the cache")
+	}
+}
+
+// BenchmarkEngineAskContended hammers a primed cache from all
+// goroutines at 1 shard (the PR 2 global-lock layout) and at one shard
+// per CPU — their ratio is the contention the sharded tables remove.
+// The goroutines cycle distinct questions and sessions so the load
+// actually spreads across shards; a single hot key would serialize on
+// one shard's locks at any shard count and measure nothing.
+func BenchmarkEngineAskContended(b *testing.B) {
+	for _, shards := range []int{1, 0} {
+		name := fmt.Sprintf("shards=%d", shards)
+		if shards == 0 {
+			name = fmt.Sprintf("shards=%d", engine.DefaultShards())
+		}
+		b.Run(name, func(b *testing.B) {
+			l := lab(b)
+			e, err := engine.New(engine.Config{Store: l.Store, Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			qs := make([]string, 0, 32)
+			for _, q := range l.Suite.Questions {
+				qs = append(qs, q.Text)
+				if len(qs) == cap(qs) {
+					break
+				}
+			}
+			for _, q := range qs {
+				if _, err := e.Ask("prime", q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var gid atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				g := int(gid.Add(1))
+				session := fmt.Sprintf("bench-%d", g)
+				for i := g; pb.Next(); i++ {
+					if _, err := e.Ask(session, qs[i%len(qs)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
 	}
 }
 

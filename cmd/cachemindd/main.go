@@ -7,15 +7,16 @@
 // Endpoints:
 //
 //	POST /v1/ask              {"session":"s1","question":"..."} → answer JSON
+//	POST /v1/ask/batch        [{"session":"s1","question":"..."}, ...] → answer array (same order)
 //	GET  /v1/sessions/{id}    conversation log of one session
 //	GET  /healthz             liveness ("ok" once the store is built)
-//	GET  /metrics             plain-text counters
+//	GET  /metrics             plain-text counters + per-route latency quantiles
 //
 // Usage:
 //
 //	cachemindd                         # build a default database, listen on :8080
 //	cachemindd -db cachemind.db -addr 127.0.0.1:9000
-//	cachemindd -retriever sieve -model gpt-4o-mini -workers 4
+//	cachemindd -retriever sieve -model gpt-4o-mini -workers 4 -shards 8
 //
 //	curl -s localhost:8080/v1/ask -d '{"session":"s1","question":"List all unique PCs in mcf under LRU."}'
 package main
@@ -49,6 +50,7 @@ func main() {
 	memTurns := flag.Int("memory", 0, "verbatim conversation turns kept per session (0: default 6)")
 	maxSessions := flag.Int("max-sessions", 0, "live sessions retained, LRU-evicted beyond (0: default 1024, negative: unlimited)")
 	maxTurns := flag.Int("max-turns", 0, "turns retained per session (0: default 256, negative: unlimited)")
+	shards := flag.Int("shards", 0, "engine shard count for the session/cache/flight tables (0: one per CPU, 1: single global lock)")
 	par := flag.Int("parallel", 0, "worker bound for the in-memory build (0: all CPUs, 1: serial)")
 	flag.Parse()
 
@@ -67,6 +69,7 @@ func main() {
 		CacheSize:       *cacheSize,
 		MaxSessions:     *maxSessions,
 		MaxSessionTurns: *maxTurns,
+		Shards:          *shards,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -87,7 +90,7 @@ func main() {
 	defer stop()
 	done := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s (model %s, retriever %s)", *addr, eng.Profile().DisplayName, eng.RetrieverName())
+		log.Printf("serving on %s (model %s, retriever %s, %d shards)", *addr, eng.Profile().DisplayName, eng.RetrieverName(), eng.Shards())
 		done <- srv.ListenAndServe()
 	}()
 

@@ -2,19 +2,22 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"cachemind/internal/engine"
+	"cachemind/internal/histogram"
 )
 
 // server wires the engine to the HTTP API. Handler state is only the
 // engine (already concurrency-safe), a worker-bound semaphore, and
-// monotonic counters, so one server serves all connections.
+// monotonic counters/histograms, so one server serves all connections.
 type server struct {
 	eng *engine.Engine
 	// sem bounds how many asks run concurrently; extra requests queue
@@ -24,6 +27,10 @@ type server struct {
 	started      time.Time
 	httpRequests atomic.Uint64
 	httpErrors   atomic.Uint64
+	// latency holds one histogram per route (built at route
+	// registration, read-only afterwards) — the /metrics per-route
+	// latency source.
+	latency map[string]*histogram.Histogram
 }
 
 // newServer builds a server over the engine with at most workers
@@ -36,24 +43,31 @@ func newServer(eng *engine.Engine, workers int) *server {
 		eng:     eng,
 		sem:     make(chan struct{}, workers),
 		started: time.Now(),
+		latency: map[string]*histogram.Histogram{},
 	}
 }
 
 // handler returns the daemon's route table.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/ask", s.count(s.handleAsk))
-	mux.HandleFunc("GET /v1/sessions/{id}", s.count(s.handleSession))
-	mux.HandleFunc("GET /healthz", s.count(s.handleHealthz))
-	mux.HandleFunc("GET /metrics", s.count(s.handleMetrics))
+	mux.HandleFunc("POST /v1/ask", s.instrument("ask", s.handleAsk))
+	mux.HandleFunc("POST /v1/ask/batch", s.instrument("ask_batch", s.handleAskBatch))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.instrument("session", s.handleSession))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return mux
 }
 
-// count wraps a handler with the request counter.
-func (s *server) count(h http.HandlerFunc) http.HandlerFunc {
+// instrument wraps a handler with the global request counter and the
+// route's latency histogram.
+func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := histogram.New()
+	s.latency[route] = hist
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.httpRequests.Add(1)
+		start := time.Now()
 		h(w, r)
+		hist.Observe(time.Since(start))
 	}
 }
 
@@ -132,6 +146,112 @@ func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// maxBatchItems bounds one POST /v1/ask/batch request, and
+// maxBatchBodyBytes its body — sized so a full batch of maximum-length
+// questions (plus JSON overhead) fits, keeping the two documented
+// limits jointly reachable.
+const (
+	maxBatchItems     = 256
+	maxBatchBodyBytes = maxBatchItems * (maxQuestionBytes + 1024)
+)
+
+// batchResult is one element of the batch reply: the askResponse
+// fields on success, or error (with the other fields zeroed) for an
+// item the engine rejected.
+type batchResult struct {
+	askResponse
+	Error string `json:"error,omitempty"`
+}
+
+// handleAskBatch answers a JSON array of {session, question} items
+// concurrently and replies with a same-length, same-order array.
+// Per-item failures (an empty question) land in that item's error
+// field; only a malformed, empty, oversized, or over-long batch fails
+// the whole request.
+func (s *server) handleAskBatch(w http.ResponseWriter, r *http.Request) {
+	var reqs []askRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&reqs); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, http.StatusBadRequest, fmt.Sprintf("batch body exceeds %d bytes", maxBatchBodyBytes))
+			return
+		}
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("malformed request body: %v", err))
+		return
+	}
+	if len(reqs) == 0 {
+		s.fail(w, http.StatusBadRequest, "batch must not be empty")
+		return
+	}
+	if len(reqs) > maxBatchItems {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("batch exceeds %d items", maxBatchItems))
+		return
+	}
+	items := make([]engine.AskItem, len(reqs))
+	for i, req := range reqs {
+		if len(req.Question) > maxQuestionBytes {
+			s.fail(w, http.StatusBadRequest, fmt.Sprintf("item %d: question exceeds %d bytes", i, maxQuestionBytes))
+			return
+		}
+		items[i] = engine.AskItem{Session: req.Session, Question: req.Question}
+	}
+
+	// Admission: block for one worker slot (batches queue behind
+	// singles the same way singles queue behind each other), then grab
+	// as many more currently-free slots as the batch can use without
+	// waiting. The fan-out width equals the slots held, so the
+	// -workers bound holds globally across singles and concurrent
+	// batches — under contention a batch degrades toward width 1
+	// instead of multiplying the bound.
+	held := 0
+	select {
+	case s.sem <- struct{}{}:
+		held = 1
+	case <-r.Context().Done():
+		s.fail(w, http.StatusServiceUnavailable, "request canceled while queued")
+		return
+	}
+acquire:
+	for held < len(items) && held < cap(s.sem) {
+		select {
+		case s.sem <- struct{}{}:
+			held++
+		default:
+			break acquire // no free slot: stop widening
+		}
+	}
+	defer func() {
+		for i := 0; i < held; i++ {
+			<-s.sem
+		}
+	}()
+
+	results := s.eng.AskBatch(items, held)
+	out := make([]batchResult, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			out[i].Session = reqs[i].Session
+			out[i].Question = strings.TrimSpace(reqs[i].Question)
+			out[i].Error = res.Err.Error()
+			continue
+		}
+		out[i].askResponse = askResponse{
+			Session:     reqs[i].Session,
+			Question:    strings.TrimSpace(reqs[i].Question),
+			Answer:      res.Answer.Text,
+			Verdict:     res.Answer.Verdict,
+			Category:    res.Answer.Category,
+			Quality:     res.Answer.Quality,
+			Grounded:    res.Answer.Grounded,
+			Cached:      res.Answer.Cached,
+			RetrievalMS: float64(res.Answer.RetrievalElapsed.Microseconds()) / 1000,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 // sessionResponse is the GET /v1/sessions/{id} reply.
 type sessionResponse struct {
 	Session string        `json:"session"`
@@ -171,7 +291,27 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "cachemind_http_requests_total %d\n", s.httpRequests.Load())
 	fmt.Fprintf(w, "cachemind_http_errors_total %d\n", s.httpErrors.Load())
 	fmt.Fprintf(w, "cachemind_workers %d\n", cap(s.sem))
+	fmt.Fprintf(w, "cachemind_engine_shards %d\n", st.Shards)
 	fmt.Fprintf(w, "cachemind_uptime_seconds %d\n", int(time.Since(s.started).Seconds()))
+
+	// Per-route request counts and latency quantiles, in stable route
+	// order (this request's own metrics handling isn't in its
+	// histogram yet — Observe runs after the handler returns).
+	routes := make([]string, 0, len(s.latency))
+	for route := range s.latency {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	for _, route := range routes {
+		snap := s.latency[route].Snapshot()
+		fmt.Fprintf(w, "cachemind_route_requests_total{route=%q} %d\n", route, snap.Count)
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			fmt.Fprintf(w, "cachemind_route_latency_ms{route=%q,quantile=%q} %.3f\n",
+				route, fmt.Sprintf("%g", q), float64(snap.Quantile(q).Microseconds())/1000)
+		}
+		fmt.Fprintf(w, "cachemind_route_latency_ms_max{route=%q} %.3f\n",
+			route, float64(snap.Max.Microseconds())/1000)
+	}
 }
 
 // errorResponse is the JSON error envelope.

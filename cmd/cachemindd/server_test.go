@@ -182,9 +182,121 @@ func TestMetrics(t *testing.T) {
 		"cachemind_sessions_active 1",
 		"cachemind_http_requests_total",
 		"cachemind_workers 4",
+		"cachemind_engine_shards",
+		// Per-route latencies: the two asks above must have landed in
+		// the ask route's histogram.
+		`cachemind_route_requests_total{route="ask"} 2`,
+		`cachemind_route_latency_ms{route="ask",quantile="0.5"}`,
+		`cachemind_route_latency_ms{route="ask",quantile="0.95"}`,
+		`cachemind_route_latency_ms{route="ask",quantile="0.99"}`,
+		`cachemind_route_latency_ms_max{route="ask"}`,
+		`cachemind_route_requests_total{route="ask_batch"} 0`,
 	} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("metrics missing %q:\n%s", want, data)
+		}
+	}
+}
+
+func postBatch(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/ask/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestAskBatchEndpoint: a batch is answered in order, per-item errors
+// don't abort the batch, and repeated questions are served cached.
+func TestAskBatchEndpoint(t *testing.T) {
+	ts, eng := newTestServer(t)
+	second := "What is the miss rate in mcf under belady?"
+	body := fmt.Sprintf(`[
+		{"session":"b1","question":%q},
+		{"session":"b2","question":"   "},
+		{"session":"b1","question":%q},
+		{"session":"b3","question":%q}
+	]`, askQuestion, second, askQuestion)
+
+	resp, data := postBatch(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, data)
+	}
+	var results []batchResult
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("bad JSON %s: %v", data, err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4 (order-preserving)", len(results))
+	}
+	if results[0].Error != "" || results[0].Answer == "" || results[0].Session != "b1" {
+		t.Fatalf("item 0: %+v", results[0])
+	}
+	if results[1].Error == "" || results[1].Answer != "" {
+		t.Fatalf("item 1 (empty question) should carry only an error: %+v", results[1])
+	}
+	if results[2].Error != "" || results[2].Answer == "" {
+		t.Fatalf("item 2: %+v", results[2])
+	}
+	// Item 3 repeats item 0's question: one of the two is a cache miss
+	// and the other a hit (they may race inside one batch, so assert
+	// via the engine counters instead of the per-item flag).
+	if results[3].Answer != results[0].Answer {
+		t.Fatalf("repeated question diverges: %q vs %q", results[3].Answer, results[0].Answer)
+	}
+	st := eng.Stats()
+	if st.Questions != 3 {
+		t.Fatalf("questions counter = %d, want 3 (invalid item never reached the pipeline)", st.Questions)
+	}
+	if st.CacheHits+st.CacheMisses != 3 {
+		t.Fatalf("cache lookups = %d, want 3", st.CacheHits+st.CacheMisses)
+	}
+
+	// A second identical batch is fully cached and byte-identical.
+	resp, data = postBatch(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status = %d", resp.StatusCode)
+	}
+	var again []batchResult
+	if err := json.Unmarshal(data, &again); err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		if again[i].Answer != results[i].Answer || again[i].Error != results[i].Error {
+			t.Fatalf("repeat batch item %d diverges: %+v vs %+v", i, again[i], results[i])
+		}
+		if again[i].Error == "" && !again[i].Cached {
+			t.Fatalf("repeat batch item %d not served from cache: %+v", i, again[i])
+		}
+	}
+}
+
+func TestAskBatchRejectsBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	oversize := fmt.Sprintf(`[{"session":"s","question":%q}]`, strings.Repeat("a", maxQuestionBytes+1))
+	tooMany := "[" + strings.Repeat(`{"session":"s","question":"q"},`, maxBatchItems) + `{"session":"s","question":"q"}]`
+	for name, body := range map[string]string{
+		"malformed JSON":     `[{"session":"s1"`,
+		"object not array":   `{"session":"s1","question":"x"}`,
+		"empty batch":        `[]`,
+		"unknown field":      `[{"session":"s1","question":"x","model":"gpt-4o"}]`,
+		"oversized question": oversize,
+		"too many items":     tooMany,
+	} {
+		resp, data := postBatch(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (body %.120s)", name, resp.StatusCode, data)
+			continue
+		}
+		var e errorResponse
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error envelope missing: %.120s", name, data)
 		}
 	}
 }

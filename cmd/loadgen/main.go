@@ -1,0 +1,87 @@
+// Command loadgen is CacheMind's closed-loop load generator and the CI
+// perf gate's measurement tool: it replays a deterministic question mix
+// drawn from the CacheMindBench suite against either an in-process
+// engine (default — isolates engine contention) or a running cachemindd
+// (-url), and writes a BENCH_loadgen.json with throughput, p50/p95/p99
+// latency, and the client-observed cache hit rate.
+//
+// Closed loop means each of the -c workers issues its next request only
+// after the previous one completes, so concurrency — not arrival rate —
+// is the controlled variable, and reported latency is never inflated by
+// client-side queueing.
+//
+// Usage:
+//
+//	loadgen                                  # 2000 questions, concurrency 8, in-process
+//	loadgen -n 10000 -c 32 -shards 16        # hammer a 16-shard engine
+//	loadgen -url http://127.0.0.1:8080 -batch 16
+//	loadgen -duration 30s -repeat 0.9        # cache-heavy mix for 30s
+//
+// The question stream is a pure function of (-seed, -repeat, store), so
+// identical flags replay identical load; -strict makes any request
+// error (or zero throughput) a non-zero exit, which is what the CI perf
+// gate keys off.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+
+	var cfg config
+	flag.StringVar(&cfg.url, "url", "", "drive a remote cachemindd at this base URL (empty: in-process engine)")
+	flag.IntVar(&cfg.concurrency, "c", 8, "closed-loop workers")
+	flag.IntVar(&cfg.requests, "n", 2000, "total questions to ask (ignored when -duration is set)")
+	flag.DurationVar(&cfg.duration, "duration", 0, "run for this long instead of a fixed count")
+	flag.IntVar(&cfg.batch, "batch", 1, "questions per request (> 1 uses POST /v1/ask/batch / Engine.AskBatch)")
+	flag.Float64Var(&cfg.repeat, "repeat", 0.5, "probability a draw re-asks an earlier question (cache exercise)")
+	flag.Int64Var(&cfg.seed, "seed", 42, "seed for the store build and the question mix")
+	flag.IntVar(&cfg.sessions, "sessions", 32, "distinct session IDs cycled across questions")
+	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request HTTP timeout (-url mode)")
+	flag.StringVar(&cfg.dbPath, "db", "", "store written by tracegen (empty: build in-memory)")
+	flag.IntVar(&cfg.accesses, "accesses", 4000, "accesses per trace when building in-memory")
+	flag.StringVar(&cfg.retriever, "retriever", "ranger", "retriever for the in-process engine")
+	flag.StringVar(&cfg.model, "model", "gpt-4o", "generator backend for the in-process engine")
+	flag.IntVar(&cfg.shards, "shards", 0, "in-process engine shard count (0: one per CPU)")
+	flag.IntVar(&cfg.cacheSize, "cache", 0, "in-process answer-cache entries (0: default, negative: disable)")
+	out := flag.String("out", "BENCH_loadgen.json", "report path")
+	strict := flag.Bool("strict", false, "exit non-zero on any request error or zero throughput (the CI perf gate)")
+	flag.Parse()
+
+	report, err := run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: %d questions in %.2fs → %.0f q/s, p50 %.3fms p95 %.3fms p99 %.3fms, hit rate %.1f%%, %d errors\n",
+		report.Mode, report.Questions, report.DurationSeconds, report.ThroughputQPS,
+		report.Latency.P50, report.Latency.P95, report.Latency.P99,
+		100*report.Cache.HitRate, report.Errors)
+	fmt.Printf("wrote %s\n", *out)
+
+	if *strict {
+		if report.Errors > 0 {
+			log.Fatalf("strict: %d request errors (first: %s)", report.Errors, report.ErrorSample)
+		}
+		if report.ThroughputQPS <= 0 {
+			log.Fatal("strict: zero throughput")
+		}
+	}
+}

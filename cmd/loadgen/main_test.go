@@ -1,0 +1,248 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"cachemind/internal/db"
+	"cachemind/internal/db/dbtest"
+)
+
+func testStore(t testing.TB) *db.Store {
+	return dbtest.Store(t, dbtest.Config{})
+}
+
+func smokeConfig(t *testing.T) config {
+	return config{
+		concurrency: 4,
+		requests:    40,
+		batch:       1,
+		repeat:      0.5,
+		seed:        1,
+		sessions:    4,
+		store:       testStore(t),
+	}
+}
+
+// TestRunInProcessSmoke: a tiny in-process run completes with zero
+// errors, positive throughput, sane percentiles, and balanced counters.
+func TestRunInProcessSmoke(t *testing.T) {
+	report, err := run(smokeConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Mode != "inprocess" || report.Schema != "cachemind-loadgen/v1" {
+		t.Fatalf("mode/schema = %q/%q", report.Mode, report.Schema)
+	}
+	if report.Questions != 40 || report.Requests != 40 {
+		t.Fatalf("questions/requests = %d/%d, want 40/40 at batch 1", report.Questions, report.Requests)
+	}
+	if report.Errors != 0 || report.ErrorSample != "" {
+		t.Fatalf("errors = %d (%q)", report.Errors, report.ErrorSample)
+	}
+	if report.ThroughputQPS <= 0 || report.DurationSeconds <= 0 {
+		t.Fatalf("throughput %.1f over %.3fs", report.ThroughputQPS, report.DurationSeconds)
+	}
+	l := report.Latency
+	if l.P50 <= 0 || l.P95 < l.P50 || l.P99 < l.P95 || l.Max < l.P99-0.001 {
+		t.Fatalf("percentiles not ordered: %+v", l)
+	}
+	if report.Cache.Hits+report.Cache.Misses != 40 {
+		t.Fatalf("cache hits+misses = %d, want 40", report.Cache.Hits+report.Cache.Misses)
+	}
+	// repeat=0.5 over 40 draws of a 100-question suite must hit.
+	if report.Cache.Hits == 0 || report.Cache.HitRate <= 0 {
+		t.Fatalf("no cache hits despite repeat ratio: %+v", report.Cache)
+	}
+	if report.Shards < 1 {
+		t.Fatalf("in-process shards = %d", report.Shards)
+	}
+}
+
+// TestRunBatchInProcess: the batch path asks every question exactly
+// once per request group, preserving totals.
+func TestRunBatchInProcess(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.batch = 8
+	report, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Questions != 40 {
+		t.Fatalf("questions = %d, want 40", report.Questions)
+	}
+	if report.Requests != 5 {
+		t.Fatalf("requests = %d, want 5 batches of 8", report.Requests)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("errors = %d (%s)", report.Errors, report.ErrorSample)
+	}
+}
+
+// TestRunDeterministicMix: two runs with the same seed ask the same
+// questions and end with identical hit/miss totals (latency varies,
+// the workload must not).
+func TestRunDeterministicMix(t *testing.T) {
+	a, err := run(smokeConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run(smokeConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cache.Hits != b.Cache.Hits || a.Cache.Misses != b.Cache.Misses {
+		t.Fatalf("same-seed runs diverge: %+v vs %+v", a.Cache, b.Cache)
+	}
+}
+
+// TestRunReportSchemaStable: the JSON document contains every key the
+// CI perf gate and trend tooling rely on.
+func TestRunReportSchemaStable(t *testing.T) {
+	report, err := run(smokeConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"schema", "mode", "concurrency", "batch", "shards", "seed",
+		"repeat_ratio", "sessions", "requests", "questions", "errors",
+		"duration_seconds", "throughput_qps", "latency_ms", "cache",
+	} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("report missing key %q:\n%s", key, data)
+		}
+	}
+	lat, ok := doc["latency_ms"].(map[string]any)
+	if !ok {
+		t.Fatalf("latency_ms not an object: %s", data)
+	}
+	for _, key := range []string{"p50", "p95", "p99", "mean", "max"} {
+		if _, ok := lat[key]; !ok {
+			t.Errorf("latency_ms missing %q", key)
+		}
+	}
+	cache, ok := doc["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("cache not an object: %s", data)
+	}
+	for _, key := range []string{"hits", "misses", "hit_rate"} {
+		if _, ok := cache[key]; !ok {
+			t.Errorf("cache missing %q", key)
+		}
+	}
+}
+
+// TestRunRejectsEmptyPlan: no count and no duration is a config error.
+func TestRunRejectsEmptyPlan(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.requests = 0
+	if _, err := run(cfg); err == nil {
+		t.Fatal("run accepted a config with neither -n nor -duration")
+	}
+}
+
+// stubDaemon mimics cachemindd's two ask endpoints well enough to
+// exercise the HTTP driver's wire handling.
+func stubDaemon(t *testing.T) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var singles, batches atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ask", func(w http.ResponseWriter, r *http.Request) {
+		singles.Add(1)
+		var req struct{ Session, Question string }
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintf(w, `{"answer":"stub","cached":%v}`, singles.Load() > 1)
+	})
+	mux.HandleFunc("POST /v1/ask/batch", func(w http.ResponseWriter, r *http.Request) {
+		batches.Add(1)
+		var reqs []struct{ Session, Question string }
+		if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		out := make([]map[string]any, len(reqs))
+		for i := range reqs {
+			out[i] = map[string]any{"answer": "stub", "cached": i%2 == 1}
+		}
+		_ = json.NewEncoder(w).Encode(out)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &singles, &batches
+}
+
+// TestRunHTTPDriver: -url mode sends singles to /v1/ask and batches to
+// /v1/ask/batch, and counts the wire-reported cache flags.
+func TestRunHTTPDriver(t *testing.T) {
+	ts, singles, batches := stubDaemon(t)
+
+	cfg := smokeConfig(t)
+	cfg.url = ts.URL
+	cfg.concurrency = 1 // serialize so the stub's cached-flag pattern is deterministic
+	cfg.requests = 10
+	report, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Mode != "http" || report.Target != ts.URL {
+		t.Fatalf("mode/target = %q/%q", report.Mode, report.Target)
+	}
+	if singles.Load() != 10 || batches.Load() != 0 {
+		t.Fatalf("wire counts = %d singles / %d batches, want 10/0", singles.Load(), batches.Load())
+	}
+	if report.Errors != 0 || report.Cache.Hits != 9 {
+		t.Fatalf("report = %d errors, %d hits (stub caches all but the first)", report.Errors, report.Cache.Hits)
+	}
+
+	cfg.batch = 5
+	report, err = run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches.Load() != 2 {
+		t.Fatalf("batch wire count = %d, want 2", batches.Load())
+	}
+	if report.Questions != 10 || report.Errors != 0 {
+		t.Fatalf("batch report: %d questions, %d errors", report.Questions, report.Errors)
+	}
+}
+
+// TestRunHTTPErrorsReported: a failing server surfaces as per-item
+// errors, not a crash, and strict-gate inputs (Errors) reflect it.
+func TestRunHTTPErrorsReported(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ask", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	cfg := smokeConfig(t)
+	cfg.url = ts.URL
+	cfg.requests = 5
+	report, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 5 {
+		t.Fatalf("errors = %d, want 5", report.Errors)
+	}
+	if report.ErrorSample == "" {
+		t.Fatal("error sample empty despite failures")
+	}
+}

@@ -1,0 +1,365 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cachemind/internal/bench"
+	"cachemind/internal/db"
+	"cachemind/internal/engine"
+	"cachemind/internal/histogram"
+)
+
+// config is one load run, fully determined by its fields: the question
+// stream is a pure function of (store, seed, repeat), so two runs with
+// the same config replay the same load.
+type config struct {
+	url         string // empty: in-process engine
+	concurrency int
+	requests    int           // total questions (count mode)
+	duration    time.Duration // > 0: run for this long instead (ring over the mix)
+	batch       int           // questions per request (1: POST /v1/ask)
+	repeat      float64
+	seed        int64
+	sessions    int
+	timeout     time.Duration // http client timeout
+
+	// Store / in-process engine knobs. In http mode the store is still
+	// built locally — it seeds the question mix.
+	dbPath    string
+	accesses  int
+	retriever string
+	model     string
+	shards    int
+	cacheSize int
+
+	store *db.Store // test hook: pre-built store overrides dbPath/accesses
+}
+
+// Report is the BENCH_loadgen.json document (schema
+// cachemind-loadgen/v1). Every key is always present so trend tooling
+// can rely on the shape; latencies are milliseconds, throughput is
+// questions per second as observed by the closed loop.
+type Report struct {
+	Schema          string     `json:"schema"`
+	Mode            string     `json:"mode"` // "inprocess" or "http"
+	Target          string     `json:"target,omitempty"`
+	Concurrency     int        `json:"concurrency"`
+	Batch           int        `json:"batch"`
+	Shards          int        `json:"shards"` // 0 in http mode (server-side setting)
+	Seed            int64      `json:"seed"`
+	RepeatRatio     float64    `json:"repeat_ratio"`
+	Sessions        int        `json:"sessions"`
+	Requests        int        `json:"requests"`
+	Questions       int        `json:"questions"`
+	Errors          int        `json:"errors"`
+	ErrorSample     string     `json:"error_sample,omitempty"`
+	DurationSeconds float64    `json:"duration_seconds"`
+	ThroughputQPS   float64    `json:"throughput_qps"`
+	Latency         LatencyMS  `json:"latency_ms"`
+	Cache           CacheStats `json:"cache"`
+}
+
+// LatencyMS summarizes the per-request latency histogram in
+// milliseconds (a request is one ask, or one whole batch).
+type LatencyMS struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// CacheStats is the client-observed cache outcome: hits counts answers
+// flagged cached, misses the rest of the successful answers.
+type CacheStats struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// outcome is one answered question as the client observed it.
+type outcome struct {
+	cached bool
+	err    error
+}
+
+// driver answers one request's worth of items.
+type driver interface {
+	do(items []engine.AskItem) []outcome
+}
+
+// inprocDriver drives an Engine directly — no HTTP, so the numbers
+// isolate engine contention from network and JSON cost.
+type inprocDriver struct {
+	eng *engine.Engine
+}
+
+func (d *inprocDriver) do(items []engine.AskItem) []outcome {
+	// Items run serially within the batch (workers 1): the -c loop
+	// workers are the only source of engine concurrency, so the
+	// report's "concurrency" field states the actual parallelism. Use
+	// -url mode to measure the daemon's server-side batch fan-out.
+	results := d.eng.AskBatch(items, 1)
+	out := make([]outcome, len(results))
+	for i, r := range results {
+		out[i] = outcome{cached: r.Answer.Cached, err: r.Err}
+	}
+	return out
+}
+
+// httpDriver drives a remote cachemindd: POST /v1/ask per item, or one
+// POST /v1/ask/batch per request when batching.
+type httpDriver struct {
+	base   string
+	client *http.Client
+}
+
+// wireAnswer is the subset of the daemon's reply the loop needs.
+type wireAnswer struct {
+	Cached bool   `json:"cached"`
+	Error  string `json:"error"`
+}
+
+func (d *httpDriver) do(items []engine.AskItem) []outcome {
+	out := make([]outcome, len(items))
+	if len(items) == 1 {
+		var ans wireAnswer
+		err := d.post("/v1/ask", map[string]string{
+			"session": items[0].Session, "question": items[0].Question,
+		}, &ans)
+		out[0] = wireOutcome(ans, err)
+		return out
+	}
+	body := make([]map[string]string, len(items))
+	for i, it := range items {
+		body[i] = map[string]string{"session": it.Session, "question": it.Question}
+	}
+	var answers []wireAnswer
+	if err := d.post("/v1/ask/batch", body, &answers); err != nil {
+		for i := range out {
+			out[i] = outcome{err: err}
+		}
+		return out
+	}
+	if len(answers) != len(items) {
+		err := fmt.Errorf("batch returned %d answers for %d items", len(answers), len(items))
+		for i := range out {
+			out[i] = outcome{err: err}
+		}
+		return out
+	}
+	for i, ans := range answers {
+		out[i] = wireOutcome(ans, nil)
+	}
+	return out
+}
+
+func wireOutcome(ans wireAnswer, err error) outcome {
+	if err != nil {
+		return outcome{err: err}
+	}
+	if ans.Error != "" {
+		return outcome{err: fmt.Errorf("server: %s", ans.Error)}
+	}
+	return outcome{cached: ans.Cached}
+}
+
+func (d *httpDriver) post(path string, body, into any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := d.client.Post(d.base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d: %.200s", path, resp.StatusCode, data)
+	}
+	return json.Unmarshal(data, into)
+}
+
+// run executes the closed loop and assembles the report.
+func run(cfg config) (*Report, error) {
+	if cfg.concurrency < 1 {
+		cfg.concurrency = 1
+	}
+	if cfg.batch < 1 {
+		cfg.batch = 1
+	}
+	if cfg.sessions < 1 {
+		cfg.sessions = 1
+	}
+	if cfg.requests < 1 && cfg.duration <= 0 {
+		return nil, fmt.Errorf("loadgen: need a request count (-n) or a duration (-duration)")
+	}
+	if cfg.timeout <= 0 {
+		cfg.timeout = 30 * time.Second
+	}
+
+	store := cfg.store
+	if store == nil {
+		var err error
+		store, err = engine.OpenStore(cfg.dbPath, cfg.accesses, cfg.seed, 0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	suite, err := bench.Generate(store, cfg.seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// The question plan: in count mode exactly cfg.requests draws; in
+	// duration mode a ring large enough that wrap-around reuse is rare
+	// within one pass (reuse past the ring is just more repeats).
+	planLen := cfg.requests
+	if cfg.duration > 0 && planLen < 8192 {
+		planLen = 8192
+	}
+	mix := bench.SampleMix(suite, planLen, cfg.seed, cfg.repeat)
+
+	mode := "inprocess"
+	shards := 0
+	var drv driver
+	if cfg.url != "" {
+		mode = "http"
+		drv = &httpDriver{base: cfg.url, client: &http.Client{Timeout: cfg.timeout}}
+	} else {
+		eng, err := engine.New(engine.Config{
+			Store:     store,
+			Retriever: cfg.retriever,
+			Model:     cfg.model,
+			Shards:    cfg.shards,
+			CacheSize: cfg.cacheSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		shards = eng.Shards()
+		drv = &inprocDriver{eng: eng}
+	}
+
+	hist := histogram.New()
+	var (
+		nextIdx   atomic.Int64
+		questions atomic.Int64
+		reqs      atomic.Int64
+		hits      atomic.Int64
+		errs      atomic.Int64
+		errMu     sync.Mutex
+		errSample string
+	)
+	start := time.Now()
+	var deadline time.Time
+	if cfg.duration > 0 {
+		deadline = start.Add(cfg.duration)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if !deadline.IsZero() && !time.Now().Before(deadline) {
+					return
+				}
+				base := nextIdx.Add(int64(cfg.batch)) - int64(cfg.batch)
+				n := cfg.batch
+				if deadline.IsZero() {
+					if base >= int64(cfg.requests) {
+						return
+					}
+					if rest := int64(cfg.requests) - base; int64(n) > rest {
+						n = int(rest)
+					}
+				}
+				items := make([]engine.AskItem, n)
+				for i := range items {
+					idx := base + int64(i)
+					items[i] = engine.AskItem{
+						Session:  "lg-" + strconv.FormatInt(idx%int64(cfg.sessions), 10),
+						Question: mix[idx%int64(len(mix))],
+					}
+				}
+				t0 := time.Now()
+				outs := drv.do(items)
+				hist.Observe(time.Since(t0))
+				reqs.Add(1)
+				for _, o := range outs {
+					questions.Add(1)
+					if o.err != nil {
+						errs.Add(1)
+						errMu.Lock()
+						if errSample == "" {
+							errSample = o.err.Error()
+						}
+						errMu.Unlock()
+						continue
+					}
+					if o.cached {
+						hits.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := hist.Snapshot()
+	asked := questions.Load()
+	errors := errs.Load()
+	answered := asked - errors
+	misses := answered - hits.Load()
+	hitRate := 0.0
+	if answered > 0 {
+		hitRate = float64(hits.Load()) / float64(answered)
+	}
+	throughput := 0.0
+	if elapsed > 0 {
+		throughput = float64(asked) / elapsed.Seconds()
+	}
+	return &Report{
+		Schema:          "cachemind-loadgen/v1",
+		Mode:            mode,
+		Target:          cfg.url,
+		Concurrency:     cfg.concurrency,
+		Batch:           cfg.batch,
+		Shards:          shards,
+		Seed:            cfg.seed,
+		RepeatRatio:     cfg.repeat,
+		Sessions:        cfg.sessions,
+		Requests:        int(reqs.Load()),
+		Questions:       int(asked),
+		Errors:          int(errors),
+		ErrorSample:     errSample,
+		DurationSeconds: elapsed.Seconds(),
+		ThroughputQPS:   throughput,
+		Latency: LatencyMS{
+			P50:  ms(snap.Quantile(0.50)),
+			P95:  ms(snap.Quantile(0.95)),
+			P99:  ms(snap.Quantile(0.99)),
+			Mean: ms(snap.Mean()),
+			Max:  ms(snap.Max),
+		},
+		Cache: CacheStats{Hits: hits.Load(), Misses: misses, HitRate: hitRate},
+	}, nil
+}
+
+// ms renders a duration as float milliseconds.
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

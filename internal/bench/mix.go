@@ -1,0 +1,43 @@
+package bench
+
+import "math/rand"
+
+// SampleMix draws a deterministic question stream of length n from the
+// suite — the workload shape cmd/loadgen and the CI perf gate replay.
+// repeat (clamped to [0, 1]) is the probability that a draw re-asks a
+// question already emitted earlier in the stream, which is what
+// exercises answer caches downstream; non-repeat draws walk a
+// seed-shuffled order over the whole suite, so at repeat 0 the first
+// len(suite) draws cover every question exactly once. The stream is a
+// pure function of (suite, n, seed, repeat): identical inputs replay
+// identical load, which is what makes BENCH_loadgen.json numbers
+// comparable across runs and machines.
+func SampleMix(s *Suite, n int, seed int64, repeat float64) []string {
+	if n <= 0 || len(s.Questions) == 0 {
+		return nil
+	}
+	if repeat < 0 {
+		repeat = 0
+	}
+	if repeat > 1 {
+		repeat = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := shuffledIndices(len(s.Questions), rng)
+	out := make([]string, 0, n)
+	next := 0 // position in order of the next fresh draw
+	for len(out) < n {
+		if len(out) > 0 && rng.Float64() < repeat {
+			out = append(out, out[rng.Intn(len(out))])
+			continue
+		}
+		if next == len(order) {
+			// Suite exhausted: recycle the shuffled order so fresh
+			// draws keep covering every question.
+			next = 0
+		}
+		out = append(out, s.Questions[order[next]].Text)
+		next++
+	}
+	return out
+}

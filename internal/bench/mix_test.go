@@ -1,0 +1,134 @@
+package bench_test
+
+import (
+	"testing"
+
+	"cachemind/internal/bench"
+	"cachemind/internal/db/dbtest"
+)
+
+func mixSuite(t *testing.T) *bench.Suite {
+	t.Helper()
+	s, err := bench.Generate(dbtest.Store(t, dbtest.Config{}), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSampleMixDeterministic(t *testing.T) {
+	s := mixSuite(t)
+	a := bench.SampleMix(s, 200, 42, 0.5)
+	b := bench.SampleMix(s, 200, 42, 0.5)
+	if len(a) != 200 || len(b) != 200 {
+		t.Fatalf("lengths = %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between identical calls: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if c := bench.SampleMix(s, 200, 43, 0.5); len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced an identical stream")
+		}
+	}
+}
+
+func TestSampleMixCoversSuiteAtRepeatZero(t *testing.T) {
+	s := mixSuite(t)
+	n := len(s.Questions)
+	// Distinct suite entries can render the same text, so coverage is
+	// asserted by text multiplicity: one pass at repeat=0 asks each
+	// text exactly as often as it appears in the suite.
+	want := map[string]int{}
+	for _, q := range s.Questions {
+		want[q.Text]++
+	}
+	counts := map[string]int{}
+	for _, q := range bench.SampleMix(s, n, 1, 0) {
+		counts[q]++
+	}
+	for text, c := range want {
+		if counts[text] != c {
+			t.Fatalf("repeat=0 first pass asked %q %d times, want %d", text, counts[text], c)
+		}
+	}
+	// Past one pass the order recycles, still covering everything.
+	counts = map[string]int{}
+	for _, q := range bench.SampleMix(s, 3*n, 1, 0) {
+		counts[q]++
+	}
+	for text, c := range want {
+		if counts[text] != 3*c {
+			t.Fatalf("repeat=0 over 3 passes asked %q %d times, want %d", text, counts[text], 3*c)
+		}
+	}
+}
+
+func TestSampleMixDrawsFromSuite(t *testing.T) {
+	s := mixSuite(t)
+	valid := map[string]bool{}
+	for _, q := range s.Questions {
+		valid[q.Text] = true
+	}
+	for _, q := range bench.SampleMix(s, 500, 9, 0.7) {
+		if !valid[q] {
+			t.Fatalf("mix emitted a question not in the suite: %q", q)
+		}
+	}
+}
+
+func TestSampleMixRepeatRatio(t *testing.T) {
+	s := mixSuite(t)
+	// repeat=1: after the first draw every draw repeats it.
+	all := bench.SampleMix(s, 50, 3, 1)
+	for i, q := range all {
+		if q != all[0] {
+			t.Fatalf("repeat=1 draw %d = %q, want %q", i, q, all[0])
+		}
+	}
+	// repeat=0.5 over a long stream: the repeated fraction (draws seen
+	// before) should overshoot 0.5 — repeats plus fresh draws that
+	// recycle — but stay below 1.
+	mix := bench.SampleMix(s, 2000, 11, 0.5)
+	seen := map[string]bool{}
+	repeats := 0
+	for _, q := range mix {
+		if seen[q] {
+			repeats++
+		}
+		seen[q] = true
+	}
+	frac := float64(repeats) / float64(len(mix))
+	if frac < 0.45 || frac > 0.999 {
+		t.Fatalf("repeat=0.5 stream has repeated fraction %.3f, want within (0.45, 1)", frac)
+	}
+	// Clamping: out-of-range ratios behave as their clamps.
+	if got := bench.SampleMix(s, 10, 3, 1.7); got[5] != got[0] {
+		t.Fatal("repeat > 1 not clamped to 1")
+	}
+	if got := bench.SampleMix(s, 5, 1, -0.3); got[0] == got[1] && got[1] == got[2] {
+		t.Fatal("repeat < 0 not clamped to 0")
+	}
+}
+
+func TestSampleMixEdgeCases(t *testing.T) {
+	s := mixSuite(t)
+	if got := bench.SampleMix(s, 0, 1, 0.5); got != nil {
+		t.Fatalf("n=0 returned %v", got)
+	}
+	if got := bench.SampleMix(&bench.Suite{}, 10, 1, 0.5); got != nil {
+		t.Fatalf("empty suite returned %v", got)
+	}
+	if got := bench.SampleMix(s, 1, 1, 1); len(got) != 1 {
+		t.Fatalf("n=1 returned %d draws", len(got))
+	}
+}

@@ -23,10 +23,21 @@
 // The purity of the generate step is what makes the answer cache sound:
 // a cached answer is byte-identical to the one a fresh retrieval would
 // produce.
+//
+// # Sharding
+//
+// The engine's hot mutable state — the session table, the answer LRU,
+// and the single-flight table — is split into Config.Shards hash-keyed
+// shards (default one per CPU), each behind its own mutex, so
+// concurrent asks only contend when they touch the same shard. A cache
+// key or session ID always hashes to the same shard, which keeps
+// answers byte-identical and hit/miss totals for a fixed ask sequence
+// independent of the shard count; LRU eviction and compaction run per
+// shard over that shard's slice of the global MaxSessions/CacheSize
+// budgets. See shard.go for the full design note.
 package engine
 
 import (
-	"container/list"
 	"fmt"
 	"sort"
 	"strings"
@@ -39,6 +50,7 @@ import (
 	"cachemind/internal/llm"
 	"cachemind/internal/memory"
 	"cachemind/internal/nlu"
+	"cachemind/internal/parallel"
 	"cachemind/internal/retriever"
 )
 
@@ -85,6 +97,15 @@ type Config struct {
 	// CacheSize bounds the answer LRU: 0 selects DefaultCacheSize,
 	// negative disables caching entirely.
 	CacheSize int
+	// Shards is how many ways the session table, answer cache and
+	// single-flight table are each split (one mutex per shard). Values
+	// < 1 select DefaultShards(), one shard per CPU. Shards: 1
+	// reproduces the pre-sharding global-lock semantics exactly,
+	// including global LRU order. The MaxSessions and CacheSize budgets
+	// are divided across shards (each shard keeps at least one entry,
+	// so a budget smaller than the shard count rounds up to one per
+	// shard).
+	Shards int
 	// CustomRetriever, when non-nil, overrides Retriever with a caller
 	// -supplied implementation (tests, future multi-backend fan-out).
 	// It must be safe for concurrent Retrieve calls.
@@ -141,21 +162,18 @@ type Engine struct {
 	// is read-only (see the package comment).
 	gen         *generator.Generator
 	memoryTurns int
-	maxSessions int          // <= 0: unlimited
-	maxTurns    int          // <= 0: unlimited
-	cache       *answerCache // nil when caching is disabled
+	maxTurns    int // <= 0: unlimited
+	nshards     int
 
-	// mu guards the session table and its recency list (front = most
-	// recently asked). Per-session state has its own lock.
-	mu        sync.Mutex
-	sessions  map[string]*list.Element // of *session
-	byRecency *list.List
-
-	// flightMu guards inflight: single-flight coalescing of concurrent
-	// cache misses for the same key, so N simultaneous first-asks run
-	// one retrieval, not N.
-	flightMu sync.Mutex
-	inflight map[string]*inflightCall
+	// Hot mutable state, hash-sharded nshards ways (see shard.go):
+	// sessionShards is keyed by session ID; caches and flights are
+	// keyed by the cache key, so a given key's cache lookups and
+	// single-flight coalescing always land on the same shard. Each
+	// flight shard coalesces concurrent cache misses for one key slice,
+	// so N simultaneous first-asks run one retrieval, not N.
+	sessionShards []*sessionShard
+	caches        []*answerCache // nil when caching is disabled
+	flights       []*flightShard
 
 	questions       atomic.Uint64
 	sessionsEvicted atomic.Uint64
@@ -205,26 +223,41 @@ func New(cfg Config) (*Engine, error) {
 	if maxTurns == 0 {
 		maxTurns = DefaultMaxSessionTurns
 	}
-	var cache *answerCache
+	nshards := cfg.Shards
+	if nshards < 1 {
+		nshards = DefaultShards()
+	}
+
+	sessionShards := make([]*sessionShard, nshards)
+	for i, budget := range shardBudget(maxSessions, nshards) {
+		sessionShards[i] = newSessionShard(budget)
+	}
+	flights := make([]*flightShard, nshards)
+	for i := range flights {
+		flights[i] = newFlightShard()
+	}
+	var caches []*answerCache
 	if cfg.CacheSize >= 0 {
 		size := cfg.CacheSize
 		if size == 0 {
 			size = DefaultCacheSize
 		}
-		cache = newAnswerCache(size)
+		caches = make([]*answerCache, nshards)
+		for i, budget := range shardBudget(size, nshards) {
+			caches[i] = newAnswerCache(budget)
+		}
 	}
 	return &Engine{
-		store:       cfg.Store,
-		retr:        retr,
-		profile:     profile,
-		gen:         generator.New(profile),
-		memoryTurns: memoryTurns,
-		maxSessions: maxSessions,
-		maxTurns:    maxTurns,
-		cache:       cache,
-		sessions:    map[string]*list.Element{},
-		byRecency:   list.New(),
-		inflight:    map[string]*inflightCall{},
+		store:         cfg.Store,
+		retr:          retr,
+		profile:       profile,
+		gen:           generator.New(profile),
+		memoryTurns:   memoryTurns,
+		maxTurns:      maxTurns,
+		nshards:       nshards,
+		sessionShards: sessionShards,
+		caches:        caches,
+		flights:       flights,
 	}, nil
 }
 
@@ -253,8 +286,13 @@ func (e *Engine) Ask(sessionID, question string) (Answer, error) {
 	e.questions.Add(1)
 
 	key := cacheKey(e.retr.Name(), e.profile.ID, question)
-	if e.cache != nil {
-		if ans, ok := e.cache.get(key); ok {
+	if e.caches != nil {
+		// The key's hash picks both the cache and the flight shard, so
+		// every ask of one question contends on exactly one lock pair
+		// no matter how many shards exist.
+		idx := shardIndex(key, e.nshards)
+		cache, flight := e.caches[idx], e.flights[idx]
+		if ans, ok := cache.get(key); ok {
 			ans.Cached = true
 			e.record(sessionID, question, ans.Text)
 			return ans, nil
@@ -262,9 +300,9 @@ func (e *Engine) Ask(sessionID, question string) (Answer, error) {
 		// Coalesce concurrent misses for the same key: one leader runs
 		// the pipeline, followers wait and share its answer (sound
 		// because answers are pure functions of the key).
-		e.flightMu.Lock()
-		if c, ok := e.inflight[key]; ok {
-			e.flightMu.Unlock()
+		flight.mu.Lock()
+		if c, ok := flight.inflight[key]; ok {
+			flight.mu.Unlock()
 			<-c.done
 			ans := c.ans
 			ans.Cached = true // served without invoking the retriever
@@ -272,17 +310,17 @@ func (e *Engine) Ask(sessionID, question string) (Answer, error) {
 			return ans, nil
 		}
 		c := &inflightCall{done: make(chan struct{})}
-		e.inflight[key] = c
-		e.flightMu.Unlock()
+		flight.inflight[key] = c
+		flight.mu.Unlock()
 
 		ans := e.answer(question)
 		// Publish to the cache before retiring the flight so late
 		// arrivals always find one or the other.
-		e.cache.put(key, ans)
+		cache.put(key, ans)
 		c.ans = ans
-		e.flightMu.Lock()
-		delete(e.inflight, key)
-		e.flightMu.Unlock()
+		flight.mu.Lock()
+		delete(flight.inflight, key)
+		flight.mu.Unlock()
 		close(c.done)
 		e.record(sessionID, question, ans.Text)
 		return ans, nil
@@ -292,6 +330,35 @@ func (e *Engine) Ask(sessionID, question string) (Answer, error) {
 	ans := e.answer(question)
 	e.record(sessionID, question, ans.Text)
 	return ans, nil
+}
+
+// AskItem is one question of a batch ask.
+type AskItem struct {
+	Session  string
+	Question string
+}
+
+// AskResult is one AskBatch outcome: the answer, or the item's error.
+type AskResult struct {
+	Answer Answer
+	Err    error
+}
+
+// AskBatch answers items concurrently on at most workers goroutines
+// (values <= 0 select one per CPU) and returns results in input order.
+// Errors are per item — a rejected question never aborts the rest of
+// the batch. This is the daemon's POST /v1/ask/batch path and the bulk
+// entry point for load generators: batched asks amortize scheduling
+// and let the sharded cache and session table absorb the fan-out.
+func (e *Engine) AskBatch(items []AskItem, workers int) []AskResult {
+	out := make([]AskResult, len(items))
+	// fn never returns an error (per-item errors land in out), so
+	// ForEach cannot abort early and every index is visited.
+	_ = parallel.ForEach(len(items), workers, func(i int) error {
+		out[i].Answer, out[i].Err = e.Ask(items[i].Session, items[i].Question)
+		return nil
+	})
+	return out
 }
 
 // answer runs the uncached retrieve→classify→generate pipeline. It is
@@ -343,21 +410,23 @@ func (e *Engine) record(sessionID, question, answer string) {
 }
 
 // session returns the named session, creating it on first use and
-// marking it most recently used. When the session bound is exceeded,
-// the least recently asked session is evicted wholesale.
+// marking it most recently used within its shard. When the shard's
+// session budget is exceeded, its least recently asked session is
+// evicted wholesale.
 func (e *Engine) session(id string) *session {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if el, ok := e.sessions[id]; ok {
-		e.byRecency.MoveToFront(el)
+	sh := e.sessionShards[shardIndex(id, e.nshards)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.sessions[id]; ok {
+		sh.byRecency.MoveToFront(el)
 		return el.Value.(*session)
 	}
 	s := &session{id: id, conv: memory.New(e.memoryTurns)}
-	e.sessions[id] = e.byRecency.PushFront(s)
-	for e.maxSessions > 0 && e.byRecency.Len() > e.maxSessions {
-		oldest := e.byRecency.Back()
-		e.byRecency.Remove(oldest)
-		delete(e.sessions, oldest.Value.(*session).id)
+	sh.sessions[id] = sh.byRecency.PushFront(s)
+	for sh.max > 0 && sh.byRecency.Len() > sh.max {
+		oldest := sh.byRecency.Back()
+		sh.byRecency.Remove(oldest)
+		delete(sh.sessions, oldest.Value.(*session).id)
 		e.sessionsEvicted.Add(1)
 	}
 	return s
@@ -366,9 +435,10 @@ func (e *Engine) session(id string) *session {
 // lookup returns the live session without touching recency (reads do
 // not keep a session alive).
 func (e *Engine) lookup(id string) (*session, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	el, ok := e.sessions[id]
+	sh := e.sessionShards[shardIndex(id, e.nshards)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.sessions[id]
 	if !ok {
 		return nil, false
 	}
@@ -418,13 +488,15 @@ func (e *Engine) SessionMemory(id, question string) (string, bool) {
 	return s.conv.ContextBlock(question), true
 }
 
-// SessionIDs lists every live session, sorted.
+// SessionIDs lists every live session across all shards, sorted.
 func (e *Engine) SessionIDs() []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]string, 0, len(e.sessions))
-	for id := range e.sessions {
-		out = append(out, id)
+	var out []string
+	for _, sh := range e.sessionShards {
+		sh.mu.Lock()
+		for id := range sh.sessions {
+			out = append(out, id)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out
@@ -445,22 +517,35 @@ type Stats struct {
 	Sessions int
 	// SessionsEvicted counts sessions dropped by the MaxSessions bound.
 	SessionsEvicted uint64
+	// Shards is the engine's shard count.
+	Shards int
 }
 
-// Stats returns the current counters.
+// Stats returns the current counters, summed across shards. Each shard
+// is snapshotted under its own lock, so totals are exact for a
+// quiescent engine and monotone-consistent under load.
 func (e *Engine) Stats() Stats {
 	st := Stats{
 		Questions:       e.questions.Load(),
 		SessionsEvicted: e.sessionsEvicted.Load(),
+		Shards:          e.nshards,
 	}
-	if e.cache != nil {
-		st.CacheHits, st.CacheMisses, st.CacheEntries = e.cache.counters()
+	for _, c := range e.caches {
+		hits, misses, entries := c.counters()
+		st.CacheHits += hits
+		st.CacheMisses += misses
+		st.CacheEntries += entries
 	}
-	e.mu.Lock()
-	st.Sessions = len(e.sessions)
-	e.mu.Unlock()
+	for _, sh := range e.sessionShards {
+		sh.mu.Lock()
+		st.Sessions += len(sh.sessions)
+		sh.mu.Unlock()
+	}
 	return st
 }
+
+// Shards returns the engine's shard count.
+func (e *Engine) Shards() int { return e.nshards }
 
 // Store returns the underlying database (treat as read-only).
 func (e *Engine) Store() *db.Store { return e.store }

@@ -250,6 +250,24 @@ func TestSessionMemoryIsolation(t *testing.T) {
 // the serial reference, and every session log must contain exactly its
 // own goroutine's questions in order.
 func TestConcurrentAskDeterminism(t *testing.T) {
+	hammer(t, engine.Config{})
+}
+
+// TestShardedConcurrentHammer runs the same 16-goroutine hammer pinned
+// to 1 shard (global-lock semantics) and 8 shards, so -race covers both
+// the degenerate and the contended shard layouts.
+func TestShardedConcurrentHammer(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			hammer(t, engine.Config{Shards: shards})
+		})
+	}
+}
+
+// hammer is the shared body: concurrent asks against cfg must be
+// byte-identical to a serial cache-less reference, and the session
+// logs, question counter and cache lookups must balance exactly.
+func hammer(t *testing.T, cfg engine.Config) {
 	// Serial reference, no cache.
 	ref := map[string]string{}
 	refEngine := newEngine(t, engine.Config{CacheSize: -1})
@@ -261,7 +279,7 @@ func TestConcurrentAskDeterminism(t *testing.T) {
 		ref[q] = a.Text
 	}
 
-	e := newEngine(t, engine.Config{})
+	e := newEngine(t, cfg)
 	const goroutines = 16
 	const rounds = 8
 	var wg sync.WaitGroup
@@ -322,9 +340,11 @@ func TestConcurrentAskDeterminism(t *testing.T) {
 }
 
 // TestSessionEviction: beyond MaxSessions, the least recently asked
-// session is dropped wholesale.
+// session is dropped wholesale. Shards: 1 pins the single global
+// recency order this test asserts exactly (under sharding, recency
+// competition is per shard).
 func TestSessionEviction(t *testing.T) {
-	e := newEngine(t, engine.Config{MaxSessions: 2})
+	e := newEngine(t, engine.Config{MaxSessions: 2, Shards: 1})
 	for _, id := range []string{"s1", "s2", "s3"} {
 		if _, err := e.Ask(id, questions[0]); err != nil {
 			t.Fatal(err)
@@ -405,9 +425,10 @@ func TestSessionMemoryView(t *testing.T) {
 }
 
 // TestEngineCacheEviction: with a 1-entry cache, alternating questions
-// never hit.
+// never hit. Shards: 1 keeps the cache a single 1-entry LRU (each
+// shard keeps at least one entry, so more shards would widen it).
 func TestEngineCacheEviction(t *testing.T) {
-	e := newEngine(t, engine.Config{CacheSize: 1})
+	e := newEngine(t, engine.Config{CacheSize: 1, Shards: 1})
 	for i := 0; i < 3; i++ {
 		if _, err := e.Ask("s", questions[i%2]); err != nil {
 			t.Fatal(err)

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"container/list"
+	"runtime"
+	"sync"
+)
+
+// Sharding design note
+//
+// The engine's three mutable tables — the session map, the answer LRU,
+// and the single-flight table — were protected by single global mutexes
+// through PR 2, which serialized every ask no matter how many cores
+// served traffic. They are now each split into Config.Shards hash-keyed
+// shards with one lock per shard:
+//
+//   - a cache key (retriever\x00model\x00question) always hashes to the
+//     same cache/flight shard, so whether a lookup hits, and which
+//     single-flight leader a concurrent miss joins, is independent of
+//     the shard count — hit/miss totals for any fixed ask sequence are
+//     identical at 1 shard and at N;
+//   - a session ID always hashes to the same session shard, so one
+//     session's turns stay totally ordered under that shard's lock
+//     exactly as before;
+//   - LRU eviction and turn compaction run per shard over that shard's
+//     slice of the global budget (shardBudget), so the semantics are
+//     the PR 2 semantics applied shard-locally. The one observable
+//     difference: recency competition is per shard, so which session
+//     (or cached answer) is evicted under pressure depends on the
+//     hash layout. Tests that pin exact global LRU order set Shards: 1.
+//
+// Answers themselves never touch shard state (they are pure functions
+// of retriever, model, and question — see the package comment), so
+// sharding cannot change a single byte of any answer.
+
+// DefaultShards is the shard count when Config.Shards is zero: one
+// shard per schedulable CPU, so lock contention scales out with the
+// hardware the same way GOMAXPROCS does.
+func DefaultShards() int { return runtime.GOMAXPROCS(0) }
+
+// shardIndex maps a key to a shard by FNV-1a (inlined to avoid a
+// hash.Hash allocation on the ask hot path).
+func shardIndex(key string, n int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
+// shardBudget divides a global entry budget across n shards: the
+// remainder is spread over the leading shards and every shard keeps at
+// least one entry, so the budgets sum to max(total, n) — a global
+// budget smaller than the shard count rounds up to one entry per
+// shard. A non-positive total (unlimited / disabled) is passed through
+// to every shard unchanged.
+func shardBudget(total, n int) []int {
+	out := make([]int, n)
+	if total <= 0 {
+		for i := range out {
+			out[i] = total
+		}
+		return out
+	}
+	base, rem := total/n, total%n
+	for i := range out {
+		b := base
+		if i < rem {
+			b++
+		}
+		if b < 1 {
+			b = 1
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// sessionShard owns one hash slice of the session table: the sessions
+// that map here, their recency list (front = most recently asked), and
+// this shard's share of the MaxSessions budget.
+type sessionShard struct {
+	mu        sync.Mutex
+	sessions  map[string]*list.Element // of *session
+	byRecency *list.List
+	max       int // <= 0: unlimited
+}
+
+func newSessionShard(max int) *sessionShard {
+	return &sessionShard{
+		sessions:  map[string]*list.Element{},
+		byRecency: list.New(),
+		max:       max,
+	}
+}
+
+// flightShard owns one hash slice of the single-flight table:
+// in-progress uncached answers whose cache keys map here.
+type flightShard struct {
+	mu       sync.Mutex
+	inflight map[string]*inflightCall
+}
+
+func newFlightShard() *flightShard {
+	return &flightShard{inflight: map[string]*inflightCall{}}
+}

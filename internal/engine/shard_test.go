@@ -1,0 +1,75 @@
+package engine
+
+import "testing"
+
+func TestShardBudget(t *testing.T) {
+	cases := []struct {
+		total, n int
+		want     []int
+	}{
+		{total: 8, n: 4, want: []int{2, 2, 2, 2}},
+		{total: 10, n: 4, want: []int{3, 3, 2, 2}},
+		// Budget smaller than the shard count rounds up to 1 per shard.
+		{total: 2, n: 4, want: []int{1, 1, 1, 1}},
+		{total: 1, n: 1, want: []int{1}},
+		// Unlimited / disabled passes through unchanged.
+		{total: 0, n: 3, want: []int{0, 0, 0}},
+		{total: -1, n: 2, want: []int{-1, -1}},
+	}
+	for _, c := range cases {
+		got := shardBudget(c.total, c.n)
+		if len(got) != len(c.want) {
+			t.Fatalf("shardBudget(%d, %d) = %v, want %v", c.total, c.n, got, c.want)
+		}
+		sum := 0
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("shardBudget(%d, %d) = %v, want %v", c.total, c.n, got, c.want)
+			}
+			sum += got[i]
+		}
+		if c.total > 0 {
+			want := c.total
+			if c.n > want {
+				want = c.n
+			}
+			if sum != want {
+				t.Fatalf("shardBudget(%d, %d) sums to %d, want max(total, n) = %d", c.total, c.n, sum, want)
+			}
+		}
+	}
+}
+
+func TestShardIndexStableAndInRange(t *testing.T) {
+	keys := []string{"", "a", "session-1", "ranger\x00gpt-4o\x00What is the miss rate?"}
+	for _, n := range []int{1, 2, 8, 13} {
+		for _, k := range keys {
+			i := shardIndex(k, n)
+			if i < 0 || i >= n {
+				t.Fatalf("shardIndex(%q, %d) = %d out of range", k, n, i)
+			}
+			if j := shardIndex(k, n); j != i {
+				t.Fatalf("shardIndex(%q, %d) unstable: %d then %d", k, n, i, j)
+			}
+		}
+	}
+	// With one shard everything maps to shard 0 (the global-lock case).
+	for _, k := range keys {
+		if i := shardIndex(k, 1); i != 0 {
+			t.Fatalf("shardIndex(%q, 1) = %d, want 0", k, i)
+		}
+	}
+}
+
+// TestShardIndexSpreads sanity-checks the FNV mapping actually
+// distributes realistic session IDs instead of collapsing to one shard.
+func TestShardIndexSpreads(t *testing.T) {
+	const n = 8
+	seen := map[int]bool{}
+	for i := 0; i < 256; i++ {
+		seen[shardIndex("session-"+string(rune('a'+i%26))+"-"+string(rune('0'+i%10)), n)] = true
+	}
+	if len(seen) < n/2 {
+		t.Fatalf("256 session IDs landed on only %d of %d shards", len(seen), n)
+	}
+}

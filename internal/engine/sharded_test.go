@@ -1,0 +1,161 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cachemind/internal/engine"
+)
+
+// askSequence is a fixed serial workload: every question asked three
+// times across a handful of sessions, interleaved so hits and misses
+// alternate deterministically.
+func askSequence() []engine.AskItem {
+	var seq []engine.AskItem
+	for round := 0; round < 3; round++ {
+		for qi, q := range questions {
+			seq = append(seq, engine.AskItem{
+				Session:  fmt.Sprintf("seq-%d", (round+qi)%4),
+				Question: q,
+			})
+		}
+	}
+	return seq
+}
+
+// TestShardedCacheDeterminism replays the same fixed ask sequence
+// through a 1-shard and an 8-shard engine: every answer must be
+// byte-identical and the hit/miss totals must agree exactly. A
+// question's key always hashes to the same shard, so splitting the
+// cache can never change whether a serial lookup hits.
+func TestShardedCacheDeterminism(t *testing.T) {
+	run := func(shards int) ([]string, engine.Stats) {
+		e := newEngine(t, engine.Config{Shards: shards})
+		seq := askSequence()
+		answers := make([]string, len(seq))
+		for i, item := range seq {
+			a, err := e.Ask(item.Session, item.Question)
+			if err != nil {
+				t.Fatalf("shards=%d ask %d: %v", shards, i, err)
+			}
+			answers[i] = a.Text
+		}
+		return answers, e.Stats()
+	}
+
+	ans1, st1 := run(1)
+	ans8, st8 := run(8)
+	for i := range ans1 {
+		if ans1[i] != ans8[i] {
+			t.Fatalf("answer %d diverges between 1 and 8 shards:\n1: %q\n8: %q", i, ans1[i], ans8[i])
+		}
+	}
+	if st1.CacheHits != st8.CacheHits || st1.CacheMisses != st8.CacheMisses {
+		t.Fatalf("hit/miss totals diverge: 1 shard %d/%d, 8 shards %d/%d",
+			st1.CacheHits, st1.CacheMisses, st8.CacheHits, st8.CacheMisses)
+	}
+	// The sequence asks each question 3x: 1 miss + 2 hits per question.
+	wantMisses := uint64(len(questions))
+	if st1.CacheMisses != wantMisses || st1.CacheHits != 2*wantMisses {
+		t.Fatalf("counters = %d hits / %d misses, want %d / %d",
+			st1.CacheHits, st1.CacheMisses, 2*wantMisses, wantMisses)
+	}
+	if st1.Questions != st8.Questions || st1.Sessions != st8.Sessions {
+		t.Fatalf("stats diverge: %+v vs %+v", st1, st8)
+	}
+	if st1.Shards != 1 || st8.Shards != 8 {
+		t.Fatalf("Stats.Shards = %d / %d, want 1 / 8", st1.Shards, st8.Shards)
+	}
+}
+
+// TestAskBatchOrderAndParity: AskBatch returns results in input order,
+// each byte-identical to a serial Ask of the same question, at several
+// worker bounds (1 = serial fast path).
+func TestAskBatchOrderAndParity(t *testing.T) {
+	ref := map[string]string{}
+	refEngine := newEngine(t, engine.Config{CacheSize: -1})
+	for _, q := range questions {
+		a, err := refEngine.Ask("ref", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[q] = a.Text
+	}
+
+	for _, workers := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			e := newEngine(t, engine.Config{})
+			items := askSequence()
+			results := e.AskBatch(items, workers)
+			if len(results) != len(items) {
+				t.Fatalf("got %d results for %d items", len(results), len(items))
+			}
+			for i, r := range results {
+				if r.Err != nil {
+					t.Fatalf("item %d: %v", i, r.Err)
+				}
+				if r.Answer.Text != ref[items[i].Question] {
+					t.Fatalf("item %d: answer diverges from serial reference", i)
+				}
+			}
+			// Every exchange must land in its session's log.
+			if st := e.Stats(); st.Questions != uint64(len(items)) {
+				t.Fatalf("questions counter = %d, want %d", st.Questions, len(items))
+			}
+		})
+	}
+}
+
+// TestAskBatchPerItemErrors: an invalid item reports its own error
+// without aborting the rest of the batch.
+func TestAskBatchPerItemErrors(t *testing.T) {
+	e := newEngine(t, engine.Config{})
+	items := []engine.AskItem{
+		{Session: "s", Question: questions[0]},
+		{Session: "s", Question: "   "}, // invalid: empty after trim
+		{Session: "s", Question: questions[1]},
+	}
+	results := e.AskBatch(items, 4)
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("valid items failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("empty question accepted in batch")
+	}
+	if results[0].Answer.Text == "" || results[2].Answer.Text == "" {
+		t.Fatal("valid items returned empty answers")
+	}
+	if results[1].Answer.Text != "" {
+		t.Fatalf("failed item carries an answer: %q", results[1].Answer.Text)
+	}
+}
+
+// TestAskBatchEmpty: a nil/empty batch is a no-op.
+func TestAskBatchEmpty(t *testing.T) {
+	e := newEngine(t, engine.Config{})
+	if got := e.AskBatch(nil, 4); len(got) != 0 {
+		t.Fatalf("AskBatch(nil) = %d results", len(got))
+	}
+	if st := e.Stats(); st.Questions != 0 {
+		t.Fatalf("empty batch counted questions: %+v", st)
+	}
+}
+
+// TestShardedSessionBudgetRoundsUp: a MaxSessions budget smaller than
+// the shard count keeps at least one session per shard — the documented
+// rounding — rather than evicting everything.
+func TestShardedSessionBudgetRoundsUp(t *testing.T) {
+	e := newEngine(t, engine.Config{MaxSessions: 2, Shards: 8})
+	for i := 0; i < 20; i++ {
+		if _, err := e.Ask(fmt.Sprintf("s%d", i), questions[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.Sessions < 1 || st.Sessions > 8 {
+		t.Fatalf("live sessions = %d, want within [1, shards]", st.Sessions)
+	}
+	if st.Sessions+int(st.SessionsEvicted) != 20 {
+		t.Fatalf("live(%d) + evicted(%d) != 20", st.Sessions, st.SessionsEvicted)
+	}
+}

@@ -1,0 +1,161 @@
+// Package histogram is a fixed-bucket log-scale latency histogram safe
+// for concurrent observers: lock-free Observe on the serving hot path,
+// consistent-enough snapshots for reporting. It backs both the daemon's
+// per-route /metrics latencies and cmd/loadgen's percentile report, so
+// the two always agree on how a quantile is computed.
+//
+// Buckets are geometric from 1µs with ~9% growth (2^(1/8)), which caps
+// the interpolation error of any quantile at about half a bucket width
+// — tighter than the run-to-run noise of the latencies being measured.
+package histogram
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// minBound is the upper bound of the first bucket; everything
+	// faster lands there.
+	minBound = time.Microsecond
+	// maxBound caps the bucket table; slower observations land in the
+	// last bucket (Max still records them exactly).
+	maxBound = 100 * time.Second
+	// growth is the per-bucket bound multiplier, 2^(1/8).
+	growth = 1.0905077326652577
+)
+
+// bounds[i] is the inclusive upper bound of bucket i, in nanoseconds.
+var bounds = func() []int64 {
+	var b []int64
+	for v := float64(minBound); v < float64(maxBound); v *= growth {
+		b = append(b, int64(math.Ceil(v)))
+	}
+	return append(b, int64(maxBound))
+}()
+
+// bucketIndex returns the bucket for a duration by binary search.
+func bucketIndex(d time.Duration) int {
+	ns := int64(d)
+	lo, hi := 0, len(bounds)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bounds[mid] < ns {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Histogram accumulates latency observations. The zero value is not
+// usable; call New. All methods are safe for concurrent use.
+type Histogram struct {
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sumNS  atomic.Int64
+	maxNS  atomic.Int64
+}
+
+// New returns an empty histogram.
+func New() *Histogram {
+	return &Histogram{counts: make([]atomic.Uint64, len(bounds))}
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+	for {
+		cur := h.maxNS.Load()
+		if int64(d) <= cur || h.maxNS.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Snapshot is a point-in-time copy of the histogram, safe to read
+// without further synchronization.
+type Snapshot struct {
+	Counts []uint64
+	Count  uint64
+	Sum    time.Duration
+	Max    time.Duration
+}
+
+// Snapshot copies the current state. Concurrent observers may land
+// between the per-bucket reads; totals stay monotone and within one
+// in-flight observation of exact.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    time.Duration(h.sumNS.Load()),
+		Max:    time.Duration(h.maxNS.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation
+// within the containing bucket, clamped to the exact observed Max. An
+// empty snapshot returns 0.
+func (s Snapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	// rank is the 1-based position of the quantile observation.
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lower := int64(0)
+			if i > 0 {
+				lower = bounds[i-1]
+			}
+			// The overflow bucket's true upper bound is the exact
+			// observed max, not the table cap.
+			upper := bounds[i]
+			if i == len(bounds)-1 && int64(s.Max) > upper {
+				upper = int64(s.Max)
+			}
+			// Position of the rank within this bucket, (0, 1].
+			frac := float64(rank-cum) / float64(c)
+			v := time.Duration(float64(lower) + frac*float64(upper-lower))
+			if v > s.Max {
+				v = s.Max
+			}
+			return v
+		}
+		cum += c
+	}
+	return s.Max
+}
+
+// Mean returns the exact arithmetic mean (Sum/Count), 0 when empty.
+func (s Snapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}

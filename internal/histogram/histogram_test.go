@@ -1,0 +1,153 @@
+package histogram
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEmptySnapshot(t *testing.T) {
+	s := New().Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Max != 0 {
+		t.Fatalf("empty histogram not zero-valued: %+v", s)
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	h := New()
+	h.Observe(5 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Max != 5*time.Millisecond || s.Mean() != 5*time.Millisecond {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// Every quantile of a single observation is that observation
+	// (clamped to the exact max).
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := s.Quantile(q)
+		if got > 5*time.Millisecond || got < 4*time.Millisecond {
+			t.Fatalf("Quantile(%v) = %v, want ~5ms", q, got)
+		}
+	}
+}
+
+// TestUniformQuantiles: a uniform 1..1000µs distribution must report
+// p50/p95/p99 within the documented ~half-bucket (~5%) tolerance.
+func TestUniformQuantiles(t *testing.T) {
+	h := New()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	for _, c := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Microsecond},
+		{0.95, 950 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+	} {
+		got := s.Quantile(c.q)
+		if err := math.Abs(float64(got-c.want)) / float64(c.want); err > 0.06 {
+			t.Errorf("Quantile(%v) = %v, want %v ±6%% (err %.1f%%)", c.q, got, c.want, err*100)
+		}
+	}
+	if mean := s.Mean(); mean != 500500*time.Nanosecond {
+		t.Errorf("Mean = %v, want exactly 500.5µs (sum is tracked exactly)", mean)
+	}
+	if s.Max != time.Millisecond {
+		t.Errorf("Max = %v, want exactly 1ms", s.Max)
+	}
+}
+
+func TestQuantilesMonotone(t *testing.T) {
+	h := New()
+	for i := 0; i < 500; i++ {
+		h.Observe(time.Duration(1+i*i%9973) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		got := s.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%v) = %v < previous %v", q, got, prev)
+		}
+		prev = got
+	}
+	if s.Quantile(1) != s.Max {
+		t.Fatalf("Quantile(1) = %v, want Max %v", s.Quantile(1), s.Max)
+	}
+}
+
+// TestExtremes: observations outside the bucket table clamp without
+// losing count, sum, or max.
+func TestExtremes(t *testing.T) {
+	h := New()
+	h.Observe(-time.Second) // clamped to 0
+	h.Observe(0)
+	h.Observe(10 * time.Minute) // beyond maxBound
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Max != 10*time.Minute {
+		t.Fatalf("Max = %v, want exact 10m", s.Max)
+	}
+	if got := s.Quantile(0.99); got != 10*time.Minute {
+		t.Fatalf("p99 = %v, want clamped to Max", got)
+	}
+}
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	if i := bucketIndex(0); i != 0 {
+		t.Fatalf("bucketIndex(0) = %d", i)
+	}
+	if i := bucketIndex(minBound); i != 0 {
+		t.Fatalf("bucketIndex(minBound) = %d, want 0 (inclusive upper bound)", i)
+	}
+	if i := bucketIndex(time.Hour); i != len(bounds)-1 {
+		t.Fatalf("bucketIndex(1h) = %d, want last bucket %d", i, len(bounds)-1)
+	}
+	// Bounds are strictly increasing — interpolation divides by their
+	// differences.
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %d then %d", i, bounds[i-1], bounds[i])
+		}
+	}
+}
+
+// TestConcurrentObserve is the -race exercise: parallel observers, then
+// exact count/sum accounting.
+func TestConcurrentObserve(t *testing.T) {
+	h := New()
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(1+(g*per+i)%500) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	var bucketSum uint64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+	if s.Max != 500*time.Microsecond {
+		t.Fatalf("Max = %v", s.Max)
+	}
+}
