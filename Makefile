@@ -28,8 +28,12 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# vet runs twice: once plainly, and once with the `race` build tag so
+# files the race job compiles (go test -race implies -tags race) are
+# vetted under the same tag set — vet/race parity.
 vet:
 	$(GO) vet ./...
+	$(GO) vet -tags race ./...
 
 # Short coverage-guided fuzz of the semantic parser (the surface
 # cachemindd exposes to untrusted HTTP input). FUZZTIME is overridable
@@ -40,12 +44,18 @@ fuzz:
 
 # The CI perf gate: a short fixed-seed closed-loop load against an
 # in-process engine. Writes BENCH_loadgen.json (throughput, p50/p95/p99
-# latency, cache hit rate); -strict fails the target on any request
-# error or zero throughput. Knobs overridable for longer local runs.
+# latency, cache hit rate, canceled count); -strict fails the target on
+# any request error, zero throughput, or a run with zero answered
+# questions. -request-timeout runs every ask under a real context
+# deadline — generous enough that nothing should cancel (the artifact's
+# "canceled" field is expected to be 0), so the gate exercises the
+# cancellation plumbing without tripping itself. Knobs overridable for
+# longer local runs.
 LOADGEN_N ?= 2000
 LOADGEN_C ?= 8
+LOADGEN_TIMEOUT ?= 10s
 loadgen:
 	$(GO) run ./cmd/loadgen -n $(LOADGEN_N) -c $(LOADGEN_C) -seed 42 -repeat 0.5 \
-		-accesses 4000 -strict -out BENCH_loadgen.json
+		-accesses 4000 -request-timeout $(LOADGEN_TIMEOUT) -strict -out BENCH_loadgen.json
 
 ci: build fmt vet race bench fuzz loadgen

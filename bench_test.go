@@ -9,6 +9,7 @@ package cachemind_test
 // artifacts at configurable scale.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -263,7 +264,7 @@ func BenchmarkEngineAskCold(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Ask("bench", engineBenchQuestion); err != nil {
+		if _, err := e.Ask(context.Background(), engine.Request{SessionID: "bench", Question: engineBenchQuestion}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -278,12 +279,12 @@ func BenchmarkEngineAskCached(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := e.Ask("bench", engineBenchQuestion); err != nil {
+	if _, err := e.Ask(context.Background(), engine.Request{SessionID: "bench", Question: engineBenchQuestion}); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Ask("bench", engineBenchQuestion); err != nil {
+		if _, err := e.Ask(context.Background(), engine.Request{SessionID: "bench", Question: engineBenchQuestion}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -319,7 +320,7 @@ func BenchmarkEngineAskContended(b *testing.B) {
 				}
 			}
 			for _, q := range qs {
-				if _, err := e.Ask("prime", q); err != nil {
+				if _, err := e.Ask(context.Background(), engine.Request{SessionID: "prime", Question: q}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -329,7 +330,7 @@ func BenchmarkEngineAskContended(b *testing.B) {
 				g := int(gid.Add(1))
 				session := fmt.Sprintf("bench-%d", g)
 				for i := g; pb.Next(); i++ {
-					if _, err := e.Ask(session, qs[i%len(qs)]); err != nil {
+					if _, err := e.Ask(context.Background(), engine.Request{SessionID: session, Question: qs[i%len(qs)]}); err != nil {
 						b.Fatal(err)
 					}
 				}

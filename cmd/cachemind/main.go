@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -53,19 +54,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	runREPL(eng, *showContext, os.Stdin, os.Stdout)
+	runREPL(context.Background(), eng, *showContext, os.Stdin, os.Stdout)
 }
 
 // runREPL drives one interactive chat session over the engine, reading
-// questions from in until EOF. Factored out of main so the smoke test
+// questions from in until EOF. Every ask runs under ctx, so a caller
+// holding a cancelable context (tests, a future signal handler) can
+// abort in-flight retrieval. Factored out of main so the smoke test
 // can pipe stdin through it.
-func runREPL(eng *engine.Engine, showContext bool, in io.Reader, out io.Writer) {
+func runREPL(ctx context.Context, eng *engine.Engine, showContext bool, in io.Reader, out io.Writer) {
 	store := eng.Store()
 	fmt.Fprintf(out, "CacheMind chat — model %s, retriever %s. Workloads: %s. Policies: %s.\n",
 		eng.Profile().DisplayName, eng.RetrieverName(),
 		strings.Join(store.Workloads(), ", "), strings.Join(store.Policies(), ", "))
 	fmt.Fprintln(out, "Ask trace-grounded questions; Ctrl-D to exit.")
 
+	opts := engine.Options{}
+	if showContext {
+		opts.Provenance = engine.ProvenanceContext
+	}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	for {
@@ -77,16 +84,16 @@ func runREPL(eng *engine.Engine, showContext bool, in io.Reader, out io.Writer) 
 		if q == "" {
 			continue
 		}
-		ans, err := eng.Ask("repl", q)
+		resp, err := eng.Ask(ctx, engine.Request{SessionID: "repl", Question: q, Options: opts})
 		if err != nil {
 			fmt.Fprintf(out, "error: %v\n", err)
 			continue
 		}
 		if showContext {
 			fmt.Fprintf(out, "--- retrieved context (quality %s, %s) ---\n%s\n---\n",
-				ans.Quality, ans.RetrievalElapsed.Round(1000), ans.Context)
+				resp.Quality, resp.Timings.Retrieval.Round(1000), resp.Context)
 		}
-		fmt.Fprintln(out, ans.Text)
+		fmt.Fprintln(out, resp.Text)
 	}
 	fmt.Fprintln(out)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -24,14 +25,14 @@ func newTestEngine(t *testing.T) *engine.Engine {
 func TestREPLSmoke(t *testing.T) {
 	eng := newTestEngine(t)
 	q := "List all unique PCs in mcf under LRU."
-	want, err := eng.Ask("ref", q)
+	want, err := eng.Ask(context.Background(), engine.Request{SessionID: "ref", Question: q})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	var out bytes.Buffer
 	in := strings.NewReader(q + "\n" + "\n" + "What is the miss rate in mcf under belady?\n")
-	runREPL(eng, false, in, &out)
+	runREPL(context.Background(), eng, false, in, &out)
 	got := out.String()
 
 	if !strings.HasPrefix(got, "CacheMind chat — model CacheMind+GPT-4o, retriever ranger.") {
@@ -60,7 +61,7 @@ func TestREPLSmoke(t *testing.T) {
 func TestREPLShowContext(t *testing.T) {
 	eng := newTestEngine(t)
 	var out bytes.Buffer
-	runREPL(eng, true, strings.NewReader("What is the miss rate in mcf under lru?\n"), &out)
+	runREPL(context.Background(), eng, true, strings.NewReader("What is the miss rate in mcf under lru?\n"), &out)
 	got := out.String()
 	if !strings.Contains(got, "--- retrieved context (quality ") {
 		t.Fatalf("context header missing:\n%s", got)
@@ -76,7 +77,7 @@ func TestREPLSharedEnginePath(t *testing.T) {
 	eng := newTestEngine(t)
 	var out bytes.Buffer
 	q := "Which policy has the lowest miss rate in mcf?"
-	runREPL(eng, false, strings.NewReader(q+"\n"), &out)
+	runREPL(context.Background(), eng, false, strings.NewReader(q+"\n"), &out)
 	turns, ok := eng.SessionTurns("repl")
 	if !ok || len(turns) != 1 || turns[0].Question != q {
 		t.Fatalf("repl session log = %+v, ok=%v", turns, ok)

@@ -6,17 +6,25 @@
 //
 // Endpoints:
 //
-//	POST /v1/ask              {"session":"s1","question":"..."} → answer JSON
+//	POST /v1/ask              {"session":"s1","question":"...","options":{...}} → answer JSON
 //	POST /v1/ask/batch        [{"session":"s1","question":"..."}, ...] → answer array (same order)
 //	GET  /v1/sessions/{id}    conversation log of one session
 //	GET  /healthz             liveness ("ok" once the store is built)
-//	GET  /metrics             plain-text counters + per-route latency quantiles
+//	GET  /metrics             plain-text counters + per-route latency quantiles and responses-by-code
+//
+// Failures use the v1 error envelope {"error":{"code":...,"message":...}}
+// with a deterministic engine.Code → HTTP status mapping (see the
+// README's wire-contract section). Each request runs under a context
+// canceled on client disconnect and capped by -request-timeout, so a
+// hung-up or expired request aborts its in-flight retrieval instead of
+// holding a worker.
 //
 // Usage:
 //
 //	cachemindd                         # build a default database, listen on :8080
 //	cachemindd -db cachemind.db -addr 127.0.0.1:9000
 //	cachemindd -retriever sieve -model gpt-4o-mini -workers 4 -shards 8
+//	cachemindd -request-timeout 5s -max-queue 256
 //
 //	curl -s localhost:8080/v1/ask -d '{"session":"s1","question":"List all unique PCs in mcf under LRU."}'
 package main
@@ -46,6 +54,8 @@ func main() {
 	modelID := flag.String("model", "gpt-4o", "generator backend profile")
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "max concurrent asks (0: all CPUs)")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "server-side per-request deadline for the ask path (0: none)")
+	maxQueue := flag.Int("max-queue", 0, "max requests queued for a worker before shedding with 503 overloaded (0: unbounded)")
 	cacheSize := flag.Int("cache", 0, "answer-cache entries (0: default 256, negative: disable)")
 	memTurns := flag.Int("memory", 0, "verbatim conversation turns kept per session (0: default 6)")
 	maxSessions := flag.Int("max-sessions", 0, "live sessions retained, LRU-evicted beyond (0: default 1024, negative: unlimited)")
@@ -77,7 +87,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newServer(eng, *workers).handler(),
+		Handler: newServer(eng, *workers, *reqTimeout, *maxQueue).handler(),
 		// Slow-client guards: asks complete in milliseconds, so
 		// connections idling through these windows are not serving
 		// traffic.

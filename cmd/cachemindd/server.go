@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,27 +24,61 @@ type server struct {
 	// sem bounds how many asks run concurrently; extra requests queue
 	// on the channel (the daemon's -workers knob).
 	sem chan struct{}
+	// reqTimeout caps each request's engine time (the -request-timeout
+	// knob; 0 = no server-side deadline). The deadline composes with
+	// client-disconnect cancellation: whichever fires first aborts the
+	// ask at its next pipeline checkpoint.
+	reqTimeout time.Duration
+	// maxQueue bounds how many requests may wait for a worker slot
+	// (the -max-queue knob; 0 = unbounded). Requests beyond it are
+	// shed immediately with CodeOverloaded instead of queueing.
+	maxQueue int
+	queued   atomic.Int64
 
 	started      time.Time
 	httpRequests atomic.Uint64
 	httpErrors   atomic.Uint64
-	// latency holds one histogram per route (built at route
-	// registration, read-only afterwards) — the /metrics per-route
-	// latency source.
-	latency map[string]*histogram.Histogram
+	// routes holds one stats block per route (built at route
+	// registration, read-only afterwards) — the /metrics source for
+	// per-route latency quantiles and responses-by-code counters.
+	routes map[string]*routeStats
+}
+
+// wireCodes is the closed set of response codes the daemon accounts
+// for: "ok" plus every engine.Code, in the stable order /metrics
+// renders them.
+var wireCodes = [...]string{
+	"ok",
+	string(engine.CodeInvalidRequest),
+	string(engine.CodeSessionNotFound),
+	string(engine.CodeCanceled),
+	string(engine.CodeDeadlineExceeded),
+	string(engine.CodeOverloaded),
+	string(engine.CodeInternal),
+}
+
+// routeStats is one route's latency histogram plus its responses
+// bucketed by wire code (indexed as in wireCodes).
+type routeStats struct {
+	hist  *histogram.Histogram
+	codes [len(wireCodes)]atomic.Uint64
 }
 
 // newServer builds a server over the engine with at most workers
-// concurrent asks (<= 0 selects runtime.NumCPU()).
-func newServer(eng *engine.Engine, workers int) *server {
+// concurrent asks (<= 0 selects runtime.NumCPU()), a per-request
+// engine timeout (0 disables), and an admission-queue bound (0
+// disables).
+func newServer(eng *engine.Engine, workers int, reqTimeout time.Duration, maxQueue int) *server {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 	return &server{
-		eng:     eng,
-		sem:     make(chan struct{}, workers),
-		started: time.Now(),
-		latency: map[string]*histogram.Histogram{},
+		eng:        eng,
+		sem:        make(chan struct{}, workers),
+		reqTimeout: reqTimeout,
+		maxQueue:   maxQueue,
+		started:    time.Now(),
+		routes:     map[string]*routeStats{},
 	}
 }
 
@@ -58,39 +93,218 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
-// instrument wraps a handler with the global request counter and the
-// route's latency histogram.
+// statusRecorder captures the status a handler wrote so instrument can
+// bucket the response by code.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps a handler with the global request counter, the
+// route's latency histogram, and the route's responses-by-code
+// counters.
 func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
-	hist := histogram.New()
-	s.latency[route] = hist
+	st := &routeStats{hist: histogram.New()}
+	s.routes[route] = st
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.httpRequests.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
-		h(w, r)
-		hist.Observe(time.Since(start))
+		h(rec, r)
+		st.hist.Observe(time.Since(start))
+		st.codes[codeIndexForStatus(rec.status)].Add(1)
 	}
 }
 
-// askRequest is the POST /v1/ask body.
+// statusForCode is the deterministic engine.Code → HTTP status table
+// (the v1 wire contract; see the README's status-code table). 499 is
+// the de-facto "client closed request" status: the client is gone, but
+// the code still lands in logs and metrics.
+func statusForCode(c engine.Code) int {
+	switch c {
+	case engine.CodeInvalidRequest:
+		return http.StatusBadRequest // 400
+	case engine.CodeSessionNotFound:
+		return http.StatusNotFound // 404
+	case engine.CodeCanceled:
+		return 499
+	case engine.CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout // 504
+	case engine.CodeOverloaded:
+		return http.StatusServiceUnavailable // 503
+	default:
+		return http.StatusInternalServerError // 500
+	}
+}
+
+// codeIndexForStatus inverts statusForCode into a wireCodes index
+// (2xx → "ok"); the two tables form a bijection over the codes the
+// daemon emits, so bucketing by written status is exact.
+func codeIndexForStatus(status int) int {
+	if status < 400 {
+		return 0
+	}
+	var c engine.Code
+	switch status {
+	case http.StatusBadRequest:
+		c = engine.CodeInvalidRequest
+	case http.StatusNotFound:
+		c = engine.CodeSessionNotFound
+	case 499:
+		c = engine.CodeCanceled
+	case http.StatusGatewayTimeout:
+		c = engine.CodeDeadlineExceeded
+	case http.StatusServiceUnavailable:
+		c = engine.CodeOverloaded
+	default:
+		c = engine.CodeInternal
+	}
+	for i, name := range wireCodes {
+		if name == string(c) {
+			return i
+		}
+	}
+	return len(wireCodes) - 1
+}
+
+// askContext derives the engine context for one request: the client's
+// connection context (canceled on disconnect), capped by the
+// server-side request timeout when configured.
+func (s *server) askContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.reqTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.reqTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// admit acquires one worker slot, enforcing the admission-queue bound.
+// It returns a typed error (overloaded, canceled, or deadline-
+// exceeded) when the request should be shed; on success the caller
+// must release the slot. The queued counter only counts requests that
+// actually failed to acquire a free slot and are waiting — an
+// instantly-served request never touches it — and the bound is
+// approximate under simultaneous arrivals (a shed decision, not an
+// exact quota).
+func (s *server) admit(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil // free slot: no queueing at all
+	default:
+	}
+	if s.maxQueue > 0 && s.queued.Load() >= int64(s.maxQueue) {
+		return engine.Errf(engine.CodeOverloaded, "server overloaded: %d requests already queued", s.maxQueue)
+	}
+	s.queued.Add(1)
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return engine.Errf(engine.CodeDeadlineExceeded, "request timed out while queued for a worker")
+		}
+		return engine.Errf(engine.CodeCanceled, "request canceled while queued for a worker")
+	}
+}
+
+// askOptions is the wire form of engine.Options.
+type askOptions struct {
+	// NoMemory skips recording the exchange in session memory.
+	NoMemory bool `json:"no_memory"`
+	// BypassCache skips the answer cache for this request.
+	BypassCache bool `json:"bypass_cache"`
+	// Provenance selects context verbosity: "" or "none" (default),
+	// "context", or "full".
+	Provenance string `json:"provenance"`
+}
+
+// engineOptions maps wire options onto engine.Options, rejecting an
+// unknown provenance level.
+func (o *askOptions) engineOptions() (engine.Options, error) {
+	opts := engine.Options{}
+	if o == nil {
+		return opts, nil
+	}
+	opts.NoMemory = o.NoMemory
+	opts.BypassCache = o.BypassCache
+	switch o.Provenance {
+	case "", "none":
+	case "context":
+		opts.Provenance = engine.ProvenanceContext
+	case "full":
+		opts.Provenance = engine.ProvenanceFull
+	default:
+		return opts, engine.Errf(engine.CodeInvalidRequest,
+			"unknown provenance %q (want \"none\", \"context\" or \"full\")", o.Provenance)
+	}
+	return opts, nil
+}
+
+// askRequest is the POST /v1/ask body (and one item of the batch
+// body).
 type askRequest struct {
 	// Session names the conversation; it is created on first use.
 	// Empty selects the shared anonymous session.
 	Session  string `json:"session"`
 	Question string `json:"question"`
+	// Options are the optional per-request knobs.
+	Options *askOptions `json:"options"`
 }
 
 // askResponse is the POST /v1/ask reply.
 type askResponse struct {
-	Session     string  `json:"session"`
-	Question    string  `json:"question"`
-	Answer      string  `json:"answer"`
-	Verdict     string  `json:"verdict"`
-	Category    string  `json:"category"`
-	Quality     string  `json:"quality"`
-	Grounded    bool    `json:"grounded"`
-	Cached      bool    `json:"cached"`
+	Session  string `json:"session"`
+	Question string `json:"question"`
+	Answer   string `json:"answer"`
+	Verdict  string `json:"verdict"`
+	Category string `json:"category"`
+	Quality  string `json:"quality"`
+	Grounded bool   `json:"grounded"`
+	Cached   bool   `json:"cached"`
+	// Shard is the engine cache shard the question's key hashed to.
+	Shard int `json:"shard"`
+	// Retriever and Model identify the serving configuration.
+	Retriever string `json:"retriever"`
+	Model     string `json:"model"`
+	// Context and Queries carry retrieval provenance when the request
+	// opted in (options.provenance).
+	Context string   `json:"context,omitempty"`
+	Queries []string `json:"queries,omitempty"`
+	// Per-stage timings in milliseconds. For cached answers,
+	// retrieval_ms/generate_ms report the original computation.
 	RetrievalMS float64 `json:"retrieval_ms"`
+	GenerateMS  float64 `json:"generate_ms"`
+	TotalMS     float64 `json:"total_ms"`
 }
+
+// toWire converts an engine.Response into the wire reply.
+func toWire(resp engine.Response) askResponse {
+	return askResponse{
+		Session:     resp.SessionID,
+		Question:    resp.Question,
+		Answer:      resp.Text,
+		Verdict:     resp.Verdict,
+		Category:    resp.Category,
+		Quality:     resp.Quality,
+		Grounded:    resp.Grounded,
+		Cached:      resp.Cached,
+		Shard:       resp.Shard,
+		Retriever:   resp.Retriever,
+		Model:       resp.Model,
+		Context:     resp.Context,
+		Queries:     resp.Queries,
+		RetrievalMS: ms(resp.Timings.Retrieval),
+		GenerateMS:  ms(resp.Timings.Generation),
+		TotalMS:     ms(resp.Timings.Total),
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 // maxAskBodyBytes bounds the request body, and maxQuestionBytes the
 // question itself — accepted questions are retained (answer cache,
@@ -101,49 +315,49 @@ const (
 	maxQuestionBytes = 8 << 10 // 8 KiB
 )
 
+// validateQuestion applies the shared wire-level question checks.
+func validateQuestion(q string) error {
+	if strings.TrimSpace(q) == "" {
+		return engine.Errf(engine.CodeInvalidRequest, "question must not be empty")
+	}
+	if len(q) > maxQuestionBytes {
+		return engine.Errf(engine.CodeInvalidRequest, "question exceeds %d bytes", maxQuestionBytes)
+	}
+	return nil
+}
+
 func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	var req askRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxAskBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Sprintf("malformed request body: %v", err))
+		s.fail(w, engine.Errf(engine.CodeInvalidRequest, "malformed request body: %v", err))
 		return
 	}
-	if strings.TrimSpace(req.Question) == "" {
-		s.fail(w, http.StatusBadRequest, "question must not be empty")
+	if err := validateQuestion(req.Question); err != nil {
+		s.fail(w, err)
 		return
 	}
-	if len(req.Question) > maxQuestionBytes {
-		s.fail(w, http.StatusBadRequest, fmt.Sprintf("question exceeds %d bytes", maxQuestionBytes))
-		return
-	}
-
-	// Acquire a worker slot (or give up when the client hangs up while
-	// queued).
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-r.Context().Done():
-		s.fail(w, http.StatusServiceUnavailable, "request canceled while queued")
-		return
-	}
-
-	ans, err := s.eng.Ask(req.Session, req.Question)
+	opts, err := req.Options.engineOptions()
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err.Error())
+		s.fail(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, askResponse{
-		Session:     req.Session,
-		Question:    strings.TrimSpace(req.Question),
-		Answer:      ans.Text,
-		Verdict:     ans.Verdict,
-		Category:    ans.Category,
-		Quality:     ans.Quality,
-		Grounded:    ans.Grounded,
-		Cached:      ans.Cached,
-		RetrievalMS: float64(ans.RetrievalElapsed.Microseconds()) / 1000,
-	})
+
+	ctx, cancel := s.askContext(r)
+	defer cancel()
+	if err := s.admit(ctx); err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer func() { <-s.sem }()
+
+	resp, err := s.eng.Ask(ctx, engine.Request{SessionID: req.Session, Question: req.Question, Options: opts})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toWire(resp))
 }
 
 // maxBatchItems bounds one POST /v1/ask/batch request, and
@@ -156,18 +370,18 @@ const (
 )
 
 // batchResult is one element of the batch reply: the askResponse
-// fields on success, or error (with the other fields zeroed) for an
-// item the engine rejected.
+// fields on success, or the error envelope's object (with the other
+// fields zeroed) for an item the engine rejected.
 type batchResult struct {
 	askResponse
-	Error string `json:"error,omitempty"`
+	Error *wireError `json:"error,omitempty"`
 }
 
-// handleAskBatch answers a JSON array of {session, question} items
-// concurrently and replies with a same-length, same-order array.
-// Per-item failures (an empty question) land in that item's error
-// field; only a malformed, empty, oversized, or over-long batch fails
-// the whole request.
+// handleAskBatch answers a JSON array of {session, question, options}
+// items concurrently and replies with a same-length, same-order array.
+// Per-item failures (an empty question, a canceled item) land in that
+// item's error object; only a malformed, empty, oversized, or
+// over-long batch fails the whole request.
 func (s *server) handleAskBatch(w http.ResponseWriter, r *http.Request) {
 	var reqs []askRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
@@ -175,29 +389,49 @@ func (s *server) handleAskBatch(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&reqs); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			s.fail(w, http.StatusBadRequest, fmt.Sprintf("batch body exceeds %d bytes", maxBatchBodyBytes))
+			s.fail(w, engine.Errf(engine.CodeInvalidRequest, "batch body exceeds %d bytes", maxBatchBodyBytes))
 			return
 		}
-		s.fail(w, http.StatusBadRequest, fmt.Sprintf("malformed request body: %v", err))
+		s.fail(w, engine.Errf(engine.CodeInvalidRequest, "malformed request body: %v", err))
 		return
 	}
 	if len(reqs) == 0 {
-		s.fail(w, http.StatusBadRequest, "batch must not be empty")
+		s.fail(w, engine.Errf(engine.CodeInvalidRequest, "batch must not be empty"))
 		return
 	}
 	if len(reqs) > maxBatchItems {
-		s.fail(w, http.StatusBadRequest, fmt.Sprintf("batch exceeds %d items", maxBatchItems))
+		s.fail(w, engine.Errf(engine.CodeInvalidRequest, "batch exceeds %d items", maxBatchItems))
 		return
 	}
-	items := make([]engine.AskItem, len(reqs))
+	// Item-level validation failures (oversized question, unknown
+	// option) land in that item's result slot — matching how the
+	// engine reports an empty question — so one bad item never costs
+	// the rest of the batch its answers. Pre-failed items are given an
+	// empty question, which the engine rejects at validation without
+	// touching the pipeline; their slot is overwritten below.
+	items := make([]engine.Request, len(reqs))
+	preErrs := make([]*wireError, len(reqs))
 	for i, req := range reqs {
 		if len(req.Question) > maxQuestionBytes {
-			s.fail(w, http.StatusBadRequest, fmt.Sprintf("item %d: question exceeds %d bytes", i, maxQuestionBytes))
-			return
+			preErrs[i] = &wireError{
+				Code:    string(engine.CodeInvalidRequest),
+				Message: fmt.Sprintf("question exceeds %d bytes", maxQuestionBytes),
+			}
+			continue
 		}
-		items[i] = engine.AskItem{Session: req.Session, Question: req.Question}
+		opts, err := req.Options.engineOptions()
+		if err != nil {
+			preErrs[i] = &wireError{
+				Code:    string(engine.ErrorCode(err)),
+				Message: engine.ErrorMessage(err),
+			}
+			continue
+		}
+		items[i] = engine.Request{SessionID: req.Session, Question: req.Question, Options: opts}
 	}
 
+	ctx, cancel := s.askContext(r)
+	defer cancel()
 	// Admission: block for one worker slot (batches queue behind
 	// singles the same way singles queue behind each other), then grab
 	// as many more currently-free slots as the batch can use without
@@ -205,14 +439,11 @@ func (s *server) handleAskBatch(w http.ResponseWriter, r *http.Request) {
 	// -workers bound holds globally across singles and concurrent
 	// batches — under contention a batch degrades toward width 1
 	// instead of multiplying the bound.
-	held := 0
-	select {
-	case s.sem <- struct{}{}:
-		held = 1
-	case <-r.Context().Done():
-		s.fail(w, http.StatusServiceUnavailable, "request canceled while queued")
+	if err := s.admit(ctx); err != nil {
+		s.fail(w, err)
 		return
 	}
+	held := 1
 acquire:
 	for held < len(items) && held < cap(s.sem) {
 		select {
@@ -228,26 +459,24 @@ acquire:
 		}
 	}()
 
-	results := s.eng.AskBatch(items, held)
+	results := s.eng.AskBatch(ctx, items, held)
 	out := make([]batchResult, len(results))
 	for i, res := range results {
+		if preErrs[i] != nil {
+			out[i].Session = reqs[i].Session
+			out[i].Error = preErrs[i]
+			continue
+		}
 		if res.Err != nil {
 			out[i].Session = reqs[i].Session
 			out[i].Question = strings.TrimSpace(reqs[i].Question)
-			out[i].Error = res.Err.Error()
+			out[i].Error = &wireError{
+				Code:    string(engine.ErrorCode(res.Err)),
+				Message: engine.ErrorMessage(res.Err),
+			}
 			continue
 		}
-		out[i].askResponse = askResponse{
-			Session:     reqs[i].Session,
-			Question:    strings.TrimSpace(reqs[i].Question),
-			Answer:      res.Answer.Text,
-			Verdict:     res.Answer.Verdict,
-			Category:    res.Answer.Category,
-			Quality:     res.Answer.Quality,
-			Grounded:    res.Answer.Grounded,
-			Cached:      res.Answer.Cached,
-			RetrievalMS: float64(res.Answer.RetrievalElapsed.Microseconds()) / 1000,
-		}
+		out[i].askResponse = toWire(res.Response)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -264,9 +493,9 @@ type sessionResponse struct {
 
 func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	turns, mem, ok := s.eng.SessionView(id, r.URL.Query().Get("q"))
-	if !ok {
-		s.fail(w, http.StatusNotFound, fmt.Sprintf("unknown session %q", id))
+	turns, mem, err := s.eng.SessionView(id, r.URL.Query().Get("q"))
+	if err != nil {
+		s.fail(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, sessionResponse{Session: id, Turns: turns, Memory: mem})
@@ -283,6 +512,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "cachemind_questions_total %d\n", st.Questions)
+	fmt.Fprintf(w, "cachemind_asks_canceled_total %d\n", st.Canceled)
 	fmt.Fprintf(w, "cachemind_answer_cache_hits_total %d\n", st.CacheHits)
 	fmt.Fprintf(w, "cachemind_answer_cache_misses_total %d\n", st.CacheMisses)
 	fmt.Fprintf(w, "cachemind_answer_cache_entries %d\n", st.CacheEntries)
@@ -291,20 +521,27 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "cachemind_http_requests_total %d\n", s.httpRequests.Load())
 	fmt.Fprintf(w, "cachemind_http_errors_total %d\n", s.httpErrors.Load())
 	fmt.Fprintf(w, "cachemind_workers %d\n", cap(s.sem))
+	fmt.Fprintf(w, "cachemind_request_timeout_seconds %.3f\n", s.reqTimeout.Seconds())
 	fmt.Fprintf(w, "cachemind_engine_shards %d\n", st.Shards)
 	fmt.Fprintf(w, "cachemind_uptime_seconds %d\n", int(time.Since(s.started).Seconds()))
 
-	// Per-route request counts and latency quantiles, in stable route
-	// order (this request's own metrics handling isn't in its
-	// histogram yet — Observe runs after the handler returns).
-	routes := make([]string, 0, len(s.latency))
-	for route := range s.latency {
+	// Per-route request counts, responses by wire code, and latency
+	// quantiles, in stable route order (this request's own metrics
+	// handling isn't in its histogram yet — instrumentation records
+	// after the handler returns).
+	routes := make([]string, 0, len(s.routes))
+	for route := range s.routes {
 		routes = append(routes, route)
 	}
 	sort.Strings(routes)
 	for _, route := range routes {
-		snap := s.latency[route].Snapshot()
+		st := s.routes[route]
+		snap := st.hist.Snapshot()
 		fmt.Fprintf(w, "cachemind_route_requests_total{route=%q} %d\n", route, snap.Count)
+		for ci, code := range wireCodes {
+			fmt.Fprintf(w, "cachemind_route_responses_total{route=%q,code=%q} %d\n",
+				route, code, st.codes[ci].Load())
+		}
 		for _, q := range []float64{0.5, 0.95, 0.99} {
 			fmt.Fprintf(w, "cachemind_route_latency_ms{route=%q,quantile=%q} %.3f\n",
 				route, fmt.Sprintf("%g", q), float64(snap.Quantile(q).Microseconds())/1000)
@@ -314,14 +551,30 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// errorResponse is the JSON error envelope.
-type errorResponse struct {
-	Error string `json:"error"`
+// wireError is the machine-readable half of the v1 error envelope.
+type wireError struct {
+	// Code is the engine.Code string ("invalid-request", "canceled",
+	// ...).
+	Code string `json:"code"`
+	// Message is the human-readable explanation.
+	Message string `json:"message"`
 }
 
-func (s *server) fail(w http.ResponseWriter, status int, msg string) {
+// errorEnvelope is the v1 JSON error envelope shared by every
+// endpoint: {"error":{"code":...,"message":...}}.
+type errorEnvelope struct {
+	Error wireError `json:"error"`
+}
+
+// fail writes the typed error as the v1 envelope with its
+// deterministic HTTP status.
+func (s *server) fail(w http.ResponseWriter, err error) {
 	s.httpErrors.Add(1)
-	writeJSON(w, status, errorResponse{Error: msg})
+	code := engine.ErrorCode(err)
+	writeJSON(w, statusForCode(code), errorEnvelope{Error: wireError{
+		Code:    string(code),
+		Message: engine.ErrorMessage(err),
+	}})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,24 +10,27 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"cachemind/internal/db"
 	"cachemind/internal/db/dbtest"
 	"cachemind/internal/engine"
+	"cachemind/internal/retriever"
 )
 
 func testStore(t testing.TB) *db.Store {
 	return dbtest.Store(t, dbtest.Config{})
 }
 
-// newTestServer boots the full HTTP stack over a fresh engine.
+// newTestServer boots the full HTTP stack over a fresh engine with no
+// request timeout and no queue bound.
 func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
 	t.Helper()
 	eng, err := engine.New(engine.Config{Store: testStore(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(eng, 4).handler())
+	ts := httptest.NewServer(newServer(eng, 4, 0, 0).handler())
 	t.Cleanup(ts.Close)
 	return ts, eng
 }
@@ -45,6 +49,19 @@ func postAsk(t *testing.T, ts *httptest.Server, body string) (*http.Response, []
 	return resp, data
 }
 
+// decodeEnvelope parses and sanity-checks the v1 error envelope.
+func decodeEnvelope(t *testing.T, data []byte) wireError {
+	t.Helper()
+	var env errorEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("error envelope unparseable: %s (%v)", data, err)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("error envelope incomplete: %s", data)
+	}
+	return env.Error
+}
+
 const askQuestion = "List all unique PCs in mcf under LRU."
 
 func TestAskValidAndCached(t *testing.T) {
@@ -61,6 +78,12 @@ func TestAskValidAndCached(t *testing.T) {
 	}
 	if first.Answer == "" || first.Cached || first.Session != "s1" || first.Category == "" {
 		t.Fatalf("unexpected first response: %+v", first)
+	}
+	if first.Retriever != "ranger" || first.Model != "gpt-4o" || first.TotalMS <= 0 {
+		t.Fatalf("response metadata missing: %+v", first)
+	}
+	if first.Context != "" || first.Queries != nil {
+		t.Fatalf("provenance leaked without opt-in: %+v", first)
 	}
 
 	resp, data = postAsk(t, ts, body)
@@ -83,6 +106,30 @@ func TestAskValidAndCached(t *testing.T) {
 	}
 }
 
+// TestAskOptionsProvenance: options.provenance controls the context
+// and query-trace fields on the wire.
+func TestAskOptionsProvenance(t *testing.T) {
+	ts, _ := newTestServer(t)
+	q := "What is the miss rate in mcf under belady?"
+
+	_, data := postAsk(t, ts, fmt.Sprintf(`{"session":"p","question":%q,"options":{"provenance":"full"}}`, q))
+	var full askResponse
+	if err := json.Unmarshal(data, &full); err != nil {
+		t.Fatalf("bad JSON %s: %v", data, err)
+	}
+	if full.Context == "" || len(full.Queries) == 0 {
+		t.Fatalf("provenance=full response incomplete: %+v", full)
+	}
+
+	resp, data := postAsk(t, ts, fmt.Sprintf(`{"session":"p","question":%q,"options":{"provenance":"everything"}}`, q))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown provenance status = %d, body %s", resp.StatusCode, data)
+	}
+	if e := decodeEnvelope(t, data); e.Code != string(engine.CodeInvalidRequest) {
+		t.Fatalf("unknown provenance code = %q", e.Code)
+	}
+}
+
 func TestAskRejectsBadRequests(t *testing.T) {
 	ts, _ := newTestServer(t)
 	for name, body := range map[string]string{
@@ -97,9 +144,8 @@ func TestAskRejectsBadRequests(t *testing.T) {
 			t.Errorf("%s: status = %d, want 400 (body %s)", name, resp.StatusCode, data)
 			continue
 		}
-		var e errorResponse
-		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
-			t.Errorf("%s: error envelope missing: %s", name, data)
+		if e := decodeEnvelope(t, data); e.Code != string(engine.CodeInvalidRequest) {
+			t.Errorf("%s: envelope code = %q, want invalid-request", name, e.Code)
 		}
 	}
 
@@ -120,9 +166,13 @@ func TestSessionEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	data, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown session status = %d, want 404", resp.StatusCode)
+	}
+	if e := decodeEnvelope(t, data); e.Code != string(engine.CodeSessionNotFound) {
+		t.Fatalf("unknown session code = %q, want session-not-found", e.Code)
 	}
 
 	postAsk(t, ts, fmt.Sprintf(`{"session":"alice","question":%q}`, askQuestion))
@@ -165,6 +215,8 @@ func TestMetrics(t *testing.T) {
 	ts, _ := newTestServer(t)
 	postAsk(t, ts, fmt.Sprintf(`{"session":"m","question":%q}`, askQuestion))
 	postAsk(t, ts, fmt.Sprintf(`{"session":"m","question":%q}`, askQuestion))
+	// One invalid request so the error-code counters move.
+	postAsk(t, ts, `{"session":"m","question":"  "}`)
 
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -177,20 +229,31 @@ func TestMetrics(t *testing.T) {
 	}
 	for _, want := range []string{
 		"cachemind_questions_total 2",
+		"cachemind_asks_canceled_total 0",
 		"cachemind_answer_cache_hits_total 1",
 		"cachemind_answer_cache_misses_total 1",
 		"cachemind_sessions_active 1",
 		"cachemind_http_requests_total",
+		"cachemind_http_errors_total 1",
 		"cachemind_workers 4",
+		"cachemind_request_timeout_seconds 0.000",
 		"cachemind_engine_shards",
-		// Per-route latencies: the two asks above must have landed in
-		// the ask route's histogram.
-		`cachemind_route_requests_total{route="ask"} 2`,
+		// Per-route latencies: the asks above must have landed in the
+		// ask route's histogram.
+		`cachemind_route_requests_total{route="ask"} 3`,
 		`cachemind_route_latency_ms{route="ask",quantile="0.5"}`,
 		`cachemind_route_latency_ms{route="ask",quantile="0.95"}`,
 		`cachemind_route_latency_ms{route="ask",quantile="0.99"}`,
 		`cachemind_route_latency_ms_max{route="ask"}`,
 		`cachemind_route_requests_total{route="ask_batch"} 0`,
+		// Responses by code: two OK asks, one invalid-request, nothing
+		// canceled.
+		`cachemind_route_responses_total{route="ask",code="ok"} 2`,
+		`cachemind_route_responses_total{route="ask",code="invalid-request"} 1`,
+		`cachemind_route_responses_total{route="ask",code="canceled"} 0`,
+		`cachemind_route_responses_total{route="ask",code="deadline-exceeded"} 0`,
+		`cachemind_route_responses_total{route="ask",code="overloaded"} 0`,
+		`cachemind_route_responses_total{route="session",code="session-not-found"} 0`,
 	} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("metrics missing %q:\n%s", want, data)
@@ -213,7 +276,8 @@ func postBatch(t *testing.T, ts *httptest.Server, body string) (*http.Response, 
 }
 
 // TestAskBatchEndpoint: a batch is answered in order, per-item errors
-// don't abort the batch, and repeated questions are served cached.
+// carry the typed envelope object without aborting the batch, and
+// repeated questions are served cached.
 func TestAskBatchEndpoint(t *testing.T) {
 	ts, eng := newTestServer(t)
 	second := "What is the miss rate in mcf under belady?"
@@ -235,13 +299,16 @@ func TestAskBatchEndpoint(t *testing.T) {
 	if len(results) != 4 {
 		t.Fatalf("got %d results, want 4 (order-preserving)", len(results))
 	}
-	if results[0].Error != "" || results[0].Answer == "" || results[0].Session != "b1" {
+	if results[0].Error != nil || results[0].Answer == "" || results[0].Session != "b1" {
 		t.Fatalf("item 0: %+v", results[0])
 	}
-	if results[1].Error == "" || results[1].Answer != "" {
+	if results[1].Error == nil || results[1].Answer != "" {
 		t.Fatalf("item 1 (empty question) should carry only an error: %+v", results[1])
 	}
-	if results[2].Error != "" || results[2].Answer == "" {
+	if results[1].Error.Code != string(engine.CodeInvalidRequest) || results[1].Error.Message == "" {
+		t.Fatalf("item 1 error envelope = %+v, want invalid-request", results[1].Error)
+	}
+	if results[2].Error != nil || results[2].Answer == "" {
 		t.Fatalf("item 2: %+v", results[2])
 	}
 	// Item 3 repeats item 0's question: one of the two is a cache miss
@@ -268,10 +335,13 @@ func TestAskBatchEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range again {
-		if again[i].Answer != results[i].Answer || again[i].Error != results[i].Error {
+		if again[i].Answer != results[i].Answer {
 			t.Fatalf("repeat batch item %d diverges: %+v vs %+v", i, again[i], results[i])
 		}
-		if again[i].Error == "" && !again[i].Cached {
+		if (again[i].Error == nil) != (results[i].Error == nil) {
+			t.Fatalf("repeat batch item %d error mismatch", i)
+		}
+		if again[i].Error == nil && !again[i].Cached {
 			t.Fatalf("repeat batch item %d not served from cache: %+v", i, again[i])
 		}
 	}
@@ -279,26 +349,174 @@ func TestAskBatchEndpoint(t *testing.T) {
 
 func TestAskBatchRejectsBadRequests(t *testing.T) {
 	ts, _ := newTestServer(t)
-	oversize := fmt.Sprintf(`[{"session":"s","question":%q}]`, strings.Repeat("a", maxQuestionBytes+1))
 	tooMany := "[" + strings.Repeat(`{"session":"s","question":"q"},`, maxBatchItems) + `{"session":"s","question":"q"}]`
 	for name, body := range map[string]string{
-		"malformed JSON":     `[{"session":"s1"`,
-		"object not array":   `{"session":"s1","question":"x"}`,
-		"empty batch":        `[]`,
-		"unknown field":      `[{"session":"s1","question":"x","model":"gpt-4o"}]`,
-		"oversized question": oversize,
-		"too many items":     tooMany,
+		"malformed JSON":   `[{"session":"s1"`,
+		"object not array": `{"session":"s1","question":"x"}`,
+		"empty batch":      `[]`,
+		"unknown field":    `[{"session":"s1","question":"x","model":"gpt-4o"}]`,
+		"too many items":   tooMany,
 	} {
 		resp, data := postBatch(t, ts, body)
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status = %d, want 400 (body %.120s)", name, resp.StatusCode, data)
 			continue
 		}
-		var e errorResponse
-		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
-			t.Errorf("%s: error envelope missing: %.120s", name, data)
+		if e := decodeEnvelope(t, data); e.Code != string(engine.CodeInvalidRequest) {
+			t.Errorf("%s: envelope code = %q, want invalid-request", name, e.Code)
 		}
 	}
+}
+
+// TestAskBatchPerItemValidation: an oversized question or unknown
+// option in one slot yields that slot's error object while the rest of
+// the batch is answered — the documented contract (only a malformed/
+// empty/oversized *batch* fails whole-request).
+func TestAskBatchPerItemValidation(t *testing.T) {
+	ts, eng := newTestServer(t)
+	body := fmt.Sprintf(`[
+		{"session":"v1","question":%q},
+		{"session":"v2","question":%q},
+		{"session":"v3","question":"x","options":{"provenance":"everything"}}
+	]`, askQuestion, strings.Repeat("a", maxQuestionBytes+1))
+
+	resp, data := postBatch(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (body %.200s)", resp.StatusCode, data)
+	}
+	var results []batchResult
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	if results[0].Error != nil || results[0].Answer == "" {
+		t.Fatalf("valid item lost to a sibling's validation failure: %+v", results[0])
+	}
+	for i := 1; i < 3; i++ {
+		if results[i].Error == nil || results[i].Error.Code != string(engine.CodeInvalidRequest) {
+			t.Fatalf("item %d error = %+v, want in-slot invalid-request", i, results[i].Error)
+		}
+		if results[i].Answer != "" {
+			t.Fatalf("pre-failed item %d carries an answer", i)
+		}
+	}
+	// Pre-failed items never reached the pipeline.
+	if st := eng.Stats(); st.Questions != 1 {
+		t.Fatalf("questions counter = %d, want 1", st.Questions)
+	}
+}
+
+// waitRetriever parks every retrieval until the request context is
+// done, then reports the cancellation — a stand-in for a slow
+// retrieval stage.
+type waitRetriever struct{}
+
+func (waitRetriever) Name() string { return "wait" }
+
+func (waitRetriever) Retrieve(ctx context.Context, q string) retriever.Context {
+	<-ctx.Done()
+	return retriever.Context{Question: q, Retriever: "wait", Err: ctx.Err()}
+}
+
+// TestRequestTimeout: with -request-timeout set, a slow cold ask comes
+// back 504 with the deadline-exceeded envelope, and the code counter
+// moves.
+func TestRequestTimeout(t *testing.T) {
+	eng, err := engine.New(engine.Config{Store: testStore(t), CustomRetriever: waitRetriever{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(eng, 2, 20*time.Millisecond, 0)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+
+	resp, data := postAsk(t, ts, fmt.Sprintf(`{"session":"t","question":%q}`, askQuestion))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body %s)", resp.StatusCode, data)
+	}
+	if e := decodeEnvelope(t, data); e.Code != string(engine.CodeDeadlineExceeded) {
+		t.Fatalf("envelope code = %q, want deadline-exceeded", e.Code)
+	}
+	if st := eng.Stats(); st.Canceled != 1 {
+		t.Fatalf("engine canceled counter = %d, want 1", st.Canceled)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mdata, _ := io.ReadAll(mresp.Body)
+	if want := `cachemind_route_responses_total{route="ask",code="deadline-exceeded"} 1`; !strings.Contains(string(mdata), want) {
+		t.Fatalf("metrics missing %q:\n%s", want, mdata)
+	}
+}
+
+// TestOverloadShedding: with one worker busy, one request queued, and
+// -max-queue 1, the next request is shed immediately with the 503
+// overloaded envelope instead of queueing behind them.
+func TestOverloadShedding(t *testing.T) {
+	release := make(chan struct{})
+	eng, err := engine.New(engine.Config{Store: testStore(t), CustomRetriever: gateRetriever{release: release}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(eng, 1, 0, 1)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+
+	var wg sync.WaitGroup
+	// Request 1 occupies the single worker (blocked in retrieval);
+	// request 2 queues for it.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/ask", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"session":"c%d","question":%q}`, i, askQuestion)))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d status = %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	// Wait until one request holds the worker and one is queued.
+	for srv.queued.Load() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, data := postAsk(t, ts, fmt.Sprintf(`{"session":"shed","question":%q}`, askQuestion))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (body %s)", resp.StatusCode, data)
+	}
+	if e := decodeEnvelope(t, data); e.Code != string(engine.CodeOverloaded) {
+		t.Fatalf("envelope code = %q, want overloaded", e.Code)
+	}
+
+	close(release)
+	wg.Wait()
+}
+
+// gateRetriever blocks until release is closed (or the context is
+// canceled), then serves a canned answer-free bundle.
+type gateRetriever struct{ release chan struct{} }
+
+func (gateRetriever) Name() string { return "gate" }
+
+func (g gateRetriever) Retrieve(ctx context.Context, q string) retriever.Context {
+	select {
+	case <-g.release:
+	case <-ctx.Done():
+		return retriever.Context{Question: q, Retriever: "gate", Err: ctx.Err()}
+	}
+	return retriever.Context{Question: q, Retriever: "gate", Text: "gated evidence"}
 }
 
 // TestConcurrentAsks serves parallel POSTs (run under -race in CI) and
@@ -309,7 +527,7 @@ func TestConcurrentAsks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := ref.Ask("ref", askQuestion)
+	want, err := ref.Ask(context.Background(), engine.Request{SessionID: "ref", Question: askQuestion})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,7 +20,11 @@
 // The question stream is a pure function of (-seed, -repeat, store), so
 // identical flags replay identical load; -strict makes any request
 // error (or zero throughput) a non-zero exit, which is what the CI perf
-// gate keys off.
+// gate keys off. -request-timeout puts a context deadline on every
+// request — the engine's cancellation path under load — and requests it
+// expires are reported as "canceled" (a separate BENCH_loadgen.json
+// counter, not an error, so a deliberate tight deadline doesn't trip
+// -strict).
 package main
 
 import (
@@ -46,6 +50,7 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 42, "seed for the store build and the question mix")
 	flag.IntVar(&cfg.sessions, "sessions", 32, "distinct session IDs cycled across questions")
 	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request HTTP timeout (-url mode)")
+	flag.DurationVar(&cfg.reqTimeout, "request-timeout", 0, "per-request context deadline; expired requests count as canceled, not errors (0: none)")
 	flag.StringVar(&cfg.dbPath, "db", "", "store written by tracegen (empty: build in-memory)")
 	flag.IntVar(&cfg.accesses, "accesses", 4000, "accesses per trace when building in-memory")
 	flag.StringVar(&cfg.retriever, "retriever", "ranger", "retriever for the in-process engine")
@@ -70,10 +75,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%s: %d questions in %.2fs → %.0f q/s, p50 %.3fms p95 %.3fms p99 %.3fms, hit rate %.1f%%, %d errors\n",
+	fmt.Printf("%s: %d questions in %.2fs → %.0f q/s, p50 %.3fms p95 %.3fms p99 %.3fms, hit rate %.1f%%, %d errors, %d canceled\n",
 		report.Mode, report.Questions, report.DurationSeconds, report.ThroughputQPS,
 		report.Latency.P50, report.Latency.P95, report.Latency.P99,
-		100*report.Cache.HitRate, report.Errors)
+		100*report.Cache.HitRate, report.Errors, report.Canceled)
 	fmt.Printf("wrote %s\n", *out)
 
 	if *strict {
@@ -82,6 +87,13 @@ func main() {
 		}
 		if report.ThroughputQPS <= 0 {
 			log.Fatal("strict: zero throughput")
+		}
+		// Canceled questions are not errors, but a run where nothing
+		// was actually answered proves nothing — e.g. a stalled runner
+		// timing out every ask would otherwise still report positive
+		// (canceled-inflated) throughput and pass the gate.
+		if answered := report.Questions - report.Errors - report.Canceled; answered <= 0 {
+			log.Fatalf("strict: no questions answered (%d asked, %d canceled)", report.Questions, report.Canceled)
 		}
 	}
 }

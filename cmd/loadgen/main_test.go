@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"cachemind/internal/db"
 	"cachemind/internal/db/dbtest"
@@ -35,14 +36,14 @@ func TestRunInProcessSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if report.Mode != "inprocess" || report.Schema != "cachemind-loadgen/v1" {
+	if report.Mode != "inprocess" || report.Schema != "cachemind-loadgen/v2" {
 		t.Fatalf("mode/schema = %q/%q", report.Mode, report.Schema)
 	}
 	if report.Questions != 40 || report.Requests != 40 {
 		t.Fatalf("questions/requests = %d/%d, want 40/40 at batch 1", report.Questions, report.Requests)
 	}
-	if report.Errors != 0 || report.ErrorSample != "" {
-		t.Fatalf("errors = %d (%q)", report.Errors, report.ErrorSample)
+	if report.Errors != 0 || report.Canceled != 0 || report.ErrorSample != "" {
+		t.Fatalf("errors/canceled = %d/%d (%q)", report.Errors, report.Canceled, report.ErrorSample)
 	}
 	if report.ThroughputQPS <= 0 || report.DurationSeconds <= 0 {
 		t.Fatalf("throughput %.1f over %.3fs", report.ThroughputQPS, report.DurationSeconds)
@@ -118,7 +119,7 @@ func TestRunReportSchemaStable(t *testing.T) {
 	for _, key := range []string{
 		"schema", "mode", "concurrency", "batch", "shards", "seed",
 		"repeat_ratio", "sessions", "requests", "questions", "errors",
-		"duration_seconds", "throughput_qps", "latency_ms", "cache",
+		"canceled", "duration_seconds", "throughput_qps", "latency_ms", "cache",
 	} {
 		if _, ok := doc[key]; !ok {
 			t.Errorf("report missing key %q:\n%s", key, data)
@@ -244,5 +245,52 @@ func TestRunHTTPErrorsReported(t *testing.T) {
 	}
 	if report.ErrorSample == "" {
 		t.Fatal("error sample empty despite failures")
+	}
+}
+
+// TestRunRequestTimeoutCountsCanceled: an unmeetable -request-timeout
+// turns every question into a canceled outcome — counted separately
+// from errors, with nothing entering the cache tallies — exercising
+// the engine's cancellation path end to end.
+func TestRunRequestTimeoutCountsCanceled(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.reqTimeout = time.Nanosecond
+	report, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Canceled != report.Questions || report.Questions != 40 {
+		t.Fatalf("canceled = %d of %d questions, want all 40", report.Canceled, report.Questions)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("timeouts misclassified as errors: %d (%s)", report.Errors, report.ErrorSample)
+	}
+	if report.Cache.Hits != 0 || report.Cache.Misses != 0 {
+		t.Fatalf("canceled questions entered cache tallies: %+v", report.Cache)
+	}
+}
+
+// TestRunHTTPCanceledEnvelope: a daemon replying with the v1
+// cancellation envelope (504 deadline-exceeded) is counted as
+// canceled, not as an error.
+func TestRunHTTPCanceledEnvelope(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ask", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGatewayTimeout)
+		fmt.Fprint(w, `{"error":{"code":"deadline-exceeded","message":"request deadline exceeded"}}`)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	cfg := smokeConfig(t)
+	cfg.url = ts.URL
+	cfg.requests = 5
+	report, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Canceled != 5 || report.Errors != 0 {
+		t.Fatalf("canceled/errors = %d/%d, want 5/0", report.Canceled, report.Errors)
 	}
 }

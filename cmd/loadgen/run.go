@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -30,6 +32,11 @@ type config struct {
 	seed        int64
 	sessions    int
 	timeout     time.Duration // http client timeout
+	// reqTimeout caps each request's context (the -request-timeout
+	// knob; 0 = none). Requests aborted by it count as canceled, not
+	// as errors — this is how the perf gate exercises the engine's
+	// cancellation path.
+	reqTimeout time.Duration
 
 	// Store / in-process engine knobs. In http mode the store is still
 	// built locally — it seeds the question mix.
@@ -44,9 +51,11 @@ type config struct {
 }
 
 // Report is the BENCH_loadgen.json document (schema
-// cachemind-loadgen/v1). Every key is always present so trend tooling
+// cachemind-loadgen/v2). Every key is always present so trend tooling
 // can rely on the shape; latencies are milliseconds, throughput is
-// questions per second as observed by the closed loop.
+// questions per second as observed by the closed loop. v2 adds the
+// canceled count (questions aborted by -request-timeout or context
+// cancellation, excluded from errors).
 type Report struct {
 	Schema          string     `json:"schema"`
 	Mode            string     `json:"mode"` // "inprocess" or "http"
@@ -60,6 +69,7 @@ type Report struct {
 	Requests        int        `json:"requests"`
 	Questions       int        `json:"questions"`
 	Errors          int        `json:"errors"`
+	Canceled        int        `json:"canceled"`
 	ErrorSample     string     `json:"error_sample,omitempty"`
 	DurationSeconds float64    `json:"duration_seconds"`
 	ThroughputQPS   float64    `json:"throughput_qps"`
@@ -78,22 +88,25 @@ type LatencyMS struct {
 }
 
 // CacheStats is the client-observed cache outcome: hits counts answers
-// flagged cached, misses the rest of the successful answers.
+// flagged cached, misses the rest of the successfully answered
+// questions (canceled questions are in neither bucket).
 type CacheStats struct {
 	Hits    int64   `json:"hits"`
 	Misses  int64   `json:"misses"`
 	HitRate float64 `json:"hit_rate"`
 }
 
-// outcome is one answered question as the client observed it.
+// outcome is one asked question as the client observed it: answered
+// (cached or not), canceled by the request context, or failed.
 type outcome struct {
-	cached bool
-	err    error
+	cached   bool
+	canceled bool
+	err      error
 }
 
-// driver answers one request's worth of items.
+// driver answers one request's worth of items under ctx.
 type driver interface {
-	do(items []engine.AskItem) []outcome
+	do(ctx context.Context, items []engine.Request) []outcome
 }
 
 // inprocDriver drives an Engine directly — no HTTP, so the numbers
@@ -102,15 +115,22 @@ type inprocDriver struct {
 	eng *engine.Engine
 }
 
-func (d *inprocDriver) do(items []engine.AskItem) []outcome {
+func (d *inprocDriver) do(ctx context.Context, items []engine.Request) []outcome {
 	// Items run serially within the batch (workers 1): the -c loop
 	// workers are the only source of engine concurrency, so the
 	// report's "concurrency" field states the actual parallelism. Use
 	// -url mode to measure the daemon's server-side batch fan-out.
-	results := d.eng.AskBatch(items, 1)
+	results := d.eng.AskBatch(ctx, items, 1)
 	out := make([]outcome, len(results))
 	for i, r := range results {
-		out[i] = outcome{cached: r.Answer.Cached, err: r.Err}
+		switch {
+		case r.Err == nil:
+			out[i] = outcome{cached: r.Response.Cached}
+		case engine.IsCancellation(engine.ErrorCode(r.Err)):
+			out[i] = outcome{canceled: true, err: r.Err}
+		default:
+			out[i] = outcome{err: r.Err}
+		}
 	}
 	return out
 }
@@ -122,30 +142,34 @@ type httpDriver struct {
 	client *http.Client
 }
 
-// wireAnswer is the subset of the daemon's reply the loop needs.
-type wireAnswer struct {
-	Cached bool   `json:"cached"`
-	Error  string `json:"error"`
+// wireErr mirrors the daemon's v1 error envelope object.
+type wireErr struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
-func (d *httpDriver) do(items []engine.AskItem) []outcome {
+// wireAnswer is the subset of the daemon's reply the loop needs.
+type wireAnswer struct {
+	Cached bool     `json:"cached"`
+	Error  *wireErr `json:"error"`
+}
+
+func (d *httpDriver) do(ctx context.Context, items []engine.Request) []outcome {
 	out := make([]outcome, len(items))
 	if len(items) == 1 {
 		var ans wireAnswer
-		err := d.post("/v1/ask", map[string]string{
-			"session": items[0].Session, "question": items[0].Question,
-		}, &ans)
+		err := d.post(ctx, "/v1/ask", wireItem(items[0]), &ans)
 		out[0] = wireOutcome(ans, err)
 		return out
 	}
 	body := make([]map[string]string, len(items))
 	for i, it := range items {
-		body[i] = map[string]string{"session": it.Session, "question": it.Question}
+		body[i] = wireItem(it)
 	}
 	var answers []wireAnswer
-	if err := d.post("/v1/ask/batch", body, &answers); err != nil {
+	if err := d.post(ctx, "/v1/ask/batch", body, &answers); err != nil {
 		for i := range out {
-			out[i] = outcome{err: err}
+			out[i] = requestOutcome(err)
 		}
 		return out
 	}
@@ -162,22 +186,63 @@ func (d *httpDriver) do(items []engine.AskItem) []outcome {
 	return out
 }
 
+func wireItem(it engine.Request) map[string]string {
+	return map[string]string{"session": it.SessionID, "question": it.Question}
+}
+
+// wireOutcome classifies one wire answer: a cancellation code from the
+// server (or a client-side context error) counts as canceled, any
+// other failure as an error.
 func wireOutcome(ans wireAnswer, err error) outcome {
 	if err != nil {
-		return outcome{err: err}
+		return requestOutcome(err)
 	}
-	if ans.Error != "" {
-		return outcome{err: fmt.Errorf("server: %s", ans.Error)}
+	if ans.Error != nil {
+		werr := fmt.Errorf("server: %s: %s", ans.Error.Code, ans.Error.Message)
+		if engine.IsCancellation(engine.Code(ans.Error.Code)) {
+			return outcome{canceled: true, err: werr}
+		}
+		return outcome{err: werr}
 	}
 	return outcome{cached: ans.Cached}
 }
 
-func (d *httpDriver) post(path string, body, into any) error {
+// requestOutcome classifies a whole-request failure, treating a
+// context expiry/cancellation on the client side as canceled.
+func requestOutcome(err error) outcome {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return outcome{canceled: true, err: err}
+	}
+	var env *envelopeError
+	if errors.As(err, &env) && engine.IsCancellation(engine.Code(env.code)) {
+		return outcome{canceled: true, err: err}
+	}
+	return outcome{err: err}
+}
+
+// envelopeError is a non-200 daemon reply with its parsed error code.
+type envelopeError struct {
+	path   string
+	status int
+	code   string
+	body   string
+}
+
+func (e *envelopeError) Error() string {
+	return fmt.Sprintf("%s: status %d: %.200s", e.path, e.status, e.body)
+}
+
+func (d *httpDriver) post(ctx context.Context, path string, body, into any) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := d.client.Post(d.base+path, "application/json", bytes.NewReader(payload))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, d.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.client.Do(req)
 	if err != nil {
 		return err
 	}
@@ -187,7 +252,11 @@ func (d *httpDriver) post(path string, body, into any) error {
 		return err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s: status %d: %.200s", path, resp.StatusCode, data)
+		var env struct {
+			Error wireErr `json:"error"`
+		}
+		_ = json.Unmarshal(data, &env)
+		return &envelopeError{path: path, status: resp.StatusCode, code: env.Error.Code, body: string(data)}
 	}
 	return json.Unmarshal(data, into)
 }
@@ -260,6 +329,7 @@ func run(cfg config) (*Report, error) {
 		reqs      atomic.Int64
 		hits      atomic.Int64
 		errs      atomic.Int64
+		canceled  atomic.Int64
 		errMu     sync.Mutex
 		errSample string
 	)
@@ -288,30 +358,40 @@ func run(cfg config) (*Report, error) {
 						n = int(rest)
 					}
 				}
-				items := make([]engine.AskItem, n)
+				items := make([]engine.Request, n)
 				for i := range items {
 					idx := base + int64(i)
-					items[i] = engine.AskItem{
-						Session:  "lg-" + strconv.FormatInt(idx%int64(cfg.sessions), 10),
-						Question: mix[idx%int64(len(mix))],
+					items[i] = engine.Request{
+						SessionID: "lg-" + strconv.FormatInt(idx%int64(cfg.sessions), 10),
+						Question:  mix[idx%int64(len(mix))],
 					}
 				}
+				// Each closed-loop request runs under its own context,
+				// capped by -request-timeout when set — the same
+				// deadline discipline a real client applies.
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if cfg.reqTimeout > 0 {
+					ctx, cancel = context.WithTimeout(ctx, cfg.reqTimeout)
+				}
 				t0 := time.Now()
-				outs := drv.do(items)
+				outs := drv.do(ctx, items)
 				hist.Observe(time.Since(t0))
+				cancel()
 				reqs.Add(1)
 				for _, o := range outs {
 					questions.Add(1)
-					if o.err != nil {
+					switch {
+					case o.canceled:
+						canceled.Add(1)
+					case o.err != nil:
 						errs.Add(1)
 						errMu.Lock()
 						if errSample == "" {
 							errSample = o.err.Error()
 						}
 						errMu.Unlock()
-						continue
-					}
-					if o.cached {
+					case o.cached:
 						hits.Add(1)
 					}
 				}
@@ -324,7 +404,7 @@ func run(cfg config) (*Report, error) {
 	snap := hist.Snapshot()
 	asked := questions.Load()
 	errors := errs.Load()
-	answered := asked - errors
+	answered := asked - errors - canceled.Load()
 	misses := answered - hits.Load()
 	hitRate := 0.0
 	if answered > 0 {
@@ -335,7 +415,7 @@ func run(cfg config) (*Report, error) {
 		throughput = float64(asked) / elapsed.Seconds()
 	}
 	return &Report{
-		Schema:          "cachemind-loadgen/v1",
+		Schema:          "cachemind-loadgen/v2",
 		Mode:            mode,
 		Target:          cfg.url,
 		Concurrency:     cfg.concurrency,
@@ -347,6 +427,7 @@ func run(cfg config) (*Report, error) {
 		Requests:        int(reqs.Load()),
 		Questions:       int(asked),
 		Errors:          int(errors),
+		Canceled:        int(canceled.Load()),
 		ErrorSample:     errSample,
 		DurationSeconds: elapsed.Seconds(),
 		ThroughputQPS:   throughput,

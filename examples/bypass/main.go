@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,8 +34,8 @@ func main() {
 		"For mcf under belady, identify PCs suitable for bypassing to improve IPC.",
 	}
 	for i, q := range session {
-		ctx := ranger.Retrieve(q)
-		ans := gen.Answer(fmt.Sprintf("bypass-%d", i), ctx.Parsed.Intent.String(), q, ctx)
+		rctx := ranger.Retrieve(context.Background(), q)
+		ans, _ := gen.Answer(context.Background(), fmt.Sprintf("bypass-%d", i), rctx.Parsed.Intent.String(), q, rctx)
 		fmt.Printf("User: %s\nAssistant: %s\n\n", q, ans.Text)
 	}
 

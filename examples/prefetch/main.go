@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,8 +47,8 @@ func main() {
 		"What is the miss rate of PC 0x400512 in pointerchase under LRU?",
 	}
 	for i, q := range session {
-		ctx := ranger.Retrieve(q)
-		ans := gen.Answer(fmt.Sprintf("prefetch-%d", i), ctx.Parsed.Intent.String(), q, ctx)
+		rctx := ranger.Retrieve(context.Background(), q)
+		ans, _ := gen.Answer(context.Background(), fmt.Sprintf("prefetch-%d", i), rctx.Parsed.Intent.String(), q, rctx)
 		fmt.Printf("User: %s\nAssistant: %s\n\n", q, ans.Text)
 	}
 

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,16 +47,16 @@ func main() {
 	sieve := retriever.NewSieve(store)
 	ranger := retriever.NewRanger(store)
 	for _, r := range []retriever.Retriever{sieve, ranger} {
-		ctx := r.Retrieve(question)
+		rctx := r.Retrieve(context.Background(), question)
 		fmt.Printf("\n[%s] quality=%s elapsed=%s\n%s\n",
-			r.Name(), ctx.Quality, ctx.Elapsed.Round(1000), ctx.Text)
+			r.Name(), rctx.Quality, rctx.Elapsed.Round(1000), rctx.Text)
 	}
 
 	// 4. Generate a grounded answer with the GPT-4o behavioural profile.
 	profile, _ := llm.ByID("gpt-4o")
 	gen := generator.New(profile)
-	ctx := ranger.Retrieve(question)
-	ans := gen.Answer("quickstart-1", "hit_miss", question, ctx)
+	rctx := ranger.Retrieve(context.Background(), question)
+	ans, _ := gen.Answer(context.Background(), "quickstart-1", "hit_miss", question, rctx)
 	fmt.Println("\nanswer:", ans.Text)
 
 	// 5. A trick question: the premise is invalid (that PC lives in
@@ -63,7 +64,8 @@ func main() {
 	trick := fmt.Sprintf("Does PC %s in lbm access address 0x%x under LRU? Answer hit or miss.",
 		queryir.PCRef(rec.PC), rec.Addr)
 	fmt.Println("\ntrick question:", trick)
-	ans = gen.Answer("quickstart-2", "trick_question", trick, ranger.Retrieve(trick))
+	ans, _ = gen.Answer(context.Background(), "quickstart-2", "trick_question", trick,
+		ranger.Retrieve(context.Background(), trick))
 	fmt.Println("answer:", ans.Text)
 
 	// 6. A Figure-2-style trace excerpt: one access with its resident

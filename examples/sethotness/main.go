@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,8 +32,8 @@ func main() {
 		"For astar workload and LRU replacement policy, identify 5 hot and 5 cold sets by hit rate.",
 	}
 	for i, q := range session {
-		ctx := ranger.Retrieve(q)
-		ans := gen.Answer(fmt.Sprintf("sethot-%d", i), ctx.Parsed.Intent.String(), q, ctx)
+		rctx := ranger.Retrieve(context.Background(), q)
+		ans, _ := gen.Answer(context.Background(), fmt.Sprintf("sethot-%d", i), rctx.Parsed.Intent.String(), q, rctx)
 		fmt.Printf("User: %s\nAssistant: %s\n\n", q, ans.Text)
 	}
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -338,8 +339,8 @@ func TestHitMissEndToEndAgreement(t *testing.T) {
 	r := retriever.NewRanger(testfix.Store())
 	wrong := 0
 	for _, q := range s.ByCategory(CatHitMiss) {
-		ctx := r.Retrieve(q.Text)
-		ans := gen.Answer(q.ID, q.Category.String(), q.Text, ctx)
+		rctx := r.Retrieve(context.Background(), q.Text)
+		ans, _ := gen.Answer(context.Background(), q.ID, q.Category.String(), q.Text, rctx)
 		if !GradeExact(q, ans.Verdict, ans.Value, ans.HasValue) {
 			wrong++
 			t.Logf("%s: want %q got %q", q.ID, q.WantVerdict, ans.Verdict)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -171,15 +172,15 @@ func Evaluate(suite *Suite, p Pipeline) *Report {
 		q := suite.Questions[i]
 		res := QuestionResult{Question: q}
 		if q.Tier() == TierTG {
-			ctx := p.TGRetriever.Retrieve(q.Text)
-			ans := gen.Answer(q.ID, q.Category.String(), q.Text, ctx)
-			res.Quality = ctx.Quality
+			rctx := p.TGRetriever.Retrieve(context.Background(), q.Text)
+			ans, _ := gen.Answer(context.Background(), q.ID, q.Category.String(), q.Text, rctx)
+			res.Quality = rctx.Quality
 			res.Answer = ans
 			res.Correct = GradeExact(q, ans.Verdict, ans.Value, ans.HasValue)
 		} else {
-			ctx := p.ARARetriever.Retrieve(q.Text)
-			ans := gen.AnalysisAnswer(q.ID, q.Category.String(), q.Text, ctx)
-			res.Quality = ctx.Quality
+			rctx := p.ARARetriever.Retrieve(context.Background(), q.Text)
+			ans, _ := gen.AnalysisAnswer(context.Background(), q.ID, q.Category.String(), q.Text, rctx)
+			res.Quality = rctx.Quality
 			res.Answer = ans
 			res.Rubric = RubricScore(ans.Text)
 		}

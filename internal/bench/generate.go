@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -236,7 +237,7 @@ func (g *suiteGen) arithmetic() ([]Question, error) {
 			field = db.ColEvictedReuse
 			fieldText = "evicted reuse distance"
 		}
-		res, err := queryir.Execute(g.store, queryir.Query{
+		res, err := queryir.Execute(context.Background(), g.store, queryir.Query{
 			Workload: wp[0], Policy: wp[1], PC: &pc,
 			Agg: queryir.AggMean, Field: field,
 		})

@@ -51,6 +51,19 @@ func (c *answerCache) get(key string) (Answer, bool) {
 	return el.Value.(*cacheEntry).ans, true
 }
 
+// peek returns the cached answer without touching recency or the
+// hit/miss counters — used when a single-flight retry re-checks the
+// cache so one Ask never counts more than one lookup.
+func (c *answerCache) peek(key string) (Answer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return Answer{}, false
+	}
+	return el.Value.(*cacheEntry).ans, true
+}
+
 // put stores the answer under key, evicting the least recently used
 // entry when over capacity.
 func (c *answerCache) put(key string, ans Answer) {

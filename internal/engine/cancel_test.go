@@ -1,0 +1,273 @@
+package engine_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"cachemind/internal/engine"
+	"cachemind/internal/retriever"
+)
+
+// cancelingRetriever completes a real retrieval and then fires hook —
+// used to cancel the request context at the exact boundary between the
+// retrieval and generation stages.
+type cancelingRetriever struct {
+	inner retriever.Retriever
+	// hook runs after the inner retrieval for a question matching
+	// target ("" = every question).
+	target string
+	hook   func()
+	mu     sync.Mutex
+	n      int
+}
+
+func (c *cancelingRetriever) Name() string { return c.inner.Name() }
+
+func (c *cancelingRetriever) Retrieve(ctx context.Context, q string) retriever.Context {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	out := c.inner.Retrieve(ctx, q)
+	if c.target == "" || c.target == q {
+		c.hook()
+	}
+	return out
+}
+
+func (c *cancelingRetriever) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// TestCancelAbortsColdAskBeforeGeneration: a context canceled during
+// retrieval aborts the ask at the stage checkpoint — before generation
+// — with CodeCanceled, records nothing in the session, and publishes
+// nothing to the cache. The ISSUE's headline acceptance criterion.
+func TestCancelAbortsColdAskBeforeGeneration(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cr := &cancelingRetriever{inner: retriever.NewRanger(testStore(t)), hook: cancel}
+	e := newEngine(t, engine.Config{CustomRetriever: cr})
+
+	_, err := e.Ask(ctx, engine.Request{SessionID: "s", Question: questions[0]})
+	if code := engine.ErrorCode(err); code != engine.CodeCanceled {
+		t.Fatalf("ask error = %v (code %q), want canceled", err, code)
+	}
+	if turns, ok := e.SessionTurns("s"); ok {
+		t.Fatalf("canceled ask recorded a turn: %+v", turns)
+	}
+	st := e.Stats()
+	if st.CacheEntries != 0 {
+		t.Fatalf("canceled ask published to the cache: %+v", st)
+	}
+	if st.Canceled != 1 {
+		t.Fatalf("canceled counter = %d, want 1", st.Canceled)
+	}
+
+	// An uncanceled retry recomputes (nothing was poisoned) and
+	// matches the cache-less reference byte for byte.
+	cr.hook = func() {} // defuse
+	resp := mustAsk(t, e, "s", questions[0])
+	if resp.Cached {
+		t.Fatal("retry after cancellation found a phantom cache entry")
+	}
+	ref := mustAsk(t, newEngine(t, engine.Config{CacheSize: -1}), "ref", questions[0])
+	if resp.Text != ref.Text {
+		t.Fatal("post-cancellation answer diverges from reference")
+	}
+}
+
+// TestDeadlineExceededAtAdmission: an already-expired deadline is
+// rejected at the admission checkpoint with CodeDeadlineExceeded and
+// never invokes the retriever.
+func TestDeadlineExceededAtAdmission(t *testing.T) {
+	cr := &countingRetriever{inner: retriever.NewRanger(testStore(t))}
+	e := newEngine(t, engine.Config{CustomRetriever: cr})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	_, err := e.Ask(ctx, engine.Request{SessionID: "s", Question: questions[0]})
+	if code := engine.ErrorCode(err); code != engine.CodeDeadlineExceeded {
+		t.Fatalf("error code = %q (%v), want deadline-exceeded", code, err)
+	}
+	if cr.count() != 0 {
+		t.Fatal("expired ask still invoked the retriever")
+	}
+	// Questions counts only admitted asks; Canceled counts the reject.
+	if st := e.Stats(); st.Questions != 0 || st.Canceled != 1 {
+		t.Fatalf("stats = %+v, want 0 questions / 1 canceled", st)
+	}
+}
+
+// TestDeadlineExceededColdAskKeepsSingleFlightConsistent (run under
+// -race in CI): a single-flight leader whose deadline expires mid-
+// retrieval returns deadline-exceeded, while followers with live
+// contexts elect a new leader and still get the real answer — the
+// flight table never wedges and the aborted attempt is never served.
+func TestDeadlineExceededColdAskKeepsSingleFlightConsistent(t *testing.T) {
+	gr := &gatedRetriever{inner: retriever.NewRanger(testStore(t)), release: make(chan struct{})}
+	e := newEngine(t, engine.Config{CustomRetriever: gr})
+	q := questions[0]
+
+	leaderCtx, leaderCancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer leaderCancel()
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := e.Ask(leaderCtx, engine.Request{SessionID: "leader", Question: q})
+		leaderErr <- err
+	}()
+	// Wait until the leader is blocked inside retrieval, then pile on
+	// followers with live contexts.
+	for gr.started() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	const followers = 6
+	var wg sync.WaitGroup
+	texts := make([]string, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := ask(e, "f", q)
+			if err != nil {
+				t.Errorf("follower %d: %v", i, err)
+				return
+			}
+			texts[i] = resp.Text
+		}(i)
+	}
+
+	// The leader's deadline fires while it holds the flight; its error
+	// must be deadline-exceeded.
+	err := <-leaderErr
+	if code := engine.ErrorCode(err); code != engine.CodeDeadlineExceeded {
+		t.Fatalf("leader error = %v (code %q), want deadline-exceeded", err, code)
+	}
+	// A follower re-elects itself leader and blocks on the gate;
+	// release it so the flight completes for real.
+	for gr.started() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	close(gr.release)
+	wg.Wait()
+
+	ref := mustAsk(t, newEngine(t, engine.Config{CacheSize: -1}), "ref", q)
+	for i, text := range texts {
+		if text != ref.Text {
+			t.Fatalf("follower %d answer diverges from reference: %q", i, text)
+		}
+	}
+	// The flight retired cleanly: a fresh ask is a plain cache hit.
+	if resp := mustAsk(t, e, "late", q); !resp.Cached {
+		t.Fatal("post-flight ask missed the cache — aborted flight poisoned the table")
+	}
+	if st := e.Stats(); st.Canceled != 1 {
+		t.Fatalf("canceled counter = %d, want 1 (the leader)", st.Canceled)
+	}
+}
+
+// TestAskBatchMidCancel: canceling the batch context mid-batch yields
+// per-item canceled errors for the in-flight and not-yet-admitted
+// items, leaves completed items recorded, and never poisons the
+// answer cache for the canceled questions.
+func TestAskBatchMidCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// The hook cancels the shared batch context during item 1's
+	// retrieval; items run serially (workers 1), so item 0 completes,
+	// item 1 aborts at the generation checkpoint, and item 2 is
+	// rejected at admission.
+	cr := &cancelingRetriever{inner: retriever.NewRanger(testStore(t)), target: questions[1], hook: cancel}
+	e := newEngine(t, engine.Config{CustomRetriever: cr})
+
+	items := []engine.Request{
+		{SessionID: "b", Question: questions[0]},
+		{SessionID: "b", Question: questions[1]},
+		{SessionID: "b", Question: questions[2]},
+	}
+	results := e.AskBatch(ctx, items, 1)
+
+	if results[0].Err != nil {
+		t.Fatalf("item 0 failed: %v", results[0].Err)
+	}
+	for i := 1; i < 3; i++ {
+		if code := engine.ErrorCode(results[i].Err); code != engine.CodeCanceled {
+			t.Fatalf("item %d error = %v (code %q), want canceled", i, results[i].Err, code)
+		}
+	}
+	// Only the completed item reached the session log.
+	turns, ok := e.SessionTurns("b")
+	if !ok || len(turns) != 1 || turns[0].Question != questions[0] {
+		t.Fatalf("session log after mid-batch cancel = %+v, ok=%v", turns, ok)
+	}
+	// Item 2 never started a retrieval (admission checkpoint).
+	if got := cr.count(); got != 2 {
+		t.Fatalf("retrievals = %d, want 2 (item 2 must fail fast)", got)
+	}
+	if st := e.Stats(); st.CacheEntries != 1 || st.Canceled != 2 {
+		t.Fatalf("stats = %+v, want 1 cache entry / 2 canceled", st)
+	}
+
+	// The canceled questions were not poisoned: fresh asks recompute
+	// and match the cache-less reference.
+	refEngine := newEngine(t, engine.Config{CacheSize: -1})
+	for _, q := range []string{questions[1], questions[2]} {
+		resp := mustAsk(t, e, "b2", q)
+		if resp.Cached {
+			t.Fatalf("canceled question %q left a cache entry", q)
+		}
+		if ref := mustAsk(t, refEngine, "ref", q); resp.Text != ref.Text {
+			t.Fatalf("post-cancel answer for %q diverges from reference", q)
+		}
+	}
+}
+
+// TestCanceledFollowerLeavesLeaderUnharmed: a follower whose own
+// context cancels while coalesced on a healthy leader returns
+// canceled, while the leader's answer completes and is cached.
+func TestCanceledFollowerLeavesLeaderUnharmed(t *testing.T) {
+	gr := &gatedRetriever{inner: retriever.NewRanger(testStore(t)), release: make(chan struct{})}
+	e := newEngine(t, engine.Config{CustomRetriever: gr})
+	q := questions[0]
+
+	leaderDone := make(chan engine.Response, 1)
+	go func() {
+		resp, err := ask(e, "leader", q)
+		if err != nil {
+			t.Error(err)
+		}
+		leaderDone <- resp
+	}()
+	for gr.started() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	followerCtx, followerCancel := context.WithCancel(context.Background())
+	followerDone := make(chan error, 1)
+	go func() {
+		_, err := e.Ask(followerCtx, engine.Request{SessionID: "follower", Question: q})
+		followerDone <- err
+	}()
+	// The follower is parked on the leader's flight; cancel it while
+	// the leader is still blocked.
+	followerCancel()
+	err := <-followerDone
+	if code := engine.ErrorCode(err); code != engine.CodeCanceled {
+		t.Fatalf("follower error = %v (code %q), want canceled", err, code)
+	}
+
+	close(gr.release)
+	resp := <-leaderDone
+	if resp.Text == "" {
+		t.Fatal("leader returned no answer")
+	}
+	// The leader published; the canceled follower recorded nothing.
+	if next := mustAsk(t, e, "late", q); !next.Cached || next.Text != resp.Text {
+		t.Fatalf("leader's answer not cached cleanly: %+v", next)
+	}
+	if _, ok := e.SessionTurns("follower"); ok {
+		t.Fatal("canceled follower recorded a turn")
+	}
+}

@@ -6,6 +6,28 @@
 // later scaling layer (sharded stores, batched retrieval, multi-backend
 // fan-out) plugs in underneath this API.
 //
+// # Request/Response API
+//
+// Asks flow through Engine.Ask(ctx, Request) (Response, error):
+//
+//   - Request carries the session ID, the question, and per-request
+//     Options (memory on/off, cache bypass, provenance verbosity);
+//     cancellation and deadlines ride on the context.
+//   - Response carries the answer plus structured metadata: cache
+//     outcome, the shard the key hashed to, retriever and model names,
+//     and per-stage Timings.
+//   - Failures are typed *Error values with a stable Code
+//     (invalid-request, canceled, deadline-exceeded, ...) that
+//     front-ends map deterministically to transport statuses.
+//
+// The context is checked between pipeline stages (admission →
+// retrieval → generation → record) and inside the retrieval query
+// loop, so a disconnected client or an expired deadline aborts a cold
+// ask before generation and frees the worker. A canceled leader never
+// publishes to the answer cache; coalesced followers whose own context
+// is still live retry the flight instead of inheriting the leader's
+// cancellation.
+//
 // Concurrency contracts (enforced here, documented at the providers):
 //
 //   - db.Store and its Frames are immutable once built, so concurrent
@@ -38,6 +60,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -112,8 +135,9 @@ type Config struct {
 	CustomRetriever retriever.Retriever
 }
 
-// Answer is one completed ask: the generated response plus the
-// provenance the front-ends render (-show-context, the JSON API).
+// Answer is the pipeline's product: the generated response plus the
+// provenance and stage timings it was produced with. It is what the
+// answer cache stores; front-ends consume the Response built from it.
 type Answer struct {
 	// Text is the full response shown to the user.
 	Text string
@@ -125,15 +149,17 @@ type Answer struct {
 	Quality string
 	// Grounded reports whether the answer was derived from evidence.
 	Grounded bool
-	// Cached reports whether this answer was served from the LRU
-	// without invoking the retriever.
-	Cached bool
-	// Context is the retrieved evidence bundle (from the original
-	// retrieval when Cached).
+	// Context is the retrieved evidence bundle.
 	Context string
-	// RetrievalElapsed is the wall-clock retrieval time of the original
+	// Queries is the per-query execution trace (one line per retrieval
+	// query: target and outcome).
+	Queries []string
+	// Retrieval is the wall-clock retrieval time of the original
 	// (uncached) retrieval.
-	RetrievalElapsed time.Duration
+	Retrieval time.Duration
+	// Generation is the wall-clock generation time of the original
+	// computation.
+	Generation time.Duration
 }
 
 // Turn is one question/answer exchange within a session. The JSON tags
@@ -176,6 +202,7 @@ type Engine struct {
 	flights       []*flightShard
 
 	questions       atomic.Uint64
+	canceled        atomic.Uint64
 	sessionsEvicted atomic.Uint64
 }
 
@@ -262,10 +289,12 @@ func New(cfg Config) (*Engine, error) {
 }
 
 // inflightCall is one in-progress uncached answer; followers wait on
-// done and share ans.
+// done and share ans, or see err when the leader's context aborted the
+// pipeline (an aborted flight is never published to the cache).
 type inflightCall struct {
 	done chan struct{}
 	ans  Answer
+	err  error
 }
 
 // cacheKey renders the (retriever, model, question) cache triple.
@@ -273,120 +302,240 @@ func cacheKey(retrieverName, modelID, question string) string {
 	return retrieverName + "\x00" + modelID + "\x00" + question
 }
 
-// Ask answers the question within the named session, creating the
+// Ask answers the request's question within its session, creating the
 // session on first use. A repeated question (same retriever, model and
 // text) is served from the answer cache without invoking the retriever;
 // either way the exchange is recorded in the session's conversation
-// memory. Safe for concurrent callers, including within one session.
-func (e *Engine) Ask(sessionID, question string) (Answer, error) {
-	question = strings.TrimSpace(question)
+// memory unless Options.NoMemory is set. The context carries
+// cancellation and deadlines: it is checked between pipeline stages,
+// and an ask aborted by it returns a typed *Error (CodeCanceled or
+// CodeDeadlineExceeded) without recording the exchange or poisoning
+// the cache. Safe for concurrent callers, including within one session.
+func (e *Engine) Ask(ctx context.Context, req Request) (Response, error) {
+	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	question := strings.TrimSpace(req.Question)
 	if question == "" {
-		return Answer{}, fmt.Errorf("engine: empty question")
+		return Response{}, Errf(CodeInvalidRequest, "question must not be empty")
+	}
+	// Admission checkpoint: a request that arrives already canceled
+	// (e.g. a batch sibling after a mid-batch cancel) never runs.
+	if err := ctxError(ctx); err != nil {
+		e.canceled.Add(1)
+		return Response{}, err
 	}
 	e.questions.Add(1)
 
 	key := cacheKey(e.retr.Name(), e.profile.ID, question)
-	if e.caches != nil {
-		// The key's hash picks both the cache and the flight shard, so
-		// every ask of one question contends on exactly one lock pair
-		// no matter how many shards exist.
-		idx := shardIndex(key, e.nshards)
-		cache, flight := e.caches[idx], e.flights[idx]
-		if ans, ok := cache.get(key); ok {
-			ans.Cached = true
-			e.record(sessionID, question, ans.Text)
-			return ans, nil
+	shard := shardIndex(key, e.nshards)
+
+	var (
+		ans    Answer
+		cached bool
+		err    error
+	)
+	if e.caches == nil || req.Options.BypassCache {
+		// Caching disabled or bypassed: run the full pipeline fresh,
+		// without touching the cache or the single-flight table.
+		ans, err = e.pipeline(ctx, question)
+	} else {
+		ans, cached, err = e.cachedAsk(ctx, shard, key, question)
+	}
+	if err != nil {
+		if IsCancellation(ErrorCode(err)) {
+			e.canceled.Add(1)
 		}
+		return Response{}, err
+	}
+
+	if !req.Options.NoMemory {
+		e.record(req.SessionID, question, ans.Text)
+	}
+	return e.response(req, question, ans, cached, shard, start), nil
+}
+
+// cachedAsk serves the question through the answer cache and the
+// single-flight table of the key's shard. The loop re-checks the cache
+// after an aborted flight: when a leader's context cancels mid-
+// pipeline, its followers — whose own contexts may still be live —
+// retry and elect a new leader instead of inheriting the cancellation,
+// which keeps coalescing consistent without ever publishing an aborted
+// answer.
+func (e *Engine) cachedAsk(ctx context.Context, shard int, key, question string) (Answer, bool, error) {
+	// The key's hash picks both the cache and the flight shard, so
+	// every ask of one question contends on exactly one lock pair no
+	// matter how many shards exist.
+	cache, flight := e.caches[shard], e.flights[shard]
+
+	if ans, ok := cache.get(key); ok {
+		return ans, true, nil
+	}
+	for {
 		// Coalesce concurrent misses for the same key: one leader runs
 		// the pipeline, followers wait and share its answer (sound
 		// because answers are pure functions of the key).
 		flight.mu.Lock()
 		if c, ok := flight.inflight[key]; ok {
 			flight.mu.Unlock()
-			<-c.done
-			ans := c.ans
-			ans.Cached = true // served without invoking the retriever
-			e.record(sessionID, question, ans.Text)
-			return ans, nil
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return Answer{}, false, ctxError(ctx)
+			}
+			if c.err == nil {
+				// Served without invoking the retriever.
+				return c.ans, true, nil
+			}
+			// The leader aborted (its context canceled). Retry with a
+			// fresh cache check — a later leader may have published by
+			// now — unless this caller is itself done.
+			if err := ctxError(ctx); err != nil {
+				return Answer{}, false, err
+			}
+			if ans, ok := cache.peek(key); ok {
+				return ans, true, nil
+			}
+			continue
 		}
 		c := &inflightCall{done: make(chan struct{})}
 		flight.inflight[key] = c
 		flight.mu.Unlock()
 
-		ans := e.answer(question)
-		// Publish to the cache before retiring the flight so late
-		// arrivals always find one or the other.
-		cache.put(key, ans)
-		c.ans = ans
+		ans, err := e.pipeline(ctx, question)
+		if err == nil {
+			// Publish to the cache before retiring the flight so late
+			// arrivals always find one or the other. An aborted
+			// pipeline is never published.
+			cache.put(key, ans)
+		}
+		c.ans, c.err = ans, err
 		flight.mu.Lock()
 		delete(flight.inflight, key)
 		flight.mu.Unlock()
 		close(c.done)
-		e.record(sessionID, question, ans.Text)
-		return ans, nil
+		return ans, false, err
 	}
-
-	// Caching disabled: every ask runs the full pipeline.
-	ans := e.answer(question)
-	e.record(sessionID, question, ans.Text)
-	return ans, nil
 }
 
-// AskItem is one question of a batch ask.
-type AskItem struct {
-	Session  string
-	Question string
+// response assembles the Response for one completed ask, applying the
+// request's provenance verbosity.
+func (e *Engine) response(req Request, question string, ans Answer, cached bool, shard int, start time.Time) Response {
+	resp := Response{
+		SessionID: req.SessionID,
+		Question:  question,
+		Text:      ans.Text,
+		Verdict:   ans.Verdict,
+		Category:  ans.Category,
+		Quality:   ans.Quality,
+		Grounded:  ans.Grounded,
+		Cached:    cached,
+		Shard:     shard,
+		Retriever: e.retr.Name(),
+		Model:     e.profile.ID,
+		Timings: Timings{
+			Retrieval:  ans.Retrieval,
+			Generation: ans.Generation,
+			Total:      time.Since(start),
+		},
+	}
+	if req.Options.Provenance >= ProvenanceContext {
+		resp.Context = ans.Context
+	}
+	if req.Options.Provenance >= ProvenanceFull {
+		resp.Queries = append([]string(nil), ans.Queries...)
+	}
+	return resp
 }
 
-// AskResult is one AskBatch outcome: the answer, or the item's error.
-type AskResult struct {
-	Answer Answer
-	Err    error
-}
-
-// AskBatch answers items concurrently on at most workers goroutines
+// AskBatch answers requests concurrently on at most workers goroutines
 // (values <= 0 select one per CPU) and returns results in input order.
 // Errors are per item — a rejected question never aborts the rest of
-// the batch. This is the daemon's POST /v1/ask/batch path and the bulk
-// entry point for load generators: batched asks amortize scheduling
-// and let the sharded cache and session table absorb the fan-out.
-func (e *Engine) AskBatch(items []AskItem, workers int) []AskResult {
-	out := make([]AskResult, len(items))
+// the batch, and canceling ctx mid-batch aborts the in-flight items at
+// their next checkpoint while the remaining items fail fast at
+// admission, each with its own typed cancellation error. This is the
+// daemon's POST /v1/ask/batch path and the bulk entry point for load
+// generators: batched asks amortize scheduling and let the sharded
+// cache and session table absorb the fan-out.
+func (e *Engine) AskBatch(ctx context.Context, reqs []Request, workers int) []AskResult {
+	out := make([]AskResult, len(reqs))
 	// fn never returns an error (per-item errors land in out), so
 	// ForEach cannot abort early and every index is visited.
-	_ = parallel.ForEach(len(items), workers, func(i int) error {
-		out[i].Answer, out[i].Err = e.Ask(items[i].Session, items[i].Question)
+	_ = parallel.ForEach(len(reqs), workers, func(i int) error {
+		out[i].Response, out[i].Err = e.Ask(ctx, reqs[i])
 		return nil
 	})
 	return out
 }
 
-// answer runs the uncached retrieve→classify→generate pipeline. It is
-// a pure function of the question (for a fixed store, retriever and
-// profile) — the property the cache and the REPL-parity tests rely on.
-func (e *Engine) answer(question string) Answer {
-	ctx := e.retr.Retrieve(question)
-	category := ctx.Parsed.Intent.String()
+// pipeline runs the uncached retrieve→classify→generate pipeline with
+// a cancellation checkpoint between the stages. For a live context the
+// answer is a pure function of the question (for a fixed store,
+// retriever and profile) — the property the cache and the REPL-parity
+// tests rely on.
+func (e *Engine) pipeline(ctx context.Context, question string) (Answer, error) {
+	rctx := e.retr.Retrieve(ctx, question)
+	// Checkpoint: abort a canceled ask before generation. The
+	// retriever observes the same context between its queries, so a
+	// cancellation mid-retrieval lands here with a partial bundle that
+	// is discarded.
+	if err := ctxError(ctx); err != nil {
+		return Answer{}, err
+	}
+	category := rctx.Parsed.Intent.String()
 
 	// The analysis tier renders through the rubric-structured path; all
 	// other intents go through grounded answer synthesis — exactly the
 	// REPL's historical routing.
+	genStart := time.Now()
 	var gen generator.Answer
-	switch ctx.Parsed.Intent {
+	var err error
+	switch rctx.Parsed.Intent {
 	case nlu.IntentConcept, nlu.IntentPolicyAnalysis, nlu.IntentSemanticAnalysis, nlu.IntentCodeGen:
-		gen = e.gen.AnalysisAnswer(question, category, question, ctx)
+		gen, err = e.gen.AnalysisAnswer(ctx, question, category, question, rctx)
 	default:
-		gen = e.gen.Answer(question, category, question, ctx)
+		gen, err = e.gen.Answer(ctx, question, category, question, rctx)
+	}
+	if err != nil {
+		// Context-derived failures get the typed cancellation error;
+		// anything else (a future remote backend's API failure) must
+		// surface as internal — never as a silent empty answer that
+		// would be published to the cache.
+		if cerr := ctxError(ctx); cerr != nil {
+			return Answer{}, cerr
+		}
+		return Answer{}, &Error{Code: CodeInternal, Message: "generation failed", Err: err}
 	}
 	return Answer{
-		Text:             gen.Text,
-		Verdict:          gen.Verdict,
-		Category:         category,
-		Quality:          ctx.Quality.String(),
-		Grounded:         gen.Grounded,
-		Context:          ctx.Text,
-		RetrievalElapsed: ctx.Elapsed,
+		Text:       gen.Text,
+		Verdict:    gen.Verdict,
+		Category:   category,
+		Quality:    rctx.Quality.String(),
+		Grounded:   gen.Grounded,
+		Context:    rctx.Text,
+		Queries:    queryTrace(rctx),
+		Retrieval:  rctx.Elapsed,
+		Generation: time.Since(genStart),
+	}, nil
+}
+
+// queryTrace renders the retrieval's executed queries as one
+// provenance line each — the ProvenanceFull payload.
+func queryTrace(rctx retriever.Context) []string {
+	if len(rctx.Executed) == 0 {
+		return nil
 	}
+	out := make([]string, len(rctx.Executed))
+	for i, ex := range rctx.Executed {
+		outcome := "ok"
+		if ex.Err != nil {
+			outcome = "error: " + ex.Err.Error()
+		}
+		out[i] = fmt.Sprintf("%s workload=%s policy=%s -> %s",
+			ex.Query.Agg, ex.Query.Workload, ex.Query.Policy, outcome)
+	}
+	return out
 }
 
 // record appends the exchange to the session log and conversation
@@ -460,16 +609,17 @@ func (e *Engine) SessionTurns(id string) (turns []Turn, ok bool) {
 
 // SessionView returns the session's turn log and conversation-memory
 // view as one consistent snapshot (both read under the session lock) —
-// the source of GET /v1/sessions/{id}. ok is false when the session
-// does not exist.
-func (e *Engine) SessionView(id, question string) (turns []Turn, mem string, ok bool) {
+// the source of GET /v1/sessions/{id}. A session that does not exist
+// (never asked, or evicted) yields a typed *Error with
+// CodeSessionNotFound.
+func (e *Engine) SessionView(id, question string) (turns []Turn, mem string, err error) {
 	s, ok := e.lookup(id)
 	if !ok {
-		return nil, "", false
+		return nil, "", Errf(CodeSessionNotFound, "unknown session %q", id)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]Turn(nil), s.turns...), s.conv.ContextBlock(question), true
+	return append([]Turn(nil), s.turns...), s.conv.ContextBlock(question), nil
 }
 
 // SessionMemory renders the session's conversation-memory view —
@@ -505,8 +655,11 @@ func (e *Engine) SessionIDs() []string {
 // Stats is a point-in-time snapshot of the engine's counters — the
 // daemon's /metrics source.
 type Stats struct {
-	// Questions counts every Ask that passed validation.
+	// Questions counts every Ask that passed validation and admission.
 	Questions uint64
+	// Canceled counts asks aborted by their context (canceled or
+	// deadline-exceeded), whether at admission or mid-pipeline.
+	Canceled uint64
 	// CacheHits/CacheMisses count answer-cache lookups (both zero when
 	// caching is disabled).
 	CacheHits   uint64
@@ -527,6 +680,7 @@ type Stats struct {
 func (e *Engine) Stats() Stats {
 	st := Stats{
 		Questions:       e.questions.Load(),
+		Canceled:        e.canceled.Load(),
 		SessionsEvicted: e.sessionsEvicted.Load(),
 		Shards:          e.nshards,
 	}

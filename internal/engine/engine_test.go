@@ -1,10 +1,12 @@
 package engine_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"cachemind/internal/db"
 	"cachemind/internal/db/dbtest"
@@ -41,6 +43,22 @@ func newEngine(t testing.TB, cfg engine.Config) *engine.Engine {
 	return e
 }
 
+// ask is the test shorthand for a default-options ask under a
+// background context.
+func ask(e *engine.Engine, session, question string) (engine.Response, error) {
+	return e.Ask(context.Background(), engine.Request{SessionID: session, Question: question})
+}
+
+// mustAsk fails the test on any ask error.
+func mustAsk(t testing.TB, e *engine.Engine, session, question string) engine.Response {
+	t.Helper()
+	resp, err := ask(e, session, question)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
 func TestConfigValidation(t *testing.T) {
 	if _, err := engine.New(engine.Config{}); err == nil {
 		t.Fatal("nil store accepted")
@@ -52,36 +70,43 @@ func TestConfigValidation(t *testing.T) {
 		t.Fatal("unknown retriever accepted")
 	}
 	e := newEngine(t, engine.Config{})
-	if _, err := e.Ask("s", "   "); err == nil {
+	_, err := ask(e, "s", "   ")
+	if err == nil {
 		t.Fatal("empty question accepted")
+	}
+	if code := engine.ErrorCode(err); code != engine.CodeInvalidRequest {
+		t.Fatalf("empty question error code = %q, want %q", code, engine.CodeInvalidRequest)
 	}
 }
 
 // TestCachedAnswerByteIdentical is the cache-determinism contract: the
 // cached answer is byte-identical to the uncached one — both within one
-// engine (second ask) and against a cache-disabled engine.
+// engine (second ask) and against a cache-disabled engine. Provenance
+// is requested so the comparison covers the evidence bundle too.
 func TestCachedAnswerByteIdentical(t *testing.T) {
 	cached := newEngine(t, engine.Config{})
 	uncached := newEngine(t, engine.Config{CacheSize: -1})
-	for _, q := range questions {
-		first, err := cached.Ask("s", q)
+	withContext := func(e *engine.Engine, q string) engine.Response {
+		t.Helper()
+		resp, err := e.Ask(context.Background(), engine.Request{
+			SessionID: "s", Question: q,
+			Options: engine.Options{Provenance: engine.ProvenanceContext},
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
+		return resp
+	}
+	for _, q := range questions {
+		first := withContext(cached, q)
 		if first.Cached {
 			t.Fatalf("first ask of %q reported cached", q)
 		}
-		second, err := cached.Ask("s", q)
-		if err != nil {
-			t.Fatal(err)
-		}
+		second := withContext(cached, q)
 		if !second.Cached {
 			t.Fatalf("second ask of %q not served from cache", q)
 		}
-		ref, err := uncached.Ask("s", q)
-		if err != nil {
-			t.Fatal(err)
-		}
+		ref := withContext(uncached, q)
 		if ref.Cached {
 			t.Fatalf("cache-disabled engine reported a cached answer for %q", q)
 		}
@@ -105,6 +130,101 @@ func TestCachedAnswerByteIdentical(t *testing.T) {
 	}
 }
 
+// TestResponseMetadata: the Response carries the structured metadata
+// the wire contract promises — shard, retriever, model, timings.
+func TestResponseMetadata(t *testing.T) {
+	e := newEngine(t, engine.Config{Shards: 4})
+	resp := mustAsk(t, e, "s", questions[0])
+	if resp.Retriever != "ranger" || resp.Model != "gpt-4o" {
+		t.Fatalf("retriever/model = %q/%q", resp.Retriever, resp.Model)
+	}
+	if resp.Shard < 0 || resp.Shard >= 4 {
+		t.Fatalf("shard = %d, want within [0,4)", resp.Shard)
+	}
+	if resp.Question != questions[0] || resp.SessionID != "s" {
+		t.Fatalf("echoed request fields wrong: %+v", resp)
+	}
+	if resp.Timings.Retrieval <= 0 || resp.Timings.Total <= 0 {
+		t.Fatalf("timings not populated: %+v", resp.Timings)
+	}
+	// Default provenance returns no context.
+	if resp.Context != "" || resp.Queries != nil {
+		t.Fatalf("provenance leaked without opt-in: %+v", resp)
+	}
+	// A cached repeat reports the original stage timings and the same
+	// shard.
+	again := mustAsk(t, e, "s", questions[0])
+	if !again.Cached || again.Shard != resp.Shard {
+		t.Fatalf("cached repeat: %+v", again)
+	}
+	if again.Timings.Retrieval != resp.Timings.Retrieval {
+		t.Fatalf("cached retrieval timing diverges: %v vs %v",
+			again.Timings.Retrieval, resp.Timings.Retrieval)
+	}
+}
+
+// TestProvenanceLevels: none omits everything, context includes the
+// bundle, full adds the per-query trace.
+func TestProvenanceLevels(t *testing.T) {
+	e := newEngine(t, engine.Config{})
+	q := questions[1] // a miss-rate ask that executes queries
+	askWith := func(p engine.Provenance) engine.Response {
+		t.Helper()
+		resp, err := e.Ask(context.Background(), engine.Request{
+			SessionID: "s", Question: q, Options: engine.Options{Provenance: p},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	none := askWith(engine.ProvenanceNone)
+	if none.Context != "" || none.Queries != nil {
+		t.Fatalf("ProvenanceNone leaked provenance: %+v", none)
+	}
+	withCtx := askWith(engine.ProvenanceContext)
+	if withCtx.Context == "" {
+		t.Fatal("ProvenanceContext returned no context")
+	}
+	if withCtx.Queries != nil {
+		t.Fatal("ProvenanceContext leaked the query trace")
+	}
+	full := askWith(engine.ProvenanceFull)
+	if full.Context == "" || len(full.Queries) == 0 {
+		t.Fatalf("ProvenanceFull incomplete: %+v", full)
+	}
+	if !strings.Contains(full.Queries[0], "workload=") {
+		t.Fatalf("query trace not descriptive: %q", full.Queries[0])
+	}
+	// Provenance never changes the answer bytes or cache behaviour:
+	// all three were the same cached entry after the first.
+	if none.Text != withCtx.Text || withCtx.Text != full.Text {
+		t.Fatal("provenance changed answer bytes")
+	}
+}
+
+// TestNoMemoryOption: an ask with NoMemory never creates or touches
+// the session.
+func TestNoMemoryOption(t *testing.T) {
+	e := newEngine(t, engine.Config{})
+	_, err := e.Ask(context.Background(), engine.Request{
+		SessionID: "quiet", Question: questions[0],
+		Options: engine.Options{NoMemory: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.SessionTurns("quiet"); ok {
+		t.Fatal("NoMemory ask created a session")
+	}
+	// A regular ask afterwards records normally.
+	mustAsk(t, e, "quiet", questions[1])
+	turns, ok := e.SessionTurns("quiet")
+	if !ok || len(turns) != 1 || turns[0].Question != questions[1] {
+		t.Fatalf("session log after mixed asks = %+v, ok=%v", turns, ok)
+	}
+}
+
 // countingRetriever proves the retriever is bypassed on cache hits.
 type countingRetriever struct {
 	inner retriever.Retriever
@@ -114,11 +234,11 @@ type countingRetriever struct {
 
 func (c *countingRetriever) Name() string { return c.inner.Name() }
 
-func (c *countingRetriever) Retrieve(q string) retriever.Context {
+func (c *countingRetriever) Retrieve(ctx context.Context, q string) retriever.Context {
 	c.mu.Lock()
 	c.n++
 	c.mu.Unlock()
-	return c.inner.Retrieve(q)
+	return c.inner.Retrieve(ctx, q)
 }
 
 func (c *countingRetriever) count() int {
@@ -133,9 +253,7 @@ func TestRepeatedQuestionSkipsRetriever(t *testing.T) {
 	const repeats = 5
 	q := questions[0]
 	for i := 0; i < repeats; i++ {
-		if _, err := e.Ask(fmt.Sprintf("s%d", i), q); err != nil {
-			t.Fatal(err)
-		}
+		mustAsk(t, e, fmt.Sprintf("s%d", i), q)
 	}
 	if got := cr.count(); got != 1 {
 		t.Fatalf("retriever invoked %d times for a repeated question, want 1", got)
@@ -146,8 +264,48 @@ func TestRepeatedQuestionSkipsRetriever(t *testing.T) {
 	}
 }
 
-// gatedRetriever blocks every Retrieve until release is closed, so the
-// test can pile up concurrent misses for one question.
+// TestBypassCacheOption: a bypassing ask always re-runs the retriever
+// and never publishes, while counters ignore it entirely.
+func TestBypassCacheOption(t *testing.T) {
+	cr := &countingRetriever{inner: retriever.NewRanger(testStore(t))}
+	e := newEngine(t, engine.Config{CustomRetriever: cr})
+	q := questions[0]
+	bypass := func() engine.Response {
+		t.Helper()
+		resp, err := e.Ask(context.Background(), engine.Request{
+			SessionID: "s", Question: q, Options: engine.Options{BypassCache: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	first := bypass()
+	second := bypass()
+	if first.Cached || second.Cached {
+		t.Fatal("bypassing asks reported cached")
+	}
+	if got := cr.count(); got != 2 {
+		t.Fatalf("retriever invoked %d times under bypass, want 2", got)
+	}
+	if st := e.Stats(); st.CacheHits+st.CacheMisses != 0 || st.CacheEntries != 0 {
+		t.Fatalf("bypass touched the cache: %+v", st)
+	}
+	if first.Text != second.Text {
+		t.Fatal("bypassed answers diverge")
+	}
+	// A later default ask misses (nothing was published), then hits.
+	if resp := mustAsk(t, e, "s", q); resp.Cached {
+		t.Fatal("first non-bypass ask found a cache entry")
+	}
+	if resp := mustAsk(t, e, "s", q); !resp.Cached {
+		t.Fatal("second non-bypass ask missed")
+	}
+}
+
+// gatedRetriever blocks every Retrieve until release is closed (or the
+// request context is canceled), so tests can pile up concurrent misses
+// and cancel mid-retrieval.
 type gatedRetriever struct {
 	inner   retriever.Retriever
 	release chan struct{}
@@ -157,12 +315,22 @@ type gatedRetriever struct {
 
 func (g *gatedRetriever) Name() string { return g.inner.Name() }
 
-func (g *gatedRetriever) Retrieve(q string) retriever.Context {
+func (g *gatedRetriever) Retrieve(ctx context.Context, q string) retriever.Context {
 	g.mu.Lock()
 	g.n++
 	g.mu.Unlock()
-	<-g.release
-	return g.inner.Retrieve(q)
+	select {
+	case <-g.release:
+	case <-ctx.Done():
+		return retriever.Context{Question: q, Retriever: g.Name(), Err: ctx.Err()}
+	}
+	return g.inner.Retrieve(ctx, q)
+}
+
+func (g *gatedRetriever) started() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
 }
 
 // TestConcurrentColdAsksCoalesce: simultaneous first-asks of one
@@ -178,7 +346,7 @@ func TestConcurrentColdAsksCoalesce(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			a, err := e.Ask("s", questions[0])
+			a, err := ask(e, "s", questions[0])
 			if err != nil {
 				t.Error(err)
 				return
@@ -188,21 +356,13 @@ func TestConcurrentColdAsksCoalesce(t *testing.T) {
 	}
 	// Let every caller reach the miss path while the leader's
 	// retrieval is blocked, then release it.
-	for {
-		gr.mu.Lock()
-		started := gr.n
-		gr.mu.Unlock()
-		if started >= 1 {
-			break
-		}
+	for gr.started() < 1 {
+		time.Sleep(time.Millisecond)
 	}
 	close(gr.release)
 	wg.Wait()
 
-	gr.mu.Lock()
-	retrievals := gr.n
-	gr.mu.Unlock()
-	if retrievals != 1 {
+	if retrievals := gr.started(); retrievals != 1 {
 		t.Fatalf("%d concurrent cold asks ran %d retrievals, want 1", callers, retrievals)
 	}
 	for c := 1; c < callers; c++ {
@@ -216,15 +376,9 @@ func TestConcurrentColdAsksCoalesce(t *testing.T) {
 // never appear in another, and that the full log round-trips.
 func TestSessionMemoryIsolation(t *testing.T) {
 	e := newEngine(t, engine.Config{})
-	if _, err := e.Ask("alice", questions[0]); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := e.Ask("bob", questions[1]); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := e.Ask("alice", questions[2]); err != nil {
-		t.Fatal(err)
-	}
+	mustAsk(t, e, "alice", questions[0])
+	mustAsk(t, e, "bob", questions[1])
+	mustAsk(t, e, "alice", questions[2])
 
 	alice, ok := e.SessionTurns("alice")
 	if !ok || len(alice) != 2 {
@@ -239,6 +393,9 @@ func TestSessionMemoryIsolation(t *testing.T) {
 	}
 	if _, ok := e.SessionTurns("carol"); ok {
 		t.Fatal("unknown session reported ok")
+	}
+	if _, _, err := e.SessionView("carol", ""); engine.ErrorCode(err) != engine.CodeSessionNotFound {
+		t.Fatalf("SessionView(carol) error = %v, want session-not-found", err)
 	}
 	if got := e.SessionIDs(); len(got) != 2 || got[0] != "alice" || got[1] != "bob" {
 		t.Fatalf("SessionIDs = %v", got)
@@ -272,11 +429,7 @@ func hammer(t *testing.T, cfg engine.Config) {
 	ref := map[string]string{}
 	refEngine := newEngine(t, engine.Config{CacheSize: -1})
 	for _, q := range questions {
-		a, err := refEngine.Ask("ref", q)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ref[q] = a.Text
+		ref[q] = mustAsk(t, refEngine, "ref", q).Text
 	}
 
 	e := newEngine(t, cfg)
@@ -291,7 +444,7 @@ func hammer(t *testing.T, cfg engine.Config) {
 			session := fmt.Sprintf("session-%d", g)
 			for r := 0; r < rounds; r++ {
 				q := questions[(g+r)%len(questions)]
-				a, err := e.Ask(session, q)
+				a, err := ask(e, session, q)
 				if err != nil {
 					errs <- err
 					return
@@ -337,6 +490,9 @@ func hammer(t *testing.T, cfg engine.Config) {
 	if st.Sessions != goroutines {
 		t.Fatalf("sessions = %d, want %d", st.Sessions, goroutines)
 	}
+	if st.Canceled != 0 {
+		t.Fatalf("canceled counter = %d for uncanceled load", st.Canceled)
+	}
 }
 
 // TestSessionEviction: beyond MaxSessions, the least recently asked
@@ -346,9 +502,7 @@ func hammer(t *testing.T, cfg engine.Config) {
 func TestSessionEviction(t *testing.T) {
 	e := newEngine(t, engine.Config{MaxSessions: 2, Shards: 1})
 	for _, id := range []string{"s1", "s2", "s3"} {
-		if _, err := e.Ask(id, questions[0]); err != nil {
-			t.Fatal(err)
-		}
+		mustAsk(t, e, id, questions[0])
 	}
 	if _, ok := e.SessionTurns("s1"); ok {
 		t.Fatal("s1 survived past the MaxSessions bound")
@@ -357,12 +511,8 @@ func TestSessionEviction(t *testing.T) {
 		t.Fatalf("SessionIDs = %v, want [s2 s3]", got)
 	}
 	// Asking in s2 bumps its recency, so s4 evicts s3 instead.
-	if _, err := e.Ask("s2", questions[1]); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := e.Ask("s4", questions[1]); err != nil {
-		t.Fatal(err)
-	}
+	mustAsk(t, e, "s2", questions[1])
+	mustAsk(t, e, "s4", questions[1])
 	if _, ok := e.SessionTurns("s3"); ok {
 		t.Fatal("s3 survived although s2 was more recently used")
 	}
@@ -376,9 +526,7 @@ func TestSessionEviction(t *testing.T) {
 func TestSessionTurnCompaction(t *testing.T) {
 	e := newEngine(t, engine.Config{MaxSessionTurns: 3})
 	for i := 0; i < 10; i++ {
-		if _, err := e.Ask("s", questions[i%len(questions)]); err != nil {
-			t.Fatal(err)
-		}
+		mustAsk(t, e, "s", questions[i%len(questions)])
 	}
 	turns, ok := e.SessionTurns("s")
 	if !ok {
@@ -404,9 +552,7 @@ func TestSessionMemoryView(t *testing.T) {
 	if _, ok := e.SessionMemory("ghost", ""); ok {
 		t.Fatal("unknown session reported memory")
 	}
-	if _, err := e.Ask("s", questions[0]); err != nil {
-		t.Fatal(err)
-	}
+	mustAsk(t, e, "s", questions[0])
 	mem, ok := e.SessionMemory("s", "")
 	if !ok || !strings.Contains(mem, questions[0]) {
 		t.Fatalf("memory view = %q, ok=%v; want it to mention the asked question", mem, ok)
@@ -414,9 +560,7 @@ func TestSessionMemoryView(t *testing.T) {
 	// Past the verbatim buffer, older turns appear as summaries.
 	e2 := newEngine(t, engine.Config{MemoryTurns: 1})
 	for i := 0; i < 3; i++ {
-		if _, err := e2.Ask("s", questions[i]); err != nil {
-			t.Fatal(err)
-		}
+		mustAsk(t, e2, "s", questions[i])
 	}
 	mem, _ = e2.SessionMemory("s", "")
 	if !strings.Contains(mem, "Earlier findings:") {
@@ -430,9 +574,7 @@ func TestSessionMemoryView(t *testing.T) {
 func TestEngineCacheEviction(t *testing.T) {
 	e := newEngine(t, engine.Config{CacheSize: 1, Shards: 1})
 	for i := 0; i < 3; i++ {
-		if _, err := e.Ask("s", questions[i%2]); err != nil {
-			t.Fatal(err)
-		}
+		mustAsk(t, e, "s", questions[i%2])
 	}
 	st := e.Stats()
 	if st.CacheHits != 0 || st.CacheMisses != 3 || st.CacheEntries != 1 {

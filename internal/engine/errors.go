@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Code classifies an ask-path failure. Codes are the machine-readable
+// half of the engine's error contract: front-ends map them
+// deterministically to transport statuses (cmd/cachemindd's HTTP
+// table) instead of pattern-matching message strings, and they are
+// stable wire values — renaming one is a breaking API change.
+type Code string
+
+const (
+	// CodeInvalidRequest rejects a malformed Request (empty question,
+	// unparseable body, oversized payload).
+	CodeInvalidRequest Code = "invalid-request"
+	// CodeSessionNotFound reports a lookup of a session that was never
+	// asked a question, or was evicted by the MaxSessions bound.
+	CodeSessionNotFound Code = "session-not-found"
+	// CodeCanceled reports that the request's context was canceled
+	// (typically a disconnected client) before the answer completed.
+	CodeCanceled Code = "canceled"
+	// CodeDeadlineExceeded reports that the request's deadline expired
+	// before the answer completed.
+	CodeDeadlineExceeded Code = "deadline-exceeded"
+	// CodeOverloaded reports admission-control rejection: the server
+	// shed the request without running the pipeline.
+	CodeOverloaded Code = "overloaded"
+	// CodeInternal is the residual bucket for unexpected failures.
+	CodeInternal Code = "internal"
+)
+
+// Error is the engine's typed failure: a stable Code for machines, a
+// human-readable Message, and the wrapped cause (errors.Is/As work
+// through it).
+type Error struct {
+	Code    Code
+	Message string
+	// Err is the underlying cause, if any (e.g. context.Canceled).
+	Err error
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	if e.Message == "" && e.Err != nil {
+		return fmt.Sprintf("engine: %s: %v", e.Code, e.Err)
+	}
+	return fmt.Sprintf("engine: %s: %s", e.Code, e.Message)
+}
+
+// Unwrap exposes the cause to errors.Is/errors.As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Errf builds a typed engine error with a formatted message.
+func Errf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// ErrorCode extracts the Code from any error: a wrapped *Error yields
+// its code, bare context errors map to canceled/deadline-exceeded, nil
+// yields the empty code, and everything else is internal.
+func ErrorCode(err error) Code {
+	if err == nil {
+		return ""
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return CodeDeadlineExceeded
+	}
+	if errors.Is(err, context.Canceled) {
+		return CodeCanceled
+	}
+	return CodeInternal
+}
+
+// ErrorMessage returns the human-readable message for an error — the
+// *Error's Message when present, otherwise the full error string. This
+// is what front-ends put in the wire envelope next to the code.
+func ErrorMessage(err error) string {
+	if err == nil {
+		return ""
+	}
+	var e *Error
+	if errors.As(err, &e) && e.Message != "" {
+		return e.Message
+	}
+	return err.Error()
+}
+
+// IsCancellation reports whether the code is one of the two
+// context-derived codes — the outcomes a load generator counts as
+// "canceled" rather than as request failures.
+func IsCancellation(c Code) bool {
+	return c == CodeCanceled || c == CodeDeadlineExceeded
+}
+
+// ctxError converts a done context into the matching typed error; it
+// returns nil while the context is live. This is the engine's
+// cancellation checkpoint, run between pipeline stages.
+func ctxError(ctx context.Context) error {
+	err := ctx.Err()
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return &Error{Code: CodeDeadlineExceeded, Message: "request deadline exceeded", Err: err}
+	default:
+		return &Error{Code: CodeCanceled, Message: "request canceled", Err: err}
+	}
+}

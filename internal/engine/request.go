@@ -1,0 +1,114 @@
+package engine
+
+import "time"
+
+// Provenance selects how much retrieval provenance a Response carries.
+// The evidence bundle can be kilobytes, so callers opt in per request
+// instead of paying for it on every answer.
+type Provenance int
+
+const (
+	// ProvenanceNone omits the retrieved context entirely (the
+	// default — answers only).
+	ProvenanceNone Provenance = iota
+	// ProvenanceContext includes the retrieved evidence bundle
+	// (Response.Context) — the REPL's -show-context view.
+	ProvenanceContext
+	// ProvenanceFull additionally includes the per-query execution
+	// trace (Response.Queries): one line per retrieval query with its
+	// target and outcome.
+	ProvenanceFull
+)
+
+// Options are the per-request knobs of an ask. The zero value is the
+// default behaviour: record conversation memory, use the answer cache,
+// return no provenance. Cancellation and deadlines are carried by the
+// context passed to Ask, not by Options.
+type Options struct {
+	// NoMemory skips recording the exchange in the session's
+	// conversation memory and turn log (a stateless one-shot ask; it
+	// does not create or touch the session at all).
+	NoMemory bool
+	// BypassCache skips the answer cache and single-flight coalescing
+	// entirely: the pipeline runs fresh and the result is not
+	// published. Answers are pure functions of the question, so this
+	// changes timing and counters, never bytes.
+	BypassCache bool
+	// Provenance selects the context-provenance verbosity of the
+	// Response.
+	Provenance Provenance
+}
+
+// Request is one ask: the session it belongs to, the question, and the
+// per-request options.
+type Request struct {
+	// SessionID names the conversation; it is created on first use.
+	// Empty selects the shared anonymous session.
+	SessionID string
+	// Question is the natural-language question (leading/trailing
+	// whitespace is trimmed).
+	Question string
+	// Options carries the per-request knobs (zero value = defaults).
+	Options Options
+}
+
+// Timings is the per-stage latency breakdown of one ask. For a cached
+// answer, Retrieval and Generation report the original computation
+// that produced the cache entry; Total always reports this request's
+// wall clock.
+type Timings struct {
+	// Retrieval is the wall-clock retrieval time.
+	Retrieval time.Duration
+	// Generation is the wall-clock generation time.
+	Generation time.Duration
+	// Total is this request's end-to-end time inside the engine.
+	Total time.Duration
+}
+
+// Response is one completed ask: the generated answer plus the
+// structured metadata front-ends render (cache outcome, shard,
+// retriever, per-stage timings, optional provenance).
+type Response struct {
+	// SessionID echoes the request's session.
+	SessionID string
+	// Question is the trimmed question that was answered.
+	Question string
+
+	// Text is the full response shown to the user.
+	Text string
+	// Verdict is the canonical short answer (generator.Answer.Verdict).
+	Verdict string
+	// Category is the classified intent name ("miss_rate", ...).
+	Category string
+	// Quality grades the retrieved evidence ("Low"/"Medium"/"High").
+	Quality string
+	// Grounded reports whether the answer was derived from evidence.
+	Grounded bool
+
+	// Cached reports whether this answer was served without invoking
+	// the retriever (an answer-cache hit or a coalesced single-flight
+	// follower).
+	Cached bool
+	// Shard is the cache/flight shard the question's key hashed to.
+	Shard int
+	// Retriever is the serving retriever's name.
+	Retriever string
+	// Model is the generator backend profile ID.
+	Model string
+
+	// Context is the retrieved evidence bundle; populated only at
+	// Provenance >= ProvenanceContext.
+	Context string
+	// Queries is the per-query execution trace; populated only at
+	// ProvenanceFull.
+	Queries []string
+
+	// Timings is the per-stage latency breakdown.
+	Timings Timings
+}
+
+// AskResult is one AskBatch outcome: the response, or the item's error.
+type AskResult struct {
+	Response Response
+	Err      error
+}

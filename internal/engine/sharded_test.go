@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -10,13 +11,13 @@ import (
 // askSequence is a fixed serial workload: every question asked three
 // times across a handful of sessions, interleaved so hits and misses
 // alternate deterministically.
-func askSequence() []engine.AskItem {
-	var seq []engine.AskItem
+func askSequence() []engine.Request {
+	var seq []engine.Request
 	for round := 0; round < 3; round++ {
 		for qi, q := range questions {
-			seq = append(seq, engine.AskItem{
-				Session:  fmt.Sprintf("seq-%d", (round+qi)%4),
-				Question: q,
+			seq = append(seq, engine.Request{
+				SessionID: fmt.Sprintf("seq-%d", (round+qi)%4),
+				Question:  q,
 			})
 		}
 	}
@@ -34,7 +35,7 @@ func TestShardedCacheDeterminism(t *testing.T) {
 		seq := askSequence()
 		answers := make([]string, len(seq))
 		for i, item := range seq {
-			a, err := e.Ask(item.Session, item.Question)
+			a, err := e.Ask(context.Background(), item)
 			if err != nil {
 				t.Fatalf("shards=%d ask %d: %v", shards, i, err)
 			}
@@ -75,18 +76,14 @@ func TestAskBatchOrderAndParity(t *testing.T) {
 	ref := map[string]string{}
 	refEngine := newEngine(t, engine.Config{CacheSize: -1})
 	for _, q := range questions {
-		a, err := refEngine.Ask("ref", q)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ref[q] = a.Text
+		ref[q] = mustAsk(t, refEngine, "ref", q).Text
 	}
 
 	for _, workers := range []int{1, 4, 16} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			e := newEngine(t, engine.Config{})
 			items := askSequence()
-			results := e.AskBatch(items, workers)
+			results := e.AskBatch(context.Background(), items, workers)
 			if len(results) != len(items) {
 				t.Fatalf("got %d results for %d items", len(results), len(items))
 			}
@@ -94,7 +91,7 @@ func TestAskBatchOrderAndParity(t *testing.T) {
 				if r.Err != nil {
 					t.Fatalf("item %d: %v", i, r.Err)
 				}
-				if r.Answer.Text != ref[items[i].Question] {
+				if r.Response.Text != ref[items[i].Question] {
 					t.Fatalf("item %d: answer diverges from serial reference", i)
 				}
 			}
@@ -106,34 +103,37 @@ func TestAskBatchOrderAndParity(t *testing.T) {
 	}
 }
 
-// TestAskBatchPerItemErrors: an invalid item reports its own error
-// without aborting the rest of the batch.
+// TestAskBatchPerItemErrors: an invalid item reports its own typed
+// error without aborting the rest of the batch.
 func TestAskBatchPerItemErrors(t *testing.T) {
 	e := newEngine(t, engine.Config{})
-	items := []engine.AskItem{
-		{Session: "s", Question: questions[0]},
-		{Session: "s", Question: "   "}, // invalid: empty after trim
-		{Session: "s", Question: questions[1]},
+	items := []engine.Request{
+		{SessionID: "s", Question: questions[0]},
+		{SessionID: "s", Question: "   "}, // invalid: empty after trim
+		{SessionID: "s", Question: questions[1]},
 	}
-	results := e.AskBatch(items, 4)
+	results := e.AskBatch(context.Background(), items, 4)
 	if results[0].Err != nil || results[2].Err != nil {
 		t.Fatalf("valid items failed: %v / %v", results[0].Err, results[2].Err)
 	}
 	if results[1].Err == nil {
 		t.Fatal("empty question accepted in batch")
 	}
-	if results[0].Answer.Text == "" || results[2].Answer.Text == "" {
+	if code := engine.ErrorCode(results[1].Err); code != engine.CodeInvalidRequest {
+		t.Fatalf("invalid item code = %q, want invalid-request", code)
+	}
+	if results[0].Response.Text == "" || results[2].Response.Text == "" {
 		t.Fatal("valid items returned empty answers")
 	}
-	if results[1].Answer.Text != "" {
-		t.Fatalf("failed item carries an answer: %q", results[1].Answer.Text)
+	if results[1].Response.Text != "" {
+		t.Fatalf("failed item carries an answer: %q", results[1].Response.Text)
 	}
 }
 
 // TestAskBatchEmpty: a nil/empty batch is a no-op.
 func TestAskBatchEmpty(t *testing.T) {
 	e := newEngine(t, engine.Config{})
-	if got := e.AskBatch(nil, 4); len(got) != 0 {
+	if got := e.AskBatch(context.Background(), nil, 4); len(got) != 0 {
 		t.Fatalf("AskBatch(nil) = %d results", len(got))
 	}
 	if st := e.Stats(); st.Questions != 0 {
@@ -147,9 +147,7 @@ func TestAskBatchEmpty(t *testing.T) {
 func TestShardedSessionBudgetRoundsUp(t *testing.T) {
 	e := newEngine(t, engine.Config{MaxSessions: 2, Shards: 8})
 	for i := 0; i < 20; i++ {
-		if _, err := e.Ask(fmt.Sprintf("s%d", i), questions[0]); err != nil {
-			t.Fatal(err)
-		}
+		mustAsk(t, e, fmt.Sprintf("s%d", i), questions[0])
 	}
 	st := e.Stats()
 	if st.Sessions < 1 || st.Sessions > 8 {

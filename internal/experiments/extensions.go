@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -236,13 +237,13 @@ func SieveSemanticAblation(lab *Lab) SieveSemanticAblationResult {
 	s := retriever.NewSieve(lab.Store)
 	res := SieveSemanticAblationResult{Total: len(paraphrases)}
 	for _, q := range paraphrases {
-		ctx := s.Retrieve(q)
-		if len(ctx.Executed) > 0 && ctx.Err == nil {
+		rctx := s.Retrieve(context.Background(), q)
+		if len(rctx.Executed) > 0 && rctx.Err == nil {
 			res.ResolvedWith++
 		}
 		// Without the semantic stage, only literal token matches
 		// resolve; none of these mention a workload name.
-		if len(ctx.Parsed.Entities.Workloads) > 0 {
+		if len(rctx.Parsed.Entities.Workloads) > 0 {
 			res.ResolvedWithout++
 		}
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -89,15 +90,15 @@ func Figure5(lab *Lab) *Figure5Result {
 		var out bucketed
 		for _, q := range lab.Suite.Questions {
 			for _, r := range retrievers {
-				ctx := r.Retrieve(q.Text)
-				qi := int(ctx.Quality)
+				rctx := r.Retrieve(context.Background(), q.Text)
+				qi := int(rctx.Quality)
 				if q.Tier() == bench.TierTG {
-					ans := gen.Answer(q.ID+"/"+r.Name(), q.Category.String(), q.Text, ctx)
+					ans, _ := gen.Answer(context.Background(), q.ID+"/"+r.Name(), q.Category.String(), q.Text, rctx)
 					if bench.GradeExact(q, ans.Verdict, ans.Value, ans.HasValue) {
 						pts[qi]++
 					}
 				} else {
-					ans := gen.AnalysisAnswer(q.ID+"/"+r.Name(), q.Category.String(), q.Text, ctx)
+					ans, _ := gen.AnalysisAnswer(context.Background(), q.ID+"/"+r.Name(), q.Category.String(), q.Text, rctx)
 					pts[qi] += float64(bench.RubricScore(ans.Text)) / 5
 				}
 				out.n[qi]++
@@ -263,14 +264,14 @@ func Figure9(lab *Lab) *Figure9Result {
 		res.Retrievers = append(res.Retrievers, r.Name())
 		var total time.Duration
 		for _, p := range probes {
-			ctx := r.Retrieve(p.Text)
-			ok := p.Check(ctx.Text)
+			rctx := r.Retrieve(context.Background(), p.Text)
+			ok := p.Check(rctx.Text)
 			if ok {
 				res.Correct[r.Name()]++
 			}
-			total += ctx.Elapsed
+			total += rctx.Elapsed
 			res.Outcomes[r.Name()] = append(res.Outcomes[r.Name()], ProbeOutcome{
-				Probe: p.Text, Correct: ok, Elapsed: ctx.Elapsed,
+				Probe: p.Text, Correct: ok, Elapsed: rctx.Elapsed,
 			})
 		}
 		res.AvgTime[r.Name()] = total / time.Duration(len(probes))
@@ -357,7 +358,7 @@ func buildProbes(lab *Lab) []Probe {
 	for _, wp := range [][2]string{{"lbm", "mlp"}, {"mcf", "belady"}} {
 		f, _ := lab.Store.Frame(wp[0], wp[1])
 		pc := f.PCs()[2%len(f.PCs())]
-		res, err := queryir.Execute(lab.Store, queryir.Query{
+		res, err := queryir.Execute(context.Background(), lab.Store, queryir.Query{
 			Workload: wp[0], Policy: wp[1], PC: &pc,
 			Agg: queryir.AggStd, Field: "accessed_address_reuse_distance",
 		})

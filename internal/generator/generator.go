@@ -9,6 +9,7 @@
 package generator
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -73,10 +74,17 @@ func (g *Generator) BuildPrompt(question string, ctx retriever.Context) llm.Prom
 }
 
 // Answer generates the response for a question of the given category.
-// qid must be stable per question (it seeds the success draw).
-func (g *Generator) Answer(qid, category, question string, ctx retriever.Context) Answer {
-	grounded, ok := deriveGrounded(question, ctx)
-	success := g.Profile.SucceedsShots(category, qid, ctx.Quality, len(g.Shots))
+// qid must be stable per question (it seeds the success draw). ctx is
+// the request context, threaded into the backend invocation
+// (llm.Profile.Invoke): a canceled request returns the context's error
+// before any answer text is rendered or conversation memory mutated.
+// For a live context the answer is deterministic.
+func (g *Generator) Answer(ctx context.Context, qid, category, question string, rctx retriever.Context) (Answer, error) {
+	grounded, ok := deriveGrounded(question, rctx)
+	success, err := g.Profile.Invoke(ctx, category, qid, rctx.Quality, len(g.Shots))
+	if err != nil {
+		return Answer{}, err
+	}
 
 	var ans Answer
 	switch {
@@ -84,16 +92,16 @@ func (g *Generator) Answer(qid, category, question string, ctx retriever.Context
 		ans = grounded
 		ans.Grounded = true
 	case ok: // evidence available but the model fumbles it
-		ans = g.perturb(qid, grounded, ctx)
+		ans = g.perturb(qid, grounded, rctx)
 		ans.Grounded = false
 	default: // no usable evidence: answer is a confabulation
-		ans = g.confabulate(qid, ctx)
+		ans = g.confabulate(qid, rctx)
 		ans.Grounded = false
 	}
 	if g.Memory != nil {
 		g.Memory.Add(question, ans.Text)
 	}
-	return ans
+	return ans, nil
 }
 
 // deriveGrounded computes the evidence-supported answer from the

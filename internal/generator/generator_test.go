@@ -1,6 +1,7 @@
 package generator
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -56,8 +57,8 @@ func hitMissQuestion(t *testing.T) (string, string) {
 func TestGroundedHitMiss(t *testing.T) {
 	g := New(perfect())
 	q, want := hitMissQuestion(t)
-	ctx := ranger().Retrieve(q)
-	ans := g.Answer("q1", "hit_miss", q, ctx)
+	ctx := ranger().Retrieve(context.Background(), q)
+	ans, _ := g.Answer(context.Background(), "q1", "hit_miss", q, ctx)
 	if ans.Verdict != want {
 		t.Errorf("verdict = %q, want %q", ans.Verdict, want)
 	}
@@ -72,8 +73,8 @@ func TestGroundedHitMiss(t *testing.T) {
 func TestFailedDrawFlipsVerdict(t *testing.T) {
 	g := New(hopeless())
 	q, want := hitMissQuestion(t)
-	ctx := ranger().Retrieve(q)
-	ans := g.Answer("q1", "hit_miss", q, ctx)
+	ctx := ranger().Retrieve(context.Background(), q)
+	ans, _ := g.Answer(context.Background(), "q1", "hit_miss", q, ctx)
 	if ans.Verdict == want {
 		t.Error("hopeless profile should flip the verdict")
 	}
@@ -84,8 +85,8 @@ func TestFailedDrawFlipsVerdict(t *testing.T) {
 
 func TestTrickRejection(t *testing.T) {
 	q := "Does PC 0x4037aa in lbm access address 0x1b73be82e3f under PARROT? Answer hit or miss."
-	ctx := ranger().Retrieve(q)
-	ans := New(perfect()).Answer("q2", "trick_question", q, ctx)
+	ctx := ranger().Retrieve(context.Background(), q)
+	ans, _ := New(perfect()).Answer(context.Background(), "q2", "trick_question", q, ctx)
 	if ans.Verdict != "TRICK" {
 		t.Errorf("verdict = %q, want TRICK", ans.Verdict)
 	}
@@ -93,7 +94,7 @@ func TestTrickRejection(t *testing.T) {
 		t.Errorf("rejection should explain the premise failure: %q", ans.Text)
 	}
 	// A failing model accepts the premise (hallucination).
-	bad := New(hopeless()).Answer("q2", "trick_question", q, ctx)
+	bad, _ := New(hopeless()).Answer(context.Background(), "q2", "trick_question", q, ctx)
 	if bad.Verdict == "TRICK" {
 		t.Error("hopeless profile should hallucinate past the premise")
 	}
@@ -103,8 +104,8 @@ func TestMissRateValue(t *testing.T) {
 	f, _ := testfix.Store().Frame("mcf", "parrot")
 	st, _ := f.StatsForPC(0x4037ba)
 	q := "What is the miss rate for PC 0x4037ba on the mcf workload with PARROT replacement policy?"
-	ctx := ranger().Retrieve(q)
-	ans := New(perfect()).Answer("q3", "miss_rate", q, ctx)
+	ctx := ranger().Retrieve(context.Background(), q)
+	ans, _ := New(perfect()).Answer(context.Background(), "q3", "miss_rate", q, ctx)
 	if !ans.HasValue {
 		t.Fatal("expected numeric answer")
 	}
@@ -112,7 +113,7 @@ func TestMissRateValue(t *testing.T) {
 		t.Errorf("value = %v, want %v", ans.Value, st.MissRatePct)
 	}
 	// Failed draw skews the value.
-	bad := New(hopeless()).Answer("q3", "miss_rate", q, ctx)
+	bad, _ := New(hopeless()).Answer(context.Background(), "q3", "miss_rate", q, ctx)
 	if bad.Value == ans.Value {
 		t.Error("perturbed value should differ")
 	}
@@ -122,8 +123,8 @@ func TestCountGrounded(t *testing.T) {
 	f, _ := testfix.Store().Frame("astar", "lru")
 	want := len(f.RowsForPC(0x405832))
 	q := "How many times did PC 0x405832 appear in astar under LRU?"
-	ctx := ranger().Retrieve(q)
-	ans := New(perfect()).Answer("q4", "count", q, ctx)
+	ctx := ranger().Retrieve(context.Background(), q)
+	ans, _ := New(perfect()).Answer(context.Background(), "q4", "count", q, ctx)
 	if int(ans.Value) != want {
 		t.Errorf("count = %v, want %d", ans.Value, want)
 	}
@@ -131,8 +132,8 @@ func TestCountGrounded(t *testing.T) {
 
 func TestPolicyComparison(t *testing.T) {
 	q := "Which policy has the lowest miss rate for PC 0x409270 in astar?"
-	ctx := ranger().Retrieve(q)
-	ans := New(perfect()).Answer("q5", "policy_comparison", q, ctx)
+	ctx := ranger().Retrieve(context.Background(), q)
+	ans, _ := New(perfect()).Answer(context.Background(), "q5", "policy_comparison", q, ctx)
 	// Compute expected winner directly.
 	bestPolicy, bestRate := "", 200.0
 	for _, polName := range testfix.Store().Policies() {
@@ -146,7 +147,7 @@ func TestPolicyComparison(t *testing.T) {
 		t.Errorf("verdict = %q, want %q", ans.Verdict, bestPolicy)
 	}
 	// Perturbed answer picks a different policy.
-	bad := New(hopeless()).Answer("q5", "policy_comparison", q, ctx)
+	bad, _ := New(hopeless()).Answer(context.Background(), "q5", "policy_comparison", q, ctx)
 	if bad.Verdict == bestPolicy {
 		t.Error("perturbed comparison should pick another policy")
 	}
@@ -154,8 +155,8 @@ func TestPolicyComparison(t *testing.T) {
 
 func TestWorkloadAnalysisVerdict(t *testing.T) {
 	q := "Which workload has the highest cache miss rate under MLP?"
-	ctx := ranger().Retrieve(q)
-	ans := New(perfect()).Answer("q6", "workload_analysis", q, ctx)
+	ctx := ranger().Retrieve(context.Background(), q)
+	ans, _ := New(perfect()).Answer(context.Background(), "q6", "workload_analysis", q, ctx)
 	wantName, wantRate := "", -1.0
 	for _, w := range testfix.Store().Workloads() {
 		f, _ := testfix.Store().Frame(w, "mlp")
@@ -172,8 +173,8 @@ func TestWorkloadAnalysisVerdict(t *testing.T) {
 func TestConfabulationWithoutEvidence(t *testing.T) {
 	// Question that fails retrieval: no workload.
 	q := "What is the miss rate for PC 0x4037ba?"
-	ctx := ranger().Retrieve(q)
-	ans := New(perfect()).Answer("q7", "miss_rate", q, ctx)
+	ctx := ranger().Retrieve(context.Background(), q)
+	ans, _ := New(perfect()).Answer(context.Background(), "q7", "miss_rate", q, ctx)
 	if ans.Grounded {
 		t.Error("answer without evidence must not be grounded")
 	}
@@ -184,9 +185,9 @@ func TestConfabulationWithoutEvidence(t *testing.T) {
 
 func TestAnalysisAnswerRichness(t *testing.T) {
 	q := "Why does Belady outperform LRU on PC 0x409270 in astar?"
-	ctx := ranger().Retrieve(q)
-	full := New(perfect()).AnalysisAnswer("q8", "policy_analysis", q, ctx)
-	thin := New(hopeless()).AnalysisAnswer("q8", "policy_analysis", q, ctx)
+	ctx := ranger().Retrieve(context.Background(), q)
+	full, _ := New(perfect()).AnalysisAnswer(context.Background(), "q8", "policy_analysis", q, ctx)
+	thin, _ := New(hopeless()).AnalysisAnswer(context.Background(), "q8", "policy_analysis", q, ctx)
 	for _, want := range []string{"Conclusion:", "Evidence:", "Mechanism:", "Code linkage:", "Comparison:"} {
 		if !strings.Contains(full.Text, want) {
 			t.Errorf("full analysis missing %q:\n%s", want, full.Text)
@@ -201,10 +202,10 @@ func TestAnalysisAnswerRichness(t *testing.T) {
 
 func TestAnswerDeterministic(t *testing.T) {
 	q, _ := hitMissQuestion(t)
-	ctx := ranger().Retrieve(q)
+	ctx := ranger().Retrieve(context.Background(), q)
 	p, _ := llm.ByID("gpt-4o")
-	a := New(p).Answer("stable-id", "hit_miss", q, ctx)
-	b := New(p).Answer("stable-id", "hit_miss", q, ctx)
+	a, _ := New(p).Answer(context.Background(), "stable-id", "hit_miss", q, ctx)
+	b, _ := New(p).Answer(context.Background(), "stable-id", "hit_miss", q, ctx)
 	if a.Text != b.Text || a.Verdict != b.Verdict {
 		t.Error("generation not deterministic")
 	}
@@ -214,8 +215,8 @@ func TestMemoryIntegration(t *testing.T) {
 	g := New(perfect())
 	g.Memory = memory.New(4)
 	q, _ := hitMissQuestion(t)
-	ctx := ranger().Retrieve(q)
-	g.Answer("q9", "hit_miss", q, ctx)
+	ctx := ranger().Retrieve(context.Background(), q)
+	g.Answer(context.Background(), "q9", "hit_miss", q, ctx)
 	if g.Memory.Len() != 1 {
 		t.Error("answer should be recorded in memory")
 	}
@@ -229,7 +230,7 @@ func TestBuildPromptShots(t *testing.T) {
 	g := New(perfect())
 	g.Shots = []llm.Example{{Context: "c", Question: "q", Answer: "a"}}
 	q, _ := hitMissQuestion(t)
-	p := g.BuildPrompt(q, ranger().Retrieve(q))
+	p := g.BuildPrompt(q, ranger().Retrieve(context.Background(), q))
 	if len(p.Examples) != 1 {
 		t.Error("shots not attached")
 	}
@@ -241,8 +242,8 @@ func TestBuildPromptShots(t *testing.T) {
 func TestSieveContextAlsoGrounds(t *testing.T) {
 	s := retriever.NewSieve(testfix.Store())
 	q, want := hitMissQuestion(t)
-	ctx := s.Retrieve(q)
-	ans := New(perfect()).Answer("q10", "hit_miss", q, ctx)
+	ctx := s.Retrieve(context.Background(), q)
+	ans, _ := New(perfect()).Answer(context.Background(), "q10", "hit_miss", q, ctx)
 	if ans.Verdict != want {
 		t.Errorf("sieve-grounded verdict = %q, want %q", ans.Verdict, want)
 	}

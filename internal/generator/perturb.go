@@ -1,6 +1,7 @@
 package generator
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -118,21 +119,29 @@ func (g *Generator) confabulate(qid string, ctx retriever.Context) Answer {
 // evidence richness. Success produces the full five-element answer
 // (conclusion, quantitative evidence, mechanism, code linkage,
 // comparative framing); failure keeps only `level` of those elements —
-// the degradation the ARA rubric measures.
-func (g *Generator) AnalysisAnswer(qid, category, question string, ctx retriever.Context) Answer {
+// the degradation the ARA rubric measures. ctx is the request context,
+// threaded into the backend invocation exactly as in Answer: a
+// canceled request returns the context's error before rendering.
+func (g *Generator) AnalysisAnswer(ctx context.Context, qid, category, question string, rctx retriever.Context) (Answer, error) {
+	// The analysis tier ignores in-context examples, so the invocation
+	// runs at zero shots (Invoke(..., 0) == Succeeds).
+	success, err := g.Profile.Invoke(ctx, category, qid, rctx.Quality, 0)
+	if err != nil {
+		return Answer{}, err
+	}
 	level := 5
-	if !g.Profile.Succeeds(category, qid, ctx.Quality) {
-		level = g.Profile.ReasoningScore(category, qid, ctx.Quality)
+	if !success {
+		level = g.Profile.ReasoningScore(category, qid, rctx.Quality)
 		if level > 3 {
 			level = 3
 		}
 	}
-	text := renderAnalysis(question, ctx, level)
+	text := renderAnalysis(question, rctx, level)
 	ans := Answer{Text: text, Verdict: "analysis", Grounded: level >= 4}
 	if g.Memory != nil {
 		g.Memory.Add(question, ans.Text)
 	}
-	return ans
+	return ans, nil
 }
 
 // renderAnalysis builds the analysis text with `level` of the five

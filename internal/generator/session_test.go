@@ -1,6 +1,7 @@
 package generator
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -21,8 +22,12 @@ func TestDominantMissPCSession(t *testing.T) {
 	r := retriever.NewRanger(testfix.Store())
 
 	ask := func(id, q string) Answer {
-		ctx := r.Retrieve(q)
-		return g.Answer(id, ctx.Parsed.Intent.String(), q, ctx)
+		ctx := r.Retrieve(context.Background(), q)
+		ans, err := g.Answer(context.Background(), id, ctx.Parsed.Intent.String(), q, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ans
 	}
 
 	a1 := ask("s1", "List all unique PCs in the mcf trace under LRU.")
@@ -64,17 +69,17 @@ func TestSetHotnessSession(t *testing.T) {
 	g.Memory = memory.New(6)
 	r := retriever.NewRanger(testfix.Store())
 
-	ctx := r.Retrieve("For astar workload and Belady replacement policy, could you list unique cache sets in ascending order?")
+	ctx := r.Retrieve(context.Background(), "For astar workload and Belady replacement policy, could you list unique cache sets in ascending order?")
 	if ctx.Parsed.Intent != nlu.IntentListSets {
 		t.Fatalf("intent = %v", ctx.Parsed.Intent)
 	}
-	a := g.Answer("h1", ctx.Parsed.Intent.String(), ctx.Question, ctx)
+	a, _ := g.Answer(context.Background(), "h1", ctx.Parsed.Intent.String(), ctx.Question, ctx)
 	if !a.HasValue || a.Value == 0 {
 		t.Fatalf("set listing empty: %+v", a)
 	}
 
-	ctx = r.Retrieve("For astar under belady, identify 5 hot and 5 cold sets by hit rate.")
-	a = g.Answer("h2", ctx.Parsed.Intent.String(), ctx.Question, ctx)
+	ctx = r.Retrieve(context.Background(), "For astar under belady, identify 5 hot and 5 cold sets by hit rate.")
+	a, _ = g.Answer(context.Background(), "h2", ctx.Parsed.Intent.String(), ctx.Question, ctx)
 	if !strings.Contains(a.Text, "set ") {
 		t.Fatalf("hotness answer lacks sets: %q", a.Text)
 	}
@@ -88,8 +93,8 @@ func TestCodeGenAnswerEmbedsProgram(t *testing.T) {
 	q := fmt.Sprintf("Write code to compute the number of cache hits for PC 0x%x and address 0x%x in mcf under LRU.",
 		rec.PC, rec.Addr)
 	r := retriever.NewRanger(testfix.Store())
-	ctx := r.Retrieve(q)
-	ans := New(perfect()).AnalysisAnswer("cg1", "code_generation", q, ctx)
+	ctx := r.Retrieve(context.Background(), q)
+	ans, _ := New(perfect()).AnalysisAnswer(context.Background(), "cg1", "code_generation", q, ctx)
 	for _, want := range []string{"loaded_data[", "result =", "Executed result:"} {
 		if !strings.Contains(ans.Text, want) {
 			t.Errorf("codegen answer missing %q:\n%s", want, ans.Text)
@@ -125,11 +130,11 @@ func TestShotsEffectOnTrick(t *testing.T) {
 func TestMedianEndToEnd(t *testing.T) {
 	q := "What is the median reuse distance for PC 0x4037ba in mcf under LRU?"
 	r := retriever.NewRanger(testfix.Store())
-	ctx := r.Retrieve(q)
+	ctx := r.Retrieve(context.Background(), q)
 	if ctx.Quality != llm.QualityHigh {
 		t.Fatalf("quality = %v, err = %v", ctx.Quality, ctx.Err)
 	}
-	ans := New(perfect()).Answer("med1", "arithmetic", q, ctx)
+	ans, _ := New(perfect()).Answer(context.Background(), "med1", "arithmetic", q, ctx)
 	if !ans.HasValue {
 		t.Fatalf("no numeric answer: %+v", ans)
 	}

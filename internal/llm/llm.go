@@ -11,6 +11,7 @@
 package llm
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -136,6 +137,22 @@ func (p *Profile) SuccessProbShots(category string, q Quality, shots int) float6
 // SucceedsShots is Succeeds under k in-context examples.
 func (p *Profile) SucceedsShots(category, questionID string, q Quality, shots int) bool {
 	return p.Draw(questionID) < p.SuccessProbShots(category, q, shots)
+}
+
+// Invoke models one generator-backend call: it carries the request
+// context the way a remote API client would — returning the context's
+// error when the request was canceled before the call — and otherwise
+// resolves the deterministic success draw for the question under k
+// in-context examples (shots <= 0 means none, i.e. Succeeds). The
+// offline profiles answer instantly, but routing every backend
+// invocation through this context-aware entry point means a real
+// remote backend can be swapped in without touching the generator's
+// callers.
+func (p *Profile) Invoke(ctx context.Context, category, questionID string, q Quality, shots int) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return p.SucceedsShots(category, questionID, q, shots), nil
 }
 
 // ReasoningScore maps a success draw to the 0-5 rubric scale used for

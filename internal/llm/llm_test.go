@@ -1,6 +1,8 @@
 package llm
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -243,5 +245,24 @@ func TestDrawRangeProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestInvokeHonorsContext: Invoke resolves the same draw as
+// SucceedsShots under a live context and surfaces the context's error
+// once it is done — the generator's backend-call contract.
+func TestInvokeHonorsContext(t *testing.T) {
+	p, _ := ByID("gpt-4o")
+	ok, err := p.Invoke(context.Background(), "hit_miss", "q1", QualityHigh, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := p.SucceedsShots("hit_miss", "q1", QualityHigh, 0); ok != want {
+		t.Fatalf("Invoke draw = %v, SucceedsShots = %v", ok, want)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Invoke(ctx, "hit_miss", "q1", QualityHigh, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Invoke error = %v, want context.Canceled", err)
 	}
 }

@@ -6,6 +6,7 @@ package nlu_test
 // cycle.
 
 import (
+	"context"
 	"testing"
 
 	"cachemind/internal/bench"
@@ -72,7 +73,7 @@ func FuzzParse(f *testing.F) {
 					qq := q
 					qq.Workload = wl
 					qq.Policy = pol
-					_, _ = queryir.Execute(store, qq) // must not panic
+					_, _ = queryir.Execute(context.Background(), store, qq) // must not panic
 					executed++
 				}
 			}

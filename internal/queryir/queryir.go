@@ -8,6 +8,7 @@
 package queryir
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -127,8 +128,15 @@ func PCRef(pc uint64) string { return fmt.Sprintf("0x%x", pc) }
 
 // Execute runs q against the store. Errors carry enough context for the
 // generator to reject false premises (unknown workload/policy, PC absent
-// from the selected trace).
-func Execute(store *db.Store, q Query) (Result, error) {
+// from the selected trace). ctx is the request context: a query that
+// starts after cancellation returns ctx's error immediately, which is
+// the db query path's cancellation checkpoint — retrievers fan a
+// question out into many Execute calls, so a canceled request stops
+// between queries instead of scanning every remaining frame.
+func Execute(ctx context.Context, store *db.Store, q Query) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	frame, ok := store.Frame(q.Workload, q.Policy)
 	if !ok {
 		return Result{}, fmt.Errorf("queryir: no trace for workload %q under policy %q", q.Workload, q.Policy)

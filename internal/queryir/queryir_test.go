@@ -1,6 +1,7 @@
 package queryir
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -15,7 +16,7 @@ func intp(v int) *int      { return &v }
 
 func exec(t *testing.T, q Query) Result {
 	t.Helper()
-	res, err := Execute(testfix.Store(), q)
+	res, err := Execute(context.Background(), testfix.Store(), q)
 	if err != nil {
 		t.Fatalf("Execute(%+v): %v", q, err)
 	}
@@ -23,11 +24,11 @@ func exec(t *testing.T, q Query) Result {
 }
 
 func TestUnknownTraceErrors(t *testing.T) {
-	_, err := Execute(testfix.Store(), Query{Workload: "spec2017", Policy: "lru", Agg: AggCount})
+	_, err := Execute(context.Background(), testfix.Store(), Query{Workload: "spec2017", Policy: "lru", Agg: AggCount})
 	if err == nil {
 		t.Error("unknown workload should error")
 	}
-	_, err = Execute(testfix.Store(), Query{Workload: "mcf", Policy: "optimal", Agg: AggCount})
+	_, err = Execute(context.Background(), testfix.Store(), Query{Workload: "mcf", Policy: "optimal", Agg: AggCount})
 	if err == nil {
 		t.Error("unknown policy should error")
 	}
@@ -63,7 +64,7 @@ func TestPerPCCountAndRates(t *testing.T) {
 }
 
 func TestPCNotFoundIsTypedError(t *testing.T) {
-	_, err := Execute(testfix.Store(), Query{
+	_, err := Execute(context.Background(), testfix.Store(), Query{
 		Workload: "lbm", Policy: "lru", PC: u64(0x4037aa), Agg: AggCount,
 	})
 	var nf *PCNotFoundError
@@ -80,7 +81,7 @@ func TestPCNotFoundIsTypedError(t *testing.T) {
 }
 
 func TestAddrNotFound(t *testing.T) {
-	_, err := Execute(testfix.Store(), Query{
+	_, err := Execute(context.Background(), testfix.Store(), Query{
 		Workload: "mcf", Policy: "lru", PC: u64(0x4037aa), Addr: u64(0xdead0000), Agg: AggRows,
 	})
 	var nf *AddrNotFoundError
@@ -133,7 +134,7 @@ func TestMeanEvictedReuse(t *testing.T) {
 }
 
 func TestAggFieldRequired(t *testing.T) {
-	_, err := Execute(testfix.Store(), Query{Workload: "mcf", Policy: "lru", Agg: AggMean})
+	_, err := Execute(context.Background(), testfix.Store(), Query{Workload: "mcf", Policy: "lru", Agg: AggMean})
 	if err == nil {
 		t.Error("mean without field should error")
 	}
@@ -182,13 +183,13 @@ func TestDistinctKeys(t *testing.T) {
 		t.Errorf("distinct PCs = %d, want %d", len(res.Keys), len(f.PCs()))
 	}
 	// Distinct without GroupBy is an error.
-	if _, err := Execute(testfix.Store(), Query{Workload: "mcf", Policy: "lru", Agg: AggDistinct}); err == nil {
+	if _, err := Execute(context.Background(), testfix.Store(), Query{Workload: "mcf", Policy: "lru", Agg: AggDistinct}); err == nil {
 		t.Error("distinct without GroupBy should error")
 	}
 }
 
 func TestBadGroupBy(t *testing.T) {
-	_, err := Execute(testfix.Store(), Query{Workload: "mcf", Policy: "lru", Agg: AggCount, GroupBy: "function"})
+	_, err := Execute(context.Background(), testfix.Store(), Query{Workload: "mcf", Policy: "lru", Agg: AggCount, GroupBy: "function"})
 	if err == nil {
 		t.Error("unknown GroupBy should error")
 	}
@@ -216,11 +217,11 @@ func TestGroupPartitionProperty(t *testing.T) {
 		if pcGroup {
 			groupBy = "pc"
 		}
-		all, err := Execute(testfix.Store(), Query{Workload: "lbm", Policy: "lru", Agg: AggCount})
+		all, err := Execute(context.Background(), testfix.Store(), Query{Workload: "lbm", Policy: "lru", Agg: AggCount})
 		if err != nil {
 			return false
 		}
-		grouped, err := Execute(testfix.Store(), Query{Workload: "lbm", Policy: "lru", Agg: AggCount, GroupBy: groupBy})
+		grouped, err := Execute(context.Background(), testfix.Store(), Query{Workload: "lbm", Policy: "lru", Agg: AggCount, GroupBy: groupBy})
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package retriever
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -48,37 +49,46 @@ func (r *Ranger) SystemPrompt() string {
 	return b.String()
 }
 
-// Retrieve implements Retriever.
-func (r *Ranger) Retrieve(question string) Context {
+// Retrieve implements Retriever. The request context is checked
+// between query executions: a cancellation mid-fan-out returns the
+// partial bundle promptly with out.Err reporting the cancellation.
+func (r *Ranger) Retrieve(ctx context.Context, question string) Context {
 	start := time.Now()
-	ctx := Context{Question: question, Retriever: r.Name()}
+	out := Context{Question: question, Retriever: r.Name()}
 
 	parsed, err := nlu.Parse(question, r.vocab)
-	ctx.Parsed = parsed
+	out.Parsed = parsed
 	if err != nil {
 		// Compilation failed: fall back to metadata evidence, graded by
 		// how much of the question still resolved.
-		ctx.Err = fmt.Errorf("ranger: query compilation failed: %w", err)
-		ctx.Text, ctx.Quality = r.fallback(parsed)
-		ctx.Elapsed = time.Since(start)
-		return ctx
+		out.Err = fmt.Errorf("ranger: query compilation failed: %w", err)
+		out.Text, out.Quality = r.fallback(parsed)
+		out.Elapsed = time.Since(start)
+		return out
 	}
 
 	if parsed.Intent == nlu.IntentConcept {
-		ctx.Quality = llm.QualityHigh
-		ctx.Text = "General microarchitecture question. Cache geometry from the active configuration:\n" +
+		out.Quality = llm.QualityHigh
+		out.Text = "General microarchitecture question. Cache geometry from the active configuration:\n" +
 			r.geometryDoc()
-		ctx.Elapsed = time.Since(start)
-		return ctx
+		out.Elapsed = time.Since(start)
+		return out
 	}
 
 	queries := expandQueries(r.store, parsed.Queries)
 	var bundle strings.Builder
 	okCount, premise := 0, 0
 	for _, q := range queries {
-		res, qerr := queryir.Execute(r.store, q)
+		if cerr := ctx.Err(); cerr != nil {
+			out.Err = cerr
+			out.Quality = llm.QualityLow
+			out.Text = strings.TrimSpace(bundle.String())
+			out.Elapsed = time.Since(start)
+			return out
+		}
+		res, qerr := queryir.Execute(ctx, r.store, q)
 		ex := ExecutedQuery{Query: q, Result: res, Err: qerr}
-		ctx.Executed = append(ctx.Executed, ex)
+		out.Executed = append(out.Executed, ex)
 		bundle.WriteString(renderResult(ex) + "\n")
 		if qerr == nil {
 			okCount++
@@ -100,19 +110,19 @@ func (r *Ranger) Retrieve(question string) Context {
 
 	switch {
 	case okCount == len(queries) && len(queries) > 0:
-		ctx.Quality = llm.QualityHigh
+		out.Quality = llm.QualityHigh
 	case premise > 0:
 		// Premise violations are decisive evidence (trick questions).
-		ctx.Quality = llm.QualityHigh
+		out.Quality = llm.QualityHigh
 	case okCount > 0:
-		ctx.Quality = llm.QualityMedium
+		out.Quality = llm.QualityMedium
 	default:
-		ctx.Quality = llm.QualityLow
-		ctx.Err = fmt.Errorf("ranger: no query executed successfully")
+		out.Quality = llm.QualityLow
+		out.Err = fmt.Errorf("ranger: no query executed successfully")
 	}
-	ctx.Text = strings.TrimSpace(bundle.String())
-	ctx.Elapsed = time.Since(start)
-	return ctx
+	out.Text = strings.TrimSpace(bundle.String())
+	out.Elapsed = time.Since(start)
+	return out
 }
 
 func isPremiseErr(err error) bool {
@@ -189,25 +199,31 @@ func NewEmbeddingRetriever(store *db.Store, sampleEvery int) *EmbeddingRetriever
 func (r *EmbeddingRetriever) Name() string { return "llamaindex" }
 
 // Retrieve implements Retriever: top-3 cosine matches become the
-// context, with no symbolic verification at all.
-func (r *EmbeddingRetriever) Retrieve(question string) Context {
+// context, with no symbolic verification at all. The single index scan
+// is one indivisible stage, so cancellation is only observed at entry.
+func (r *EmbeddingRetriever) Retrieve(ctx context.Context, question string) Context {
 	start := time.Now()
-	ctx := Context{Question: question, Retriever: r.Name()}
+	out := Context{Question: question, Retriever: r.Name()}
+	if err := ctx.Err(); err != nil {
+		out.Err = err
+		out.Quality = llm.QualityLow
+		return out
+	}
 	matches := r.index.TopK(question, 3)
 	var b strings.Builder
 	for _, m := range matches {
 		text, _ := r.index.Text(m.ID)
 		fmt.Fprintf(&b, "%.16f\n%s\n---\n", m.Score, text)
 	}
-	ctx.Text = strings.TrimSpace(b.String())
+	out.Text = strings.TrimSpace(b.String())
 	// Embedding retrieval performs no symbolic verification: its top-k
 	// context is unverified and — on hex-dense trace records — almost
 	// always the wrong rows, so it grades Low (the Figure 5 Low-quality
 	// bucket and the Figure 9 failure case).
-	ctx.Quality = llm.QualityLow
+	out.Quality = llm.QualityLow
 	if len(matches) == 0 {
-		ctx.Err = fmt.Errorf("llamaindex: empty index")
+		out.Err = fmt.Errorf("llamaindex: empty index")
 	}
-	ctx.Elapsed = time.Since(start)
-	return ctx
+	out.Elapsed = time.Since(start)
+	return out
 }

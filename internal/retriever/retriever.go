@@ -7,6 +7,7 @@
 package retriever
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -92,12 +93,18 @@ func asErr[T error](err error, target *T) bool {
 // added later (remote backends, shared caches) must uphold the same
 // contract; internal/engine relies on it to serve concurrent asks
 // through one retriever instance.
+//
+// Cancellation contract: Retrieve honors ctx between its retrieval
+// queries — a canceled context makes it return promptly with a partial
+// (or empty) bundle whose Err reports the cancellation. It never
+// panics on a canceled context; callers that need a typed error check
+// ctx themselves after the call (internal/engine's stage checkpoint).
 type Retriever interface {
 	// Name identifies the retriever ("sieve", "ranger", "llamaindex").
 	Name() string
-	// Retrieve assembles grounded context for the question. Safe for
-	// concurrent use.
-	Retrieve(question string) Context
+	// Retrieve assembles grounded context for the question, honoring
+	// ctx cancellation between queries. Safe for concurrent use.
+	Retrieve(ctx context.Context, question string) Context
 }
 
 // VocabFromStore derives the NLU vocabulary from a store's contents.

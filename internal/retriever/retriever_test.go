@@ -1,6 +1,8 @@
 package retriever
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -27,7 +29,7 @@ func probe(t *testing.T, workload, policyName string) (question string, pc, addr
 func TestSieveHitMissHighQuality(t *testing.T) {
 	s := NewSieve(testfix.Store())
 	q, pc, addr, _ := probe(t, "lbm", "parrot")
-	ctx := s.Retrieve(q)
+	ctx := s.Retrieve(context.Background(), q)
 	if ctx.Err != nil {
 		t.Fatalf("retrieval failed: %v", ctx.Err)
 	}
@@ -47,7 +49,7 @@ func TestSieveHitMissHighQuality(t *testing.T) {
 
 func TestSievePCStatsIncludeSemantics(t *testing.T) {
 	s := NewSieve(testfix.Store())
-	ctx := s.Retrieve("What is the miss rate for PC 0x4037ba on the mcf workload with PARROT replacement policy?")
+	ctx := s.Retrieve(context.Background(), "What is the miss rate for PC 0x4037ba on the mcf workload with PARROT replacement policy?")
 	if ctx.Quality != llm.QualityHigh {
 		t.Errorf("quality = %v", ctx.Quality)
 	}
@@ -60,7 +62,7 @@ func TestSievePCStatsIncludeSemantics(t *testing.T) {
 
 func TestSieveFailsOnNoWorkload(t *testing.T) {
 	s := NewSieve(testfix.Store())
-	ctx := s.Retrieve("What is the miss rate for PC 0x4037ba?")
+	ctx := s.Retrieve(context.Background(), "What is the miss rate for PC 0x4037ba?")
 	if ctx.Err == nil && ctx.Quality == llm.QualityHigh {
 		t.Error("workload-free query should not yield high-quality context")
 	}
@@ -69,7 +71,7 @@ func TestSieveFailsOnNoWorkload(t *testing.T) {
 func TestSieveSemanticWorkloadFallback(t *testing.T) {
 	s := NewSieve(testfix.Store())
 	// No workload token, but the description should resolve lbm.
-	ctx := s.Retrieve("In the lattice Boltzmann fluid dynamics benchmark under LRU, what is the miss rate for PC 0x401dc9?")
+	ctx := s.Retrieve(context.Background(), "In the lattice Boltzmann fluid dynamics benchmark under LRU, what is the miss rate for PC 0x401dc9?")
 	found := false
 	for _, ex := range ctx.Executed {
 		if ex.Query.Workload == "lbm" {
@@ -84,12 +86,12 @@ func TestSieveSemanticWorkloadFallback(t *testing.T) {
 func TestSieveUnsupportedIntentDegrades(t *testing.T) {
 	s := NewSieve(testfix.Store())
 	// Counting is outside Sieve's fixed templates.
-	ctx := s.Retrieve("How many times did PC 0x405832 appear in astar under LRU?")
+	ctx := s.Retrieve(context.Background(), "How many times did PC 0x405832 appear in astar under LRU?")
 	if ctx.Quality == llm.QualityHigh {
 		t.Errorf("count question should not be high quality for sieve, got %v", ctx.Quality)
 	}
 	// Open-ended listing is too.
-	ctx = s.Retrieve("List all unique PCs in the mcf trace under LRU.")
+	ctx = s.Retrieve(context.Background(), "List all unique PCs in the mcf trace under LRU.")
 	if ctx.Quality == llm.QualityHigh {
 		t.Errorf("listing should not be high quality for sieve, got %v", ctx.Quality)
 	}
@@ -97,7 +99,7 @@ func TestSieveUnsupportedIntentDegrades(t *testing.T) {
 
 func TestSieveTrickPremiseEvidence(t *testing.T) {
 	s := NewSieve(testfix.Store())
-	ctx := s.Retrieve("Does PC 0x4037aa in lbm access address 0x1b73be82e3f under PARROT?")
+	ctx := s.Retrieve(context.Background(), "Does PC 0x4037aa in lbm access address 0x1b73be82e3f under PARROT?")
 	if v := ctx.PremiseViolation(); v == nil {
 		t.Fatalf("expected premise violation evidence; text:\n%s", ctx.Text)
 	}
@@ -109,7 +111,7 @@ func TestSieveTrickPremiseEvidence(t *testing.T) {
 func TestRangerHitMiss(t *testing.T) {
 	r := NewRanger(testfix.Store())
 	q, _, _, hit := probe(t, "astar", "lru")
-	ctx := r.Retrieve(q)
+	ctx := r.Retrieve(context.Background(), q)
 	if ctx.Err != nil {
 		t.Fatalf("ranger failed: %v", ctx.Err)
 	}
@@ -127,7 +129,7 @@ func TestRangerHitMiss(t *testing.T) {
 
 func TestRangerCountWorks(t *testing.T) {
 	r := NewRanger(testfix.Store())
-	ctx := r.Retrieve("How many times did PC 0x405832 appear in astar under LRU?")
+	ctx := r.Retrieve(context.Background(), "How many times did PC 0x405832 appear in astar under LRU?")
 	if ctx.Quality != llm.QualityHigh {
 		t.Fatalf("quality = %v, err = %v", ctx.Quality, ctx.Err)
 	}
@@ -146,7 +148,7 @@ func TestRangerCountWorks(t *testing.T) {
 
 func TestRangerArithmetic(t *testing.T) {
 	r := NewRanger(testfix.Store())
-	ctx := r.Retrieve("What is the average evicted reuse distance of PC 0x40170a for the lbm workload with MLP?")
+	ctx := r.Retrieve(context.Background(), "What is the average evicted reuse distance of PC 0x40170a for the lbm workload with MLP?")
 	if ctx.Quality != llm.QualityHigh {
 		t.Fatalf("quality = %v, err = %v", ctx.Quality, ctx.Err)
 	}
@@ -157,7 +159,7 @@ func TestRangerArithmetic(t *testing.T) {
 
 func TestRangerPolicyCompareExpands(t *testing.T) {
 	r := NewRanger(testfix.Store())
-	ctx := r.Retrieve("Which policy has the lowest miss rate for PC 0x409270 in astar?")
+	ctx := r.Retrieve(context.Background(), "Which policy has the lowest miss rate for PC 0x409270 in astar?")
 	if len(ctx.Executed) != 4 {
 		t.Fatalf("expected 4 per-policy queries, got %d", len(ctx.Executed))
 	}
@@ -172,7 +174,7 @@ func TestRangerPolicyCompareExpands(t *testing.T) {
 
 func TestRangerTrickPremise(t *testing.T) {
 	r := NewRanger(testfix.Store())
-	ctx := r.Retrieve("Does PC 0x4037aa in lbm access address 0x1b73be82e3f under PARROT? Answer hit or miss.")
+	ctx := r.Retrieve(context.Background(), "Does PC 0x4037aa in lbm access address 0x1b73be82e3f under PARROT? Answer hit or miss.")
 	if v := ctx.PremiseViolation(); v == nil {
 		t.Fatalf("expected premise violation; text:\n%s", ctx.Text)
 	}
@@ -183,7 +185,7 @@ func TestRangerTrickPremise(t *testing.T) {
 
 func TestRangerFallbackOnUnparseable(t *testing.T) {
 	r := NewRanger(testfix.Store())
-	ctx := r.Retrieve("Reflect on the philosophical nature of mcf cache misses in the abstract.")
+	ctx := r.Retrieve(context.Background(), "Reflect on the philosophical nature of mcf cache misses in the abstract.")
 	if ctx.Err == nil && ctx.Quality == llm.QualityHigh {
 		t.Error("unparseable question should degrade")
 	}
@@ -206,7 +208,7 @@ func TestRangerSystemPromptRendersSchema(t *testing.T) {
 func TestEmbeddingRetrieverImprecision(t *testing.T) {
 	er := NewEmbeddingRetriever(testfix.Store(), 50)
 	q, pc, addr, _ := probe(t, "astar", "lru")
-	ctx := er.Retrieve(q)
+	ctx := er.Retrieve(context.Background(), q)
 	if ctx.Quality == llm.QualityHigh {
 		t.Error("embedding retrieval can never verify high quality")
 	}
@@ -254,9 +256,32 @@ func TestRetrievalDeterministic(t *testing.T) {
 		NewEmbeddingRetriever(testfix.Store(), 80),
 	} {
 		q, _, _, _ := probe(t, "lbm", "lru")
-		a, b := r.Retrieve(q), r.Retrieve(q)
+		a, b := r.Retrieve(context.Background(), q), r.Retrieve(context.Background(), q)
 		if a.Text != b.Text || a.Quality != b.Quality {
 			t.Errorf("%s retrieval not deterministic", r.Name())
+		}
+	}
+}
+
+// TestRetrieveHonorsCancellation: every retriever returns promptly
+// from a pre-canceled context with the cancellation recorded in
+// Context.Err — the contract internal/engine's stage checkpoint
+// relies on.
+func TestRetrieveHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, r := range []Retriever{
+		NewSieve(testfix.Store()),
+		NewRanger(testfix.Store()),
+		NewEmbeddingRetriever(testfix.Store(), 80),
+	} {
+		q, _, _, _ := probe(t, "lbm", "lru")
+		out := r.Retrieve(ctx, q)
+		if out.Err == nil || !errors.Is(out.Err, context.Canceled) {
+			t.Errorf("%s: canceled retrieve Err = %v, want context.Canceled", r.Name(), out.Err)
+		}
+		if out.Quality != llm.QualityLow {
+			t.Errorf("%s: canceled retrieve graded %v, want Low", r.Name(), out.Quality)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package retriever
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -44,15 +45,18 @@ func sieveSupports(intent nlu.Intent) bool {
 	return false
 }
 
-// Retrieve implements Retriever.
-func (s *Sieve) Retrieve(question string) Context {
+// Retrieve implements Retriever. The request context is checked
+// between the per-(workload, policy) filter stages: a cancellation
+// mid-pipeline returns the partial bundle promptly with out.Err
+// reporting the cancellation.
+func (s *Sieve) Retrieve(ctx context.Context, question string) Context {
 	start := time.Now()
-	ctx := Context{Question: question, Retriever: s.Name()}
+	out := Context{Question: question, Retriever: s.Name()}
 
 	// Stage 1: trace-level filtering — extract workload and policy.
 	e := nlu.Extract(question, s.vocab)
 	intent := nlu.Classify(question, e)
-	ctx.Parsed = nlu.Parsed{Intent: intent, Entities: e}
+	out.Parsed = nlu.Parsed{Intent: intent, Entities: e}
 
 	workloadName := ""
 	if len(e.Workloads) > 0 {
@@ -71,11 +75,11 @@ func (s *Sieve) Retrieve(question string) Context {
 		}
 	}
 	if workloadName == "" && intent != nlu.IntentConcept {
-		ctx.Err = fmt.Errorf("sieve: could not identify a workload in the query")
-		ctx.Quality = llm.QualityLow
-		ctx.Text = "No matching trace found for the query."
-		ctx.Elapsed = time.Since(start)
-		return ctx
+		out.Err = fmt.Errorf("sieve: could not identify a workload in the query")
+		out.Quality = llm.QualityLow
+		out.Text = "No matching trace found for the query."
+		out.Elapsed = time.Since(start)
+		return out
 	}
 
 	policies := e.Policies
@@ -93,10 +97,10 @@ func (s *Sieve) Retrieve(question string) Context {
 	}
 
 	if intent == nlu.IntentConcept {
-		ctx.Quality = llm.QualityMedium
-		ctx.Text = "General microarchitecture question; no trace slice required.\n" + s.store.SchemaDoc()
-		ctx.Elapsed = time.Since(start)
-		return ctx
+		out.Quality = llm.QualityMedium
+		out.Text = "General microarchitecture question; no trace slice required.\n" + s.store.SchemaDoc()
+		out.Elapsed = time.Since(start)
+		return out
 	}
 
 	var bundle strings.Builder
@@ -109,6 +113,13 @@ func (s *Sieve) Retrieve(question string) Context {
 
 	for _, w := range workloads {
 		for _, polName := range policies {
+			if cerr := ctx.Err(); cerr != nil {
+				out.Err = cerr
+				out.Quality = llm.QualityLow
+				out.Text = strings.TrimSpace(bundle.String())
+				out.Elapsed = time.Since(start)
+				return out
+			}
 			frame, ok := s.store.Frame(w, polName)
 			if !ok {
 				continue
@@ -116,12 +127,12 @@ func (s *Sieve) Retrieve(question string) Context {
 			// Stage 2: symbolic PC/address filters.
 			switch {
 			case len(e.PCs) > 0 && len(e.Addrs) > 0:
-				ex := s.execute(queryir.Query{
+				ex := s.execute(ctx, queryir.Query{
 					Workload: w, Policy: polName,
 					PC: &e.PCs[0], Addr: &e.Addrs[0],
 					Agg: queryir.AggRows, Limit: 3,
 				})
-				ctx.Executed = append(ctx.Executed, ex)
+				out.Executed = append(out.Executed, ex)
 				bundle.WriteString(renderResult(ex) + "\n")
 				if ex.Err == nil && supported {
 					quality = llm.QualityHigh
@@ -134,7 +145,7 @@ func (s *Sieve) Retrieve(question string) Context {
 				// Stage 3: statistical expert digest for the PC.
 				if st, ok := frame.StatsForPC(e.PCs[0]); ok {
 					bundle.WriteString(renderPCStats(w, polName, st))
-					ctx.Executed = append(ctx.Executed, s.execute(queryir.Query{
+					out.Executed = append(out.Executed, s.execute(ctx, queryir.Query{
 						Workload: w, Policy: polName, PC: &e.PCs[0], Agg: queryir.AggMissRate,
 					}))
 					if supported {
@@ -146,10 +157,10 @@ func (s *Sieve) Retrieve(question string) Context {
 						quality = maxQuality(quality, llm.QualityMedium)
 					}
 				} else {
-					ex := s.execute(queryir.Query{
+					ex := s.execute(ctx, queryir.Query{
 						Workload: w, Policy: polName, PC: &e.PCs[0], Agg: queryir.AggCount,
 					})
-					ctx.Executed = append(ctx.Executed, ex)
+					out.Executed = append(out.Executed, ex)
 					bundle.WriteString(renderResult(ex) + "\n")
 					quality = maxQuality(quality, llm.QualityHigh) // premise evidence
 				}
@@ -180,19 +191,19 @@ func (s *Sieve) Retrieve(question string) Context {
 	if !supported && quality > llm.QualityMedium {
 		quality = llm.QualityMedium
 	}
-	ctx.Quality = quality
-	ctx.Text = strings.TrimSpace(bundle.String())
-	if ctx.Text == "" {
-		ctx.Err = fmt.Errorf("sieve: no evidence assembled")
-		ctx.Quality = llm.QualityLow
-		ctx.Text = "No matching trace entries found."
+	out.Quality = quality
+	out.Text = strings.TrimSpace(bundle.String())
+	if out.Text == "" {
+		out.Err = fmt.Errorf("sieve: no evidence assembled")
+		out.Quality = llm.QualityLow
+		out.Text = "No matching trace entries found."
 	}
-	ctx.Elapsed = time.Since(start)
-	return ctx
+	out.Elapsed = time.Since(start)
+	return out
 }
 
-func (s *Sieve) execute(q queryir.Query) ExecutedQuery {
-	res, err := queryir.Execute(s.store, q)
+func (s *Sieve) execute(ctx context.Context, q queryir.Query) ExecutedQuery {
+	res, err := queryir.Execute(ctx, s.store, q)
 	return ExecutedQuery{Query: q, Result: res, Err: err}
 }
 
