@@ -58,4 +58,16 @@ loadgen:
 	$(GO) run ./cmd/loadgen -n $(LOADGEN_N) -c $(LOADGEN_C) -seed 42 -repeat 0.5 \
 		-accesses 4000 -request-timeout $(LOADGEN_TIMEOUT) -strict -out BENCH_loadgen.json
 
-ci: build fmt vet race bench fuzz loadgen
+# The policy sweep: the same fixed-seed mix replayed under every
+# registered answer-cache eviction policy (the serving-side analogue of
+# the paper's policy-comparison figures). A smaller question count than
+# the main gate — the sweep multiplies it by the policy count. -strict
+# fails on any request error, and on any policy row with errors or zero
+# answered questions; the run itself fails if any policy's answers
+# diverge byte-wise from the others.
+SWEEP_N ?= 500
+loadgen-sweep:
+	$(GO) run ./cmd/loadgen -policy-sweep -n $(SWEEP_N) -c $(LOADGEN_C) -seed 42 -repeat 0.5 \
+		-cache 64 -accesses 4000 -request-timeout $(LOADGEN_TIMEOUT) -strict -out BENCH_loadgen_sweep.json
+
+ci: build fmt vet race bench fuzz loadgen loadgen-sweep

@@ -24,6 +24,7 @@
 //	cachemindd                         # build a default database, listen on :8080
 //	cachemindd -db cachemind.db -addr 127.0.0.1:9000
 //	cachemindd -retriever sieve -model gpt-4o-mini -workers 4 -shards 8
+//	cachemindd -cache-policy hawkeye              # paper's policy suite on the answer cache
 //	cachemindd -request-timeout 5s -max-queue 256
 //
 //	curl -s localhost:8080/v1/ask -d '{"session":"s1","question":"List all unique PCs in mcf under LRU."}'
@@ -57,6 +58,7 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "server-side per-request deadline for the ask path (0: none)")
 	maxQueue := flag.Int("max-queue", 0, "max requests queued for a worker before shedding with 503 overloaded (0: unbounded)")
 	cacheSize := flag.Int("cache", 0, "answer-cache entries (0: default 256, negative: disable)")
+	cachePolicy := flag.String("cache-policy", "lru", "answer-cache eviction policy: lru (default), or any of the paper's policies — rrip, srrip, brrip, drrip, ship, hawkeye, mockingjay, mlp, dip, plru, random")
 	memTurns := flag.Int("memory", 0, "verbatim conversation turns kept per session (0: default 6)")
 	maxSessions := flag.Int("max-sessions", 0, "live sessions retained, LRU-evicted beyond (0: default 1024, negative: unlimited)")
 	maxTurns := flag.Int("max-turns", 0, "turns retained per session (0: default 256, negative: unlimited)")
@@ -77,6 +79,7 @@ func main() {
 		Model:           *modelID,
 		MemoryTurns:     *memTurns,
 		CacheSize:       *cacheSize,
+		CachePolicy:     *cachePolicy,
 		MaxSessions:     *maxSessions,
 		MaxSessionTurns: *maxTurns,
 		Shards:          *shards,
@@ -100,7 +103,8 @@ func main() {
 	defer stop()
 	done := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s (model %s, retriever %s, %d shards)", *addr, eng.Profile().DisplayName, eng.RetrieverName(), eng.Shards())
+		log.Printf("serving on %s (model %s, retriever %s, %d shards, cache policy %s)",
+			*addr, eng.Profile().DisplayName, eng.RetrieverName(), eng.Shards(), eng.CachePolicyName())
 		done <- srv.ListenAndServe()
 	}()
 

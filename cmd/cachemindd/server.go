@@ -513,9 +513,20 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "cachemind_questions_total %d\n", st.Questions)
 	fmt.Fprintf(w, "cachemind_asks_canceled_total %d\n", st.Canceled)
+	fmt.Fprintf(w, "cachemind_cache_policy{policy=%q} 1\n", st.CachePolicy)
 	fmt.Fprintf(w, "cachemind_answer_cache_hits_total %d\n", st.CacheHits)
 	fmt.Fprintf(w, "cachemind_answer_cache_misses_total %d\n", st.CacheMisses)
+	fmt.Fprintf(w, "cachemind_answer_cache_bypasses_total %d\n", st.CacheBypasses)
 	fmt.Fprintf(w, "cachemind_answer_cache_entries %d\n", st.CacheEntries)
+	// Per-shard hit/miss/entry lines, indexed as in Response.Shard, so
+	// a skewed shard (hot key pile-up, budget clamping) is visible
+	// without a debugger.
+	for i, cs := range st.CacheShards {
+		fmt.Fprintf(w, "cachemind_answer_cache_shard_hits_total{shard=\"%d\"} %d\n", i, cs.Hits)
+		fmt.Fprintf(w, "cachemind_answer_cache_shard_misses_total{shard=\"%d\"} %d\n", i, cs.Misses)
+		fmt.Fprintf(w, "cachemind_answer_cache_shard_bypasses_total{shard=\"%d\"} %d\n", i, cs.Bypasses)
+		fmt.Fprintf(w, "cachemind_answer_cache_shard_entries{shard=\"%d\"} %d\n", i, cs.Entries)
+	}
 	fmt.Fprintf(w, "cachemind_sessions_active %d\n", st.Sessions)
 	fmt.Fprintf(w, "cachemind_sessions_evicted_total %d\n", st.SessionsEvicted)
 	fmt.Fprintf(w, "cachemind_http_requests_total %d\n", s.httpRequests.Load())

@@ -230,8 +230,14 @@ func TestMetrics(t *testing.T) {
 	for _, want := range []string{
 		"cachemind_questions_total 2",
 		"cachemind_asks_canceled_total 0",
+		`cachemind_cache_policy{policy="lru"} 1`,
 		"cachemind_answer_cache_hits_total 1",
 		"cachemind_answer_cache_misses_total 1",
+		"cachemind_answer_cache_bypasses_total 0",
+		// Per-shard cache lines, one block per effective cache shard.
+		`cachemind_answer_cache_shard_hits_total{shard="0"}`,
+		`cachemind_answer_cache_shard_misses_total{shard="0"}`,
+		`cachemind_answer_cache_shard_entries{shard="0"}`,
 		"cachemind_sessions_active 1",
 		"cachemind_http_requests_total",
 		"cachemind_http_errors_total 1",
@@ -258,6 +264,56 @@ func TestMetrics(t *testing.T) {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("metrics missing %q:\n%s", want, data)
 		}
+	}
+}
+
+// TestServeWithPaperCachePolicy: the daemon stack runs end-to-end over
+// a non-default eviction policy (the -cache-policy path): repeats are
+// served cached, answers match the LRU-backed engine byte for byte,
+// and /metrics carries the policy label.
+func TestServeWithPaperCachePolicy(t *testing.T) {
+	store := testStore(t)
+	eng, err := engine.New(engine.Config{Store: store, CachePolicy: "hawkeye", Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(eng, 4, 0, 0).handler())
+	t.Cleanup(ts.Close)
+
+	body := fmt.Sprintf(`{"session":"p","question":%q}`, askQuestion)
+	_, first := postAsk(t, ts, body)
+	_, second := postAsk(t, ts, body)
+	var a1, a2 askResponse
+	if err := json.Unmarshal(first, &a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(second, &a2); err != nil {
+		t.Fatal(err)
+	}
+	if a1.Cached || !a2.Cached || a1.Answer != a2.Answer || a1.Answer == "" {
+		t.Fatalf("hawkeye-backed cache misbehaved: first %+v, second %+v", a1, a2)
+	}
+
+	refEng, err := engine.New(engine.Config{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refEng.Ask(context.Background(), engine.Request{SessionID: "r", Question: askQuestion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Answer != ref.Text {
+		t.Fatal("hawkeye-backed answer diverges from the LRU-backed engine")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if want := `cachemind_cache_policy{policy="hawkeye"} 1`; !strings.Contains(string(data), want) {
+		t.Fatalf("metrics missing %q:\n%s", want, data)
 	}
 }
 

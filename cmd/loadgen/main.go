@@ -16,6 +16,8 @@
 //	loadgen -n 10000 -c 32 -shards 16        # hammer a 16-shard engine
 //	loadgen -url http://127.0.0.1:8080 -batch 16
 //	loadgen -duration 30s -repeat 0.9        # cache-heavy mix for 30s
+//	loadgen -cache-policy hawkeye            # paper policy on the answer cache
+//	loadgen -policy-sweep -n 2000            # one pass per policy, comparative table
 //
 // The question stream is a pure function of (-seed, -repeat, store), so
 // identical flags replay identical load; -strict makes any request
@@ -25,6 +27,13 @@
 // expires are reported as "canceled" (a separate BENCH_loadgen.json
 // counter, not an error, so a deliberate tight deadline doesn't trip
 // -strict).
+//
+// In-process cache numbers come from Engine.Stats(), so hit_rate is
+// hits/(hits+misses) over actual cache lookups. -policy-sweep replays
+// the identical deterministic mix once per registered eviction policy
+// (engine.CachePolicies()) and writes one policy_sweep row each —
+// throughput, latency, hit rate, and an answer digest that must agree
+// across policies, since eviction decides residency, never bytes.
 package main
 
 import (
@@ -57,6 +66,8 @@ func main() {
 	flag.StringVar(&cfg.model, "model", "gpt-4o", "generator backend for the in-process engine")
 	flag.IntVar(&cfg.shards, "shards", 0, "in-process engine shard count (0: one per CPU)")
 	flag.IntVar(&cfg.cacheSize, "cache", 0, "in-process answer-cache entries (0: default, negative: disable)")
+	flag.StringVar(&cfg.cachePolicy, "cache-policy", "lru", "in-process answer-cache eviction policy (lru, rrip, ship, hawkeye, mockingjay, mlp, ...)")
+	flag.BoolVar(&cfg.policySweep, "policy-sweep", false, "replay the identical mix under every registered cache policy and emit the comparative policy_sweep table (in-process, count mode)")
 	out := flag.String("out", "BENCH_loadgen.json", "report path")
 	strict := flag.Bool("strict", false, "exit non-zero on any request error or zero throughput (the CI perf gate)")
 	flag.Parse()
@@ -79,6 +90,14 @@ func main() {
 		report.Mode, report.Questions, report.DurationSeconds, report.ThroughputQPS,
 		report.Latency.P50, report.Latency.P95, report.Latency.P99,
 		100*report.Cache.HitRate, report.Errors, report.Canceled)
+	if len(report.PolicySweep) > 0 {
+		fmt.Println("policy sweep (identical mix per policy):")
+		for _, row := range report.PolicySweep {
+			fmt.Printf("  %-11s %8.0f q/s  hit %5.1f%%  p50 %7.3fms  p95 %7.3fms  %d errors  %d canceled\n",
+				row.Policy, row.ThroughputQPS, 100*row.Cache.HitRate,
+				row.Latency.P50, row.Latency.P95, row.Errors, row.Canceled)
+		}
+	}
 	fmt.Printf("wrote %s\n", *out)
 
 	if *strict {
@@ -94,6 +113,16 @@ func main() {
 		// (canceled-inflated) throughput and pass the gate.
 		if answered := report.Questions - report.Errors - report.Canceled; answered <= 0 {
 			log.Fatalf("strict: no questions answered (%d asked, %d canceled)", report.Questions, report.Canceled)
+		}
+		// The sweep gate holds every policy to the same bar: any
+		// request error, or a policy that answered nothing, fails.
+		for _, row := range report.PolicySweep {
+			if row.Errors > 0 {
+				log.Fatalf("strict: policy %s had %d request errors", row.Policy, row.Errors)
+			}
+			if answered := row.Questions - row.Errors - row.Canceled; answered <= 0 {
+				log.Fatalf("strict: policy %s answered nothing (%d asked, %d canceled)", row.Policy, row.Questions, row.Canceled)
+			}
 		}
 	}
 }

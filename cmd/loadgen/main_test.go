@@ -11,6 +11,7 @@ import (
 
 	"cachemind/internal/db"
 	"cachemind/internal/db/dbtest"
+	"cachemind/internal/engine"
 )
 
 func testStore(t testing.TB) *db.Store {
@@ -36,8 +37,14 @@ func TestRunInProcessSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if report.Mode != "inprocess" || report.Schema != "cachemind-loadgen/v2" {
+	if report.Mode != "inprocess" || report.Schema != "cachemind-loadgen/v3" {
 		t.Fatalf("mode/schema = %q/%q", report.Mode, report.Schema)
+	}
+	if report.CachePolicy != "lru" || report.Cache.Source != "engine" {
+		t.Fatalf("policy/source = %q/%q, want lru/engine", report.CachePolicy, report.Cache.Source)
+	}
+	if report.AnswerDigest == "" {
+		t.Fatal("answer digest missing")
 	}
 	if report.Questions != 40 || report.Requests != 40 {
 		t.Fatalf("questions/requests = %d/%d, want 40/40 at batch 1", report.Questions, report.Requests)
@@ -118,8 +125,9 @@ func TestRunReportSchemaStable(t *testing.T) {
 	}
 	for _, key := range []string{
 		"schema", "mode", "concurrency", "batch", "shards", "seed",
-		"repeat_ratio", "sessions", "requests", "questions", "errors",
-		"canceled", "duration_seconds", "throughput_qps", "latency_ms", "cache",
+		"repeat_ratio", "sessions", "cache_policy", "requests", "questions",
+		"errors", "canceled", "duration_seconds", "throughput_qps",
+		"latency_ms", "cache", "answer_digest",
 	} {
 		if _, ok := doc[key]; !ok {
 			t.Errorf("report missing key %q:\n%s", key, data)
@@ -138,10 +146,127 @@ func TestRunReportSchemaStable(t *testing.T) {
 	if !ok {
 		t.Fatalf("cache not an object: %s", data)
 	}
-	for _, key := range []string{"hits", "misses", "hit_rate"} {
+	for _, key := range []string{"source", "hits", "misses", "hit_rate"} {
 		if _, ok := cache[key]; !ok {
 			t.Errorf("cache missing %q", key)
 		}
+	}
+}
+
+// TestRunHitRateMatchesEngineStats is the hit-rate accounting
+// regression test: with batching in the mix, the report's cache block
+// must mirror Engine.Stats() exactly — hit_rate = hits/(hits+misses)
+// over actual cache lookups — instead of the old hits/answered, whose
+// denominator counts questions that never did a dedicated lookup
+// (coalesced batch siblings, bypassed asks).
+func TestRunHitRateMatchesEngineStats(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.batch = 8
+	cfg.repeat = 0.8
+	var eng *engine.Engine
+	cfg.engineHook = func(e *engine.Engine) { eng = e }
+	report, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng == nil {
+		t.Fatal("engine hook never fired")
+	}
+	st := eng.Stats()
+	if report.Cache.Hits != int64(st.CacheHits) || report.Cache.Misses != int64(st.CacheMisses) {
+		t.Fatalf("report cache %d/%d diverges from Engine.Stats %d/%d",
+			report.Cache.Hits, report.Cache.Misses, st.CacheHits, st.CacheMisses)
+	}
+	// Every answered question did exactly one accounted lookup.
+	answered := int64(report.Questions - report.Errors - report.Canceled)
+	if report.Cache.Hits+report.Cache.Misses != answered {
+		t.Fatalf("hits(%d)+misses(%d) != answered(%d)", report.Cache.Hits, report.Cache.Misses, answered)
+	}
+	want := float64(report.Cache.Hits) / float64(report.Cache.Hits+report.Cache.Misses)
+	if report.Cache.HitRate != want {
+		t.Fatalf("hit_rate = %v, want hits/(hits+misses) = %v", report.Cache.HitRate, want)
+	}
+}
+
+// TestRunPolicySweep: the sweep covers every registered policy with
+// the identical mix, every row answers cleanly, and all answer digests
+// agree — the serving-side analogue of the paper's policy-comparison
+// figures.
+func TestRunPolicySweep(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.requests = 24
+	cfg.policySweep = true
+	cfg.cacheSize = 4 // force evictions so every policy's Victim path runs
+	report, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := engine.CachePolicies()
+	if len(report.PolicySweep) != len(policies) {
+		t.Fatalf("sweep rows = %d, want %d (%v)", len(report.PolicySweep), len(policies), policies)
+	}
+	if report.CachePolicy != "lru" {
+		t.Fatalf("sweep base report policy = %q, want the lru pass", report.CachePolicy)
+	}
+	digest := ""
+	for i, row := range report.PolicySweep {
+		if row.Policy != policies[i] {
+			t.Fatalf("row %d policy = %q, want %q (sorted registry order)", i, row.Policy, policies[i])
+		}
+		if row.Errors != 0 || row.Canceled != 0 || row.Questions != 24 {
+			t.Fatalf("policy %s row unhealthy: %+v", row.Policy, row)
+		}
+		if row.Cache.Hits+row.Cache.Misses != 24 {
+			t.Fatalf("policy %s lookups = %d, want 24", row.Policy, row.Cache.Hits+row.Cache.Misses)
+		}
+		if row.AnswerDigest == "" {
+			t.Fatalf("policy %s digest missing", row.Policy)
+		}
+		if digest == "" {
+			digest = row.AnswerDigest
+		} else if row.AnswerDigest != digest {
+			t.Fatalf("policy %s answers diverge (digest %s vs %s)", row.Policy, row.AnswerDigest, digest)
+		}
+	}
+}
+
+// TestRunPolicySweepRejectsIncompatibleModes: the sweep is in-process
+// count-mode only.
+func TestRunPolicySweepRejectsIncompatibleModes(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.policySweep = true
+	cfg.url = "http://127.0.0.1:1"
+	if _, err := run(cfg); err == nil {
+		t.Fatal("sweep accepted -url mode")
+	}
+	cfg = smokeConfig(t)
+	cfg.policySweep = true
+	cfg.requests = 0
+	cfg.duration = time.Second
+	if _, err := run(cfg); err == nil {
+		t.Fatal("sweep accepted duration mode")
+	}
+}
+
+// TestRunUnknownCachePolicy: a bad -cache-policy is a configuration
+// error, not a silent fallback.
+func TestRunUnknownCachePolicy(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.cachePolicy = "optimal-prime"
+	if _, err := run(cfg); err == nil {
+		t.Fatal("unknown cache policy accepted")
+	}
+}
+
+// TestRunCachePolicyRejectedWithURL: against a live daemon the server
+// owns the eviction policy — a non-default -cache-policy must error
+// rather than be silently ignored.
+func TestRunCachePolicyRejectedWithURL(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.url = "http://127.0.0.1:1"
+	cfg.cachePolicy = "hawkeye"
+	if _, err := run(cfg); err == nil {
+		t.Fatal("-cache-policy silently ignored in -url mode")
 	}
 }
 

@@ -40,32 +40,48 @@ type config struct {
 
 	// Store / in-process engine knobs. In http mode the store is still
 	// built locally — it seeds the question mix.
-	dbPath    string
-	accesses  int
-	retriever string
-	model     string
-	shards    int
-	cacheSize int
+	dbPath      string
+	accesses    int
+	retriever   string
+	model       string
+	shards      int
+	cacheSize   int
+	cachePolicy string
 
-	store *db.Store // test hook: pre-built store overrides dbPath/accesses
+	// policySweep replays the same deterministic mix across every
+	// registered cache policy (in-process only) and emits one
+	// comparative policy_sweep row per policy.
+	policySweep bool
+
+	store      *db.Store            // test hook: pre-built store overrides dbPath/accesses
+	engineHook func(*engine.Engine) // test hook: observe the in-process engine
 }
 
 // Report is the BENCH_loadgen.json document (schema
-// cachemind-loadgen/v2). Every key is always present so trend tooling
-// can rely on the shape; latencies are milliseconds, throughput is
-// questions per second as observed by the closed loop. v2 adds the
+// cachemind-loadgen/v3). Every key is always present — except target,
+// error_sample and policy_sweep, which appear only in http mode, after
+// errors, and under -policy-sweep respectively — so trend tooling can
+// rely on the shape; latencies are milliseconds, throughput is
+// questions per second as observed by the closed loop. v2 added the
 // canceled count (questions aborted by -request-timeout or context
-// cancellation, excluded from errors).
+// cancellation, excluded from errors). v3 adds cache_policy, the
+// answer_digest, engine-sourced cache accounting (cache.source, with
+// hit_rate = hits/(hits+misses) over actual cache lookups), and the
+// -policy-sweep comparative table (policy_sweep) — the serving-side
+// analogue of the paper's policy-comparison figures.
 type Report struct {
-	Schema          string     `json:"schema"`
-	Mode            string     `json:"mode"` // "inprocess" or "http"
-	Target          string     `json:"target,omitempty"`
-	Concurrency     int        `json:"concurrency"`
-	Batch           int        `json:"batch"`
-	Shards          int        `json:"shards"` // 0 in http mode (server-side setting)
-	Seed            int64      `json:"seed"`
-	RepeatRatio     float64    `json:"repeat_ratio"`
-	Sessions        int        `json:"sessions"`
+	Schema      string  `json:"schema"`
+	Mode        string  `json:"mode"` // "inprocess" or "http"
+	Target      string  `json:"target,omitempty"`
+	Concurrency int     `json:"concurrency"`
+	Batch       int     `json:"batch"`
+	Shards      int     `json:"shards"` // 0 in http mode (server-side setting)
+	Seed        int64   `json:"seed"`
+	RepeatRatio float64 `json:"repeat_ratio"`
+	Sessions    int     `json:"sessions"`
+	// CachePolicy is the in-process engine's eviction policy ("" in
+	// http mode — the server owns that setting).
+	CachePolicy     string     `json:"cache_policy"`
 	Requests        int        `json:"requests"`
 	Questions       int        `json:"questions"`
 	Errors          int        `json:"errors"`
@@ -75,6 +91,26 @@ type Report struct {
 	ThroughputQPS   float64    `json:"throughput_qps"`
 	Latency         LatencyMS  `json:"latency_ms"`
 	Cache           CacheStats `json:"cache"`
+	// AnswerDigest is an FNV-64 digest over the answers in mix order —
+	// two runs of the same mix must produce equal digests no matter the
+	// cache policy (answers are pure functions of the question).
+	AnswerDigest string `json:"answer_digest"`
+	// PolicySweep is the -policy-sweep comparative table: one row per
+	// registered eviction policy over the identical request mix.
+	PolicySweep []PolicyRow `json:"policy_sweep,omitempty"`
+}
+
+// PolicyRow is one -policy-sweep result: the same deterministic mix
+// replayed under one eviction policy.
+type PolicyRow struct {
+	Policy        string     `json:"policy"`
+	Questions     int        `json:"questions"`
+	Errors        int        `json:"errors"`
+	Canceled      int        `json:"canceled"`
+	ThroughputQPS float64    `json:"throughput_qps"`
+	Latency       LatencyMS  `json:"latency_ms"`
+	Cache         CacheStats `json:"cache"`
+	AnswerDigest  string     `json:"answer_digest"`
 }
 
 // LatencyMS summarizes the per-request latency histogram in
@@ -87,19 +123,33 @@ type LatencyMS struct {
 	Max  float64 `json:"max"`
 }
 
-// CacheStats is the client-observed cache outcome: hits counts answers
-// flagged cached, misses the rest of the successfully answered
-// questions (canceled questions are in neither bucket).
+// CacheStats is the run's cache outcome. In-process runs read the
+// authoritative Engine.Stats() counters (source "engine"), so the
+// totals are actual cache lookups; http runs fall back to the
+// client-observed cached flags (source "client"). Either way hit_rate
+// is hits/(hits+misses) — the rate over lookups, not over answered
+// questions, whose denominator diverges as soon as batches coalesce or
+// bypass-cache options enter the mix.
 type CacheStats struct {
+	Source  string  `json:"source"`
 	Hits    int64   `json:"hits"`
 	Misses  int64   `json:"misses"`
 	HitRate float64 `json:"hit_rate"`
+}
+
+// hitRate is the v3 accounting fix: hits over actual lookups.
+func hitRate(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
 }
 
 // outcome is one asked question as the client observed it: answered
 // (cached or not), canceled by the request context, or failed.
 type outcome struct {
 	cached   bool
+	text     string // the answer, for the determinism digest
 	canceled bool
 	err      error
 }
@@ -125,7 +175,7 @@ func (d *inprocDriver) do(ctx context.Context, items []engine.Request) []outcome
 	for i, r := range results {
 		switch {
 		case r.Err == nil:
-			out[i] = outcome{cached: r.Response.Cached}
+			out[i] = outcome{cached: r.Response.Cached, text: r.Response.Text}
 		case engine.IsCancellation(engine.ErrorCode(r.Err)):
 			out[i] = outcome{canceled: true, err: r.Err}
 		default:
@@ -150,6 +200,7 @@ type wireErr struct {
 
 // wireAnswer is the subset of the daemon's reply the loop needs.
 type wireAnswer struct {
+	Answer string   `json:"answer"`
 	Cached bool     `json:"cached"`
 	Error  *wireErr `json:"error"`
 }
@@ -204,7 +255,7 @@ func wireOutcome(ans wireAnswer, err error) outcome {
 		}
 		return outcome{err: werr}
 	}
-	return outcome{cached: ans.Cached}
+	return outcome{cached: ans.Cached, text: ans.Answer}
 }
 
 // requestOutcome classifies a whole-request failure, treating a
@@ -261,7 +312,9 @@ func (d *httpDriver) post(ctx context.Context, path string, body, into any) erro
 	return json.Unmarshal(data, into)
 }
 
-// run executes the closed loop and assembles the report.
+// run builds the store and the deterministic question mix, then
+// executes a single closed-loop pass — or, with -policy-sweep, one
+// pass per registered cache policy over the identical mix.
 func run(cfg config) (*Report, error) {
 	if cfg.concurrency < 1 {
 		cfg.concurrency = 1
@@ -277,6 +330,15 @@ func run(cfg config) (*Report, error) {
 	}
 	if cfg.timeout <= 0 {
 		cfg.timeout = 30 * time.Second
+	}
+	if cfg.cachePolicy == "" {
+		cfg.cachePolicy = "lru"
+	}
+	// The eviction policy is an in-process engine knob: against a live
+	// daemon the server owns it (-cache-policy on cachemindd), so a
+	// non-default request here would silently measure the wrong thing.
+	if cfg.url != "" && cfg.cachePolicy != "lru" {
+		return nil, fmt.Errorf("loadgen: -cache-policy is an in-process knob; the -url daemon owns its policy (set -cache-policy on cachemindd instead)")
 	}
 
 	store := cfg.store
@@ -301,25 +363,95 @@ func run(cfg config) (*Report, error) {
 	}
 	mix := bench.SampleMix(suite, planLen, cfg.seed, cfg.repeat)
 
+	if cfg.policySweep {
+		if cfg.url != "" {
+			return nil, fmt.Errorf("loadgen: -policy-sweep drives the in-process engine (drop -url)")
+		}
+		if cfg.duration > 0 {
+			return nil, fmt.Errorf("loadgen: -policy-sweep needs the fixed-count plan (-n); -duration makes per-policy answer digests incomparable")
+		}
+		return runSweep(cfg, store, mix)
+	}
+	return runPass(cfg, store, mix)
+}
+
+// runSweep replays the identical mix once per registered cache policy
+// and assembles the comparative table. The lru pass doubles as the
+// report's top-level numbers; answer digests across policies must
+// agree (eviction decides residency, never bytes) — a mismatch is a
+// correctness failure, not a data point.
+func runSweep(cfg config, store *db.Store, mix []string) (*Report, error) {
+	var base *Report
+	var refDigest, refPolicy string
+	policies := engine.CachePolicies()
+	rows := make([]PolicyRow, 0, len(policies))
+	for _, p := range policies {
+		pcfg := cfg
+		pcfg.cachePolicy = p
+		rep, err := runPass(pcfg, store, mix)
+		if err != nil {
+			return nil, fmt.Errorf("policy %s: %w", p, err)
+		}
+		if p == "lru" {
+			base = rep
+		}
+		rows = append(rows, PolicyRow{
+			Policy:        p,
+			Questions:     rep.Questions,
+			Errors:        rep.Errors,
+			Canceled:      rep.Canceled,
+			ThroughputQPS: rep.ThroughputQPS,
+			Latency:       rep.Latency,
+			Cache:         rep.Cache,
+			AnswerDigest:  rep.AnswerDigest,
+		})
+		// Canceled questions leave holes in the digest, so only clean
+		// passes take part in the byte-identity check.
+		if rep.Errors == 0 && rep.Canceled == 0 {
+			if refDigest == "" {
+				refDigest, refPolicy = rep.AnswerDigest, p
+			} else if rep.AnswerDigest != refDigest {
+				return nil, fmt.Errorf("policy %s answers diverge from %s (digest %s vs %s) — eviction policies must never change bytes",
+					p, refPolicy, rep.AnswerDigest, refDigest)
+			}
+		}
+	}
+	if base == nil {
+		base = &Report{}
+	}
+	base.PolicySweep = rows
+	return base, nil
+}
+
+// runPass executes one closed-loop pass and assembles its report.
+func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
 	mode := "inprocess"
 	shards := 0
+	reportPolicy := ""
+	var eng *engine.Engine
 	var drv driver
 	if cfg.url != "" {
 		mode = "http"
 		drv = &httpDriver{base: cfg.url, client: &http.Client{Timeout: cfg.timeout}}
 	} else {
-		eng, err := engine.New(engine.Config{
-			Store:     store,
-			Retriever: cfg.retriever,
-			Model:     cfg.model,
-			Shards:    cfg.shards,
-			CacheSize: cfg.cacheSize,
+		var err error
+		eng, err = engine.New(engine.Config{
+			Store:       store,
+			Retriever:   cfg.retriever,
+			Model:       cfg.model,
+			Shards:      cfg.shards,
+			CacheSize:   cfg.cacheSize,
+			CachePolicy: cfg.cachePolicy,
 		})
 		if err != nil {
 			return nil, err
 		}
 		shards = eng.Shards()
+		reportPolicy = eng.CachePolicyName()
 		drv = &inprocDriver{eng: eng}
+		if cfg.engineHook != nil {
+			cfg.engineHook(eng)
+		}
 	}
 
 	hist := histogram.New()
@@ -333,6 +465,11 @@ func run(cfg config) (*Report, error) {
 		errMu     sync.Mutex
 		errSample string
 	)
+	// Per-mix-slot answer digests: answers are pure functions of the
+	// question, so the slot value is write-once (concurrent writers
+	// store identical hashes) and the fold below is order-independent
+	// of scheduling.
+	digests := make([]atomic.Uint64, len(mix))
 	start := time.Now()
 	var deadline time.Time
 	if cfg.duration > 0 {
@@ -379,7 +516,7 @@ func run(cfg config) (*Report, error) {
 				hist.Observe(time.Since(t0))
 				cancel()
 				reqs.Add(1)
-				for _, o := range outs {
+				for i, o := range outs {
 					questions.Add(1)
 					switch {
 					case o.canceled:
@@ -391,8 +528,11 @@ func run(cfg config) (*Report, error) {
 							errSample = o.err.Error()
 						}
 						errMu.Unlock()
-					case o.cached:
-						hits.Add(1)
+					default:
+						if o.cached {
+							hits.Add(1)
+						}
+						digests[(base+int64(i))%int64(len(mix))].Store(fnv64(o.text))
 					}
 				}
 			}
@@ -405,17 +545,36 @@ func run(cfg config) (*Report, error) {
 	asked := questions.Load()
 	errors := errs.Load()
 	answered := asked - errors - canceled.Load()
-	misses := answered - hits.Load()
-	hitRate := 0.0
-	if answered > 0 {
-		hitRate = float64(hits.Load()) / float64(answered)
-	}
 	throughput := 0.0
 	if elapsed > 0 {
 		throughput = float64(asked) / elapsed.Seconds()
 	}
+
+	// Cache accounting: in-process runs read the authoritative engine
+	// counters — hits+misses is the number of answered cache-routed
+	// asks, so the v3 hit rate is over actual lookups rather than over
+	// every answered question (which diverges once batch coalescing or
+	// bypass options enter the mix). Http runs only see the per-answer
+	// cached flags, so misses fall back to answered-but-uncached.
+	var cache CacheStats
+	if eng != nil {
+		st := eng.Stats()
+		cache = CacheStats{
+			Source: "engine",
+			Hits:   int64(st.CacheHits),
+			Misses: int64(st.CacheMisses),
+		}
+	} else {
+		cache = CacheStats{
+			Source: "client",
+			Hits:   hits.Load(),
+			Misses: answered - hits.Load(),
+		}
+	}
+	cache.HitRate = hitRate(cache.Hits, cache.Misses)
+
 	return &Report{
-		Schema:          "cachemind-loadgen/v2",
+		Schema:          "cachemind-loadgen/v3",
 		Mode:            mode,
 		Target:          cfg.url,
 		Concurrency:     cfg.concurrency,
@@ -424,6 +583,7 @@ func run(cfg config) (*Report, error) {
 		Seed:            cfg.seed,
 		RepeatRatio:     cfg.repeat,
 		Sessions:        cfg.sessions,
+		CachePolicy:     reportPolicy,
 		Requests:        int(reqs.Load()),
 		Questions:       int(asked),
 		Errors:          int(errors),
@@ -438,8 +598,34 @@ func run(cfg config) (*Report, error) {
 			Mean: ms(snap.Mean()),
 			Max:  ms(snap.Max),
 		},
-		Cache: CacheStats{Hits: hits.Load(), Misses: misses, HitRate: hitRate},
+		Cache:        cache,
+		AnswerDigest: foldDigest(digests),
 	}, nil
+}
+
+// fnv64 hashes s with FNV-1a.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// foldDigest folds the per-slot answer hashes, in mix order, into one
+// hex digest. Slots never asked (or only canceled) fold in as zero, so
+// two clean runs of the same plan always agree.
+func foldDigest(digests []atomic.Uint64) string {
+	h := uint64(14695981039346656037)
+	for i := range digests {
+		v := digests[i].Load()
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return fmt.Sprintf("%016x", h)
 }
 
 // ms renders a duration as float milliseconds.

@@ -3,88 +3,168 @@ package engine
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
-// answerCache is a bounded LRU over finished answers. Keys are the full
-// (retriever, model, question) triple rendered by cacheKey, so an engine
-// swap of retriever or backend can never serve a stale entry even if a
-// cache were shared. All methods are safe for concurrent use.
+// evictionPolicy orders one answer-cache shard's resident keys and
+// picks eviction victims — the seam the paper's replacement-policy
+// suite plugs into (internal/policy.ForCache adapts any registered
+// simulator policy to this method set; the method sets are identical,
+// so a policy.CachePolicy satisfies evictionPolicy structurally).
+//
+// Contract — every call happens under the owning answerCache's mutex,
+// so implementations need no locking of their own:
+//
+//   - OnHit(key) observes a lookup hit on a resident key (or an
+//     overwrite of an existing entry) and refreshes its
+//     recency/priority state.
+//   - Victim(incoming) is called only when the cache is full and
+//     incoming is absent: the policy returns the resident key to
+//     evict, or bypass=true to request that incoming not be cached at
+//     all. On bypass=false the cache removes the victim and then calls
+//     OnInsert(incoming); the policy must stop tracking the victim
+//     when Victim returns.
+//   - OnInsert(key) observes the insertion of a new key, after any
+//     eviction.
+//
+// Eviction policies only ever decide which entries stay resident —
+// answers are pure functions of the cache key (see the package
+// comment), so no policy choice can change a single answer byte, only
+// hit/miss totals.
+type evictionPolicy interface {
+	Name() string
+	OnHit(key string)
+	OnInsert(key string)
+	Victim(incoming string) (victim string, bypass bool)
+}
+
+// lruList is the native LRU evictionPolicy: a recency list over the
+// resident keys, exactly the pre-bridge answer-cache semantics. It is
+// the Config.CachePolicy default, kept native (rather than routed
+// through the simulator adapter) so the default ask path carries no
+// extra per-access state.
+type lruList struct {
+	ll *list.List // front = most recently used
+	at map[string]*list.Element
+}
+
+func newLRUList() *lruList {
+	return &lruList{ll: list.New(), at: map[string]*list.Element{}}
+}
+
+func (*lruList) Name() string { return "lru" }
+
+func (p *lruList) OnHit(key string) {
+	if el, ok := p.at[key]; ok {
+		p.ll.MoveToFront(el)
+	}
+}
+
+func (p *lruList) OnInsert(key string) {
+	p.at[key] = p.ll.PushFront(key)
+}
+
+func (p *lruList) Victim(string) (string, bool) {
+	oldest := p.ll.Back()
+	if oldest == nil {
+		// Unreachable under the contract (Victim runs only on a full
+		// cache); bypassing is the safe refusal.
+		return "", true
+	}
+	key := p.ll.Remove(oldest).(string)
+	delete(p.at, key)
+	return key, false
+}
+
+// answerCache is one shard of the bounded answer cache: a capacity-
+// bounded key→Answer map whose residency is ordered by an
+// evictionPolicy. Keys are the full (retriever, model, question)
+// triple rendered by cacheKey, so an engine swap of retriever or
+// backend can never serve a stale entry even if a cache were shared.
+// All methods are safe for concurrent use.
+//
+// The hit/miss counters are deliberately not advanced by touch/peek:
+// cachedAsk records exactly one hit or miss per answered ask based on
+// how it was ultimately served (direct hit, coalesced single-flight
+// follower, or a pipeline run), so the totals track answered
+// cache-routed asks — not raw map probes, which would double-count
+// single-flight retries.
 type answerCache struct {
 	mu      sync.Mutex
 	cap     int
-	ll      *list.List // front = most recently used
-	entries map[string]*list.Element
-	hits    uint64
-	misses  uint64
+	pol     evictionPolicy
+	entries map[string]Answer
+
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	bypasses atomic.Uint64
 }
 
-type cacheEntry struct {
-	key string
-	ans Answer
-}
-
-// newAnswerCache creates a cache bounded to capacity entries
-// (minimum 1).
-func newAnswerCache(capacity int) *answerCache {
+// newAnswerCache creates a cache bounded to capacity entries (minimum
+// 1) whose eviction order is decided by pol.
+func newAnswerCache(capacity int, pol evictionPolicy) *answerCache {
 	if capacity < 1 {
 		capacity = 1
 	}
 	return &answerCache{
 		cap:     capacity,
-		ll:      list.New(),
-		entries: map[string]*list.Element{},
+		pol:     pol,
+		entries: map[string]Answer{},
 	}
 }
 
-// get returns the cached answer for key and bumps it to most recently
-// used; every call counts as a hit or a miss.
-func (c *answerCache) get(key string) (Answer, bool) {
+// touch returns the cached answer for key and refreshes its
+// recency/priority state via the policy. It does not count hits or
+// misses — see the answerCache comment.
+func (c *answerCache) touch(key string) (Answer, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+	ans, ok := c.entries[key]
 	if !ok {
-		c.misses++
 		return Answer{}, false
 	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).ans, true
+	c.pol.OnHit(key)
+	return ans, true
 }
 
-// peek returns the cached answer without touching recency or the
-// hit/miss counters — used when a single-flight retry re-checks the
-// cache so one Ask never counts more than one lookup.
+// peek returns the cached answer without touching recency — used when
+// a single-flight retry re-checks the cache after a leader abort, so
+// one Ask never perturbs the policy state more than once.
 func (c *answerCache) peek(key string) (Answer, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		return Answer{}, false
-	}
-	return el.Value.(*cacheEntry).ans, true
+	ans, ok := c.entries[key]
+	return ans, ok
 }
 
-// put stores the answer under key, evicting the least recently used
-// entry when over capacity.
+// put stores the answer under key. On a full cache the policy picks
+// the victim; a policy may instead decline the insertion entirely
+// (bypass), leaving the resident set untouched — sound because answers
+// are recomputable pure functions of the key.
 func (c *answerCache) put(key string, ans Answer) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).ans = ans
-		c.ll.MoveToFront(el)
+	if _, ok := c.entries[key]; ok {
+		c.entries[key] = ans
+		c.pol.OnHit(key) // refresh, exactly as the old MoveToFront did
 		return
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, ans: ans})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	if len(c.entries) >= c.cap {
+		victim, bypass := c.pol.Victim(key)
+		if bypass {
+			c.bypasses.Add(1)
+			return
+		}
+		delete(c.entries, victim)
 	}
+	c.entries[key] = ans
+	c.pol.OnInsert(key)
 }
 
-// counters returns (hits, misses, live entries).
-func (c *answerCache) counters() (hits, misses uint64, entries int) {
+// counters returns (hits, misses, bypasses, live entries).
+func (c *answerCache) counters() (hits, misses, bypasses uint64, entries int) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.ll.Len()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return c.hits.Load(), c.misses.Load(), c.bypasses.Load(), n
 }

@@ -2,52 +2,104 @@ package engine
 
 import "testing"
 
+// newLRUCache is the test shorthand for a cache under the default
+// native LRU policy.
+func newLRUCache(capacity int) *answerCache {
+	return newAnswerCache(capacity, newLRUList())
+}
+
 func TestAnswerCacheLRU(t *testing.T) {
-	c := newAnswerCache(2)
+	c := newLRUCache(2)
 	c.put("a", Answer{Text: "A"})
 	c.put("b", Answer{Text: "B"})
 
-	if ans, ok := c.get("a"); !ok || ans.Text != "A" {
-		t.Fatalf("get a = %+v, %v", ans, ok)
+	if ans, ok := c.touch("a"); !ok || ans.Text != "A" {
+		t.Fatalf("touch a = %+v, %v", ans, ok)
 	}
 	// "b" is now least recently used; inserting "c" evicts it.
 	c.put("c", Answer{Text: "C"})
-	if _, ok := c.get("b"); ok {
+	if _, ok := c.touch("b"); ok {
 		t.Fatal("b survived eviction at capacity 2")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, ok := c.touch("a"); !ok {
 		t.Fatal("a (recently used) was evicted")
 	}
-	if _, ok := c.get("c"); !ok {
+	if _, ok := c.touch("c"); !ok {
 		t.Fatal("c missing after insert")
 	}
-
-	hits, misses, entries := c.counters()
-	if hits != 3 || misses != 1 || entries != 2 {
-		t.Fatalf("counters = %d hits / %d misses / %d entries, want 3/1/2", hits, misses, entries)
+	if _, _, _, entries := c.counters(); entries != 2 {
+		t.Fatalf("entries = %d, want 2", entries)
 	}
 }
 
 func TestAnswerCacheUpdateExisting(t *testing.T) {
-	c := newAnswerCache(2)
+	c := newLRUCache(2)
 	c.put("a", Answer{Text: "old"})
 	c.put("a", Answer{Text: "new"})
-	if ans, ok := c.get("a"); !ok || ans.Text != "new" {
-		t.Fatalf("get a = %+v, %v; want updated entry", ans, ok)
+	if ans, ok := c.touch("a"); !ok || ans.Text != "new" {
+		t.Fatalf("touch a = %+v, %v; want updated entry", ans, ok)
 	}
-	if _, _, entries := c.counters(); entries != 1 {
+	if _, _, _, entries := c.counters(); entries != 1 {
 		t.Fatalf("entries = %d, want 1 (no duplicate on update)", entries)
 	}
 }
 
 func TestAnswerCacheMinimumCapacity(t *testing.T) {
-	c := newAnswerCache(0) // clamps to 1
+	c := newLRUCache(0) // clamps to 1
 	c.put("a", Answer{Text: "A"})
 	c.put("b", Answer{Text: "B"})
-	if _, _, entries := c.counters(); entries != 1 {
+	if _, _, _, entries := c.counters(); entries != 1 {
 		t.Fatalf("entries = %d, want 1", entries)
 	}
-	if _, ok := c.get("b"); !ok {
+	if _, ok := c.touch("b"); !ok {
 		t.Fatal("latest entry missing at capacity 1")
 	}
 }
+
+// TestAnswerCachePeekLeavesRecencyAlone: peek must not perturb the
+// policy's eviction order — the property the single-flight retry loop
+// relies on.
+func TestAnswerCachePeekLeavesRecencyAlone(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", Answer{Text: "A"})
+	c.put("b", Answer{Text: "B"})
+	if ans, ok := c.peek("a"); !ok || ans.Text != "A" {
+		t.Fatalf("peek a = %+v, %v", ans, ok)
+	}
+	// "a" is still least recently used (peek did not bump it), so "c"
+	// evicts it.
+	c.put("c", Answer{Text: "C"})
+	if _, ok := c.peek("a"); ok {
+		t.Fatal("peek bumped recency: a survived eviction")
+	}
+	if _, ok := c.peek("b"); !ok {
+		t.Fatal("b evicted although a was older")
+	}
+}
+
+// TestAnswerCacheBypassingPolicy: a policy that declines insertion
+// leaves the resident set untouched and counts a bypass.
+func TestAnswerCacheBypassingPolicy(t *testing.T) {
+	c := newAnswerCache(1, &bypassAllWrap{inner: newLRUList()})
+	c.put("a", Answer{Text: "A"})
+	c.put("b", Answer{Text: "B"}) // full: policy bypasses
+	if _, ok := c.touch("a"); !ok {
+		t.Fatal("resident entry lost on a bypassed insert")
+	}
+	if _, ok := c.touch("b"); ok {
+		t.Fatal("bypassed entry was inserted anyway")
+	}
+	_, _, bypasses, entries := c.counters()
+	if bypasses != 1 || entries != 1 {
+		t.Fatalf("bypasses/entries = %d/%d, want 1/1", bypasses, entries)
+	}
+}
+
+// bypassAllWrap delegates bookkeeping to a real policy but refuses
+// every eviction.
+type bypassAllWrap struct{ inner evictionPolicy }
+
+func (b *bypassAllWrap) Name() string                 { return "bypass-all" }
+func (b *bypassAllWrap) OnHit(key string)             { b.inner.OnHit(key) }
+func (b *bypassAllWrap) OnInsert(key string)          { b.inner.OnInsert(key) }
+func (b *bypassAllWrap) Victim(string) (string, bool) { return "", true }

@@ -46,17 +46,38 @@
 // a cached answer is byte-identical to the one a fresh retrieval would
 // produce.
 //
+// # Cache eviction policies
+//
+// The answer cache's residency is ordered by a pluggable
+// evictionPolicy (OnHit/OnInsert/Victim — see cache.go for the
+// contract). Config.CachePolicy selects it by name: "lru" (the
+// default, a native recency list with the engine's historical
+// semantics) or any of the paper's replacement policies adapted by
+// internal/policy.ForCache — RRIP variants, SHiP, Hawkeye, Mockingjay,
+// the online MLP, and the rest of CachePolicies(). Policies only
+// decide which entries stay resident; answers are pure functions of
+// the cache key, so switching policy can change hit/miss totals and
+// nothing else.
+//
+// CacheHits/CacheMisses count answered cache-routed asks, not raw map
+// probes: a hit is an ask served without running the pipeline (a
+// direct cache hit, a coalesced single-flight follower, or a
+// post-abort peek), a miss is an ask that ran it. Canceled or failed
+// asks and BypassCache asks count neither.
+//
 // # Sharding
 //
-// The engine's hot mutable state — the session table, the answer LRU,
-// and the single-flight table — is split into Config.Shards hash-keyed
-// shards (default one per CPU), each behind its own mutex, so
-// concurrent asks only contend when they touch the same shard. A cache
-// key or session ID always hashes to the same shard, which keeps
+// The engine's hot mutable state — the session table, the answer
+// cache, and the single-flight table — is split into Config.Shards
+// hash-keyed shards (default one per CPU), each behind its own mutex,
+// so concurrent asks only contend when they touch the same shard. A
+// cache key or session ID always hashes to the same shard, which keeps
 // answers byte-identical and hit/miss totals for a fixed ask sequence
-// independent of the shard count; LRU eviction and compaction run per
+// independent of the shard count; eviction and compaction run per
 // shard over that shard's slice of the global MaxSessions/CacheSize
-// budgets. See shard.go for the full design note.
+// budgets (a budget smaller than the shard count clamps that table's
+// effective shard count, so the global bound holds exactly). See
+// shard.go for the full design note.
 package engine
 
 import (
@@ -74,6 +95,7 @@ import (
 	"cachemind/internal/memory"
 	"cachemind/internal/nlu"
 	"cachemind/internal/parallel"
+	"cachemind/internal/policy"
 	"cachemind/internal/retriever"
 )
 
@@ -117,17 +139,25 @@ type Config struct {
 	// rebuilt from the survivors (older turns fall out of recall). 0
 	// selects DefaultMaxSessionTurns, negative is unlimited.
 	MaxSessionTurns int
-	// CacheSize bounds the answer LRU: 0 selects DefaultCacheSize,
+	// CacheSize bounds the answer cache: 0 selects DefaultCacheSize,
 	// negative disables caching entirely.
 	CacheSize int
+	// CachePolicy names the answer-cache eviction policy: "" or "lru"
+	// (the default recency list, byte-identical to the pre-policy
+	// engine), or any name in CachePolicies() — the paper's replacement
+	// suite ("rrip", "ship", "hawkeye", "mockingjay", "mlp", ...)
+	// adapted to the key-addressed cache by internal/policy.ForCache.
+	// Policies change which entries stay resident (hit/miss totals),
+	// never answer bytes.
+	CachePolicy string
 	// Shards is how many ways the session table, answer cache and
 	// single-flight table are each split (one mutex per shard). Values
 	// < 1 select DefaultShards(), one shard per CPU. Shards: 1
 	// reproduces the pre-sharding global-lock semantics exactly,
-	// including global LRU order. The MaxSessions and CacheSize budgets
-	// are divided across shards (each shard keeps at least one entry,
-	// so a budget smaller than the shard count rounds up to one per
-	// shard).
+	// including global eviction order. The MaxSessions and CacheSize
+	// budgets are divided across shards; a budget smaller than the
+	// shard count clamps that table's effective shard count (one entry
+	// per clamped shard), so the configured global bound is exact.
 	Shards int
 	// CustomRetriever, when non-nil, overrides Retriever with a caller
 	// -supplied implementation (tests, future multi-backend fan-out).
@@ -190,16 +220,22 @@ type Engine struct {
 	memoryTurns int
 	maxTurns    int // <= 0: unlimited
 	nshards     int
+	cachePolicy string
 
-	// Hot mutable state, hash-sharded nshards ways (see shard.go):
-	// sessionShards is keyed by session ID; caches and flights are
-	// keyed by the cache key, so a given key's cache lookups and
-	// single-flight coalescing always land on the same shard. Each
-	// flight shard coalesces concurrent cache misses for one key slice,
-	// so N simultaneous first-asks run one retrieval, not N.
+	// Hot mutable state, hash-sharded (see shard.go): sessionShards is
+	// keyed by session ID; caches and flights are keyed by the cache
+	// key, so a given key's cache lookups and single-flight coalescing
+	// always land on the same shard. Each flight shard coalesces
+	// concurrent cache misses for one key slice, so N simultaneous
+	// first-asks run one retrieval, not N. The session and cache tables
+	// may run with fewer shards than nshards when their entry budgets
+	// are smaller than the configured shard count (shardCount);
+	// ncacheShards is the cache count the ask path hashes with. The
+	// flight table has no budget and always runs at nshards.
 	sessionShards []*sessionShard
 	caches        []*answerCache // nil when caching is disabled
 	flights       []*flightShard
+	ncacheShards  int
 
 	questions       atomic.Uint64
 	canceled        atomic.Uint64
@@ -254,25 +290,44 @@ func New(cfg Config) (*Engine, error) {
 	if nshards < 1 {
 		nshards = DefaultShards()
 	}
+	policyName := cfg.CachePolicy
+	if policyName == "" {
+		policyName = "lru"
+	}
 
-	sessionShards := make([]*sessionShard, nshards)
-	for i, budget := range shardBudget(maxSessions, nshards) {
+	nsess := shardCount(maxSessions, nshards)
+	sessionShards := make([]*sessionShard, nsess)
+	for i, budget := range shardBudget(maxSessions, nsess) {
 		sessionShards[i] = newSessionShard(budget)
 	}
-	flights := make([]*flightShard, nshards)
-	for i := range flights {
-		flights[i] = newFlightShard()
-	}
+
+	ncache := nshards
 	var caches []*answerCache
 	if cfg.CacheSize >= 0 {
 		size := cfg.CacheSize
 		if size == 0 {
 			size = DefaultCacheSize
 		}
-		caches = make([]*answerCache, nshards)
-		for i, budget := range shardBudget(size, nshards) {
-			caches[i] = newAnswerCache(budget)
+		ncache = shardCount(size, nshards)
+		caches = make([]*answerCache, ncache)
+		for i, budget := range shardBudget(size, ncache) {
+			pol, err := newEvictionPolicy(policyName, budget, int64(i))
+			if err != nil {
+				return nil, err
+			}
+			caches[i] = newAnswerCache(budget, pol)
 		}
+	} else if _, err := newEvictionPolicy(policyName, 1, 0); err != nil {
+		// Caching disabled: the policy never runs, but an unknown name
+		// is still a configuration error worth failing fast on.
+		return nil, err
+	}
+	// The flight table has no entry budget, so it always runs at the
+	// full shard count — a tiny CacheSize must not serialize unrelated
+	// cold misses onto one flight mutex.
+	flights := make([]*flightShard, nshards)
+	for i := range flights {
+		flights[i] = newFlightShard()
 	}
 	return &Engine{
 		store:         cfg.Store,
@@ -282,11 +337,38 @@ func New(cfg Config) (*Engine, error) {
 		memoryTurns:   memoryTurns,
 		maxTurns:      maxTurns,
 		nshards:       nshards,
+		cachePolicy:   policyName,
 		sessionShards: sessionShards,
 		caches:        caches,
 		flights:       flights,
+		ncacheShards:  ncache,
 	}, nil
 }
+
+// newEvictionPolicy builds the named eviction policy for one cache
+// shard: the native recency list for "lru", the internal/policy
+// adapter for everything else. The seed (the shard index) pins any
+// stochastic policy choice, so a fixed configuration replays fixed
+// eviction decisions.
+func newEvictionPolicy(name string, capacity int, seed int64) (evictionPolicy, error) {
+	if name == "lru" {
+		return newLRUList(), nil
+	}
+	pol, err := policy.ForCache(name, capacity, seed)
+	if err != nil {
+		return nil, Errf(CodeInvalidRequest, "cache policy: %v", err)
+	}
+	return pol, nil
+}
+
+// CachePolicies lists the canonical names Config.CachePolicy accepts,
+// sorted — the native "lru" plus the paper's policy suite adapted by
+// internal/policy.ForCache (offline-only policies like Belady and
+// PARROT are excluded; they need a future-access oracle or a training
+// trace a serving system does not have). Aliases ("rrip" for "srrip")
+// are accepted by Config.CachePolicy but not listed, so iterating this
+// registry never runs one policy twice.
+func CachePolicies() []string { return policy.CacheNames() }
 
 // inflightCall is one in-progress uncached answer; followers wait on
 // done and share ans, or see err when the leader's context aborted the
@@ -329,7 +411,7 @@ func (e *Engine) Ask(ctx context.Context, req Request) (Response, error) {
 	e.questions.Add(1)
 
 	key := cacheKey(e.retr.Name(), e.profile.ID, question)
-	shard := shardIndex(key, e.nshards)
+	shard := shardIndex(key, e.ncacheShards)
 
 	var (
 		ans    Answer
@@ -363,13 +445,24 @@ func (e *Engine) Ask(ctx context.Context, req Request) (Response, error) {
 // retry and elect a new leader instead of inheriting the cancellation,
 // which keeps coalescing consistent without ever publishing an aborted
 // answer.
+//
+// Hit/miss accounting happens here, exactly once per answered ask: a
+// hit is an ask served without running the pipeline (direct cache hit,
+// coalesced follower, or a post-abort peek), a miss is an ask whose
+// pipeline ran to completion. Canceled and failed asks count neither —
+// they were never answered — so CacheHits+CacheMisses always equals
+// the number of answered cache-routed asks, whatever the interleaving
+// of leaders, followers and aborts.
 func (e *Engine) cachedAsk(ctx context.Context, shard int, key, question string) (Answer, bool, error) {
-	// The key's hash picks both the cache and the flight shard, so
-	// every ask of one question contends on exactly one lock pair no
-	// matter how many shards exist.
-	cache, flight := e.caches[shard], e.flights[shard]
+	// The key's hash picks the cache shard and, independently, the
+	// flight shard (the two tables may run at different shard counts —
+	// the cache's is clamped by its entry budget, the flight table's
+	// never is), so every ask of one question still contends on exactly
+	// one lock pair no matter how many shards exist.
+	cache, flight := e.caches[shard], e.flights[shardIndex(key, len(e.flights))]
 
-	if ans, ok := cache.get(key); ok {
+	if ans, ok := cache.touch(key); ok {
+		cache.hits.Add(1)
 		return ans, true, nil
 	}
 	for {
@@ -385,7 +478,10 @@ func (e *Engine) cachedAsk(ctx context.Context, shard int, key, question string)
 				return Answer{}, false, ctxError(ctx)
 			}
 			if c.err == nil {
-				// Served without invoking the retriever.
+				// Served without invoking the retriever: a coalesced
+				// follower is a hit — it was answered from shared work,
+				// not a pipeline run of its own.
+				cache.hits.Add(1)
 				return c.ans, true, nil
 			}
 			// The leader aborted (its context canceled). Retry with a
@@ -395,6 +491,7 @@ func (e *Engine) cachedAsk(ctx context.Context, shard int, key, question string)
 				return Answer{}, false, err
 			}
 			if ans, ok := cache.peek(key); ok {
+				cache.hits.Add(1)
 				return ans, true, nil
 			}
 			continue
@@ -409,6 +506,7 @@ func (e *Engine) cachedAsk(ctx context.Context, shard int, key, question string)
 			// arrivals always find one or the other. An aborted
 			// pipeline is never published.
 			cache.put(key, ans)
+			cache.misses.Add(1)
 		}
 		c.ans, c.err = ans, err
 		flight.mu.Lock()
@@ -563,7 +661,7 @@ func (e *Engine) record(sessionID, question, answer string) {
 // session budget is exceeded, its least recently asked session is
 // evicted wholesale.
 func (e *Engine) session(id string) *session {
-	sh := e.sessionShards[shardIndex(id, e.nshards)]
+	sh := e.sessionShards[shardIndex(id, len(e.sessionShards))]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if el, ok := sh.sessions[id]; ok {
@@ -584,7 +682,7 @@ func (e *Engine) session(id string) *session {
 // lookup returns the live session without touching recency (reads do
 // not keep a session alive).
 func (e *Engine) lookup(id string) (*session, bool) {
-	sh := e.sessionShards[shardIndex(id, e.nshards)]
+	sh := e.sessionShards[shardIndex(id, len(e.sessionShards))]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	el, ok := sh.sessions[id]
@@ -660,18 +758,41 @@ type Stats struct {
 	// Canceled counts asks aborted by their context (canceled or
 	// deadline-exceeded), whether at admission or mid-pipeline.
 	Canceled uint64
-	// CacheHits/CacheMisses count answer-cache lookups (both zero when
-	// caching is disabled).
+	// CachePolicy names the active answer-cache eviction policy.
+	CachePolicy string
+	// CacheHits/CacheMisses count answered cache-routed asks (both zero
+	// when caching is disabled): a hit was served without running the
+	// pipeline (direct cache hit, coalesced single-flight follower, or
+	// post-abort peek), a miss ran it. Canceled/failed asks and
+	// BypassCache asks count neither, so Hits+Misses equals the number
+	// of answered asks that went through the cache.
 	CacheHits   uint64
 	CacheMisses uint64
+	// CacheBypasses counts insertions the eviction policy declined
+	// (a Victim bypass decision; the answer was still served).
+	CacheBypasses uint64
 	// CacheEntries is the number of live cached answers.
 	CacheEntries int
+	// CacheShards is the per-shard cache breakdown, indexed by the
+	// shard reported in Response.Shard (nil when caching is disabled).
+	CacheShards []CacheShardStats
 	// Sessions is the number of live sessions.
 	Sessions int
 	// SessionsEvicted counts sessions dropped by the MaxSessions bound.
 	SessionsEvicted uint64
-	// Shards is the engine's shard count.
+	// Shards is the engine's configured shard count. Individual tables
+	// may run with fewer shards when their entry budget is smaller than
+	// this (see Config.Shards); len(CacheShards) is the cache's
+	// effective count.
 	Shards int
+}
+
+// CacheShardStats is one answer-cache shard's counters.
+type CacheShardStats struct {
+	Hits     uint64
+	Misses   uint64
+	Bypasses uint64
+	Entries  int
 }
 
 // Stats returns the current counters, summed across shards. Each shard
@@ -681,13 +802,19 @@ func (e *Engine) Stats() Stats {
 	st := Stats{
 		Questions:       e.questions.Load(),
 		Canceled:        e.canceled.Load(),
+		CachePolicy:     e.cachePolicy,
 		SessionsEvicted: e.sessionsEvicted.Load(),
 		Shards:          e.nshards,
 	}
-	for _, c := range e.caches {
-		hits, misses, entries := c.counters()
+	if e.caches != nil {
+		st.CacheShards = make([]CacheShardStats, len(e.caches))
+	}
+	for i, c := range e.caches {
+		hits, misses, bypasses, entries := c.counters()
+		st.CacheShards[i] = CacheShardStats{Hits: hits, Misses: misses, Bypasses: bypasses, Entries: entries}
 		st.CacheHits += hits
 		st.CacheMisses += misses
+		st.CacheBypasses += bypasses
 		st.CacheEntries += entries
 	}
 	for _, sh := range e.sessionShards {
@@ -697,6 +824,9 @@ func (e *Engine) Stats() Stats {
 	}
 	return st
 }
+
+// CachePolicyName returns the active answer-cache eviction policy.
+func (e *Engine) CachePolicyName() string { return e.cachePolicy }
 
 // Shards returns the engine's shard count.
 func (e *Engine) Shards() int { return e.nshards }

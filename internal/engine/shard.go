@@ -22,12 +22,15 @@ import (
 //   - a session ID always hashes to the same session shard, so one
 //     session's turns stay totally ordered under that shard's lock
 //     exactly as before;
-//   - LRU eviction and turn compaction run per shard over that shard's
-//     slice of the global budget (shardBudget), so the semantics are
-//     the PR 2 semantics applied shard-locally. The one observable
-//     difference: recency competition is per shard, so which session
-//     (or cached answer) is evicted under pressure depends on the
-//     hash layout. Tests that pin exact global LRU order set Shards: 1.
+//   - Eviction and turn compaction run per shard over that shard's
+//     slice of the global budget (shardCount + shardBudget), so the
+//     semantics are the PR 2 semantics applied shard-locally. A budget
+//     smaller than the configured shard count clamps that table's
+//     effective shard count instead of rounding budgets up, so the
+//     documented global bound is exact. The one observable difference:
+//     recency competition is per shard, so which session (or cached
+//     answer) is evicted under pressure depends on the hash layout.
+//     Tests that pin exact global eviction order set Shards: 1.
 //
 // Answers themselves never touch shard state (they are pure functions
 // of retriever, model, and question — see the package comment), so
@@ -53,12 +56,26 @@ func shardIndex(key string, n int) int {
 	return int(h % uint32(n))
 }
 
-// shardBudget divides a global entry budget across n shards: the
-// remainder is spread over the leading shards and every shard keeps at
-// least one entry, so the budgets sum to max(total, n) — a global
-// budget smaller than the shard count rounds up to one entry per
-// shard. A non-positive total (unlimited / disabled) is passed through
-// to every shard unchanged.
+// shardCount clamps the shard count for a table with a positive entry
+// budget of total: a budget smaller than the requested shard count
+// would leave shards with zero entries (or, as the pre-fix rounding
+// did, silently overshoot the global bound by giving every shard one),
+// so the table runs with total shards instead — each holding exactly
+// one entry. Non-positive totals (unlimited / disabled) keep the
+// requested count.
+func shardCount(total, n int) int {
+	if total > 0 && n > total {
+		return total
+	}
+	return n
+}
+
+// shardBudget divides a global entry budget across n shards, spreading
+// the remainder over the leading shards. Callers clamp n with
+// shardCount first, so for a positive total every shard receives at
+// least one entry and the budgets sum exactly to total — the global
+// bound is never overshot. A non-positive total (unlimited / disabled)
+// is passed through to every shard unchanged.
 func shardBudget(total, n int) []int {
 	out := make([]int, n)
 	if total <= 0 {
@@ -69,14 +86,10 @@ func shardBudget(total, n int) []int {
 	}
 	base, rem := total/n, total%n
 	for i := range out {
-		b := base
+		out[i] = base
 		if i < rem {
-			b++
+			out[i]++
 		}
-		if b < 1 {
-			b = 1
-		}
-		out[i] = b
 	}
 	return out
 }

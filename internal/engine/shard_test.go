@@ -2,24 +2,56 @@ package engine
 
 import "testing"
 
+// TestShardCount: a positive budget smaller than the requested shard
+// count clamps the count to the budget (one entry per shard);
+// everything else keeps the requested count.
+func TestShardCount(t *testing.T) {
+	cases := []struct {
+		total, n, want int
+	}{
+		// total < n: clamp to total.
+		{total: 2, n: 4, want: 2},
+		{total: 1, n: 8, want: 1},
+		// total == n: untouched.
+		{total: 4, n: 4, want: 4},
+		// total > n: untouched.
+		{total: 10, n: 4, want: 4},
+		// Unlimited / disabled keeps the requested count.
+		{total: 0, n: 3, want: 3},
+		{total: -1, n: 2, want: 2},
+	}
+	for _, c := range cases {
+		if got := shardCount(c.total, c.n); got != c.want {
+			t.Fatalf("shardCount(%d, %d) = %d, want %d", c.total, c.n, got, c.want)
+		}
+	}
+}
+
+// TestShardBudget: through the shardCount clamp, per-shard budgets sum
+// to exactly the global budget — never over it — across total < n,
+// total == n, and remainder-spread cases.
 func TestShardBudget(t *testing.T) {
 	cases := []struct {
 		total, n int
 		want     []int
 	}{
 		{total: 8, n: 4, want: []int{2, 2, 2, 2}},
+		// Remainder spreads over the leading shards.
 		{total: 10, n: 4, want: []int{3, 3, 2, 2}},
-		// Budget smaller than the shard count rounds up to 1 per shard.
-		{total: 2, n: 4, want: []int{1, 1, 1, 1}},
+		// Budget smaller than the shard count clamps the shard count
+		// (the pre-fix rounding gave all 4 shards one entry, overshooting
+		// the global budget of 2).
+		{total: 2, n: 4, want: []int{1, 1}},
+		{total: 4, n: 4, want: []int{1, 1, 1, 1}},
 		{total: 1, n: 1, want: []int{1}},
 		// Unlimited / disabled passes through unchanged.
 		{total: 0, n: 3, want: []int{0, 0, 0}},
 		{total: -1, n: 2, want: []int{-1, -1}},
 	}
 	for _, c := range cases {
-		got := shardBudget(c.total, c.n)
+		got := shardBudget(c.total, shardCount(c.total, c.n))
 		if len(got) != len(c.want) {
-			t.Fatalf("shardBudget(%d, %d) = %v, want %v", c.total, c.n, got, c.want)
+			t.Fatalf("shardBudget(%d, shardCount=%d) = %v, want %v", c.total, shardCount(c.total, c.n), got, c.want)
 		}
 		sum := 0
 		for i := range got {
@@ -28,14 +60,8 @@ func TestShardBudget(t *testing.T) {
 			}
 			sum += got[i]
 		}
-		if c.total > 0 {
-			want := c.total
-			if c.n > want {
-				want = c.n
-			}
-			if sum != want {
-				t.Fatalf("shardBudget(%d, %d) sums to %d, want max(total, n) = %d", c.total, c.n, sum, want)
-			}
+		if c.total > 0 && sum != c.total {
+			t.Fatalf("shardBudget(%d, %d) sums to %d, want exactly the global budget %d", c.total, c.n, sum, c.total)
 		}
 	}
 }

@@ -141,19 +141,33 @@ func TestAskBatchEmpty(t *testing.T) {
 	}
 }
 
-// TestShardedSessionBudgetRoundsUp: a MaxSessions budget smaller than
-// the shard count keeps at least one session per shard — the documented
-// rounding — rather than evicting everything.
-func TestShardedSessionBudgetRoundsUp(t *testing.T) {
+// TestShardedSessionBudgetClamped: a MaxSessions budget smaller than
+// the shard count clamps the session table's effective shard count, so
+// the configured global bound holds exactly — the pre-fix rounding kept
+// one session per shard and let 8 live sessions outlast a budget of 2.
+func TestShardedSessionBudgetClamped(t *testing.T) {
 	e := newEngine(t, engine.Config{MaxSessions: 2, Shards: 8})
 	for i := 0; i < 20; i++ {
 		mustAsk(t, e, fmt.Sprintf("s%d", i), questions[0])
 	}
 	st := e.Stats()
-	if st.Sessions < 1 || st.Sessions > 8 {
-		t.Fatalf("live sessions = %d, want within [1, shards]", st.Sessions)
+	if st.Sessions < 1 || st.Sessions > 2 {
+		t.Fatalf("live sessions = %d, want within the global MaxSessions bound of 2", st.Sessions)
 	}
 	if st.Sessions+int(st.SessionsEvicted) != 20 {
 		t.Fatalf("live(%d) + evicted(%d) != 20", st.Sessions, st.SessionsEvicted)
+	}
+}
+
+// TestShardedCacheBudgetClamped: same bound for the answer cache — a
+// CacheSize smaller than the shard count never caches more entries than
+// the configured budget.
+func TestShardedCacheBudgetClamped(t *testing.T) {
+	e := newEngine(t, engine.Config{CacheSize: 2, Shards: 8})
+	for i := 0; i < len(questions); i++ {
+		mustAsk(t, e, "s", questions[i])
+	}
+	if st := e.Stats(); st.CacheEntries > 2 {
+		t.Fatalf("cache holds %d entries, want <= the global CacheSize bound of 2", st.CacheEntries)
 	}
 }

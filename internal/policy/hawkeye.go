@@ -44,11 +44,14 @@ type hawkLineMeta struct {
 // reuse fits (OPT would have hit) iff every step in the reuse interval
 // has spare occupancy.
 type optgen struct {
-	occupancy []uint8           // ring buffer of per-step occupancy
+	occupancy []int             // ring buffer of per-step occupancy
 	lastSeen  map[uint64]uint64 // line -> set-local time of last access
 	lastPC    map[uint64]uint16 // line -> inserting PC signature
 	time      uint64
-	capacity  uint8
+	// capacity is int (not the hardware-faithful uint8): the answer-cache
+	// bridge builds 1-set geometries whose way count is the whole cache
+	// budget, which can exceed 255.
+	capacity int
 }
 
 const (
@@ -107,10 +110,10 @@ func (h *Hawkeye) optgenFor(set int) *optgen {
 	g, ok := h.occ[set]
 	if !ok {
 		g = &optgen{
-			occupancy: make([]uint8, hawkWindow),
+			occupancy: make([]int, hawkWindow),
 			lastSeen:  map[uint64]uint64{},
 			lastPC:    map[uint64]uint16{},
-			capacity:  uint8(h.ways),
+			capacity:  h.ways,
 		}
 		h.occ[set] = g
 	}
