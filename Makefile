@@ -44,18 +44,21 @@ fuzz:
 
 # The CI perf gate: a short fixed-seed closed-loop load against an
 # in-process engine. Writes BENCH_loadgen.json (throughput, p50/p95/p99
-# latency, cache hit rate, canceled count); -strict fails the target on
-# any request error, zero throughput, or a run with zero answered
-# questions. -request-timeout runs every ask under a real context
-# deadline — generous enough that nothing should cancel (the artifact's
-# "canceled" field is expected to be 0), so the gate exercises the
-# cancellation plumbing without tripping itself. Knobs overridable for
-# longer local runs.
+# latency, cache hit rate split by tier, canceled count); -strict fails
+# the target on any request error, zero throughput, or a run with zero
+# answered questions. -request-timeout runs every ask under a real
+# context deadline — generous enough that nothing should cancel (the
+# artifact's "canceled" field is expected to be 0), so the gate
+# exercises the cancellation plumbing without tripping itself. The
+# paraphrase-group mix against a 0.85 semantic threshold keeps the
+# semantic tier under load (the artifact's semantic_hit_rate should be
+# nonzero). Knobs overridable for longer local runs.
 LOADGEN_N ?= 2000
 LOADGEN_C ?= 8
 LOADGEN_TIMEOUT ?= 10s
 loadgen:
 	$(GO) run ./cmd/loadgen -n $(LOADGEN_N) -c $(LOADGEN_C) -seed 42 -repeat 0.5 \
+		-paraphrase 0.3 -semantic-threshold 0.85 \
 		-accesses 4000 -request-timeout $(LOADGEN_TIMEOUT) -strict -out BENCH_loadgen.json
 
 # The policy sweep: the same fixed-seed mix replayed under every
@@ -64,7 +67,10 @@ loadgen:
 # the main gate — the sweep multiplies it by the policy count. -strict
 # fails on any request error, and on any policy row with errors or zero
 # answered questions; the run itself fails if any policy's answers
-# diverge byte-wise from the others.
+# diverge byte-wise from the others. Deliberately exact-only: a live
+# semantic tier serves residency-dependent neighbor answers, which
+# would make the cross-policy digest check diverge by design (loadgen
+# rejects the combination).
 SWEEP_N ?= 500
 loadgen-sweep:
 	$(GO) run ./cmd/loadgen -policy-sweep -n $(SWEEP_N) -c $(LOADGEN_C) -seed 42 -repeat 0.5 \

@@ -25,6 +25,7 @@
 //	cachemindd -db cachemind.db -addr 127.0.0.1:9000
 //	cachemindd -retriever sieve -model gpt-4o-mini -workers 4 -shards 8
 //	cachemindd -cache-policy hawkeye              # paper's policy suite on the answer cache
+//	cachemindd -semantic-threshold 0.85           # serve paraphrases from the semantic cache tier
 //	cachemindd -request-timeout 5s -max-queue 256
 //
 //	curl -s localhost:8080/v1/ask -d '{"session":"s1","question":"List all unique PCs in mcf under LRU."}'
@@ -59,6 +60,7 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "max requests queued for a worker before shedding with 503 overloaded (0: unbounded)")
 	cacheSize := flag.Int("cache", 0, "answer-cache entries (0: default 256, negative: disable)")
 	cachePolicy := flag.String("cache-policy", "lru", "answer-cache eviction policy: lru (default), or any of the paper's policies — rrip, srrip, brrip, drrip, ship, hawkeye, mockingjay, mlp, dip, plru, random")
+	semThreshold := flag.Float64("semantic-threshold", 0, "semantic cache tier: serve the nearest cached question at or above this cosine similarity on an exact miss (0: disabled, 1: exact-only; 0.85 is a good start)")
 	memTurns := flag.Int("memory", 0, "verbatim conversation turns kept per session (0: default 6)")
 	maxSessions := flag.Int("max-sessions", 0, "live sessions retained, LRU-evicted beyond (0: default 1024, negative: unlimited)")
 	maxTurns := flag.Int("max-turns", 0, "turns retained per session (0: default 256, negative: unlimited)")
@@ -74,15 +76,16 @@ func main() {
 		log.Fatal(err)
 	}
 	eng, err := engine.New(engine.Config{
-		Store:           store,
-		Retriever:       *retrName,
-		Model:           *modelID,
-		MemoryTurns:     *memTurns,
-		CacheSize:       *cacheSize,
-		CachePolicy:     *cachePolicy,
-		MaxSessions:     *maxSessions,
-		MaxSessionTurns: *maxTurns,
-		Shards:          *shards,
+		Store:             store,
+		Retriever:         *retrName,
+		Model:             *modelID,
+		MemoryTurns:       *memTurns,
+		CacheSize:         *cacheSize,
+		CachePolicy:       *cachePolicy,
+		SemanticThreshold: *semThreshold,
+		MaxSessions:       *maxSessions,
+		MaxSessionTurns:   *maxTurns,
+		Shards:            *shards,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -218,13 +218,21 @@ type askOptions struct {
 	NoMemory bool `json:"no_memory"`
 	// BypassCache skips the answer cache for this request.
 	BypassCache bool `json:"bypass_cache"`
+	// NoSemantic skips the semantic cache tier for this request (exact
+	// hash, then straight to the cold pipeline).
+	NoSemantic bool `json:"no_semantic"`
+	// MinSimilarity overrides the server's semantic threshold for this
+	// request (0: server default; 1: exact-only; outside [0,1]:
+	// invalid-request).
+	MinSimilarity float64 `json:"min_similarity"`
 	// Provenance selects context verbosity: "" or "none" (default),
 	// "context", or "full".
 	Provenance string `json:"provenance"`
 }
 
 // engineOptions maps wire options onto engine.Options, rejecting an
-// unknown provenance level.
+// unknown provenance level (the engine itself validates
+// min_similarity's range).
 func (o *askOptions) engineOptions() (engine.Options, error) {
 	opts := engine.Options{}
 	if o == nil {
@@ -232,6 +240,8 @@ func (o *askOptions) engineOptions() (engine.Options, error) {
 	}
 	opts.NoMemory = o.NoMemory
 	opts.BypassCache = o.BypassCache
+	opts.NoSemantic = o.NoSemantic
+	opts.MinSimilarity = o.MinSimilarity
 	switch o.Provenance {
 	case "", "none":
 	case "context":
@@ -265,7 +275,15 @@ type askResponse struct {
 	Category string `json:"category"`
 	Quality  string `json:"quality"`
 	Grounded bool   `json:"grounded"`
-	Cached   bool   `json:"cached"`
+	// CacheTier reports which tier served the answer: "exact",
+	// "semantic", or "cold" — the source of truth for the cache
+	// outcome; cached is kept as the derived v1 compatibility flag
+	// (cache_tier != "cold").
+	CacheTier string `json:"cache_tier"`
+	// Similarity is the cosine score of the served neighbor on a
+	// semantic hit (omitted otherwise).
+	Similarity float64 `json:"similarity,omitempty"`
+	Cached     bool    `json:"cached"`
 	// Shard is the engine cache shard the question's key hashed to.
 	Shard int `json:"shard"`
 	// Retriever and Model identify the serving configuration.
@@ -292,6 +310,8 @@ func toWire(resp engine.Response) askResponse {
 		Category:    resp.Category,
 		Quality:     resp.Quality,
 		Grounded:    resp.Grounded,
+		CacheTier:   string(resp.Tier),
+		Similarity:  resp.Similarity,
 		Cached:      resp.Cached,
 		Shard:       resp.Shard,
 		Retriever:   resp.Retriever,
@@ -514,15 +534,24 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "cachemind_questions_total %d\n", st.Questions)
 	fmt.Fprintf(w, "cachemind_asks_canceled_total %d\n", st.Canceled)
 	fmt.Fprintf(w, "cachemind_cache_policy{policy=%q} 1\n", st.CachePolicy)
+	fmt.Fprintf(w, "cachemind_semantic_threshold %.3f\n", st.SemanticThreshold)
 	fmt.Fprintf(w, "cachemind_answer_cache_hits_total %d\n", st.CacheHits)
+	// Tier-split hits: the aggregate and per-shard lines always sum to
+	// the corresponding hits_total, so the exact/semantic split is a
+	// partition of the same answered-ask count, never a re-count.
+	fmt.Fprintf(w, "cachemind_cache_hits_total{tier=\"exact\"} %d\n", st.CacheExactHits)
+	fmt.Fprintf(w, "cachemind_cache_hits_total{tier=\"semantic\"} %d\n", st.CacheSemanticHits)
 	fmt.Fprintf(w, "cachemind_answer_cache_misses_total %d\n", st.CacheMisses)
 	fmt.Fprintf(w, "cachemind_answer_cache_bypasses_total %d\n", st.CacheBypasses)
 	fmt.Fprintf(w, "cachemind_answer_cache_entries %d\n", st.CacheEntries)
 	// Per-shard hit/miss/entry lines, indexed as in Response.Shard, so
 	// a skewed shard (hot key pile-up, budget clamping) is visible
-	// without a debugger.
+	// without a debugger. Semantic hits count on the shard the query
+	// hashed to, wherever the served neighbor resided.
 	for i, cs := range st.CacheShards {
 		fmt.Fprintf(w, "cachemind_answer_cache_shard_hits_total{shard=\"%d\"} %d\n", i, cs.Hits)
+		fmt.Fprintf(w, "cachemind_cache_hits_total{shard=\"%d\",tier=\"exact\"} %d\n", i, cs.ExactHits)
+		fmt.Fprintf(w, "cachemind_cache_hits_total{shard=\"%d\",tier=\"semantic\"} %d\n", i, cs.SemanticHits)
 		fmt.Fprintf(w, "cachemind_answer_cache_shard_misses_total{shard=\"%d\"} %d\n", i, cs.Misses)
 		fmt.Fprintf(w, "cachemind_answer_cache_shard_bypasses_total{shard=\"%d\"} %d\n", i, cs.Bypasses)
 		fmt.Fprintf(w, "cachemind_answer_cache_shard_entries{shard=\"%d\"} %d\n", i, cs.Entries)

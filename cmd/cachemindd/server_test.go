@@ -234,6 +234,12 @@ func TestMetrics(t *testing.T) {
 		"cachemind_answer_cache_hits_total 1",
 		"cachemind_answer_cache_misses_total 1",
 		"cachemind_answer_cache_bypasses_total 0",
+		// Tier-labeled hit split (semantic disabled here: all exact).
+		"cachemind_semantic_threshold 0.000",
+		`cachemind_cache_hits_total{tier="exact"} 1`,
+		`cachemind_cache_hits_total{tier="semantic"} 0`,
+		`cachemind_cache_hits_total{shard="0",tier="exact"}`,
+		`cachemind_cache_hits_total{shard="0",tier="semantic"}`,
 		// Per-shard cache lines, one block per effective cache shard.
 		`cachemind_answer_cache_shard_hits_total{shard="0"}`,
 		`cachemind_answer_cache_shard_misses_total{shard="0"}`,
@@ -623,5 +629,88 @@ func TestConcurrentAsks(t *testing.T) {
 	}
 	if st := eng.Stats(); st.Sessions != clients || st.CacheHits+st.CacheMisses != clients {
 		t.Fatalf("stats after concurrent asks = %+v", st)
+	}
+}
+
+// TestServeSemanticTier: the full daemon stack over a semantic-enabled
+// engine — a paraphrase is served from the semantic tier with
+// cache_tier/similarity on the wire, the per-request knobs
+// (no_semantic, min_similarity) behave, bad knobs produce the v1
+// error envelope, and /metrics carries a nonzero tier="semantic"
+// counter.
+func TestServeSemanticTier(t *testing.T) {
+	eng, err := engine.New(engine.Config{Store: testStore(t), SemanticThreshold: 0.85, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(eng, 4, 0, 0).handler())
+	t.Cleanup(ts.Close)
+
+	askJSON := func(body string) askResponse {
+		t.Helper()
+		resp, data := postAsk(t, ts, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, body %s", resp.StatusCode, data)
+		}
+		var ar askResponse
+		if err := json.Unmarshal(data, &ar); err != nil {
+			t.Fatalf("bad JSON %s: %v", data, err)
+		}
+		return ar
+	}
+
+	first := askJSON(fmt.Sprintf(`{"session":"s","question":%q}`, askQuestion))
+	if first.CacheTier != "cold" || first.Cached || first.Similarity != 0 {
+		t.Fatalf("first ask = tier %q, cached %v, similarity %v; want cold", first.CacheTier, first.Cached, first.Similarity)
+	}
+
+	para := strings.ToUpper(askQuestion)
+	second := askJSON(fmt.Sprintf(`{"session":"s","question":%q}`, para))
+	if second.CacheTier != "semantic" || !second.Cached {
+		t.Fatalf("paraphrase = tier %q, cached %v; want semantic", second.CacheTier, second.Cached)
+	}
+	if second.Similarity < 0.85 || second.Similarity > 1 {
+		t.Fatalf("paraphrase similarity = %v, want within [0.85, 1]", second.Similarity)
+	}
+	if second.Answer != first.Answer {
+		t.Fatalf("semantic serve not byte-identical:\ncold:     %q\nsemantic: %q", first.Answer, second.Answer)
+	}
+
+	// min_similarity above the paraphrase's score forces the cold path.
+	softer := "Please " + strings.ToLower(askQuestion)
+	strictAsk := askJSON(fmt.Sprintf(`{"session":"s","question":%q,"options":{"min_similarity":0.999}}`, softer))
+	if strictAsk.CacheTier != "cold" {
+		t.Fatalf("min_similarity 0.999 paraphrase tier = %q, want cold", strictAsk.CacheTier)
+	}
+
+	// no_semantic skips the tier even though neighbors now abound.
+	another := strings.ToLower(askQuestion)
+	if ar := askJSON(fmt.Sprintf(`{"session":"s","question":%q,"options":{"no_semantic":true}}`, another)); ar.CacheTier != "cold" {
+		t.Fatalf("no_semantic paraphrase tier = %q, want cold", ar.CacheTier)
+	}
+
+	// An out-of-range min_similarity is an invalid request on the wire.
+	resp, data := postAsk(t, ts, fmt.Sprintf(`{"session":"s","question":%q,"options":{"min_similarity":1.5}}`, askQuestion))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("min_similarity 1.5 status = %d, body %s", resp.StatusCode, data)
+	}
+	if e := decodeEnvelope(t, data); e.Code != string(engine.CodeInvalidRequest) {
+		t.Fatalf("min_similarity 1.5 code = %q", e.Code)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mdata, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		"cachemind_semantic_threshold 0.850",
+		`cachemind_cache_hits_total{tier="semantic"} 1`,
+		`cachemind_cache_hits_total{shard="0",tier="semantic"} 1`,
+	} {
+		if !strings.Contains(string(mdata), want) {
+			t.Errorf("metrics missing %q:\n%s", want, mdata)
+		}
 	}
 }

@@ -18,6 +18,7 @@
 //	loadgen -duration 30s -repeat 0.9        # cache-heavy mix for 30s
 //	loadgen -cache-policy hawkeye            # paper policy on the answer cache
 //	loadgen -policy-sweep -n 2000            # one pass per policy, comparative table
+//	loadgen -semantic-threshold 0.85 -paraphrase 0.3   # paraphrase mix against the semantic tier
 //
 // The question stream is a pure function of (-seed, -repeat, store), so
 // identical flags replay identical load; -strict makes any request
@@ -67,6 +68,8 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", 0, "in-process engine shard count (0: one per CPU)")
 	flag.IntVar(&cfg.cacheSize, "cache", 0, "in-process answer-cache entries (0: default, negative: disable)")
 	flag.StringVar(&cfg.cachePolicy, "cache-policy", "lru", "in-process answer-cache eviction policy (lru, rrip, ship, hawkeye, mockingjay, mlp, ...)")
+	flag.Float64Var(&cfg.semThreshold, "semantic-threshold", 0, "in-process semantic cache tier: serve the nearest cached question at or above this cosine similarity on an exact miss (0: disabled, 1: exact-only)")
+	flag.Float64Var(&cfg.paraphrase, "paraphrase", 0, "probability a repeat draw is reworded instead of byte-identical (exercises the semantic tier)")
 	flag.BoolVar(&cfg.policySweep, "policy-sweep", false, "replay the identical mix under every registered cache policy and emit the comparative policy_sweep table (in-process, count mode)")
 	out := flag.String("out", "BENCH_loadgen.json", "report path")
 	strict := flag.Bool("strict", false, "exit non-zero on any request error or zero throughput (the CI perf gate)")
@@ -86,10 +89,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%s: %d questions in %.2fs → %.0f q/s, p50 %.3fms p95 %.3fms p99 %.3fms, hit rate %.1f%%, %d errors, %d canceled\n",
+	fmt.Printf("%s: %d questions in %.2fs → %.0f q/s, p50 %.3fms p95 %.3fms p99 %.3fms, hit rate %.1f%% (exact %.1f%% + semantic %.1f%%), %d errors, %d canceled\n",
 		report.Mode, report.Questions, report.DurationSeconds, report.ThroughputQPS,
 		report.Latency.P50, report.Latency.P95, report.Latency.P99,
-		100*report.Cache.HitRate, report.Errors, report.Canceled)
+		100*report.Cache.HitRate, 100*report.Cache.ExactHitRate, 100*report.Cache.SemanticHitRate,
+		report.Errors, report.Canceled)
 	if len(report.PolicySweep) > 0 {
 		fmt.Println("policy sweep (identical mix per policy):")
 		for _, row := range report.PolicySweep {

@@ -37,7 +37,7 @@ func TestRunInProcessSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if report.Mode != "inprocess" || report.Schema != "cachemind-loadgen/v3" {
+	if report.Mode != "inprocess" || report.Schema != "cachemind-loadgen/v4" {
 		t.Fatalf("mode/schema = %q/%q", report.Mode, report.Schema)
 	}
 	if report.CachePolicy != "lru" || report.Cache.Source != "engine" {
@@ -125,7 +125,8 @@ func TestRunReportSchemaStable(t *testing.T) {
 	}
 	for _, key := range []string{
 		"schema", "mode", "concurrency", "batch", "shards", "seed",
-		"repeat_ratio", "sessions", "cache_policy", "requests", "questions",
+		"repeat_ratio", "sessions", "cache_policy", "semantic_threshold",
+		"paraphrase_ratio", "requests", "questions",
 		"errors", "canceled", "duration_seconds", "throughput_qps",
 		"latency_ms", "cache", "answer_digest",
 	} {
@@ -146,7 +147,10 @@ func TestRunReportSchemaStable(t *testing.T) {
 	if !ok {
 		t.Fatalf("cache not an object: %s", data)
 	}
-	for _, key := range []string{"source", "hits", "misses", "hit_rate"} {
+	for _, key := range []string{
+		"source", "hits", "exact_hits", "semantic_hits", "misses",
+		"hit_rate", "exact_hit_rate", "semantic_hit_rate",
+	} {
 		if _, ok := cache[key]; !ok {
 			t.Errorf("cache missing %q", key)
 		}
@@ -248,6 +252,115 @@ func TestRunPolicySweepRejectsIncompatibleModes(t *testing.T) {
 	}
 }
 
+// TestRunSemanticTierHits: a paraphrase-group mix against the semantic
+// tier produces semantic hits (semantic_hit_rate > 0), the per-tier
+// split mirrors Engine.Stats(), and the rates stay consistent with the
+// v3 totals. Concurrency 1 makes the outcome deterministic: every
+// reworded repeat finds its original already cached, so each one is
+// either a semantic hit or (when the rewording was an identity, e.g.
+// lowercasing an already-lowercase question) an exact hit.
+func TestRunSemanticTierHits(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.concurrency = 1
+	cfg.requests = 160
+	cfg.repeat = 0.6
+	cfg.paraphrase = 0.5
+	cfg.semThreshold = 0.85
+	var eng *engine.Engine
+	cfg.engineHook = func(e *engine.Engine) { eng = e }
+	report, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("errors = %d (%s)", report.Errors, report.ErrorSample)
+	}
+	if report.SemanticThreshold != 0.85 || report.ParaphraseRatio != 0.5 {
+		t.Fatalf("echoes = threshold %v, paraphrase %v", report.SemanticThreshold, report.ParaphraseRatio)
+	}
+	c := report.Cache
+	if c.SemanticHits == 0 || c.SemanticHitRate <= 0 {
+		t.Fatalf("no semantic hits despite paraphrase mix: %+v", c)
+	}
+	if c.Hits != c.ExactHits+c.SemanticHits {
+		t.Fatalf("hits %d != exact %d + semantic %d", c.Hits, c.ExactHits, c.SemanticHits)
+	}
+	if got, want := c.ExactHitRate+c.SemanticHitRate, c.HitRate; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("tier rates %v+%v don't sum to hit_rate %v", c.ExactHitRate, c.SemanticHitRate, want)
+	}
+	st := eng.Stats()
+	if c.ExactHits != int64(st.CacheExactHits) || c.SemanticHits != int64(st.CacheSemanticHits) {
+		t.Fatalf("report split %d/%d diverges from Engine.Stats %d/%d",
+			c.ExactHits, c.SemanticHits, st.CacheExactHits, st.CacheSemanticHits)
+	}
+}
+
+// TestRunSemanticThresholdOneMatchesExactOnly is the degenerate-tier
+// acceptance check: -semantic-threshold 1.0 must reproduce the
+// exact-only run bit for bit — identical hit/miss totals and answer
+// digest over the identical paraphrase mix.
+func TestRunSemanticThresholdOneMatchesExactOnly(t *testing.T) {
+	base := smokeConfig(t)
+	base.concurrency = 1
+	base.requests = 120
+	base.repeat = 0.6
+	base.paraphrase = 0.5
+
+	exact, err := run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degenerate := base
+	degenerate.store = testStore(t)
+	degenerate.semThreshold = 1.0
+	deg, err := run(degenerate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.SemanticThreshold != 0 {
+		t.Fatalf("threshold 1.0 should report as 0 (exact-only), got %v", deg.SemanticThreshold)
+	}
+	if deg.Cache.Hits != exact.Cache.Hits || deg.Cache.Misses != exact.Cache.Misses {
+		t.Fatalf("threshold 1.0 diverges from exact-only: %+v vs %+v", deg.Cache, exact.Cache)
+	}
+	if deg.Cache.SemanticHits != 0 {
+		t.Fatalf("threshold 1.0 produced %d semantic hits", deg.Cache.SemanticHits)
+	}
+	if deg.AnswerDigest != exact.AnswerDigest {
+		t.Fatalf("threshold 1.0 answers diverge: digest %s vs %s", deg.AnswerDigest, exact.AnswerDigest)
+	}
+}
+
+// TestRunPolicySweepRejectsSemanticThreshold: a live semantic tier
+// would make cross-policy digests residency-dependent, so the sweep
+// refuses it; the degenerate 1.0 (exact-only) stays allowed.
+func TestRunPolicySweepRejectsSemanticThreshold(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.policySweep = true
+	cfg.semThreshold = 0.85
+	if _, err := run(cfg); err == nil {
+		t.Fatal("sweep accepted a live semantic threshold")
+	}
+	cfg = smokeConfig(t)
+	cfg.requests = 24
+	cfg.policySweep = true
+	cfg.semThreshold = 1.0
+	if _, err := run(cfg); err != nil {
+		t.Fatalf("sweep rejected the degenerate exact-only threshold: %v", err)
+	}
+}
+
+// TestRunSemanticThresholdRejectedWithURL: like -cache-policy, the
+// tier is a server-side setting in -url mode.
+func TestRunSemanticThresholdRejectedWithURL(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.url = "http://127.0.0.1:1"
+	cfg.semThreshold = 0.85
+	if _, err := run(cfg); err == nil {
+		t.Fatal("-semantic-threshold silently ignored in -url mode")
+	}
+}
+
 // TestRunUnknownCachePolicy: a bad -cache-policy is a configuration
 // error, not a silent fallback.
 func TestRunUnknownCachePolicy(t *testing.T) {
@@ -303,7 +416,13 @@ func stubDaemon(t *testing.T) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
 		}
 		out := make([]map[string]any, len(reqs))
 		for i := range reqs {
-			out[i] = map[string]any{"answer": "stub", "cached": i%2 == 1}
+			// Alternate tiers so the client's per-tier counting is
+			// exercised over the wire (cached stays the derived flag).
+			tier := "cold"
+			if i%2 == 1 {
+				tier = "semantic"
+			}
+			out[i] = map[string]any{"answer": "stub", "cached": i%2 == 1, "cache_tier": tier}
 		}
 		_ = json.NewEncoder(w).Encode(out)
 	})
@@ -334,6 +453,11 @@ func TestRunHTTPDriver(t *testing.T) {
 	if report.Errors != 0 || report.Cache.Hits != 9 {
 		t.Fatalf("report = %d errors, %d hits (stub caches all but the first)", report.Errors, report.Cache.Hits)
 	}
+	// The single endpoint omits cache_tier (a pre-v4 server): cached
+	// answers must fall back to counting as exact hits.
+	if report.Cache.ExactHits != 9 || report.Cache.SemanticHits != 0 {
+		t.Fatalf("legacy-wire tier split = %d/%d, want 9/0", report.Cache.ExactHits, report.Cache.SemanticHits)
+	}
 
 	cfg.batch = 5
 	report, err = run(cfg)
@@ -345,6 +469,12 @@ func TestRunHTTPDriver(t *testing.T) {
 	}
 	if report.Questions != 10 || report.Errors != 0 {
 		t.Fatalf("batch report: %d questions, %d errors", report.Questions, report.Errors)
+	}
+	// The batch endpoint reports cache_tier: the stub marks the odd
+	// half of each 5-item batch semantic (2 per batch, 2 batches).
+	if report.Cache.SemanticHits != 4 || report.Cache.ExactHits != 0 {
+		t.Fatalf("wire tier split = exact %d / semantic %d, want 0/4",
+			report.Cache.ExactHits, report.Cache.SemanticHits)
 	}
 }
 

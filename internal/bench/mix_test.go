@@ -1,10 +1,12 @@
 package bench_test
 
 import (
+	"strings"
 	"testing"
 
 	"cachemind/internal/bench"
 	"cachemind/internal/db/dbtest"
+	"cachemind/internal/embed"
 )
 
 func mixSuite(t *testing.T) *bench.Suite {
@@ -117,6 +119,93 @@ func TestSampleMixRepeatRatio(t *testing.T) {
 	}
 	if got := bench.SampleMix(s, 5, 1, -0.3); got[0] == got[1] && got[1] == got[2] {
 		t.Fatal("repeat < 0 not clamped to 0")
+	}
+}
+
+// TestSampleMixParaphraseZeroIsByteIdentical pins the compatibility
+// contract: at paraphrase 0 the extended sampler replays SampleMix's
+// stream byte for byte — the paraphrase coin must not consume rng
+// draws when the knob is off, or every existing BENCH baseline shifts.
+func TestSampleMixParaphraseZeroIsByteIdentical(t *testing.T) {
+	s := mixSuite(t)
+	a := bench.SampleMix(s, 500, 42, 0.6)
+	b := bench.SampleMixParaphrase(s, 500, 42, 0.6, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs with paraphrase=0: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSampleMixParaphraseEmitsVariants: a live paraphrase knob emits
+// reworded draws (not in the suite verbatim), every such draw embeds
+// close to some earlier draw in the stream (it reworded one of them —
+// paraphrases can stack, so closeness to the original suite question
+// is not guaranteed, only closeness to the reworded source), and the
+// stream stays deterministic.
+func TestSampleMixParaphraseEmitsVariants(t *testing.T) {
+	s := mixSuite(t)
+	valid := map[string]bool{}
+	for _, q := range s.Questions {
+		valid[q.Text] = true
+	}
+	mix := bench.SampleMixParaphrase(s, 800, 5, 0.6, 0.5)
+	var seen []embed.Vector
+	reworded := 0
+	for i, q := range mix {
+		qv := embed.Embed(q)
+		if !valid[q] {
+			reworded++
+			best := -1.0
+			for _, v := range seen {
+				if c := embed.Cosine(qv, v); c > best {
+					best = c
+				}
+			}
+			if best < 0.9 {
+				t.Fatalf("reworded draw %d %q is not a paraphrase of any earlier draw (best cosine %.3f)", i, q, best)
+			}
+		}
+		seen = append(seen, qv)
+	}
+	if reworded == 0 {
+		t.Fatal("paraphrase=0.5 emitted no reworded draws over 800")
+	}
+	again := bench.SampleMixParaphrase(s, 800, 5, 0.6, 0.5)
+	for i := range mix {
+		if mix[i] != again[i] {
+			t.Fatalf("paraphrase stream not deterministic at draw %d", i)
+		}
+	}
+}
+
+// TestParaphraseVariants: every variant keeps high embedding
+// similarity to the original, the cycle wraps modulo
+// ParaphraseVariants (negatives included), and the punctuation variant
+// changes bytes in both the "." and "?" terminal cases.
+func TestParaphraseVariants(t *testing.T) {
+	q := "List all unique PCs in mcf under LRU."
+	qv := embed.Embed(q)
+	for v := 0; v < bench.ParaphraseVariants; v++ {
+		p := bench.Paraphrase(q, v)
+		if c := embed.Cosine(qv, embed.Embed(p)); c < 0.85 {
+			t.Fatalf("variant %d %q has cosine %.3f to original, want >= 0.85", v, p, c)
+		}
+		if p == q {
+			t.Fatalf("variant %d left %q unchanged", v, q)
+		}
+	}
+	if got := bench.Paraphrase(q, bench.ParaphraseVariants); got != bench.Paraphrase(q, 0) {
+		t.Fatalf("variant index does not wrap: %q vs %q", got, bench.Paraphrase(q, 0))
+	}
+	if got := bench.Paraphrase(q, -1); got != bench.Paraphrase(q, bench.ParaphraseVariants-1) {
+		t.Fatalf("negative variant index does not wrap: %q", got)
+	}
+	if got := bench.Paraphrase("What is the hit rate?", 2); !strings.HasSuffix(got, ".") {
+		t.Fatalf("punctuation variant on a ?-terminated question = %q, want .-terminated", got)
+	}
+	if got := bench.Paraphrase("State the hit rate.", 2); !strings.HasSuffix(got, "?") {
+		t.Fatalf("punctuation variant on a .-terminated question = %q, want ?-terminated", got)
 	}
 }
 

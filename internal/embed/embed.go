@@ -76,13 +76,16 @@ func normalize(v Vector) Vector {
 }
 
 // Cosine returns the cosine similarity of two vectors. Both inputs are
-// expected normalized (as Embed returns), so this is a dot product.
+// expected normalized (as Embed returns), so this is a dot product,
+// clamped to [-1, 1]: float32 rounding can push the dot of a vector
+// with itself a hair past 1, and callers treat the score as a true
+// cosine (e.g. comparing against a 1.0 threshold).
 func Cosine(a, b Vector) float64 {
 	var dot float64
 	for i := range a {
 		dot += float64(a[i]) * float64(b[i])
 	}
-	return dot
+	return math.Max(-1, math.Min(1, dot))
 }
 
 // Match is one retrieval hit from an Index.
@@ -91,31 +94,63 @@ type Match struct {
 	Score float64
 }
 
-// Index is an exact top-k cosine index over embedded documents.
+// Index is an exact top-k cosine index over embedded documents. It
+// supports removal (swap-delete, O(1)) so a bounded cache can keep a
+// vector per resident entry and delete it on eviction; pos maps ids to
+// their slot, so Add on an existing id replaces its vector in place
+// instead of leaking the old slot.
 type Index struct {
 	ids  []string
 	vecs []Vector
+	pos  map[string]int
 	text map[string]string
 }
 
 // NewIndex creates an empty index.
-func NewIndex() *Index { return &Index{text: map[string]string{}} }
+func NewIndex() *Index {
+	return &Index{pos: map[string]int{}, text: map[string]string{}}
+}
 
 // Add embeds and stores a document under id. Adding an existing id
-// replaces its text but keeps one entry.
+// replaces its text and vector but keeps one entry.
 func (ix *Index) Add(id, text string) {
-	if _, exists := ix.text[id]; !exists {
-		ix.ids = append(ix.ids, id)
-		ix.vecs = append(ix.vecs, Embed(text))
-	} else {
-		for i, known := range ix.ids {
-			if known == id {
-				ix.vecs[i] = Embed(text)
-				break
-			}
-		}
-	}
+	ix.AddVec(id, Embed(text))
 	ix.text[id] = text
+}
+
+// AddVec stores a precomputed vector under id (replacing any existing
+// vector for that id) without retaining document text — the form the
+// engine's semantic answer-cache tier uses, where the vector is
+// computed once per miss and the id is a cache key, not a document.
+func (ix *Index) AddVec(id string, v Vector) {
+	if i, ok := ix.pos[id]; ok {
+		ix.vecs[i] = v
+		return
+	}
+	ix.pos[id] = len(ix.ids)
+	ix.ids = append(ix.ids, id)
+	ix.vecs = append(ix.vecs, v)
+}
+
+// Remove deletes id's entry (vector, text, and slot) and reports
+// whether it was present. The freed slot is reused by the next Add, so
+// an add/remove churn never grows the index past its live-entry count.
+func (ix *Index) Remove(id string) bool {
+	i, ok := ix.pos[id]
+	if !ok {
+		return false
+	}
+	last := len(ix.ids) - 1
+	if i != last {
+		ix.ids[i] = ix.ids[last]
+		ix.vecs[i] = ix.vecs[last]
+		ix.pos[ix.ids[i]] = i
+	}
+	ix.ids = ix.ids[:last]
+	ix.vecs = ix.vecs[:last]
+	delete(ix.pos, id)
+	delete(ix.text, id)
+	return true
 }
 
 // Len returns the number of indexed documents.
@@ -154,4 +189,22 @@ func (ix *Index) Best(query string) (Match, bool) {
 		return Match{}, false
 	}
 	return top[0], true
+}
+
+// BestVec returns the single best match for a precomputed query vector
+// without sorting the whole candidate set — the nearest-neighbor probe
+// on the engine's semantic-tier miss path. Ties break by id, so the
+// result is independent of insertion (and swap-delete) order.
+func (ix *Index) BestVec(q Vector) (Match, bool) {
+	if len(ix.ids) == 0 {
+		return Match{}, false
+	}
+	best := Match{Score: math.Inf(-1)}
+	for i, id := range ix.ids {
+		score := Cosine(q, ix.vecs[i])
+		if score > best.Score || (score == best.Score && id < best.ID) {
+			best = Match{ID: id, Score: score}
+		}
+	}
+	return best, true
 }

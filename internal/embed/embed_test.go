@@ -117,6 +117,103 @@ func TestTopKClamp(t *testing.T) {
 	}
 }
 
+func TestIndexRemove(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("astar", "astar path finding grid search workload")
+	ix.Add("lbm", "lbm lattice boltzmann fluid workload")
+	ix.Add("mcf", "mcf network simplex vehicle scheduling workload")
+	if !ix.Remove("lbm") {
+		t.Fatal("Remove of a present id reported absent")
+	}
+	if ix.Remove("lbm") {
+		t.Fatal("second Remove of the same id reported present")
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("Len after remove = %d, want 2", ix.Len())
+	}
+	if _, ok := ix.Text("lbm"); ok {
+		t.Error("removed id still has text")
+	}
+	// The removed document must no longer match; the survivors must.
+	if best, ok := ix.Best("fluid dynamics lattice boltzmann"); ok && best.ID == "lbm" {
+		t.Errorf("removed document still retrieved: %+v", best)
+	}
+	if best, ok := ix.Best("network simplex scheduling"); !ok || best.ID != "mcf" {
+		t.Errorf("survivor not retrieved after unrelated remove: %+v", best)
+	}
+	// Removing down to empty, then re-adding, works.
+	ix.Remove("astar")
+	ix.Remove("mcf")
+	if ix.Len() != 0 {
+		t.Fatalf("Len after removing all = %d", ix.Len())
+	}
+	ix.Add("astar", "astar path finding grid search workload")
+	if best, ok := ix.Best("astar grid search"); !ok || best.ID != "astar" {
+		t.Errorf("re-added document not retrieved: %+v", best)
+	}
+}
+
+func TestIndexAddVecAndBestVec(t *testing.T) {
+	ix := NewIndex()
+	ix.AddVec("a", Embed("miss rate in mcf under lru"))
+	ix.AddVec("b", Embed("lattice boltzmann fluid dynamics"))
+	q := Embed("what is the miss rate in mcf under lru")
+	m, ok := ix.BestVec(q)
+	if !ok || m.ID != "a" {
+		t.Fatalf("BestVec = %+v, %v; want id a", m, ok)
+	}
+	if m.Score < 0.7 {
+		t.Errorf("paraphrase score = %.3f, expected high", m.Score)
+	}
+	// AddVec on an existing id replaces in place — no slot leak.
+	ix.AddVec("a", Embed("completely different text now"))
+	if ix.Len() != 2 {
+		t.Fatalf("AddVec replace grew index: %d", ix.Len())
+	}
+	if _, ok := ix.BestVec(q); !ok {
+		t.Fatal("BestVec failed on a non-empty index")
+	}
+	if _, ok := NewIndex().BestVec(q); ok {
+		t.Error("empty index BestVec should fail")
+	}
+}
+
+// Property (the cache-churn invariant): under any interleaving of adds
+// and removes the index size equals the live-id count — a slot is never
+// leaked by replacement and never survives removal.
+func TestIndexChurnNeverLeaksSlots(t *testing.T) {
+	ix := NewIndex()
+	live := map[string]bool{}
+	f := func(ops []uint8) bool {
+		for _, op := range ops {
+			id := fmt.Sprintf("id%02d", op%23)
+			if op%3 == 0 {
+				if ix.Remove(id) != live[id] {
+					return false
+				}
+				delete(live, id)
+			} else {
+				ix.AddVec(id, Embed(id))
+				live[id] = true
+			}
+			if ix.Len() != len(live) {
+				return false
+			}
+		}
+		// Every live id must be retrievable by its own embedding.
+		for id := range live {
+			m, ok := ix.BestVec(Embed(id))
+			if !ok || !live[m.ID] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: cosine similarity of embeddings is bounded and symmetric.
 func TestCosineBoundedProperty(t *testing.T) {
 	f := func(a, b string) bool {

@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"cachemind/internal/embed"
 )
 
 // evictionPolicy orders one answer-cache shard's resident keys and
@@ -83,34 +85,53 @@ func (p *lruList) Victim(string) (string, bool) {
 // backend can never serve a stale entry even if a cache were shared.
 // All methods are safe for concurrent use.
 //
+// When the engine's semantic tier is enabled, idx holds one question
+// vector per resident entry (same key) — the shard's slice of the
+// nearest-neighbor search space. It moves in lockstep with the entry
+// map under the same mutex: an insert that lands adds the vector, an
+// eviction (any policy) or replacement removes or replaces it, and a
+// Victim bypass adds nothing. idx.Len() == len(entries) is an
+// invariant the semantic test suite pins for every registered policy.
+//
 // The hit/miss counters are deliberately not advanced by touch/peek:
 // cachedAsk records exactly one hit or miss per answered ask based on
-// how it was ultimately served (direct hit, coalesced single-flight
-// follower, or a pipeline run), so the totals track answered
-// cache-routed asks — not raw map probes, which would double-count
-// single-flight retries.
+// how it was ultimately served (direct hit, semantic serve, coalesced
+// single-flight follower, or a pipeline run), so the totals track
+// answered cache-routed asks — not raw map probes, which would
+// double-count single-flight retries. Hits are split by serving tier
+// (exact vs semantic); a shard's semantic counter advances on the
+// shard the *query* hashed to, matching Response.Shard, even when the
+// served neighbor resides elsewhere.
 type answerCache struct {
 	mu      sync.Mutex
 	cap     int
 	pol     evictionPolicy
 	entries map[string]Answer
+	idx     *embed.Index // nil unless the semantic tier is enabled
 
-	hits     atomic.Uint64
-	misses   atomic.Uint64
-	bypasses atomic.Uint64
+	exactHits    atomic.Uint64
+	semanticHits atomic.Uint64
+	misses       atomic.Uint64
+	bypasses     atomic.Uint64
 }
 
 // newAnswerCache creates a cache bounded to capacity entries (minimum
-// 1) whose eviction order is decided by pol.
-func newAnswerCache(capacity int, pol evictionPolicy) *answerCache {
+// 1) whose eviction order is decided by pol. With semantic true the
+// shard also maintains the question-vector index the semantic tier
+// searches.
+func newAnswerCache(capacity int, pol evictionPolicy, semantic bool) *answerCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &answerCache{
+	c := &answerCache{
 		cap:     capacity,
 		pol:     pol,
 		entries: map[string]Answer{},
 	}
+	if semantic {
+		c.idx = embed.NewIndex()
+	}
+	return c
 }
 
 // touch returns the cached answer for key and refreshes its
@@ -140,14 +161,20 @@ func (c *answerCache) peek(key string) (Answer, bool) {
 // put stores the answer under key. On a full cache the policy picks
 // the victim; a policy may instead decline the insertion entirely
 // (bypass), leaving the resident set untouched — sound because answers
-// are recomputable pure functions of the key.
-func (c *answerCache) put(key string, ans Answer) {
+// are recomputable pure functions of the key. vec is the question's
+// embedding for the semantic index; it must be non-nil whenever the
+// shard carries an index (cachedAsk computes it on every miss when the
+// tier is enabled) and is ignored otherwise. An evicted victim leaves
+// the index in the same critical section it leaves the entry map, for
+// every policy — the lockstep the semantic tier's soundness rests on
+// (a dangling vector would serve an answer that no longer exists).
+func (c *answerCache) put(key string, ans Answer, vec *embed.Vector) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.entries[key]; ok {
 		c.entries[key] = ans
 		c.pol.OnHit(key) // refresh, exactly as the old MoveToFront did
-		return
+		return           // idx already carries this key's vector
 	}
 	if len(c.entries) >= c.cap {
 		victim, bypass := c.pol.Victim(key)
@@ -156,15 +183,54 @@ func (c *answerCache) put(key string, ans Answer) {
 			return
 		}
 		delete(c.entries, victim)
+		if c.idx != nil {
+			c.idx.Remove(victim)
+		}
 	}
 	c.entries[key] = ans
 	c.pol.OnInsert(key)
+	if c.idx != nil && vec != nil {
+		c.idx.AddVec(key, *vec)
+	}
 }
 
-// counters returns (hits, misses, bypasses, live entries).
-func (c *answerCache) counters() (hits, misses, bypasses uint64, entries int) {
+// bestSimilar returns this shard's nearest cached neighbor of qv at or
+// above min, with the stored answer snapshotted under the shard lock —
+// so the (key, answer) pair is consistent even if the entry is evicted
+// a microsecond later. Ties break by key (via Index.BestVec), keeping
+// the winner independent of insertion order.
+func (c *answerCache) bestSimilar(qv embed.Vector, min float64) (key string, ans Answer, score float64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.idx == nil {
+		return "", Answer{}, 0, false
+	}
+	m, found := c.idx.BestVec(qv)
+	if !found || m.Score < min {
+		return "", Answer{}, 0, false
+	}
+	// Lockstep invariant: every indexed key is resident.
+	return m.ID, c.entries[m.ID], m.Score, true
+}
+
+// refresh bumps key's recency/priority state if it is still resident —
+// the semantic tier's OnHit on the served neighbor. A concurrent
+// eviction between the similarity scan and this call is tolerated (the
+// answer bytes were snapshotted under the scan's lock); refreshing a
+// ghost would violate the policy contract, so absence is a no-op.
+func (c *answerCache) refresh(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		c.pol.OnHit(key)
+	}
+}
+
+// counters returns (exact hits, semantic hits, misses, bypasses, live
+// entries).
+func (c *answerCache) counters() (exact, semantic, misses, bypasses uint64, entries int) {
 	c.mu.Lock()
 	n := len(c.entries)
 	c.mu.Unlock()
-	return c.hits.Load(), c.misses.Load(), c.bypasses.Load(), n
+	return c.exactHits.Load(), c.semanticHits.Load(), c.misses.Load(), c.bypasses.Load(), n
 }

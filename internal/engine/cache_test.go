@@ -1,23 +1,28 @@
 package engine
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+
+	"cachemind/internal/embed"
+)
 
 // newLRUCache is the test shorthand for a cache under the default
 // native LRU policy.
 func newLRUCache(capacity int) *answerCache {
-	return newAnswerCache(capacity, newLRUList())
+	return newAnswerCache(capacity, newLRUList(), false)
 }
 
 func TestAnswerCacheLRU(t *testing.T) {
 	c := newLRUCache(2)
-	c.put("a", Answer{Text: "A"})
-	c.put("b", Answer{Text: "B"})
+	c.put("a", Answer{Text: "A"}, nil)
+	c.put("b", Answer{Text: "B"}, nil)
 
 	if ans, ok := c.touch("a"); !ok || ans.Text != "A" {
 		t.Fatalf("touch a = %+v, %v", ans, ok)
 	}
 	// "b" is now least recently used; inserting "c" evicts it.
-	c.put("c", Answer{Text: "C"})
+	c.put("c", Answer{Text: "C"}, nil)
 	if _, ok := c.touch("b"); ok {
 		t.Fatal("b survived eviction at capacity 2")
 	}
@@ -27,28 +32,28 @@ func TestAnswerCacheLRU(t *testing.T) {
 	if _, ok := c.touch("c"); !ok {
 		t.Fatal("c missing after insert")
 	}
-	if _, _, _, entries := c.counters(); entries != 2 {
+	if _, _, _, _, entries := c.counters(); entries != 2 {
 		t.Fatalf("entries = %d, want 2", entries)
 	}
 }
 
 func TestAnswerCacheUpdateExisting(t *testing.T) {
 	c := newLRUCache(2)
-	c.put("a", Answer{Text: "old"})
-	c.put("a", Answer{Text: "new"})
+	c.put("a", Answer{Text: "old"}, nil)
+	c.put("a", Answer{Text: "new"}, nil)
 	if ans, ok := c.touch("a"); !ok || ans.Text != "new" {
 		t.Fatalf("touch a = %+v, %v; want updated entry", ans, ok)
 	}
-	if _, _, _, entries := c.counters(); entries != 1 {
+	if _, _, _, _, entries := c.counters(); entries != 1 {
 		t.Fatalf("entries = %d, want 1 (no duplicate on update)", entries)
 	}
 }
 
 func TestAnswerCacheMinimumCapacity(t *testing.T) {
 	c := newLRUCache(0) // clamps to 1
-	c.put("a", Answer{Text: "A"})
-	c.put("b", Answer{Text: "B"})
-	if _, _, _, entries := c.counters(); entries != 1 {
+	c.put("a", Answer{Text: "A"}, nil)
+	c.put("b", Answer{Text: "B"}, nil)
+	if _, _, _, _, entries := c.counters(); entries != 1 {
 		t.Fatalf("entries = %d, want 1", entries)
 	}
 	if _, ok := c.touch("b"); !ok {
@@ -61,14 +66,14 @@ func TestAnswerCacheMinimumCapacity(t *testing.T) {
 // relies on.
 func TestAnswerCachePeekLeavesRecencyAlone(t *testing.T) {
 	c := newLRUCache(2)
-	c.put("a", Answer{Text: "A"})
-	c.put("b", Answer{Text: "B"})
+	c.put("a", Answer{Text: "A"}, nil)
+	c.put("b", Answer{Text: "B"}, nil)
 	if ans, ok := c.peek("a"); !ok || ans.Text != "A" {
 		t.Fatalf("peek a = %+v, %v", ans, ok)
 	}
 	// "a" is still least recently used (peek did not bump it), so "c"
 	// evicts it.
-	c.put("c", Answer{Text: "C"})
+	c.put("c", Answer{Text: "C"}, nil)
 	if _, ok := c.peek("a"); ok {
 		t.Fatal("peek bumped recency: a survived eviction")
 	}
@@ -80,16 +85,16 @@ func TestAnswerCachePeekLeavesRecencyAlone(t *testing.T) {
 // TestAnswerCacheBypassingPolicy: a policy that declines insertion
 // leaves the resident set untouched and counts a bypass.
 func TestAnswerCacheBypassingPolicy(t *testing.T) {
-	c := newAnswerCache(1, &bypassAllWrap{inner: newLRUList()})
-	c.put("a", Answer{Text: "A"})
-	c.put("b", Answer{Text: "B"}) // full: policy bypasses
+	c := newAnswerCache(1, &bypassAllWrap{inner: newLRUList()}, false)
+	c.put("a", Answer{Text: "A"}, nil)
+	c.put("b", Answer{Text: "B"}, nil) // full: policy bypasses
 	if _, ok := c.touch("a"); !ok {
 		t.Fatal("resident entry lost on a bypassed insert")
 	}
 	if _, ok := c.touch("b"); ok {
 		t.Fatal("bypassed entry was inserted anyway")
 	}
-	_, _, bypasses, entries := c.counters()
+	_, _, _, bypasses, entries := c.counters()
 	if bypasses != 1 || entries != 1 {
 		t.Fatalf("bypasses/entries = %d/%d, want 1/1", bypasses, entries)
 	}
@@ -103,3 +108,50 @@ func (b *bypassAllWrap) Name() string                 { return "bypass-all" }
 func (b *bypassAllWrap) OnHit(key string)             { b.inner.OnHit(key) }
 func (b *bypassAllWrap) OnInsert(key string)          { b.inner.OnInsert(key) }
 func (b *bypassAllWrap) Victim(string) (string, bool) { return "", true }
+
+// TestAnswerCacheIndexLockstepAllPolicies pins the semantic tier's
+// soundness invariant for every registered eviction policy: the
+// question-vector index always holds exactly one vector per resident
+// entry — an eviction, replacement, or bypass leaves both structures
+// in agreement under the same critical section. A dangling vector
+// would let the semantic tier serve an answer that no longer exists.
+func TestAnswerCacheIndexLockstepAllPolicies(t *testing.T) {
+	for _, name := range CachePolicies() {
+		t.Run(name, func(t *testing.T) {
+			pol, err := newEvictionPolicy(name, 4, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := newAnswerCache(4, pol, true)
+			check := func(step string) {
+				t.Helper()
+				c.mu.Lock()
+				entries, indexed := len(c.entries), c.idx.Len()
+				c.mu.Unlock()
+				if entries != indexed {
+					t.Fatalf("%s under %s: %d entries but %d indexed vectors", step, name, entries, indexed)
+				}
+			}
+			// Churn far past capacity, with interleaved touches and
+			// overwrites, so Victim (and any bypass choice) runs often.
+			for i := 0; i < 48; i++ {
+				key := fmt.Sprintf("q%d", i)
+				v := embed.Embed(key)
+				c.put(key, Answer{Text: key}, &v)
+				check("insert " + key)
+				if i%3 == 0 {
+					c.touch(fmt.Sprintf("q%d", i/2))
+				}
+				if i%7 == 0 {
+					c.put(key, Answer{Text: key + "'"}, &v) // overwrite: no second vector
+					check("overwrite " + key)
+				}
+			}
+			_, _, _, bypasses, entries := c.counters()
+			if entries > 4 {
+				t.Fatalf("%s: %d entries over capacity 4", name, entries)
+			}
+			t.Logf("%s: %d resident, %d bypasses", name, entries, bypasses)
+		})
+	}
+}

@@ -46,6 +46,37 @@
 // a cached answer is byte-identical to the one a fresh retrieval would
 // produce.
 //
+// # Three-tier cache lookup
+//
+// With Config.SemanticThreshold in (0, 1) an ask is resolved through
+// three tiers, cheapest first:
+//
+//	exact    — hash lookup on the byte-identical (retriever, model,
+//	           question) key;
+//	semantic — nearest-neighbor search over the cached questions'
+//	           embedding vectors (internal/embed), serving the best
+//	           neighbor at or above the threshold byte-identically;
+//	cold     — the retrieve→classify→generate pipeline, coalesced by
+//	           the single-flight table.
+//
+// Response.Tier reports which tier served the answer (Cached is
+// derived: Tier != TierCold), with Response.Similarity carrying the
+// winning cosine score on semantic serves. Each cache shard keeps its
+// slice of the vector index beside its entry map, mutated under the
+// same lock, so eviction — under any Config.CachePolicy — removes an
+// answer and its vector atomically; the semantic search itself fans
+// out across all shards and takes the deterministic global best
+// (score, then key). Per-request knobs: Options.NoSemantic skips the
+// tier for one ask, Options.MinSimilarity overrides the threshold.
+//
+// Determinism caveat: a semantic hit returns the *neighbor's* stored
+// answer — byte-identical to what the neighbor's question produced,
+// not necessarily to what the asked question would produce cold. Which
+// neighbor is resident depends on history and eviction, so semantic
+// serving trades per-question byte-determinism for a ~400x latency
+// win; the exact tier and the threshold-1.0 (or unset) configuration
+// keep the old guarantees bit-for-bit.
+//
 // # Cache eviction policies
 //
 // The answer cache's residency is ordered by a pluggable
@@ -90,6 +121,7 @@ import (
 	"time"
 
 	"cachemind/internal/db"
+	"cachemind/internal/embed"
 	"cachemind/internal/generator"
 	"cachemind/internal/llm"
 	"cachemind/internal/memory"
@@ -150,6 +182,21 @@ type Config struct {
 	// Policies change which entries stay resident (hit/miss totals),
 	// never answer bytes.
 	CachePolicy string
+	// SemanticThreshold enables the semantic answer-cache tier: on an
+	// exact-key miss, cached question vectors are searched for a
+	// nearest neighbor whose cosine similarity is at or above this
+	// value, and that neighbor's stored answer is served without
+	// running the pipeline. 0 (the default) disables the tier — the
+	// exact-only engine, byte-for-byte the pre-semantic behaviour — and
+	// 1 degrades to it (cosine scores are float-fuzzy at the top, so an
+	// "exactly 1.0" bar is not a usable match predicate; the acceptance
+	// tests pin that 1.0 and 0 produce identical hit/miss totals and
+	// answer bytes). Values outside [0, 1] are a configuration error.
+	// 0.85 is a good starting point for the built-in embedder: case
+	// and punctuation paraphrases score ≥ 0.99, rewordings that share
+	// most content words score ≈ 0.9, and unrelated suite questions
+	// score well below 0.8.
+	SemanticThreshold float64
 	// Shards is how many ways the session table, answer cache and
 	// single-flight table are each split (one mutex per shard). Values
 	// < 1 select DefaultShards(), one shard per CPU. Shards: 1
@@ -221,6 +268,12 @@ type Engine struct {
 	maxTurns    int // <= 0: unlimited
 	nshards     int
 	cachePolicy string
+	// semThreshold is the effective semantic-tier threshold: a value in
+	// (0, 1) when the tier is live, 0 when disabled (unset, configured
+	// to the degenerate 1.0, or caching off). The per-shard semantic
+	// indexes exist — and miss-path embeddings are computed — only when
+	// this is non-zero.
+	semThreshold float64
 
 	// Hot mutable state, hash-sharded (see shard.go): sessionShards is
 	// keyed by session ID; caches and flights are keyed by the cache
@@ -294,6 +347,15 @@ func New(cfg Config) (*Engine, error) {
 	if policyName == "" {
 		policyName = "lru"
 	}
+	if cfg.SemanticThreshold < 0 || cfg.SemanticThreshold > 1 {
+		return nil, fmt.Errorf("engine: SemanticThreshold %v outside [0, 1]", cfg.SemanticThreshold)
+	}
+	semThreshold := cfg.SemanticThreshold
+	if semThreshold >= 1 || cfg.CacheSize < 0 {
+		// 1.0 is the documented exact-only degenerate; without a cache
+		// there is nothing to index.
+		semThreshold = 0
+	}
 
 	nsess := shardCount(maxSessions, nshards)
 	sessionShards := make([]*sessionShard, nsess)
@@ -315,7 +377,7 @@ func New(cfg Config) (*Engine, error) {
 			if err != nil {
 				return nil, err
 			}
-			caches[i] = newAnswerCache(budget, pol)
+			caches[i] = newAnswerCache(budget, pol, semThreshold > 0)
 		}
 	} else if _, err := newEvictionPolicy(policyName, 1, 0); err != nil {
 		// Caching disabled: the policy never runs, but an unknown name
@@ -338,6 +400,7 @@ func New(cfg Config) (*Engine, error) {
 		maxTurns:      maxTurns,
 		nshards:       nshards,
 		cachePolicy:   policyName,
+		semThreshold:  semThreshold,
 		sessionShards: sessionShards,
 		caches:        caches,
 		flights:       flights,
@@ -402,6 +465,9 @@ func (e *Engine) Ask(ctx context.Context, req Request) (Response, error) {
 	if question == "" {
 		return Response{}, Errf(CodeInvalidRequest, "question must not be empty")
 	}
+	if s := req.Options.MinSimilarity; s < 0 || s > 1 {
+		return Response{}, Errf(CodeInvalidRequest, "min similarity %v outside [0, 1]", s)
+	}
 	// Admission checkpoint: a request that arrives already canceled
 	// (e.g. a batch sibling after a mid-batch cancel) never runs.
 	if err := ctxError(ctx); err != nil {
@@ -414,16 +480,19 @@ func (e *Engine) Ask(ctx context.Context, req Request) (Response, error) {
 	shard := shardIndex(key, e.ncacheShards)
 
 	var (
-		ans    Answer
-		cached bool
-		err    error
+		ans  Answer
+		tier CacheTier
+		sim  float64
+		err  error
 	)
 	if e.caches == nil || req.Options.BypassCache {
 		// Caching disabled or bypassed: run the full pipeline fresh,
-		// without touching the cache or the single-flight table.
+		// without touching the cache (either tier) or the single-flight
+		// table.
+		tier = TierCold
 		ans, err = e.pipeline(ctx, question)
 	} else {
-		ans, cached, err = e.cachedAsk(ctx, shard, key, question)
+		ans, tier, sim, err = e.cachedAsk(ctx, shard, key, question, req.Options)
 	}
 	if err != nil {
 		if IsCancellation(ErrorCode(err)) {
@@ -435,25 +504,30 @@ func (e *Engine) Ask(ctx context.Context, req Request) (Response, error) {
 	if !req.Options.NoMemory {
 		e.record(req.SessionID, question, ans.Text)
 	}
-	return e.response(req, question, ans, cached, shard, start), nil
+	return e.response(req, question, ans, tier, sim, shard, start), nil
 }
 
-// cachedAsk serves the question through the answer cache and the
-// single-flight table of the key's shard. The loop re-checks the cache
-// after an aborted flight: when a leader's context cancels mid-
-// pipeline, its followers — whose own contexts may still be live —
-// retry and elect a new leader instead of inheriting the cancellation,
-// which keeps coalescing consistent without ever publishing an aborted
-// answer.
+// cachedAsk serves the question through the three-tier lookup of the
+// key's shard: the exact answer cache, then (when enabled and not
+// opted out) the semantic nearest-neighbor tier across all cache
+// shards, then the single-flight-coalesced cold pipeline. The loop
+// re-checks the cache after an aborted flight: when a leader's context
+// cancels mid-pipeline, its followers — whose own contexts may still
+// be live — retry and elect a new leader instead of inheriting the
+// cancellation, which keeps coalescing consistent without ever
+// publishing an aborted answer.
 //
 // Hit/miss accounting happens here, exactly once per answered ask: a
 // hit is an ask served without running the pipeline (direct cache hit,
-// coalesced follower, or a post-abort peek), a miss is an ask whose
-// pipeline ran to completion. Canceled and failed asks count neither —
-// they were never answered — so CacheHits+CacheMisses always equals
-// the number of answered cache-routed asks, whatever the interleaving
-// of leaders, followers and aborts.
-func (e *Engine) cachedAsk(ctx context.Context, shard int, key, question string) (Answer, bool, error) {
+// semantic serve, coalesced follower, or a post-abort peek), a miss is
+// an ask whose pipeline ran to completion. Canceled and failed asks
+// count neither — they were never answered — so hits+misses always
+// equals the number of answered cache-routed asks, whatever the
+// interleaving of leaders, followers and aborts; the semantic tier
+// adds a second *kind* of hit, never a second count. Coalesced
+// followers and post-abort peeks count as exact hits: they were served
+// under the byte-identical key, not by similarity.
+func (e *Engine) cachedAsk(ctx context.Context, shard int, key, question string, opts Options) (Answer, CacheTier, float64, error) {
 	// The key's hash picks the cache shard and, independently, the
 	// flight shard (the two tables may run at different shard counts —
 	// the cache's is clamped by its entry budget, the flight table's
@@ -462,9 +536,33 @@ func (e *Engine) cachedAsk(ctx context.Context, shard int, key, question string)
 	cache, flight := e.caches[shard], e.flights[shardIndex(key, len(e.flights))]
 
 	if ans, ok := cache.touch(key); ok {
-		cache.hits.Add(1)
-		return ans, true, nil
+		cache.exactHits.Add(1)
+		return ans, TierExact, 0, nil
 	}
+
+	// Semantic tier: embed once per exact miss. The vector serves both
+	// the neighbor search here and, if this ask goes cold, the index
+	// insert on publish — a NoSemantic (or per-request exact-only) ask
+	// skips the search but still contributes its vector, so it can
+	// serve later semantic lookups by other requests.
+	var qvec *embed.Vector
+	if e.semThreshold > 0 {
+		v := embed.Embed(question)
+		qvec = &v
+		min := e.semThreshold
+		if opts.MinSimilarity > 0 {
+			min = opts.MinSimilarity
+		}
+		if !opts.NoSemantic && min < 1 {
+			if ans, sim, ok := e.semanticLookup(v, min); ok {
+				// Counted on the query's home shard (the shard in the
+				// Response), wherever the neighbor resides.
+				cache.semanticHits.Add(1)
+				return ans, TierSemantic, sim, nil
+			}
+		}
+	}
+
 	for {
 		// Coalesce concurrent misses for the same key: one leader runs
 		// the pipeline, followers wait and share its answer (sound
@@ -475,24 +573,24 @@ func (e *Engine) cachedAsk(ctx context.Context, shard int, key, question string)
 			select {
 			case <-c.done:
 			case <-ctx.Done():
-				return Answer{}, false, ctxError(ctx)
+				return Answer{}, TierCold, 0, ctxError(ctx)
 			}
 			if c.err == nil {
 				// Served without invoking the retriever: a coalesced
 				// follower is a hit — it was answered from shared work,
 				// not a pipeline run of its own.
-				cache.hits.Add(1)
-				return c.ans, true, nil
+				cache.exactHits.Add(1)
+				return c.ans, TierExact, 0, nil
 			}
 			// The leader aborted (its context canceled). Retry with a
 			// fresh cache check — a later leader may have published by
 			// now — unless this caller is itself done.
 			if err := ctxError(ctx); err != nil {
-				return Answer{}, false, err
+				return Answer{}, TierCold, 0, err
 			}
 			if ans, ok := cache.peek(key); ok {
-				cache.hits.Add(1)
-				return ans, true, nil
+				cache.exactHits.Add(1)
+				return ans, TierExact, 0, nil
 			}
 			continue
 		}
@@ -505,7 +603,7 @@ func (e *Engine) cachedAsk(ctx context.Context, shard int, key, question string)
 			// Publish to the cache before retiring the flight so late
 			// arrivals always find one or the other. An aborted
 			// pipeline is never published.
-			cache.put(key, ans)
+			cache.put(key, ans, qvec)
 			cache.misses.Add(1)
 		}
 		c.ans, c.err = ans, err
@@ -513,25 +611,62 @@ func (e *Engine) cachedAsk(ctx context.Context, shard int, key, question string)
 		delete(flight.inflight, key)
 		flight.mu.Unlock()
 		close(c.done)
-		return ans, false, err
+		return ans, TierCold, 0, err
 	}
 }
 
+// semanticLookup searches every cache shard's question-vector index
+// for the globally best neighbor of qv at or above min, scoped to this
+// engine's (retriever, model) by construction — every cached key
+// carries them. Each shard is scanned under its own lock with the
+// answer snapshotted in the same critical section, so the winner's
+// (key, answer) pair is consistent; the global argmax (score, then
+// key) is deterministic regardless of shard count or scan order, which
+// keeps semantic hit totals shard-count-independent for a fixed ask
+// sequence. On a win the neighbor's recency/priority is refreshed —
+// paraphrase traffic keeps its canonical entry resident, exactly the
+// reuse signal the eviction policies feed on.
+func (e *Engine) semanticLookup(qv embed.Vector, min float64) (Answer, float64, bool) {
+	var (
+		bestAns   Answer
+		bestKey   string
+		bestScore float64
+		bestShard = -1
+	)
+	for si, c := range e.caches {
+		key, ans, score, ok := c.bestSimilar(qv, min)
+		if !ok {
+			continue
+		}
+		if bestShard < 0 || score > bestScore || (score == bestScore && key < bestKey) {
+			bestAns, bestKey, bestScore, bestShard = ans, key, score, si
+		}
+	}
+	if bestShard < 0 {
+		return Answer{}, 0, false
+	}
+	e.caches[bestShard].refresh(bestKey)
+	return bestAns, bestScore, true
+}
+
 // response assembles the Response for one completed ask, applying the
-// request's provenance verbosity.
-func (e *Engine) response(req Request, question string, ans Answer, cached bool, shard int, start time.Time) Response {
+// request's provenance verbosity. Cached is derived from the serving
+// tier — the tier is the source of truth.
+func (e *Engine) response(req Request, question string, ans Answer, tier CacheTier, sim float64, shard int, start time.Time) Response {
 	resp := Response{
-		SessionID: req.SessionID,
-		Question:  question,
-		Text:      ans.Text,
-		Verdict:   ans.Verdict,
-		Category:  ans.Category,
-		Quality:   ans.Quality,
-		Grounded:  ans.Grounded,
-		Cached:    cached,
-		Shard:     shard,
-		Retriever: e.retr.Name(),
-		Model:     e.profile.ID,
+		SessionID:  req.SessionID,
+		Question:   question,
+		Text:       ans.Text,
+		Verdict:    ans.Verdict,
+		Category:   ans.Category,
+		Quality:    ans.Quality,
+		Grounded:   ans.Grounded,
+		Tier:       tier,
+		Similarity: sim,
+		Cached:     tier != TierCold,
+		Shard:      shard,
+		Retriever:  e.retr.Name(),
+		Model:      e.profile.ID,
 		Timings: Timings{
 			Retrieval:  ans.Retrieval,
 			Generation: ans.Generation,
@@ -760,14 +895,28 @@ type Stats struct {
 	Canceled uint64
 	// CachePolicy names the active answer-cache eviction policy.
 	CachePolicy string
+	// SemanticThreshold is the live semantic-tier threshold: a value in
+	// (0, 1), or 0 when the tier is disabled (unset, or the degenerate
+	// 1.0 configuration).
+	SemanticThreshold float64
 	// CacheHits/CacheMisses count answered cache-routed asks (both zero
 	// when caching is disabled): a hit was served without running the
-	// pipeline (direct cache hit, coalesced single-flight follower, or
-	// post-abort peek), a miss ran it. Canceled/failed asks and
-	// BypassCache asks count neither, so Hits+Misses equals the number
-	// of answered asks that went through the cache.
+	// pipeline (exact cache hit, semantic serve, coalesced single-
+	// flight follower, or post-abort peek), a miss ran it. Canceled/
+	// failed asks and BypassCache asks count neither, so Hits+Misses
+	// equals the number of answered asks that went through the cache.
+	// CacheHits is always CacheExactHits+CacheSemanticHits — the split
+	// preserves the total, it never re-counts.
 	CacheHits   uint64
 	CacheMisses uint64
+	// CacheExactHits counts hits served under the byte-identical
+	// (retriever, model, question) key — including coalesced followers
+	// and post-abort peeks, which ride the exact key.
+	CacheExactHits uint64
+	// CacheSemanticHits counts hits served by the semantic tier: a
+	// nearest cached neighbor at or above the effective threshold,
+	// whose stored answer was returned byte-identically.
+	CacheSemanticHits uint64
 	// CacheBypasses counts insertions the eviction policy declined
 	// (a Victim bypass decision; the answer was still served).
 	CacheBypasses uint64
@@ -787,12 +936,17 @@ type Stats struct {
 	Shards int
 }
 
-// CacheShardStats is one answer-cache shard's counters.
+// CacheShardStats is one answer-cache shard's counters. Hits is always
+// ExactHits+SemanticHits; SemanticHits counts on the shard the query
+// hashed to (the Response.Shard), wherever the served neighbor
+// resides.
 type CacheShardStats struct {
-	Hits     uint64
-	Misses   uint64
-	Bypasses uint64
-	Entries  int
+	Hits         uint64
+	ExactHits    uint64
+	SemanticHits uint64
+	Misses       uint64
+	Bypasses     uint64
+	Entries      int
 }
 
 // Stats returns the current counters, summed across shards. Each shard
@@ -800,19 +954,29 @@ type CacheShardStats struct {
 // quiescent engine and monotone-consistent under load.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Questions:       e.questions.Load(),
-		Canceled:        e.canceled.Load(),
-		CachePolicy:     e.cachePolicy,
-		SessionsEvicted: e.sessionsEvicted.Load(),
-		Shards:          e.nshards,
+		Questions:         e.questions.Load(),
+		Canceled:          e.canceled.Load(),
+		CachePolicy:       e.cachePolicy,
+		SemanticThreshold: e.semThreshold,
+		SessionsEvicted:   e.sessionsEvicted.Load(),
+		Shards:            e.nshards,
 	}
 	if e.caches != nil {
 		st.CacheShards = make([]CacheShardStats, len(e.caches))
 	}
 	for i, c := range e.caches {
-		hits, misses, bypasses, entries := c.counters()
-		st.CacheShards[i] = CacheShardStats{Hits: hits, Misses: misses, Bypasses: bypasses, Entries: entries}
-		st.CacheHits += hits
+		exact, semantic, misses, bypasses, entries := c.counters()
+		st.CacheShards[i] = CacheShardStats{
+			Hits:         exact + semantic,
+			ExactHits:    exact,
+			SemanticHits: semantic,
+			Misses:       misses,
+			Bypasses:     bypasses,
+			Entries:      entries,
+		}
+		st.CacheHits += exact + semantic
+		st.CacheExactHits += exact
+		st.CacheSemanticHits += semantic
 		st.CacheMisses += misses
 		st.CacheBypasses += bypasses
 		st.CacheEntries += entries
@@ -827,6 +991,10 @@ func (e *Engine) Stats() Stats {
 
 // CachePolicyName returns the active answer-cache eviction policy.
 func (e *Engine) CachePolicyName() string { return e.cachePolicy }
+
+// SemanticThreshold returns the live semantic-tier threshold: a value
+// in (0, 1), or 0 when the tier is disabled.
+func (e *Engine) SemanticThreshold() float64 { return e.semThreshold }
 
 // Shards returns the engine's shard count.
 func (e *Engine) Shards() int { return e.nshards }

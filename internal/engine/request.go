@@ -20,6 +20,28 @@ const (
 	ProvenanceFull
 )
 
+// CacheTier names how an ask was served — the three-tier lookup's
+// source of truth (Response.Cached is derived from it). The tiers are
+// probed in order: exact hash, semantic nearest-neighbor, cold
+// pipeline.
+type CacheTier string
+
+const (
+	// TierExact: the answer came from the answer cache under the
+	// byte-identical (retriever, model, question) key — including
+	// coalesced single-flight followers and post-abort peek serves,
+	// which were answered from work keyed by that exact triple.
+	TierExact CacheTier = "exact"
+	// TierSemantic: no exact entry existed, but a cached question
+	// within the same (retriever, model) scope embedded close enough
+	// (≥ the effective similarity threshold), and that neighbor's
+	// stored answer was served byte-identically.
+	TierSemantic CacheTier = "semantic"
+	// TierCold: the retrieve→classify→generate pipeline ran (a cache
+	// miss, a BypassCache ask, or a cache-disabled engine).
+	TierCold CacheTier = "cold"
+)
+
 // Options are the per-request knobs of an ask. The zero value is the
 // default behaviour: record conversation memory, use the answer cache,
 // return no provenance. Cancellation and deadlines are carried by the
@@ -32,8 +54,24 @@ type Options struct {
 	// BypassCache skips the answer cache and single-flight coalescing
 	// entirely: the pipeline runs fresh and the result is not
 	// published. Answers are pure functions of the question, so this
-	// changes timing and counters, never bytes.
+	// changes timing and counters, never bytes. Implies no semantic
+	// serving (the semantic tier is part of the cache lookup).
 	BypassCache bool
+	// NoSemantic skips the semantic tier for this request: an exact
+	// miss goes straight to the cold pipeline instead of searching for
+	// a similar cached question. The answer is still indexed on the
+	// way in, so it can serve later semantic lookups by other requests.
+	NoSemantic bool
+	// MinSimilarity overrides the engine's semantic threshold for this
+	// request: 0 selects the engine default (Config.SemanticThreshold),
+	// values in (0, 1) serve any neighbor at or above them, and 1
+	// disables semantic serving for this request (exact-only — cosine
+	// scores are float-fuzzy at the top, so "exactly 1.0" is not a
+	// usable match bar and the bound degrades to the exact tier).
+	// Values outside [0, 1] are rejected with CodeInvalidRequest.
+	// No-op when the engine's semantic tier is disabled (there is no
+	// index to search).
+	MinSimilarity float64
 	// Provenance selects the context-provenance verbosity of the
 	// Response.
 	Provenance Provenance
@@ -85,9 +123,19 @@ type Response struct {
 	// Grounded reports whether the answer was derived from evidence.
 	Grounded bool
 
-	// Cached reports whether this answer was served without invoking
-	// the retriever (an answer-cache hit or a coalesced single-flight
-	// follower).
+	// Tier reports which cache tier served this answer: TierExact,
+	// TierSemantic, or TierCold — the source of truth for the cache
+	// outcome (Cached is derived from it).
+	Tier CacheTier
+	// Similarity is the cosine similarity between this question and
+	// the served neighbor's question on a TierSemantic answer; 0
+	// otherwise.
+	Similarity float64
+	// Cached reports whether this answer was served without running
+	// the pipeline (Tier != TierCold): an exact answer-cache hit, a
+	// coalesced single-flight follower, or a semantic-tier serve. Kept
+	// as a derived compatibility field — new code should branch on
+	// Tier.
 	Cached bool
 	// Shard is the cache/flight shard the question's key hashed to.
 	Shard int

@@ -1,0 +1,348 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"cachemind/internal/bench"
+	"cachemind/internal/engine"
+)
+
+// semEngine builds an engine with the semantic tier enabled at the
+// documented 0.85 starting threshold, single-sharded so residency is
+// deterministic unless a test overrides Shards.
+func semEngine(t testing.TB, cfg engine.Config) *engine.Engine {
+	t.Helper()
+	if cfg.SemanticThreshold == 0 {
+		cfg.SemanticThreshold = 0.85
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	return newEngine(t, cfg)
+}
+
+// TestSemanticHitByteIdentical is the tier's determinism contract: a
+// paraphrase served semantically returns the neighbor's stored answer
+// byte for byte, reports TierSemantic with the similarity score, and
+// keeps Cached=true as the derived compat flag.
+func TestSemanticHitByteIdentical(t *testing.T) {
+	e := semEngine(t, engine.Config{})
+	for i, q := range questions {
+		first := mustAsk(t, e, "s", q)
+		if first.Tier != engine.TierCold {
+			t.Fatalf("first ask of %q tier = %q, want cold", q, first.Tier)
+		}
+		// Distinct bytes, same meaning: the embed space is
+		// case-insensitive, so this sits at cosine 1.0.
+		para := strings.ToUpper(q)
+		if para == q {
+			t.Fatalf("paraphrase of %q is a no-op", q)
+		}
+		resp := mustAsk(t, e, fmt.Sprintf("s%d", i), para)
+		if resp.Tier != engine.TierSemantic {
+			t.Fatalf("paraphrase of %q tier = %q, want semantic", q, resp.Tier)
+		}
+		if resp.Text != first.Text {
+			t.Fatalf("semantic hit for %q not byte-identical:\ncold:     %q\nsemantic: %q", q, first.Text, resp.Text)
+		}
+		if resp.Similarity < 0.85 || resp.Similarity > 1 {
+			t.Fatalf("semantic similarity = %v, want within [0.85, 1]", resp.Similarity)
+		}
+		if !resp.Cached {
+			t.Fatal("semantic hit did not set the derived Cached flag")
+		}
+		if first.Similarity != 0 || first.Cached {
+			t.Fatalf("cold response carries cache state: %+v", first)
+		}
+	}
+	st := e.Stats()
+	if st.CacheSemanticHits != uint64(len(questions)) || st.CacheExactHits != 0 {
+		t.Fatalf("tier split = %d exact / %d semantic, want 0/%d",
+			st.CacheExactHits, st.CacheSemanticHits, len(questions))
+	}
+	if st.CacheHits != st.CacheExactHits+st.CacheSemanticHits {
+		t.Fatalf("CacheHits %d != exact %d + semantic %d", st.CacheHits, st.CacheExactHits, st.CacheSemanticHits)
+	}
+	if st.SemanticThreshold != 0.85 {
+		t.Fatalf("Stats.SemanticThreshold = %v, want 0.85", st.SemanticThreshold)
+	}
+}
+
+// TestSemanticExactStillWins: a byte-identical re-ask is served from
+// the exact tier even with the semantic tier enabled — the exact probe
+// runs first and never pays the similarity scan.
+func TestSemanticExactStillWins(t *testing.T) {
+	e := semEngine(t, engine.Config{})
+	q := questions[0]
+	mustAsk(t, e, "s", q)
+	resp := mustAsk(t, e, "s", q)
+	if resp.Tier != engine.TierExact || !resp.Cached {
+		t.Fatalf("exact re-ask tier = %q (cached %v), want exact", resp.Tier, resp.Cached)
+	}
+	if resp.Similarity != 0 {
+		t.Fatalf("exact hit reports similarity %v, want 0", resp.Similarity)
+	}
+	st := e.Stats()
+	if st.CacheExactHits != 1 || st.CacheSemanticHits != 0 {
+		t.Fatalf("tier split = %d/%d, want 1/0", st.CacheExactHits, st.CacheSemanticHits)
+	}
+}
+
+// TestSemanticDisabledByDefault: without Config.SemanticThreshold a
+// paraphrase is just a distinct question — cold, then exact on re-ask.
+func TestSemanticDisabledByDefault(t *testing.T) {
+	e := newEngine(t, engine.Config{})
+	q := questions[0]
+	mustAsk(t, e, "s", q)
+	resp := mustAsk(t, e, "s", strings.ToUpper(q))
+	if resp.Tier != engine.TierCold || resp.Cached {
+		t.Fatalf("paraphrase on a tier-less engine = %q (cached %v), want cold", resp.Tier, resp.Cached)
+	}
+	if e.SemanticThreshold() != 0 {
+		t.Fatalf("SemanticThreshold() = %v, want 0", e.SemanticThreshold())
+	}
+}
+
+// TestSemanticThresholdOneDegradesToExactOnly: threshold 1.0 is the
+// documented degenerate setting — the tier never fires (float-fuzzy
+// cosine makes "exactly 1.0" meaningless), reproducing exact-only
+// hit/miss behavior bit for bit.
+func TestSemanticThresholdOneDegradesToExactOnly(t *testing.T) {
+	e := newEngine(t, engine.Config{SemanticThreshold: 1, Shards: 1})
+	if e.SemanticThreshold() != 0 {
+		t.Fatalf("threshold 1.0 reports %v, want 0 (disabled)", e.SemanticThreshold())
+	}
+	q := questions[0]
+	mustAsk(t, e, "s", q)
+	if resp := mustAsk(t, e, "s", strings.ToUpper(q)); resp.Tier != engine.TierCold {
+		t.Fatalf("paraphrase under threshold 1.0 tier = %q, want cold", resp.Tier)
+	}
+	if st := e.Stats(); st.CacheSemanticHits != 0 || st.SemanticThreshold != 0 {
+		t.Fatalf("degenerate tier produced semantic state: %+v", st)
+	}
+}
+
+// TestSemanticThresholdValidation: Config.SemanticThreshold outside
+// [0, 1] is a construction error, and Options.MinSimilarity outside
+// [0, 1] is an invalid request.
+func TestSemanticThresholdValidation(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.5} {
+		if _, err := engine.New(engine.Config{Store: testStore(t), SemanticThreshold: bad}); err == nil {
+			t.Fatalf("SemanticThreshold %v accepted", bad)
+		}
+	}
+	e := semEngine(t, engine.Config{})
+	for _, bad := range []float64{-0.5, 1.01} {
+		_, err := e.Ask(context.Background(), engine.Request{
+			SessionID: "s", Question: questions[0],
+			Options: engine.Options{MinSimilarity: bad},
+		})
+		if code := engine.ErrorCode(err); code != engine.CodeInvalidRequest {
+			t.Fatalf("MinSimilarity %v error code = %q, want %q", bad, code, engine.CodeInvalidRequest)
+		}
+	}
+}
+
+// TestSemanticOptions covers the per-request knobs: NoSemantic skips
+// the tier (but the answer still lands in the index for later serves),
+// MinSimilarity raises the bar above the engine default, and
+// MinSimilarity 1 is the per-request exact-only degenerate.
+func TestSemanticOptions(t *testing.T) {
+	e := semEngine(t, engine.Config{})
+	q := questions[0]
+	mustAsk(t, e, "s", q)
+	para := strings.ToUpper(q)
+
+	withOpts := func(question string, opts engine.Options) engine.Response {
+		t.Helper()
+		resp, err := e.Ask(context.Background(), engine.Request{SessionID: "s", Question: question, Options: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// NoSemantic: the paraphrase takes the cold path...
+	if resp := withOpts(para, engine.Options{NoSemantic: true}); resp.Tier != engine.TierCold {
+		t.Fatalf("NoSemantic paraphrase tier = %q, want cold", resp.Tier)
+	}
+	// ...and is now exact-cached like any cold answer.
+	if resp := withOpts(para, engine.Options{NoSemantic: true}); resp.Tier != engine.TierExact {
+		t.Fatalf("NoSemantic re-ask tier = %q, want exact", resp.Tier)
+	}
+
+	// A "Please"-prefixed rewording sits near cosine 0.93 against the
+	// original: served at the engine's 0.85 default...
+	softer := "Please " + strings.ToLower(questions[1])
+	mustAsk(t, e, "s", questions[1])
+	if resp := withOpts(softer, engine.Options{}); resp.Tier != engine.TierSemantic {
+		t.Fatalf("soft paraphrase at default threshold tier = %q, want semantic", resp.Tier)
+	}
+	// ...but a per-request MinSimilarity of 0.999 rejects it. (The
+	// earlier serve did not cache softer — semantic hits insert
+	// nothing — so this ask really re-runs the similarity search.)
+	if resp := withOpts(softer, engine.Options{MinSimilarity: 0.999}); resp.Tier != engine.TierCold {
+		t.Fatalf("soft paraphrase at MinSimilarity 0.999 tier = %q, want cold", resp.Tier)
+	}
+
+	// MinSimilarity 1: per-request exact-only, even at cosine 1.0.
+	mustAsk(t, e, "s", questions[2])
+	if resp := withOpts(strings.ToUpper(questions[2]), engine.Options{MinSimilarity: 1}); resp.Tier != engine.TierCold {
+		t.Fatalf("paraphrase at MinSimilarity 1 tier = %q, want cold", resp.Tier)
+	}
+}
+
+// TestSemanticBypassCacheSkipsTier: BypassCache routes around the
+// whole cache — exact and semantic alike — and reports cold.
+func TestSemanticBypassCacheSkipsTier(t *testing.T) {
+	e := semEngine(t, engine.Config{})
+	q := questions[0]
+	mustAsk(t, e, "s", q)
+	resp, err := e.Ask(context.Background(), engine.Request{
+		SessionID: "s", Question: strings.ToUpper(q),
+		Options: engine.Options{BypassCache: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Tier != engine.TierCold || resp.Cached {
+		t.Fatalf("BypassCache paraphrase tier = %q (cached %v), want cold", resp.Tier, resp.Cached)
+	}
+	// Bypassed asks are not cache-routed: no hit or miss moved.
+	if st := e.Stats(); st.CacheHits != 0 || st.CacheMisses != 1 {
+		t.Fatalf("bypass perturbed counters: hits %d, misses %d (want 0/1 from the seed ask)", st.CacheHits, st.CacheMisses)
+	}
+}
+
+// TestSemanticEvictionDropsNeighbor: once the only neighbor is evicted
+// — under a non-default policy, exercising the policy-seam lockstep
+// end to end — a paraphrase goes cold instead of being served from a
+// dangling vector.
+func TestSemanticEvictionDropsNeighbor(t *testing.T) {
+	for _, pol := range engine.CachePolicies() {
+		t.Run(pol, func(t *testing.T) {
+			e := semEngine(t, engine.Config{CacheSize: 1, CachePolicy: pol})
+			q := questions[0]
+			mustAsk(t, e, "s", q)
+			// Capacity 1: each further distinct cold answer evicts the
+			// previous resident (or is bypassed, leaving q in place —
+			// either way the index must agree with residency).
+			for _, other := range questions[1:3] {
+				mustAsk(t, e, "s", other)
+			}
+			resp := mustAsk(t, e, "s", strings.ToUpper(q))
+			if resp.Tier == engine.TierSemantic && resp.Similarity < 0.85 {
+				t.Fatalf("served below threshold: %+v", resp)
+			}
+			// Whatever was served, it must be the right bytes: compare
+			// against a fresh reference engine.
+			ref := newEngine(t, engine.Config{CacheSize: -1})
+			want := mustAsk(t, ref, "s", strings.ToUpper(q))
+			if resp.Tier == engine.TierCold && resp.Text != want.Text {
+				t.Fatalf("cold answer diverges from reference")
+			}
+		})
+	}
+}
+
+// TestSemanticCrossShard: paraphrases hash to different shards, so the
+// similarity search must fan out — a semantic hit lands even when the
+// neighbor resides on another shard, and the hit is counted on the
+// query's home shard (matching Response.Shard).
+func TestSemanticCrossShard(t *testing.T) {
+	e := semEngine(t, engine.Config{Shards: 8})
+	q := questions[0]
+	mustAsk(t, e, "s", q)
+	resp := mustAsk(t, e, "s", strings.ToUpper(q))
+	if resp.Tier != engine.TierSemantic {
+		t.Fatalf("cross-shard paraphrase tier = %q, want semantic", resp.Tier)
+	}
+	st := e.Stats()
+	var counted int
+	for i, sh := range st.CacheShards {
+		if sh.SemanticHits > 0 {
+			counted += int(sh.SemanticHits)
+			if i != resp.Shard {
+				t.Fatalf("semantic hit counted on shard %d, response says home shard %d", i, resp.Shard)
+			}
+		}
+	}
+	if counted != 1 {
+		t.Fatalf("semantic hits across shards = %d, want 1", counted)
+	}
+}
+
+// TestSemanticConcurrentParaphrases is the tier's -race hammer: 16
+// goroutines mix originals and paraphrases against 1 and 8 shards with
+// a small cache forcing concurrent evictions. Correctness bar: no
+// race, and every answer byte-identical to the reference for either
+// the question asked or one of its paraphrase sources.
+func TestSemanticConcurrentParaphrases(t *testing.T) {
+	ref := newEngine(t, engine.Config{CacheSize: -1})
+	// Precompute reference answers for every string the hammer can ask.
+	want := map[string]map[string]bool{} // asked question -> acceptable answers
+	addRef := func(asked string, sources ...string) {
+		set := map[string]bool{}
+		for _, s := range sources {
+			set[mustAsk(t, ref, "ref", s).Text] = true
+		}
+		want[asked] = set
+	}
+	variants := func(q string) []string {
+		out := make([]string, bench.ParaphraseVariants)
+		for v := range out {
+			out[v] = bench.Paraphrase(q, v)
+		}
+		return out
+	}
+	for _, q := range questions {
+		// An original may be served semantically from any of its cached
+		// variants (and vice versa): all their answers are acceptable.
+		family := append([]string{q}, variants(q)...)
+		for _, asked := range family {
+			addRef(asked, family...)
+		}
+	}
+
+	for _, shards := range []int{1, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			e := semEngine(t, engine.Config{Shards: shards, CacheSize: 8})
+			var wg sync.WaitGroup
+			errs := make(chan error, 16)
+			for g := 0; g < 16; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 40; i++ {
+						q := questions[(g+i)%len(questions)]
+						if i%2 == 1 {
+							q = bench.Paraphrase(q, (g+i)%bench.ParaphraseVariants)
+						}
+						resp, err := ask(e, fmt.Sprintf("g%d", g), q)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if !want[q][resp.Text] {
+							errs <- fmt.Errorf("answer for %q (tier %s) matches no paraphrase-family reference", q, resp.Tier)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			st := e.Stats()
+			if st.CacheHits != st.CacheExactHits+st.CacheSemanticHits {
+				t.Fatalf("tier split does not sum: %+v", st)
+			}
+		})
+	}
+}
