@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz fmt vet loadgen ci
+.PHONY: all build test race bench fuzz fmt vet loadgen loadgen-sweep profile ci
 
 all: build
 
@@ -53,12 +53,25 @@ fuzz:
 # paraphrase-group mix against a 0.85 semantic threshold keeps the
 # semantic tier under load (the artifact's semantic_hit_rate should be
 # nonzero). Knobs overridable for longer local runs.
+#
+# The run warms the cache first (-warmup, discarded from every measured
+# number) and then enforces thresholds, not just records them: a
+# throughput floor, a p99 ceiling, and an allocs/op budget on the cached
+# exact-hit ask. The levels carry ~2x headroom over a healthy run on the
+# CI runners — loose enough to ride out shared-runner noise, tight
+# enough that a real regression (a lost zero-alloc path, a serialized
+# shard) fails the gate instead of drifting into the trend line.
 LOADGEN_N ?= 2000
 LOADGEN_C ?= 8
 LOADGEN_TIMEOUT ?= 10s
+LOADGEN_WARMUP ?= 256
+LOADGEN_MIN_QPS ?= 2000
+LOADGEN_MAX_P99_MS ?= 10
+LOADGEN_MAX_ALLOCS ?= 2
 loadgen:
 	$(GO) run ./cmd/loadgen -n $(LOADGEN_N) -c $(LOADGEN_C) -seed 42 -repeat 0.5 \
-		-paraphrase 0.3 -semantic-threshold 0.85 \
+		-paraphrase 0.3 -semantic-threshold 0.85 -warmup $(LOADGEN_WARMUP) \
+		-min-qps $(LOADGEN_MIN_QPS) -max-p99-ms $(LOADGEN_MAX_P99_MS) -max-allocs $(LOADGEN_MAX_ALLOCS) \
 		-accesses 4000 -request-timeout $(LOADGEN_TIMEOUT) -strict -out BENCH_loadgen.json
 
 # The policy sweep: the same fixed-seed mix replayed under every
@@ -75,5 +88,15 @@ SWEEP_N ?= 500
 loadgen-sweep:
 	$(GO) run ./cmd/loadgen -policy-sweep -n $(SWEEP_N) -c $(LOADGEN_C) -seed 42 -repeat 0.5 \
 		-cache 64 -accesses 4000 -request-timeout $(LOADGEN_TIMEOUT) -strict -out BENCH_loadgen_sweep.json
+
+# Profiles of the perf-gate workload: the same warmed fixed-seed run as
+# `make loadgen` with pprof capture on. Inspect with
+# `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`; CI uploads both
+# as artifacts so a gate failure comes with its own profile attached.
+profile:
+	$(GO) run ./cmd/loadgen -n $(LOADGEN_N) -c $(LOADGEN_C) -seed 42 -repeat 0.5 \
+		-paraphrase 0.3 -semantic-threshold 0.85 -warmup $(LOADGEN_WARMUP) \
+		-accesses 4000 -request-timeout $(LOADGEN_TIMEOUT) \
+		-cpuprofile cpu.pprof -memprofile mem.pprof -out BENCH_loadgen_profile.json
 
 ci: build fmt vet race bench fuzz loadgen loadgen-sweep

@@ -262,6 +262,7 @@ func BenchmarkEngineAskCold(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Ask(context.Background(), engine.Request{SessionID: "bench", Question: engineBenchQuestion}); err != nil {
@@ -282,6 +283,7 @@ func BenchmarkEngineAskCached(b *testing.B) {
 	if _, err := e.Ask(context.Background(), engine.Request{SessionID: "bench", Question: engineBenchQuestion}); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Ask(context.Background(), engine.Request{SessionID: "bench", Question: engineBenchQuestion}); err != nil {
@@ -325,6 +327,7 @@ func BenchmarkEngineAskContended(b *testing.B) {
 				}
 			}
 			var gid atomic.Int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				g := int(gid.Add(1))

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+)
+
+// Fast-path encoder for the v1 ask envelope.
+//
+// POST /v1/ask replies dominate the daemon's output bytes, and
+// encoding/json renders them through reflection with a fresh encode
+// state per response. This file renders askResponse by hand into a
+// pooled buffer instead — byte-identical to json.Encoder with
+// SetEscapeHTML(false) (TestAppendAskResponseMatchesEncodingJSON pins
+// the equivalence across escaping, omitempty and float formatting), so
+// the wire contract is untouched; only the cost changes. Values
+// encoding/json would reject (non-finite floats) fall back to writeJSON
+// so the two paths also fail identically.
+
+// encodeBuf is one pooled response-encoding buffer. Ownership mirrors
+// the engine's askScratch: owned by exactly one response write between
+// pool Get and Put, never aliased past it.
+type encodeBuf struct {
+	b []byte
+}
+
+// encodeBufCap bounds the buffer a write may carry back into the pool;
+// a rare provenance-heavy response must not pin its buffer forever.
+const encodeBufCap = 64 << 10
+
+var encodeBufPool = sync.Pool{New: func() any { return new(encodeBuf) }}
+
+func putEncodeBuf(eb *encodeBuf) {
+	if cap(eb.b) <= encodeBufCap {
+		encodeBufPool.Put(eb)
+	}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string, replicating
+// encoding/json's escaping with EscapeHTML disabled: quotes,
+// backslashes and control bytes are escaped (short forms where JSON has
+// them), invalid UTF-8 becomes the literal \ufffd escape, and U+2028/U+2029 are escaped
+// for JSONP safety exactly as the stdlib does.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\b':
+				b = append(b, '\\', 'b')
+			case '\f':
+				b = append(b, '\\', 'f')
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	b = append(b, '"')
+	return b
+}
+
+// appendJSONFloat appends f in encoding/json's number format (ES6
+// number-to-string: %f inside [1e-6, 1e21), %e outside, with the
+// exponent's leading zero stripped). ok is false for the non-finite
+// values encoding/json refuses to encode.
+func appendJSONFloat(b []byte, f float64) (_ []byte, ok bool) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return b, false
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b, true
+}
+
+// appendAskResponse appends r's v1 JSON envelope (no trailing newline —
+// the caller appends json.Encoder's terminator). Field order, omitempty
+// behavior and every escaping rule match the askResponse struct tags
+// under encoding/json; ok is false when a value only writeJSON can
+// handle (non-finite timing) was hit, and the partial output must be
+// discarded.
+func appendAskResponse(b []byte, r *askResponse) (_ []byte, ok bool) {
+	b = append(b, `{"session":`...)
+	b = appendJSONString(b, r.Session)
+	b = append(b, `,"question":`...)
+	b = appendJSONString(b, r.Question)
+	b = append(b, `,"answer":`...)
+	b = appendJSONString(b, r.Answer)
+	b = append(b, `,"verdict":`...)
+	b = appendJSONString(b, r.Verdict)
+	b = append(b, `,"category":`...)
+	b = appendJSONString(b, r.Category)
+	b = append(b, `,"quality":`...)
+	b = appendJSONString(b, r.Quality)
+	b = append(b, `,"grounded":`...)
+	b = strconv.AppendBool(b, r.Grounded)
+	b = append(b, `,"cache_tier":`...)
+	b = appendJSONString(b, r.CacheTier)
+	if r.Similarity != 0 {
+		b = append(b, `,"similarity":`...)
+		if b, ok = appendJSONFloat(b, r.Similarity); !ok {
+			return b, false
+		}
+	}
+	b = append(b, `,"cached":`...)
+	b = strconv.AppendBool(b, r.Cached)
+	b = append(b, `,"shard":`...)
+	b = strconv.AppendInt(b, int64(r.Shard), 10)
+	b = append(b, `,"retriever":`...)
+	b = appendJSONString(b, r.Retriever)
+	b = append(b, `,"model":`...)
+	b = appendJSONString(b, r.Model)
+	if r.Context != "" {
+		b = append(b, `,"context":`...)
+		b = appendJSONString(b, r.Context)
+	}
+	if len(r.Queries) > 0 {
+		b = append(b, `,"queries":[`...)
+		for i, q := range r.Queries {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendJSONString(b, q)
+		}
+		b = append(b, ']')
+	}
+	b = append(b, `,"retrieval_ms":`...)
+	if b, ok = appendJSONFloat(b, r.RetrievalMS); !ok {
+		return b, false
+	}
+	b = append(b, `,"generate_ms":`...)
+	if b, ok = appendJSONFloat(b, r.GenerateMS); !ok {
+		return b, false
+	}
+	b = append(b, `,"total_ms":`...)
+	if b, ok = appendJSONFloat(b, r.TotalMS); !ok {
+		return b, false
+	}
+	b = append(b, '}')
+	return b, true
+}

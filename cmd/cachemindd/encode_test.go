@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// encodeReference renders v exactly as writeJSON does: json.Encoder
+// with HTML escaping off (which also appends the terminating newline).
+func encodeReference(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// askResponseCases covers the envelope's variation points: omitempty
+// fields present and absent, every escaping class encoding/json
+// distinguishes (short escapes, \u00xx controls, HTML characters left
+// alone, invalid UTF-8, U+2028/U+2029, multi-byte runes), and the float
+// format regimes ('f' inside [1e-6, 1e21), 'e' outside with the
+// exponent's leading zero stripped).
+var askResponseCases = []askResponse{
+	{},
+	{
+		Session:     "s1",
+		Question:    "What is the miss rate in mcf under lru?",
+		Answer:      "The miss rate is 0.42.",
+		Verdict:     "0.42",
+		Category:    "miss_rate",
+		Quality:     "High",
+		Grounded:    true,
+		CacheTier:   "exact",
+		Cached:      true,
+		Shard:       3,
+		Retriever:   "ranger",
+		Model:       "gpt-4o",
+		RetrievalMS: 0.133,
+		GenerateMS:  0.016,
+		TotalMS:     0.149,
+	},
+	{
+		Session:    "sem",
+		Question:   "paraphrase?",
+		CacheTier:  "semantic",
+		Similarity: 0.923456789,
+		Cached:     true,
+	},
+	{
+		// Every escaping class in one envelope. The HTML characters
+		// <, >, & must pass through unescaped (EscapeHTML is off).
+		Session:  "quote\" backslash\\ newline\n tab\t cr\r",
+		Question: "ctrl\x01\x1f bell\a backspace\b formfeed\f",
+		Answer:   "html <b>&amp;</b> stays; line sep \u2028 and para sep \u2029 escape",
+		Verdict:  "bad utf8: \xff\xfe ok rune: ✓ 日本語",
+		Category: "mixed\xc3\x28invalid continuation",
+		Context:  "non-empty context",
+		Queries:  []string{"q one", "q\ttwo", ""},
+	},
+	{
+		// Float regimes: tiny goes 'e' with exponent cleanup, huge goes
+		// 'e', boundaries stay 'f'.
+		Similarity:  1e-7,
+		RetrievalMS: 1e21,
+		GenerateMS:  1e-6,
+		TotalMS:     999999999999999999999.0,
+	},
+	{
+		Similarity:  0.000001999,
+		RetrievalMS: 40.123456789,
+		GenerateMS:  -0.5, // negative never happens live; format must still match
+		TotalMS:     123456.789,
+	},
+	{
+		// Empty-but-present distinctions: empty queries slice is omitted
+		// like nil, empty context omitted, zero similarity omitted.
+		Queries: []string{},
+	},
+}
+
+// TestAppendAskResponseMatchesEncodingJSON pins the fast-path encoder
+// byte-for-byte to the writeJSON reference across the case table — the
+// wire-contract guarantee that lets handleAsk skip encoding/json.
+func TestAppendAskResponseMatchesEncodingJSON(t *testing.T) {
+	for i, c := range askResponseCases {
+		got, ok := appendAskResponse(nil, &c)
+		if !ok {
+			t.Errorf("case %d: encoder refused a finite envelope", i)
+			continue
+		}
+		got = append(got, '\n')
+		want := encodeReference(t, c)
+		if !bytes.Equal(got, want) {
+			t.Errorf("case %d: fast path diverges from encoding/json\n got: %q\nwant: %q", i, got, want)
+		}
+	}
+}
+
+// TestAppendAskResponseFloatSweep hammers the float encoder across
+// magnitudes (both format regimes and the 'e' exponent cleanup) against
+// the reference encoder.
+func TestAppendAskResponseFloatSweep(t *testing.T) {
+	v := 1e-12
+	for i := 0; v < 1e24; i, v = i+1, v*3.7 {
+		r := askResponse{TotalMS: v, RetrievalMS: -v, GenerateMS: v / 3}
+		got, ok := appendAskResponse(nil, &r)
+		if !ok {
+			t.Fatalf("refused finite %g", v)
+		}
+		got = append(got, '\n')
+		if want := encodeReference(t, r); !bytes.Equal(got, want) {
+			t.Fatalf("float %g: fast path diverges\n got: %q\nwant: %q", v, got, want)
+		}
+	}
+}
+
+// TestAppendAskResponseNonFinite: values encoding/json rejects must be
+// refused (ok=false) so writeAsk falls back to the reference path
+// instead of emitting invalid JSON.
+func TestAppendAskResponseNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, ok := appendAskResponse(nil, &askResponse{TotalMS: bad}); ok {
+			t.Errorf("encoder accepted non-finite %v", bad)
+		}
+		if _, ok := appendAskResponse(nil, &askResponse{Similarity: bad}); ok {
+			t.Errorf("encoder accepted non-finite similarity %v", bad)
+		}
+	}
+}

@@ -27,6 +27,7 @@
 //	cachemindd -cache-policy hawkeye              # paper's policy suite on the answer cache
 //	cachemindd -semantic-threshold 0.85           # serve paraphrases from the semantic cache tier
 //	cachemindd -request-timeout 5s -max-queue 256
+//	cachemindd -pprof-addr localhost:6060       # net/http/pprof on a second listener
 //
 //	curl -s localhost:8080/v1/ask -d '{"session":"s1","question":"List all unique PCs in mcf under LRU."}'
 package main
@@ -37,6 +38,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof-addr listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -66,7 +68,18 @@ func main() {
 	maxTurns := flag.Int("max-turns", 0, "turns retained per session (0: default 256, negative: unlimited)")
 	shards := flag.Int("shards", 0, "engine shard count for the session/cache/flight tables (0: one per CPU, 1: single global lock)")
 	par := flag.Int("parallel", 0, "worker bound for the in-memory build (0: all CPUs, 1: serial)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address, e.g. localhost:6060 (empty: disabled)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Profiling rides a second listener so the debug surface is never
+		// exposed on the service address; the blank pprof import registers
+		// its handlers on the default mux.
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			log.Printf("pprof server exited: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	if *dbPath == "" {
 		log.Printf("building in-memory database (%d accesses/trace)...", *accesses)

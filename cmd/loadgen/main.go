@@ -19,6 +19,9 @@
 //	loadgen -cache-policy hawkeye            # paper policy on the answer cache
 //	loadgen -policy-sweep -n 2000            # one pass per policy, comparative table
 //	loadgen -semantic-threshold 0.85 -paraphrase 0.3   # paraphrase mix against the semantic tier
+//	loadgen -warmup 256 -n 2000                        # warm the cache, then measure
+//	loadgen -cpuprofile cpu.pprof -memprofile mem.pprof
+//	loadgen -strict -min-qps 2000 -max-p99-ms 10 -max-allocs 2   # enforced perf gate
 //
 // The question stream is a pure function of (-seed, -repeat, store), so
 // identical flags replay identical load; -strict makes any request
@@ -35,6 +38,13 @@
 // (engine.CachePolicies()) and writes one policy_sweep row each —
 // throughput, latency, hit rate, and an answer digest that must agree
 // across policies, since eviction decides residency, never bytes.
+//
+// -warmup N issues N questions (same plan, same sessions) before
+// measurement starts and discards their outcomes, so percentiles and
+// cache tallies describe a warmed cache. -cpuprofile/-memprofile write
+// pprof profiles of the measured run. Under -strict the -min-qps,
+// -max-p99-ms and -max-allocs thresholds (each live when > 0) turn the
+// report into an enforced perf gate.
 package main
 
 import (
@@ -43,6 +53,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 )
 
@@ -71,13 +83,47 @@ func main() {
 	flag.Float64Var(&cfg.semThreshold, "semantic-threshold", 0, "in-process semantic cache tier: serve the nearest cached question at or above this cosine similarity on an exact miss (0: disabled, 1: exact-only)")
 	flag.Float64Var(&cfg.paraphrase, "paraphrase", 0, "probability a repeat draw is reworded instead of byte-identical (exercises the semantic tier)")
 	flag.BoolVar(&cfg.policySweep, "policy-sweep", false, "replay the identical mix under every registered cache policy and emit the comparative policy_sweep table (in-process, count mode)")
+	flag.IntVar(&cfg.warmup, "warmup", 0, "questions issued and discarded before measurement starts (excluded from latency and cache tallies)")
+	flag.Float64Var(&cfg.minQPS, "min-qps", 0, "strict gate: fail when measured throughput drops below this floor (0: off)")
+	flag.Float64Var(&cfg.maxP99MS, "max-p99-ms", 0, "strict gate: fail when p99 latency exceeds this many milliseconds (0: off)")
+	flag.Float64Var(&cfg.maxAllocs, "max-allocs", 0, "strict gate: fail when allocs_per_cached_ask exceeds this budget; fractional values like 0.5 assert an allocation-free path (in-process only; 0: off)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
 	out := flag.String("out", "BENCH_loadgen.json", "report path")
-	strict := flag.Bool("strict", false, "exit non-zero on any request error or zero throughput (the CI perf gate)")
+	strict := flag.Bool("strict", false, "exit non-zero on any request error, zero throughput, or breached -min-qps/-max-p99-ms/-max-allocs threshold (the CI perf gate)")
 	flag.Parse()
+	// CLI runs always report allocs_per_cached_ask; the config knob only
+	// exists so tests whose assertions read the engine's cumulative
+	// counters can keep the probe's extra asks out of them.
+	cfg.measureAllocs = true
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
 
 	report, err := run(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // collect dead objects so the profile shows live heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -94,6 +140,9 @@ func main() {
 		report.Latency.P50, report.Latency.P95, report.Latency.P99,
 		100*report.Cache.HitRate, 100*report.Cache.ExactHitRate, 100*report.Cache.SemanticHitRate,
 		report.Errors, report.Canceled)
+	if report.AllocsPerCachedAsk != nil {
+		fmt.Printf("cached ask: %.2f allocs/op (exact hit, NoMemory)\n", *report.AllocsPerCachedAsk)
+	}
 	if len(report.PolicySweep) > 0 {
 		fmt.Println("policy sweep (identical mix per policy):")
 		for _, row := range report.PolicySweep {
@@ -117,6 +166,24 @@ func main() {
 		// (canceled-inflated) throughput and pass the gate.
 		if answered := report.Questions - report.Errors - report.Canceled; answered <= 0 {
 			log.Fatalf("strict: no questions answered (%d asked, %d canceled)", report.Questions, report.Canceled)
+		}
+		// Threshold gates: each is live when its flag is positive. These
+		// turn the report from a measurement into an enforced contract —
+		// a perf regression fails CI instead of drifting into the trend
+		// line.
+		if cfg.minQPS > 0 && report.ThroughputQPS < cfg.minQPS {
+			log.Fatalf("strict: throughput %.0f q/s below the -min-qps %.0f floor", report.ThroughputQPS, cfg.minQPS)
+		}
+		if cfg.maxP99MS > 0 && report.Latency.P99 > cfg.maxP99MS {
+			log.Fatalf("strict: p99 %.3fms above the -max-p99-ms %.3f ceiling", report.Latency.P99, cfg.maxP99MS)
+		}
+		if cfg.maxAllocs > 0 {
+			if report.AllocsPerCachedAsk == nil {
+				log.Fatal("strict: -max-allocs set but allocs_per_cached_ask was not measured (cache disabled?)")
+			}
+			if *report.AllocsPerCachedAsk > cfg.maxAllocs {
+				log.Fatalf("strict: cached ask costs %.2f allocs/op, above the -max-allocs %.2f budget", *report.AllocsPerCachedAsk, cfg.maxAllocs)
+			}
 		}
 		// The sweep gate holds every policy to the same bar: any
 		// request error, or a policy that answered nothing, fails.

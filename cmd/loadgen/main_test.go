@@ -37,8 +37,12 @@ func TestRunInProcessSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if report.Mode != "inprocess" || report.Schema != "cachemind-loadgen/v4" {
+	if report.Mode != "inprocess" || report.Schema != "cachemind-loadgen/v5" {
 		t.Fatalf("mode/schema = %q/%q", report.Mode, report.Schema)
+	}
+	if report.Warmup != 0 || report.AllocsPerCachedAsk != nil || report.Thresholds != nil {
+		t.Fatalf("default run grew v5 extras: warmup %d, allocs %v, thresholds %v",
+			report.Warmup, report.AllocsPerCachedAsk, report.Thresholds)
 	}
 	if report.CachePolicy != "lru" || report.Cache.Source != "engine" {
 		t.Fatalf("policy/source = %q/%q, want lru/engine", report.CachePolicy, report.Cache.Source)
@@ -126,7 +130,7 @@ func TestRunReportSchemaStable(t *testing.T) {
 	for _, key := range []string{
 		"schema", "mode", "concurrency", "batch", "shards", "seed",
 		"repeat_ratio", "sessions", "cache_policy", "semantic_threshold",
-		"paraphrase_ratio", "requests", "questions",
+		"paraphrase_ratio", "warmup", "requests", "questions",
 		"errors", "canceled", "duration_seconds", "throughput_qps",
 		"latency_ms", "cache", "answer_digest",
 	} {
@@ -154,6 +158,124 @@ func TestRunReportSchemaStable(t *testing.T) {
 		if _, ok := cache[key]; !ok {
 			t.Errorf("cache missing %q", key)
 		}
+	}
+}
+
+// TestRunWarmupExcludedFromTallies is the warmup accounting regression
+// test: with a warmup pass covering the entire plan, the measured run
+// sees a fully warmed cache — all exact hits, zero misses — and the
+// warmup asks themselves appear in no measured counter, only in the
+// warmup echo.
+func TestRunWarmupExcludedFromTallies(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.warmup = 40 // the plan is 40 questions long, so warmup replays it all
+	report, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Warmup != 40 {
+		t.Fatalf("warmup echo = %d, want 40", report.Warmup)
+	}
+	if report.Questions != 40 || report.Requests != 40 {
+		t.Fatalf("measured questions/requests = %d/%d, want 40/40 (warmup must not count)",
+			report.Questions, report.Requests)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("errors = %d (%s)", report.Errors, report.ErrorSample)
+	}
+	c := report.Cache
+	if c.Hits+c.Misses != 40 {
+		t.Fatalf("measured lookups = %d, want 40 (warmup lookups leaked in)", c.Hits+c.Misses)
+	}
+	if c.Misses != 0 || c.ExactHits != 40 {
+		t.Fatalf("warmed run should be all exact hits: %+v", c)
+	}
+	if c.HitRate != 1 {
+		t.Fatalf("warmed hit rate = %v, want 1", c.HitRate)
+	}
+}
+
+// TestRunWarmedMeanBetweenPercentiles is the latency-accounting
+// regression test for the bug -warmup exists to fix: without it, the
+// one-time cold-start asks (store-backed retrieval + generation) fold
+// into every percentile and drag the mean far above the steady-state
+// p95. With the whole plan warmed, every measured ask is a cache hit,
+// so the mean must land in the warmed distribution's own band:
+// p50*0.9 ≤ mean ≤ p95 (the 0.9 covers the histogram's ~9% bucket
+// resolution — mean is exact while p50 reads a bucket bound).
+func TestRunWarmedMeanBetweenPercentiles(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.concurrency = 1 // serialize: no contention outliers in the band check
+	cfg.requests = 1000
+	cfg.warmup = 1000
+	cfg.repeat = 0.9 // cached-heavy mix
+	report, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("errors = %d (%s)", report.Errors, report.ErrorSample)
+	}
+	if report.Cache.Misses != 0 {
+		t.Fatalf("warmed run missed %d times — the band check needs an all-hit run", report.Cache.Misses)
+	}
+	l := report.Latency
+	if l.Mean < l.P50*0.9 || l.Mean > l.P95 {
+		t.Fatalf("warmed mean %.4fms outside [p50*0.9=%.4f, p95=%.4f]ms — cold-start latency is leaking into the measured run",
+			l.Mean, l.P50*0.9, l.P95)
+	}
+}
+
+// TestRunAllocProbe: an in-process run with the probe enabled reports
+// allocs_per_cached_ask, and the number agrees with the engine's
+// zero-allocation contract for the exact-hit NoMemory path — exactly 0,
+// under the same rounded-down averaging contract as
+// testing.AllocsPerRun (engine.TestCachedAskAllocs pins the same zero
+// at the unit level).
+func TestRunAllocProbe(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.measureAllocs = true
+	report, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.AllocsPerCachedAsk == nil {
+		t.Fatal("alloc probe enabled but allocs_per_cached_ask missing")
+	}
+	if a := *report.AllocsPerCachedAsk; a != 0 {
+		t.Fatalf("cached ask costs %.2f allocs/op, want the zero-alloc fast path", a)
+	}
+}
+
+// TestRunThresholdsEchoed: configured gate levels appear in the report
+// (the CI artifact records what the gate enforced), absent otherwise.
+func TestRunThresholdsEchoed(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.minQPS = 1
+	cfg.maxP99MS = 60000
+	report, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := report.Thresholds
+	if th == nil || th.MinQPS != 1 || th.MaxP99MS != 60000 || th.MaxAllocs != 0 {
+		t.Fatalf("thresholds echo = %+v", th)
+	}
+}
+
+// TestRunRejectsBadPerfGateConfigs: negative warmup and -max-allocs
+// against a remote daemon are configuration errors.
+func TestRunRejectsBadPerfGateConfigs(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.warmup = -1
+	if _, err := run(cfg); err == nil {
+		t.Fatal("negative -warmup accepted")
+	}
+	cfg = smokeConfig(t)
+	cfg.url = "http://127.0.0.1:1"
+	cfg.maxAllocs = 2
+	if _, err := run(cfg); err == nil {
+		t.Fatal("-max-allocs accepted in -url mode (nothing to measure there)")
 	}
 }
 

@@ -7,7 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -63,26 +65,66 @@ type config struct {
 	// comparative policy_sweep row per policy.
 	policySweep bool
 
+	// warmup is how many questions each pass issues before the measured
+	// run begins. Warmup outcomes are discarded: they enter neither the
+	// latency histogram nor the cache tallies (in-process passes subtract
+	// the post-warmup Engine.Stats() baseline), so the measured numbers
+	// describe a warmed cache instead of averaging cold-start outliers
+	// into every percentile.
+	warmup int
+
+	// Perf-gate thresholds, enforced under -strict (see main.go). Each
+	// gate is live when positive and off at 0: minQPS floors throughput,
+	// maxP99MS ceilings tail latency, and maxAllocs ceilings the
+	// measured allocs_per_cached_ask (in-process only — the measurement
+	// needs the engine; use a fractional budget like 0.5 to assert an
+	// allocation-free path).
+	minQPS    float64
+	maxP99MS  float64
+	maxAllocs float64
+
+	// measureAllocs probes allocs_per_cached_ask after the measured run
+	// (in-process only). main.go always sets it so every CLI run reports
+	// the number; tests opt in because the probe's asks advance the
+	// engine's hit counters past the report's totals.
+	measureAllocs bool
+
 	store      *db.Store            // test hook: pre-built store overrides dbPath/accesses
 	engineHook func(*engine.Engine) // test hook: observe the in-process engine
 }
 
+// thresholds returns the report's echo of the configured gate levels,
+// nil when none is set.
+func (c *config) thresholds() *Thresholds {
+	if c.minQPS <= 0 && c.maxP99MS <= 0 && c.maxAllocs <= 0 {
+		return nil
+	}
+	return &Thresholds{MinQPS: c.minQPS, MaxP99MS: c.maxP99MS, MaxAllocs: c.maxAllocs}
+}
+
 // Report is the BENCH_loadgen.json document (schema
-// cachemind-loadgen/v4). Every key is always present — except target,
-// error_sample and policy_sweep, which appear only in http mode, after
-// errors, and under -policy-sweep respectively — so trend tooling can
-// rely on the shape; latencies are milliseconds, throughput is
-// questions per second as observed by the closed loop. v2 added the
-// canceled count (questions aborted by -request-timeout or context
-// cancellation, excluded from errors). v3 added cache_policy, the
-// answer_digest, engine-sourced cache accounting (cache.source, with
-// hit_rate = hits/(hits+misses) over actual cache lookups), and the
-// -policy-sweep comparative table (policy_sweep) — the serving-side
-// analogue of the paper's policy-comparison figures. v4 adds the
-// semantic tier: semantic_threshold and paraphrase_ratio echoes, and
-// the cache block's per-tier split (exact_hits/semantic_hits with
-// exact_hit_rate/semantic_hit_rate; hits stays the sum, hit_rate the
-// total, so v3 trend lines read on unchanged).
+// cachemind-loadgen/v5). Every key is always present — except target,
+// error_sample, policy_sweep, allocs_per_cached_ask and thresholds,
+// which appear only in http mode, after errors, under -policy-sweep,
+// on in-process measured runs, and when a gate is configured,
+// respectively — so trend tooling can rely on the shape; latencies are
+// milliseconds, throughput is questions per second as observed by the
+// closed loop. v2 added the canceled count (questions aborted by
+// -request-timeout or context cancellation, excluded from errors). v3
+// added cache_policy, the answer_digest, engine-sourced cache
+// accounting (cache.source, with hit_rate = hits/(hits+misses) over
+// actual cache lookups), and the -policy-sweep comparative table
+// (policy_sweep) — the serving-side analogue of the paper's
+// policy-comparison figures. v4 adds the semantic tier:
+// semantic_threshold and paraphrase_ratio echoes, and the cache block's
+// per-tier split (exact_hits/semantic_hits with exact_hit_rate/
+// semantic_hit_rate; hits stays the sum, hit_rate the total, so v3
+// trend lines read on unchanged). v5 adds the profiling/perf-gate
+// surface: the warmup echo (warmup questions excluded from every
+// measured number), allocs_per_cached_ask (heap allocations per
+// exact-hit cached ask, measured post-run on the in-process engine),
+// and the thresholds echo of the enforced -min-qps/-max-p99-ms/
+// -max-allocs gate levels.
 type Report struct {
 	Schema      string  `json:"schema"`
 	Mode        string  `json:"mode"` // "inprocess" or "http"
@@ -102,7 +144,11 @@ type Report struct {
 	SemanticThreshold float64 `json:"semantic_threshold"`
 	// ParaphraseRatio echoes -paraphrase: the probability that a repeat
 	// draw was reworded (bench.Paraphrase) instead of byte-identical.
-	ParaphraseRatio float64    `json:"paraphrase_ratio"`
+	ParaphraseRatio float64 `json:"paraphrase_ratio"`
+	// Warmup echoes -warmup: questions issued (and discarded) before
+	// measurement began. Requests/Questions and every latency/cache
+	// number below exclude them.
+	Warmup          int        `json:"warmup"`
 	Requests        int        `json:"requests"`
 	Questions       int        `json:"questions"`
 	Errors          int        `json:"errors"`
@@ -116,9 +162,26 @@ type Report struct {
 	// two runs of the same mix must produce equal digests no matter the
 	// cache policy (answers are pure functions of the question).
 	AnswerDigest string `json:"answer_digest"`
+	// AllocsPerCachedAsk is the measured heap-allocation count per
+	// exact-hit cached ask (NoMemory, the zero-alloc fast path), probed
+	// after the measured run on the in-process engine; absent in http
+	// mode or when caching is disabled. The -max-allocs strict gate and
+	// engine.TestCachedAskAllocs enforce the same budget.
+	AllocsPerCachedAsk *float64 `json:"allocs_per_cached_ask,omitempty"`
+	// Thresholds echoes the configured perf-gate levels (absent when no
+	// gate is set); -strict enforces them.
+	Thresholds *Thresholds `json:"thresholds,omitempty"`
 	// PolicySweep is the -policy-sweep comparative table: one row per
 	// registered eviction policy over the identical request mix.
 	PolicySweep []PolicyRow `json:"policy_sweep,omitempty"`
+}
+
+// Thresholds is the report's echo of the enforced perf-gate levels; a
+// zero field means that gate is off.
+type Thresholds struct {
+	MinQPS    float64 `json:"min_qps"`
+	MaxP99MS  float64 `json:"max_p99_ms"`
+	MaxAllocs float64 `json:"max_allocs"`
 }
 
 // PolicyRow is one -policy-sweep result: the same deterministic mix
@@ -398,6 +461,14 @@ func run(cfg config) (*Report, error) {
 	if cfg.paraphrase < 0 || cfg.paraphrase > 1 {
 		return nil, fmt.Errorf("loadgen: -paraphrase %v outside [0, 1]", cfg.paraphrase)
 	}
+	if cfg.warmup < 0 {
+		return nil, fmt.Errorf("loadgen: -warmup %d must be non-negative", cfg.warmup)
+	}
+	// The alloc measurement probes the in-process engine's cached ask
+	// directly; a remote daemon's allocations are not observable here.
+	if cfg.url != "" && cfg.maxAllocs > 0 {
+		return nil, fmt.Errorf("loadgen: -max-allocs needs the in-process engine (drop -url)")
+	}
 
 	store := cfg.store
 	if store == nil {
@@ -525,6 +596,46 @@ func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
 		}
 	}
 
+	// Warmup: issue -warmup questions from the head of the plan through
+	// the same driver and discard every outcome — they enter neither the
+	// latency histogram nor the report's tallies, so the measured phase
+	// starts against a warmed cache instead of folding one-time
+	// cold-start latency into every percentile and the mean.
+	if cfg.warmup > 0 {
+		var widx atomic.Int64
+		var wwg sync.WaitGroup
+		for w := 0; w < cfg.concurrency; w++ {
+			wwg.Add(1)
+			go func() {
+				defer wwg.Done()
+				for {
+					i := widx.Add(1) - 1
+					if i >= int64(cfg.warmup) {
+						return
+					}
+					ctx := context.Background()
+					cancel := context.CancelFunc(func() {})
+					if cfg.reqTimeout > 0 {
+						ctx, cancel = context.WithTimeout(ctx, cfg.reqTimeout)
+					}
+					drv.do(ctx, []engine.Request{{
+						SessionID: "lg-" + strconv.FormatInt(i%int64(cfg.sessions), 10),
+						Question:  mix[i%int64(len(mix))],
+					}})
+					cancel()
+				}
+			}()
+		}
+		wwg.Wait()
+	}
+	// Post-warmup baseline: the in-process cache accounting below reads
+	// cumulative Engine.Stats(), so subtracting this snapshot keeps
+	// warmup lookups out of the measured tallies.
+	var warmBase engine.Stats
+	if eng != nil {
+		warmBase = eng.Stats()
+	}
+
 	hist := histogram.New()
 	var (
 		nextIdx      atomic.Int64
@@ -636,9 +747,9 @@ func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
 		st := eng.Stats()
 		cache = CacheStats{
 			Source:       "engine",
-			ExactHits:    int64(st.CacheExactHits),
-			SemanticHits: int64(st.CacheSemanticHits),
-			Misses:       int64(st.CacheMisses),
+			ExactHits:    int64(st.CacheExactHits - warmBase.CacheExactHits),
+			SemanticHits: int64(st.CacheSemanticHits - warmBase.CacheSemanticHits),
+			Misses:       int64(st.CacheMisses - warmBase.CacheMisses),
 		}
 	} else {
 		cache = CacheStats{
@@ -650,8 +761,17 @@ func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
 	}
 	cache.fillRates()
 
+	// Alloc probe last: its asks advance the engine's counters, so it
+	// must run after the cache snapshot above.
+	var allocsPerAsk *float64
+	if eng != nil && cfg.cacheSize >= 0 && (cfg.measureAllocs || cfg.maxAllocs > 0) {
+		if a, ok := measureCachedAskAllocs(eng, mix[0%len(mix)]); ok {
+			allocsPerAsk = &a
+		}
+	}
+
 	return &Report{
-		Schema:            "cachemind-loadgen/v4",
+		Schema:            "cachemind-loadgen/v5",
 		Mode:              mode,
 		Target:            cfg.url,
 		Concurrency:       cfg.concurrency,
@@ -663,6 +783,7 @@ func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
 		CachePolicy:       reportPolicy,
 		SemanticThreshold: reportThreshold,
 		ParaphraseRatio:   cfg.paraphrase,
+		Warmup:            cfg.warmup,
 		Requests:          int(reqs.Load()),
 		Questions:         int(asked),
 		Errors:            int(errors),
@@ -677,9 +798,61 @@ func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
 			Mean: ms(snap.Mean()),
 			Max:  ms(snap.Max),
 		},
-		Cache:        cache,
-		AnswerDigest: foldDigest(digests),
+		Cache:              cache,
+		AnswerDigest:       foldDigest(digests),
+		AllocsPerCachedAsk: allocsPerAsk,
+		Thresholds:         cfg.thresholds(),
 	}, nil
+}
+
+// measureCachedAskAllocs measures heap allocations per exact-hit cached
+// ask (NoMemory — the engine's documented zero-alloc fast path) on the
+// live engine, so a non-default eviction policy's hit-path cost shows
+// up too. The testing package's AllocsPerRun is unavailable outside
+// tests, so this replicates its method — pin to one P, prime, read the
+// Mallocs delta over a run burst, round the average down to an integer
+// exactly as AllocsPerRun documents (sub-1 noise is measurement
+// artifact, not per-op cost) — and takes the minimum over several
+// bursts: the probe runs right after a garbage-heavy load pass, so a
+// single burst can absorb ambient noise (a GC emptying the scratch
+// pools mid-burst, background sweeping) that per-ask cost accounting
+// must not include. The true per-op cost is a floor under every burst;
+// the minimum converges on it.
+func measureCachedAskAllocs(eng *engine.Engine, question string) (float64, bool) {
+	ctx := context.Background()
+	req := engine.Request{
+		SessionID: "loadgen-alloc-probe",
+		Question:  question,
+		Options:   engine.Options{NoMemory: true},
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	// Prime: ensure the answer is cached (the run normally already did)
+	// and the scratch pools are populated, so the measurement sees the
+	// steady state.
+	for i := 0; i < 8; i++ {
+		if _, err := eng.Ask(ctx, req); err != nil {
+			return 0, false
+		}
+	}
+	const (
+		trials = 4
+		runs   = 64
+	)
+	best := math.Inf(1)
+	var before, after runtime.MemStats
+	for t := 0; t < trials; t++ {
+		runtime.ReadMemStats(&before)
+		for i := 0; i < runs; i++ {
+			if _, err := eng.Ask(ctx, req); err != nil {
+				return 0, false
+			}
+		}
+		runtime.ReadMemStats(&after)
+		if a := float64((after.Mallocs - before.Mallocs) / runs); a < best {
+			best = a
+		}
+	}
+	return best, true
 }
 
 // fnv64 hashes s with FNV-1a.

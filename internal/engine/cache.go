@@ -62,6 +62,15 @@ func (p *lruList) OnHit(key string) {
 	}
 }
 
+// OnHitBytes is OnHit for a key still in its pooled scratch bytes —
+// the map probe compiles to a zero-copy lookup, so the default
+// policy's hit path allocates nothing (see bytesHitter).
+func (p *lruList) OnHitBytes(key []byte) {
+	if el, ok := p.at[string(key)]; ok {
+		p.ll.MoveToFront(el)
+	}
+}
+
 func (p *lruList) OnInsert(key string) {
 	p.at[key] = p.ll.PushFront(key)
 }
@@ -102,12 +111,24 @@ func (p *lruList) Victim(string) (string, bool) {
 // (exact vs semantic); a shard's semantic counter advances on the
 // shard the *query* hashed to, matching Response.Shard, even when the
 // served neighbor resides elsewhere.
+// bytesHitter is the optional allocation-free half of evictionPolicy:
+// a policy that can observe a hit from the key's pooled scratch bytes
+// without forcing the caller to materialize a heap string. The native
+// LRU implements it; adapter-backed policies fall back to OnHit with a
+// converted key (one allocation per hit, off the default path).
+type bytesHitter interface {
+	OnHitBytes(key []byte)
+}
+
 type answerCache struct {
-	mu      sync.Mutex
-	cap     int
-	pol     evictionPolicy
-	entries map[string]Answer
-	idx     *embed.Index // nil unless the semantic tier is enabled
+	mu  sync.Mutex
+	cap int
+	pol evictionPolicy
+	// polBytes is pol's allocation-free hit path when it implements
+	// bytesHitter (resolved once at construction), nil otherwise.
+	polBytes bytesHitter
+	entries  map[string]Answer
+	idx      *embed.Index // nil unless the semantic tier is enabled
 
 	exactHits    atomic.Uint64
 	semanticHits atomic.Uint64
@@ -128,23 +149,33 @@ func newAnswerCache(capacity int, pol evictionPolicy, semantic bool) *answerCach
 		pol:     pol,
 		entries: map[string]Answer{},
 	}
+	if bh, ok := pol.(bytesHitter); ok {
+		c.polBytes = bh
+	}
 	if semantic {
 		c.idx = embed.NewIndex()
 	}
 	return c
 }
 
-// touch returns the cached answer for key and refreshes its
-// recency/priority state via the policy. It does not count hits or
-// misses — see the answerCache comment.
-func (c *answerCache) touch(key string) (Answer, bool) {
+// touch returns the cached answer for the key bytes and refreshes its
+// recency/priority state via the policy. The key arrives as the ask's
+// pooled scratch bytes: the entry probe is a zero-copy map lookup, and
+// a bytesHitter policy (the default LRU) observes the hit without a
+// string materialization, so an exact hit allocates nothing. It does
+// not count hits or misses — see the answerCache comment.
+func (c *answerCache) touch(key []byte) (Answer, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ans, ok := c.entries[key]
+	ans, ok := c.entries[string(key)]
 	if !ok {
 		return Answer{}, false
 	}
-	c.pol.OnHit(key)
+	if c.polBytes != nil {
+		c.polBytes.OnHitBytes(key)
+	} else {
+		c.pol.OnHit(string(key))
+	}
 	return ans, true
 }
 

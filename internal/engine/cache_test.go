@@ -18,18 +18,18 @@ func TestAnswerCacheLRU(t *testing.T) {
 	c.put("a", Answer{Text: "A"}, nil)
 	c.put("b", Answer{Text: "B"}, nil)
 
-	if ans, ok := c.touch("a"); !ok || ans.Text != "A" {
+	if ans, ok := c.touch([]byte("a")); !ok || ans.Text != "A" {
 		t.Fatalf("touch a = %+v, %v", ans, ok)
 	}
 	// "b" is now least recently used; inserting "c" evicts it.
 	c.put("c", Answer{Text: "C"}, nil)
-	if _, ok := c.touch("b"); ok {
+	if _, ok := c.touch([]byte("b")); ok {
 		t.Fatal("b survived eviction at capacity 2")
 	}
-	if _, ok := c.touch("a"); !ok {
+	if _, ok := c.touch([]byte("a")); !ok {
 		t.Fatal("a (recently used) was evicted")
 	}
-	if _, ok := c.touch("c"); !ok {
+	if _, ok := c.touch([]byte("c")); !ok {
 		t.Fatal("c missing after insert")
 	}
 	if _, _, _, _, entries := c.counters(); entries != 2 {
@@ -41,7 +41,7 @@ func TestAnswerCacheUpdateExisting(t *testing.T) {
 	c := newLRUCache(2)
 	c.put("a", Answer{Text: "old"}, nil)
 	c.put("a", Answer{Text: "new"}, nil)
-	if ans, ok := c.touch("a"); !ok || ans.Text != "new" {
+	if ans, ok := c.touch([]byte("a")); !ok || ans.Text != "new" {
 		t.Fatalf("touch a = %+v, %v; want updated entry", ans, ok)
 	}
 	if _, _, _, _, entries := c.counters(); entries != 1 {
@@ -56,7 +56,7 @@ func TestAnswerCacheMinimumCapacity(t *testing.T) {
 	if _, _, _, _, entries := c.counters(); entries != 1 {
 		t.Fatalf("entries = %d, want 1", entries)
 	}
-	if _, ok := c.touch("b"); !ok {
+	if _, ok := c.touch([]byte("b")); !ok {
 		t.Fatal("latest entry missing at capacity 1")
 	}
 }
@@ -88,10 +88,10 @@ func TestAnswerCacheBypassingPolicy(t *testing.T) {
 	c := newAnswerCache(1, &bypassAllWrap{inner: newLRUList()}, false)
 	c.put("a", Answer{Text: "A"}, nil)
 	c.put("b", Answer{Text: "B"}, nil) // full: policy bypasses
-	if _, ok := c.touch("a"); !ok {
+	if _, ok := c.touch([]byte("a")); !ok {
 		t.Fatal("resident entry lost on a bypassed insert")
 	}
-	if _, ok := c.touch("b"); ok {
+	if _, ok := c.touch([]byte("b")); ok {
 		t.Fatal("bypassed entry was inserted anyway")
 	}
 	_, _, _, bypasses, entries := c.counters()
@@ -140,7 +140,7 @@ func TestAnswerCacheIndexLockstepAllPolicies(t *testing.T) {
 				c.put(key, Answer{Text: key}, &v)
 				check("insert " + key)
 				if i%3 == 0 {
-					c.touch(fmt.Sprintf("q%d", i/2))
+					c.touch([]byte(fmt.Sprintf("q%d", i/2)))
 				}
 				if i%7 == 0 {
 					c.put(key, Answer{Text: key + "'"}, &v) // overwrite: no second vector

@@ -109,6 +109,34 @@
 // budgets (a budget smaller than the shard count clamps that table's
 // effective shard count, so the global bound holds exactly). See
 // shard.go for the full design note.
+//
+// # Allocation discipline
+//
+// The cached exact-hit path is allocation-free: an Ask that is served
+// from the exact tier with Options.NoMemory performs zero heap
+// allocations (TestCachedAskAllocs pins this; cmd/loadgen's -max-allocs
+// gate enforces it end-to-end in CI). The mechanics, and the ownership
+// rules they impose:
+//
+//   - The (retriever, model, question) cache key is rendered into a
+//     pooled askScratch buffer (scratchPool) instead of a fresh string,
+//     and FNV-hashed exactly once per ask — the hash feeds every shard
+//     selection (cache and flight).
+//   - The cache probe is a zero-copy map lookup on the scratch bytes
+//     (entries[string(key)] compiles without materializing the string),
+//     and the default LRU policy refreshes recency through the optional
+//     bytesHitter interface, again without a conversion.
+//   - Cached answers are served without copying: Answer's fields are
+//     immutable once published (strings plus a Queries slice nobody
+//     mutates; Response.Queries is cloned only at ProvenanceFull).
+//
+// Ownership: a scratch is owned by exactly one in-flight Ask between
+// pool Get and Put, and nothing that outlives the ask may alias its
+// bytes — every structure that retains the key (the flight table, the
+// cache entry, the eviction policy) receives a string copy materialized
+// exactly once, on the miss path. Code extending the hot path must
+// preserve these rules or the pool becomes a correctness hazard rather
+// than an optimization.
 package engine
 
 import (
@@ -275,6 +303,12 @@ type Engine struct {
 	// this is non-zero.
 	semThreshold float64
 
+	// keyPrefix is the constant (retriever, model) head of every cache
+	// key this engine mints — precomputed so the hot path builds a key
+	// with two appends into pooled scratch instead of a fresh string
+	// concatenation per ask.
+	keyPrefix string
+
 	// Hot mutable state, hash-sharded (see shard.go): sessionShards is
 	// keyed by session ID; caches and flights are keyed by the cache
 	// key, so a given key's cache lookups and single-flight coalescing
@@ -401,6 +435,7 @@ func New(cfg Config) (*Engine, error) {
 		nshards:       nshards,
 		cachePolicy:   policyName,
 		semThreshold:  semThreshold,
+		keyPrefix:     retr.Name() + "\x00" + profile.ID + "\x00",
 		sessionShards: sessionShards,
 		caches:        caches,
 		flights:       flights,
@@ -442,9 +477,37 @@ type inflightCall struct {
 	err  error
 }
 
-// cacheKey renders the (retriever, model, question) cache triple.
-func cacheKey(retrieverName, modelID, question string) string {
-	return retrieverName + "\x00" + modelID + "\x00" + question
+// askScratch is the pooled per-ask scratch state: the cache-key bytes
+// the hot path builds, probes and (on a miss) materializes from.
+//
+// Ownership rule: a scratch is owned by exactly one in-flight Ask from
+// Get to Put. Nothing that outlives the ask may alias sc.key — the
+// cache, flight table and eviction policies all receive a materialized
+// string copy instead — so returning a scratch to the pool can never
+// corrupt a published key. See the package comment's pooling note.
+type askScratch struct {
+	key []byte
+}
+
+// scratchCap bounds the key buffer a scratch may carry back into the
+// pool; a rare oversized question must not pin its buffer forever.
+const scratchCap = 64 << 10
+
+var scratchPool = sync.Pool{New: func() any { return new(askScratch) }}
+
+// putScratch returns sc to the pool, dropping oversized buffers.
+func putScratch(sc *askScratch) {
+	if cap(sc.key) <= scratchCap {
+		scratchPool.Put(sc)
+	}
+}
+
+// cacheKey renders the (retriever, model, question) cache triple into
+// sc.key — the same bytes Engine.keyPrefix+question would concatenate,
+// without the per-ask string allocation.
+func (e *Engine) cacheKey(sc *askScratch, question string) []byte {
+	sc.key = append(append(sc.key[:0], e.keyPrefix...), question...)
+	return sc.key
 }
 
 // Ask answers the request's question within its session, creating the
@@ -476,8 +539,12 @@ func (e *Engine) Ask(ctx context.Context, req Request) (Response, error) {
 	}
 	e.questions.Add(1)
 
-	key := cacheKey(e.retr.Name(), e.profile.ID, question)
-	shard := shardIndex(key, e.ncacheShards)
+	// Build the (retriever, model, question) key once, in pooled
+	// scratch, and hash it once — every shard selection below (cache
+	// and flight) derives from this hash instead of rehashing the key.
+	sc := scratchPool.Get().(*askScratch)
+	keyHash := fnv32a(e.cacheKey(sc, question))
+	shard := shardIndexHash(keyHash, e.ncacheShards)
 
 	var (
 		ans  Answer
@@ -489,10 +556,12 @@ func (e *Engine) Ask(ctx context.Context, req Request) (Response, error) {
 		// Caching disabled or bypassed: run the full pipeline fresh,
 		// without touching the cache (either tier) or the single-flight
 		// table.
+		putScratch(sc)
 		tier = TierCold
 		ans, err = e.pipeline(ctx, question)
 	} else {
-		ans, tier, sim, err = e.cachedAsk(ctx, shard, key, question, req.Options)
+		// cachedAsk owns sc from here and returns it to the pool.
+		ans, tier, sim, err = e.cachedAsk(ctx, shard, keyHash, sc, question, req.Options)
 	}
 	if err != nil {
 		if IsCancellation(ErrorCode(err)) {
@@ -527,18 +596,33 @@ func (e *Engine) Ask(ctx context.Context, req Request) (Response, error) {
 // adds a second *kind* of hit, never a second count. Coalesced
 // followers and post-abort peeks count as exact hits: they were served
 // under the byte-identical key, not by similarity.
-func (e *Engine) cachedAsk(ctx context.Context, shard int, key, question string, opts Options) (Answer, CacheTier, float64, error) {
+//
+// cachedAsk takes ownership of sc (the ask's key scratch): the exact-
+// hit fast path probes the cache straight from the pooled bytes and
+// allocates nothing; every miss path materializes the heap string once
+// — the flight table, the cache insert and the eviction policy all
+// retain it — and returns the scratch before any slow work runs.
+func (e *Engine) cachedAsk(ctx context.Context, shard int, keyHash uint32, sc *askScratch, question string, opts Options) (Answer, CacheTier, float64, error) {
 	// The key's hash picks the cache shard and, independently, the
 	// flight shard (the two tables may run at different shard counts —
 	// the cache's is clamped by its entry budget, the flight table's
 	// never is), so every ask of one question still contends on exactly
 	// one lock pair no matter how many shards exist.
-	cache, flight := e.caches[shard], e.flights[shardIndex(key, len(e.flights))]
+	cache := e.caches[shard]
 
-	if ans, ok := cache.touch(key); ok {
+	if ans, ok := cache.touch(sc.key); ok {
+		putScratch(sc)
 		cache.exactHits.Add(1)
 		return ans, TierExact, 0, nil
 	}
+
+	// Exact miss: the slow tiers retain the key (flight map, cache
+	// entry, policy state), so materialize it as a string once and
+	// release the scratch — copying here keeps the pooled bytes from
+	// ever being aliased past this ask.
+	key := string(sc.key)
+	putScratch(sc)
+	flight := e.flights[shardIndexHash(keyHash, len(e.flights))]
 
 	// Semantic tier: embed once per exact miss. The vector serves both
 	// the neighbor search here and, if this ask goes cold, the index

@@ -44,6 +44,15 @@ func DefaultShards() int { return runtime.GOMAXPROCS(0) }
 // shardIndex maps a key to a shard by FNV-1a (inlined to avoid a
 // hash.Hash allocation on the ask hot path).
 func shardIndex(key string, n int) int {
+	return shardIndexHash(fnv32a(key), n)
+}
+
+// fnv32a is the FNV-1a hash of key, generic over the two spellings the
+// ask path holds a key in (the pooled scratch bytes and the
+// materialized string), so the hash is computed once per ask and reused
+// for every shard selection — cache and flight — instead of rehashed
+// per table.
+func fnv32a[T string | []byte](key T) uint32 {
 	const (
 		offset32 = 2166136261
 		prime32  = 16777619
@@ -53,6 +62,11 @@ func shardIndex(key string, n int) int {
 		h ^= uint32(key[i])
 		h *= prime32
 	}
+	return h
+}
+
+// shardIndexHash maps an fnv32a hash to a shard index.
+func shardIndexHash(h uint32, n int) int {
 	return int(h % uint32(n))
 }
 

@@ -27,13 +27,34 @@ const (
 )
 
 // bounds[i] is the inclusive upper bound of bucket i, in nanoseconds.
+//
+// Each bound is computed directly from the closed form
+// minBound·2^(i/8) rather than by repeated multiplication (v *= growth),
+// which accumulates one ulp of float error per bucket: by bucket 8 the
+// running product of the rounded growth constant lands at
+// 2000.0000000000005, which math.Ceil turns into 2001 instead of the
+// exact 2000 the documented 2^(i/8) form demands — and the drift
+// repeats at every power-of-two bound. The closed form is exact at
+// every i (math.Pow(2, i/8) is exact for integral i/8 and
+// correctly-rounded elsewhere), so bucketBound is the single source of
+// truth the bounds test pins each entry against.
 var bounds = func() []int64 {
 	var b []int64
-	for v := float64(minBound); v < float64(maxBound); v *= growth {
+	for i := 0; ; i++ {
+		v := bucketBound(i)
+		if v >= float64(maxBound) {
+			break
+		}
 		b = append(b, int64(math.Ceil(v)))
 	}
 	return append(b, int64(maxBound))
 }()
+
+// bucketBound returns bucket i's ideal (un-ceiled) upper bound in
+// nanoseconds: minBound·2^(i/8), the documented geometric form.
+func bucketBound(i int) float64 {
+	return float64(minBound) * math.Pow(2, float64(i)/8)
+}
 
 // bucketIndex returns the bucket for a duration by binary search.
 func bucketIndex(d time.Duration) int {

@@ -120,6 +120,93 @@ func TestBucketIndexBoundaries(t *testing.T) {
 	}
 }
 
+// TestBoundsClosedForm pins every bucket bound to the documented
+// closed form ceil(minBound·2^(i/8)) — the regression test for the
+// drift bug, where building the table by repeated multiplication
+// (v *= growth) accumulated float error and turned the exact
+// power-of-two bounds (2000, 4000, ...) into 2001, 4001, ....
+func TestBoundsClosedForm(t *testing.T) {
+	for i := 0; i < len(bounds)-1; i++ {
+		want := int64(math.Ceil(float64(minBound) * math.Pow(2, float64(i)/8)))
+		if bounds[i] != want {
+			t.Errorf("bounds[%d] = %d, want closed-form %d", i, bounds[i], want)
+		}
+	}
+	if last := bounds[len(bounds)-1]; last != int64(maxBound) {
+		t.Errorf("last bound = %d, want maxBound %d", last, int64(maxBound))
+	}
+	// The exact power-of-two bounds are the ones the old iterative table
+	// got wrong; spot-pin a few.
+	for _, c := range []struct {
+		i    int
+		want int64
+	}{{0, 1000}, {8, 2000}, {16, 4000}, {80, 1024000}} {
+		if bounds[c.i] != c.want {
+			t.Errorf("bounds[%d] = %d, want exact %d", c.i, bounds[c.i], c.want)
+		}
+	}
+}
+
+// TestBoundsCompatibleWithIterativeTable rebuilds the legacy
+// repeated-multiplication table and checks that the closed-form fix
+// changes no observation's bucket except at the drifted boundary
+// nanoseconds themselves (the old table's off-by-one bounds, e.g.
+// exactly 2001ns — where the new assignment is the correct one). Both
+// tables must agree bucket-for-bucket everywhere else, so recorded
+// latency trajectories read on unchanged.
+func TestBoundsCompatibleWithIterativeTable(t *testing.T) {
+	var legacy []int64
+	for v := float64(minBound); v < float64(maxBound); v *= growth {
+		legacy = append(legacy, int64(math.Ceil(v)))
+	}
+	legacy = append(legacy, int64(maxBound))
+	if len(legacy) != len(bounds) {
+		t.Fatalf("table length changed: legacy %d vs %d", len(legacy), len(bounds))
+	}
+	drifted := map[int64]bool{}
+	for i := range bounds {
+		if legacy[i] != bounds[i] {
+			if legacy[i] != bounds[i]+1 {
+				t.Errorf("bounds[%d]: legacy %d vs closed-form %d — drift exceeds the known off-by-one", i, legacy[i], bounds[i])
+			}
+			drifted[legacy[i]] = true
+		}
+	}
+	if len(drifted) == 0 {
+		t.Fatal("no drifted bounds found — the legacy table reproduction is wrong")
+	}
+	legacyIndex := func(ns int64) int {
+		lo, hi := 0, len(legacy)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if legacy[mid] < ns {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	// A deterministic sweep across the whole range: every bound's
+	// neighborhood plus a dense multiplicative walk.
+	var samples []int64
+	for _, b := range bounds {
+		samples = append(samples, b-1, b, b+1)
+	}
+	for ns := int64(1); ns < int64(maxBound); ns = ns*21/20 + 1 {
+		samples = append(samples, ns)
+	}
+	for _, ns := range samples {
+		if ns < 1 {
+			continue
+		}
+		got, want := bucketIndex(time.Duration(ns)), legacyIndex(ns)
+		if got != want && !drifted[ns] {
+			t.Fatalf("bucketIndex(%dns) = %d, legacy %d — observation changed buckets off the drifted boundaries", ns, got, want)
+		}
+	}
+}
+
 // TestConcurrentObserve is the -race exercise: parallel observers, then
 // exact count/sum accounting.
 func TestConcurrentObserve(t *testing.T) {

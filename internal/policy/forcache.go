@@ -90,12 +90,13 @@ func ForCache(name string, capacity int, seed int64) (CachePolicy, error) {
 		return nil, err
 	}
 	a := &cacheAdapter{
-		name:  name,
-		inner: inner,
-		lines: make([]sim.Line, capacity),
-		keys:  make([]string, capacity),
-		way:   make(map[string]int, capacity),
-		free:  make([]int, 0, capacity),
+		name:   name,
+		inner:  inner,
+		lines:  make([]sim.Line, capacity),
+		keys:   make([]string, capacity),
+		way:    make(map[string]int, capacity),
+		free:   make([]int, 0, capacity),
+		shapes: make(map[string]uint64),
 	}
 	// Free ways pop in ascending order, matching the simulator's
 	// fill-first-invalid-way scan.
@@ -124,7 +125,22 @@ type cacheAdapter struct {
 	pendingWay int
 	pendingKey string
 	hasPending bool
+
+	// shapes interns the PC feature per question shape — the
+	// (retriever, model, leading-word) substring every key of one intent
+	// family shares. Question shapes are few (one per intent phrasing)
+	// while accesses are many, so memoizing here turns the per-access
+	// full-prefix hash into a map probe on a short substring. Stored
+	// shape strings are cloned so the memo never pins a full cache key's
+	// backing array; shapeMemoCap bounds it against adversarial key
+	// streams (past the cap, features are computed but not stored).
+	shapes map[string]uint64
 }
+
+// shapeMemoCap bounds the shape-intern memo. Real workloads carry a
+// handful of shapes; the cap only matters for a key stream minting
+// unbounded distinct leading words.
+const shapeMemoCap = 4096
 
 func (a *cacheAdapter) Name() string { return a.name }
 
@@ -148,6 +164,20 @@ const fnvOffset64 = 14695981039346656037
 // program counter, so predictors generalize across questions of the
 // same intent instead of degenerating to per-key state.
 func (a *cacheAdapter) info(key string) sim.AccessInfo {
+	return sim.AccessInfo{
+		Time:     a.clock,
+		PC:       a.pcFor(key),
+		LineAddr: fnv64a(fnvOffset64, key),
+	}
+}
+
+// pcFor derives key's PC feature through the shape-intern memo. The
+// shape — the (retriever, model) prefix plus the question's leading
+// word — is a contiguous substring of the key, and FNV-1a is a
+// byte-sequential fold, so hashing the substring once equals the old
+// prefix-then-head chained hash bit-for-bit; the memo changes cost,
+// never a feature value (TestForCacheShapeIntern pins both).
+func (a *cacheAdapter) pcFor(key string) uint64 {
 	question := key
 	if i := strings.LastIndexByte(key, 0); i >= 0 {
 		question = key[i+1:]
@@ -156,12 +186,15 @@ func (a *cacheAdapter) info(key string) sim.AccessInfo {
 	if j := strings.IndexByte(question, ' '); j > 0 {
 		head = question[:j]
 	}
-	pc := fnv64a(fnv64a(fnvOffset64, key[:len(key)-len(question)]), head)
-	return sim.AccessInfo{
-		Time:     a.clock,
-		PC:       pc,
-		LineAddr: fnv64a(fnvOffset64, key),
+	shape := key[:len(key)-len(question)+len(head)]
+	if pc, ok := a.shapes[shape]; ok {
+		return pc
 	}
+	pc := fnv64a(fnvOffset64, shape)
+	if len(a.shapes) < shapeMemoCap {
+		a.shapes[strings.Clone(shape)] = pc
+	}
+	return pc
 }
 
 func (a *cacheAdapter) OnHit(key string) {
