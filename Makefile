@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz fmt vet loadgen loadgen-sweep profile ci
+.PHONY: all build test race bench fuzz fmt vet loadgen loadgen-sweep loadgen-prefetch profile ci
 
 all: build
 
@@ -89,6 +89,26 @@ loadgen-sweep:
 	$(GO) run ./cmd/loadgen -policy-sweep -n $(SWEEP_N) -c $(LOADGEN_C) -seed 42 -repeat 0.5 \
 		-cache 64 -accesses 4000 -request-timeout $(LOADGEN_TIMEOUT) -strict -out BENCH_loadgen_sweep.json
 
+# The prefetch gate: scripted follow-up sessions (-session-replay)
+# against a deliberately small cache with the predictive prefetcher on.
+# Interleaved sessions leave a many-ask window between one session's
+# turns, which the background prefetcher fills; the small cache forces
+# the evictions that make coverage observable (a prefetched entry
+# re-warming a line demand traffic pushed out). The gate holds the same
+# qps/p99/allocs bar as the main run — prefetching must not tax the
+# foreground path — plus a covered_miss_rate floor, set well below a
+# healthy run's rate so it catches a dead predictor, not workload noise.
+PREFETCH_SESSIONS ?= 64
+PREFETCH_TURNS ?= 8
+PREFETCH_MIN_COVERED ?= 0.005
+loadgen-prefetch:
+	$(GO) run ./cmd/loadgen -session-replay -prefetch -sessions $(PREFETCH_SESSIONS) \
+		-session-turns $(PREFETCH_TURNS) -follow 0.9 -c $(LOADGEN_C) -seed 42 \
+		-n $$(( $(PREFETCH_SESSIONS) * $(PREFETCH_TURNS) * 4 )) -cache 48 -warmup 512 \
+		-min-covered-rate $(PREFETCH_MIN_COVERED) \
+		-min-qps $(LOADGEN_MIN_QPS) -max-p99-ms $(LOADGEN_MAX_P99_MS) -max-allocs $(LOADGEN_MAX_ALLOCS) \
+		-accesses 4000 -request-timeout $(LOADGEN_TIMEOUT) -strict -out BENCH_loadgen_prefetch.json
+
 # Profiles of the perf-gate workload: the same warmed fixed-seed run as
 # `make loadgen` with pprof capture on. Inspect with
 # `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`; CI uploads both
@@ -99,4 +119,4 @@ profile:
 		-accesses 4000 -request-timeout $(LOADGEN_TIMEOUT) \
 		-cpuprofile cpu.pprof -memprofile mem.pprof -out BENCH_loadgen_profile.json
 
-ci: build fmt vet race bench fuzz loadgen loadgen-sweep
+ci: build fmt vet race bench fuzz loadgen loadgen-sweep loadgen-prefetch

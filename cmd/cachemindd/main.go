@@ -26,6 +26,7 @@
 //	cachemindd -retriever sieve -model gpt-4o-mini -workers 4 -shards 8
 //	cachemindd -cache-policy hawkeye              # paper's policy suite on the answer cache
 //	cachemindd -semantic-threshold 0.85           # serve paraphrases from the semantic cache tier
+//	cachemindd -prefetch                          # speculative background fills of predicted next questions
 //	cachemindd -request-timeout 5s -max-queue 256
 //	cachemindd -pprof-addr localhost:6060       # net/http/pprof on a second listener
 //
@@ -63,6 +64,7 @@ func main() {
 	cacheSize := flag.Int("cache", 0, "answer-cache entries (0: default 256, negative: disable)")
 	cachePolicy := flag.String("cache-policy", "lru", "answer-cache eviction policy: lru (default), or any of the paper's policies — rrip, srrip, brrip, drrip, ship, hawkeye, mockingjay, mlp, dip, plru, random")
 	semThreshold := flag.Float64("semantic-threshold", 0, "semantic cache tier: serve the nearest cached question at or above this cosine similarity on an exact miss (0: disabled, 1: exact-only; 0.85 is a good start)")
+	prefetch := flag.Bool("prefetch", false, "predictive session prefetching: learn per-session next-question transitions and speculatively fill the answer cache in the background")
 	memTurns := flag.Int("memory", 0, "verbatim conversation turns kept per session (0: default 6)")
 	maxSessions := flag.Int("max-sessions", 0, "live sessions retained, LRU-evicted beyond (0: default 1024, negative: unlimited)")
 	maxTurns := flag.Int("max-turns", 0, "turns retained per session (0: default 256, negative: unlimited)")
@@ -99,10 +101,14 @@ func main() {
 		MaxSessions:       *maxSessions,
 		MaxSessionTurns:   *maxTurns,
 		Shards:            *shards,
+		Prefetch:          engine.PrefetchConfig{Enabled: *prefetch},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Stops the prefetcher's background workers on shutdown (no-op
+	// without -prefetch).
+	defer eng.Close()
 
 	srv := &http.Server{
 		Addr:    *addr,

@@ -550,6 +550,14 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// boolMetric renders a bool as a 0/1 gauge value.
+func boolMetric(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -578,6 +586,16 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "cachemind_answer_cache_shard_bypasses_total{shard=\"%d\"} %d\n", i, cs.Bypasses)
 		fmt.Fprintf(w, "cachemind_answer_cache_shard_entries{shard=\"%d\"} %d\n", i, cs.Entries)
 	}
+	// Prefetcher counters (all zero when -prefetch is off; enabled says
+	// which): covered is demand asks a speculative fill absorbed, wasted
+	// is fills that never served anyone, dropped is observations or
+	// predictions shed by the background-work budget.
+	fmt.Fprintf(w, "cachemind_prefetch_enabled %d\n", boolMetric(st.Prefetch.Enabled))
+	fmt.Fprintf(w, "cachemind_prefetch_predictions_total %d\n", st.Prefetch.Predictions)
+	fmt.Fprintf(w, "cachemind_prefetch_issued_total %d\n", st.Prefetch.Issued)
+	fmt.Fprintf(w, "cachemind_prefetch_covered_total %d\n", st.Prefetch.Covered)
+	fmt.Fprintf(w, "cachemind_prefetch_wasted_total %d\n", st.Prefetch.Wasted)
+	fmt.Fprintf(w, "cachemind_prefetch_dropped_total %d\n", st.Prefetch.Dropped)
 	fmt.Fprintf(w, "cachemind_sessions_active %d\n", st.Sessions)
 	fmt.Fprintf(w, "cachemind_sessions_evicted_total %d\n", st.SessionsEvicted)
 	fmt.Fprintf(w, "cachemind_http_requests_total %d\n", s.httpRequests.Load())

@@ -244,6 +244,14 @@ func TestMetrics(t *testing.T) {
 		`cachemind_answer_cache_shard_hits_total{shard="0"}`,
 		`cachemind_answer_cache_shard_misses_total{shard="0"}`,
 		`cachemind_answer_cache_shard_entries{shard="0"}`,
+		// Prefetcher lines are always present; this server runs without
+		// -prefetch, so the gauge reads 0 and the counters are zero.
+		"cachemind_prefetch_enabled 0",
+		"cachemind_prefetch_predictions_total 0",
+		"cachemind_prefetch_issued_total 0",
+		"cachemind_prefetch_covered_total 0",
+		"cachemind_prefetch_wasted_total 0",
+		"cachemind_prefetch_dropped_total 0",
 		"cachemind_sessions_active 1",
 		"cachemind_http_requests_total",
 		"cachemind_http_errors_total 1",
@@ -270,6 +278,51 @@ func TestMetrics(t *testing.T) {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("metrics missing %q:\n%s", want, data)
 		}
+	}
+}
+
+// TestMetricsPrefetchEnabled: a daemon booted with prefetching on
+// reports the enabled gauge and advances the prediction counter once a
+// session shows a learnable turn sequence (the -prefetch smoke path CI
+// greps for).
+func TestMetricsPrefetchEnabled(t *testing.T) {
+	eng, err := engine.New(engine.Config{
+		Store:    testStore(t),
+		Prefetch: engine.PrefetchConfig{Enabled: true, Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	ts := httptest.NewServer(newServer(eng, 4, 0, 0).handler())
+	t.Cleanup(ts.Close)
+
+	second := "What is the miss rate in mcf under belady?"
+	for i := 0; i < 2; i++ {
+		sid := fmt.Sprintf("flow%d", i)
+		postAsk(t, ts, fmt.Sprintf(`{"session":%q,"question":%q}`, sid, askQuestion))
+		postAsk(t, ts, fmt.Sprintf(`{"session":%q,"question":%q}`, sid, second))
+		if !eng.PrefetchQuiesce(10 * time.Second) {
+			t.Fatal("prefetcher did not quiesce")
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(data), "cachemind_prefetch_enabled 1") {
+		t.Fatalf("metrics missing enabled gauge:\n%s", data)
+	}
+	st := eng.Stats().Prefetch
+	if st.Predictions == 0 {
+		t.Fatalf("no predictions after a repeated two-turn session: %+v", st)
+	}
+	if !strings.Contains(string(data), "cachemind_prefetch_predictions_total") ||
+		!strings.Contains(string(data), "cachemind_prefetch_issued_total") {
+		t.Fatalf("metrics missing prefetch counters:\n%s", data)
 	}
 }
 

@@ -22,6 +22,7 @@
 //	loadgen -warmup 256 -n 2000                        # warm the cache, then measure
 //	loadgen -cpuprofile cpu.pprof -memprofile mem.pprof
 //	loadgen -strict -min-qps 2000 -max-p99-ms 10 -max-allocs 2   # enforced perf gate
+//	loadgen -session-replay -prefetch -session-turns 8 -follow 0.8   # follow-up sessions + speculative prefill
 //
 // The question stream is a pure function of (-seed, -repeat, store), so
 // identical flags replay identical load; -strict makes any request
@@ -45,6 +46,16 @@
 // pprof profiles of the measured run. Under -strict the -min-qps,
 // -max-p99-ms and -max-allocs thresholds (each live when > 0) turn the
 // report into an enforced perf gate.
+//
+// -session-replay swaps the flat mix for bench.SampleSessions: -sessions
+// follow-up conversations of -session-turns questions each, following a
+// small set of fixed scripts with probability -follow per turn,
+// interleaved so each session's next turn arrives many asks after its
+// previous one. -prefetch enables the in-process engine's predictive
+// session prefetcher on that workload; the report gains the prefetch
+// counter block plus covered_miss_rate / wasted_prefetch_rate in the
+// cache block, and -min-covered-rate (with -strict) floors the covered
+// rate the way -min-qps floors throughput.
 package main
 
 import (
@@ -83,6 +94,11 @@ func main() {
 	flag.Float64Var(&cfg.semThreshold, "semantic-threshold", 0, "in-process semantic cache tier: serve the nearest cached question at or above this cosine similarity on an exact miss (0: disabled, 1: exact-only)")
 	flag.Float64Var(&cfg.paraphrase, "paraphrase", 0, "probability a repeat draw is reworded instead of byte-identical (exercises the semantic tier)")
 	flag.BoolVar(&cfg.policySweep, "policy-sweep", false, "replay the identical mix under every registered cache policy and emit the comparative policy_sweep table (in-process, count mode)")
+	flag.BoolVar(&cfg.prefetch, "prefetch", false, "enable the in-process engine's predictive session prefetcher (speculative background fills of predicted next questions)")
+	flag.BoolVar(&cfg.sessionReplay, "session-replay", false, "replay scripted follow-up sessions (bench.SampleSessions) instead of the flat question mix — the workload shape prefetching targets")
+	flag.IntVar(&cfg.sessionTurns, "session-turns", 8, "questions per session under -session-replay")
+	flag.Float64Var(&cfg.follow, "follow", 0.8, "per-turn probability a -session-replay session follows its script instead of detouring to a random question")
+	flag.Float64Var(&cfg.minCoveredRate, "min-covered-rate", 0, "strict gate: fail when covered_miss_rate falls below this floor (needs -prefetch; 0: off)")
 	flag.IntVar(&cfg.warmup, "warmup", 0, "questions issued and discarded before measurement starts (excluded from latency and cache tallies)")
 	flag.Float64Var(&cfg.minQPS, "min-qps", 0, "strict gate: fail when measured throughput drops below this floor (0: off)")
 	flag.Float64Var(&cfg.maxP99MS, "max-p99-ms", 0, "strict gate: fail when p99 latency exceeds this many milliseconds (0: off)")
@@ -143,6 +159,12 @@ func main() {
 	if report.AllocsPerCachedAsk != nil {
 		fmt.Printf("cached ask: %.2f allocs/op (exact hit, NoMemory)\n", *report.AllocsPerCachedAsk)
 	}
+	if report.Prefetch != nil {
+		fmt.Printf("prefetch: %d predicted, %d issued, %d covered, %d wasted, %d dropped → covered miss rate %.1f%%, wasted rate %.1f%%\n",
+			report.Prefetch.Predictions, report.Prefetch.Issued, report.Prefetch.Covered,
+			report.Prefetch.Wasted, report.Prefetch.Dropped,
+			100*report.Cache.CoveredMissRate, 100*report.Cache.WastedPrefetchRate)
+	}
 	if len(report.PolicySweep) > 0 {
 		fmt.Println("policy sweep (identical mix per policy):")
 		for _, row := range report.PolicySweep {
@@ -184,6 +206,9 @@ func main() {
 			if *report.AllocsPerCachedAsk > cfg.maxAllocs {
 				log.Fatalf("strict: cached ask costs %.2f allocs/op, above the -max-allocs %.2f budget", *report.AllocsPerCachedAsk, cfg.maxAllocs)
 			}
+		}
+		if cfg.minCoveredRate > 0 && report.Cache.CoveredMissRate < cfg.minCoveredRate {
+			log.Fatalf("strict: covered_miss_rate %.4f below the -min-covered-rate %.4f floor", report.Cache.CoveredMissRate, cfg.minCoveredRate)
 		}
 		// The sweep gate holds every policy to the same bar: any
 		// request error, or a policy that answered nothing, fails.

@@ -37,12 +37,16 @@ func TestRunInProcessSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if report.Mode != "inprocess" || report.Schema != "cachemind-loadgen/v5" {
+	if report.Mode != "inprocess" || report.Schema != "cachemind-loadgen/v6" {
 		t.Fatalf("mode/schema = %q/%q", report.Mode, report.Schema)
 	}
 	if report.Warmup != 0 || report.AllocsPerCachedAsk != nil || report.Thresholds != nil {
 		t.Fatalf("default run grew v5 extras: warmup %d, allocs %v, thresholds %v",
 			report.Warmup, report.AllocsPerCachedAsk, report.Thresholds)
+	}
+	if report.SessionReplay || report.SessionTurns != 0 || report.Prefetch != nil {
+		t.Fatalf("default run grew v6 extras: replay %v, turns %d, prefetch %v",
+			report.SessionReplay, report.SessionTurns, report.Prefetch)
 	}
 	if report.CachePolicy != "lru" || report.Cache.Source != "engine" {
 		t.Fatalf("policy/source = %q/%q, want lru/engine", report.CachePolicy, report.Cache.Source)
@@ -130,9 +134,9 @@ func TestRunReportSchemaStable(t *testing.T) {
 	for _, key := range []string{
 		"schema", "mode", "concurrency", "batch", "shards", "seed",
 		"repeat_ratio", "sessions", "cache_policy", "semantic_threshold",
-		"paraphrase_ratio", "warmup", "requests", "questions",
-		"errors", "canceled", "duration_seconds", "throughput_qps",
-		"latency_ms", "cache", "answer_digest",
+		"paraphrase_ratio", "session_replay", "warmup", "requests",
+		"questions", "errors", "canceled", "duration_seconds",
+		"throughput_qps", "latency_ms", "cache", "answer_digest",
 	} {
 		if _, ok := doc[key]; !ok {
 			t.Errorf("report missing key %q:\n%s", key, data)
@@ -154,6 +158,7 @@ func TestRunReportSchemaStable(t *testing.T) {
 	for _, key := range []string{
 		"source", "hits", "exact_hits", "semantic_hits", "misses",
 		"hit_rate", "exact_hit_rate", "semantic_hit_rate",
+		"covered_miss_rate", "wasted_prefetch_rate",
 	} {
 		if _, ok := cache[key]; !ok {
 			t.Errorf("cache missing %q", key)
@@ -644,6 +649,118 @@ func TestRunRequestTimeoutCountsCanceled(t *testing.T) {
 	}
 	if report.Cache.Hits != 0 || report.Cache.Misses != 0 {
 		t.Fatalf("canceled questions entered cache tallies: %+v", report.Cache)
+	}
+}
+
+// TestRunSessionReplayPrefetch: the v6 end-to-end story — a
+// session-replay plan against a small cache with prefetching on
+// completes cleanly, echoes the replay knobs, reports the prefetch
+// counter block, and keeps covered/wasted accounting internally
+// consistent. Coverage needs eviction pressure plus learnable scripts;
+// with follow=1 and a tiny cache the predictor reliably covers some
+// follow-up turns, but exact counts are timing-dependent, so the
+// assertions are structural (block present, rates within bounds).
+func TestRunSessionReplayPrefetch(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.prefetch = true
+	cfg.sessionReplay = true
+	cfg.sessionTurns = 6
+	cfg.follow = 1
+	cfg.sessions = 8
+	cfg.cacheSize = 6    // eviction pressure: prefetch must re-warm evicted follow-ups
+	cfg.requests = 8 * 6 // ask the whole interleaved plan exactly once
+	report, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("errors = %d (%s)", report.Errors, report.ErrorSample)
+	}
+	if !report.SessionReplay || report.SessionTurns != 6 || report.FollowRatio != 1 {
+		t.Fatalf("replay echoes = %v/%d/%v", report.SessionReplay, report.SessionTurns, report.FollowRatio)
+	}
+	if report.Questions != 48 {
+		t.Fatalf("questions = %d, want 48 (8 sessions x 6 turns)", report.Questions)
+	}
+	pf := report.Prefetch
+	if pf == nil {
+		t.Fatal("prefetch block missing under -prefetch")
+	}
+	if pf.Predictions == 0 {
+		t.Fatalf("no predictions over a follow=1 replay: %+v", pf)
+	}
+	if pf.Covered > pf.Issued {
+		t.Fatalf("covered %d exceeds issued %d", pf.Covered, pf.Issued)
+	}
+	c := report.Cache
+	if c.CoveredMissRate < 0 || c.CoveredMissRate > 1 || c.WastedPrefetchRate < 0 || c.WastedPrefetchRate > 1 {
+		t.Fatalf("prefetch rates out of range: %+v", c)
+	}
+	if pf.Covered > 0 && c.CoveredMissRate == 0 {
+		t.Fatalf("covered %d but covered_miss_rate 0", pf.Covered)
+	}
+}
+
+// TestRunSessionReplayDeterministicPlan: two replay runs with the same
+// seed ask the same questions — the answer digest, a pure function of
+// the plan, must agree (prefetch timing may shift hit/miss splits, so
+// the digest is the right invariant).
+func TestRunSessionReplayDeterministicPlan(t *testing.T) {
+	mk := func() config {
+		cfg := smokeConfig(t)
+		cfg.sessionReplay = true
+		cfg.sessionTurns = 5
+		cfg.follow = 0.8
+		cfg.requests = 40
+		return cfg
+	}
+	a, err := run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AnswerDigest != b.AnswerDigest {
+		t.Fatalf("same-seed replay runs diverge: digest %s vs %s", a.AnswerDigest, b.AnswerDigest)
+	}
+}
+
+// TestRunRejectsBadPrefetchConfigs: prefetch knobs that cannot mean
+// anything — against a remote daemon, gating without prefetching, an
+// out-of-range follow ratio, replay without turns, or sweeping with
+// timing-dependent fills — are configuration errors.
+func TestRunRejectsBadPrefetchConfigs(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.url = "http://127.0.0.1:1"
+	cfg.prefetch = true
+	if _, err := run(cfg); err == nil {
+		t.Fatal("-prefetch accepted in -url mode (the daemon owns its prefetcher)")
+	}
+	cfg = smokeConfig(t)
+	cfg.minCoveredRate = 0.1
+	if _, err := run(cfg); err == nil {
+		t.Fatal("-min-covered-rate accepted without -prefetch")
+	}
+	cfg = smokeConfig(t)
+	cfg.sessionReplay = true
+	cfg.follow = 1.5
+	cfg.sessionTurns = 4
+	if _, err := run(cfg); err == nil {
+		t.Fatal("-follow 1.5 accepted")
+	}
+	cfg = smokeConfig(t)
+	cfg.sessionReplay = true
+	cfg.sessionTurns = 0
+	if _, err := run(cfg); err == nil {
+		t.Fatal("-session-replay accepted with zero -session-turns")
+	}
+	cfg = smokeConfig(t)
+	cfg.policySweep = true
+	cfg.prefetch = true
+	if _, err := run(cfg); err == nil {
+		t.Fatal("-policy-sweep accepted -prefetch (timing-dependent residency)")
 	}
 }
 

@@ -65,6 +65,26 @@ type config struct {
 	// comparative policy_sweep row per policy.
 	policySweep bool
 
+	// prefetch enables the in-process engine's predictive session
+	// prefetcher (engine.Config.Prefetch). In-process only — against a
+	// -url daemon the server owns it (-prefetch on cachemindd).
+	prefetch bool
+	// sessionReplay switches the plan from the flat question mix to
+	// bench.SampleSessions: cfg.sessions sessions of sessionTurns
+	// questions each, following one of a few fixed scripts with
+	// probability follow per turn, interleaved turn-major so every
+	// session's next ask arrives many asks after its previous one — the
+	// window a background prefetcher fills. repeat/paraphrase do not
+	// apply in this mode (the scripts are the repetition structure).
+	sessionReplay bool
+	sessionTurns  int
+	follow        float64
+
+	// minCoveredRate is the prefetch-effectiveness strict gate: fail
+	// when covered_miss_rate falls below this floor (0: off; needs
+	// -prefetch and the in-process engine).
+	minCoveredRate float64
+
 	// warmup is how many questions each pass issues before the measured
 	// run begins. Warmup outcomes are discarded: they enter neither the
 	// latency histogram nor the cache tallies (in-process passes subtract
@@ -96,18 +116,19 @@ type config struct {
 // thresholds returns the report's echo of the configured gate levels,
 // nil when none is set.
 func (c *config) thresholds() *Thresholds {
-	if c.minQPS <= 0 && c.maxP99MS <= 0 && c.maxAllocs <= 0 {
+	if c.minQPS <= 0 && c.maxP99MS <= 0 && c.maxAllocs <= 0 && c.minCoveredRate <= 0 {
 		return nil
 	}
-	return &Thresholds{MinQPS: c.minQPS, MaxP99MS: c.maxP99MS, MaxAllocs: c.maxAllocs}
+	return &Thresholds{MinQPS: c.minQPS, MaxP99MS: c.maxP99MS, MaxAllocs: c.maxAllocs, MinCoveredRate: c.minCoveredRate}
 }
 
 // Report is the BENCH_loadgen.json document (schema
-// cachemind-loadgen/v5). Every key is always present — except target,
-// error_sample, policy_sweep, allocs_per_cached_ask and thresholds,
-// which appear only in http mode, after errors, under -policy-sweep,
-// on in-process measured runs, and when a gate is configured,
-// respectively — so trend tooling can rely on the shape; latencies are
+// cachemind-loadgen/v6). Every key is always present — except target,
+// error_sample, policy_sweep, allocs_per_cached_ask, thresholds and
+// prefetch, which appear only in http mode, after errors, under
+// -policy-sweep, on in-process measured runs, when a gate is
+// configured, and under -prefetch, respectively — so trend tooling can
+// rely on the shape; latencies are
 // milliseconds, throughput is questions per second as observed by the
 // closed loop. v2 added the canceled count (questions aborted by
 // -request-timeout or context cancellation, excluded from errors). v3
@@ -124,7 +145,13 @@ func (c *config) thresholds() *Thresholds {
 // measured number), allocs_per_cached_ask (heap allocations per
 // exact-hit cached ask, measured post-run on the in-process engine),
 // and the thresholds echo of the enforced -min-qps/-max-p99-ms/
-// -max-allocs gate levels.
+// -max-allocs gate levels. v6 adds predictive prefetching and session
+// replay: the session_replay/session_turns/follow_ratio plan echoes,
+// the prefetch counter block (predictions/issued/covered/wasted/
+// dropped, present under -prefetch), and the cache block's
+// covered_miss_rate (covered/(covered+misses) — the fraction of
+// would-be misses a prefetched entry absorbed) and
+// wasted_prefetch_rate (wasted/issued) alongside hit_rate.
 type Report struct {
 	Schema      string  `json:"schema"`
 	Mode        string  `json:"mode"` // "inprocess" or "http"
@@ -145,6 +172,12 @@ type Report struct {
 	// ParaphraseRatio echoes -paraphrase: the probability that a repeat
 	// draw was reworded (bench.Paraphrase) instead of byte-identical.
 	ParaphraseRatio float64 `json:"paraphrase_ratio"`
+	// SessionReplay reports whether the plan was bench.SampleSessions
+	// follow-up sessions (-session-replay) instead of the flat mix;
+	// SessionTurns and FollowRatio echo that mode's knobs (0 otherwise).
+	SessionReplay bool    `json:"session_replay"`
+	SessionTurns  int     `json:"session_turns,omitempty"`
+	FollowRatio   float64 `json:"follow_ratio,omitempty"`
 	// Warmup echoes -warmup: questions issued (and discarded) before
 	// measurement began. Requests/Questions and every latency/cache
 	// number below exclude them.
@@ -171,6 +204,10 @@ type Report struct {
 	// Thresholds echoes the configured perf-gate levels (absent when no
 	// gate is set); -strict enforces them.
 	Thresholds *Thresholds `json:"thresholds,omitempty"`
+	// Prefetch is the engine's prefetcher counter block, present under
+	// -prefetch (in-process): the raw counters behind the cache block's
+	// covered_miss_rate and wasted_prefetch_rate.
+	Prefetch *PrefetchReport `json:"prefetch,omitempty"`
 	// PolicySweep is the -policy-sweep comparative table: one row per
 	// registered eviction policy over the identical request mix.
 	PolicySweep []PolicyRow `json:"policy_sweep,omitempty"`
@@ -179,9 +216,20 @@ type Report struct {
 // Thresholds is the report's echo of the enforced perf-gate levels; a
 // zero field means that gate is off.
 type Thresholds struct {
-	MinQPS    float64 `json:"min_qps"`
-	MaxP99MS  float64 `json:"max_p99_ms"`
-	MaxAllocs float64 `json:"max_allocs"`
+	MinQPS         float64 `json:"min_qps"`
+	MaxP99MS       float64 `json:"max_p99_ms"`
+	MaxAllocs      float64 `json:"max_allocs"`
+	MinCoveredRate float64 `json:"min_covered_rate,omitempty"`
+}
+
+// PrefetchReport mirrors engine.PrefetchStats over the measured window
+// (warmup-phase counts subtracted, like every cache tally).
+type PrefetchReport struct {
+	Predictions uint64 `json:"predictions"`
+	Issued      uint64 `json:"issued"`
+	Covered     uint64 `json:"covered"`
+	Wasted      uint64 `json:"wasted"`
+	Dropped     uint64 `json:"dropped"`
 }
 
 // PolicyRow is one -policy-sweep result: the same deterministic mix
@@ -217,15 +265,22 @@ type LatencyMS struct {
 // serving tier: hits == exact_hits + semantic_hits always, and the
 // per-tier rates share the hits+misses denominator so they sum to
 // hit_rate.
+// v6 adds the prefetch-effectiveness pair: covered_miss_rate is
+// covered/(covered+misses) — of the demand asks that would have missed,
+// the fraction a prefetched entry served instead — and
+// wasted_prefetch_rate is wasted/issued, the fraction of speculative
+// fills that never served anyone. Both are 0 without -prefetch.
 type CacheStats struct {
-	Source          string  `json:"source"`
-	Hits            int64   `json:"hits"`
-	ExactHits       int64   `json:"exact_hits"`
-	SemanticHits    int64   `json:"semantic_hits"`
-	Misses          int64   `json:"misses"`
-	HitRate         float64 `json:"hit_rate"`
-	ExactHitRate    float64 `json:"exact_hit_rate"`
-	SemanticHitRate float64 `json:"semantic_hit_rate"`
+	Source             string  `json:"source"`
+	Hits               int64   `json:"hits"`
+	ExactHits          int64   `json:"exact_hits"`
+	SemanticHits       int64   `json:"semantic_hits"`
+	Misses             int64   `json:"misses"`
+	HitRate            float64 `json:"hit_rate"`
+	ExactHitRate       float64 `json:"exact_hit_rate"`
+	SemanticHitRate    float64 `json:"semantic_hit_rate"`
+	CoveredMissRate    float64 `json:"covered_miss_rate"`
+	WastedPrefetchRate float64 `json:"wasted_prefetch_rate"`
 }
 
 // fillRates computes the total and per-tier hit rates over actual
@@ -246,6 +301,43 @@ func hitRate(hits, misses int64) float64 {
 		return 0
 	}
 	return float64(hits) / float64(hits+misses)
+}
+
+// planItem is one scheduled ask of the session-replay plan.
+type planItem struct {
+	session  string
+	question string
+}
+
+// askPlan is the deterministic question schedule one pass replays —
+// either the flat mix (default; question idx asked by session
+// "lg-"+idx%sessions, byte-identical to the pre-v6 plan for the same
+// flags) or, under -session-replay, an explicit (session, question)
+// schedule interleaving bench.SampleSessions turn-major, so each
+// session's consecutive turns are separated by every other session's
+// ask — the idle window a background prefetcher fills.
+type askPlan struct {
+	mix      []string
+	sessions int
+	items    []planItem // non-nil: replay mode
+}
+
+// size is the number of distinct plan slots (the digest length);
+// indexing wraps past it in duration mode.
+func (p *askPlan) size() int {
+	if p.items != nil {
+		return len(p.items)
+	}
+	return len(p.mix)
+}
+
+// at returns the idx'th scheduled ask, wrapping over the plan.
+func (p *askPlan) at(idx int64) (session, question string) {
+	if p.items != nil {
+		it := p.items[idx%int64(len(p.items))]
+		return it.session, it.question
+	}
+	return "lg-" + strconv.FormatInt(idx%int64(p.sessions), 10), p.mix[idx%int64(len(p.mix))]
 }
 
 // outcome is one asked question as the client observed it: answered
@@ -469,6 +561,21 @@ func run(cfg config) (*Report, error) {
 	if cfg.url != "" && cfg.maxAllocs > 0 {
 		return nil, fmt.Errorf("loadgen: -max-allocs needs the in-process engine (drop -url)")
 	}
+	// Prefetching is an engine knob: against a live daemon the server
+	// owns it (-prefetch on cachemindd), and the covered-rate gate reads
+	// Engine.Stats(), which only the in-process engine exposes.
+	if cfg.url != "" && cfg.prefetch {
+		return nil, fmt.Errorf("loadgen: -prefetch is an in-process knob; the -url daemon owns its prefetcher (set -prefetch on cachemindd instead)")
+	}
+	if cfg.minCoveredRate > 0 && (!cfg.prefetch || cfg.url != "") {
+		return nil, fmt.Errorf("loadgen: -min-covered-rate needs -prefetch on the in-process engine")
+	}
+	if cfg.follow < 0 || cfg.follow > 1 {
+		return nil, fmt.Errorf("loadgen: -follow %v outside [0, 1]", cfg.follow)
+	}
+	if cfg.sessionReplay && cfg.sessionTurns < 1 {
+		return nil, fmt.Errorf("loadgen: -session-replay needs -session-turns >= 1, got %d", cfg.sessionTurns)
+	}
 
 	store := cfg.store
 	if store == nil {
@@ -486,11 +593,25 @@ func run(cfg config) (*Report, error) {
 	// The question plan: in count mode exactly cfg.requests draws; in
 	// duration mode a ring large enough that wrap-around reuse is rare
 	// within one pass (reuse past the ring is just more repeats).
-	planLen := cfg.requests
-	if cfg.duration > 0 && planLen < 8192 {
-		planLen = 8192
+	// -session-replay swaps the flat mix for interleaved follow-up
+	// sessions; a plan shorter than the ask count replays whole.
+	plan := &askPlan{sessions: cfg.sessions}
+	if cfg.sessionReplay {
+		replay := bench.SampleSessions(suite, cfg.sessions, cfg.sessionTurns, cfg.seed, cfg.follow)
+		items := make([]planItem, 0, len(replay)*cfg.sessionTurns)
+		for t := 0; t < cfg.sessionTurns; t++ {
+			for _, s := range replay {
+				items = append(items, planItem{session: s.ID, question: s.Questions[t]})
+			}
+		}
+		plan.items = items
+	} else {
+		planLen := cfg.requests
+		if cfg.duration > 0 && planLen < 8192 {
+			planLen = 8192
+		}
+		plan.mix = bench.SampleMixParaphrase(suite, planLen, cfg.seed, cfg.repeat, cfg.paraphrase)
 	}
-	mix := bench.SampleMixParaphrase(suite, planLen, cfg.seed, cfg.repeat, cfg.paraphrase)
 
 	if cfg.policySweep {
 		if cfg.url != "" {
@@ -509,9 +630,15 @@ func run(cfg config) (*Report, error) {
 		if cfg.semThreshold > 0 && cfg.semThreshold < 1 {
 			return nil, fmt.Errorf("loadgen: -policy-sweep is exact-only (semantic serves depend on residency, which is what policies change — cross-policy answer digests would diverge); drop -semantic-threshold")
 		}
-		return runSweep(cfg, store, mix)
+		// Prefetch timing decides residency, so per-policy hit totals
+		// would become scheduling-dependent — the sweep's comparison is
+		// only meaningful reactively.
+		if cfg.prefetch {
+			return nil, fmt.Errorf("loadgen: -policy-sweep compares reactive residency; drop -prefetch (its fills are timing-dependent, making per-policy hit totals incomparable)")
+		}
+		return runSweep(cfg, store, plan)
 	}
-	return runPass(cfg, store, mix)
+	return runPass(cfg, store, plan)
 }
 
 // runSweep replays the identical mix once per registered cache policy
@@ -519,7 +646,7 @@ func run(cfg config) (*Report, error) {
 // report's top-level numbers; answer digests across policies must
 // agree (eviction decides residency, never bytes) — a mismatch is a
 // correctness failure, not a data point.
-func runSweep(cfg config, store *db.Store, mix []string) (*Report, error) {
+func runSweep(cfg config, store *db.Store, plan *askPlan) (*Report, error) {
 	var base *Report
 	var refDigest, refPolicy string
 	policies := engine.CachePolicies()
@@ -527,7 +654,7 @@ func runSweep(cfg config, store *db.Store, mix []string) (*Report, error) {
 	for _, p := range policies {
 		pcfg := cfg
 		pcfg.cachePolicy = p
-		rep, err := runPass(pcfg, store, mix)
+		rep, err := runPass(pcfg, store, plan)
 		if err != nil {
 			return nil, fmt.Errorf("policy %s: %w", p, err)
 		}
@@ -563,7 +690,7 @@ func runSweep(cfg config, store *db.Store, mix []string) (*Report, error) {
 }
 
 // runPass executes one closed-loop pass and assembles its report.
-func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
+func runPass(cfg config, store *db.Store, plan *askPlan) (*Report, error) {
 	mode := "inprocess"
 	shards := 0
 	reportPolicy := ""
@@ -583,10 +710,17 @@ func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
 			CacheSize:         cfg.cacheSize,
 			CachePolicy:       cfg.cachePolicy,
 			SemanticThreshold: cfg.semThreshold,
+			// The benchmark runs the prefetcher unthrottled: loadgen's
+			// closed loop drives the engine orders of magnitude harder
+			// than the production-shaped defaults budget for, and a
+			// rate-starved prefetcher would measure the token bucket, not
+			// the predictor.
+			Prefetch: engine.PrefetchConfig{Enabled: cfg.prefetch, Workers: 4, MaxFillsPerSec: -1},
 		})
 		if err != nil {
 			return nil, err
 		}
+		defer eng.Close()
 		shards = eng.Shards()
 		reportPolicy = eng.CachePolicyName()
 		reportThreshold = eng.SemanticThreshold()
@@ -618,10 +752,8 @@ func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
 					if cfg.reqTimeout > 0 {
 						ctx, cancel = context.WithTimeout(ctx, cfg.reqTimeout)
 					}
-					drv.do(ctx, []engine.Request{{
-						SessionID: "lg-" + strconv.FormatInt(i%int64(cfg.sessions), 10),
-						Question:  mix[i%int64(len(mix))],
-					}})
+					sid, q := plan.at(i)
+					drv.do(ctx, []engine.Request{{SessionID: sid, Question: q}})
 					cancel()
 				}
 			}()
@@ -630,9 +762,14 @@ func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
 	}
 	// Post-warmup baseline: the in-process cache accounting below reads
 	// cumulative Engine.Stats(), so subtracting this snapshot keeps
-	// warmup lookups out of the measured tallies.
+	// warmup lookups out of the measured tallies. Quiesce first so
+	// warmup-triggered speculative fills settle on the warmup side of the
+	// baseline instead of leaking into the measured window.
 	var warmBase engine.Stats
 	if eng != nil {
+		if cfg.prefetch {
+			eng.PrefetchQuiesce(10 * time.Second)
+		}
 		warmBase = eng.Stats()
 	}
 
@@ -648,11 +785,11 @@ func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
 		errMu        sync.Mutex
 		errSample    string
 	)
-	// Per-mix-slot answer digests: answers are pure functions of the
+	// Per-plan-slot answer digests: answers are pure functions of the
 	// question, so the slot value is write-once (concurrent writers
 	// store identical hashes) and the fold below is order-independent
 	// of scheduling.
-	digests := make([]atomic.Uint64, len(mix))
+	digests := make([]atomic.Uint64, plan.size())
 	start := time.Now()
 	var deadline time.Time
 	if cfg.duration > 0 {
@@ -680,11 +817,8 @@ func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
 				}
 				items := make([]engine.Request, n)
 				for i := range items {
-					idx := base + int64(i)
-					items[i] = engine.Request{
-						SessionID: "lg-" + strconv.FormatInt(idx%int64(cfg.sessions), 10),
-						Question:  mix[idx%int64(len(mix))],
-					}
+					sid, q := plan.at(base + int64(i))
+					items[i] = engine.Request{SessionID: sid, Question: q}
 				}
 				// Each closed-loop request runs under its own context,
 				// capped by -request-timeout when set — the same
@@ -718,7 +852,7 @@ func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
 						case string(engine.TierSemantic):
 							semanticHits.Add(1)
 						}
-						digests[(base+int64(i))%int64(len(mix))].Store(fnv64(o.text))
+						digests[(base+int64(i))%int64(plan.size())].Store(fnv64(o.text))
 					}
 				}
 			}
@@ -743,13 +877,40 @@ func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
 	// bypass options enter the mix). Http runs only see the per-answer
 	// cache_tier fields, so misses fall back to answered-but-uncached.
 	var cache CacheStats
+	var prefetchRep *PrefetchReport
 	if eng != nil {
+		// Let in-flight speculative fills finish before the final
+		// snapshot, so issued/covered/wasted describe the whole measured
+		// window rather than whatever had drained by the time the loop
+		// exited.
+		if cfg.prefetch {
+			eng.PrefetchQuiesce(10 * time.Second)
+		}
 		st := eng.Stats()
 		cache = CacheStats{
 			Source:       "engine",
 			ExactHits:    int64(st.CacheExactHits - warmBase.CacheExactHits),
 			SemanticHits: int64(st.CacheSemanticHits - warmBase.CacheSemanticHits),
 			Misses:       int64(st.CacheMisses - warmBase.CacheMisses),
+		}
+		if cfg.prefetch {
+			prefetchRep = &PrefetchReport{
+				Predictions: st.Prefetch.Predictions - warmBase.Prefetch.Predictions,
+				Issued:      st.Prefetch.Issued - warmBase.Prefetch.Issued,
+				Covered:     st.Prefetch.Covered - warmBase.Prefetch.Covered,
+				Wasted:      st.Prefetch.Wasted - warmBase.Prefetch.Wasted,
+				Dropped:     st.Prefetch.Dropped - warmBase.Prefetch.Dropped,
+			}
+			// covered_miss_rate: of the demand asks that would have
+			// missed (covered + actual misses), the fraction a prefetched
+			// entry absorbed. wasted_prefetch_rate: speculative fills that
+			// never served anyone, over fills issued.
+			if denom := prefetchRep.Covered + uint64(cache.Misses); denom > 0 {
+				cache.CoveredMissRate = float64(prefetchRep.Covered) / float64(denom)
+			}
+			if prefetchRep.Issued > 0 {
+				cache.WastedPrefetchRate = float64(prefetchRep.Wasted) / float64(prefetchRep.Issued)
+			}
 		}
 	} else {
 		cache = CacheStats{
@@ -765,13 +926,14 @@ func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
 	// must run after the cache snapshot above.
 	var allocsPerAsk *float64
 	if eng != nil && cfg.cacheSize >= 0 && (cfg.measureAllocs || cfg.maxAllocs > 0) {
-		if a, ok := measureCachedAskAllocs(eng, mix[0%len(mix)]); ok {
+		_, probeQ := plan.at(0)
+		if a, ok := measureCachedAskAllocs(eng, probeQ); ok {
 			allocsPerAsk = &a
 		}
 	}
 
-	return &Report{
-		Schema:            "cachemind-loadgen/v5",
+	rep := &Report{
+		Schema:            "cachemind-loadgen/v6",
 		Mode:              mode,
 		Target:            cfg.url,
 		Concurrency:       cfg.concurrency,
@@ -783,6 +945,7 @@ func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
 		CachePolicy:       reportPolicy,
 		SemanticThreshold: reportThreshold,
 		ParaphraseRatio:   cfg.paraphrase,
+		SessionReplay:     cfg.sessionReplay,
 		Warmup:            cfg.warmup,
 		Requests:          int(reqs.Load()),
 		Questions:         int(asked),
@@ -802,7 +965,13 @@ func runPass(cfg config, store *db.Store, mix []string) (*Report, error) {
 		AnswerDigest:       foldDigest(digests),
 		AllocsPerCachedAsk: allocsPerAsk,
 		Thresholds:         cfg.thresholds(),
-	}, nil
+		Prefetch:           prefetchRep,
+	}
+	if cfg.sessionReplay {
+		rep.SessionTurns = cfg.sessionTurns
+		rep.FollowRatio = cfg.follow
+	}
+	return rep, nil
 }
 
 // measureCachedAskAllocs measures heap allocations per exact-hit cached

@@ -1,0 +1,114 @@
+// Session-prefetch example: the serving-side analogue of a hardware
+// prefetcher. Sessions that ask questions in a predictable order teach
+// the engine's next-question predictor (a TAGE-style tagged
+// geometric-history predictor over interned question shapes, with a
+// first-order Markov fallback); once a pattern is learned, the engine
+// speculatively executes the predicted follow-up in the background, so
+// a question that would have been a cold miss is served as an exact
+// cache hit. Run with:
+//
+//	go run ./examples/sessionprefetch
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"cachemind/internal/engine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.Println("building store (4000 accesses/trace)...")
+	store, err := engine.OpenStore("", 4000, 42, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A deliberately tiny cache (2 entries) so demand traffic evicts
+	// everything between sessions — exactly the regime where reactive
+	// caching cannot help a follow-up question but prediction can.
+	eng, err := engine.New(engine.Config{
+		Store:     store,
+		Shards:    1,
+		CacheSize: 2,
+		Prefetch:  engine.PrefetchConfig{Enabled: true, Workers: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	qa := "List all unique PCs in mcf under LRU."
+	qb := "What is the miss rate in mcf under belady?"
+
+	ask := func(sid, q string) engine.Response {
+		resp, err := eng.Ask(context.Background(), engine.Request{SessionID: sid, Question: q})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return resp
+	}
+	// quiesce waits for the background prefetch workers to drain, so
+	// the demo's ordering is deterministic; a real deployment never
+	// needs this.
+	quiesce := func() {
+		if !eng.PrefetchQuiesce(10 * time.Second) {
+			log.Fatal("prefetcher did not quiesce")
+		}
+	}
+
+	// Two training sessions asking A then B teach the predictor the
+	// A→B transition (each ask also records an observation).
+	log.Println("training the predictor: two sessions ask A then B...")
+	for i := 0; i < 2; i++ {
+		sid := fmt.Sprintf("train-%d", i)
+		ask(sid, qa)
+		ask(sid, qb)
+		quiesce()
+	}
+
+	// Unrelated demand traffic evicts both A and B from the 2-entry
+	// cache — the state a fresh session would find.
+	log.Println("evicting A and B with unrelated demand traffic...")
+	evict := engine.Request{
+		SessionID: "other", Question: "Which policy performs best on mcf?",
+		Options: engine.Options{NoMemory: true},
+	}
+	if _, err := eng.Ask(context.Background(), evict); err != nil {
+		log.Fatal(err)
+	}
+	evict.Question = "How many evictions occurred in mcf under lru?"
+	if _, err := eng.Ask(context.Background(), evict); err != nil {
+		log.Fatal(err)
+	}
+
+	// A fresh session asks A: a cold miss (nothing resident), but the
+	// observation predicts B, and the engine fills it in the background.
+	fmt.Println()
+	resp := ask("fresh", qa)
+	fmt.Printf("fresh session asks A → tier %q (cold: the cache was evicted)\n", resp.Tier)
+	quiesce()
+
+	// The follow-up ask of B — a guaranteed miss without prefetching —
+	// is served as an exact hit from the speculative fill.
+	resp = ask("fresh", qb)
+	fmt.Printf("fresh session asks B → tier %q (prefetched while the user read A's answer)\n", resp.Tier)
+
+	st := eng.Stats().Prefetch
+	fmt.Printf("\nprefetch stats: %d predictions, %d issued, %d covered, %d wasted\n",
+		st.Predictions, st.Issued, st.Covered, st.Wasted)
+
+	// Expected output (exact counts can vary with scheduling):
+	//
+	//	fresh session asks A → tier "cold" (cold: the cache was evicted)
+	//	fresh session asks B → tier "exact" (prefetched while the user read A's answer)
+	//
+	//	prefetch stats: 2 predictions, 1 issued, 1 covered, 0 wasted
+	//
+	// The load is the point: B's answer was computed during the idle
+	// window between the session's turns, so the user-visible latency
+	// of the follow-up is a cache hit, not a pipeline run.
+}

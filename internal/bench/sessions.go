@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Session is one synthetic conversation for session-replay load: an ID
+// and the ordered questions the session asks.
+type Session struct {
+	ID        string
+	Questions []string
+}
+
+// SessionScripts is how many distinct follow-up scripts SampleSessions
+// builds; sessions are assigned scripts round-robin, so every script is
+// replayed by ~n/SessionScripts sessions — repetition is what makes the
+// scripts' turn-to-turn transitions learnable by a next-question
+// predictor downstream.
+const SessionScripts = 4
+
+// SampleSessions draws n deterministic sessions of `turns` questions
+// each — the realistic follow-up workload shape cmd/loadgen's
+// -session-replay mode replays. Sessions follow one of SessionScripts
+// fixed scripts (seed-shuffled slices of the suite): at each turn, with
+// probability follow (clamped to [0, 1]) the session asks its script's
+// next question, otherwise it detours to a uniformly drawn suite
+// question and rejoins the script on the following turn. At follow 1
+// every session is a verbatim replay of its script; at follow 0 the
+// stream degenerates to independent draws with no sequential structure.
+// The result is a pure function of (suite, n, turns, seed, follow):
+// identical inputs replay identical sessions, which keeps
+// BENCH_loadgen.json comparable across runs — and makes prefetch
+// coverage a property of the workload, not of scheduling luck.
+func SampleSessions(s *Suite, n, turns int, seed int64, follow float64) []Session {
+	if n <= 0 || turns <= 0 || len(s.Questions) == 0 {
+		return nil
+	}
+	if follow < 0 {
+		follow = 0
+	}
+	if follow > 1 {
+		follow = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := shuffledIndices(len(s.Questions), rng)
+
+	// Scripts are consecutive windows of the shuffled order, wrapping
+	// past its end, so scripts overlap only when the suite is smaller
+	// than SessionScripts*turns — and are disjoint otherwise.
+	scripts := make([][]string, SessionScripts)
+	pos := 0
+	for k := range scripts {
+		script := make([]string, turns)
+		for t := range script {
+			script[t] = s.Questions[order[pos%len(order)]].Text
+			pos++
+		}
+		scripts[k] = script
+	}
+
+	out := make([]Session, n)
+	for i := range out {
+		script := scripts[i%SessionScripts]
+		qs := make([]string, turns)
+		for t := range qs {
+			if rng.Float64() < follow {
+				qs[t] = script[t]
+			} else {
+				qs[t] = s.Questions[rng.Intn(len(s.Questions))].Text
+			}
+		}
+		out[i] = Session{ID: fmt.Sprintf("replay-%d", i), Questions: qs}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package bench_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cachemind/internal/bench"
+)
+
+func TestSampleSessionsDeterministic(t *testing.T) {
+	s := mixSuite(t)
+	a := bench.SampleSessions(s, 16, 6, 42, 0.8)
+	b := bench.SampleSessions(s, 16, 6, 42, 0.8)
+	if fmt.Sprintf("%v", a) != fmt.Sprintf("%v", b) {
+		t.Fatal("identical (suite, n, turns, seed, follow) produced different sessions")
+	}
+	c := bench.SampleSessions(s, 16, 6, 43, 0.8)
+	if fmt.Sprintf("%v", a) == fmt.Sprintf("%v", c) {
+		t.Fatal("different seeds produced identical sessions")
+	}
+}
+
+func TestSampleSessionsShape(t *testing.T) {
+	s := mixSuite(t)
+	sessions := bench.SampleSessions(s, 9, 5, 1, 1)
+	if len(sessions) != 9 {
+		t.Fatalf("got %d sessions, want 9", len(sessions))
+	}
+	ids := map[string]bool{}
+	for _, sess := range sessions {
+		if len(sess.Questions) != 5 {
+			t.Fatalf("session %s has %d turns, want 5", sess.ID, len(sess.Questions))
+		}
+		if ids[sess.ID] {
+			t.Fatalf("duplicate session ID %s", sess.ID)
+		}
+		ids[sess.ID] = true
+	}
+}
+
+// TestSampleSessionsFollowStructure: at follow 1 sessions sharing a
+// script replay it verbatim — the repetition a next-question predictor
+// learns from — and at follow 0 no script structure is guaranteed, but
+// every question still comes from the suite.
+func TestSampleSessionsFollowStructure(t *testing.T) {
+	s := mixSuite(t)
+	sessions := bench.SampleSessions(s, 2*bench.SessionScripts, 4, 7, 1)
+	for i := 0; i < bench.SessionScripts; i++ {
+		a, b := sessions[i], sessions[i+bench.SessionScripts]
+		if fmt.Sprintf("%v", a.Questions) != fmt.Sprintf("%v", b.Questions) {
+			t.Fatalf("follow=1 sessions %s and %s share a script but diverge", a.ID, b.ID)
+		}
+	}
+
+	valid := map[string]bool{}
+	for _, q := range s.Questions {
+		valid[q.Text] = true
+	}
+	for _, sess := range bench.SampleSessions(s, 8, 4, 7, 0) {
+		for _, q := range sess.Questions {
+			if !valid[q] {
+				t.Fatalf("session %s asked %q, not a suite question", sess.ID, q)
+			}
+		}
+	}
+}
+
+func TestSampleSessionsEmpty(t *testing.T) {
+	s := mixSuite(t)
+	if got := bench.SampleSessions(s, 0, 5, 1, 1); got != nil {
+		t.Fatalf("n=0 returned %v, want nil", got)
+	}
+	if got := bench.SampleSessions(s, 5, 0, 1, 1); got != nil {
+		t.Fatalf("turns=0 returned %v, want nil", got)
+	}
+}

@@ -75,6 +75,25 @@ func (p *lruList) OnInsert(key string) {
 	p.at[key] = p.ll.PushFront(key)
 }
 
+// OnInsertPrefetch inserts key at the midpoint of the recency list —
+// the probationary position of a segmented LRU: a speculative prefetch
+// fill never displaces the proven-hot front half, but survives about
+// half a capacity's worth of demand churn, long enough to reach the
+// session turn it was predicted for, before aging out un-promoted. The
+// midpoint walk is O(len/2), paid only on background prefetch fills;
+// the demand path never runs it (see prefetchInserter).
+func (p *lruList) OnInsertPrefetch(key string) {
+	el := p.ll.Back()
+	for i := p.ll.Len() / 2; i > 0 && el != nil; i-- {
+		el = el.Prev()
+	}
+	if el == nil {
+		p.at[key] = p.ll.PushFront(key)
+		return
+	}
+	p.at[key] = p.ll.InsertAfter(key, el)
+}
+
 func (p *lruList) Victim(string) (string, bool) {
 	oldest := p.ll.Back()
 	if oldest == nil {
@@ -120,6 +139,26 @@ type bytesHitter interface {
 	OnHitBytes(key []byte)
 }
 
+// prefetchInserter is the optional low-priority half of evictionPolicy:
+// a policy that wants to see speculative prefetch fills as a distinct
+// insertion class (exactly the distinction SHiP/RRIP draw between
+// demand and prefetch fills in the simulator) implements it; the cache
+// falls back to plain OnInsert otherwise. The native LRU implements it
+// by inserting at the recency list's midpoint (segmented-LRU
+// probation); internal/policy's adapter implements it by setting
+// sim.AccessInfo.Prefetch on the fill.
+type prefetchInserter interface {
+	OnInsertPrefetch(key string)
+}
+
+// prefetchVictimer is prefetchInserter's eviction-side twin: the
+// victim choice for a prefetch fill, so bypass-capable policies can
+// refuse speculative insertions more aggressively than demand ones.
+// Falls back to plain Victim.
+type prefetchVictimer interface {
+	VictimForPrefetch(incoming string) (victim string, bypass bool)
+}
+
 type answerCache struct {
 	mu  sync.Mutex
 	cap int
@@ -130,10 +169,20 @@ type answerCache struct {
 	entries  map[string]Answer
 	idx      *embed.Index // nil unless the semantic tier is enabled
 
+	// prefetched marks resident entries that were inserted by a
+	// speculative prefetch fill and have not yet served a demand ask
+	// (guarded by mu; nil until the first prefetch insert, so engines
+	// without prefetching pay nothing). The bit is cleared — and covered
+	// advanced — on the entry's first demand serve; an entry evicted or
+	// bypassed with the bit still set advances wasted instead.
+	prefetched map[string]struct{}
+
 	exactHits    atomic.Uint64
 	semanticHits atomic.Uint64
 	misses       atomic.Uint64
 	bypasses     atomic.Uint64
+	covered      atomic.Uint64
+	wasted       atomic.Uint64
 }
 
 // newAnswerCache creates a cache bounded to capacity entries (minimum
@@ -171,6 +220,17 @@ func (c *answerCache) touch(key []byte) (Answer, bool) {
 	if !ok {
 		return Answer{}, false
 	}
+	if c.prefetched != nil {
+		// First demand touch of a prefetched entry: the prefetch covered
+		// a would-be miss. The membership probe is a zero-copy lookup;
+		// the delete below materializes a string, but runs at most once
+		// per prefetched entry ever, so the steady-state hit path stays
+		// allocation-free.
+		if _, pf := c.prefetched[string(key)]; pf {
+			delete(c.prefetched, string(key))
+			c.covered.Add(1)
+		}
+	}
 	if c.polBytes != nil {
 		c.polBytes.OnHitBytes(key)
 	} else {
@@ -205,7 +265,14 @@ func (c *answerCache) put(key string, ans Answer, vec *embed.Vector) {
 	if _, ok := c.entries[key]; ok {
 		c.entries[key] = ans
 		c.pol.OnHit(key) // refresh, exactly as the old MoveToFront did
-		return           // idx already carries this key's vector
+		// A demand overwrite of a still-unserved prefetched entry (a
+		// demand leader raced the fill's publish): the demand ask ran
+		// its own pipeline, so the speculative work served nobody.
+		if _, pf := c.prefetched[key]; pf {
+			delete(c.prefetched, key)
+			c.wasted.Add(1)
+		}
+		return // idx already carries this key's vector
 	}
 	if len(c.entries) >= c.cap {
 		victim, bypass := c.pol.Victim(key)
@@ -213,15 +280,84 @@ func (c *answerCache) put(key string, ans Answer, vec *embed.Vector) {
 			c.bypasses.Add(1)
 			return
 		}
-		delete(c.entries, victim)
-		if c.idx != nil {
-			c.idx.Remove(victim)
-		}
+		c.evict(victim)
 	}
 	c.entries[key] = ans
 	c.pol.OnInsert(key)
 	if c.idx != nil && vec != nil {
 		c.idx.AddVec(key, *vec)
+	}
+}
+
+// evict removes victim from the entry map, the semantic index and the
+// prefetched set (counting a never-served prefetch as wasted). Caller
+// holds c.mu; the policy has already stopped tracking the victim.
+func (c *answerCache) evict(victim string) {
+	delete(c.entries, victim)
+	if c.idx != nil {
+		c.idx.Remove(victim)
+	}
+	if _, pf := c.prefetched[victim]; pf {
+		delete(c.prefetched, victim)
+		c.wasted.Add(1)
+	}
+}
+
+// putPrefetch stores a speculative prefetch fill under key, reporting
+// whether it landed. Unlike put it never refreshes an existing entry
+// (a resident key means the fill was redundant), routes the victim
+// choice and insertion through the policy's prefetch-aware methods
+// when it has them (prefetchVictimer/prefetchInserter — the native LRU
+// inserts at the LRU end; the simulator adapter marks
+// sim.AccessInfo.Prefetch), and marks the entry in the prefetched set
+// so its first demand serve counts covered. A policy bypass counts
+// wasted, not bypasses: bypasses tracks declined demand insertions.
+func (c *answerCache) putPrefetch(key string, ans Answer, vec *embed.Vector) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	if len(c.entries) >= c.cap {
+		var victim string
+		var bypass bool
+		if pv, ok := c.pol.(prefetchVictimer); ok {
+			victim, bypass = pv.VictimForPrefetch(key)
+		} else {
+			victim, bypass = c.pol.Victim(key)
+		}
+		if bypass {
+			c.wasted.Add(1)
+			return true // counted here; the fill does not double-count
+		}
+		c.evict(victim)
+	}
+	c.entries[key] = ans
+	if pi, ok := c.pol.(prefetchInserter); ok {
+		pi.OnInsertPrefetch(key)
+	} else {
+		c.pol.OnInsert(key)
+	}
+	if c.prefetched == nil {
+		c.prefetched = map[string]struct{}{}
+	}
+	c.prefetched[key] = struct{}{}
+	if c.idx != nil && vec != nil {
+		c.idx.AddVec(key, *vec)
+	}
+	return true
+}
+
+// coverFlight records that a demand ask was served by coalescing onto
+// an in-flight (or just-published) prefetch fill for key: the entry's
+// covered credit is claimed exactly once, here or at its first demand
+// touch, whichever runs first.
+func (c *answerCache) coverFlight(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, pf := c.prefetched[key]; pf {
+		delete(c.prefetched, key)
+		c.covered.Add(1)
 	}
 }
 
@@ -264,4 +400,10 @@ func (c *answerCache) counters() (exact, semantic, misses, bypasses uint64, entr
 	n := len(c.entries)
 	c.mu.Unlock()
 	return c.exactHits.Load(), c.semanticHits.Load(), c.misses.Load(), c.bypasses.Load(), n
+}
+
+// prefetchCounters returns (covered, wasted) — the demand-side fate of
+// this shard's prefetched entries.
+func (c *answerCache) prefetchCounters() (covered, wasted uint64) {
+	return c.covered.Load(), c.wasted.Load()
 }

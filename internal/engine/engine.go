@@ -234,6 +234,15 @@ type Config struct {
 	// shard count clamps that table's effective shard count (one entry
 	// per clamped shard), so the configured global bound is exact.
 	Shards int
+	// Prefetch configures the predictive session prefetcher: a
+	// TAGE-style next-question predictor over per-session ask history
+	// whose predictions are executed by background workers and inserted
+	// as low-priority cache fills (see prefetch.go and
+	// internal/predict). The zero value disables it. Enabling it with
+	// caching disabled (CacheSize < 0) is a configuration error — there
+	// is nothing to fill. Engines with prefetching own background
+	// goroutines; call Close when done.
+	Prefetch PrefetchConfig
 	// CustomRetriever, when non-nil, overrides Retriever with a caller
 	// -supplied implementation (tests, future multi-backend fan-out).
 	// It must be safe for concurrent Retrieve calls.
@@ -323,6 +332,11 @@ type Engine struct {
 	caches        []*answerCache // nil when caching is disabled
 	flights       []*flightShard
 	ncacheShards  int
+
+	// pf is the predictive prefetcher, nil unless Config.Prefetch is
+	// enabled. The ask path's only interaction with it is one
+	// non-blocking channel send (see prefetcher.observe).
+	pf *prefetcher
 
 	questions       atomic.Uint64
 	canceled        atomic.Uint64
@@ -421,11 +435,14 @@ func New(cfg Config) (*Engine, error) {
 	// The flight table has no entry budget, so it always runs at the
 	// full shard count — a tiny CacheSize must not serialize unrelated
 	// cold misses onto one flight mutex.
+	if cfg.Prefetch.Enabled && caches == nil {
+		return nil, fmt.Errorf("engine: Prefetch requires caching (CacheSize >= 0)")
+	}
 	flights := make([]*flightShard, nshards)
 	for i := range flights {
 		flights[i] = newFlightShard()
 	}
-	return &Engine{
+	e := &Engine{
 		store:         cfg.Store,
 		retr:          retr,
 		profile:       profile,
@@ -440,7 +457,11 @@ func New(cfg Config) (*Engine, error) {
 		caches:        caches,
 		flights:       flights,
 		ncacheShards:  ncache,
-	}, nil
+	}
+	if cfg.Prefetch.Enabled {
+		e.pf = newPrefetcher(e, cfg.Prefetch)
+	}
+	return e, nil
 }
 
 // newEvictionPolicy builds the named eviction policy for one cache
@@ -475,6 +496,11 @@ type inflightCall struct {
 	done chan struct{}
 	ans  Answer
 	err  error
+	// prefetch marks a flight led by the background prefetcher rather
+	// than a demand ask: demand followers coalescing onto it were
+	// served by speculative work, so they claim the entry's covered
+	// credit (see answerCache.coverFlight).
+	prefetch bool
 }
 
 // askScratch is the pooled per-ask scratch state: the cache-key bytes
@@ -572,6 +598,14 @@ func (e *Engine) Ask(ctx context.Context, req Request) (Response, error) {
 
 	if !req.Options.NoMemory {
 		e.record(req.SessionID, question, ans.Text)
+		if e.pf != nil {
+			// One non-blocking send; the predictor update and any
+			// speculative fills happen on background workers, so the
+			// foreground ask pays no latency and no allocations for
+			// prefetching (NoMemory asks are not session turns and train
+			// nothing).
+			e.pf.observe(req.SessionID, question)
+		}
 	}
 	return e.response(req, question, ans, tier, sim, shard, start), nil
 }
@@ -664,6 +698,12 @@ func (e *Engine) cachedAsk(ctx context.Context, shard int, keyHash uint32, sc *a
 				// follower is a hit — it was answered from shared work,
 				// not a pipeline run of its own.
 				cache.exactHits.Add(1)
+				if c.prefetch {
+					// The shared work was speculative: this demand ask
+					// would have been a miss without the prefetcher, so
+					// the entry's covered credit is claimed (once).
+					cache.coverFlight(key)
+				}
 				return c.ans, TierExact, 0, nil
 			}
 			// The leader aborted (its context canceled). Retry with a
@@ -1018,6 +1058,12 @@ type Stats struct {
 	// this (see Config.Shards); len(CacheShards) is the cache's
 	// effective count.
 	Shards int
+	// Prefetch is the predictive prefetcher's counter snapshot (see
+	// PrefetchStats); all-zero with Enabled false when prefetching is
+	// off. Covered never overlaps CacheMisses — a covered ask was served
+	// as a hit — so covered/(covered+misses) is the fraction of
+	// would-be misses the prefetcher absorbed.
+	Prefetch PrefetchStats
 }
 
 // CacheShardStats is one answer-cache shard's counters. Hits is always
@@ -1069,6 +1115,19 @@ func (e *Engine) Stats() Stats {
 		sh.mu.Lock()
 		st.Sessions += len(sh.sessions)
 		sh.mu.Unlock()
+	}
+	if e.pf != nil {
+		st.Prefetch = PrefetchStats{
+			Enabled:     true,
+			Predictions: e.pf.predictions.Load(),
+			Issued:      e.pf.issued.Load(),
+			Dropped:     e.pf.dropped.Load(),
+		}
+		for _, c := range e.caches {
+			covered, wasted := c.prefetchCounters()
+			st.Prefetch.Covered += covered
+			st.Prefetch.Wasted += wasted
+		}
 	}
 	return st
 }

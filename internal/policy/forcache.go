@@ -126,6 +126,15 @@ type cacheAdapter struct {
 	pendingKey string
 	hasPending bool
 
+	// prefetchNext marks the next access as a speculative prefetch fill
+	// (set by VictimForPrefetch/OnInsertPrefetch around the underlying
+	// call), surfaced to the simulator policy as AccessInfo.Prefetch —
+	// the same flag the offline machine sets on hardware-prefetch
+	// fills, so prefetch-aware policies (RRIP-family insertion depth,
+	// SHiP's signature training) treat live speculative fills exactly
+	// as they treat simulated ones.
+	prefetchNext bool
+
 	// shapes interns the PC feature per question shape — the
 	// (retriever, model, leading-word) substring every key of one intent
 	// family shares. Question shapes are few (one per intent phrasing)
@@ -168,6 +177,7 @@ func (a *cacheAdapter) info(key string) sim.AccessInfo {
 		Time:     a.clock,
 		PC:       a.pcFor(key),
 		LineAddr: fnv64a(fnvOffset64, key),
+		Prefetch: a.prefetchNext,
 	}
 }
 
@@ -228,6 +238,26 @@ func (a *cacheAdapter) Victim(incoming string) (string, bool) {
 	// training) may read the displaced state in OnFill.
 	a.pendingWay, a.pendingKey, a.hasPending = w, incoming, true
 	return victim, false
+}
+
+// VictimForPrefetch is Victim for a speculative prefetch fill: the
+// underlying policy sees the access with AccessInfo.Prefetch set, so
+// bypass-capable policies can refuse speculative insertions on their
+// own terms. Satisfies internal/engine's prefetchVictimer seam.
+func (a *cacheAdapter) VictimForPrefetch(incoming string) (string, bool) {
+	a.prefetchNext = true
+	victim, bypass := a.Victim(incoming)
+	a.prefetchNext = false
+	return victim, bypass
+}
+
+// OnInsertPrefetch is OnInsert for a speculative prefetch fill, with
+// AccessInfo.Prefetch set on the fill the policy observes. Satisfies
+// internal/engine's prefetchInserter seam.
+func (a *cacheAdapter) OnInsertPrefetch(key string) {
+	a.prefetchNext = true
+	a.OnInsert(key)
+	a.prefetchNext = false
 }
 
 func (a *cacheAdapter) OnInsert(key string) {

@@ -1,0 +1,540 @@
+// Package predict is the serving engine's next-question predictor: a
+// TAGE-style tagged geometric-history predictor over interned question
+// IDs, with a global first-order Markov table as the cold-session
+// fallback. It is the online analogue of the simulator's hardware
+// prefetchers (internal/sim's next-line and stride predictors observe a
+// line-address stream; this package observes a per-session question
+// stream) and the learning substrate internal/engine's background
+// prefetcher runs on.
+//
+// # TAGE table geometry
+//
+// TAGE (TAgged GEometric history length — Seznec & Michaud's branch
+// predictor family) keys a bank of tagged tables by folded histories of
+// geometrically increasing length, and serves each prediction from the
+// longest history that produced a tag match:
+//
+//	table 0:  history length MinHistory      (default  2)
+//	table 1:  history length MinHistory<<1   (default  4)
+//	table 2:  history length MinHistory<<2   (default  8)
+//	table 3:  history length MinHistory<<3   (default 16)
+//
+// Each table holds 1<<TableBits entries of {tag, predicted next ID,
+// confidence counter, usefulness counter}. A session's recent question
+// IDs are folded (FNV-1a over the last L IDs, salted per table and by
+// Config.Seed) into an index and an independent tag per table; a lookup
+// scans tables longest-history-first and the first valid tag match is
+// the provider. This is the O(1) longest-match the ROADMAP asks for:
+// matching against every variable-length history suffix costs one probe
+// per table — a constant — instead of a walk over stored histories.
+//
+// The classic TAGE update rules carry over, re-cast from branch
+// direction prediction to next-value prediction:
+//
+//   - The provider's confidence counter saturates up when its predicted
+//     ID was correct and down when wrong; a wrong prediction at
+//     confidence zero is replaced in place by the observed ID.
+//   - The provider's usefulness counter increments when it was both
+//     correct and disagreed with the alternate prediction (the
+//     next-longest match, or the Markov fallback) — the entry earned
+//     its keep; usefulness is what shields an entry from reallocation.
+//   - On a misprediction, one new entry is allocated in a table with a
+//     *longer* history than the provider's: the first candidate whose
+//     resident entry has usefulness zero is taken over. When every
+//     candidate is useful, no allocation happens and every candidate's
+//     usefulness is decremented instead — repeated pressure eventually
+//     frees a slot (TAGE's graceful aging), and a periodic global decay
+//     (Config.DecayPeriod) keeps stale Boolean "useful once, never
+//     again" entries from pinning their slots forever.
+//
+// # The Markov fallback
+//
+// A TAGE table can only match a session that has already built up
+// history. New sessions — the common case the instant a user connects —
+// fall back to a global first-order Markov table: per observed question
+// ID, a small top-K count table of which question followed it, across
+// all sessions. The fallback is also the alternate prediction that
+// usefulness is judged against, and it backfills extra prediction slots
+// when a caller asks for more than one candidate (Observe's degree).
+//
+// Both structures are bounded: the interner caps distinct question IDs
+// (MaxShapes), the per-session history table is LRU-bounded
+// (MaxSessions), and the Markov table stops learning new rows at
+// MarkovRows. Past a cap the predictor degrades to not learning the
+// overflow — it never grows without bound under an adversarial question
+// flood.
+//
+// Everything is deterministic: there is no randomness anywhere, and
+// Config.Seed only salts the fold hashes, so a fixed (seed,
+// observation stream) replays fixed predictions — the property the
+// engine's covered/wasted accounting tests pin.
+//
+// The zero value of Config selects the defaults above. A Predictor is
+// safe for concurrent use; the engine's background workers serialize on
+// its single mutex, which is fine because updates are a few table
+// probes — the predictor is never on the foreground ask path.
+package predict
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Defaults for the zero Config.
+const (
+	DefaultTables      = 4
+	DefaultTableBits   = 10
+	DefaultMinHistory  = 2
+	DefaultMaxSessions = 4096
+	DefaultMaxShapes   = 1 << 16
+	DefaultMarkovRows  = 4096
+	DefaultDecayPeriod = 8192
+)
+
+// markovWays is how many distinct successors one Markov row tracks.
+const markovWays = 4
+
+// Config parameterizes a Predictor; zero fields select the package
+// defaults.
+type Config struct {
+	// Tables is the number of tagged history tables (default 4).
+	Tables int
+	// TableBits is log2 of each table's entry count (default 10:
+	// 1024 entries per table).
+	TableBits int
+	// MinHistory is the shortest table's history length; table i uses
+	// MinHistory<<i (default 2, giving 2/4/8/16).
+	MinHistory int
+	// MaxSessions bounds the per-session history table; least recently
+	// observed sessions are evicted (default 4096).
+	MaxSessions int
+	// MaxShapes bounds the question interner; questions beyond the cap
+	// are not learned (default 65536).
+	MaxShapes int
+	// MarkovRows bounds the Markov fallback table; transitions out of
+	// questions beyond the cap are not learned (default 4096).
+	MarkovRows int
+	// DecayPeriod is how many observations pass between global
+	// usefulness decays (default 8192).
+	DecayPeriod int
+	// Seed salts the fold hashes. Predictions are deterministic for a
+	// fixed (Seed, observation stream).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tables <= 0 {
+		c.Tables = DefaultTables
+	}
+	if c.TableBits <= 0 {
+		c.TableBits = DefaultTableBits
+	}
+	if c.MinHistory <= 0 {
+		c.MinHistory = DefaultMinHistory
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
+	if c.MaxShapes <= 0 {
+		c.MaxShapes = DefaultMaxShapes
+	}
+	if c.MarkovRows <= 0 {
+		c.MarkovRows = DefaultMarkovRows
+	}
+	if c.DecayPeriod <= 0 {
+		c.DecayPeriod = DefaultDecayPeriod
+	}
+	return c
+}
+
+// tagEntry is one tagged-table slot: the folded-history tag it answers
+// for, the question ID it predicts, and the TAGE counters.
+type tagEntry struct {
+	valid  bool
+	tag    uint16
+	pred   uint32
+	conf   uint8 // saturating 0..3
+	useful uint8 // saturating 0..3
+}
+
+// markovRow is one first-order transition row: the top-K successors of
+// one question ID with their observation counts.
+type markovRow struct {
+	next [markovWays]uint32
+	cnt  [markovWays]uint32
+	used int
+}
+
+// observe counts a prev→next transition, evicting the lowest-count
+// successor when the row is full (count reset to 1 — a newcomer must
+// re-earn rank).
+func (r *markovRow) observe(next uint32) {
+	for i := 0; i < r.used; i++ {
+		if r.next[i] == next {
+			r.cnt[i]++
+			return
+		}
+	}
+	if r.used < markovWays {
+		r.next[r.used], r.cnt[r.used] = next, 1
+		r.used++
+		return
+	}
+	min := 0
+	for i := 1; i < markovWays; i++ {
+		if r.cnt[i] < r.cnt[min] {
+			min = i
+		}
+	}
+	r.next[min], r.cnt[min] = next, 1
+}
+
+// top returns the row's successors by descending count (ties break by
+// slot order — deterministic), appended to dst.
+func (r *markovRow) top(dst []uint32) []uint32 {
+	taken := 0
+	for taken < r.used {
+		best, bestCnt := -1, uint32(0)
+		for i := 0; i < r.used; i++ {
+			already := false
+			for _, d := range dst {
+				if d == r.next[i] {
+					already = true
+					break
+				}
+			}
+			if already {
+				continue
+			}
+			if best < 0 || r.cnt[i] > bestCnt {
+				best, bestCnt = i, r.cnt[i]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		dst = append(dst, r.next[best])
+		taken++
+	}
+	return dst
+}
+
+// sessionState is one session's predictor-side state: its recent
+// question IDs plus the table probe the last Observe computed, carried
+// forward so the resolving update never re-hashes the old history.
+type sessionState struct {
+	id   string
+	hist []uint32 // ring-free: bounded append, trimmed to maxHist
+
+	// The last lookup, resolved by the next Observe: per-table index
+	// and tag (for tables whose history length was satisfied), the
+	// provider table (-1: none), and the predicted/alternate IDs.
+	idx      []uint32
+	tag      []uint16
+	nProbed  int // tables probed last time (history-limited)
+	provider int
+	pred     uint32
+	alt      uint32
+	havePred bool
+	haveAlt  bool
+}
+
+// Predictor is the TAGE+Markov next-question predictor. Safe for
+// concurrent use.
+type Predictor struct {
+	mu  sync.Mutex
+	cfg Config
+
+	// interner: question text <-> dense uint32 ID.
+	ids  map[string]uint32
+	strs []string
+
+	tables  [][]tagEntry
+	histLen []int // per-table history length
+	maxHist int
+
+	sessions  map[string]*list.Element // of *sessionState
+	byRecency *list.List
+
+	markov map[uint32]*markovRow
+
+	observations uint64 // drives the periodic usefulness decay
+}
+
+// New builds a predictor; zero cfg fields select package defaults.
+func New(cfg Config) *Predictor {
+	cfg = cfg.withDefaults()
+	p := &Predictor{
+		cfg:       cfg,
+		ids:       make(map[string]uint32),
+		tables:    make([][]tagEntry, cfg.Tables),
+		histLen:   make([]int, cfg.Tables),
+		sessions:  make(map[string]*list.Element),
+		byRecency: list.New(),
+		markov:    make(map[uint32]*markovRow),
+	}
+	size := 1 << cfg.TableBits
+	for i := range p.tables {
+		p.tables[i] = make([]tagEntry, size)
+		p.histLen[i] = cfg.MinHistory << i
+	}
+	p.maxHist = p.histLen[cfg.Tables-1]
+	return p
+}
+
+// Observe records that session sid asked q, resolves the prediction the
+// previous Observe of this session made (training the tables and the
+// Markov row), and returns up to degree predicted next questions, most
+// likely first. The first candidate is the TAGE provider's prediction
+// when a tagged table matched the session's history, the Markov
+// fallback otherwise; remaining slots backfill from the Markov row.
+// Returns nil when nothing is predictable yet (no history anywhere) or
+// the interner is saturated.
+func (p *Predictor) Observe(sid, q string, degree int) []string {
+	if degree < 1 {
+		degree = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	id, ok := p.intern(q)
+	if !ok {
+		return nil // interner saturated: stop learning, predict nothing
+	}
+	s := p.session(sid)
+
+	if len(s.hist) > 0 {
+		p.resolve(s, id)
+	}
+	s.hist = append(s.hist, id)
+	if len(s.hist) > p.maxHist {
+		s.hist = s.hist[len(s.hist)-p.maxHist:]
+	}
+
+	p.observations++
+	if p.observations%uint64(p.cfg.DecayPeriod) == 0 {
+		p.decayUseful()
+	}
+
+	p.lookup(s)
+	return p.predictions(s, id, degree)
+}
+
+// intern returns q's dense ID, minting one under the MaxShapes cap.
+func (p *Predictor) intern(q string) (uint32, bool) {
+	if id, ok := p.ids[q]; ok {
+		return id, true
+	}
+	if len(p.strs) >= p.cfg.MaxShapes {
+		return 0, false
+	}
+	id := uint32(len(p.strs))
+	p.ids[q] = id
+	p.strs = append(p.strs, q)
+	return id, true
+}
+
+// session returns sid's state, creating it and evicting the least
+// recently observed session past the bound.
+func (p *Predictor) session(sid string) *sessionState {
+	if el, ok := p.sessions[sid]; ok {
+		p.byRecency.MoveToFront(el)
+		return el.Value.(*sessionState)
+	}
+	s := &sessionState{
+		id:       sid,
+		idx:      make([]uint32, p.cfg.Tables),
+		tag:      make([]uint16, p.cfg.Tables),
+		provider: -1,
+	}
+	p.sessions[sid] = p.byRecency.PushFront(s)
+	for p.byRecency.Len() > p.cfg.MaxSessions {
+		oldest := p.byRecency.Back()
+		p.byRecency.Remove(oldest)
+		delete(p.sessions, oldest.Value.(*sessionState).id)
+	}
+	return s
+}
+
+// resolve trains on the observed outcome: the session's previous lookup
+// predicted something (or nothing) for "what comes after hist"; actual
+// is what actually came. Provider confidence/usefulness update first,
+// then allocation-on-mispredict, then the Markov row.
+func (p *Predictor) resolve(s *sessionState, actual uint32) {
+	prev := s.hist[len(s.hist)-1]
+
+	mispredicted := !s.havePred || s.pred != actual
+	if s.provider >= 0 {
+		e := &p.tables[s.provider][s.idx[s.provider]]
+		// The entry may have been reallocated to another session's
+		// history since the lookup; train only a still-matching entry.
+		if e.valid && e.tag == s.tag[s.provider] {
+			if e.pred == actual {
+				if e.conf < 3 {
+					e.conf++
+				}
+				// Useful = correct where the alternate would have been
+				// wrong: the longest match earned its slot.
+				if !s.haveAlt || s.alt != actual {
+					if e.useful < 3 {
+						e.useful++
+					}
+				}
+			} else if e.conf > 0 {
+				e.conf--
+			} else {
+				// Confidence exhausted: repurpose in place.
+				e.pred = actual
+			}
+		}
+	}
+
+	// Allocation on mispredict: claim one usefulness-zero entry in a
+	// longer-history table; when all candidates are defended, age them.
+	if mispredicted {
+		allocated := false
+		for t := s.provider + 1; t < s.nProbed; t++ {
+			e := &p.tables[t][s.idx[t]]
+			if !e.valid || e.useful == 0 {
+				*e = tagEntry{valid: true, tag: s.tag[t], pred: actual}
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			for t := s.provider + 1; t < s.nProbed; t++ {
+				e := &p.tables[t][s.idx[t]]
+				if e.useful > 0 {
+					e.useful--
+				}
+			}
+		}
+	}
+
+	// Markov: always learn the first-order transition (row cap applies
+	// to new rows only).
+	if row, ok := p.markov[prev]; ok {
+		row.observe(actual)
+	} else if len(p.markov) < p.cfg.MarkovRows {
+		row = &markovRow{}
+		row.observe(actual)
+		p.markov[prev] = row
+	}
+}
+
+// lookup probes the tagged tables for the session's current history and
+// stores the probe (indexes, tags, provider, prediction, alternate) on
+// the session for the next resolve.
+func (p *Predictor) lookup(s *sessionState) {
+	s.provider, s.havePred, s.haveAlt = -1, false, false
+	s.nProbed = 0
+	for t := 0; t < p.cfg.Tables; t++ {
+		if p.histLen[t] > len(s.hist) {
+			break
+		}
+		idx, tag := p.fold(s.hist, p.histLen[t], t)
+		s.idx[t], s.tag[t] = idx, tag
+		s.nProbed = t + 1
+	}
+	// Longest match provides; next-longest match is the alternate.
+	for t := s.nProbed - 1; t >= 0; t-- {
+		e := &p.tables[t][s.idx[t]]
+		if !e.valid || e.tag != s.tag[t] {
+			continue
+		}
+		if s.provider < 0 {
+			s.provider, s.pred, s.havePred = t, e.pred, true
+		} else {
+			s.alt, s.haveAlt = e.pred, true
+			break
+		}
+	}
+	// The Markov fallback is the prediction when no table matched, and
+	// the alternate when only one did — usefulness is judged against
+	// "what the rest of the predictor would have said".
+	last := s.hist[len(s.hist)-1]
+	if row, ok := p.markov[last]; ok && row.used > 0 {
+		tops := row.top(make([]uint32, 0, 1))
+		if !s.havePred {
+			s.pred, s.havePred = tops[0], true
+		} else if !s.haveAlt {
+			s.alt, s.haveAlt = tops[0], true
+		}
+	}
+}
+
+// predictions renders the post-lookup candidate list: the provider (or
+// fallback) prediction first, then Markov successors of last, deduped,
+// up to degree.
+func (p *Predictor) predictions(s *sessionState, last uint32, degree int) []string {
+	ids := make([]uint32, 0, degree)
+	if s.havePred {
+		ids = append(ids, s.pred)
+	}
+	if len(ids) < degree {
+		if row, ok := p.markov[last]; ok {
+			ids = row.top(ids)
+		}
+	}
+	if len(ids) > degree {
+		ids = ids[:degree]
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = p.strs[id]
+	}
+	return out
+}
+
+// decayUseful halves the defense of every tagged entry (saturating
+// decrement), so entries that were useful long ago eventually become
+// reclaimable — TAGE's periodic usefulness reset.
+func (p *Predictor) decayUseful() {
+	for _, tbl := range p.tables {
+		for i := range tbl {
+			if tbl[i].useful > 0 {
+				tbl[i].useful--
+			}
+		}
+	}
+}
+
+// fold hashes the last n IDs of hist (salted by the table index and the
+// seed) into a table index and an independent tag. FNV-1a over the ID
+// bytes; the tag draws from the upper hash bits so index collisions and
+// tag collisions are decorrelated.
+func (p *Predictor) fold(hist []uint32, n, table int) (uint32, uint16) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64) ^ uint64(p.cfg.Seed)
+	h ^= uint64(table+1) * 0x9e3779b97f4a7c15
+	h *= prime64
+	for _, id := range hist[len(hist)-n:] {
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64((id >> s) & 0xff)
+			h *= prime64
+		}
+	}
+	idx := uint32(h) & (uint32(1)<<p.cfg.TableBits - 1)
+	tag := uint16(h >> 32)
+	return idx, tag
+}
+
+// Sessions reports how many sessions currently hold predictor history.
+func (p *Predictor) Sessions() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.byRecency.Len()
+}
+
+// Shapes reports how many distinct questions the interner holds.
+func (p *Predictor) Shapes() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.strs)
+}

@@ -1,0 +1,199 @@
+package predict
+
+import (
+	"fmt"
+	"testing"
+)
+
+// feed replays one session's question stream and returns the last
+// Observe's predictions.
+func feed(p *Predictor, sid string, degree int, qs ...string) []string {
+	var out []string
+	for _, q := range qs {
+		out = p.Observe(sid, q, degree)
+	}
+	return out
+}
+
+// TestMarkovFallback: a brand-new session has no TAGE history, so the
+// first-order Markov table — trained by *other* sessions — must provide
+// the prediction.
+func TestMarkovFallback(t *testing.T) {
+	p := New(Config{})
+	feed(p, "s1", 1, "A", "B", "C")
+	feed(p, "s2", 1, "A", "B", "C")
+
+	// A fresh session's very first question has exactly one history
+	// item — below every table's MinHistory — so only Markov can answer.
+	got := feed(p, "fresh", 1, "A")
+	if len(got) != 1 || got[0] != "B" {
+		t.Fatalf("cold-session prediction after A = %v, want [B]", got)
+	}
+}
+
+// TestLongestMatchWins: the first-order transition B→? is ambiguous
+// (A,B→C in one script, D,B→E in another), so the Markov fallback can
+// at best guess one of them; the length-2 tagged table disambiguates by
+// context, and the longest matching history must provide.
+func TestLongestMatchWins(t *testing.T) {
+	p := New(Config{})
+	for i := 0; i < 4; i++ {
+		feed(p, fmt.Sprintf("x%d", i), 1, "A", "B", "C")
+		feed(p, fmt.Sprintf("y%d", i), 1, "D", "B", "E")
+	}
+
+	if got := feed(p, "fx", 1, "A", "B"); len(got) != 1 || got[0] != "C" {
+		t.Fatalf("prediction after (A,B) = %v, want [C]", got)
+	}
+	if got := feed(p, "fy", 1, "D", "B"); len(got) != 1 || got[0] != "E" {
+		t.Fatalf("prediction after (D,B) = %v, want [E]", got)
+	}
+}
+
+// TestDegreeBackfill: degree > 1 backfills candidates from the Markov
+// row, deduplicated against the provider's prediction.
+func TestDegreeBackfill(t *testing.T) {
+	p := New(Config{})
+	// B is followed by C twice and E once across sessions.
+	feed(p, "s1", 1, "B", "C")
+	feed(p, "s2", 1, "B", "C")
+	feed(p, "s3", 1, "B", "E")
+
+	got := feed(p, "fresh", 3, "B")
+	if len(got) != 2 || got[0] != "C" || got[1] != "E" {
+		t.Fatalf("degree-3 predictions after B = %v, want [C E]", got)
+	}
+}
+
+// TestUsefulnessGuardsAllocation: an entry that proved useful (correct
+// where the alternate was wrong) must not be reallocated by a colliding
+// misprediction, and the periodic decay must eventually release it.
+func TestUsefulnessDecay(t *testing.T) {
+	// Usefulness only accrues where the tagged table beats the Markov
+	// alternate, so train the ambiguous two-context pattern: B's
+	// first-order successor is split between C and E, and only the
+	// length-2 history disambiguates — the winning entries are "correct
+	// where the alternate was wrong", which is exactly what increments
+	// useful.
+	// DecayPeriod 64 lets the 36-observation training phase finish
+	// before the first decay tick can cancel a fresh increment.
+	p := New(Config{DecayPeriod: 64})
+	for i := 0; i < 6; i++ {
+		feed(p, fmt.Sprintf("s%d", i), 1, "A", "B", "C")
+		feed(p, fmt.Sprintf("t%d", i), 1, "D", "B", "E")
+	}
+	var before uint8
+	found := false
+	for ti := range p.tables {
+		for i := range p.tables[ti] {
+			if e := p.tables[ti][i]; e.valid && e.useful > 0 {
+				before, found = e.useful, true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("training produced no useful tagged entry")
+	}
+
+	// Every DecayPeriod observations decrement all useful counters;
+	// push enough unrelated traffic through to drain them to zero.
+	for i := 0; i < int(before)*int(p.cfg.DecayPeriod)+8; i++ {
+		p.Observe("noise", fmt.Sprintf("q%d", i%3), 1)
+	}
+	for ti := range p.tables {
+		for i := range p.tables[ti] {
+			if e := p.tables[ti][i]; e.valid && e.useful > 0 {
+				t.Fatalf("table %d entry %d still useful=%d after decay", ti, i, e.useful)
+			}
+		}
+	}
+}
+
+// TestAllocationOnMispredict: a misprediction must allocate in a
+// longer-history table than the provider (the TAGE growth rule), which
+// is observable as the longest-match disambiguation in
+// TestLongestMatchWins; here we pin the mechanism — after one training
+// pass of a two-context script, some tagged entry exists at all (the
+// Markov table alone carries no tags).
+func TestAllocationOnMispredict(t *testing.T) {
+	p := New(Config{})
+	feed(p, "s", 1, "A", "B", "C", "D")
+	n := 0
+	for ti := range p.tables {
+		for i := range p.tables[ti] {
+			if p.tables[ti][i].valid {
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("no tagged entries allocated after a mispredicting session")
+	}
+}
+
+// TestDeterminism: identical seeds and identical observation streams
+// must produce identical prediction streams; a different seed may
+// differ (it salts the fold hashes) but must stay self-consistent.
+func TestDeterminism(t *testing.T) {
+	stream := []struct{ sid, q string }{
+		{"a", "A"}, {"b", "D"}, {"a", "B"}, {"b", "B"}, {"a", "C"},
+		{"b", "E"}, {"c", "A"}, {"c", "B"}, {"a", "A"}, {"c", "C"},
+	}
+	replay := func(seed int64) []string {
+		p := New(Config{Seed: seed})
+		var out []string
+		for _, o := range stream {
+			out = append(out, fmt.Sprintf("%v", p.Observe(o.sid, o.q, 2)))
+		}
+		return out
+	}
+	a, b := replay(42), replay(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d: %q vs %q under identical seeds", i, a[i], b[i])
+		}
+	}
+}
+
+// TestBounds: the interner, session table, and Markov table must all
+// respect their caps under an adversarial unique-question flood.
+func TestBounds(t *testing.T) {
+	p := New(Config{MaxShapes: 8, MaxSessions: 4, MarkovRows: 4})
+	for i := 0; i < 100; i++ {
+		p.Observe(fmt.Sprintf("s%d", i), fmt.Sprintf("q%d", i), 1)
+	}
+	if got := p.Shapes(); got > 8 {
+		t.Fatalf("interner grew to %d shapes, cap 8", got)
+	}
+	if got := p.Sessions(); got > 4 {
+		t.Fatalf("session table grew to %d, cap 4", got)
+	}
+	if got := len(p.markov); got > 4 {
+		t.Fatalf("markov table grew to %d rows, cap 4", got)
+	}
+	// Saturated interner: unknown questions predict nothing and learn
+	// nothing, known ones keep working.
+	if got := p.Observe("s0", "q999", 1); got != nil {
+		t.Fatalf("saturated interner predicted %v for an unknown question", got)
+	}
+}
+
+// TestSessionIsolation: one session's history must not leak into
+// another's TAGE lookup (each folds its own history), while the Markov
+// table is deliberately global.
+func TestSessionIsolation(t *testing.T) {
+	p := New(Config{})
+	for i := 0; i < 4; i++ {
+		feed(p, fmt.Sprintf("x%d", i), 1, "A", "B", "C")
+	}
+	// A session whose history is (Z,B) must not get table-matched as if
+	// it were (A,B): no entry exists for that context, so the Markov
+	// fallback (B→C) answers — same answer here, but via fallback. The
+	// observable contract: predictions never crash across interleaved
+	// sessions and stay deterministic.
+	g1 := feed(p, "m1", 1, "Z", "B")
+	g2 := feed(p, "m2", 1, "Z", "B")
+	if fmt.Sprintf("%v", g1) != fmt.Sprintf("%v", g2) {
+		t.Fatalf("interleaved sessions diverged: %v vs %v", g1, g2)
+	}
+}
