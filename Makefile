@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz fmt vet loadgen loadgen-sweep loadgen-prefetch profile ci
+.PHONY: all build test race bench fuzz fmt vet loadgen loadgen-sweep loadgen-prefetch loadgen-cluster profile ci
 
 all: build
 
@@ -109,6 +109,17 @@ loadgen-prefetch:
 		-min-qps $(LOADGEN_MIN_QPS) -max-p99-ms $(LOADGEN_MAX_P99_MS) -max-allocs $(LOADGEN_MAX_ALLOCS) \
 		-accesses 4000 -request-timeout $(LOADGEN_TIMEOUT) -strict -out BENCH_loadgen_prefetch.json
 
+# The cluster gate: a 3-node consistent-hash cluster (fixed ports
+# 18081-18083, durable 2s checkpoints) driven by multi-target loadgen.
+# The script asserts the three cluster contracts — the 3-node run's
+# answer digest matches a 1-node run byte for byte, a kill -9 of one
+# node mid-run completes with zero question errors (client failover +
+# server-side local fallback), and the killed node restarts from its
+# checkpoint serving identical session views. Writes
+# BENCH_loadgen_cluster.json (and _kill.json), uploaded by CI.
+loadgen-cluster:
+	bash scripts/loadgen_cluster.sh
+
 # Profiles of the perf-gate workload: the same warmed fixed-seed run as
 # `make loadgen` with pprof capture on. Inspect with
 # `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`; CI uploads both
@@ -119,4 +130,4 @@ profile:
 		-accesses 4000 -request-timeout $(LOADGEN_TIMEOUT) \
 		-cpuprofile cpu.pprof -memprofile mem.pprof -out BENCH_loadgen_profile.json
 
-ci: build fmt vet race bench fuzz loadgen loadgen-sweep loadgen-prefetch
+ci: build fmt vet race bench fuzz loadgen loadgen-sweep loadgen-prefetch loadgen-cluster

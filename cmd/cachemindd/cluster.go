@@ -1,0 +1,279 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cachemind/internal/cluster"
+	"cachemind/internal/engine"
+)
+
+// clusterState is the daemon's view of the cluster: which node it is,
+// the current ring, and the forwarding machinery. nil on a standalone
+// daemon — every call site gates on that.
+//
+// Routing key: an ask with a session routes by session ID ("s\x00"+id)
+// so a session's turn log and memory accumulate on one node; a
+// sessionless ask routes by question ("q\x00"+question) so each
+// question's cache entry concentrates on one node. Answers are pure
+// functions of the question (see internal/engine), so the choice of
+// key — and any forwarding failure that lands an ask on the "wrong"
+// node — affects locality only, never answer bytes.
+type clusterState struct {
+	self string
+	fwd  *cluster.Forwarder
+	eng  *engine.Engine
+	ring atomic.Pointer[cluster.Ring]
+
+	// handoffMu serializes membership changes (ring swap + outbound
+	// streaming); forwarding reads the ring lock-free.
+	handoffMu sync.Mutex
+
+	forwards           atomic.Uint64 // asks relayed to their owner
+	forwardRetries     atomic.Uint64 // wire attempts beyond the first
+	fallbacks          atomic.Uint64 // relays that failed and were served locally
+	hopsIn             atomic.Uint64 // forwarded-in requests served locally
+	memberChanges      atomic.Uint64
+	handoffSessionsOut atomic.Uint64
+	handoffEntriesOut  atomic.Uint64
+	handoffSessionsIn  atomic.Uint64
+	handoffEntriesIn   atomic.Uint64
+}
+
+// newClusterState validates the membership and builds the cluster
+// view. self must be one of peers.
+func newClusterState(self string, peers []string, eng *engine.Engine) (*clusterState, error) {
+	ring, err := cluster.NewRing(peers, 0)
+	if err != nil {
+		return nil, err
+	}
+	if !ring.Has(self) {
+		return nil, fmt.Errorf("cluster: node id %q not in -peers %v", self, ring.Nodes())
+	}
+	cs := &clusterState{self: self, fwd: cluster.NewForwarder(cluster.ForwarderConfig{}), eng: eng}
+	cs.ring.Store(ring)
+	return cs, nil
+}
+
+// routeKey is the ring key for one ask: session-affine when a session
+// is named, question-affine otherwise. The one-byte prefixes keep the
+// two namespaces from colliding.
+func routeKey(session, question string) string {
+	if session != "" {
+		return "s\x00" + session
+	}
+	return "q\x00" + question
+}
+
+// owner returns the node that owns the ask.
+func (c *clusterState) owner(session, question string) string {
+	return c.ring.Load().Owner(routeKey(session, question))
+}
+
+// isForwarded reports whether the request already took its one
+// allowed forwarding hop.
+func isForwarded(r *http.Request) bool {
+	return r.Header.Get(cluster.HopHeader) != ""
+}
+
+// forward relays body to owner at path, returning the peer's verbatim
+// status and body. ok=false means the relay failed (breaker open,
+// retries exhausted, caller context dead) and the caller must serve
+// locally instead.
+func (c *clusterState) forward(ctx context.Context, owner, path string, body []byte) (status int, resp []byte, ok bool) {
+	c.forwards.Add(1)
+	status, resp, attempts, err := c.fwd.Post(ctx, owner, path, "application/json", body)
+	if attempts > 1 {
+		c.forwardRetries.Add(uint64(attempts - 1))
+	}
+	if err != nil {
+		c.fallbacks.Add(1)
+		return 0, nil, false
+	}
+	return status, resp, true
+}
+
+// forwardGet is forward for GET routes (session reads).
+func (c *clusterState) forwardGet(ctx context.Context, owner, path string) (status int, resp []byte, ok bool) {
+	c.forwards.Add(1)
+	status, resp, attempts, err := c.fwd.Get(ctx, owner, path)
+	if attempts > 1 {
+		c.forwardRetries.Add(uint64(attempts - 1))
+	}
+	if err != nil {
+		c.fallbacks.Add(1)
+		return 0, nil, false
+	}
+	return status, resp, true
+}
+
+// membersRequest is the PUT /v1/cluster/members body.
+type membersRequest struct {
+	Nodes []string `json:"nodes"`
+}
+
+// membersResponse reports the applied membership and what the handoff
+// moved off this node.
+type membersResponse struct {
+	Self            string   `json:"self"`
+	Nodes           []string `json:"nodes"`
+	MovedSessions   int      `json:"moved_sessions"`
+	MovedEntries    int      `json:"moved_entries"`
+	DroppedSessions int      `json:"dropped_sessions"`
+}
+
+// handoffRequest is the POST /v1/cluster/handoff body: the state a
+// losing owner streams to the new owner.
+type handoffRequest struct {
+	Sessions []engine.SessionSnapshot `json:"sessions,omitempty"`
+	Cache    []engine.CacheEntry      `json:"cache,omitempty"`
+}
+
+// handoffResponse reports what the receiving node imported.
+type handoffResponse struct {
+	Sessions int `json:"sessions"`
+	Entries  int `json:"entries"`
+}
+
+// setMembers applies a new membership: swap the ring, then stream
+// every now-foreign session and cache entry to its new owner (warm
+// handoff) and drop the sessions that moved. Cache-entry copies are
+// NOT deleted locally — the eviction-policy seam has no
+// remove-arbitrary-key operation, so the stale copies simply age out
+// under the policy; they hold answers that remain byte-correct
+// forever (pure functions of the question), so decay is safe.
+func (c *clusterState) setMembers(nodes []string) (membersResponse, error) {
+	c.handoffMu.Lock()
+	defer c.handoffMu.Unlock()
+	ring, err := cluster.NewRing(nodes, 0)
+	if err != nil {
+		return membersResponse{}, err
+	}
+	if !ring.Has(c.self) {
+		return membersResponse{}, fmt.Errorf("new membership %v does not include this node (%s)", ring.Nodes(), c.self)
+	}
+	c.ring.Store(ring)
+	c.memberChanges.Add(1)
+
+	// Partition this node's state by new owner.
+	outSessions := map[string][]engine.SessionSnapshot{}
+	for _, snap := range c.eng.ExportSessions() {
+		if owner := ring.Owner(routeKey(snap.ID, "")); owner != c.self {
+			outSessions[owner] = append(outSessions[owner], snap)
+		}
+	}
+	outEntries := map[string][]engine.CacheEntry{}
+	for _, ent := range c.eng.ExportCache() {
+		if owner := ring.Owner(routeKey("", ent.Question)); owner != c.self {
+			outEntries[owner] = append(outEntries[owner], ent)
+		}
+	}
+
+	resp := membersResponse{Self: c.self, Nodes: ring.Nodes()}
+	peers := map[string]struct{}{}
+	for p := range outSessions {
+		peers[p] = struct{}{}
+	}
+	for p := range outEntries {
+		peers[p] = struct{}{}
+	}
+	ordered := make([]string, 0, len(peers))
+	for p := range peers {
+		ordered = append(ordered, p)
+	}
+	sort.Strings(ordered)
+	for _, peer := range ordered {
+		hr := handoffRequest{Sessions: outSessions[peer], Cache: outEntries[peer]}
+		body, merr := json.Marshal(hr)
+		if merr != nil {
+			continue
+		}
+		status, _, _, perr := c.fwd.Post(context.Background(), peer, "/v1/cluster/handoff", "application/json", body)
+		if perr != nil || status != http.StatusOK {
+			// The peer did not confirm: keep the sessions — a later
+			// membership change or forwarded ask will converge. Answers
+			// stay correct either way.
+			continue
+		}
+		resp.MovedSessions += len(hr.Sessions)
+		resp.MovedEntries += len(hr.Cache)
+		c.handoffSessionsOut.Add(uint64(len(hr.Sessions)))
+		c.handoffEntriesOut.Add(uint64(len(hr.Cache)))
+		for _, snap := range hr.Sessions {
+			if c.eng.DropSession(snap.ID) {
+				resp.DroppedSessions++
+			}
+		}
+	}
+	return resp, nil
+}
+
+// handleClusterMembers serves GET (current membership) and PUT (apply
+// a new membership, triggering warm handoff).
+func (s *server) handleClusterMembersGet(w http.ResponseWriter, r *http.Request) {
+	if !s.ensureReady(w) {
+		return
+	}
+	if s.cl == nil {
+		s.fail(w, engine.Errf(engine.CodeInvalidRequest, "cluster mode is not enabled (-peers)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, membersResponse{Self: s.cl.self, Nodes: s.cl.ring.Load().Nodes()})
+}
+
+func (s *server) handleClusterMembersPut(w http.ResponseWriter, r *http.Request) {
+	if !s.ensureReady(w) {
+		return
+	}
+	if s.cl == nil {
+		s.fail(w, engine.Errf(engine.CodeInvalidRequest, "cluster mode is not enabled (-peers)"))
+		return
+	}
+	var req membersRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxAskBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, engine.Errf(engine.CodeInvalidRequest, "malformed request body: %v", err))
+		return
+	}
+	resp, err := s.cl.setMembers(req.Nodes)
+	if err != nil {
+		s.fail(w, engine.Errf(engine.CodeInvalidRequest, "membership rejected: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleClusterHandoff imports state streamed by a losing owner during
+// a membership change. Import is additive and policy-gated (see
+// internal/engine snapshot.go), so a confused or duplicate handoff
+// cannot clobber live state.
+func (s *server) handleClusterHandoff(w http.ResponseWriter, r *http.Request) {
+	if !s.ensureReady(w) {
+		return
+	}
+	if s.cl == nil {
+		s.fail(w, engine.Errf(engine.CodeInvalidRequest, "cluster mode is not enabled (-peers)"))
+		return
+	}
+	var req handoffRequest
+	// Handoffs can carry a whole node's state; bound by the batch body
+	// cap rather than the single-ask cap.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, engine.Errf(engine.CodeInvalidRequest, "malformed request body: %v", err))
+		return
+	}
+	resp := handoffResponse{
+		Sessions: s.eng.ImportSessions(req.Sessions),
+		Entries:  s.eng.ImportCache(req.Cache),
+	}
+	s.cl.handoffSessionsIn.Add(uint64(resp.Sessions))
+	s.cl.handoffEntriesIn.Add(uint64(resp.Entries))
+	writeJSON(w, http.StatusOK, resp)
+}

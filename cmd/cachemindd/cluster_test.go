@@ -1,0 +1,575 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cachemind/internal/cluster"
+	"cachemind/internal/engine"
+	"cachemind/internal/retriever"
+)
+
+// clusterNode is one in-process cluster member: a full daemon HTTP
+// stack over its own engine, addressed by its httptest listener.
+type clusterNode struct {
+	sv   *server
+	eng  *engine.Engine
+	ts   *httptest.Server
+	addr string
+}
+
+// newClusterNodes boots n nodes over identical stores and wires them
+// into one ring. Engines are built from the same deterministic test
+// store, so every node computes byte-identical answers — the property
+// the cluster relies on for its local-serve fallback.
+func newClusterNodes(t *testing.T, n int) []*clusterNode {
+	t.Helper()
+	nodes := make([]*clusterNode, n)
+	addrs := make([]string, n)
+	for i := range nodes {
+		eng, err := engine.New(engine.Config{Store: testStore(t)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv := newServer(eng, 4, 0, 0)
+		ts := httptest.NewServer(sv.handler())
+		t.Cleanup(ts.Close)
+		nodes[i] = &clusterNode{sv: sv, eng: eng, ts: ts, addr: strings.TrimPrefix(ts.URL, "http://")}
+		addrs[i] = nodes[i].addr
+	}
+	for _, nd := range nodes {
+		cl, err := newClusterState(nd.addr, addrs, nd.eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd.sv.cl = cl
+	}
+	return nodes
+}
+
+// sessionOwnedBy returns a session ID the ring assigns to want.
+func sessionOwnedBy(t *testing.T, ring *cluster.Ring, want string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		id := fmt.Sprintf("sess-%d", i)
+		if ring.Owner(routeKey(id, "")) == want {
+			return id
+		}
+	}
+	t.Fatalf("no session id routed to %s in 10000 tries", want)
+	return ""
+}
+
+func TestReadyzBeforeAndAfterEngine(t *testing.T) {
+	sv := newServer(nil, 4, 0, 0)
+	ts := httptest.NewServer(sv.handler())
+	t.Cleanup(ts.Close)
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(data)
+	}
+
+	// Liveness answers from the first instant; readiness refuses, and
+	// so does every engine-touching route.
+	if code, body := get("/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz before ready = %d %q", code, body)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || strings.TrimSpace(body) != "starting" {
+		t.Fatalf("readyz before ready = %d %q, want 503 starting", code, body)
+	}
+	resp, data := postAsk(t, ts, fmt.Sprintf(`{"session":"s","question":%q}`, askQuestion))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ask before ready = %d, want 503 (body %s)", resp.StatusCode, data)
+	}
+	if e := decodeEnvelope(t, data); e.Code != string(engine.CodeOverloaded) {
+		t.Fatalf("ask-before-ready code = %q, want overloaded", e.Code)
+	}
+
+	eng, err := engine.New(engine.Config{Store: testStore(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.setEngine(eng)
+	sv.markReady()
+
+	if code, body := get("/readyz"); code != http.StatusOK || strings.TrimSpace(body) != "ready" {
+		t.Fatalf("readyz after ready = %d %q", code, body)
+	}
+	if resp, data := postAsk(t, ts, fmt.Sprintf(`{"session":"s","question":%q}`, askQuestion)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ask after ready = %d (body %s)", resp.StatusCode, data)
+	}
+}
+
+// TestClusterForwarding: an ask landing on a non-owner relays to the
+// owner — the session materializes there, the answer matches the
+// standalone reference byte-for-byte, and a session read from the
+// wrong node relays too.
+func TestClusterForwarding(t *testing.T) {
+	nodes := newClusterNodes(t, 2)
+	ring := nodes[0].sv.cl.ring.Load()
+	sid := sessionOwnedBy(t, ring, nodes[1].addr)
+
+	ref, err := engine.New(engine.Config{Store: testStore(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Ask(context.Background(), engine.Request{SessionID: "ref", Question: askQuestion})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, data := postAsk(t, nodes[0].ts, fmt.Sprintf(`{"session":%q,"question":%q}`, sid, askQuestion))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded ask = %d (body %s)", resp.StatusCode, data)
+	}
+	var ar askResponse
+	if err := json.Unmarshal(data, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Answer != want.Text {
+		t.Fatalf("forwarded answer diverges from standalone reference")
+	}
+	if got := nodes[0].sv.cl.forwards.Load(); got == 0 {
+		t.Fatalf("router's forward counter = 0, want > 0")
+	}
+	if got := nodes[1].sv.cl.hopsIn.Load(); got == 0 {
+		t.Fatalf("owner's forwarded-in counter = 0, want > 0")
+	}
+	// The session's turn log lives on the owner, not the router.
+	if st := nodes[1].eng.Stats(); st.Sessions != 1 {
+		t.Fatalf("owner sessions = %d, want 1", st.Sessions)
+	}
+	if st := nodes[0].eng.Stats(); st.Sessions != 0 {
+		t.Fatalf("router sessions = %d, want 0", st.Sessions)
+	}
+
+	// Session read from the non-owner relays to the owner's view.
+	sresp, err := http.Get(nodes[0].ts.URL + "/v1/sessions/" + sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	sdata, _ := io.ReadAll(sresp.Body)
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("relayed session read = %d (body %s)", sresp.StatusCode, sdata)
+	}
+	var sess sessionResponse
+	if err := json.Unmarshal(sdata, &sess); err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.Turns) != 1 || sess.Turns[0].Question != askQuestion {
+		t.Fatalf("relayed session view = %+v, want the forwarded turn", sess)
+	}
+}
+
+// TestClusterHopGuard: a request already carrying the hop header is
+// served locally even by a non-owner — one hop max, never a loop.
+func TestClusterHopGuard(t *testing.T) {
+	nodes := newClusterNodes(t, 2)
+	sid := sessionOwnedBy(t, nodes[0].sv.cl.ring.Load(), nodes[1].addr)
+
+	body := fmt.Sprintf(`{"session":%q,"question":%q}`, sid, askQuestion)
+	req, err := http.NewRequest(http.MethodPost, nodes[0].ts.URL+"/v1/ask", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.HopHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hop-guarded ask = %d", resp.StatusCode)
+	}
+	if got := nodes[0].sv.cl.forwards.Load(); got != 0 {
+		t.Fatalf("hop-guarded request was re-forwarded (%d forwards)", got)
+	}
+	if got := nodes[0].sv.cl.hopsIn.Load(); got != 1 {
+		t.Fatalf("forwarded-in counter = %d, want 1", got)
+	}
+	// Served locally: the session lives on the "wrong" node, which is
+	// exactly the hop guard's contract.
+	if st := nodes[0].eng.Stats(); st.Sessions != 1 {
+		t.Fatalf("local sessions = %d, want 1", st.Sessions)
+	}
+}
+
+// TestClusterFallbackLocal: when the owner is unreachable the router
+// serves the ask itself — availability over locality, same bytes.
+func TestClusterFallbackLocal(t *testing.T) {
+	eng, err := engine.New(engine.Config{Store: testStore(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := newServer(eng, 4, 0, 0)
+	ts := httptest.NewServer(sv.handler())
+	t.Cleanup(ts.Close)
+	self := strings.TrimPrefix(ts.URL, "http://")
+	// 127.0.0.1:1 is a reserved port nothing listens on — connection
+	// refused immediately, so the retries resolve fast.
+	dead := "127.0.0.1:1"
+	cl, err := newClusterState(self, []string{self, dead}, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.cl = cl
+
+	sid := sessionOwnedBy(t, cl.ring.Load(), dead)
+	resp, data := postAsk(t, ts, fmt.Sprintf(`{"session":%q,"question":%q}`, sid, askQuestion))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fallback ask = %d (body %s)", resp.StatusCode, data)
+	}
+	var ar askResponse
+	if err := json.Unmarshal(data, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Answer == "" {
+		t.Fatalf("fallback served no answer")
+	}
+	if got := cl.fallbacks.Load(); got != 1 {
+		t.Fatalf("fallback counter = %d, want 1", got)
+	}
+	if st := eng.Stats(); st.Sessions != 1 {
+		t.Fatalf("fallback did not record the session locally")
+	}
+}
+
+// TestClusterMembersEndpoint: GET reports the ring; PUT rejects a
+// membership that excludes this node and malformed bodies.
+func TestClusterMembersEndpoint(t *testing.T) {
+	nodes := newClusterNodes(t, 2)
+
+	resp, err := http.Get(nodes[0].ts.URL + "/v1/cluster/members")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var mr membersResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Self != nodes[0].addr || len(mr.Nodes) != 2 {
+		t.Fatalf("members = %+v", mr)
+	}
+
+	put := func(body string) (int, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPut, nodes[0].ts.URL+"/v1/cluster/members", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, data
+	}
+
+	if code, data := put(fmt.Sprintf(`{"nodes":[%q]}`, nodes[1].addr)); code != http.StatusBadRequest {
+		t.Fatalf("self-excluding membership = %d (body %s), want 400", code, data)
+	}
+	if code, data := put(`{"nodes":[]}`); code != http.StatusBadRequest {
+		t.Fatalf("empty membership = %d (body %s), want 400", code, data)
+	}
+	if code, data := put(`{nope`); code != http.StatusBadRequest {
+		t.Fatalf("malformed membership = %d (body %s), want 400", code, data)
+	}
+	// The ring survived all the rejected PUTs.
+	if got := nodes[0].sv.cl.ring.Load().Size(); got != 2 {
+		t.Fatalf("ring size after rejected PUTs = %d, want 2", got)
+	}
+}
+
+// TestClusterHandoff: growing the membership streams the now-foreign
+// sessions and cache entries to the new owner and drops the moved
+// sessions locally — a warm scale-out, not a cold one.
+func TestClusterHandoff(t *testing.T) {
+	// Two full nodes, but A starts alone in its ring; B already knows
+	// the two-node membership (the joining node learns the ring first).
+	engA, err := engine.New(engine.Config{Store: testStore(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svA := newServer(engA, 4, 0, 0)
+	tsA := httptest.NewServer(svA.handler())
+	t.Cleanup(tsA.Close)
+	addrA := strings.TrimPrefix(tsA.URL, "http://")
+
+	engB, err := engine.New(engine.Config{Store: testStore(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svB := newServer(engB, 4, 0, 0)
+	tsB := httptest.NewServer(svB.handler())
+	t.Cleanup(tsB.Close)
+	addrB := strings.TrimPrefix(tsB.URL, "http://")
+
+	clA, err := newClusterState(addrA, []string{addrA}, engA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svA.cl = clA
+	clB, err := newClusterState(addrB, []string{addrA, addrB}, engB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svB.cl = clB
+
+	// Populate A: 16 sessions, each asking a distinct question (so the
+	// answer cache holds 16 entries), while it owns the whole ring.
+	const sessions = 16
+	question := func(i int) string {
+		return fmt.Sprintf("What is the miss rate in mcf under lru at %d sets?", 64<<i)
+	}
+	for i := 0; i < sessions; i++ {
+		resp, data := postAsk(t, tsA, fmt.Sprintf(`{"session":"sess-%d","question":%q}`, i, question(i)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed ask %d = %d (body %s)", i, resp.StatusCode, data)
+		}
+	}
+
+	req, err := http.NewRequest(http.MethodPut, tsA.URL+"/v1/cluster/members",
+		strings.NewReader(fmt.Sprintf(`{"nodes":[%q,%q]}`, addrA, addrB)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("membership PUT = %d (body %s)", resp.StatusCode, data)
+	}
+	var mr membersResponse
+	if err := json.Unmarshal(data, &mr); err != nil {
+		t.Fatal(err)
+	}
+	// With 16 sessions and an even two-node split, zero movement has
+	// probability ~2^-16 — a moved count of 0 means the handoff broke.
+	if mr.MovedSessions == 0 {
+		t.Fatalf("no sessions moved on membership change: %+v", mr)
+	}
+	if mr.DroppedSessions != mr.MovedSessions {
+		t.Fatalf("dropped %d != moved %d: confirmed sessions must leave the loser", mr.DroppedSessions, mr.MovedSessions)
+	}
+	if got := int(engB.Stats().Sessions); got != mr.MovedSessions {
+		t.Fatalf("new owner holds %d sessions, handoff reported %d", got, mr.MovedSessions)
+	}
+	if got := int(engA.Stats().Sessions); got != sessions-mr.MovedSessions {
+		t.Fatalf("loser holds %d sessions, want %d", got, sessions-mr.MovedSessions)
+	}
+	if mr.MovedEntries == 0 {
+		t.Fatalf("no cache entries moved: %+v", mr)
+	}
+
+	// A moved session is readable on the new owner, turn log intact.
+	var movedID, movedQ string
+	ring := clA.ring.Load()
+	for i := 0; i < sessions; i++ {
+		if id := fmt.Sprintf("sess-%d", i); ring.Owner(routeKey(id, "")) == addrB {
+			movedID, movedQ = id, question(i)
+			break
+		}
+	}
+	sresp, err := http.Get(tsB.URL + "/v1/sessions/" + movedID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	sdata, _ := io.ReadAll(sresp.Body)
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("moved session read on new owner = %d (body %s)", sresp.StatusCode, sdata)
+	}
+	var sess sessionResponse
+	if err := json.Unmarshal(sdata, &sess); err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.Turns) != 1 || sess.Turns[0].Question != movedQ {
+		t.Fatalf("moved session lost its turn log: %+v", sess)
+	}
+}
+
+// TestRateLimit: the front door refuses a client past its budget with
+// the 503 envelope, while forwarded peer traffic stays exempt.
+func TestRateLimit(t *testing.T) {
+	eng, err := engine.New(engine.Config{Store: testStore(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := newServer(eng, 4, 0, 0)
+	sv.limiter = cluster.NewLimiter(0.001, 1, 0) // 1 request, then a ~17-minute refill
+	ts := httptest.NewServer(sv.handler())
+	t.Cleanup(ts.Close)
+
+	body := fmt.Sprintf(`{"session":"r","question":%q}`, askQuestion)
+	if resp, data := postAsk(t, ts, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first ask = %d (body %s)", resp.StatusCode, data)
+	}
+	resp, data := postAsk(t, ts, body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second ask = %d, want 503 (body %s)", resp.StatusCode, data)
+	}
+	if e := decodeEnvelope(t, data); e.Code != string(engine.CodeOverloaded) || !strings.Contains(e.Message, "rate limit") {
+		t.Fatalf("rate-limit envelope = %+v", e)
+	}
+	if got := sv.ratelimited.Load(); got != 1 {
+		t.Fatalf("ratelimited counter = %d, want 1", got)
+	}
+
+	// A forwarded request from a peer bypasses the client limit.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/ask", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.HopHeader, "1")
+	fresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresp.Body.Close()
+	if fresp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded ask under rate limit = %d, want 200 (exempt)", fresp.StatusCode)
+	}
+}
+
+// drainRetriever signals when a retrieval is in flight and then parks
+// until released — the probe for the graceful-shutdown drain.
+type drainRetriever struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (drainRetriever) Name() string { return "drain" }
+
+func (d drainRetriever) Retrieve(ctx context.Context, q string) retriever.Context {
+	close(d.entered)
+	select {
+	case <-d.release:
+	case <-ctx.Done():
+		return retriever.Context{Question: q, Retriever: "drain", Err: ctx.Err()}
+	}
+	return retriever.Context{Question: q, Retriever: "drain", Text: "drained evidence"}
+}
+
+// TestGracefulShutdownDrainsAndCheckpoints exercises the daemon's
+// shutdown sequence in-process: Shutdown waits for the in-flight ask,
+// the prefetcher quiesces, and the final checkpoint contains the turn
+// that was still in flight when shutdown began.
+func TestGracefulShutdownDrainsAndCheckpoints(t *testing.T) {
+	dr := drainRetriever{entered: make(chan struct{}), release: make(chan struct{})}
+	eng, err := engine.New(engine.Config{Store: testStore(t), CustomRetriever: dr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := newServer(eng, 2, 0, 0)
+	ts := httptest.NewServer(sv.handler())
+	t.Cleanup(ts.Close)
+
+	ckpt, err := cluster.NewCheckpointer(eng, cluster.CheckpointerConfig{Dir: t.TempDir(), NodeID: "drain-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	askDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/ask", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"session":"drain","question":%q}`, askQuestion)))
+		if err != nil {
+			askDone <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		askDone <- resp.StatusCode
+	}()
+	<-dr.entered // the ask is in flight, parked in retrieval
+
+	shutDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutDone <- ts.Config.Shutdown(ctx)
+	}()
+	// Shutdown must wait for the in-flight ask, not kill it: the ask is
+	// still parked, so Shutdown cannot have returned.
+	select {
+	case err := <-shutDone:
+		t.Fatalf("Shutdown returned (%v) while an ask was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(dr.release)
+	if code := <-askDone; code != http.StatusOK {
+		t.Fatalf("in-flight ask finished %d, want 200", code)
+	}
+	if err := <-shutDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// The daemon's post-drain sequence: quiesce, final checkpoint.
+	if !eng.PrefetchQuiesce(time.Second) {
+		t.Fatalf("prefetcher did not quiesce")
+	}
+	if err := ckpt.Write(); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := cluster.LoadCheckpoint(ckpt.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil || len(cp.Sessions) != 1 || cp.Sessions[0].ID != "drain" {
+		t.Fatalf("final checkpoint sessions = %+v, want the drained session", cp)
+	}
+	if len(cp.Sessions[0].Turns) != 1 || cp.Sessions[0].Turns[0].Question != askQuestion {
+		t.Fatalf("final checkpoint lost the in-flight turn: %+v", cp.Sessions[0])
+	}
+}
+
+// TestClusterMetrics: cluster-mode metric lines appear with moving
+// counters after a forwarded ask.
+func TestClusterMetrics(t *testing.T) {
+	nodes := newClusterNodes(t, 2)
+	sid := sessionOwnedBy(t, nodes[0].sv.cl.ring.Load(), nodes[1].addr)
+	postAsk(t, nodes[0].ts, fmt.Sprintf(`{"session":%q,"question":%q}`, sid, askQuestion))
+
+	resp, err := http.Get(nodes[0].ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"cachemind_cluster_enabled 1",
+		"cachemind_cluster_nodes 2",
+		fmt.Sprintf("cachemind_cluster_node{self=%q} 1", nodes[0].addr),
+		"cachemind_cluster_forwards_total 1",
+		fmt.Sprintf("cachemind_cluster_peer_breaker_open{peer=%q} 0", nodes[1].addr),
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, data)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonSignalCheckpointRestart drives the real binary end to end:
+// boot with -addr :0 (parsing the logged bound address), serve a
+// session, SIGTERM into a clean exit with a final checkpoint, then
+// restart over the same -checkpoint-dir and read the session back
+// identically — the durability contract a rolling restart relies on.
+func TestDaemonSignalCheckpointRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "cachemindd.test.bin")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	ckdir := filepath.Join(dir, "ckpt")
+
+	// startDaemon boots the binary on an ephemeral port and returns the
+	// bound address parsed from the "listening on" log line (satellite
+	// contract: with -addr :0 the daemon logs where it actually bound).
+	startDaemon := func() (*exec.Cmd, string) {
+		t.Helper()
+		cmd := exec.Command(bin,
+			"-addr", "127.0.0.1:0",
+			"-accesses", "2000",
+			"-checkpoint-dir", ckdir,
+			"-checkpoint-interval", "1h") // only the final (shutdown) checkpoint matters here
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+
+		sc := bufio.NewScanner(stderr)
+		var addr string
+		for sc.Scan() {
+			line := sc.Text()
+			if _, rest, ok := strings.Cut(line, "listening on "); ok {
+				addr = strings.TrimSpace(rest)
+				break
+			}
+		}
+		if addr == "" {
+			t.Fatalf("daemon exited without logging its bound address")
+		}
+		// Keep draining stderr so the daemon never blocks on a full pipe.
+		go io.Copy(io.Discard, stderr)
+
+		// The listener answers before the store build; readiness flips
+		// once the engine is live.
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			resp, err := http.Get("http://" + addr + "/readyz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("daemon at %s never became ready", addr)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		return cmd, addr
+	}
+
+	getSession := func(addr string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + "/v1/sessions/s1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("session read = %d (body %s)", resp.StatusCode, data)
+		}
+		return data
+	}
+
+	cmd, addr := startDaemon()
+	for _, q := range []string{
+		"List all unique PCs in mcf under LRU.",
+		"What is the miss rate in mcf under lru?",
+	} {
+		resp, err := http.Post("http://"+addr+"/v1/ask", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"session":"s1","question":%q}`, q)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ask %q = %d", q, resp.StatusCode)
+		}
+	}
+	before := getSession(addr)
+
+	// SIGTERM: drain, final checkpoint, clean exit.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon did not exit cleanly on SIGTERM: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(ckdir, "checkpoint.json")); err != nil {
+		t.Fatalf("no checkpoint after SIGTERM: %v", err)
+	}
+
+	// Restart over the same checkpoint dir: the session survives the
+	// process, byte-identical on the wire.
+	_, addr2 := startDaemon()
+	after := getSession(addr2)
+	if !bytes.Equal(before, after) {
+		t.Fatalf("restored session diverges:\npre-kill:  %s\npost-boot: %s", before, after)
+	}
+}

@@ -2,15 +2,22 @@
 // retrieve→classify→generate pipeline as the cmd/cachemind REPL
 // (both run on internal/engine), with per-session conversation memory,
 // a bounded answer cache, concurrent request handling under a worker
-// bound, and graceful shutdown.
+// bound, and graceful shutdown. With -peers it becomes one node of a
+// consistent-hash cluster (see internal/cluster and the README's
+// cluster section); with -checkpoint-dir its session state survives
+// restarts.
 //
 // Endpoints:
 //
 //	POST /v1/ask              {"session":"s1","question":"...","options":{...}} → answer JSON
 //	POST /v1/ask/batch        [{"session":"s1","question":"..."}, ...] → answer array (same order)
 //	GET  /v1/sessions/{id}    conversation log of one session
-//	GET  /healthz             liveness ("ok" once the store is built)
+//	GET  /healthz             liveness (the process is up; may still be warming)
+//	GET  /readyz              readiness (store built, ring initialized, checkpoint restored)
 //	GET  /metrics             plain-text counters + per-route latency quantiles and responses-by-code
+//	GET  /v1/cluster/members  current ring membership (cluster mode)
+//	PUT  /v1/cluster/members  apply new membership, triggering warm handoff (cluster mode)
+//	POST /v1/cluster/handoff  peer-to-peer state transfer during handoff (cluster mode)
 //
 // Failures use the v1 error envelope {"error":{"code":...,"message":...}}
 // with a deterministic engine.Code → HTTP status mapping (see the
@@ -28,7 +35,13 @@
 //	cachemindd -semantic-threshold 0.85           # serve paraphrases from the semantic cache tier
 //	cachemindd -prefetch                          # speculative background fills of predicted next questions
 //	cachemindd -request-timeout 5s -max-queue 256
+//	cachemindd -rate-limit 100                    # per-client requests/second at the front door
 //	cachemindd -pprof-addr localhost:6060       # net/http/pprof on a second listener
+//
+//	# 3-node cluster with durable sessions:
+//	cachemindd -addr 127.0.0.1:18081 -peers 127.0.0.1:18081,127.0.0.1:18082,127.0.0.1:18083 \
+//	           -checkpoint-dir /var/lib/cachemind/n1
+//	# (repeat on :18082/:18083 with their own -addr and -checkpoint-dir)
 //
 //	curl -s localhost:8080/v1/ask -d '{"session":"s1","question":"List all unique PCs in mcf under LRU."}'
 package main
@@ -38,13 +51,16 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the -pprof-addr listener
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"cachemind/internal/cluster"
 	"cachemind/internal/engine"
 )
 
@@ -57,7 +73,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "seed for the in-memory build")
 	retrName := flag.String("retriever", "ranger", "retriever: ranger, sieve, or llamaindex")
 	modelID := flag.String("model", "gpt-4o", "generator backend profile")
-	addr := flag.String("addr", ":8080", "listen address")
+	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port; the bound address is logged)")
 	workers := flag.Int("workers", 0, "max concurrent asks (0: all CPUs)")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "server-side per-request deadline for the ask path (0: none)")
 	maxQueue := flag.Int("max-queue", 0, "max requests queued for a worker before shedding with 503 overloaded (0: unbounded)")
@@ -71,6 +87,13 @@ func main() {
 	shards := flag.Int("shards", 0, "engine shard count for the session/cache/flight tables (0: one per CPU, 1: single global lock)")
 	par := flag.Int("parallel", 0, "worker bound for the in-memory build (0: all CPUs, 1: serial)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address, e.g. localhost:6060 (empty: disabled)")
+	peers := flag.String("peers", "", "comma-separated cluster membership (host:port per node, including this one); empty: standalone")
+	nodeID := flag.String("node-id", "", "this node's name in -peers (default: the -addr value)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client requests/second at the front door (0: unlimited); forwarded peer traffic is exempt")
+	rateBurst := flag.Float64("rate-burst", 0, "per-client burst size for -rate-limit (0: one second's worth)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for durable session checkpoints (empty: no checkpointing)")
+	ckptInterval := flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint cadence")
+	ckptCache := flag.Bool("checkpoint-cache", true, "include the answer cache in checkpoints (sessions are always included)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -82,6 +105,36 @@ func main() {
 			log.Printf("pprof server exited: %v", http.ListenAndServe(*pprofAddr, nil))
 		}()
 	}
+
+	// Bind the listener before the store build: liveness (/healthz) is
+	// observable from the first instant, -addr :0 resolves to a real
+	// port that harnesses can parse from the log line below, and
+	// /readyz honestly reports "starting" until the node can serve.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	boundAddr := ln.Addr().String()
+	log.Printf("listening on %s", boundAddr)
+
+	sv := newServer(nil, *workers, *reqTimeout, *maxQueue)
+	if *rateLimit > 0 {
+		sv.limiter = cluster.NewLimiter(*rateLimit, *rateBurst, 0)
+	}
+	srv := &http.Server{
+		Handler: sv.handler(),
+		// Slow-client guards: asks complete in milliseconds, so
+		// connections idling through these windows are not serving
+		// traffic.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *dbPath == "" {
 		log.Printf("building in-memory database (%d accesses/trace)...", *accesses)
@@ -106,29 +159,63 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Stops the prefetcher's background workers on shutdown (no-op
-	// without -prefetch).
-	defer eng.Close()
+	sv.setEngine(eng)
 
-	srv := &http.Server{
-		Addr:    *addr,
-		Handler: newServer(eng, *workers, *reqTimeout, *maxQueue).handler(),
-		// Slow-client guards: asks complete in milliseconds, so
-		// connections idling through these windows are not serving
-		// traffic.
-		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		IdleTimeout:       120 * time.Second,
+	// Cluster mode: build the ring and forwarding state. The node's
+	// name defaults to its -addr (peers dial it by that name), so -addr
+	// :0 clusters need an explicit -node-id — except there is no way
+	// for peers to know an ephemeral port, so in practice cluster
+	// membership uses fixed addresses.
+	if *peers != "" {
+		self := *nodeID
+		if self == "" {
+			self = *addr
+		}
+		var members []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				members = append(members, p)
+			}
+		}
+		cl, cerr := newClusterState(self, members, eng)
+		if cerr != nil {
+			log.Fatal(cerr)
+		}
+		sv.cl = cl
+		log.Printf("cluster mode: node %s of %v", self, cl.ring.Load().Nodes())
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	done := make(chan error, 1)
-	go func() {
-		log.Printf("serving on %s (model %s, retriever %s, %d shards, cache policy %s)",
-			*addr, eng.Profile().DisplayName, eng.RetrieverName(), eng.Shards(), eng.CachePolicyName())
-		done <- srv.ListenAndServe()
-	}()
+	// Durable state: restore the previous checkpoint (before ready, so
+	// the node comes up warm) and start the periodic write loop.
+	var ckpt *cluster.Checkpointer
+	if *ckptDir != "" {
+		name := *nodeID
+		if name == "" {
+			name = boundAddr
+		}
+		ckpt, err = cluster.NewCheckpointer(eng, cluster.CheckpointerConfig{
+			Dir:          *ckptDir,
+			NodeID:       name,
+			Interval:     *ckptInterval,
+			IncludeCache: *ckptCache,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sessions, entries, rerr := ckpt.Restore()
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		if sessions > 0 || entries > 0 {
+			log.Printf("restored checkpoint: %d sessions, %d cache entries", sessions, entries)
+		}
+		ckpt.Start()
+		sv.ckpt = ckpt
+	}
+
+	sv.markReady()
+	log.Printf("serving on %s (model %s, retriever %s, %d shards, cache policy %s)",
+		boundAddr, eng.Profile().DisplayName, eng.RetrieverName(), eng.Shards(), eng.CachePolicyName())
 
 	select {
 	case err := <-done:
@@ -138,10 +225,27 @@ func main() {
 	// Restore default signal handling so a second SIGINT during the
 	// drain kills the daemon immediately.
 	stop()
+
+	// Graceful shutdown, in dependency order: stop accepting and drain
+	// in-flight asks, quiesce the background prefetcher so its fills
+	// settle, write the final checkpoint (now a complete picture of
+	// every recorded turn), then release engine resources.
 	log.Printf("shutting down...")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Fatal(err)
 	}
+	if !eng.PrefetchQuiesce(2 * time.Second) {
+		log.Printf("prefetcher did not quiesce within 2s; checkpointing anyway")
+	}
+	if ckpt != nil {
+		ckpt.Stop()
+		if err := ckpt.Write(); err != nil {
+			log.Printf("final checkpoint failed: %v", err)
+		} else {
+			log.Printf("final checkpoint written to %s", ckpt.Path())
+		}
+	}
+	eng.Close()
 }

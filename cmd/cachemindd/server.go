@@ -5,22 +5,49 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"cachemind/internal/cluster"
 	"cachemind/internal/engine"
 	"cachemind/internal/histogram"
 )
 
-// server wires the engine to the HTTP API. Handler state is only the
-// engine (already concurrency-safe), a worker-bound semaphore, and
-// monotonic counters/histograms, so one server serves all connections.
+// server wires the engine to the HTTP API. Handler state is the engine
+// (already concurrency-safe), a worker-bound semaphore, optional
+// cluster/limiter/checkpoint layers, and monotonic counters/histograms,
+// so one server serves all connections.
+//
+// The engine may be bound late: main starts the listener before the
+// store build so liveness (/healthz) is observable from the first
+// instant, binds the engine when the build finishes, and flips ready
+// when the node is fully serviceable (engine + ring + checkpoint
+// restore). eng is written before the ready flip and every
+// engine-touching handler checks ready first, so no handler ever
+// observes a nil engine.
 type server struct {
 	eng *engine.Engine
+	// ready gates the serving surface: false until the store build (and
+	// in cluster mode the ring) is initialized. /healthz is liveness
+	// and ignores it; /readyz and every engine-touching route enforce
+	// it.
+	ready atomic.Bool
+	// cl is the cluster view; nil on a standalone daemon.
+	cl *clusterState
+	// limiter is the front-door per-client rate limiter (-rate-limit);
+	// nil or disabled means no limiting. Forwarded peer requests are
+	// exempt — the originating node already charged its client.
+	limiter     *cluster.Limiter
+	ratelimited atomic.Uint64
+	// ckpt feeds checkpoint counters to /metrics; nil without
+	// -checkpoint-dir.
+	ckpt *cluster.Checkpointer
 	// sem bounds how many asks run concurrently; extra requests queue
 	// on the channel (the daemon's -workers knob).
 	sem chan struct{}
@@ -67,12 +94,15 @@ type routeStats struct {
 // newServer builds a server over the engine with at most workers
 // concurrent asks (<= 0 selects runtime.NumCPU()), a per-request
 // engine timeout (0 disables), and an admission-queue bound (0
-// disables).
+// disables). A non-nil engine marks the server ready immediately (the
+// in-process/test path); main passes nil, binds the engine with
+// setEngine once the store build finishes, and flips markReady when
+// the node is fully serviceable.
 func newServer(eng *engine.Engine, workers int, reqTimeout time.Duration, maxQueue int) *server {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	return &server{
+	s := &server{
 		eng:        eng,
 		sem:        make(chan struct{}, workers),
 		reqTimeout: reqTimeout,
@@ -80,7 +110,19 @@ func newServer(eng *engine.Engine, workers int, reqTimeout time.Duration, maxQue
 		started:    time.Now(),
 		routes:     map[string]*routeStats{},
 	}
+	if eng != nil {
+		s.ready.Store(true)
+	}
+	return s
 }
+
+// setEngine binds the engine after a late store build. Must happen
+// before markReady; handlers never read s.eng until ready is true.
+func (s *server) setEngine(eng *engine.Engine) { s.eng = eng }
+
+// markReady flips the readiness gate: /readyz starts answering 200 and
+// the serving routes stop shedding.
+func (s *server) markReady() { s.ready.Store(true) }
 
 // handler returns the daemon's route table.
 func (s *server) handler() http.Handler {
@@ -89,8 +131,45 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/ask/batch", s.instrument("ask_batch", s.handleAskBatch))
 	mux.HandleFunc("GET /v1/sessions/{id}", s.instrument("session", s.handleSession))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/cluster/members", s.instrument("cluster_members", s.handleClusterMembersGet))
+	mux.HandleFunc("PUT /v1/cluster/members", s.instrument("cluster_members_set", s.handleClusterMembersPut))
+	mux.HandleFunc("POST /v1/cluster/handoff", s.instrument("cluster_handoff", s.handleClusterHandoff))
 	return mux
+}
+
+// ensureReady sheds the request with 503 overloaded when the node is
+// still starting (store building, ring or checkpoint not yet
+// initialized). Rolling restarts poll /readyz before routing traffic,
+// so this is a belt-and-suspenders backstop, not the normal path.
+func (s *server) ensureReady(w http.ResponseWriter) bool {
+	if s.ready.Load() {
+		return true
+	}
+	s.fail(w, engine.Errf(engine.CodeOverloaded, "node is starting up (store build or cluster init in progress)"))
+	return false
+}
+
+// allowClient applies the front-door per-client rate limit, keyed by
+// the remote host. Forwarded peer traffic is exempt (the hop header
+// marks it): the originating node already charged the real client, and
+// peers must not starve each other. Returns false after writing the
+// 503 envelope.
+func (s *server) allowClient(w http.ResponseWriter, r *http.Request) bool {
+	if !s.limiter.Enabled() || isForwarded(r) {
+		return true
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	if s.limiter.Allow(host) {
+		return true
+	}
+	s.ratelimited.Add(1)
+	s.fail(w, engine.Errf(engine.CodeOverloaded, "rate limit exceeded for client %s", host))
+	return false
 }
 
 // statusRecorder captures the status a handler wrote so instrument can
@@ -347,6 +426,9 @@ func validateQuestion(q string) error {
 }
 
 func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	if !s.ensureReady(w) || !s.allowClient(w, r) {
+		return
+	}
 	var req askRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxAskBodyBytes))
 	dec.DisallowUnknownFields()
@@ -362,6 +444,36 @@ func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.fail(w, err)
 		return
+	}
+
+	// Cluster routing: a non-owner relays the ask to its owner over the
+	// same wire envelope, exactly one hop (the hop header makes the
+	// owner serve locally no matter what its ring says, so disagreeing
+	// rings cost an extra hop, never a loop). A failed relay — peer
+	// down, breaker open, retries exhausted — falls back to serving
+	// locally: answers are pure functions of the question, so the
+	// client still gets byte-identical bytes, just without the owner's
+	// cache locality.
+	if s.cl != nil {
+		if isForwarded(r) {
+			s.cl.hopsIn.Add(1)
+		} else if owner := s.cl.owner(req.Session, req.Question); owner != s.cl.self {
+			body, merr := json.Marshal(req)
+			if merr == nil {
+				ctx, cancel := s.askContext(r)
+				status, peerBody, ok := s.cl.forward(ctx, owner, "/v1/ask", body)
+				cancel()
+				if ok {
+					if status >= 400 {
+						s.httpErrors.Add(1)
+					}
+					w.Header().Set("Content-Type", "application/json")
+					w.WriteHeader(status)
+					_, _ = w.Write(peerBody)
+					return
+				}
+			}
+		}
 	}
 
 	ctx, cancel := s.askContext(r)
@@ -423,8 +535,14 @@ type batchResult struct {
 // items concurrently and replies with a same-length, same-order array.
 // Per-item failures (an empty question, a canceled item) land in that
 // item's error object; only a malformed, empty, oversized, or
-// over-long batch fails the whole request.
+// over-long batch fails the whole request. In cluster mode the items
+// are grouped by owner node: the local group is served here, each
+// remote group is relayed as a sub-batch, and the reply is reassembled
+// in input order.
 func (s *server) handleAskBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.ensureReady(w) || !s.allowClient(w, r) {
+		return
+	}
 	var reqs []askRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
 	dec.DisallowUnknownFields()
@@ -445,6 +563,38 @@ func (s *server) handleAskBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, engine.Errf(engine.CodeInvalidRequest, "batch exceeds %d items", maxBatchItems))
 		return
 	}
+
+	ctx, cancel := s.askContext(r)
+	defer cancel()
+	if s.cl != nil {
+		if isForwarded(r) {
+			s.cl.hopsIn.Add(1)
+		} else {
+			groups := map[string][]int{}
+			for i, req := range reqs {
+				owner := s.cl.owner(req.Session, req.Question)
+				groups[owner] = append(groups[owner], i)
+			}
+			if len(groups) > 1 || groups[s.cl.self] == nil {
+				s.clusterBatch(ctx, w, reqs, groups)
+				return
+			}
+		}
+	}
+
+	results, err := s.serveBatch(ctx, reqs)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, results)
+}
+
+// serveBatch runs a batch locally: per-item validation, group
+// admission (one blocking slot plus any instantly-free ones), and the
+// engine fan-out. The returned error is a whole-batch admission
+// failure; per-item failures land in their result slots.
+func (s *server) serveBatch(ctx context.Context, reqs []askRequest) ([]batchResult, error) {
 	// Item-level validation failures (oversized question, unknown
 	// option) land in that item's result slot — matching how the
 	// engine reports an empty question — so one bad item never costs
@@ -472,8 +622,6 @@ func (s *server) handleAskBatch(w http.ResponseWriter, r *http.Request) {
 		items[i] = engine.Request{SessionID: req.Session, Question: req.Question, Options: opts}
 	}
 
-	ctx, cancel := s.askContext(r)
-	defer cancel()
 	// Admission: block for one worker slot (batches queue behind
 	// singles the same way singles queue behind each other), then grab
 	// as many more currently-free slots as the batch can use without
@@ -482,8 +630,7 @@ func (s *server) handleAskBatch(w http.ResponseWriter, r *http.Request) {
 	// batches — under contention a batch degrades toward width 1
 	// instead of multiplying the bound.
 	if err := s.admit(ctx); err != nil {
-		s.fail(w, err)
-		return
+		return nil, err
 	}
 	held := 1
 acquire:
@@ -520,6 +667,58 @@ acquire:
 		}
 		out[i].askResponse = toWire(res.Response)
 	}
+	return out, nil
+}
+
+// clusterBatch serves a batch whose items span owners: each owner's
+// group runs concurrently — the local group through serveBatch, remote
+// groups relayed as sub-batches with the hop guard — and the reply is
+// stitched back together in input order. A failed relay degrades that
+// group to local serving (same answer bytes, see the doc on
+// clusterState); a peer's per-item error envelopes pass through
+// verbatim.
+func (s *server) clusterBatch(ctx context.Context, w http.ResponseWriter, reqs []askRequest, groups map[string][]int) {
+	out := make([]json.RawMessage, len(reqs))
+	var wg sync.WaitGroup
+	for owner, idxs := range groups {
+		wg.Add(1)
+		go func(owner string, idxs []int) {
+			defer wg.Done()
+			sub := make([]askRequest, len(idxs))
+			for j, i := range idxs {
+				sub[j] = reqs[i]
+			}
+			if owner != s.cl.self {
+				if body, merr := json.Marshal(sub); merr == nil {
+					status, peerBody, ok := s.cl.forward(ctx, owner, "/v1/ask/batch", body)
+					if ok && status == http.StatusOK {
+						var items []json.RawMessage
+						if json.Unmarshal(peerBody, &items) == nil && len(items) == len(idxs) {
+							for j, i := range idxs {
+								out[i] = items[j]
+							}
+							return
+						}
+					}
+				}
+				// Relay failed: serve the group locally below.
+			}
+			results, err := s.serveBatch(ctx, sub)
+			if err != nil {
+				we := &wireError{Code: string(engine.ErrorCode(err)), Message: engine.ErrorMessage(err)}
+				for j, i := range idxs {
+					raw, _ := json.Marshal(batchResult{askResponse: askResponse{Session: sub[j].Session}, Error: we})
+					out[i] = raw
+				}
+				return
+			}
+			for j, i := range idxs {
+				raw, _ := json.Marshal(results[j])
+				out[i] = raw
+			}
+		}(owner, idxs)
+	}
+	wg.Wait()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -534,7 +733,32 @@ type sessionResponse struct {
 }
 
 func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
+	if !s.ensureReady(w) {
+		return
+	}
 	id := r.PathValue("id")
+	// Cluster routing: sessions live on their owner node, so a
+	// non-owner relays the read (same hop guard as asks). A failed
+	// relay serves the local view — usually session-not-found, which is
+	// the truthful local answer.
+	if s.cl != nil {
+		if isForwarded(r) {
+			s.cl.hopsIn.Add(1)
+		} else if owner := s.cl.ring.Load().Owner(routeKey(id, "")); owner != s.cl.self {
+			ctx, cancel := s.askContext(r)
+			status, peerBody, ok := s.cl.forwardGet(ctx, owner, r.URL.RequestURI())
+			cancel()
+			if ok {
+				if status >= 400 {
+					s.httpErrors.Add(1)
+				}
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(status)
+				_, _ = w.Write(peerBody)
+				return
+			}
+		}
+	}
 	turns, mem, err := s.eng.SessionView(id, r.URL.Query().Get("q"))
 	if err != nil {
 		s.fail(w, err)
@@ -544,10 +768,26 @@ func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	// The daemon only starts listening after the store is built, so
-	// reachable means ready.
+	// Liveness only: the process is up and the listener answers. Use
+	// /readyz to learn whether the node can actually serve asks — the
+	// listener now binds before the store build, so reachable no longer
+	// implies ready.
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness half of the health split: 503 until
+// the store build completes and (in cluster mode) the ring is
+// initialized and any checkpoint restored, so a rolling restart never
+// routes traffic to a cold node.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "starting")
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 // boolMetric renders a bool as a 0/1 gauge value.
@@ -559,6 +799,9 @@ func boolMetric(b bool) int {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !s.ensureReady(w) {
+		return
+	}
 	st := s.eng.Stats()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "cachemind_questions_total %d\n", st.Questions)
@@ -604,6 +847,46 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "cachemind_request_timeout_seconds %.3f\n", s.reqTimeout.Seconds())
 	fmt.Fprintf(w, "cachemind_engine_shards %d\n", st.Shards)
 	fmt.Fprintf(w, "cachemind_uptime_seconds %d\n", int(time.Since(s.started).Seconds()))
+
+	// Cluster layer: the scalar lines are always present (scrape-shape
+	// stability — a standalone daemon reports enabled 0 and zeros); the
+	// per-peer forwarding/breaker lines exist only in cluster mode.
+	fmt.Fprintf(w, "cachemind_cluster_enabled %d\n", boolMetric(s.cl != nil))
+	fmt.Fprintf(w, "cachemind_ratelimited_total %d\n", s.ratelimited.Load())
+	fmt.Fprintf(w, "cachemind_ratelimit_clients %d\n", s.limiter.Clients())
+	if s.cl != nil {
+		ring := s.cl.ring.Load()
+		fmt.Fprintf(w, "cachemind_cluster_nodes %d\n", ring.Size())
+		fmt.Fprintf(w, "cachemind_cluster_node{self=%q} 1\n", s.cl.self)
+		fmt.Fprintf(w, "cachemind_cluster_forwards_total %d\n", s.cl.forwards.Load())
+		fmt.Fprintf(w, "cachemind_cluster_forward_retries_total %d\n", s.cl.forwardRetries.Load())
+		fmt.Fprintf(w, "cachemind_cluster_forward_fallbacks_total %d\n", s.cl.fallbacks.Load())
+		fmt.Fprintf(w, "cachemind_cluster_forwarded_in_total %d\n", s.cl.hopsIn.Load())
+		fmt.Fprintf(w, "cachemind_cluster_membership_changes_total %d\n", s.cl.memberChanges.Load())
+		fmt.Fprintf(w, "cachemind_cluster_handoff_sessions_out_total %d\n", s.cl.handoffSessionsOut.Load())
+		fmt.Fprintf(w, "cachemind_cluster_handoff_entries_out_total %d\n", s.cl.handoffEntriesOut.Load())
+		fmt.Fprintf(w, "cachemind_cluster_handoff_sessions_in_total %d\n", s.cl.handoffSessionsIn.Load())
+		fmt.Fprintf(w, "cachemind_cluster_handoff_entries_in_total %d\n", s.cl.handoffEntriesIn.Load())
+		for _, peer := range ring.Nodes() {
+			if peer == s.cl.self {
+				continue
+			}
+			state := s.cl.fwd.BreakerState(peer)
+			fmt.Fprintf(w, "cachemind_cluster_peer_breaker{peer=%q,state=%q} 1\n", peer, state)
+			fmt.Fprintf(w, "cachemind_cluster_peer_breaker_open{peer=%q} %d\n", peer, boolMetric(state == cluster.BreakerOpen))
+		}
+	}
+
+	// Checkpointing: same shape rule — scalars always, detail when on.
+	fmt.Fprintf(w, "cachemind_checkpoint_enabled %d\n", boolMetric(s.ckpt != nil))
+	if s.ckpt != nil {
+		cst := s.ckpt.Stats()
+		fmt.Fprintf(w, "cachemind_checkpoint_writes_total %d\n", cst.Writes)
+		fmt.Fprintf(w, "cachemind_checkpoint_write_errors_total %d\n", cst.WriteErrors)
+		fmt.Fprintf(w, "cachemind_checkpoint_last_unix %d\n", cst.LastUnix)
+		fmt.Fprintf(w, "cachemind_checkpoint_restored_sessions_total %d\n", cst.RestoredSessions)
+		fmt.Fprintf(w, "cachemind_checkpoint_restored_entries_total %d\n", cst.RestoredEntries)
+	}
 
 	// Per-route request counts, responses by wire code, and latency
 	// quantiles, in stable route order (this request's own metrics

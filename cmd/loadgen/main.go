@@ -74,7 +74,7 @@ func main() {
 	log.SetPrefix("loadgen: ")
 
 	var cfg config
-	flag.StringVar(&cfg.url, "url", "", "drive a remote cachemindd at this base URL (empty: in-process engine)")
+	flag.StringVar(&cfg.url, "url", "", "drive remote cachemindd nodes at these comma-separated base URLs, round-robin with transport-error failover (empty: in-process engine)")
 	flag.IntVar(&cfg.concurrency, "c", 8, "closed-loop workers")
 	flag.IntVar(&cfg.requests, "n", 2000, "total questions to ask (ignored when -duration is set)")
 	flag.DurationVar(&cfg.duration, "duration", 0, "run for this long instead of a fixed count")

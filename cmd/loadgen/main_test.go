@@ -37,7 +37,7 @@ func TestRunInProcessSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if report.Mode != "inprocess" || report.Schema != "cachemind-loadgen/v6" {
+	if report.Mode != "inprocess" || report.Schema != "cachemind-loadgen/v7" {
 		t.Fatalf("mode/schema = %q/%q", report.Mode, report.Schema)
 	}
 	if report.Warmup != 0 || report.AllocsPerCachedAsk != nil || report.Thresholds != nil {
@@ -786,5 +786,89 @@ func TestRunHTTPCanceledEnvelope(t *testing.T) {
 	}
 	if report.Canceled != 5 || report.Errors != 0 {
 		t.Fatalf("canceled/errors = %d/%d, want 5/0", report.Canceled, report.Errors)
+	}
+}
+
+// countingStub is a minimal /v1/ask daemon stub that tallies how many
+// requests it answered — the probe for round-robin distribution.
+func countingStub(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var served atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ask", func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"answer":"stub","cached":false,"cache_tier":"cold"}`)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &served
+}
+
+// TestRunMultiTargetRoundRobin: a comma-separated -url list spreads
+// requests evenly across targets, and the v7 targets block reports the
+// per-target split.
+func TestRunMultiTargetRoundRobin(t *testing.T) {
+	tsA, servedA := countingStub(t)
+	tsB, servedB := countingStub(t)
+
+	cfg := smokeConfig(t)
+	cfg.url = tsA.URL + "," + tsB.URL
+	cfg.concurrency = 1 // serialize so the round-robin split is exact
+	cfg.requests = 10
+	report, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("errors = %d (%s)", report.Errors, report.ErrorSample)
+	}
+	if servedA.Load() != 5 || servedB.Load() != 5 {
+		t.Fatalf("round-robin split = %d/%d, want 5/5", servedA.Load(), servedB.Load())
+	}
+	if len(report.Targets) != 2 {
+		t.Fatalf("targets block has %d rows, want 2: %+v", len(report.Targets), report.Targets)
+	}
+	for i, tr := range report.Targets {
+		if tr.Requests != 5 || tr.Errors != 0 || tr.Retried != 0 {
+			t.Fatalf("target %d = %+v, want 5 clean requests", i, tr)
+		}
+	}
+	if report.Targets[0].URL != tsA.URL || report.Targets[1].URL != tsB.URL {
+		t.Fatalf("targets out of -url order: %+v", report.Targets)
+	}
+}
+
+// TestRunMultiTargetFailover: a dead target's share of the load fails
+// over to the surviving target — the run completes with zero question
+// errors, and the targets block attributes every transport failure and
+// retry to the dead node.
+func TestRunMultiTargetFailover(t *testing.T) {
+	ts, served := countingStub(t)
+	dead := "http://127.0.0.1:1" // reserved port: connection refused immediately
+
+	cfg := smokeConfig(t)
+	cfg.url = ts.URL + "," + dead
+	cfg.concurrency = 1
+	cfg.requests = 10
+	report, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("errors = %d, want 0 — dead-target requests must fail over (%s)", report.Errors, report.ErrorSample)
+	}
+	if served.Load() != 10 {
+		t.Fatalf("live target served %d, want all 10", served.Load())
+	}
+	if len(report.Targets) != 2 {
+		t.Fatalf("targets block has %d rows: %+v", len(report.Targets), report.Targets)
+	}
+	live, gone := report.Targets[0], report.Targets[1]
+	if live.Errors != 0 || live.Retried != 0 || live.Requests != 10 {
+		t.Fatalf("live target = %+v, want 10 clean requests", live)
+	}
+	if gone.Requests != 5 || gone.Errors != 5 || gone.Retried != 5 {
+		t.Fatalf("dead target = %+v, want 5 requests all failed and retried", gone)
 	}
 }

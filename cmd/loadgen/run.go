@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,7 +26,7 @@ import (
 // stream is a pure function of (store, seed, repeat), so two runs with
 // the same config replay the same load.
 type config struct {
-	url         string // empty: in-process engine
+	url         string // empty: in-process engine; comma-separated URLs round-robin across a cluster
 	concurrency int
 	requests    int           // total questions (count mode)
 	duration    time.Duration // > 0: run for this long instead (ring over the mix)
@@ -151,7 +152,12 @@ func (c *config) thresholds() *Thresholds {
 // dropped, present under -prefetch), and the cache block's
 // covered_miss_rate (covered/(covered+misses) — the fraction of
 // would-be misses a prefetched entry absorbed) and
-// wasted_prefetch_rate (wasted/issued) alongside hit_rate.
+// wasted_prefetch_rate (wasted/issued) alongside hit_rate. v7 adds
+// cluster targeting: -url accepts a comma-separated target list
+// (round-robin with transport-error failover), and http-mode reports
+// carry the targets block — one {url, requests, errors, retried} row
+// per target, so a cluster run shows which node absorbed the load and
+// which one died.
 type Report struct {
 	Schema      string  `json:"schema"`
 	Mode        string  `json:"mode"` // "inprocess" or "http"
@@ -211,6 +217,20 @@ type Report struct {
 	// PolicySweep is the -policy-sweep comparative table: one row per
 	// registered eviction policy over the identical request mix.
 	PolicySweep []PolicyRow `json:"policy_sweep,omitempty"`
+	// Targets is the v7 per-target block (http mode): one row per -url
+	// target with its request, transport-error, and failover-retry
+	// tallies. Requests across targets sum to more than the loop's
+	// request count when failover re-sent work to a sibling target.
+	Targets []TargetReport `json:"targets,omitempty"`
+}
+
+// TargetReport is one -url target's tallies in mix order of the -url
+// list.
+type TargetReport struct {
+	URL      string `json:"url"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"`
+	Retried  int64  `json:"retried"`
 }
 
 // Thresholds is the report's echo of the enforced perf-gate levels; a
@@ -381,11 +401,26 @@ func (d *inprocDriver) do(ctx context.Context, items []engine.Request) []outcome
 	return out
 }
 
-// httpDriver drives a remote cachemindd: POST /v1/ask per item, or one
-// POST /v1/ask/batch per request when batching.
+// targetState is one -url target and its per-target tallies: the
+// report's targets block.
+type targetState struct {
+	url      string
+	requests atomic.Int64 // requests sent to this target
+	errors   atomic.Int64 // transport failures this target produced
+	retried  atomic.Int64 // of those, requests retried on another target
+}
+
+// httpDriver drives one or more cachemindd nodes: POST /v1/ask per
+// item, or one POST /v1/ask/batch per request when batching. Multiple
+// -url targets are load-balanced round-robin; a target that fails at
+// the transport level (connection refused, reset — a dead or dying
+// node) is retried on the next target, so a cluster run survives a
+// node kill. HTTP error statuses never fail over: they are a live
+// server's decision, relayed to the loop as-is.
 type httpDriver struct {
-	base   string
-	client *http.Client
+	targets []*targetState
+	next    atomic.Uint64
+	client  *http.Client
 }
 
 // wireErr mirrors the daemon's v1 error envelope object.
@@ -486,33 +521,60 @@ func (e *envelopeError) Error() string {
 	return fmt.Sprintf("%s: status %d: %.200s", e.path, e.status, e.body)
 }
 
+// post sends body to path, starting at the round-robin target for this
+// request and failing over to each remaining target on a transport
+// error. A client-side context expiry is the caller's deadline, not a
+// target failure — it aborts without failover.
 func (d *httpDriver) post(ctx context.Context, path string, body, into any) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, d.base+path, bytes.NewReader(payload))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := d.client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		var env struct {
-			Error wireErr `json:"error"`
+	start := d.next.Add(1) - 1
+	var lastErr error
+	for attempt := 0; attempt < len(d.targets); attempt++ {
+		tgt := d.targets[(start+uint64(attempt))%uint64(len(d.targets))]
+		tgt.requests.Add(1)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, tgt.url+path, bytes.NewReader(payload))
+		if err != nil {
+			return err
 		}
-		_ = json.Unmarshal(data, &env)
-		return &envelopeError{path: path, status: resp.StatusCode, code: env.Error.Code, body: string(data)}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := d.client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			tgt.errors.Add(1)
+			lastErr = err
+			if attempt+1 < len(d.targets) {
+				tgt.retried.Add(1)
+			}
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			tgt.errors.Add(1)
+			lastErr = err
+			if attempt+1 < len(d.targets) {
+				tgt.retried.Add(1)
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			var env struct {
+				Error wireErr `json:"error"`
+			}
+			_ = json.Unmarshal(data, &env)
+			return &envelopeError{path: path, status: resp.StatusCode, code: env.Error.Code, body: string(data)}
+		}
+		return json.Unmarshal(data, into)
 	}
-	return json.Unmarshal(data, into)
+	return lastErr
 }
 
 // run builds the store and the deterministic question mix, then
@@ -697,9 +759,19 @@ func runPass(cfg config, store *db.Store, plan *askPlan) (*Report, error) {
 	reportThreshold := 0.0
 	var eng *engine.Engine
 	var drv driver
+	var hdrv *httpDriver
 	if cfg.url != "" {
+		hdrv = &httpDriver{client: &http.Client{Timeout: cfg.timeout}}
+		for _, u := range strings.Split(cfg.url, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				hdrv.targets = append(hdrv.targets, &targetState{url: u})
+			}
+		}
+		if len(hdrv.targets) == 0 {
+			return nil, fmt.Errorf("loadgen: -url %q has no usable targets", cfg.url)
+		}
 		mode = "http"
-		drv = &httpDriver{base: cfg.url, client: &http.Client{Timeout: cfg.timeout}}
+		drv = hdrv
 	} else {
 		var err error
 		eng, err = engine.New(engine.Config{
@@ -771,6 +843,15 @@ func runPass(cfg config, store *db.Store, plan *askPlan) (*Report, error) {
 			eng.PrefetchQuiesce(10 * time.Second)
 		}
 		warmBase = eng.Stats()
+	}
+	// Same exclusion for the per-target tallies: the targets block
+	// describes the measured window, like every other counter.
+	if hdrv != nil {
+		for _, tgt := range hdrv.targets {
+			tgt.requests.Store(0)
+			tgt.errors.Store(0)
+			tgt.retried.Store(0)
+		}
 	}
 
 	hist := histogram.New()
@@ -933,7 +1014,7 @@ func runPass(cfg config, store *db.Store, plan *askPlan) (*Report, error) {
 	}
 
 	rep := &Report{
-		Schema:            "cachemind-loadgen/v6",
+		Schema:            "cachemind-loadgen/v7",
 		Mode:              mode,
 		Target:            cfg.url,
 		Concurrency:       cfg.concurrency,
@@ -970,6 +1051,16 @@ func runPass(cfg config, store *db.Store, plan *askPlan) (*Report, error) {
 	if cfg.sessionReplay {
 		rep.SessionTurns = cfg.sessionTurns
 		rep.FollowRatio = cfg.follow
+	}
+	if hdrv != nil {
+		for _, tgt := range hdrv.targets {
+			rep.Targets = append(rep.Targets, TargetReport{
+				URL:      tgt.url,
+				Requests: tgt.requests.Load(),
+				Errors:   tgt.errors.Load(),
+				Retried:  tgt.retried.Load(),
+			})
+		}
 	}
 	return rep, nil
 }

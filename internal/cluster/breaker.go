@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states.
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed = "closed"
+	// BreakerOpen: requests are refused until the cooldown elapses.
+	BreakerOpen = "open"
+	// BreakerHalfOpen: one probe request is allowed through; its fate
+	// decides the next state.
+	BreakerHalfOpen = "half-open"
+)
+
+// DefaultBreakerThreshold / DefaultBreakerCooldown are NewBreaker's
+// defaults for threshold <= 0 / cooldown <= 0.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 5 * time.Second
+)
+
+// Breaker is a per-peer circuit breaker: closed until threshold
+// consecutive failures, then open for cooldown, then half-open — one
+// probe is admitted, and its outcome closes the circuit or re-opens it
+// for another cooldown. Safe for concurrent use.
+//
+// The caller decides what a "failure" is. The forwarder records only
+// transport errors (dial refused, connection reset, timeout): an HTTP
+// error status is a live peer answering, which is exactly what the
+// breaker exists to detect the absence of.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu       sync.Mutex
+	state    string
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+// NewBreaker builds a closed breaker tripping after threshold
+// consecutive failures (<= 0 selects DefaultBreakerThreshold) and
+// cooling down for cooldown (<= 0 selects DefaultBreakerCooldown).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now, state: BreakerClosed}
+}
+
+// Allow reports whether a request may proceed. An open breaker whose
+// cooldown has elapsed transitions to half-open and admits exactly one
+// probe; further calls are refused until that probe Records.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record reports the outcome of an admitted request. A success closes
+// the circuit (and resets the failure count); a failure re-opens a
+// half-open circuit immediately, or counts toward the closed
+// threshold.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = BreakerClosed
+		b.fails = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		b.trip()
+	default:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the circuit. Caller holds b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.fails = 0
+	b.probing = false
+	b.openedAt = b.now()
+}
+
+// State returns the current state name (one of the Breaker* consts) —
+// the /metrics gauge source.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Breaker/Limiter deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Record(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2 failures = %s, want closed", b.State())
+	}
+	b.Allow()
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 failures = %s, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Record(false)
+	b.Record(false)
+	b.Record(true)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("interleaved successes should keep the breaker closed")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Record(false) // trip
+	if b.State() != BreakerOpen {
+		t.Fatal("not open after threshold-1 failure")
+	}
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %s, want half-open", b.State())
+	}
+	// Only one probe at a time.
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatal("successful probe should close the circuit")
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Record(false)
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe should re-open")
+	}
+	// The cooldown restarts from the failed probe.
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted a request immediately")
+	}
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused after second cooldown")
+	}
+}

@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cachemind/internal/engine"
+)
+
+// CheckpointFormat versions the checkpoint file. Loaders reject any
+// other value: a format change bumps the version, and an old binary
+// must fail loudly on a new file rather than half-restore it.
+const CheckpointFormat = "cachemind-checkpoint/v1"
+
+// CheckpointFile is the file name a Checkpointer writes inside its
+// directory.
+const CheckpointFile = "checkpoint.json"
+
+// Snapshotter is the engine-side seam the Checkpointer persists
+// through; *engine.Engine satisfies it (see internal/engine's
+// snapshot.go for the exact consistency and import semantics).
+type Snapshotter interface {
+	ExportSessions() []engine.SessionSnapshot
+	ImportSessions([]engine.SessionSnapshot) int
+	ExportCache() []engine.CacheEntry
+	ImportCache([]engine.CacheEntry) int
+}
+
+// Checkpoint is the on-disk document: the versioned snapshot of one
+// node's sessions and (optionally) its answer cache.
+type Checkpoint struct {
+	Format    string                   `json:"format"`
+	NodeID    string                   `json:"node_id,omitempty"`
+	SavedUnix int64                    `json:"saved_unix"`
+	Sessions  []engine.SessionSnapshot `json:"sessions"`
+	Cache     []engine.CacheEntry      `json:"cache,omitempty"`
+}
+
+// LoadCheckpoint reads and validates a checkpoint file. A missing file
+// returns (nil, nil) — first boot is not an error; a present file with
+// the wrong format or unparsable contents is.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("cluster: corrupt checkpoint %s: %w", path, err)
+	}
+	if cp.Format != CheckpointFormat {
+		return nil, fmt.Errorf("cluster: checkpoint %s has format %q, this build reads %q", path, cp.Format, CheckpointFormat)
+	}
+	return &cp, nil
+}
+
+// CheckpointerConfig parameterizes a Checkpointer.
+type CheckpointerConfig struct {
+	// Dir is the checkpoint directory (required; created if absent).
+	Dir string
+	// NodeID stamps the written checkpoints (informational).
+	NodeID string
+	// Interval is the periodic-write cadence for Start (0 selects 30s).
+	Interval time.Duration
+	// IncludeCache persists the answer cache alongside the sessions.
+	// Sessions are the state that cannot be recomputed; cache entries
+	// can (answers are pure functions of the question), so this trades
+	// checkpoint size for a warm restart.
+	IncludeCache bool
+}
+
+// Checkpointer periodically persists a Snapshotter's state to
+// <Dir>/checkpoint.json — written atomically (temp file + rename), so
+// a crash mid-write leaves the previous checkpoint intact — and
+// restores it on startup. Safe for concurrent use; Write may be called
+// directly (the daemon's final checkpoint on shutdown) while the loop
+// runs.
+type Checkpointer struct {
+	snap     Snapshotter
+	dir      string
+	nodeID   string
+	interval time.Duration
+	cache    bool
+	now      func() time.Time // injectable for tests
+
+	writeMu sync.Mutex // serializes Write's export+rename
+
+	writes           atomic.Uint64
+	writeErrors      atomic.Uint64
+	lastUnix         atomic.Int64
+	restoredSessions atomic.Uint64
+	restoredEntries  atomic.Uint64
+
+	loopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewCheckpointer builds a checkpointer over snap, creating cfg.Dir if
+// needed.
+func NewCheckpointer(snap Snapshotter, cfg CheckpointerConfig) (*Checkpointer, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("cluster: checkpoint dir required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: checkpoint dir: %w", err)
+	}
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	return &Checkpointer{
+		snap:     snap,
+		dir:      cfg.Dir,
+		nodeID:   cfg.NodeID,
+		interval: interval,
+		cache:    cfg.IncludeCache,
+		now:      time.Now,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Path returns the checkpoint file path.
+func (c *Checkpointer) Path() string { return filepath.Join(c.dir, CheckpointFile) }
+
+// Write exports the current state and atomically replaces the
+// checkpoint file.
+func (c *Checkpointer) Write() error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	cp := Checkpoint{
+		Format:    CheckpointFormat,
+		NodeID:    c.nodeID,
+		SavedUnix: c.now().Unix(),
+		Sessions:  c.snap.ExportSessions(),
+	}
+	if c.cache {
+		cp.Cache = c.snap.ExportCache()
+	}
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		c.writeErrors.Add(1)
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, CheckpointFile+".tmp-*")
+	if err != nil {
+		c.writeErrors.Add(1)
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), c.Path())
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		c.writeErrors.Add(1)
+		return werr
+	}
+	c.writes.Add(1)
+	c.lastUnix.Store(cp.SavedUnix)
+	return nil
+}
+
+// Restore loads the checkpoint file (if any) and imports it, returning
+// how many sessions and cache entries landed. Call before serving:
+// import is additive and never clobbers live state, but restoring into
+// an idle engine is what makes "recovers warm" literal.
+func (c *Checkpointer) Restore() (sessions, entries int, err error) {
+	cp, err := LoadCheckpoint(c.Path())
+	if err != nil || cp == nil {
+		return 0, 0, err
+	}
+	sessions = c.snap.ImportSessions(cp.Sessions)
+	if len(cp.Cache) > 0 {
+		entries = c.snap.ImportCache(cp.Cache)
+	}
+	c.restoredSessions.Add(uint64(sessions))
+	c.restoredEntries.Add(uint64(entries))
+	return sessions, entries, nil
+}
+
+// Start launches the periodic write loop. Stop stops it and waits for
+// the in-flight write, if any, to finish; it does not write a final
+// checkpoint — the daemon does that explicitly in its shutdown
+// sequence, after the HTTP server has drained. Start is idempotent.
+func (c *Checkpointer) Start() {
+	c.loopOnce.Do(func() {
+		go func() {
+			defer close(c.done)
+			t := time.NewTicker(c.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-c.stop:
+					return
+				case <-t.C:
+					// Best-effort: a failed periodic write is counted
+					// (WriteErrors) and retried next tick.
+					_ = c.Write()
+				}
+			}
+		}()
+	})
+}
+
+// Stop terminates the loop started by Start. Safe to call without
+// Start and safe to call twice.
+func (c *Checkpointer) Stop() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	c.loopOnce.Do(func() { close(c.done) }) // never started: mark done
+	<-c.done
+}
+
+// CheckpointStats is the counter snapshot /metrics serves.
+type CheckpointStats struct {
+	Writes           uint64
+	WriteErrors      uint64
+	LastUnix         int64
+	RestoredSessions uint64
+	RestoredEntries  uint64
+}
+
+// Stats returns the current counters.
+func (c *Checkpointer) Stats() CheckpointStats {
+	return CheckpointStats{
+		Writes:           c.writes.Load(),
+		WriteErrors:      c.writeErrors.Load(),
+		LastUnix:         c.lastUnix.Load(),
+		RestoredSessions: c.restoredSessions.Load(),
+		RestoredEntries:  c.restoredEntries.Load(),
+	}
+}

@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"cachemind/internal/engine"
+)
+
+// fakeSnap is an in-memory Snapshotter.
+type fakeSnap struct {
+	sessions []engine.SessionSnapshot
+	cache    []engine.CacheEntry
+
+	importedSessions []engine.SessionSnapshot
+	importedCache    []engine.CacheEntry
+}
+
+func (s *fakeSnap) ExportSessions() []engine.SessionSnapshot { return s.sessions }
+func (s *fakeSnap) ExportCache() []engine.CacheEntry         { return s.cache }
+func (s *fakeSnap) ImportSessions(in []engine.SessionSnapshot) int {
+	s.importedSessions = append(s.importedSessions, in...)
+	return len(in)
+}
+func (s *fakeSnap) ImportCache(in []engine.CacheEntry) int {
+	s.importedCache = append(s.importedCache, in...)
+	return len(in)
+}
+
+func testSnap() *fakeSnap {
+	return &fakeSnap{
+		sessions: []engine.SessionSnapshot{
+			{ID: "a", Turns: []engine.Turn{{Question: "q1", Answer: "a1"}}},
+			{ID: "b", Turns: []engine.Turn{{Question: "q2", Answer: "a2"}}},
+		},
+		cache: []engine.CacheEntry{
+			{Scope: "r\x00m\x00", Question: "q1", Answer: engine.Answer{Text: "a1", Retrieval: 3 * time.Millisecond}},
+		},
+	}
+}
+
+func TestCheckpointWriteRestoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	snap := testSnap()
+	cp, err := NewCheckpointer(snap, CheckpointerConfig{Dir: dir, NodeID: "n1", IncludeCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Write(); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := &fakeSnap{}
+	cp2, err := NewCheckpointer(restored, CheckpointerConfig{Dir: dir, IncludeCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions, entries, err := cp2.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sessions != 2 || entries != 1 {
+		t.Fatalf("restored %d sessions / %d entries, want 2/1", sessions, entries)
+	}
+	if !reflect.DeepEqual(restored.importedSessions, snap.sessions) {
+		t.Fatal("sessions did not round-trip")
+	}
+	if !reflect.DeepEqual(restored.importedCache, snap.cache) {
+		t.Fatal("cache entries did not round-trip (Answer JSON tags?)")
+	}
+	st := cp2.Stats()
+	if st.RestoredSessions != 2 || st.RestoredEntries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCheckpointWithoutCache(t *testing.T) {
+	dir := t.TempDir()
+	cp, err := NewCheckpointer(testSnap(), CheckpointerConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Write(); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := LoadCheckpoint(cp.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Cache) != 0 {
+		t.Fatal("IncludeCache=false wrote cache entries")
+	}
+	if doc.Format != CheckpointFormat || doc.SavedUnix == 0 {
+		t.Fatalf("doc header = %+v", doc)
+	}
+}
+
+func TestRestoreMissingFileIsClean(t *testing.T) {
+	cp, err := NewCheckpointer(&fakeSnap{}, CheckpointerConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions, entries, err := cp.Restore()
+	if err != nil || sessions != 0 || entries != 0 {
+		t.Fatalf("first boot restore = (%d, %d, %v), want clean zeros", sessions, entries, err)
+	}
+}
+
+func TestLoadRejectsWrongFormat(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, CheckpointFile)
+	if err := os.WriteFile(path, []byte(`{"format":"cachemind-checkpoint/v999","sessions":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Fatal("future-format checkpoint accepted")
+	}
+	if err := os.WriteFile(path, []byte(`{truncated`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+func TestCheckpointAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	snap := testSnap()
+	cp, err := NewCheckpointer(snap, CheckpointerConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Write(); err != nil {
+		t.Fatal(err)
+	}
+	snap.sessions = append(snap.sessions, engine.SessionSnapshot{ID: "c", Turns: []engine.Turn{{Question: "q3", Answer: "a3"}}})
+	if err := cp.Write(); err != nil {
+		t.Fatal(err)
+	}
+	// Only the checkpoint file remains — no temp litter.
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0].Name() != CheckpointFile {
+		t.Fatalf("dir contents = %v, want just %s", files, CheckpointFile)
+	}
+	doc, err := LoadCheckpoint(cp.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Sessions) != 3 {
+		t.Fatalf("second write holds %d sessions, want 3", len(doc.Sessions))
+	}
+	if got := cp.Stats().Writes; got != 2 {
+		t.Fatalf("writes = %d, want 2", got)
+	}
+}
+
+func TestCheckpointLoop(t *testing.T) {
+	dir := t.TempDir()
+	cp, err := NewCheckpointer(testSnap(), CheckpointerConfig{Dir: dir, Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for cp.Stats().Writes < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cp.Stop()
+	if cp.Stats().Writes < 2 {
+		t.Fatalf("loop wrote %d times in 5s at 5ms interval", cp.Stats().Writes)
+	}
+	if _, err := os.Stat(cp.Path()); err != nil {
+		t.Fatal(err)
+	}
+	cp.Stop() // idempotent
+}
+
+func TestCheckpointStopWithoutStart(t *testing.T) {
+	cp, err := NewCheckpointer(&fakeSnap{}, CheckpointerConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Stop() // must not hang or panic
+}

@@ -1,0 +1,38 @@
+// Package cluster is CacheMind's scale-out layer: the pieces that turn
+// a single cachemindd process into one node of a consistent-hash
+// cluster, plus the durable-state machinery that lets any node restart
+// warm.
+//
+// The package deliberately contains no HTTP handlers — cmd/cachemindd
+// owns the wire surface — only the reusable mechanisms:
+//
+//   - Ring (ring.go): an immutable consistent-hash ring over a static
+//     node list. Virtual nodes (FNV-64 hash points) spread load evenly;
+//     a membership change moves only the keys whose arc changed owner,
+//     which is what makes warm handoff tractable.
+//   - Forwarder (forward.go): a pooled HTTP client that relays an ask
+//     to its owner node over the existing v1 wire envelope, with
+//     retry-with-backoff on transport errors and a per-peer circuit
+//     Breaker so one dead peer cannot stall every forwarded ask behind
+//     connection timeouts.
+//   - Breaker (breaker.go): a closed→open→half-open circuit breaker.
+//     Transport failures trip it; HTTP-level errors do not (a 4xx/5xx
+//     answer proves the peer is alive).
+//   - Limiter (limiter.go): per-client token-bucket rate limiting for
+//     the front door, with bounded client tracking so an adversarial
+//     spread of client addresses cannot grow memory without bound.
+//   - Checkpointer (checkpoint.go): versioned, atomically-written
+//     snapshots of the engine's session state (and optionally the
+//     answer cache) so a restarted node recovers its sessions instead
+//     of coming up cold. The snapshot seam itself lives in
+//     internal/engine (ExportSessions/ImportSessions, ExportCache/
+//     ImportCache); the Checkpointer only orchestrates and persists.
+//
+// Soundness note, load-bearing for the whole design: answers are pure
+// functions of (retriever, model, question) — see internal/engine's
+// package comment — so serving an ask locally instead of forwarding it
+// (breaker open, peer down, retries exhausted) degrades locality, never
+// correctness. The cluster's byte-identical-answers guarantee does not
+// depend on routing; routing only concentrates each key's cache state
+// on one node.
+package cluster

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// HopHeader marks a forwarded request. A node receiving it always
+// serves locally — never re-forwards — so a stale or disagreeing ring
+// can cost at most one extra hop, not a loop.
+const HopHeader = "X-Cachemind-Forwarded"
+
+// ErrPeerDown is returned by Post when the peer's circuit breaker
+// refuses the request (open, or half-open with a probe already in
+// flight). Callers fall back to serving locally.
+var ErrPeerDown = errors.New("cluster: peer circuit open")
+
+// maxForwardResponse bounds how much of a peer's response body Post
+// will read — far above any real ask envelope, small enough that a
+// confused peer cannot balloon the router's memory.
+const maxForwardResponse = 8 << 20
+
+// ForwarderConfig parameterizes a Forwarder. The zero value is usable:
+// pooled default transport, 2 retries at 25ms doubling backoff, and
+// the package-default breaker settings.
+type ForwarderConfig struct {
+	// Retries is how many times a transport-failed attempt is retried
+	// (0 selects 2; negative disables retrying).
+	Retries int
+	// Backoff is the sleep before the first retry, doubling per
+	// subsequent retry (0 selects 25ms).
+	Backoff time.Duration
+	// BreakerThreshold / BreakerCooldown parameterize the per-peer
+	// breakers (0 selects the package defaults).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Transport overrides the HTTP transport (tests). Nil selects a
+	// pooled transport tuned for a small peer set.
+	Transport http.RoundTripper
+}
+
+// Forwarder relays requests to peer nodes: one pooled HTTP client for
+// all peers, a lazily-created circuit Breaker per peer, and
+// retry-with-backoff on transport errors. Safe for concurrent use.
+//
+// Only transport errors count as peer failures. An HTTP error status
+// is a live peer making a decision — it is returned to the caller
+// as-is, trips nothing, and is never retried (the v1 envelope's
+// errors are deterministic; retrying them cannot change the answer).
+type Forwarder struct {
+	client  *http.Client
+	retries int
+	backoff time.Duration
+	brTh    int
+	brCd    time.Duration
+
+	mu       sync.Mutex
+	breakers map[string]*Breaker
+}
+
+// NewForwarder builds a forwarder from cfg.
+func NewForwarder(cfg ForwarderConfig) *Forwarder {
+	retries := cfg.Retries
+	if retries == 0 {
+		retries = 2
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	backoff := cfg.Backoff
+	if backoff == 0 {
+		backoff = 25 * time.Millisecond
+	}
+	rt := cfg.Transport
+	if rt == nil {
+		rt = &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}
+	}
+	return &Forwarder{
+		client:   &http.Client{Transport: rt},
+		retries:  retries,
+		backoff:  backoff,
+		brTh:     cfg.BreakerThreshold,
+		brCd:     cfg.BreakerCooldown,
+		breakers: map[string]*Breaker{},
+	}
+}
+
+// breaker returns peer's circuit breaker, creating it on first use.
+func (f *Forwarder) breaker(peer string) *Breaker {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b, ok := f.breakers[peer]
+	if !ok {
+		b = NewBreaker(f.brTh, f.brCd)
+		f.breakers[peer] = b
+	}
+	return b
+}
+
+// BreakerState returns peer's breaker state (BreakerClosed for a peer
+// never contacted) — the /metrics source.
+func (f *Forwarder) BreakerState(peer string) string {
+	f.mu.Lock()
+	b := f.breakers[peer]
+	f.mu.Unlock()
+	if b == nil {
+		return BreakerClosed
+	}
+	return b.State()
+}
+
+// Post sends body to http://peer+path with the hop-guard header set,
+// returning the peer's status and (bounded) response body. Transport
+// errors are retried with doubling backoff up to the configured retry
+// budget, each attempt re-admitted by the peer's breaker; exhausted
+// retries return the last transport error. attempts reports how many
+// requests actually hit the wire (0 when the breaker refused
+// outright).
+func (f *Forwarder) Post(ctx context.Context, peer, path, contentType string, body []byte) (status int, respBody []byte, attempts int, err error) {
+	return f.do(ctx, http.MethodPost, peer, path, contentType, body)
+}
+
+// Get relays a GET to http://peer+path with the hop-guard header set —
+// same breaker, retry, and bounding semantics as Post.
+func (f *Forwarder) Get(ctx context.Context, peer, path string) (status int, respBody []byte, attempts int, err error) {
+	return f.do(ctx, http.MethodGet, peer, path, "", nil)
+}
+
+func (f *Forwarder) do(ctx context.Context, method, peer, path, contentType string, body []byte) (status int, respBody []byte, attempts int, err error) {
+	br := f.breaker(peer)
+	var lastErr error
+	for try := 0; try <= f.retries; try++ {
+		if try > 0 {
+			// Doubling backoff, abandoned early if the caller's context
+			// dies while we wait.
+			d := f.backoff << (try - 1)
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return 0, nil, attempts, ctx.Err()
+			case <-t.C:
+			}
+		}
+		if !br.Allow() {
+			if lastErr != nil {
+				return 0, nil, attempts, fmt.Errorf("%w (last error: %v)", ErrPeerDown, lastErr)
+			}
+			return 0, nil, attempts, ErrPeerDown
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, rerr := http.NewRequestWithContext(ctx, method, "http://"+peer+path, rd)
+		if rerr != nil {
+			br.Record(true) // not the peer's fault
+			return 0, nil, attempts, rerr
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		req.Header.Set(HopHeader, "1")
+		attempts++
+		resp, derr := f.client.Do(req)
+		if derr != nil {
+			br.Record(false)
+			lastErr = derr
+			// The caller's context dying is not a peer failure worth
+			// retrying against.
+			if ctx.Err() != nil {
+				return 0, nil, attempts, ctx.Err()
+			}
+			continue
+		}
+		data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxForwardResponse))
+		resp.Body.Close()
+		if rerr != nil {
+			br.Record(false)
+			lastErr = rerr
+			continue
+		}
+		br.Record(true)
+		return resp.StatusCode, data, attempts, nil
+	}
+	return 0, nil, attempts, lastErr
+}

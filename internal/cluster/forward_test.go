@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyTransport fails the first n RoundTrips at the transport level,
+// then delegates to the real transport.
+type flakyTransport struct {
+	fails atomic.Int64
+	next  http.RoundTripper
+}
+
+func (t *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.fails.Add(-1) >= 0 {
+		return nil, errors.New("simulated connection reset")
+	}
+	return t.next.RoundTrip(req)
+}
+
+func TestForwarderPostSetsHopHeader(t *testing.T) {
+	var gotHop atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHop.Store(r.Header.Get(HopHeader))
+		w.WriteHeader(200)
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+	peer := strings.TrimPrefix(ts.URL, "http://")
+
+	f := NewForwarder(ForwarderConfig{})
+	status, body, attempts, err := f.Post(context.Background(), peer, "/v1/ask", "application/json", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 200 || string(body) != `{"ok":true}` || attempts != 1 {
+		t.Fatalf("status=%d body=%q attempts=%d", status, body, attempts)
+	}
+	if gotHop.Load() != "1" {
+		t.Fatalf("hop header = %v, want 1", gotHop.Load())
+	}
+}
+
+func TestForwarderRetriesTransportErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+	}))
+	defer ts.Close()
+	peer := strings.TrimPrefix(ts.URL, "http://")
+
+	ft := &flakyTransport{next: http.DefaultTransport}
+	ft.fails.Store(2)
+	f := NewForwarder(ForwarderConfig{Retries: 2, Backoff: time.Millisecond, Transport: ft})
+	status, _, attempts, err := f.Post(context.Background(), peer, "/v1/ask", "application/json", nil)
+	if err != nil {
+		t.Fatalf("retries should have recovered: %v", err)
+	}
+	if status != 200 || attempts != 3 {
+		t.Fatalf("status=%d attempts=%d, want 200/3", status, attempts)
+	}
+}
+
+func TestForwarderDoesNotRetryHTTPErrors(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(503)
+	}))
+	defer ts.Close()
+	peer := strings.TrimPrefix(ts.URL, "http://")
+
+	f := NewForwarder(ForwarderConfig{Retries: 3, Backoff: time.Millisecond})
+	status, _, attempts, err := f.Post(context.Background(), peer, "/v1/ask", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 503 || attempts != 1 || hits.Load() != 1 {
+		t.Fatalf("status=%d attempts=%d hits=%d; HTTP errors must not retry", status, attempts, hits.Load())
+	}
+	// And they must not trip the breaker: the peer answered.
+	if f.BreakerState(peer) != BreakerClosed {
+		t.Fatalf("breaker = %s after HTTP 503s, want closed", f.BreakerState(peer))
+	}
+}
+
+func TestForwarderBreakerOpensOnDeadPeer(t *testing.T) {
+	// A listener that is closed immediately: every dial fails fast.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	peer := strings.TrimPrefix(ts.URL, "http://")
+	ts.Close()
+
+	f := NewForwarder(ForwarderConfig{Retries: 0, Backoff: time.Millisecond, BreakerThreshold: 3, BreakerCooldown: time.Hour})
+	for i := 0; i < 3; i++ {
+		if _, _, _, err := f.Post(context.Background(), peer, "/v1/ask", "application/json", nil); err == nil {
+			t.Fatal("dead peer produced no error")
+		}
+	}
+	if f.BreakerState(peer) != BreakerOpen {
+		t.Fatalf("breaker = %s after 3 transport failures, want open", f.BreakerState(peer))
+	}
+	_, _, attempts, err := f.Post(context.Background(), peer, "/v1/ask", "application/json", nil)
+	if !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("open breaker returned %v, want ErrPeerDown", err)
+	}
+	if attempts != 0 {
+		t.Fatalf("open breaker let %d attempts hit the wire", attempts)
+	}
+}
+
+func TestForwarderUnknownPeerBreakerClosed(t *testing.T) {
+	f := NewForwarder(ForwarderConfig{})
+	if f.BreakerState("never-seen:1") != BreakerClosed {
+		t.Fatal("unknown peer should report a closed breaker")
+	}
+}

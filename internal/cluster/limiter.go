@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultLimiterClients bounds the tracked-client table when
+// NewLimiter is given maxClients <= 0.
+const DefaultLimiterClients = 4096
+
+// Limiter is a per-client token-bucket rate limiter for the daemon's
+// front door. Each client key (the daemon uses the remote host) gets a
+// bucket of burst tokens refilled at rate tokens/second; a request
+// spends one token, and an empty bucket refuses it.
+//
+// The client table is bounded: past maxClients tracked keys the
+// limiter first discards fully-refilled buckets (a full bucket is
+// indistinguishable from an untracked client, so dropping it changes
+// no decision), then — if every bucket is still mid-refill — the
+// stalest one. An adversarial spread of client addresses therefore
+// costs O(maxClients) memory, never unbounded growth.
+//
+// Safe for concurrent use.
+type Limiter struct {
+	rate       float64 // tokens per second
+	burst      float64
+	maxClients int
+	now        func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time // last refill
+}
+
+// NewLimiter builds a limiter granting each client burst tokens
+// refilled at rate/second, tracking at most maxClients keys (<= 0
+// selects DefaultLimiterClients). rate <= 0 disables limiting — Allow
+// always grants — so a zero-value flag wires straight through. burst
+// <= 0 selects rate (a one-second burst window).
+func NewLimiter(rate, burst float64, maxClients int) *Limiter {
+	if burst <= 0 {
+		burst = rate
+	}
+	if maxClients <= 0 {
+		maxClients = DefaultLimiterClients
+	}
+	return &Limiter{
+		rate:       rate,
+		burst:      burst,
+		maxClients: maxClients,
+		now:        time.Now,
+		clients:    map[string]*bucket{},
+	}
+}
+
+// Enabled reports whether the limiter actually limits (rate > 0).
+func (l *Limiter) Enabled() bool { return l != nil && l.rate > 0 }
+
+// Allow spends one token from client's bucket, reporting whether the
+// request may proceed.
+func (l *Limiter) Allow(client string) bool {
+	if !l.Enabled() {
+		return true
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.clients[client]
+	if !ok {
+		if len(l.clients) >= l.maxClients {
+			l.evict(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.clients[client] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// evict makes room in the client table: full buckets first (dropping
+// one is decision-neutral), then the bucket longest without a request.
+// Caller holds l.mu.
+func (l *Limiter) evict(now time.Time) {
+	var (
+		stalest     string
+		stalestSeen time.Time
+		dropped     bool
+	)
+	for key, b := range l.clients {
+		refilled := b.tokens + now.Sub(b.last).Seconds()*l.rate
+		if refilled >= l.burst {
+			delete(l.clients, key)
+			dropped = true
+			continue
+		}
+		if stalest == "" || b.last.Before(stalestSeen) {
+			stalest, stalestSeen = key, b.last
+		}
+	}
+	if !dropped && stalest != "" {
+		delete(l.clients, stalest)
+	}
+}
+
+// Clients returns the tracked-client count — the /metrics gauge.
+func (l *Limiter) Clients() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.clients)
+}

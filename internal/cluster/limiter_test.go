@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func newTestLimiter(rate, burst float64, maxClients int) (*Limiter, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	l := NewLimiter(rate, burst, maxClients)
+	l.now = clk.now
+	return l, clk
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	l, _ := newTestLimiter(0, 0, 0)
+	if l.Enabled() {
+		t.Fatal("rate 0 should disable limiting")
+	}
+	for i := 0; i < 1000; i++ {
+		if !l.Allow("c") {
+			t.Fatal("disabled limiter refused a request")
+		}
+	}
+	if l.Clients() != 0 {
+		t.Fatal("disabled limiter tracked clients")
+	}
+	var nilL *Limiter
+	if nilL.Enabled() || nilL.Clients() != 0 {
+		t.Fatal("nil limiter accessors")
+	}
+	if !nilL.Allow("c") {
+		t.Fatal("nil limiter refused")
+	}
+}
+
+func TestLimiterBurstThenRefill(t *testing.T) {
+	l, clk := newTestLimiter(10, 3, 0)
+	for i := 0; i < 3; i++ {
+		if !l.Allow("c") {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	if l.Allow("c") {
+		t.Fatal("4th request within burst window allowed")
+	}
+	// 10 tokens/s: 100ms refills exactly one.
+	clk.advance(100 * time.Millisecond)
+	if !l.Allow("c") {
+		t.Fatal("refilled token refused")
+	}
+	if l.Allow("c") {
+		t.Fatal("second request after single-token refill allowed")
+	}
+}
+
+func TestLimiterPerClientIsolation(t *testing.T) {
+	l, _ := newTestLimiter(1, 1, 0)
+	if !l.Allow("a") {
+		t.Fatal("a's first request refused")
+	}
+	if l.Allow("a") {
+		t.Fatal("a's second request allowed")
+	}
+	// b has its own bucket; a exhausting hers must not affect him.
+	if !l.Allow("b") {
+		t.Fatal("b's first request refused")
+	}
+}
+
+func TestLimiterBoundedClients(t *testing.T) {
+	l, clk := newTestLimiter(1, 5, 8)
+	for i := 0; i < 100; i++ {
+		l.Allow(fmt.Sprintf("client-%d", i))
+		clk.advance(time.Millisecond)
+	}
+	if got := l.Clients(); got > 8 {
+		t.Fatalf("tracked clients = %d, want <= 8", got)
+	}
+}
+
+func TestLimiterEvictionPrefersFullBuckets(t *testing.T) {
+	l, clk := newTestLimiter(1, 2, 2)
+	// "hot" is mid-refill (1 token spent); "idle" refills to full.
+	l.Allow("hot")
+	l.Allow("idle")
+	clk.advance(10 * time.Second) // idle's bucket is full again; hot's too, actually
+	l.Allow("hot")                // spend from hot so it is not full
+	// Table is at capacity: a new client must evict, and the full
+	// (decision-neutral) bucket must go first.
+	l.Allow("new")
+	l.mu.Lock()
+	_, hotAlive := l.clients["hot"]
+	l.mu.Unlock()
+	if !hotAlive {
+		t.Fatal("eviction dropped a mid-refill bucket while a full one existed")
+	}
+}

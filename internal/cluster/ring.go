@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the per-node hash-point count when NewRing is
+// given vnodes <= 0. 128 points per node keeps the worst-case owner
+// imbalance within a few percent for small clusters while the ring
+// build and binary search stay trivially cheap.
+const DefaultVirtualNodes = 128
+
+// Ring is an immutable consistent-hash ring over a static node list.
+// Every node contributes vnodes hash points (FNV-64 of "node#i"); a
+// key's owner is the node whose point is the first at or clockwise
+// after the key's own hash. Immutability is the concurrency story: the
+// daemon swaps in a freshly built Ring on membership change (an atomic
+// pointer swap at the caller), so Owner never takes a lock.
+type Ring struct {
+	nodes  []string // sorted, deduplicated
+	hashes []uint64 // sorted hash points
+	owners []string // owners[i] owns hashes[i]
+}
+
+// NewRing builds a ring over nodes with vnodes hash points per node
+// (<= 0 selects DefaultVirtualNodes). Node names are deduplicated;
+// at least one node is required. Two rings built from the same node
+// set — in any order — are identical, so every cluster member computes
+// the same ownership without coordination.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]struct{}, len(nodes))
+	uniq := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node name")
+		}
+		if _, dup := seen[n]; dup {
+			continue
+		}
+		seen[n] = struct{}{}
+		uniq = append(uniq, n)
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	sort.Strings(uniq)
+
+	type point struct {
+		hash uint64
+		node string
+	}
+	points := make([]point, 0, len(uniq)*vnodes)
+	for _, n := range uniq {
+		for i := 0; i < vnodes; i++ {
+			points = append(points, point{fnv64(n + "#" + strconv.Itoa(i)), n})
+		}
+	}
+	// Ties (two nodes hashing a point to the same value) are broken by
+	// node name so the ring is deterministic; FNV-64 collisions across
+	// ~1e3 points are vanishingly rare but must not be order-dependent.
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		return points[i].node < points[j].node
+	})
+	r := &Ring{
+		nodes:  uniq,
+		hashes: make([]uint64, len(points)),
+		owners: make([]string, len(points)),
+	}
+	for i, p := range points {
+		r.hashes[i] = p.hash
+		r.owners[i] = p.node
+	}
+	return r, nil
+}
+
+// Owner returns the node that owns key: the first hash point at or
+// clockwise after FNV-64(key), wrapping past the top of the hash space
+// back to the first point. Lock-free; a Ring never mutates.
+func (r *Ring) Owner(key string) string {
+	h := fnv64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.owners[i]
+}
+
+// Nodes returns the ring's membership, sorted. The slice is a copy.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// Has reports whether node is a ring member.
+func (r *Ring) Has(node string) bool {
+	i := sort.SearchStrings(r.nodes, node)
+	return i < len(r.nodes) && r.nodes[i] == node
+}
+
+// fnv64 is FNV-1a over the string bytes, finished with a Murmur3-style
+// avalanche mix. Raw FNV of short, similar strings ("n1#0", "n1#1",
+// ...) leaves the high bits badly distributed — hash points cluster
+// and the ring's balance collapses (one node owning half the keys in
+// a 4-node ring, measured) — and the finalizer scatters them. Keys and
+// ring points go through the same function, so ownership stays
+// consistent. Allocation-free (no []byte conversion): Owner sits on
+// the forwarded-ask hot path.
+func fnv64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

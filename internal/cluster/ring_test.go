@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing([]string{"n1", "n2", "n3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same membership, different order and with duplicates: identical
+	// ownership for every key.
+	b, err := NewRing([]string{"n3", "n1", "n2", "n1"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("ownership differs for %q: %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty node name accepted")
+	}
+}
+
+func TestRingSingleNodeOwnsEverything(t *testing.T) {
+	r, err := NewRing([]string{"solo"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.Owner(fmt.Sprintf("k%d", i)); got != "solo" {
+			t.Fatalf("Owner = %q, want solo", got)
+		}
+	}
+	if !r.Has("solo") || r.Has("other") || r.Size() != 1 {
+		t.Fatal("membership accessors wrong")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 20000
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("session-%d", i))]++
+	}
+	want := keys / len(nodes)
+	for _, n := range nodes {
+		got := counts[n]
+		// Virtual nodes should keep every node within 2x of the fair
+		// share — a loose bound, but one a broken ring (all keys on one
+		// node, or a node with zero arcs) fails decisively.
+		if got < want/2 || got > want*2 {
+			t.Fatalf("node %s owns %d of %d keys (fair share %d)", n, got, keys, want)
+		}
+	}
+}
+
+func TestRingMinimalMovement(t *testing.T) {
+	before, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"n1", "n2", "n3", "n4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 10000
+	moved, movedElsewhere := 0, 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob != oa {
+			moved++
+			if oa != "n4" {
+				movedElsewhere++
+			}
+		}
+	}
+	// Consistent hashing's defining property: adding a node moves about
+	// 1/N of the keys, and every moved key moves TO the new node — never
+	// between surviving nodes.
+	if movedElsewhere != 0 {
+		t.Fatalf("%d keys moved between surviving nodes", movedElsewhere)
+	}
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("moved %d of %d keys; want roughly 1/4", moved, keys)
+	}
+}

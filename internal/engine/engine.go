@@ -252,28 +252,30 @@ type Config struct {
 // Answer is the pipeline's product: the generated response plus the
 // provenance and stage timings it was produced with. It is what the
 // answer cache stores; front-ends consume the Response built from it.
+// The JSON tags are the checkpoint/handoff wire format (snapshot.go);
+// durations serialize as nanoseconds.
 type Answer struct {
 	// Text is the full response shown to the user.
-	Text string
+	Text string `json:"text"`
 	// Verdict is the canonical short answer (generator.Answer.Verdict).
-	Verdict string
+	Verdict string `json:"verdict,omitempty"`
 	// Category is the classified intent name ("miss_rate", ...).
-	Category string
+	Category string `json:"category,omitempty"`
 	// Quality grades the retrieved evidence ("Low"/"Medium"/"High").
-	Quality string
+	Quality string `json:"quality,omitempty"`
 	// Grounded reports whether the answer was derived from evidence.
-	Grounded bool
+	Grounded bool `json:"grounded,omitempty"`
 	// Context is the retrieved evidence bundle.
-	Context string
+	Context string `json:"context,omitempty"`
 	// Queries is the per-query execution trace (one line per retrieval
 	// query: target and outcome).
-	Queries []string
+	Queries []string `json:"queries,omitempty"`
 	// Retrieval is the wall-clock retrieval time of the original
 	// (uncached) retrieval.
-	Retrieval time.Duration
+	Retrieval time.Duration `json:"retrieval_ns,omitempty"`
 	// Generation is the wall-clock generation time of the original
 	// computation.
-	Generation time.Duration
+	Generation time.Duration `json:"generation_ns,omitempty"`
 }
 
 // Turn is one question/answer exchange within a session. The JSON tags

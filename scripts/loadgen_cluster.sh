@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# loadgen_cluster.sh — the cluster CI gate: boots a 3-node cachemindd
+# cluster (consistent-hash ring, durable checkpoints) and proves the
+# three cluster contracts end to end:
+#
+#   1. Byte identity: the same fixed-seed loadgen plan against the
+#      3-node cluster produces the same answer_digest as against a
+#      single node — routing, forwarding, and handoff never change
+#      answer bytes.
+#   2. Node-kill survival: a loadgen run across all three targets
+#      completes with zero question errors while one node is kill -9'd
+#      mid-run — the client fails over (targets block shows the retries)
+#      and the surviving nodes serve forwarding fallbacks locally.
+#   3. Checkpoint recovery: the killed node restarts over its
+#      checkpoint dir and serves its sessions' views byte-identically
+#      to the pre-kill capture.
+#
+# Artifacts: BENCH_loadgen_cluster.json (phase 1, uploaded by CI) and
+# BENCH_loadgen_cluster_kill.json (phase 2).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+N=${CLUSTER_N:-4000}
+C=${CLUSTER_C:-8}
+ACCESSES=${CLUSTER_ACCESSES:-4000}
+SEED=42
+HOST=127.0.0.1
+PORTS=(18081 18082 18083)
+PEERS="$HOST:18081,$HOST:18082,$HOST:18083"
+
+WORKDIR=$(mktemp -d)
+cleanup() {
+  # shellcheck disable=SC2046
+  kill $(jobs -p) 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "== build"
+$GO build -o "$WORKDIR/cachemindd" ./cmd/cachemindd
+$GO build -o "$WORKDIR/loadgen" ./cmd/loadgen
+
+wait_ready() { # addr
+  for _ in $(seq 1 240); do
+    if curl -fsS "http://$1/readyz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.5
+  done
+  echo "node $1 never became ready" >&2
+  return 1
+}
+
+start_node() { # port
+  "$WORKDIR/cachemindd" -accesses "$ACCESSES" -addr "$HOST:$1" \
+    -peers "$PEERS" -node-id "$HOST:$1" \
+    -checkpoint-dir "$WORKDIR/ckpt-$1" -checkpoint-interval 2s \
+    >"$WORKDIR/node-$1.log" 2>&1 &
+  eval "NODE_$1_PID=$!"
+}
+
+digest_of() { # report.json
+  sed -n 's/.*"answer_digest": "\([0-9a-f]*\)".*/\1/p' "$1" | head -1
+}
+
+echo "== phase 0: single-node reference run"
+"$WORKDIR/cachemindd" -accesses "$ACCESSES" -addr "$HOST:18080" \
+  >"$WORKDIR/node-18080.log" 2>&1 &
+REF_PID=$!
+wait_ready "$HOST:18080"
+"$WORKDIR/loadgen" -url "http://$HOST:18080" -n "$N" -c "$C" -seed "$SEED" \
+  -repeat 0.5 -accesses "$ACCESSES" -strict -out "$WORKDIR/ref.json"
+kill "$REF_PID" && wait "$REF_PID" 2>/dev/null || true
+
+echo "== boot 3-node cluster"
+for p in "${PORTS[@]}"; do start_node "$p"; done
+for p in "${PORTS[@]}"; do wait_ready "$HOST:$p"; done
+curl -fsS "http://$HOST:18081/v1/cluster/members" | grep -q '"nodes"'
+
+echo "== phase 1: 3-node run must match the 1-node digest"
+"$WORKDIR/loadgen" \
+  -url "http://$HOST:18081,http://$HOST:18082,http://$HOST:18083" \
+  -n "$N" -c "$C" -seed "$SEED" -repeat 0.5 -accesses "$ACCESSES" \
+  -strict -out BENCH_loadgen_cluster.json
+REF_DIGEST=$(digest_of "$WORKDIR/ref.json")
+CLUSTER_DIGEST=$(digest_of BENCH_loadgen_cluster.json)
+if [ -z "$REF_DIGEST" ] || [ "$REF_DIGEST" != "$CLUSTER_DIGEST" ]; then
+  echo "answer digest diverges: 1-node $REF_DIGEST vs 3-node $CLUSTER_DIGEST" >&2
+  exit 1
+fi
+echo "digest match: $CLUSTER_DIGEST"
+
+echo "== seed sessions for the recovery check"
+for i in $(seq 0 11); do
+  curl -fsS -X POST "http://$HOST:18081/v1/ask" \
+    -d "{\"session\":\"ck-$i\",\"question\":\"List all unique PCs in mcf under LRU.\"}" >/dev/null
+done
+# Two checkpoint intervals so every owner has persisted the sessions.
+sleep 5
+for i in $(seq 0 11); do
+  curl -fsS "http://$HOST:18081/v1/sessions/ck-$i" >"$WORKDIR/pre-$i.json"
+done
+
+echo "== phase 2: kill a node mid-run, the run must still complete"
+KILL_PORT=18083
+"$WORKDIR/loadgen" \
+  -url "http://$HOST:18081,http://$HOST:18082,http://$HOST:$KILL_PORT" \
+  -duration 8s -c "$C" -seed "$SEED" -repeat 0.5 -accesses "$ACCESSES" \
+  -out BENCH_loadgen_cluster_kill.json &
+LOADGEN_PID=$!
+sleep 2
+eval "kill -9 \$NODE_${KILL_PORT}_PID"
+wait "$LOADGEN_PID"
+# Top-level errors (2-space indent; the targets rows are deeper) must be
+# zero: every request to the dead node failed over to a survivor.
+grep -q '^  "errors": 0,' BENCH_loadgen_cluster_kill.json
+# ...and the failover actually happened: some target reports retries.
+grep -q '"retried": [1-9]' BENCH_loadgen_cluster_kill.json
+echo "kill survived: zero question errors, failover retries recorded"
+
+echo "== phase 3: restart the killed node, sessions recover from checkpoint"
+start_node "$KILL_PORT"
+wait_ready "$HOST:$KILL_PORT"
+grep -q "restored checkpoint" "$WORKDIR/node-$KILL_PORT.log"
+# Let the survivors' circuit breakers for the dead node cool down and
+# re-close (default cooldown 5s), so session reads relay again instead
+# of falling back to the local not-found view.
+sleep 6
+for i in $(seq 0 11); do
+  curl -fsS "http://$HOST:18081/v1/sessions/ck-$i" >"$WORKDIR/post-$i.json"
+  if ! cmp -s "$WORKDIR/pre-$i.json" "$WORKDIR/post-$i.json"; then
+    echo "session ck-$i diverged after restart:" >&2
+    diff "$WORKDIR/pre-$i.json" "$WORKDIR/post-$i.json" >&2 || true
+    exit 1
+  fi
+done
+echo "all 12 session views byte-identical across the kill/restart"
+
+echo "== cluster gate passed"
