@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz fmt vet loadgen loadgen-sweep loadgen-prefetch loadgen-cluster profile ci
+.PHONY: all build test race bench fuzz fmt vet lint lint-smoke staticcheck govulncheck loadgen loadgen-sweep loadgen-prefetch loadgen-cluster profile ci
 
 all: build
 
@@ -34,6 +34,40 @@ fmt:
 vet:
 	$(GO) vet ./...
 	$(GO) vet -tags race ./...
+
+# lint builds cachemindlint (internal/lint: six invariant-enforcing
+# analysis passes — noalloc, determinism, ctxflow, lockscope,
+# seamlockstep, wirecodes; see ARCHITECTURE.md "Enforced invariants")
+# and runs it through go vet's -vettool protocol over every package,
+# twice for vet/race parity exactly like the stock `vet` target.
+lint:
+	$(GO) build -o bin/cachemindlint ./cmd/cachemindlint
+	$(GO) vet -vettool=bin/cachemindlint ./...
+	$(GO) vet -vettool=bin/cachemindlint -tags race ./...
+
+# lint-smoke proves the CI wiring can fail: it runs the vettool against
+# a known-bad scratch module and asserts the nonzero exit. A silently
+# pass-through -vettool (wrong path, protocol drift) fails here, not in
+# production.
+lint-smoke:
+	bash scripts/lint_smoke.sh
+
+# staticcheck/govulncheck run when the binaries are installed (CI
+# installs pinned versions; the hermetic local container has no module
+# network, so absence skips with a notice rather than failing the run).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI installs it pinned)"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI installs it pinned)"; \
+	fi
 
 # Short coverage-guided fuzz of the semantic parser (the surface
 # cachemindd exposes to untrusted HTTP input). FUZZTIME is overridable
@@ -130,4 +164,4 @@ profile:
 		-accesses 4000 -request-timeout $(LOADGEN_TIMEOUT) \
 		-cpuprofile cpu.pprof -memprofile mem.pprof -out BENCH_loadgen_profile.json
 
-ci: build fmt vet race bench fuzz loadgen loadgen-sweep loadgen-prefetch loadgen-cluster
+ci: build fmt vet lint lint-smoke race bench fuzz loadgen loadgen-sweep loadgen-prefetch loadgen-cluster

@@ -147,7 +147,13 @@ type handoffResponse struct {
 // remove-arbitrary-key operation, so the stale copies simply age out
 // under the policy; they hold answers that remain byte-correct
 // forever (pure functions of the question), so decay is safe.
-func (c *clusterState) setMembers(nodes []string) (membersResponse, error) {
+//
+// ctx is the admin request's context: an operator abandoning the
+// membership PUT cancels the outbound handoff streams too (the ring
+// swap has already happened and is never rolled back — a later PUT or
+// forwarded ask converges the stragglers, exactly as a failed peer
+// confirmation does).
+func (c *clusterState) setMembers(ctx context.Context, nodes []string) (membersResponse, error) {
 	c.handoffMu.Lock()
 	defer c.handoffMu.Unlock()
 	ring, err := cluster.NewRing(nodes, 0)
@@ -193,7 +199,7 @@ func (c *clusterState) setMembers(nodes []string) (membersResponse, error) {
 		if merr != nil {
 			continue
 		}
-		status, _, _, perr := c.fwd.Post(context.Background(), peer, "/v1/cluster/handoff", "application/json", body)
+		status, _, _, perr := c.fwd.Post(ctx, peer, "/v1/cluster/handoff", "application/json", body)
 		if perr != nil || status != http.StatusOK {
 			// The peer did not confirm: keep the sessions — a later
 			// membership change or forwarded ask will converge. Answers
@@ -241,7 +247,7 @@ func (s *server) handleClusterMembersPut(w http.ResponseWriter, r *http.Request)
 		s.fail(w, engine.Errf(engine.CodeInvalidRequest, "malformed request body: %v", err))
 		return
 	}
-	resp, err := s.cl.setMembers(req.Nodes)
+	resp, err := s.cl.setMembers(r.Context(), req.Nodes)
 	if err != nil {
 		s.fail(w, engine.Errf(engine.CodeInvalidRequest, "membership rejected: %v", err))
 		return

@@ -32,6 +32,7 @@ const encodeBufCap = 64 << 10
 
 var encodeBufPool = sync.Pool{New: func() any { return new(encodeBuf) }}
 
+//cachemind:noalloc
 func putEncodeBuf(eb *encodeBuf) {
 	if cap(eb.b) <= encodeBufCap {
 		encodeBufPool.Put(eb)
@@ -45,6 +46,8 @@ const hexDigits = "0123456789abcdef"
 // backslashes and control bytes are escaped (short forms where JSON has
 // them), invalid UTF-8 becomes the literal \ufffd escape, and U+2028/U+2029 are escaped
 // for JSONP safety exactly as the stdlib does.
+//
+//cachemind:noalloc
 func appendJSONString(b []byte, s string) []byte {
 	b = append(b, '"')
 	start := 0
@@ -101,6 +104,8 @@ func appendJSONString(b []byte, s string) []byte {
 // number-to-string: %f inside [1e-6, 1e21), %e outside, with the
 // exponent's leading zero stripped). ok is false for the non-finite
 // values encoding/json refuses to encode.
+//
+//cachemind:noalloc
 func appendJSONFloat(b []byte, f float64) (_ []byte, ok bool) {
 	if math.IsInf(f, 0) || math.IsNaN(f) {
 		return b, false
@@ -126,6 +131,8 @@ func appendJSONFloat(b []byte, f float64) (_ []byte, ok bool) {
 // under encoding/json; ok is false when a value only writeJSON can
 // handle (non-finite timing) was hit, and the partial output must be
 // discarded.
+//
+//cachemind:noalloc
 func appendAskResponse(b []byte, r *askResponse) (_ []byte, ok bool) {
 	b = append(b, `{"session":`...)
 	b = appendJSONString(b, r.Session)

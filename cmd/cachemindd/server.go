@@ -216,7 +216,11 @@ func statusForCode(c engine.Code) int {
 		return http.StatusGatewayTimeout // 504
 	case engine.CodeOverloaded:
 		return http.StatusServiceUnavailable // 503
+	case engine.CodeInternal:
+		return http.StatusInternalServerError // 500
 	default:
+		// Unknown codes (none exist today; the wirecodes lint forces an
+		// explicit case above for every declared constant) degrade to 500.
 		return http.StatusInternalServerError // 500
 	}
 }
@@ -497,12 +501,15 @@ func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 // buffer and written in one call, byte-identical to writeJSON's output.
 // The rare value only encoding/json can decide on (a non-finite float)
 // falls back to writeJSON so both paths behave identically.
+//
+//cachemind:noalloc
 func writeAsk(w http.ResponseWriter, resp askResponse) {
 	eb := encodeBufPool.Get().(*encodeBuf)
 	b, ok := appendAskResponse(eb.b[:0], &resp)
 	eb.b = b
 	if !ok {
 		putEncodeBuf(eb)
+		//cachemind:allow-alloc non-finite-float fallback: off the fast path by construction
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}

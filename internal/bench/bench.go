@@ -4,6 +4,8 @@
 // Architectural Reasoning and Analysis (ARA) questions scored on a 0-5
 // rubric. Every question's ground truth is computed directly from the
 // store, independent of the retrieval pipeline under evaluation.
+//
+//cachemind:deterministic
 package bench
 
 import (

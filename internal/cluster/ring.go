@@ -1,3 +1,8 @@
+// The ring in this file is pure arithmetic over the member list —
+// every node must compute identical ownership for identical
+// membership, or forwarding loops.
+//
+//cachemind:deterministic file
 package cluster
 
 import (

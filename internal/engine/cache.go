@@ -33,6 +33,8 @@ import (
 // answers are pure functions of the cache key (see the package
 // comment), so no policy choice can change a single answer byte, only
 // hit/miss totals.
+//
+//cachemind:seam-hook
 type evictionPolicy interface {
 	Name() string
 	OnHit(key string)
@@ -45,6 +47,8 @@ type evictionPolicy interface {
 // the Config.CachePolicy default, kept native (rather than routed
 // through the simulator adapter) so the default ask path carries no
 // extra per-access state.
+//
+//cachemind:evictionpolicy
 type lruList struct {
 	ll *list.List // front = most recently used
 	at map[string]*list.Element
@@ -65,6 +69,8 @@ func (p *lruList) OnHit(key string) {
 // OnHitBytes is OnHit for a key still in its pooled scratch bytes —
 // the map probe compiles to a zero-copy lookup, so the default
 // policy's hit path allocates nothing (see bytesHitter).
+//
+//cachemind:noalloc
 func (p *lruList) OnHitBytes(key []byte) {
 	if el, ok := p.at[string(key)]; ok {
 		p.ll.MoveToFront(el)
@@ -106,6 +112,16 @@ func (p *lruList) Victim(string) (string, bool) {
 	return key, false
 }
 
+// VictimForPrefetch evicts for a speculative fill exactly as for a
+// demand fill: the LRU tail is the probationary segment's oldest entry
+// either way, and the probation itself is OnInsertPrefetch's midpoint
+// insertion — the victim side needs no extra caution. (The lockstep
+// lint requires every hook explicitly; behavior is identical to the
+// previous implicit Victim fallback.)
+func (p *lruList) VictimForPrefetch(incoming string) (string, bool) {
+	return p.Victim(incoming)
+}
+
 // answerCache is one shard of the bounded answer cache: a capacity-
 // bounded key→Answer map whose residency is ordered by an
 // evictionPolicy. Keys are the full (retriever, model, question)
@@ -135,6 +151,8 @@ func (p *lruList) Victim(string) (string, bool) {
 // without forcing the caller to materialize a heap string. The native
 // LRU implements it; adapter-backed policies fall back to OnHit with a
 // converted key (one allocation per hit, off the default path).
+//
+//cachemind:seam-hook
 type bytesHitter interface {
 	OnHitBytes(key []byte)
 }
@@ -147,6 +165,8 @@ type bytesHitter interface {
 // by inserting at the recency list's midpoint (segmented-LRU
 // probation); internal/policy's adapter implements it by setting
 // sim.AccessInfo.Prefetch on the fill.
+//
+//cachemind:seam-hook
 type prefetchInserter interface {
 	OnInsertPrefetch(key string)
 }
@@ -155,6 +175,8 @@ type prefetchInserter interface {
 // victim choice for a prefetch fill, so bypass-capable policies can
 // refuse speculative insertions more aggressively than demand ones.
 // Falls back to plain Victim.
+//
+//cachemind:seam-hook
 type prefetchVictimer interface {
 	VictimForPrefetch(incoming string) (victim string, bypass bool)
 }
@@ -213,6 +235,8 @@ func newAnswerCache(capacity int, pol evictionPolicy, semantic bool) *answerCach
 // a bytesHitter policy (the default LRU) observes the hit without a
 // string materialization, so an exact hit allocates nothing. It does
 // not count hits or misses — see the answerCache comment.
+//
+//cachemind:noalloc
 func (c *answerCache) touch(key []byte) (Answer, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -227,6 +251,7 @@ func (c *answerCache) touch(key []byte) (Answer, bool) {
 		// per prefetched entry ever, so the steady-state hit path stays
 		// allocation-free.
 		if _, pf := c.prefetched[string(key)]; pf {
+			//cachemind:allow-alloc at most once per prefetched entry ever (see comment above)
 			delete(c.prefetched, string(key))
 			c.covered.Add(1)
 		}
@@ -234,6 +259,7 @@ func (c *answerCache) touch(key []byte) (Answer, bool) {
 	if c.polBytes != nil {
 		c.polBytes.OnHitBytes(key)
 	} else {
+		//cachemind:allow-alloc non-bytesHitter policies are off the default path
 		c.pol.OnHit(string(key))
 	}
 	return ans, true

@@ -524,6 +524,8 @@ const scratchCap = 64 << 10
 var scratchPool = sync.Pool{New: func() any { return new(askScratch) }}
 
 // putScratch returns sc to the pool, dropping oversized buffers.
+//
+//cachemind:noalloc
 func putScratch(sc *askScratch) {
 	if cap(sc.key) <= scratchCap {
 		scratchPool.Put(sc)
@@ -533,6 +535,8 @@ func putScratch(sc *askScratch) {
 // cacheKey renders the (retriever, model, question) cache triple into
 // sc.key — the same bytes Engine.keyPrefix+question would concatenate,
 // without the per-ask string allocation.
+//
+//cachemind:noalloc
 func (e *Engine) cacheKey(sc *askScratch, question string) []byte {
 	sc.key = append(append(sc.key[:0], e.keyPrefix...), question...)
 	return sc.key
@@ -550,6 +554,7 @@ func (e *Engine) cacheKey(sc *askScratch, question string) []byte {
 func (e *Engine) Ask(ctx context.Context, req Request) (Response, error) {
 	start := time.Now()
 	if ctx == nil {
+		//cachemind:allow-ctx nil-ctx compatibility fallback for library callers, not a detach
 		ctx = context.Background()
 	}
 	question := strings.TrimSpace(req.Question)
@@ -638,6 +643,11 @@ func (e *Engine) Ask(ctx context.Context, req Request) (Response, error) {
 // allocates nothing; every miss path materializes the heap string once
 // — the flight table, the cache insert and the eviction policy all
 // retain it — and returns the scratch before any slow work runs.
+// (Every miss-path allocation below carries an allow-alloc waiver
+// naming its retention reason; the waiver set IS the allocation
+// budget.)
+//
+//cachemind:noalloc
 func (e *Engine) cachedAsk(ctx context.Context, shard int, keyHash uint32, sc *askScratch, question string, opts Options) (Answer, CacheTier, float64, error) {
 	// The key's hash picks the cache shard and, independently, the
 	// flight shard (the two tables may run at different shard counts —
@@ -656,6 +666,7 @@ func (e *Engine) cachedAsk(ctx context.Context, shard int, keyHash uint32, sc *a
 	// entry, policy state), so materialize it as a string once and
 	// release the scratch — copying here keeps the pooled bytes from
 	// ever being aliased past this ask.
+	//cachemind:allow-alloc once per exact miss; flight map, cache entry and policy retain the key
 	key := string(sc.key)
 	putScratch(sc)
 	flight := e.flights[shardIndexHash(keyHash, len(e.flights))]
@@ -668,6 +679,7 @@ func (e *Engine) cachedAsk(ctx context.Context, shard int, keyHash uint32, sc *a
 	var qvec *embed.Vector
 	if e.semThreshold > 0 {
 		v := embed.Embed(question)
+		//cachemind:allow-alloc once per exact miss; the vector outlives the ask on publish
 		qvec = &v
 		min := e.semThreshold
 		if opts.MinSimilarity > 0 {
@@ -720,6 +732,7 @@ func (e *Engine) cachedAsk(ctx context.Context, shard int, keyHash uint32, sc *a
 			}
 			continue
 		}
+		//cachemind:allow-alloc once per cold leader; followers share this call record
 		c := &inflightCall{done: make(chan struct{})}
 		flight.inflight[key] = c
 		flight.mu.Unlock()

@@ -7,6 +7,8 @@
 // Buckets are geometric from 1µs with ~9% growth (2^(1/8)), which caps
 // the interpolation error of any quantile at about half a bucket width
 // — tighter than the run-to-run noise of the latencies being measured.
+//
+//cachemind:deterministic
 package histogram
 
 import (

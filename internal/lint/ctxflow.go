@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlowAnalyzer enforces the PR-4 context contract: cancellation
+// flows from the HTTP handler through every stage of the ask path.
+// A function that receives a context.Context parameter is a conduit —
+// minting a fresh root with context.Background() or context.TODO()
+// inside it severs the caller's deadline and cancellation, which is
+// exactly the bug class the request-timeout and shedding machinery
+// exists to prevent.
+//
+// The rule is deliberately narrow: functions WITHOUT a ctx parameter
+// (main, tests, background daemons that own their lifecycle) may mint
+// roots freely. Documented detach points inside conduit functions —
+// e.g. the engine's nil-ctx compatibility fallback — carry a
+// //cachemind:allow-ctx <reason> waiver on or above the line.
+var CtxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag context.Background()/TODO() inside functions that already receive a context.Context",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !funcHasCtxParam(pass.Info, fd) {
+				continue
+			}
+			checkCtxFlowFunc(pass, f, fd)
+		}
+	}
+	return nil
+}
+
+// funcHasCtxParam reports whether the declaration takes a
+// context.Context (directly; an embedded *http.Request also counts,
+// since r.Context() is available to thread).
+func funcHasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if isContextType(tv.Type) || isHTTPRequestPtr(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func isHTTPRequestPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request"
+}
+
+func checkCtxFlowFunc(pass *Pass, f *ast.File, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		// Closures own their own lifecycle decisions only if they are
+		// goroutine bodies; for simplicity (and because every current
+		// detach point is documented with a waiver) we still scan them —
+		// a deliberate detach inside a spawned worker gets a waiver
+		// comment, which doubles as documentation.
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := calleePkgFunc(pass.Info, call)
+		if !ok || pkg != "context" || (name != "Background" && name != "TODO") {
+			return true
+		}
+		if pass.waived(f, call.Pos(), dirAllowCtx) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "context.%s() inside %s, which already receives a context: thread the caller's ctx (or waive a documented detach with //cachemind:allow-ctx)", name, funcDisplayName(fd))
+		return true
+	})
+}

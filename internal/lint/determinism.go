@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterminismAnalyzer enforces byte-identical determinism in packages
+// that declare it: the bench/policy/predict/sim layers must produce
+// the same output for the same seed regardless of wall clock, host,
+// or map iteration order, because the CI perf gate and the policy
+// sweep diff their outputs byte-for-byte across runs and parallelism
+// settings.
+//
+// Scope is opt-in via directive:
+//
+//	//cachemind:deterministic        on the package clause: whole package
+//	//cachemind:deterministic file   on the package clause: this file only
+//
+// Inside the scope the analyzer flags:
+//
+//   - time.Now, time.Since, time.Until — wall-clock reads;
+//   - math/rand top-level functions (rand.Intn, rand.Float64, ...) —
+//     they draw from the unseeded global source. Seeded generators
+//     (rand.New(rand.NewSource(seed))) are the sanctioned idiom and
+//     their method calls are not flagged;
+//   - ranging over a map while appending to a slice or printing
+//     directly, unless the function also contains a sort.* call after
+//     the loop (the "sort barrier" idiom) — map order would otherwise
+//     leak into ordered output.
+//
+// Sanctioned exceptions (e.g. a timing measurement that feeds a log
+// line, not output bytes) carry //cachemind:allow-nondet <reason> on
+// or above the offending line.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag wall-clock, unseeded-rand, and unsorted-map-order sources in //cachemind:deterministic scopes",
+	Run:  runDeterminism,
+}
+
+// seededRandCtors are math/rand entry points that construct explicitly
+// seeded generators rather than drawing from the global source.
+var seededRandCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func runDeterminism(pass *Pass) error {
+	pkgWide, markedFiles := deterministicScope(pass)
+	for _, f := range pass.Files {
+		if !pkgWide && !markedFiles[f] {
+			continue
+		}
+		checkDeterminismFile(pass, f)
+	}
+	return nil
+}
+
+// deterministicScope reads the //cachemind:deterministic directives:
+// a bare directive on any package clause marks the whole package; the
+// "file" argument marks only that file.
+func deterministicScope(pass *Pass) (pkgWide bool, files map[*ast.File]bool) {
+	files = map[*ast.File]bool{}
+	for _, f := range pass.Files {
+		if f.Doc == nil {
+			continue
+		}
+		for _, c := range f.Doc.List {
+			verb, args, ok := parseDirective(c)
+			if !ok || verb != dirDeterministic {
+				continue
+			}
+			if args == "file" {
+				files[f] = true
+			} else {
+				pkgWide = true
+			}
+		}
+	}
+	return pkgWide, files
+}
+
+func checkDeterminismFile(pass *Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		checkDeterminismFunc(pass, f, fd)
+	}
+}
+
+func checkDeterminismFunc(pass *Pass, f *ast.File, fd *ast.FuncDecl) {
+	// Pass 1: banned calls, and collect map-range loops + sort-barrier
+	// positions.
+	type mapRange struct {
+		stmt    *ast.RangeStmt
+		ordered bool // loop body appends to a slice or prints
+	}
+	var ranges []*mapRange
+	var sortCallEnds []int // file offsets of sort.* call ends
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if pkg, name, ok := calleePkgFunc(pass.Info, node); ok {
+				switch {
+				case pkg == "time" && (name == "Now" || name == "Since" || name == "Until"):
+					if !pass.waived(f, node.Pos(), dirAllowNonDet) {
+						pass.Reportf(node.Pos(), "time.%s in deterministic scope (function %s): wall clock leaks into output", name, funcDisplayName(fd))
+					}
+				case pkg == "math/rand" || pkg == "math/rand/v2":
+					// Top-level package functions draw from the global
+					// source; methods on a seeded *rand.Rand resolve to
+					// the same package path but have a receiver — filter
+					// by checking the call is package-qualified. The
+					// constructors (rand.New, rand.NewSource, ...) ARE
+					// the sanctioned seeded idiom and are exempt.
+					if isPackageQualifiedCall(pass.Info, node) && !seededRandCtors[name] {
+						if !pass.waived(f, node.Pos(), dirAllowNonDet) {
+							pass.Reportf(node.Pos(), "%s.%s in deterministic scope (function %s): unseeded global source; use rand.New(rand.NewSource(seed))", pkg, name, funcDisplayName(fd))
+						}
+					}
+				case pkg == "sort" || (pkg == "slices" && (name == "Sort" || name == "SortFunc" || name == "SortStableFunc")):
+					sortCallEnds = append(sortCallEnds, pass.Fset.Position(node.End()).Offset)
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[node.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					mr := &mapRange{stmt: node}
+					mr.ordered = mapRangeOrdersOutput(pass, node)
+					ranges = append(ranges, mr)
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: a map-range that feeds ordered output needs a sort
+	// barrier after the loop (within the same function).
+	for _, mr := range ranges {
+		if !mr.ordered {
+			continue
+		}
+		if pass.waived(f, mr.stmt.Pos(), dirAllowNonDet) {
+			continue
+		}
+		loopEnd := pass.Fset.Position(mr.stmt.End()).Offset
+		barriered := false
+		for _, end := range sortCallEnds {
+			if end > loopEnd {
+				barriered = true
+				break
+			}
+		}
+		if !barriered {
+			pass.Reportf(mr.stmt.Pos(), "map iteration feeds ordered output without a sort barrier in deterministic scope (function %s)", funcDisplayName(fd))
+		}
+	}
+}
+
+// isPackageQualifiedCall reports whether call.Fun is pkg.Name — an
+// identifier selector whose base resolves to a package, not a value.
+func isPackageQualifiedCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isPkg := info.Uses[id].(*types.PkgName)
+	return isPkg
+}
+
+// mapRangeOrdersOutput reports whether the loop body turns iteration
+// order into observable order: appending to a slice, or printing
+// through fmt/io writers.
+func mapRangeOrdersOutput(pass *Pass, loop *ast.RangeStmt) bool {
+	ordered := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+				ordered = true
+				return false
+			}
+		}
+		if pkg, name, ok := calleePkgFunc(pass.Info, call); ok {
+			if pkg == "fmt" && (name == "Fprintf" || name == "Fprintln" || name == "Fprint" || name == "Printf" || name == "Println" || name == "Print") {
+				ordered = true
+				return false
+			}
+		}
+		return true
+	})
+	return ordered
+}

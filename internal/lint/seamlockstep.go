@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SeamLockstepAnalyzer enforces the eviction-policy seam contract
+// from PRs 5–8: the engine talks to replacement policies through
+// evictionPolicy plus the optional extension interfaces (bytesHitter,
+// prefetchInserter, prefetchVictimer), and silently falls back when an
+// extension is missing. Fallback is correct but costly — an adapter
+// that forgets OnHitBytes re-allocates the key string on every cached
+// hit; a policy that forgets VictimForPrefetch treats speculative
+// fills as demand fills and poisons its own telemetry. Worse, the
+// fallbacks mean the compiler never complains.
+//
+// The analyzer closes the gap: a type annotated
+// //cachemind:evictionpolicy must implement the FULL hook set — every
+// method below, with the exact signature — so adding a hook to the
+// seam (and to this table) breaks the build for every policy that
+// ignores it:
+//
+//	Name() string
+//	OnHit(string)            OnHitBytes([]byte)
+//	OnInsert(string)         OnInsertPrefetch(string)
+//	Victim(string) (string, bool)
+//	VictimForPrefetch(string) (string, bool)
+//
+// To keep the table itself honest, the seam's interface declarations
+// carry //cachemind:seam-hook: every method of an annotated interface
+// must appear in the table with a matching signature, so a hook added
+// to the seam without updating this analyzer is flagged at the seam.
+var SeamLockstepAnalyzer = &Analyzer{
+	Name: "seamlockstep",
+	Doc:  "require //cachemind:evictionpolicy types to implement the full eviction-hook set",
+	Run:  runSeamLockstep,
+}
+
+// seamHooks is the full hook set, name -> signature (receiver-less,
+// rendered by sigString).
+var seamHooks = map[string]string{
+	"Name":              "func() string",
+	"OnHit":             "func(string)",
+	"OnHitBytes":        "func([]byte)",
+	"OnInsert":          "func(string)",
+	"OnInsertPrefetch":  "func(string)",
+	"Victim":            "func(string) (string, bool)",
+	"VictimForPrefetch": "func(string) (string, bool)",
+}
+
+func runSeamLockstep(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				annotated := func(verb string) bool {
+					return hasDirective(gd.Doc, verb) || hasDirective(ts.Doc, verb) || hasDirective(ts.Comment, verb)
+				}
+				if annotated(dirPolicyImpl) {
+					checkPolicyImpl(pass, ts)
+				}
+				if annotated(dirSeamHook) {
+					checkSeamHookInterface(pass, ts)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkPolicyImpl verifies the pointer method set of an annotated type
+// covers every seam hook.
+func checkPolicyImpl(pass *Pass, ts *ast.TypeSpec) {
+	obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	mset := types.NewMethodSet(types.NewPointer(obj.Type()))
+	have := map[string]*types.Func{}
+	for i := 0; i < mset.Len(); i++ {
+		if fn, ok := mset.At(i).Obj().(*types.Func); ok {
+			have[fn.Name()] = fn
+		}
+	}
+	for _, name := range seamHookNames() {
+		want := seamHooks[name]
+		fn, ok := have[name]
+		if !ok {
+			pass.Reportf(ts.Pos(), "//cachemind:evictionpolicy type %s is missing seam hook %s%s", ts.Name.Name, name, strings.TrimPrefix(want, "func"))
+			continue
+		}
+		if got := sigString(fn.Type().(*types.Signature)); got != want {
+			pass.Reportf(ts.Pos(), "//cachemind:evictionpolicy type %s: hook %s has signature %s, want %s", ts.Name.Name, name, got, want)
+		}
+	}
+}
+
+// checkSeamHookInterface verifies every method of an annotated seam
+// interface is present in seamHooks with a matching signature — the
+// staleness guard for the analyzer's own table.
+func checkSeamHookInterface(pass *Pass, ts *ast.TypeSpec) {
+	obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	iface, ok := obj.Type().Underlying().(*types.Interface)
+	if !ok {
+		pass.Reportf(ts.Pos(), "//cachemind:seam-hook on non-interface type %s", ts.Name.Name)
+		return
+	}
+	for i := 0; i < iface.NumMethods(); i++ {
+		m := iface.Method(i)
+		want, ok := seamHooks[m.Name()]
+		if !ok {
+			pass.Reportf(ts.Pos(), "seam interface %s declares hook %s, which is missing from cachemindlint's seamlockstep table — add it there and to every //cachemind:evictionpolicy type", ts.Name.Name, m.Name())
+			continue
+		}
+		if got := sigString(m.Type().(*types.Signature)); got != want {
+			pass.Reportf(ts.Pos(), "seam interface %s: hook %s has signature %s but the seamlockstep table says %s — reconcile them", ts.Name.Name, m.Name(), got, want)
+		}
+	}
+}
+
+// seamHookNames returns the table's keys in stable order.
+func seamHookNames() []string {
+	names := make([]string, 0, len(seamHooks))
+	for _, n := range []string{"Name", "OnHit", "OnHitBytes", "OnInsert", "OnInsertPrefetch", "Victim", "VictimForPrefetch"} {
+		if _, ok := seamHooks[n]; ok {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// sigString renders a method signature without receiver or parameter
+// names: "func(string) (string, bool)".
+func sigString(sig *types.Signature) string {
+	var b strings.Builder
+	b.WriteString("func(")
+	for i := 0; i < sig.Params().Len(); i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(types.TypeString(sig.Params().At(i).Type(), nil))
+	}
+	b.WriteString(")")
+	switch sig.Results().Len() {
+	case 0:
+	case 1:
+		b.WriteString(" ")
+		b.WriteString(types.TypeString(sig.Results().At(0).Type(), nil))
+	default:
+		b.WriteString(" (")
+		for i := 0; i < sig.Results().Len(); i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(types.TypeString(sig.Results().At(i).Type(), nil))
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}

@@ -1,0 +1,41 @@
+// Package ctxflow is the cachemindlint ctxflow fixture.
+package ctxflow
+
+import "context"
+
+func callee(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// goodThreading passes its ctx straight through.
+func goodThreading(ctx context.Context) error {
+	return callee(ctx)
+}
+
+// goodDerive builds a child — deriving keeps cancellation connected.
+func goodDerive(ctx context.Context) error {
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return callee(child)
+}
+
+// goodRoot has no ctx parameter: it owns its lifecycle and may mint a
+// root.
+func goodRoot() error {
+	return callee(context.Background())
+}
+
+// waivedDetach documents a sanctioned detach (a background fill whose
+// lifetime outlives the request).
+func waivedDetach(ctx context.Context) error {
+	//cachemind:allow-ctx speculative fill outlives the triggering request by design
+	return callee(context.Background())
+}
+
+func badBackground(ctx context.Context) error {
+	return callee(context.Background()) // want `context\.Background\(\) inside badBackground`
+}
+
+func badTODO(ctx context.Context) error {
+	return callee(context.TODO()) // want `context\.TODO\(\) inside badTODO`
+}

@@ -1,0 +1,72 @@
+// Package determinism is the cachemindlint determinism fixture.
+//
+//cachemind:deterministic
+package determinism
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// goodSeeded is the sanctioned randomness idiom: an explicit seed, so
+// methods on the generator are reproducible.
+func goodSeeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// goodSortedRange is the sanctioned map-output idiom: collect, then
+// sort before the order can be observed.
+func goodSortedRange(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodCountingRange only aggregates — order cannot leak.
+func goodCountingRange(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// waivedClock shows the escape hatch for measurements that never reach
+// output bytes.
+func waivedClock() time.Time {
+	//cachemind:allow-nondet log-only timestamp, not part of benchmark output
+	return time.Now()
+}
+
+func badClock() time.Time {
+	return time.Now() // want `time\.Now in deterministic scope`
+}
+
+func badElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in deterministic scope`
+}
+
+func badGlobalRand(n int) int {
+	return rand.Intn(n) // want `math/rand\.Intn in deterministic scope`
+}
+
+func badUnsortedRange(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration feeds ordered output without a sort barrier`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func badPrintedRange(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration feeds ordered output without a sort barrier`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}

@@ -1,0 +1,113 @@
+// Package noalloc is the cachemindlint noalloc fixture: hot returns
+// mirror the engine's sanctioned zero-alloc idioms; each violating
+// line carries a want expectation.
+package noalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+type scratch struct {
+	key []byte
+}
+
+var table = map[string]int{}
+
+// good mirrors the cached-ask idioms: pooled-buffer append, zero-copy
+// map probe, zero-copy comparison, constant concatenation.
+//
+//cachemind:noalloc
+func good(sc *scratch, prefix, question string) int {
+	sc.key = append(append(sc.key[:0], prefix...), question...)
+	if v, ok := table[string(sc.key)]; ok { // zero-copy map probe
+		return v
+	}
+	if string(sc.key) == question { // zero-copy comparison
+		return 1
+	}
+	const a = "x" + "y" // constant concatenation folds
+	_ = a
+	return 0
+}
+
+// waivedMiss shows the sanctioned escape hatch: a documented
+// once-per-miss materialization.
+//
+//cachemind:noalloc
+func waivedMiss(sc *scratch) string {
+	//cachemind:allow-alloc key escapes into the cache entry exactly once per miss
+	return string(sc.key)
+}
+
+// unannotated is free to allocate: the contract is opt-in.
+func unannotated(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+//cachemind:noalloc
+func badFmt(n int) string {
+	return fmt.Sprintf("%d", n) // want `call to fmt.Sprintf allocates` `interface boxing`
+}
+
+//cachemind:noalloc
+func badErrors(msg string) error {
+	return errors.New(msg) // want `call to errors.New allocates`
+}
+
+//cachemind:noalloc
+func badConversions(b []byte, s string) {
+	_ = string(b) // want `string/\[\]byte conversion allocates`
+	_ = []byte(s) // want `string/\[\]byte conversion allocates`
+}
+
+//cachemind:noalloc
+func badMake() []int {
+	return make([]int, 8) // want `make allocates`
+}
+
+//cachemind:noalloc
+func badNew() *int {
+	return new(int) // want `new allocates`
+}
+
+//cachemind:noalloc
+func badLiterals() {
+	_ = []int{1, 2}      // want `slice/map literal allocates`
+	_ = map[string]int{} // want `slice/map literal allocates`
+}
+
+type box struct{ v int }
+
+//cachemind:noalloc
+func badHeapLit() *box {
+	return &box{v: 1} // want `&composite-literal allocates`
+}
+
+//cachemind:noalloc
+func badClosure() func() int {
+	return func() int { return 1 } // want `function literal \(closure\) allocates`
+}
+
+//cachemind:noalloc
+func badEscape() *int {
+	v := 42
+	return &v // want `address of local "v" escapes`
+}
+
+//cachemind:noalloc
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//cachemind:noalloc
+func badFreshAppend(x int) []int {
+	return append([]int{}, x) // want `append onto a fresh backing array allocates` `slice/map literal allocates`
+}
+
+type sink interface{ put(int) }
+
+//cachemind:noalloc
+func badBoxing(s sink, f func(any)) {
+	f(struct{ x int }{x: 1}) // want `interface boxing of non-pointer value allocates`
+}

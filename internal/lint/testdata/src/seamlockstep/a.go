@@ -1,0 +1,67 @@
+// Package seamlockstep is the cachemindlint seamlockstep fixture.
+package seamlockstep
+
+// evictionPolicy mirrors the engine's core seam interface; the
+// directive cross-checks its methods against the analyzer's table.
+//
+//cachemind:seam-hook
+type evictionPolicy interface {
+	Name() string
+	OnHit(key string)
+	OnInsert(key string)
+	Victim(incoming string) (victim string, bypass bool)
+}
+
+// extensions mirrors the optional seam interfaces, merged.
+//
+//cachemind:seam-hook
+type extensions interface {
+	OnHitBytes(key []byte)
+	OnInsertPrefetch(key string)
+	VictimForPrefetch(incoming string) (victim string, bypass bool)
+}
+
+// fullPolicy implements every hook — the lockstep contract.
+//
+//cachemind:evictionpolicy
+type fullPolicy struct{}
+
+func (*fullPolicy) Name() string                               { return "full" }
+func (*fullPolicy) OnHit(key string)                           {}
+func (*fullPolicy) OnHitBytes(key []byte)                      {}
+func (*fullPolicy) OnInsert(key string)                        {}
+func (*fullPolicy) OnInsertPrefetch(key string)                {}
+func (*fullPolicy) Victim(incoming string) (string, bool)      { return incoming, false }
+func (*fullPolicy) VictimForPrefetch(in string) (string, bool) { return in, false }
+
+// unannotated opts out: partial implementations are legal off the seam.
+type unannotated struct{}
+
+func (*unannotated) Name() string { return "partial" }
+
+//cachemind:evictionpolicy
+type missingHooks struct{} // want `missing seam hook OnHitBytes` `missing seam hook OnInsertPrefetch` `missing seam hook VictimForPrefetch`
+
+func (*missingHooks) Name() string                          { return "missing" }
+func (*missingHooks) OnHit(key string)                      {}
+func (*missingHooks) OnInsert(key string)                   {}
+func (*missingHooks) Victim(incoming string) (string, bool) { return incoming, false }
+
+//cachemind:evictionpolicy
+type wrongSig struct{} // want `hook OnHitBytes has signature func\(string\), want func\(\[\]byte\)`
+
+func (*wrongSig) Name() string                               { return "wrong" }
+func (*wrongSig) OnHit(key string)                           {}
+func (*wrongSig) OnHitBytes(key string)                      {}
+func (*wrongSig) OnInsert(key string)                        {}
+func (*wrongSig) OnInsertPrefetch(key string)                {}
+func (*wrongSig) Victim(incoming string) (string, bool)      { return incoming, false }
+func (*wrongSig) VictimForPrefetch(in string) (string, bool) { return in, false }
+
+// staleSeam declares a hook the analyzer table does not know — the
+// staleness guard fires.
+//
+//cachemind:seam-hook
+type staleSeam interface { // want `declares hook OnFlush, which is missing from cachemindlint's seamlockstep table`
+	OnFlush(key string)
+}

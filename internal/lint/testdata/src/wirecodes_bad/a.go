@@ -1,0 +1,33 @@
+// Package wirecodes_bad is the cachemindlint wirecodes fixture with
+// deliberate drift: CodeOverloaded hides behind the default arm and is
+// missing from the registry; CodeInternal is undocumented.
+package wirecodes_bad
+
+// Code mirrors engine.Code.
+type Code string
+
+const (
+	CodeInvalidRequest Code = "invalid_request"
+	CodeOverloaded     Code = "overloaded"
+	CodeInternal       Code = "internal"
+)
+
+var wireCodes = [...]string{ // want `wireCodes registry is missing wirecodes_bad\.CodeOverloaded`
+	"ok",
+	string(CodeInvalidRequest),
+	string(CodeInternal),
+}
+
+func statusForCode(c Code) int { // want `no explicit case for wirecodes_bad\.CodeOverloaded` `wire code "internal" \(wirecodes_bad\.CodeInternal\) is not documented`
+	switch c {
+	case CodeInvalidRequest:
+		return 400
+	case CodeInternal:
+		return 500
+	default:
+		return 500
+	}
+}
+
+var _ = wireCodes
+var _ = statusForCode

@@ -1,0 +1,3 @@
+module wirecodesbadfix
+
+go 1.21

@@ -1,0 +1,37 @@
+// Package wirecodes_ok is the cachemindlint wirecodes fixture: every
+// code has an explicit status case, a registry entry, and a README
+// mention.
+package wirecodes_ok
+
+// Code mirrors engine.Code.
+type Code string
+
+const (
+	CodeInvalidRequest Code = "invalid_request"
+	CodeOverloaded     Code = "overloaded"
+	CodeInternal       Code = "internal"
+)
+
+// wireCodes mirrors the daemon's metrics registry.
+var wireCodes = [...]string{
+	"ok",
+	string(CodeInvalidRequest),
+	string(CodeOverloaded),
+	string(CodeInternal),
+}
+
+func statusForCode(c Code) int {
+	switch c {
+	case CodeInvalidRequest:
+		return 400
+	case CodeOverloaded:
+		return 503
+	case CodeInternal:
+		return 500
+	default:
+		return 500
+	}
+}
+
+var _ = wireCodes
+var _ = statusForCode

@@ -1,0 +1,3 @@
+module wirecodesfix
+
+go 1.21

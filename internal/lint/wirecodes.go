@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+	"path/filepath"
+)
+
+// WireCodesAnalyzer enforces the v1 wire contract (PR 4): every error
+// code the engine can emit must be (1) explicitly mapped to an HTTP
+// status in the daemon's statusForCode table — no hiding behind the
+// default arm, which turns a new code into a silent 500; (2) listed
+// in the daemon's wireCodes metrics registry so /metrics exports a
+// counter for it; and (3) documented in the repository README's wire
+// contract section.
+//
+// The analyzer activates in any package that declares a function
+//
+//	func statusForCode(c <NamedType>) int
+//
+// It enumerates every exported constant of the parameter's named type
+// (from that type's defining package) and requires each to appear as
+// an explicit switch case, as an element of the package's wireCodes
+// composite literal (either a direct conversion of the constant or a
+// string literal equal to its value), and as a substring of the
+// README.md found at the module root (the nearest ancestor of the
+// package directory containing go.mod).
+var WireCodesAnalyzer = &Analyzer{
+	Name: "wirecodes",
+	Doc:  "require every engine.Code constant in statusForCode, wireCodes, and the README wire docs",
+	Run:  runWireCodes,
+}
+
+func runWireCodes(pass *Pass) error {
+	var fn *ast.FuncDecl
+	var wireCodesLit *ast.CompositeLit
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.Name == "statusForCode" && d.Recv == nil {
+					fn = d
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if name.Name == "wireCodes" && i < len(vs.Values) {
+							if cl, ok := ast.Unparen(vs.Values[i]).(*ast.CompositeLit); ok {
+								wireCodesLit = cl
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if fn == nil {
+		return nil // not a daemon package
+	}
+	if fn.Type.Params == nil || len(fn.Type.Params.List) != 1 {
+		return nil
+	}
+	tv, ok := pass.Info.Types[fn.Type.Params.List[0].Type]
+	if !ok {
+		return nil
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return nil
+	}
+	codeConsts := constantsOfType(named)
+	if len(codeConsts) == 0 {
+		return nil
+	}
+
+	// (1) explicit switch cases.
+	covered := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, e := range cc.List {
+			if obj := constObjOf(pass.Info, e); obj != nil {
+				covered[obj] = true
+			}
+		}
+		return true
+	})
+	for _, c := range codeConsts {
+		if !covered[c] {
+			pass.Reportf(fn.Pos(), "statusForCode has no explicit case for %s.%s — new codes must map to an HTTP status, not fall to the default arm", named.Obj().Pkg().Name(), c.Name())
+		}
+	}
+
+	// (2) wireCodes registry.
+	if wireCodesLit == nil {
+		pass.Reportf(fn.Pos(), "package declares statusForCode but no wireCodes registry literal — /metrics cannot export per-code counters")
+	} else {
+		for _, c := range codeConsts {
+			if !literalContainsCode(pass.Info, wireCodesLit, c) {
+				pass.Reportf(wireCodesLit.Pos(), "wireCodes registry is missing %s.%s (%s)", named.Obj().Pkg().Name(), c.Name(), constant.StringVal(c.Val()))
+			}
+		}
+	}
+
+	// (3) README wire docs at the module root.
+	readme, readmePath := moduleReadme(pass.Dir)
+	if readme == nil {
+		pass.Reportf(fn.Pos(), "no README.md found at the module root above %s — the wire contract must be documented", pass.Dir)
+		return nil
+	}
+	for _, c := range codeConsts {
+		val := constant.StringVal(c.Val())
+		if val == "" {
+			continue
+		}
+		if !bytes.Contains(readme, []byte(val)) {
+			pass.Reportf(fn.Pos(), "wire code %q (%s.%s) is not documented in %s", val, named.Obj().Pkg().Name(), c.Name(), readmePath)
+		}
+	}
+	return nil
+}
+
+// constantsOfType enumerates the constants of the named type declared
+// in its defining package's scope, in declaration-name order.
+func constantsOfType(named *types.Named) []*types.Const {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	var out []*types.Const
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// constObjOf resolves an expression (identifier, pkg.Name selector, or
+// a conversion thereof) to the constant object it references.
+func constObjOf(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if c, ok := info.Uses[x].(*types.Const); ok {
+			return c
+		}
+	case *ast.SelectorExpr:
+		if c, ok := info.Uses[x.Sel].(*types.Const); ok {
+			return c
+		}
+	case *ast.CallExpr: // string(engine.CodeX) style conversion
+		if _, isConv := isTypeConversion(info, x); isConv && len(x.Args) == 1 {
+			return constObjOf(info, x.Args[0])
+		}
+	}
+	return nil
+}
+
+// literalContainsCode reports whether the composite literal has an
+// element referencing the constant (directly or via conversion) or a
+// string literal equal to its value.
+func literalContainsCode(info *types.Info, lit *ast.CompositeLit, c *types.Const) bool {
+	want := constant.StringVal(c.Val())
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			el = kv.Value
+		}
+		if constObjOf(info, el) == c {
+			return true
+		}
+		if tv, ok := info.Types[el]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			if constant.StringVal(tv.Value) == want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// moduleReadme climbs from dir to the nearest ancestor containing
+// go.mod and reads its README.md.
+func moduleReadme(dir string) (content []byte, path string) {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			p := filepath.Join(d, "README.md")
+			b, err := os.ReadFile(p)
+			if err != nil {
+				return nil, p
+			}
+			return b, p
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return nil, ""
+		}
+		d = parent
+	}
+}

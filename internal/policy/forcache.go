@@ -111,6 +111,8 @@ func ForCache(name string, capacity int, seed int64) (CachePolicy, error) {
 // a single fully-associative set, the access clock ticks once per
 // OnHit/insert, and keys are hashed into the address/PC features the
 // simulator policies consume.
+//
+//cachemind:evictionpolicy
 type cacheAdapter struct {
 	name  string
 	inner sim.ReplacementPolicy
@@ -217,6 +219,17 @@ func (a *cacheAdapter) OnHit(key string) {
 	a.lines[w].LastTouch = info.Time
 	a.lines[w].PC = info.PC
 	a.inner.OnHit(info, w, a.lines)
+}
+
+// OnHitBytes observes a hit whose key is still in the ask's pooled
+// scratch bytes. The simulator protocol is string-addressed (way map,
+// PC features), so the adapter materializes the key — one allocation
+// per hit, which is why adapted policies sit off the default (native
+// LRU) path; the hook exists so the seam's full-lockstep contract
+// holds for every policy, with the cost documented here rather than
+// hidden in internal/engine's fallback.
+func (a *cacheAdapter) OnHitBytes(key []byte) {
+	a.OnHit(string(key))
 }
 
 func (a *cacheAdapter) Victim(incoming string) (string, bool) {

@@ -4,6 +4,8 @@
 // MIN), and the learned family (PARROT imitation learning, an online MLP
 // reuse predictor, and Mockingjay's ETR-based policy with a PC-indexed
 // reuse-distance predictor).
+//
+//cachemind:deterministic
 package policy
 
 import (

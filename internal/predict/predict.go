@@ -73,6 +73,8 @@
 // safe for concurrent use; the engine's background workers serialize on
 // its single mutex, which is fine because updates are a few table
 // probes — the predictor is never on the foreground ask path.
+//
+//cachemind:deterministic
 package predict
 
 import (

@@ -3,6 +3,8 @@
 // with pluggable replacement policies, a three-level hierarchy with a
 // simple out-of-order timing model (Table 2 of the paper), bypass hooks,
 // and an event stream for eviction-annotated trace capture.
+//
+//cachemind:deterministic
 package sim
 
 import (
